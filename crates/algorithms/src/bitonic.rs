@@ -1,0 +1,184 @@
+//! Bitonic sorting network — the paper's "sorting" class of oblivious
+//! algorithms.
+//!
+//! A sorting *network* compares fixed position pairs in a fixed order, so it
+//! is oblivious by nature (unlike quicksort or heapsort, whose access
+//! patterns follow the data).  Each compare-exchange is two reads, a
+//! min/max, and two writes.
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// In-place bitonic sort of `n = 2^log2n` words, ascending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitonicSort {
+    /// log2 of the array length.
+    pub log2n: u32,
+}
+
+impl BitonicSort {
+    /// New network over `2^log2n` elements.
+    #[must_use]
+    pub fn new(log2n: u32) -> Self {
+        Self { log2n }
+    }
+
+    /// Array length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1usize << self.log2n
+    }
+
+    /// Whether the network is empty (single element).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.log2n == 0
+    }
+
+    /// The network's compare-exchange schedule: `(lo, hi, ascending)`
+    /// triples in execution order.  Exposed so tests and kernels can share
+    /// exactly the same wiring.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<(usize, usize, bool)> {
+        let n = self.len();
+        let mut out = Vec::new();
+        let mut k = 2usize;
+        while k <= n {
+            let mut j = k / 2;
+            while j > 0 {
+                for i in 0..n {
+                    let l = i ^ j;
+                    if l > i {
+                        let ascending = i & k == 0;
+                        out.push((i, l, ascending));
+                    }
+                }
+                j /= 2;
+            }
+            k *= 2;
+        }
+        out
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for BitonicSort {
+    fn name(&self) -> String {
+        format!("bitonic-sort(n={})", self.len())
+    }
+
+    fn memory_words(&self) -> usize {
+        self.len()
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.len()
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..self.len()
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        for (lo, hi, ascending) in self.schedule() {
+            let a = m.read(lo);
+            let b = m.read(hi);
+            let mn = m.min(a, b);
+            let mx = m.max(a, b);
+            m.free(a);
+            m.free(b);
+            if ascending {
+                m.write(lo, mn);
+                m.write(hi, mx);
+            } else {
+                m.write(lo, mx);
+                m.write(hi, mn);
+            }
+            m.free(mn);
+            m.free(mx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    fn sorted_copy(x: &[f64]) -> Vec<f64> {
+        let mut v = x.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn sorts_known_permutation() {
+        let x = [5.0f64, 1.0, 4.0, 2.0, 8.0, 7.0, 6.0, 3.0];
+        let out = run_on_input(&BitonicSort::new(3), &x);
+        assert_eq!(out, sorted_copy(&x));
+    }
+
+    #[test]
+    fn sorts_with_duplicates_and_negatives() {
+        let x = [0.0f64, -1.0, 0.0, -1.0, 5.0, 5.0, -3.0, 2.0];
+        let out = run_on_input(&BitonicSort::new(3), &x);
+        assert_eq!(out, sorted_copy(&x));
+    }
+
+    #[test]
+    fn sorts_all_sizes_up_to_64_pseudorandomly() {
+        for log2n in 0..=6u32 {
+            let n = 1usize << log2n;
+            for seed in 0..4u64 {
+                let x: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                        ((h >> 33) % 1000) as f64 - 500.0
+                    })
+                    .collect();
+                let out = run_on_input(&BitonicSort::new(log2n), &x);
+                assert_eq!(out, sorted_copy(&x), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_sort() {
+        let x = [9u64, 3, 7, 1];
+        let out = run_on_input(&BitonicSort::new(2), &x);
+        assert_eq!(out, vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn network_size_is_n_log2_squared() {
+        // Compare-exchanges: (n/2) * log2n * (log2n + 1) / 2; 4 memory
+        // steps each.
+        let log2n = 4u32;
+        let n = 1usize << log2n;
+        let cmps = n / 2 * (log2n * (log2n + 1) / 2) as usize;
+        assert_eq!(time_steps::<f32, _>(&BitonicSort::new(log2n)), cmps * 4);
+        assert_eq!(BitonicSort::new(log2n).schedule().len(), cmps);
+    }
+
+    #[test]
+    fn bulk_sorts_every_instance() {
+        let prog = BitonicSort::new(3);
+        let inputs: Vec<Vec<f32>> = (0..7)
+            .map(|s| (0..8).map(|i| (((i * 31 + s * 17) % 23) as f32) - 11.0).collect())
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for layout in Layout::all() {
+            let outs = bulk_execute(&prog, &refs, layout);
+            for (inp, out) in inputs.iter().zip(&outs) {
+                let mut want = inp.clone();
+                want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert_eq!(out, &want, "{layout}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_element_is_trivially_sorted() {
+        let out = run_on_input::<f64, _>(&BitonicSort::new(0), &[42.0]);
+        assert_eq!(out, vec![42.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Oblivious Levenshtein edit distance.
+//!
+//! A third dynamic-programming representative (after OPT and LCS) with yet
+//! another access pattern: the inner cell needs a three-way minimum plus an
+//! equality-gated substitution cost — all expressible as oblivious selects.
+
+use oblivious::{CmpOp, ObliviousMachine, ObliviousProgram, Word};
+
+/// Edit distance between two word sequences.
+///
+/// Memory: `a` at `0..n`, `b` at `n..n+m`, DP table `(n+1) × (m+1)`
+/// row-major after that; the answer is the table's last cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditDistance {
+    /// Length of the first sequence.
+    pub n: usize,
+    /// Length of the second sequence.
+    pub m: usize,
+}
+
+impl EditDistance {
+    /// New program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length is 0.
+    #[must_use]
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n > 0 && m > 0, "sequences must be non-empty");
+        Self { n, m }
+    }
+
+    fn dp_at(&self, i: usize, j: usize) -> usize {
+        self.n + self.m + i * (self.m + 1) + j
+    }
+
+    /// Index of the answer within `output_range()`.
+    #[must_use]
+    pub fn answer_offset(&self) -> usize {
+        (self.n + 1) * (self.m + 1) - 1
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for EditDistance {
+    fn name(&self) -> String {
+        format!("edit-distance(n={},m={})", self.n, self.m)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.n + self.m + (self.n + 1) * (self.m + 1)
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n + self.m
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.n + self.m..self.n + self.m + (self.n + 1) * (self.m + 1)
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let one = m.constant(W::ONE);
+        // dp[0][j] = j, dp[i][0] = i.
+        for j in 0..=self.m {
+            let c = m.constant(W::from_f64(j as f64));
+            m.write(self.dp_at(0, j), c);
+            m.free(c);
+        }
+        for i in 1..=self.n {
+            let c = m.constant(W::from_f64(i as f64));
+            m.write(self.dp_at(i, 0), c);
+            m.free(c);
+        }
+        for i in 1..=self.n {
+            let ai = m.read(i - 1);
+            for j in 1..=self.m {
+                let bj = m.read(self.n + (j - 1));
+                let diag = m.read(self.dp_at(i - 1, j - 1));
+                let up = m.read(self.dp_at(i - 1, j));
+                let left = m.read(self.dp_at(i, j - 1));
+                // substitution cost: diag if equal, diag + 1 otherwise
+                let diag1 = m.add(diag, one);
+                let sub = m.select(CmpOp::Eq, ai, bj, diag, diag1);
+                // insert/delete: min(up, left) + 1
+                let id0 = m.min(up, left);
+                let id1 = m.add(id0, one);
+                let cell = m.min(sub, id1);
+                m.write(self.dp_at(i, j), cell);
+                for v in [bj, diag, up, left, diag1, sub, id0, id1, cell] {
+                    m.free(v);
+                }
+            }
+            m.free(ai);
+        }
+    }
+}
+
+/// Plain-Rust reference edit distance.
+#[must_use]
+pub fn reference<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for (j, row0) in dp[0].iter_mut().enumerate() {
+        *row0 = j;
+    }
+    for i in 1..=n {
+        dp[i][0] = i;
+        for j in 1..=m {
+            let sub = dp[i - 1][j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            dp[i][j] = sub.min(dp[i - 1][j] + 1).min(dp[i][j - 1] + 1);
+        }
+    }
+    dp[n][m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input};
+    use oblivious::Layout;
+
+    fn distance(a: &[f64], b: &[f64]) -> f64 {
+        let prog = EditDistance::new(a.len(), b.len());
+        let mut input = a.to_vec();
+        input.extend_from_slice(b);
+        run_on_input::<f64, _>(&prog, &input)[prog.answer_offset()]
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        // "kitten" -> "sitting" = 3, letters encoded as numbers.
+        let kitten = [10.0, 8.0, 19.0, 19.0, 4.0, 13.0];
+        let sitting = [18.0, 8.0, 19.0, 19.0, 8.0, 13.0, 6.0];
+        assert_eq!(distance(&kitten, &sitting), 3.0);
+    }
+
+    #[test]
+    fn identical_is_zero_distance() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn totally_different_is_max_len() {
+        assert_eq!(distance(&[1.0, 2.0], &[3.0, 4.0, 5.0]), 3.0);
+    }
+
+    #[test]
+    fn matches_reference_pseudorandomly() {
+        for seed in 0..6u64 {
+            let a: Vec<f64> =
+                (0..8).map(|i| ((i as u64 * 7 + seed * 3) % 4) as f64).collect();
+            let b: Vec<f64> =
+                (0..6).map(|i| ((i as u64 * 5 + seed * 11) % 4) as f64).collect();
+            let ai: Vec<u64> = a.iter().map(|&x| x as u64).collect();
+            let bi: Vec<u64> = b.iter().map(|&x| x as u64).collect();
+            assert_eq!(distance(&a, &b) as usize, reference(&ai, &bi), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 3.0, 3.0, 5.0];
+        let z = [2.0, 3.0, 4.0, 5.0];
+        let (xy, yz, xz) = (distance(&x, &y), distance(&y, &z), distance(&x, &z));
+        assert!(xz <= xy + yz);
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let prog = EditDistance::new(4, 5);
+        let inputs: Vec<Vec<f32>> =
+            (0..7).map(|s| (0..9).map(|i| ((i * 2 + s) % 3) as f32).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+}

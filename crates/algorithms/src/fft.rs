@@ -1,0 +1,282 @@
+//! Oblivious iterative radix-2 FFT (decimation in time).
+//!
+//! The paper's motivating example for bulk execution: "in practical signal
+//! processing, an input stream is equally partitioned into many blocks, and
+//! the FFT algorithm is executed for each block" — exactly the bulk
+//! execution of this program.  The butterfly schedule of the
+//! Cooley–Tukey algorithm depends only on `n`, and twiddle factors are
+//! compile-time constants, so the algorithm is oblivious.
+
+use oblivious::{FloatWord, ObliviousMachine, ObliviousProgram};
+
+/// In-place FFT over `n = 2^log2n` complex points.
+///
+/// Memory holds interleaved complex values: `re(x_k)` at `2k`, `im(x_k)` at
+/// `2k + 1`.  The whole 2n-word array is both input and output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fft {
+    /// log2 of the transform size.
+    pub log2n: u32,
+    /// Inverse transform (conjugated twiddles and 1/n scaling).
+    pub inverse: bool,
+}
+
+impl Fft {
+    /// Forward transform of `2^log2n` points.
+    #[must_use]
+    pub fn new(log2n: u32) -> Self {
+        Self { log2n, inverse: false }
+    }
+
+    /// Inverse transform of `2^log2n` points.
+    #[must_use]
+    pub fn inverse(log2n: u32) -> Self {
+        Self { log2n, inverse: true }
+    }
+
+    /// Number of complex points.
+    #[must_use]
+    pub fn points(&self) -> usize {
+        1usize << self.log2n
+    }
+}
+
+impl<W: FloatWord> ObliviousProgram<W> for Fft {
+    fn name(&self) -> String {
+        format!("{}fft(n={})", if self.inverse { "i" } else { "" }, self.points())
+    }
+
+    fn memory_words(&self) -> usize {
+        2 * self.points()
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..2 * self.points()
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..2 * self.points()
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.points();
+        // Bit-reversal permutation: swap schedule fixed by n.
+        for k in 0..n {
+            let r = bit_reverse(k, self.log2n);
+            if r > k {
+                for c in 0..2 {
+                    let a = m.read(2 * k + c);
+                    let b = m.read(2 * r + c);
+                    m.write(2 * k + c, b);
+                    m.write(2 * r + c, a);
+                    m.free(a);
+                    m.free(b);
+                }
+            }
+        }
+        // Butterfly stages.
+        let sign = if self.inverse { 1.0 } else { -1.0 };
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let angle = sign * 2.0 * core::f64::consts::PI * k as f64 / len as f64;
+                    let wr = m.constant(W::from_f64(angle.cos()));
+                    let wi = m.constant(W::from_f64(angle.sin()));
+                    let i0 = start + k;
+                    let i1 = start + k + half;
+                    let ar = m.read(2 * i0);
+                    let ai = m.read(2 * i0 + 1);
+                    let br = m.read(2 * i1);
+                    let bi = m.read(2 * i1 + 1);
+                    // t = w * b  (complex)
+                    let t1 = m.mul(wr, br);
+                    let t2 = m.mul(wi, bi);
+                    let tr = m.sub(t1, t2);
+                    m.free(t1);
+                    m.free(t2);
+                    let t3 = m.mul(wr, bi);
+                    let t4 = m.mul(wi, br);
+                    let ti = m.add(t3, t4);
+                    m.free(t3);
+                    m.free(t4);
+                    m.free(br);
+                    m.free(bi);
+                    // out0 = a + t ; out1 = a - t
+                    let o0r = m.add(ar, tr);
+                    let o0i = m.add(ai, ti);
+                    let o1r = m.sub(ar, tr);
+                    let o1i = m.sub(ai, ti);
+                    m.free(ar);
+                    m.free(ai);
+                    m.free(tr);
+                    m.free(ti);
+                    m.write(2 * i0, o0r);
+                    m.write(2 * i0 + 1, o0i);
+                    m.write(2 * i1, o1r);
+                    m.write(2 * i1 + 1, o1i);
+                    m.free(o0r);
+                    m.free(o0i);
+                    m.free(o1r);
+                    m.free(o1i);
+                }
+            }
+            len *= 2;
+        }
+        // Inverse scaling by 1/n.
+        if self.inverse {
+            let inv_n = m.constant(W::from_f64(1.0 / n as f64));
+            for a in 0..2 * n {
+                let x = m.read(a);
+                let y = m.mul(x, inv_n);
+                m.write(a, y);
+                m.free(x);
+                m.free(y);
+            }
+        }
+    }
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        x.reverse_bits() >> (usize::BITS - bits)
+    }
+}
+
+/// Naive `O(n²)` DFT reference on f64 complex pairs.
+#[must_use]
+pub fn dft_reference(input: &[(f64, f64)], inverse: bool) -> Vec<(f64, f64)> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let scale = if inverse { 1.0 / n as f64 } else { 1.0 };
+    (0..n)
+        .map(|k| {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (j, &(xr, xi)) in input.iter().enumerate() {
+                let angle = sign * 2.0 * core::f64::consts::PI * (k * j) as f64 / n as f64;
+                let (c, s) = (angle.cos(), angle.sin());
+                re += xr * c - xi * s;
+                im += xr * s + xi * c;
+            }
+            (re * scale, im * scale)
+        })
+        .collect()
+}
+
+/// Pack complex pairs into the interleaved word layout.
+#[must_use]
+pub fn pack<W: FloatWord>(points: &[(f64, f64)]) -> Vec<W> {
+    points.iter().flat_map(|&(r, i)| [W::from_f64(r), W::from_f64(i)]).collect()
+}
+
+/// Unpack interleaved words back into complex pairs.
+#[must_use]
+pub fn unpack<W: FloatWord>(words: &[W]) -> Vec<(f64, f64)> {
+    words.chunks_exact(2).map(|c| (c[0].to_f64(), c[1].to_f64())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, trace_of};
+    use oblivious::Layout;
+
+    fn close(a: &[(f64, f64)], b: &[(f64, f64)], tol: f64) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x.0 - y.0).abs() < tol && (x.1 - y.1).abs() < tol)
+    }
+
+    fn signal(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|k| {
+                let t = k as f64 / n as f64;
+                ((2.0 * core::f64::consts::PI * 3.0 * t).sin(), 0.5 * (t - 0.5))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for log2n in [1u32, 2, 3, 4, 5] {
+            let n = 1usize << log2n;
+            let x = signal(n);
+            let out = run_on_input::<f64, _>(&Fft::new(log2n), &pack::<f64>(&x));
+            let got = unpack::<f64>(&out);
+            let want = dft_reference(&x, false);
+            assert!(close(&got, &want, 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let log2n = 4;
+        let x = signal(16);
+        let fwd = run_on_input::<f64, _>(&Fft::new(log2n), &pack::<f64>(&x));
+        let back = run_on_input::<f64, _>(&Fft::inverse(log2n), &fwd);
+        assert!(close(&unpack::<f64>(&back), &x, 1e-12));
+    }
+
+    #[test]
+    fn impulse_transforms_to_all_ones() {
+        let log2n = 3;
+        let mut x = vec![(0.0, 0.0); 8];
+        x[0] = (1.0, 0.0);
+        let out = run_on_input::<f64, _>(&Fft::new(log2n), &pack::<f64>(&x));
+        for (re, im) in unpack::<f64>(&out) {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_n_log_n() {
+        // Butterflies: (n/2) log2 n, 4 reads + 4 writes each; plus the
+        // bit-reversal swaps.
+        let log2n = 4u32;
+        let n = 16usize;
+        let t = trace_of::<f64, _>(&Fft::new(log2n));
+        let butterflies = (n / 2) * log2n as usize;
+        let swaps = (0..n).filter(|&k| bit_reverse(k, log2n) > k).count();
+        assert_eq!(t.len(), butterflies * 8 + swaps * 8);
+    }
+
+    #[test]
+    fn bulk_blocks_match_streamwise_ffts() {
+        // The paper's signal-processing scenario: a stream chopped into
+        // blocks, one FFT per block, bulk-executed.
+        let log2n = 3u32;
+        let blocks: Vec<Vec<(f64, f64)>> =
+            (0..5).map(|b| signal(8).iter().map(|&(r, i)| (r + b as f64, i)).collect()).collect();
+        let inputs: Vec<Vec<f64>> = blocks.iter().map(|b| pack::<f64>(b)).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for layout in Layout::all() {
+            let outs = bulk_execute(&Fft::new(log2n), &refs, layout);
+            for (block, out) in blocks.iter().zip(&outs) {
+                let want = dft_reference(block, false);
+                assert!(close(&unpack::<f64>(out), &want, 1e-9), "{layout}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_precision_is_adequate() {
+        let x = signal(32);
+        let out = run_on_input::<f32, _>(&Fft::new(5), &pack::<f32>(&x));
+        let want = dft_reference(&x, false);
+        assert!(close(&unpack::<f32>(&out), &want, 1e-3));
+    }
+
+    #[test]
+    fn bit_reverse_is_an_involution() {
+        for bits in 0..10u32 {
+            for x in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Oblivious FIR filtering (direct-form convolution).
+//!
+//! `y[i] = Σ_k taps[k] · x[i-k]` with zero padding at the boundary.  The
+//! taps are program parameters (compile-time constants from the machine's
+//! point of view), so every memory access is index-scheduled — a simple
+//! signal-processing companion to the FFT example.
+
+use oblivious::{FloatWord, ObliviousMachine, ObliviousProgram};
+
+/// FIR filter of an `n`-sample signal with fixed taps.
+///
+/// Memory: input `x` at `0..n`, output `y` at `n..2n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    /// Signal length.
+    pub n: usize,
+    /// Filter coefficients, `taps[0]` applied to the current sample.
+    pub taps: Vec<f64>,
+}
+
+impl FirFilter {
+    /// New filter program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal or tap vector is empty.
+    #[must_use]
+    pub fn new(n: usize, taps: Vec<f64>) -> Self {
+        assert!(n > 0, "signal must be non-empty");
+        assert!(!taps.is_empty(), "need at least one tap");
+        Self { n, taps }
+    }
+
+    /// A `k`-point moving-average filter.
+    #[must_use]
+    pub fn moving_average(n: usize, k: usize) -> Self {
+        assert!(k > 0);
+        Self::new(n, vec![1.0 / k as f64; k])
+    }
+}
+
+impl<W: FloatWord> ObliviousProgram<W> for FirFilter {
+    fn name(&self) -> String {
+        format!("fir(n={},taps={})", self.n, self.taps.len())
+    }
+
+    fn memory_words(&self) -> usize {
+        2 * self.n
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.n..2 * self.n
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        for i in 0..self.n {
+            let mut acc = m.zero();
+            for (k, &tap) in self.taps.iter().enumerate() {
+                // Zero padding: samples before the start are skipped; the
+                // *schedule* (which k are skipped at which i) depends only
+                // on indices, so obliviousness is preserved.
+                if k > i {
+                    continue;
+                }
+                let x = m.read(i - k);
+                let t = m.constant(W::from_f64(tap));
+                let prod = m.mul(x, t);
+                m.free(x);
+                let acc2 = m.add(acc, prod);
+                m.free(prod);
+                m.free(acc);
+                acc = acc2;
+            }
+            m.write(self.n + i, acc);
+            m.free(acc);
+        }
+    }
+}
+
+/// Plain-Rust reference convolution.
+#[must_use]
+pub fn reference(x: &[f64], taps: &[f64]) -> Vec<f64> {
+    (0..x.len())
+        .map(|i| taps.iter().enumerate().filter(|(k, _)| *k <= i).map(|(k, &t)| t * x[i - k]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, trace_of};
+    use oblivious::Layout;
+
+    #[test]
+    fn identity_tap_copies_signal() {
+        let x = [1.0, -2.0, 3.0, 0.5];
+        let out = run_on_input::<f64, _>(&FirFilter::new(4, vec![1.0]), &x);
+        assert_eq!(out, x.to_vec());
+    }
+
+    #[test]
+    fn delay_tap_shifts_signal() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let out = run_on_input::<f64, _>(&FirFilter::new(4, vec![0.0, 1.0]), &x);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn moving_average_matches_reference() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * 37) % 11) as f64).collect();
+        let f = FirFilter::moving_average(16, 4);
+        let out = run_on_input::<f64, _>(&f, &x);
+        let want = reference(&x, &f.taps);
+        for (a, b) in out.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_covers_triangular_prefix_then_steady_state() {
+        let f = FirFilter::new(6, vec![0.5, 0.25, 0.25]);
+        let t = trace_of::<f64, _>(&f);
+        // i = 0: 1 read; i = 1: 2 reads; i >= 2: 3 reads; +1 write each.
+        assert_eq!(t.len(), (1 + 2 + 3 + 3 + 3 + 3) + 6);
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let f = FirFilter::new(8, vec![0.5, -0.5, 1.0]);
+        let inputs: Vec<Vec<f32>> =
+            (0..6).map(|s| (0..8).map(|i| ((i + s * 3) % 5) as f32).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&f, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&f, &refs, layout), cpu, "{layout}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_rejected() {
+        let _ = FirFilter::new(4, vec![]);
+    }
+}

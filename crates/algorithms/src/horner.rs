@@ -1,0 +1,136 @@
+//! Oblivious polynomial evaluation (Horner's rule).
+//!
+//! `p(x) = (((c_d · x + c_{d-1}) · x + c_{d-2}) … ) · x + c_0` reads the
+//! coefficients highest-degree-first on a schedule fixed by the degree — a
+//! minimal warm-up example and a useful micro-workload for the generic bulk
+//! engine (one multiply-add per memory read).
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// Evaluate a degree-`degree` polynomial at a point.
+///
+/// Memory: coefficients `c_0 … c_d` at `0..=degree`, the point `x` at
+/// `degree + 1`, the result at `degree + 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Horner {
+    /// Polynomial degree `d`.
+    pub degree: usize,
+}
+
+impl Horner {
+    /// New program for degree-`degree` polynomials.
+    #[must_use]
+    pub fn new(degree: usize) -> Self {
+        Self { degree }
+    }
+
+    /// Address of the point `x`.
+    fn x_at(&self) -> usize {
+        self.degree + 1
+    }
+
+    /// Address of the result.
+    fn out_at(&self) -> usize {
+        self.degree + 2
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for Horner {
+    fn name(&self) -> String {
+        format!("horner(d={})", self.degree)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.degree + 3
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.degree + 2
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.out_at()..self.out_at() + 1
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let x = m.read(self.x_at());
+        let mut acc = m.read(self.degree); // c_d
+        for i in (0..self.degree).rev() {
+            let scaled = m.mul(acc, x);
+            m.free(acc);
+            let c = m.read(i);
+            acc = m.add(scaled, c);
+            m.free(scaled);
+            m.free(c);
+        }
+        m.write(self.out_at(), acc);
+        m.free(acc);
+        m.free(x);
+    }
+}
+
+/// Plain-Rust reference evaluation.
+#[must_use]
+pub fn reference(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    fn eval(coeffs: &[f64], x: f64) -> f64 {
+        let prog = Horner::new(coeffs.len() - 1);
+        let mut input = coeffs.to_vec();
+        input.push(x);
+        run_on_input::<f64, _>(&prog, &input)[0]
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        assert_eq!(eval(&[7.0], 100.0), 7.0);
+    }
+
+    #[test]
+    fn quadratic() {
+        // 2 + 3x + 4x^2 at x = 2 => 2 + 6 + 16 = 24.
+        assert_eq!(eval(&[2.0, 3.0, 4.0], 2.0), 24.0);
+    }
+
+    #[test]
+    fn matches_reference() {
+        let coeffs: Vec<f64> = (0..9).map(|i| ((i * 13 + 5) % 7) as f64 - 3.0).collect();
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 3.25] {
+            assert_eq!(eval(&coeffs, x), reference(&coeffs, x));
+        }
+    }
+
+    #[test]
+    fn trace_is_linear_in_degree() {
+        // 1 read x + 1 read c_d + d reads + 1 write.
+        assert_eq!(time_steps::<f64, _>(&Horner::new(10)), 2 + 10 + 1);
+    }
+
+    #[test]
+    fn bulk_evaluates_many_points() {
+        // Classic bulk workload: same polynomial, many evaluation points.
+        let coeffs = [1.0f64, -1.0, 0.5];
+        let prog = Horner::new(2);
+        let inputs: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                let mut v = coeffs.to_vec();
+                v.push(i as f64 / 2.0);
+                v
+            })
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for layout in Layout::all() {
+            let outs = bulk_execute(&prog, &refs, layout);
+            for (inp, out) in inputs.iter().zip(&outs) {
+                assert_eq!(out[0], reference(&coeffs, inp[3]), "{layout}");
+            }
+        }
+    }
+}

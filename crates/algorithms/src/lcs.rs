@@ -1,0 +1,180 @@
+//! Oblivious longest-common-subsequence length — the paper's "dynamic
+//! programming" class, in its textbook two-dimensional form.
+//!
+//! `dp[i][j] = a[i-1] == b[j-1] ? dp[i-1][j-1] + 1
+//!                              : max(dp[i-1][j], dp[i][j-1])`
+//!
+//! The equality test is an oblivious [`CmpOp::Eq`] select, so the fill
+//! order and addresses never depend on the sequences.
+
+use oblivious::{CmpOp, ObliviousMachine, ObliviousProgram, Word};
+
+/// LCS length of two word sequences.
+///
+/// Memory: `a` at `0..n`, `b` at `n..n+m`, DP table `(n+1) × (m+1)`
+/// row-major after that.  Output is the DP table; the answer sits in its
+/// last cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LcsLength {
+    /// Length of the first sequence.
+    pub n: usize,
+    /// Length of the second sequence.
+    pub m: usize,
+}
+
+impl LcsLength {
+    /// New program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length is 0.
+    #[must_use]
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n > 0 && m > 0, "sequences must be non-empty");
+        Self { n, m }
+    }
+
+    fn dp_at(&self, i: usize, j: usize) -> usize {
+        self.n + self.m + i * (self.m + 1) + j
+    }
+
+    /// Index of the answer (LCS length) within `output_range()`.
+    #[must_use]
+    pub fn answer_offset(&self) -> usize {
+        (self.n + 1) * (self.m + 1) - 1
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for LcsLength {
+    fn name(&self) -> String {
+        format!("lcs(n={},m={})", self.n, self.m)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.n + self.m + (self.n + 1) * (self.m + 1)
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n + self.m
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.n + self.m..self.n + self.m + (self.n + 1) * (self.m + 1)
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let zero = m.zero();
+        let one = m.constant(W::ONE);
+        // Boundary rows/columns.
+        for j in 0..=self.m {
+            m.write(self.dp_at(0, j), zero);
+        }
+        for i in 1..=self.n {
+            m.write(self.dp_at(i, 0), zero);
+        }
+        for i in 1..=self.n {
+            let ai = m.read(i - 1);
+            for j in 1..=self.m {
+                let bj = m.read(self.n + (j - 1));
+                let diag = m.read(self.dp_at(i - 1, j - 1));
+                let up = m.read(self.dp_at(i - 1, j));
+                let left = m.read(self.dp_at(i, j - 1));
+                let diag1 = m.add(diag, one);
+                let best = m.max(up, left);
+                let cell = m.select(CmpOp::Eq, ai, bj, diag1, best);
+                m.write(self.dp_at(i, j), cell);
+                for v in [bj, diag, up, left, diag1, best, cell] {
+                    m.free(v);
+                }
+            }
+            m.free(ai);
+        }
+    }
+}
+
+/// Plain-Rust reference LCS length.
+#[must_use]
+pub fn reference<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[n][m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    fn lcs_of(a: &[f64], b: &[f64]) -> f64 {
+        let prog = LcsLength::new(a.len(), b.len());
+        let mut input = a.to_vec();
+        input.extend_from_slice(b);
+        let out = run_on_input::<f64, _>(&prog, &input);
+        out[prog.answer_offset()]
+    }
+
+    #[test]
+    fn classic_example() {
+        // LCS("ABCBDAB", "BDCABA") = 4, encoded as digits.
+        let a = [1.0, 2.0, 3.0, 2.0, 4.0, 1.0, 2.0];
+        let b = [2.0, 4.0, 3.0, 1.0, 2.0, 1.0];
+        assert_eq!(lcs_of(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = [5.0, 6.0, 7.0];
+        assert_eq!(lcs_of(&a, &a), 3.0);
+    }
+
+    #[test]
+    fn disjoint_sequences() {
+        assert_eq!(lcs_of(&[1.0, 2.0], &[3.0, 4.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn matches_reference_pseudorandomly() {
+        for seed in 0..5u64 {
+            let a: Vec<f64> = (0..9)
+                .map(|i| ((i as u64 * 7 + seed * 13) % 4) as f64)
+                .collect();
+            let b: Vec<f64> = (0..7)
+                .map(|i| ((i as u64 * 11 + seed * 5) % 4) as f64)
+                .collect();
+            let ai: Vec<u64> = a.iter().map(|&x| x as u64).collect();
+            let bi: Vec<u64> = b.iter().map(|&x| x as u64).collect();
+            assert_eq!(lcs_of(&a, &b) as usize, reference(&ai, &bi), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn trace_is_rectangular() {
+        // Per inner cell: read b, 3 dp reads, 1 write; per row 1 read of a;
+        // boundary: (m+1) + n writes.
+        let (n, m) = (4usize, 5usize);
+        let t = time_steps::<f64, _>(&LcsLength::new(n, m));
+        assert_eq!(t, (m + 1) + n + n * (1 + m * 5));
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let prog = LcsLength::new(5, 5);
+        let inputs: Vec<Vec<f32>> =
+            (0..6).map(|s| (0..10).map(|i| ((i * 3 + s) % 3) as f32).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # algorithms — a library of oblivious sequential algorithms
+//!
+//! Every algorithm class the paper names as amenable to oblivious
+//! execution, implemented against the `oblivious` machine interface (and
+//! therefore oblivious *by construction*, bulk-executable by the generic
+//! engine, and priceable on the UMM/DMM):
+//!
+//! | class (paper §I/§III)     | module                                   |
+//! |---------------------------|------------------------------------------|
+//! | running example           | [`prefix_sums`] (Algorithm Prefix-sums)  |
+//! | dynamic programming       | [`opt`] (Algorithm OPT), [`matrix_chain`], [`lcs`], [`edit_distance`], [`floyd_warshall`], [`pascal`] |
+//! | matrix computation        | [`matmul`], [`matvec`], [`transpose`], [`lu`] |
+//! | signal processing         | [`fft`], [`fir`], [`poly_mul`]           |
+//! | sorting                   | [`bitonic`], [`oe_mergesort`]            |
+//! | encryption/decryption     | [`xtea`]                                 |
+//! | micro-workload            | [`horner`], [`summed_area`] (2-D prefix sums) |
+//! | offline permutation       | [`permute`] (related-work workload)      |
+//! | **non**-oblivious foils   | [`nonoblivious`] (binary search, partition) |
+//!
+//! Each module ships a plain-Rust reference implementation for differential
+//! testing and, where meaningful, a brute-force oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod edit_distance;
+pub mod fft;
+pub mod fir;
+pub mod floyd_warshall;
+pub mod horner;
+pub mod lcs;
+pub mod lu;
+pub mod matmul;
+pub mod matrix_chain;
+pub mod matvec;
+pub mod nonoblivious;
+pub mod oe_mergesort;
+pub mod opt;
+pub mod pascal;
+pub mod permute;
+pub mod poly_mul;
+pub mod prefix_sums;
+pub mod summed_area;
+pub mod transpose;
+pub mod xtea;
+
+pub use bitonic::BitonicSort;
+pub use edit_distance::EditDistance;
+pub use fft::Fft;
+pub use fir::FirFilter;
+pub use floyd_warshall::FloydWarshall;
+pub use horner::Horner;
+pub use lcs::LcsLength;
+pub use lu::LuDecomposition;
+pub use matmul::MatMul;
+pub use matrix_chain::MatrixChain;
+pub use matvec::MatVec;
+pub use oe_mergesort::OddEvenMergeSort;
+pub use opt::{ChordWeights, OptTriangulation};
+pub use pascal::PascalTriangle;
+pub use poly_mul::PolyMul;
+pub use permute::OfflinePermute;
+pub use prefix_sums::PrefixSums;
+pub use summed_area::SummedArea;
+pub use transpose::Transpose;
+pub use xtea::Xtea;

@@ -1,0 +1,222 @@
+//! Oblivious LU decomposition (Doolittle, no pivoting).
+//!
+//! Gaussian elimination *with* pivoting is data-dependent (the pivot row is
+//! chosen by magnitude), but the pivot-free Doolittle factorisation visits
+//! `(k, i, j)` on a schedule fixed by `n` — the linear-algebra member of
+//! the oblivious family, with the usual caveat that it requires the matrix
+//! to be factorisable without pivoting (e.g. diagonally dominant).
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// In-place LU factorisation of an `n × n` row-major matrix.
+///
+/// On exit the strict lower triangle holds `L` (unit diagonal implied) and
+/// the upper triangle (with diagonal) holds `U`, packed in the same `n²`
+/// words — the standard compact form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LuDecomposition {
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl LuDecomposition {
+    /// New program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self { n }
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for LuDecomposition {
+    fn name(&self) -> String {
+        format!("lu(n={})", self.n)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.n * self.n
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n * self.n
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..self.n * self.n
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.n;
+        let at = |i: usize, j: usize| i * n + j;
+        for k in 0..n {
+            let pivot = m.read(at(k, k));
+            // Column k below the pivot becomes L: a[i][k] /= a[k][k].
+            for i in (k + 1)..n {
+                let aik = m.read(at(i, k));
+                let l = m.binop(oblivious::BinOp::Div, aik, pivot);
+                m.free(aik);
+                m.write(at(i, k), l);
+                m.free(l);
+            }
+            // Trailing submatrix update: a[i][j] -= a[i][k] * a[k][j].
+            for i in (k + 1)..n {
+                let lik = m.read(at(i, k));
+                for j in (k + 1)..n {
+                    let ukj = m.read(at(k, j));
+                    let prod = m.mul(lik, ukj);
+                    m.free(ukj);
+                    let aij = m.read(at(i, j));
+                    let upd = m.sub(aij, prod);
+                    m.free(aij);
+                    m.free(prod);
+                    m.write(at(i, j), upd);
+                    m.free(upd);
+                }
+                m.free(lik);
+            }
+            m.free(pivot);
+        }
+    }
+}
+
+/// Reconstruct `L·U` from the packed factorisation (for testing).
+#[must_use]
+pub fn multiply_lu(packed: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(packed.len(), n * n);
+    let l = |i: usize, j: usize| -> f64 {
+        use core::cmp::Ordering;
+        match i.cmp(&j) {
+            Ordering::Greater => packed[i * n + j],
+            Ordering::Equal => 1.0,
+            Ordering::Less => 0.0,
+        }
+    };
+    let u = |i: usize, j: usize| -> f64 { if i <= j { packed[i * n + j] } else { 0.0 } };
+    let mut out = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            out[i * n + j] = (0..n).map(|k| l(i, k) * u(k, j)).sum();
+        }
+    }
+    out
+}
+
+/// A diagonally dominant test matrix (always factorisable w/o pivoting).
+#[must_use]
+pub fn diagonally_dominant(n: usize, seed: u64) -> Vec<f64> {
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let h = (i as u64 * 31 + j as u64 * 17 + seed)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                let v = ((h >> 40) % 100) as f64 / 25.0 - 2.0;
+                a[i * n + j] = v;
+                row_sum += v.abs();
+            }
+        }
+        a[i * n + i] = row_sum + 1.0 + (i as f64) * 0.25;
+    }
+    a
+}
+
+/// Solve `L·U·x = b` from the packed factorisation (host-side).
+#[must_use]
+pub fn solve(packed: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(b.len(), n);
+    // Forward: L y = b (unit diagonal).
+    let mut y = b.to_vec();
+    for i in 0..n {
+        for j in 0..i {
+            y[i] -= packed[i * n + j] * y[j];
+        }
+    }
+    // Backward: U x = y.
+    let mut x = y;
+    for i in (0..n).rev() {
+        for j in (i + 1)..n {
+            x[i] -= packed[i * n + j] * x[j];
+        }
+        x[i] /= packed[i * n + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn identity_factorises_to_identity() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let out = run_on_input::<f64, _>(&LuDecomposition::new(n), &a);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [4 3; 6 3] = [1 0; 1.5 1] [4 3; 0 -1.5]
+        let out = run_on_input::<f64, _>(&LuDecomposition::new(2), &[4.0, 3.0, 6.0, 3.0]);
+        assert_eq!(out, vec![4.0, 3.0, 1.5, -1.5]);
+    }
+
+    #[test]
+    fn lu_product_reconstructs_input() {
+        for n in [2usize, 3, 5, 8] {
+            for seed in 0..3 {
+                let a = diagonally_dominant(n, seed);
+                let packed = run_on_input::<f64, _>(&LuDecomposition::new(n), &a);
+                let back = multiply_lu(&packed, n);
+                assert!(close(&back, &a, 1e-9), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn solves_linear_systems() {
+        let n = 6;
+        let a = diagonally_dominant(n, 9);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let b: Vec<f64> =
+            (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x_true[j]).sum()).collect();
+        let packed = run_on_input::<f64, _>(&LuDecomposition::new(n), &a);
+        let x = solve(&packed, &b, n);
+        assert!(close(&x, &x_true, 1e-9));
+    }
+
+    #[test]
+    fn trace_is_cubic() {
+        // Per k: 1 pivot read + (n-k-1) * (2) col ops + (n-k-1)^2 * 4.
+        let n = 5usize;
+        let expected: usize =
+            (0..n).map(|k| 1 + (n - k - 1) * 2 + (n - k - 1) * (1 + (n - k - 1) * 3)).sum();
+        assert_eq!(time_steps::<f64, _>(&LuDecomposition::new(n)), expected);
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let n = 4;
+        let prog = LuDecomposition::new(n);
+        let inputs: Vec<Vec<f64>> = (0..5).map(|s| diagonally_dominant(n, s + 100)).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+}

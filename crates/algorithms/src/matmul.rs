@@ -1,0 +1,175 @@
+//! Oblivious dense matrix multiplication `C = A · B`.
+//!
+//! The paper's introduction names "matrix computation" as a canonical
+//! oblivious task: the classic triple loop touches `A[i,k]`, `B[k,j]`,
+//! `C[i,j]` on a schedule fixed by `n` alone.
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// `n × n` matrix product.
+///
+/// Memory: `A` at `0..n²`, `B` at `n²..2n²`, `C` at `2n²..3n²`, all
+/// row-major.  Input is `A` followed by `B`; output is `C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatMul {
+    /// Matrix dimension `n`.
+    pub n: usize,
+}
+
+impl MatMul {
+    /// New `n × n` program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self { n }
+    }
+
+    fn a_at(&self, i: usize, k: usize) -> usize {
+        i * self.n + k
+    }
+    fn b_at(&self, k: usize, j: usize) -> usize {
+        self.n * self.n + k * self.n + j
+    }
+    fn c_at(&self, i: usize, j: usize) -> usize {
+        2 * self.n * self.n + i * self.n + j
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for MatMul {
+    fn name(&self) -> String {
+        format!("matmul(n={})", self.n)
+    }
+
+    fn memory_words(&self) -> usize {
+        3 * self.n * self.n
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..2 * self.n * self.n
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        2 * self.n * self.n..3 * self.n * self.n
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = m.zero();
+                for k in 0..n {
+                    let a = m.read(self.a_at(i, k));
+                    let b = m.read(self.b_at(k, j));
+                    let prod = m.mul(a, b);
+                    m.free(a);
+                    m.free(b);
+                    let acc2 = m.add(acc, prod);
+                    m.free(prod);
+                    m.free(acc);
+                    acc = acc2;
+                }
+                m.write(self.c_at(i, j), acc);
+                m.free(acc);
+            }
+        }
+    }
+}
+
+/// Plain-Rust reference product of two row-major `n × n` matrices.
+#[must_use]
+pub fn reference<W: Word>(a: &[W], b: &[W], n: usize) -> Vec<W> {
+    use oblivious::BinOp;
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let mut c = vec![W::ZERO; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = W::ZERO;
+            for k in 0..n {
+                let prod = W::apply_bin(BinOp::Mul, a[i * n + k], b[k * n + j]);
+                acc = W::apply_bin(BinOp::Add, acc, prod);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps, trace_of};
+    use oblivious::Layout;
+
+    #[test]
+    fn two_by_two_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let input = [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let out = run_on_input(&MatMul::new(2), &input);
+        assert_eq!(out, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let n = 4;
+        let a: Vec<f64> = (0..n * n).map(|x| x as f64).collect();
+        let mut id = vec![0.0f64; n * n];
+        for i in 0..n {
+            id[i * n + i] = 1.0;
+        }
+        let mut input = a.clone();
+        input.extend_from_slice(&id);
+        let out = run_on_input(&MatMul::new(n), &input);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn matches_reference() {
+        let n = 5;
+        let a: Vec<f64> = (0..n * n).map(|x| ((x * 7 + 3) % 11) as f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|x| ((x * 5 + 1) % 13) as f64).collect();
+        let mut input = a.clone();
+        input.extend_from_slice(&b);
+        let out = run_on_input(&MatMul::new(n), &input);
+        assert_eq!(out, reference(&a, &b, n));
+    }
+
+    #[test]
+    fn integer_words_wrap() {
+        let n = 2;
+        let a = [u32::MAX, 0, 0, 1];
+        let b = [2u32, 0, 0, 3];
+        let mut input = a.to_vec();
+        input.extend_from_slice(&b);
+        let out = run_on_input(&MatMul::new(n), &input);
+        assert_eq!(out[0], u32::MAX.wrapping_mul(2));
+        assert_eq!(out[3], 3);
+    }
+
+    #[test]
+    fn trace_is_cubic_and_data_free() {
+        let n = 3usize;
+        let t = trace_of::<f32, _>(&MatMul::new(n));
+        // Per (i, j): 2n reads + 1 write.
+        assert_eq!(t.len(), n * n * (2 * n + 1));
+        assert_eq!(time_steps::<f32, _>(&MatMul::new(4)), 4 * 4 * 9);
+    }
+
+    #[test]
+    fn bulk_equals_sequential() {
+        let n = 3;
+        let inputs: Vec<Vec<f32>> = (0..5)
+            .map(|s| (0..2 * n * n).map(|x| ((x + s * 13) % 7) as f32).collect())
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let prog = MatMul::new(n);
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+}

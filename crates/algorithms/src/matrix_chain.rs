@@ -1,0 +1,173 @@
+//! Oblivious matrix-chain multiplication order DP.
+//!
+//! The textbook sibling of Algorithm OPT: the paper's Section IV notes the
+//! OPT recurrence is solved "by the dynamic programming technique"
+//! referencing the same sources (CLRS) that present matrix-chain ordering.
+//! The DP shape is identical (interval DP over diagonals) but the cost
+//! term is the product `d[i-1]·d[k]·d[j]` of three dimension words instead
+//! of one chord weight — three extra index-scheduled reads per `k`.
+
+use oblivious::{CmpOp, ObliviousMachine, ObliviousProgram, Word};
+
+/// Minimum scalar-multiplication count for a chain of `count` matrices,
+/// where matrix `i` has dimensions `d[i-1] × d[i]`.
+///
+/// Memory: dimensions `d[0..=count]` at `0..count+1`, DP table
+/// `(count+1)²` row-major after that (1-based `i, j`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixChain {
+    /// Number of matrices in the chain.
+    pub count: usize,
+}
+
+impl MatrixChain {
+    /// New program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    #[must_use]
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "chain must be non-empty");
+        Self { count }
+    }
+
+    fn m_at(&self, i: usize, j: usize) -> usize {
+        (self.count + 1) + i * (self.count + 1) + j
+    }
+
+    /// Index of the answer `m[1][count]` within `output_range()`.
+    #[must_use]
+    pub fn answer_offset(&self) -> usize {
+        (self.count + 1) + self.count
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for MatrixChain {
+    fn name(&self) -> String {
+        format!("matrix-chain(k={})", self.count)
+    }
+
+    fn memory_words(&self) -> usize {
+        (self.count + 1) + (self.count + 1) * (self.count + 1)
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.count + 1
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.count + 1..(self.count + 1) + (self.count + 1) * (self.count + 1)
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.count;
+        let zero = m.zero();
+        for i in 1..=n {
+            m.write(self.m_at(i, i), zero);
+        }
+        for len in 2..=n {
+            for i in 1..=(n - len + 1) {
+                let j = i + len - 1;
+                let mut s = m.pos_inf();
+                for k in i..j {
+                    let left = m.read(self.m_at(i, k));
+                    let right = m.read(self.m_at(k + 1, j));
+                    let di = m.read(i - 1);
+                    let dk = m.read(k);
+                    let dj = m.read(j);
+                    let dd = m.mul(di, dk);
+                    let cost = m.mul(dd, dj);
+                    let sum0 = m.add(left, right);
+                    let r = m.add(sum0, cost);
+                    let s2 = m.select(CmpOp::Lt, r, s, r, s);
+                    for v in [left, right, di, dk, dj, dd, cost, sum0, r, s] {
+                        m.free(v);
+                    }
+                    s = s2;
+                }
+                m.write(self.m_at(i, j), s);
+                m.free(s);
+            }
+        }
+    }
+}
+
+/// Plain-Rust reference DP.
+#[must_use]
+pub fn reference(dims: &[u64]) -> u64 {
+    let n = dims.len() - 1;
+    let mut dp = vec![vec![0u64; n + 1]; n + 1];
+    for len in 2..=n {
+        for i in 1..=(n - len + 1) {
+            let j = i + len - 1;
+            dp[i][j] = (i..j)
+                .map(|k| dp[i][k] + dp[k + 1][j] + dims[i - 1] * dims[k] * dims[j])
+                .min()
+                .expect("non-empty k range");
+        }
+    }
+    dp[1][n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    fn chain_cost(dims: &[u64]) -> u64 {
+        let prog = MatrixChain::new(dims.len() - 1);
+        let input: Vec<f64> = dims.iter().map(|&d| d as f64).collect();
+        let out = run_on_input::<f64, _>(&prog, &input);
+        out[prog.answer_offset()] as u64
+    }
+
+    #[test]
+    fn clrs_example() {
+        // CLRS 15.2: dims 30,35,15,5,10,20,25 — optimum 15125.
+        assert_eq!(chain_cost(&[30, 35, 15, 5, 10, 20, 25]), 15125);
+    }
+
+    #[test]
+    fn two_matrices_multiply_once() {
+        assert_eq!(chain_cost(&[10, 20, 30]), 10 * 20 * 30);
+    }
+
+    #[test]
+    fn single_matrix_is_free() {
+        assert_eq!(chain_cost(&[5, 7]), 0);
+    }
+
+    #[test]
+    fn matches_reference_pseudorandomly() {
+        for seed in 0..5u64 {
+            let dims: Vec<u64> =
+                (0..7).map(|i| 1 + (i as u64 * 13 + seed * 7) % 30).collect();
+            assert_eq!(chain_cost(&dims), reference(&dims), "dims={dims:?}");
+        }
+    }
+
+    #[test]
+    fn trace_is_cubic_like_opt() {
+        // Per (i,j,k): 5 reads; per (i,j): 1 write; plus n diagonal writes.
+        let n = 6usize;
+        let expected: usize = (2..=n)
+            .map(|len| (n - len + 1) * ((len - 1) * 5 + 1))
+            .sum::<usize>()
+            + n;
+        assert_eq!(time_steps::<f64, _>(&MatrixChain::new(n)), expected);
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let prog = MatrixChain::new(5);
+        let inputs: Vec<Vec<f64>> =
+            (0..6).map(|s| (0..6).map(|i| 1.0 + ((i + s * 3) % 9) as f64).collect()).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+}

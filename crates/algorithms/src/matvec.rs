@@ -1,0 +1,124 @@
+//! Oblivious matrix–vector product `y = A·x`.
+//!
+//! The memory-bound counterpart of [`crate::matmul`]: one multiply-add per
+//! word read, so bulk layout effects dominate compute — a good stress of
+//! the coalescing claim on a low-arithmetic-intensity kernel.
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// `y = A·x` for a row-major `n × n` matrix.
+///
+/// Memory: `A` at `0..n²`, `x` at `n²..n²+n`, `y` at `n²+n..n²+2n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatVec {
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl MatVec {
+    /// New program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self { n }
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for MatVec {
+    fn name(&self) -> String {
+        format!("matvec(n={})", self.n)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.n * self.n + 2 * self.n
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n * self.n + self.n
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.n * self.n + self.n..self.n * self.n + 2 * self.n
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.n;
+        for i in 0..n {
+            let mut acc = m.zero();
+            for j in 0..n {
+                let a = m.read(i * n + j);
+                let x = m.read(n * n + j);
+                let prod = m.mul(a, x);
+                m.free(a);
+                m.free(x);
+                let acc2 = m.add(acc, prod);
+                m.free(prod);
+                m.free(acc);
+                acc = acc2;
+            }
+            m.write(n * n + n + i, acc);
+            m.free(acc);
+        }
+    }
+}
+
+/// Plain-Rust reference product.
+#[must_use]
+pub fn reference(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(x.len(), n);
+    (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    #[test]
+    fn identity_times_vector() {
+        let n = 3;
+        let mut input = vec![0.0f64; n * n];
+        for i in 0..n {
+            input[i * n + i] = 1.0;
+        }
+        input.extend_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(run_on_input(&MatVec::new(n), &input), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn matches_reference() {
+        let n = 5;
+        let a: Vec<f64> = (0..n * n).map(|v| ((v * 3 + 1) % 7) as f64).collect();
+        let x: Vec<f64> = (0..n).map(|v| (v + 1) as f64).collect();
+        let mut input = a.clone();
+        input.extend_from_slice(&x);
+        assert_eq!(run_on_input(&MatVec::new(n), &input), reference(&a, &x, n));
+    }
+
+    #[test]
+    fn trace_is_quadratic() {
+        let n = 4usize;
+        // Per row: 2n reads + 1 write.
+        assert_eq!(time_steps::<f32, _>(&MatVec::new(n)), n * (2 * n + 1));
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let n = 3;
+        let prog = MatVec::new(n);
+        let inputs: Vec<Vec<f32>> = (0..8)
+            .map(|s| (0..n * n + n).map(|i| ((i + s * 2) % 5) as f32 - 2.0).collect())
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Counter-examples: raw algorithms that are **not** oblivious.
+//!
+//! These cannot be written against [`oblivious::ObliviousMachine`] — their
+//! addresses depend on data, which the opaque-value interface makes
+//! inexpressible.  They exist as raw trace functions so the falsifying
+//! checker (`oblivious::checker`) has something real to reject, and so the
+//! documentation can show *why* the paper restricts itself to oblivious
+//! algorithms.
+
+use umm_core::ThreadTrace;
+
+/// Record the address trace of a binary search for `target` in `sorted`.
+///
+/// The probe sequence follows the comparisons — a textbook data-dependent
+/// access pattern.
+#[must_use]
+pub fn binary_search_trace(sorted: &[f64], target: f64) -> ThreadTrace {
+    let mut t = ThreadTrace::new();
+    let (mut lo, mut hi) = (0usize, sorted.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        t.read(mid);
+        if sorted[mid] < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    t
+}
+
+/// Record the address trace of a Lomuto partition step (the heart of
+/// quicksort): each element is read, and *conditionally* swapped — the
+/// writes' addresses depend on how many elements were below the pivot so
+/// far.
+#[must_use]
+pub fn partition_trace(data: &[f64]) -> ThreadTrace {
+    let mut t = ThreadTrace::new();
+    if data.is_empty() {
+        return t;
+    }
+    let mut v = data.to_vec();
+    let pivot = v[v.len() - 1];
+    t.read(v.len() - 1);
+    let mut store = 0usize;
+    for i in 0..v.len() - 1 {
+        t.read(i);
+        if v[i] < pivot {
+            // swap v[i] <-> v[store]
+            t.read(store);
+            t.write(store);
+            t.write(i);
+            v.swap(i, store);
+            store += 1;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::check_oblivious;
+
+    #[test]
+    fn binary_search_is_rejected_by_the_checker() {
+        let sorted: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        // Different targets walk different probe paths.
+        let targets = vec![3.0, 40.0, 63.0, -1.0];
+        let result = check_oblivious(|t| binary_search_trace(&sorted, *t), &targets);
+        let violation = result.expect_err("binary search must not be oblivious");
+        assert!(violation.step >= 1, "the first probe (the middle) is shared");
+    }
+
+    #[test]
+    fn binary_search_first_probe_is_common() {
+        // Step 0 always probes the middle — divergence appears later.
+        let sorted: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let a = binary_search_trace(&sorted, 0.0);
+        let b = binary_search_trace(&sorted, 15.0);
+        assert_eq!(a.steps()[0], b.steps()[0]);
+        assert_ne!(a.steps()[1], b.steps()[1]);
+    }
+
+    #[test]
+    fn partition_is_rejected_by_the_checker() {
+        let inputs = vec![
+            vec![1.0, 9.0, 2.0, 8.0, 5.0],
+            vec![9.0, 1.0, 8.0, 2.0, 5.0],
+        ];
+        let result = check_oblivious(|d| partition_trace(d), &inputs);
+        assert!(result.is_err(), "partition's swap writes are data-dependent");
+    }
+
+    #[test]
+    fn partition_on_identical_inputs_is_consistent() {
+        // Sanity: the checker does not produce false positives.
+        let inputs = vec![vec![3.0, 1.0, 2.0], vec![3.0, 1.0, 2.0]];
+        assert!(check_oblivious(|d| partition_trace(d), &inputs).is_ok());
+    }
+}

@@ -1,0 +1,195 @@
+//! Batcher's odd-even merge sort — a second, differently-wired sorting
+//! network.
+//!
+//! Same asymptotics as the bitonic network (`O(n log² n)` comparators,
+//! fixed wiring, hence oblivious) but a different access pattern, which
+//! makes it a useful second data point for layout experiments: its strides
+//! are powers of two like bitonic's, but its comparator density per stage
+//! differs.
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// In-place Batcher odd-even merge sort of `n = 2^log2n` words, ascending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OddEvenMergeSort {
+    /// log2 of the array length.
+    pub log2n: u32,
+}
+
+impl OddEvenMergeSort {
+    /// New network over `2^log2n` elements.
+    #[must_use]
+    pub fn new(log2n: u32) -> Self {
+        Self { log2n }
+    }
+
+    /// Array length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1usize << self.log2n
+    }
+
+    /// Whether the network is trivial.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.log2n == 0
+    }
+
+    /// The comparator schedule `(lo, hi)` in execution order (always
+    /// ascending comparators — Batcher's network sorts one direction).
+    #[must_use]
+    pub fn schedule(&self) -> Vec<(usize, usize)> {
+        let n = self.len();
+        let mut out = Vec::new();
+        // Iterative Batcher odd-even merge sort (Knuth TAOCP 5.2.2M).
+        let mut p = 1usize;
+        while p < n {
+            let mut k = p;
+            while k >= 1 {
+                for j in (k % p..n.saturating_sub(k)).step_by(2 * k) {
+                    for i in 0..k.min(n - j - k) {
+                        if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                            out.push((i + j, i + j + k));
+                        }
+                    }
+                }
+                k /= 2;
+            }
+            p *= 2;
+        }
+        out
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for OddEvenMergeSort {
+    fn name(&self) -> String {
+        format!("oe-mergesort(n={})", self.len())
+    }
+
+    fn memory_words(&self) -> usize {
+        self.len()
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.len()
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..self.len()
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        for (lo, hi) in self.schedule() {
+            let a = m.read(lo);
+            let b = m.read(hi);
+            let mn = m.min(a, b);
+            let mx = m.max(a, b);
+            m.free(a);
+            m.free(b);
+            m.write(lo, mn);
+            m.write(hi, mx);
+            m.free(mn);
+            m.free(mx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input};
+    use oblivious::Layout;
+
+    fn sorted_copy(x: &[f64]) -> Vec<f64> {
+        let mut v = x.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn sorts_known_permutation() {
+        let x = [7.0f64, 3.0, 1.0, 8.0, 2.0, 6.0, 5.0, 4.0];
+        assert_eq!(run_on_input(&OddEvenMergeSort::new(3), &x), sorted_copy(&x));
+    }
+
+    #[test]
+    fn exhaustive_zero_one_principle_n8() {
+        // The 0-1 principle: a comparator network sorts all inputs iff it
+        // sorts all 0/1 inputs.  n = 8 has only 256 of them — test all.
+        let prog = OddEvenMergeSort::new(3);
+        for mask in 0u32..256 {
+            let x: Vec<f64> = (0..8).map(|b| f64::from((mask >> b) & 1)).collect();
+            let out = run_on_input(&prog, &x);
+            assert_eq!(out, sorted_copy(&x), "mask={mask:08b}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_zero_one_principle_n16_sampled() {
+        let prog = OddEvenMergeSort::new(4);
+        // All 0/1 vectors with a stride-based sample plus the extremes.
+        for step in 0..2048u32 {
+            let mask = step.wrapping_mul(0x9E37) & 0xFFFF;
+            let x: Vec<f64> = (0..16).map(|b| f64::from((mask >> b) & 1)).collect();
+            let out = run_on_input(&prog, &x);
+            assert_eq!(out, sorted_copy(&x), "mask={mask:016b}");
+        }
+    }
+
+    #[test]
+    fn sorts_all_sizes_pseudorandomly() {
+        for log2n in 0..=6u32 {
+            let n = 1usize << log2n;
+            for seed in 0..3u64 {
+                let x: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let h = (i as u64).wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(seed);
+                        ((h >> 33) % 997) as f64 - 498.0
+                    })
+                    .collect();
+                assert_eq!(
+                    run_on_input(&OddEvenMergeSort::new(log2n), &x),
+                    sorted_copy(&x),
+                    "n={n} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_count_matches_batcher_formula() {
+        // Batcher's network has p(p-1)/4 * n/... — rather than the closed
+        // form, check against the known counts: n=4 -> 5, n=8 -> 19,
+        // n=16 -> 63 (Knuth 5.2.2).
+        assert_eq!(OddEvenMergeSort::new(2).schedule().len(), 5);
+        assert_eq!(OddEvenMergeSort::new(3).schedule().len(), 19);
+        assert_eq!(OddEvenMergeSort::new(4).schedule().len(), 63);
+    }
+
+    #[test]
+    fn different_wiring_than_bitonic() {
+        use crate::bitonic::BitonicSort;
+        let oe = OddEvenMergeSort::new(4).schedule();
+        let bi: Vec<(usize, usize)> =
+            BitonicSort::new(4).schedule().iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_ne!(oe, bi, "the two networks are genuinely different");
+        assert!(oe.len() < bi.len(), "Batcher uses fewer comparators");
+    }
+
+    #[test]
+    fn bulk_sorts_every_instance() {
+        let prog = OddEvenMergeSort::new(3);
+        let inputs: Vec<Vec<f32>> = (0..7)
+            .map(|s| (0..8).map(|i| (((i * 41 + s * 13) % 29) as f32) - 14.0).collect())
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for layout in Layout::all() {
+            let outs = bulk_execute(&prog, &refs, layout);
+            for (inp, out) in inputs.iter().zip(&outs) {
+                let mut want = inp.clone();
+                want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert_eq!(out, &want, "{layout}");
+            }
+        }
+    }
+}

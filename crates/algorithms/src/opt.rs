@@ -1,0 +1,486 @@
+//! Algorithm OPT: optimal polygon triangulation by dynamic programming
+//! (paper, Section IV).
+//!
+//! A convex `n`-gon with chord weights `c[i][j]` is triangulated by `n - 3`
+//! non-crossing chords of minimum total weight.  The paper's oblivious DP:
+//!
+//! ```text
+//! for i ← 1 to n-1:            M[i,i] ← 0
+//! for i ← n-2 downto 1:
+//!   for j ← i+1 to n-1:
+//!     s ← +∞
+//!     for k ← i to j-1:
+//!       r ← M[i,k] + M[k+1,j]
+//!       if r < s then s ← r else s ← s     // oblivious: both branches cost alike
+//!     M[i,j] ← s + c[i-1,j]
+//! ```
+//!
+//! `M[i,j]` is the optimal weight of the sub-polygon `v_{i-1} … v_j`
+//! *including* its base chord `c[i-1,j]`, so the recurrence needs no inner
+//! chord terms; edges (including the root edge `v_0 v_{n-1}`) must have
+//! weight 0 for `M[1,n-1]` to be the triangulation weight.  The `s ← s` of
+//! the paper becomes [`ObliviousMachine::select`] — the machine-level
+//! oblivious conditional.
+//!
+//! The chords themselves are recovered from an optional argmin table by a
+//! host-side walk (`recover_chords`), "a few extra bookkeeping steps" in the
+//! paper's words.
+
+use oblivious::{CmpOp, ObliviousMachine, ObliviousProgram, Word};
+
+/// The OPT dynamic program over a convex `n`-gon.
+///
+/// Per-instance memory:
+///
+/// | region | addresses            | contents                          |
+/// |--------|----------------------|-----------------------------------|
+/// | `c`    | `0 .. n²`            | chord weights, row-major (input)  |
+/// | `M`    | `n² .. 2n²`          | DP table                          |
+/// | `K`    | `2n² .. 3n²`         | argmin table (iff `record_argmin`)|
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptTriangulation {
+    /// Number of polygon vertices `n` (≥ 3).
+    pub n: usize,
+    /// Record the minimising `k` of every cell so chords can be recovered.
+    pub record_argmin: bool,
+}
+
+impl OptTriangulation {
+    /// Weight-only program (the paper's experimental configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "a polygon needs at least 3 vertices");
+        Self { n, record_argmin: false }
+    }
+
+    /// Program that additionally records argmin choices for chord recovery.
+    #[must_use]
+    pub fn with_argmin(n: usize) -> Self {
+        let mut p = Self::new(n);
+        p.record_argmin = true;
+        p
+    }
+
+    /// Address of weight `c[i][j]`.
+    #[inline]
+    #[must_use]
+    pub fn c_at(&self, i: usize, j: usize) -> usize {
+        i * self.n + j
+    }
+
+    /// Address of DP cell `M[i][j]`.
+    #[inline]
+    #[must_use]
+    pub fn m_at(&self, i: usize, j: usize) -> usize {
+        self.n * self.n + i * self.n + j
+    }
+
+    /// Address of argmin cell `K[i][j]`.
+    #[inline]
+    #[must_use]
+    pub fn k_at(&self, i: usize, j: usize) -> usize {
+        2 * self.n * self.n + i * self.n + j
+    }
+
+    /// Absolute address of the answer `M[1][n-1]`.
+    #[must_use]
+    pub fn answer_address(&self) -> usize {
+        self.m_at(1, self.n - 1)
+    }
+
+    /// Index of the answer within `output_range()`.
+    #[must_use]
+    pub fn answer_offset(&self) -> usize {
+        self.answer_address() - self.n * self.n
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for OptTriangulation {
+    fn name(&self) -> String {
+        format!("opt-triangulation(n={}{})", self.n, if self.record_argmin { ",argmin" } else { "" })
+    }
+
+    fn memory_words(&self) -> usize {
+        let nn = self.n * self.n;
+        if self.record_argmin {
+            3 * nn
+        } else {
+            2 * nn
+        }
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n * self.n
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        let nn = self.n * self.n;
+        if self.record_argmin {
+            nn..3 * nn
+        } else {
+            nn..2 * nn
+        }
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.n;
+        // Diagonal initialisation: M[i,i] ← 0 for 1 ≤ i ≤ n-1.
+        let zero = m.zero();
+        for i in 1..n {
+            m.write(self.m_at(i, i), zero);
+        }
+        // Main DP, outer diagonals exactly as in the paper.
+        for i in (1..=n - 2).rev() {
+            for j in (i + 1)..n {
+                let mut s = m.pos_inf();
+                let mut bestk = if self.record_argmin {
+                    Some(m.constant(W::from_f64(i as f64)))
+                } else {
+                    None
+                };
+                for k in i..j {
+                    let m1 = m.read(self.m_at(i, k));
+                    let m2 = m.read(self.m_at(k + 1, j));
+                    let r = m.add(m1, m2);
+                    m.free(m1);
+                    m.free(m2);
+                    if let Some(bk) = bestk {
+                        let kc = m.constant(W::from_f64(k as f64));
+                        let bk2 = m.select(CmpOp::Lt, r, s, kc, bk);
+                        m.free(bk);
+                        bestk = Some(bk2);
+                    }
+                    // if r < s then s ← r else s ← s
+                    let s2 = m.select(CmpOp::Lt, r, s, r, s);
+                    m.free(r);
+                    m.free(s);
+                    s = s2;
+                }
+                let cj = m.read(self.c_at(i - 1, j));
+                let total = m.add(s, cj);
+                m.free(cj);
+                m.free(s);
+                m.write(self.m_at(i, j), total);
+                m.free(total);
+                if let Some(bk) = bestk {
+                    m.write(self.k_at(i, j), bk);
+                    m.free(bk);
+                }
+            }
+        }
+    }
+}
+
+/// A chord-weight matrix for a convex `n`-gon.
+///
+/// Weights are symmetric; polygon edges — adjacent vertex pairs and the pair
+/// `(0, n-1)` — have weight 0 by construction, matching the convention that
+/// only true chords carry cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChordWeights {
+    n: usize,
+    w: Vec<f64>,
+}
+
+impl ChordWeights {
+    /// Build from a weight function over vertex pairs `i < j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        assert!(n >= 3);
+        let mut w = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let is_edge = j - i == 1 || (i == 0 && j == n - 1);
+                let v = if is_edge { 0.0 } else { f(i, j) };
+                w[i * n + j] = v;
+                w[j * n + i] = v;
+            }
+        }
+        Self { n, w }
+    }
+
+    /// Number of polygon vertices.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Weight of the (unordered) pair `{i, j}`.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.w[i * self.n + j]
+    }
+
+    /// The row-major `n × n` matrix, as program input words.
+    #[must_use]
+    pub fn as_words<W: Word>(&self) -> Vec<W> {
+        self.w.iter().map(|&x| W::from_f64(x)).collect()
+    }
+}
+
+/// Plain-Rust reference DP.  Returns the optimal weight and (for `n ≥ 4`)
+/// the chords of one optimal triangulation.
+#[must_use]
+pub fn reference(c: &ChordWeights) -> (f64, Vec<(usize, usize)>) {
+    let n = c.n();
+    let mut m = vec![vec![0.0f64; n]; n];
+    let mut kk = vec![vec![0usize; n]; n];
+    for i in (1..=n.saturating_sub(2)).rev() {
+        for j in (i + 1)..n {
+            let mut s = f64::INFINITY;
+            let mut best = i;
+            for k in i..j {
+                let r = m[i][k] + m[k + 1][j];
+                if r < s {
+                    s = r;
+                    best = k;
+                }
+            }
+            m[i][j] = s + c.get(i - 1, j);
+            kk[i][j] = best;
+        }
+    }
+    let mut chords = Vec::new();
+    if n >= 4 {
+        collect_chords(&kk, 1, n - 1, n, &mut chords);
+    }
+    (m[1][n - 1], chords)
+}
+
+fn collect_chords(kk: &[Vec<usize>], i: usize, j: usize, n: usize, out: &mut Vec<(usize, usize)>) {
+    if j <= i {
+        return;
+    }
+    let k = kk[i][j];
+    // The base chords of the two subproblems are real chords when they are
+    // not polygon edges.
+    if k > i && !is_edge(i - 1, k, n) {
+        out.push((i - 1, k));
+    }
+    if j >= k + 2 && !is_edge(k, j, n) {
+        out.push((k, j));
+    }
+    collect_chords(kk, i, k, n, out);
+    collect_chords(kk, k + 1, j, n, out);
+}
+
+fn is_edge(a: usize, b: usize, n: usize) -> bool {
+    let (a, b) = if a < b { (a, b) } else { (b, a) };
+    b - a == 1 || (a == 0 && b == n - 1)
+}
+
+/// Recover the chords of an optimal triangulation from the extracted output
+/// of an [`OptTriangulation::with_argmin`] run.
+///
+/// `output` is the program's `output_range()` slice (`M` then `K`).
+#[must_use]
+pub fn recover_chords<W: Word>(prog: &OptTriangulation, output: &[W]) -> Vec<(usize, usize)> {
+    assert!(prog.record_argmin, "argmin table was not recorded");
+    let n = prog.n;
+    let nn = n * n;
+    assert_eq!(output.len(), 2 * nn, "output must be M and K tables");
+    let k_of = |i: usize, j: usize| output[nn + i * n + j].to_f64() as usize;
+    let mut kk = vec![vec![0usize; n]; n];
+    for (i, row) in kk.iter_mut().enumerate().skip(1) {
+        for (j, cell) in row.iter_mut().enumerate().skip(i + 1) {
+            *cell = k_of(i, j);
+        }
+    }
+    let mut chords = Vec::new();
+    if n >= 4 {
+        collect_chords(&kk, 1, n - 1, n, &mut chords);
+    }
+    chords
+}
+
+/// Exhaustive minimum over all triangulations (Catalan many) — the oracle
+/// for small polygons.
+#[must_use]
+pub fn brute_force(c: &ChordWeights) -> f64 {
+    let n = c.n();
+    fn rec(c: &ChordWeights, i: usize, j: usize) -> f64 {
+        // Optimal triangulation of sub-polygon v_{i-1} .. v_j including its
+        // base chord weight (mirrors the DP's invariant).
+        if j <= i {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for k in i..j {
+            let v = rec(c, i, k) + rec(c, k + 1, j);
+            if v < best {
+                best = v;
+            }
+        }
+        best + c.get(i - 1, j)
+    }
+    rec(c, 1, n - 1)
+}
+
+/// Number of triangulations of a convex `n`-gon: the Catalan number
+/// `C(n-2) = (2n-4)! / ((n-1)! (n-2)!)`.
+#[must_use]
+pub fn triangulation_count(n: usize) -> u128 {
+    assert!(n >= 3);
+    catalan((n - 2) as u32)
+}
+
+fn catalan(k: u32) -> u128 {
+    // C(k) = binom(2k, k) / (k + 1), computed exactly in u128.
+    let mut num = 1u128;
+    let mut den = 1u128;
+    for i in 1..=u128::from(k) {
+        num *= u128::from(k) + i;
+        den *= i;
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+    }
+    num / den / (u128::from(k) + 1)
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::{theorems, Layout};
+
+    fn pseudo_weights(n: usize, seed: u64) -> ChordWeights {
+        // Deterministic integer-valued weights (exact in f32 and f64).
+        ChordWeights::from_fn(n, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add((j as u64).wrapping_mul(40503))
+                .wrapping_add(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            ((h >> 7) % 1000) as f64
+        })
+    }
+
+    fn machine_answer(c: &ChordWeights) -> f64 {
+        let prog = OptTriangulation::new(c.n());
+        let out = run_on_input::<f64, _>(&prog, &c.as_words::<f64>());
+        out[prog.answer_offset()]
+    }
+
+    #[test]
+    fn triangle_needs_no_chords() {
+        let c = pseudo_weights(3, 1);
+        assert_eq!(machine_answer(&c), 0.0, "a triangle has zero chord weight");
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_polygons() {
+        for n in 4..=9 {
+            for seed in 0..3 {
+                let c = pseudo_weights(n, seed);
+                let bf = brute_force(&c);
+                let (dp, _) = reference(&c);
+                let mach = machine_answer(&c);
+                assert_eq!(dp, bf, "reference DP vs brute force, n={n} seed={seed}");
+                assert_eq!(mach, bf, "machine vs brute force, n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_8gon_has_5_chords_6_triangles() {
+        // Figure 3: a convex 8-gon is split into 6 triangles by 5 chords.
+        let c = pseudo_weights(8, 42);
+        let (_, chords) = reference(&c);
+        assert_eq!(chords.len(), 8 - 3);
+    }
+
+    #[test]
+    fn chords_are_noncrossing_and_weight_consistent() {
+        for n in 4..=10 {
+            let c = pseudo_weights(n, 7);
+            let (w, chords) = reference(&c);
+            assert_eq!(chords.len(), n - 3);
+            // Total weight of chosen chords equals the DP value.
+            let sum: f64 = chords.iter().map(|&(a, b)| c.get(a, b)).sum();
+            assert_eq!(sum, w, "chord weights must sum to the optimum, n={n}");
+            // Pairwise non-crossing: chords (a,b), (x,y) cross iff a<x<b<y.
+            for (idx, &(a, b)) in chords.iter().enumerate() {
+                assert!(!is_edge(a, b, n), "({a},{b}) is an edge, not a chord");
+                for &(x, y) in &chords[idx + 1..] {
+                    let crossing = (a < x && x < b && b < y) || (x < a && a < y && y < b);
+                    assert!(!crossing, "chords ({a},{b}) and ({x},{y}) cross, n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_argmin_recovery_matches_reference() {
+        let n = 8;
+        let prog = OptTriangulation::with_argmin(n);
+        let weights: Vec<ChordWeights> = (0..6).map(|s| pseudo_weights(n, s)).collect();
+        let inputs: Vec<Vec<f64>> = weights.iter().map(|c| c.as_words()).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for layout in Layout::all() {
+            let outs = bulk_execute(&prog, &refs, layout);
+            for (c, out) in weights.iter().zip(&outs) {
+                let (want_w, want_chords) = reference(c);
+                assert_eq!(out[prog.answer_offset()], want_w, "{layout}");
+                let chords = recover_chords(&prog, out);
+                assert_eq!(chords.len(), n - 3);
+                let sum: f64 = chords.iter().map(|&(a, b)| c.get(a, b)).sum();
+                assert_eq!(sum, want_w, "{layout}");
+                // Same optimum as the reference chords (sets may differ on ties).
+                let ref_sum: f64 = want_chords.iter().map(|&(a, b)| c.get(a, b)).sum();
+                assert_eq!(sum, ref_sum);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_length_matches_theorems_opt_steps() {
+        for n in [3usize, 4, 6, 10, 16] {
+            let t = time_steps::<f64, _>(&OptTriangulation::new(n)) as u64;
+            assert_eq!(t, theorems::opt_steps(n as u64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn f32_matches_f64_on_integer_weights() {
+        let c = pseudo_weights(10, 3);
+        let prog = OptTriangulation::new(10);
+        let out32 = run_on_input::<f32, _>(&prog, &c.as_words::<f32>());
+        let out64 = run_on_input::<f64, _>(&prog, &c.as_words::<f64>());
+        assert_eq!(
+            out32[prog.answer_offset()] as f64,
+            out64[prog.answer_offset()],
+            "integer weights are exact in f32"
+        );
+    }
+
+    #[test]
+    fn catalan_counts() {
+        // C(1)=1, C(2)=2, C(3)=5, C(4)=14, C(10)=16796.
+        assert_eq!(triangulation_count(3), 1);
+        assert_eq!(triangulation_count(4), 2);
+        assert_eq!(triangulation_count(5), 5);
+        assert_eq!(triangulation_count(6), 14);
+        assert_eq!(triangulation_count(12), 16796);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn degenerate_polygon_rejected() {
+        let _ = OptTriangulation::new(2);
+    }
+}

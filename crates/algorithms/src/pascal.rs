@@ -1,0 +1,171 @@
+//! Oblivious binomial-coefficient table (Pascal's triangle DP).
+//!
+//! The smallest dynamic program there is: `C(i, j) = C(i-1, j-1) +
+//! C(i-1, j)` over a fixed triangular schedule.  Useful as a
+//! integer-exactness canary (binomials overflow f32 fast, so the tests
+//! exercise the `u64` word path) and as a minimal DP for the model tables.
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// Fill rows `0..=rows` of Pascal's triangle into a packed
+/// `(rows+1) × (rows+1)` lower-triangular table (row-major square for
+/// simplicity; upper entries stay zero).
+///
+/// No input: the program is a pure generator (its `input_range` is empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PascalTriangle {
+    /// Largest row index `n` (table holds `C(0..=n, ·)`).
+    pub rows: usize,
+}
+
+impl PascalTriangle {
+    /// New program.
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        Self { rows }
+    }
+
+    fn at(&self, i: usize, j: usize) -> usize {
+        i * (self.rows + 1) + j
+    }
+
+    /// Offset of `C(i, j)` within `output_range()`.
+    #[must_use]
+    pub fn offset(&self, i: usize, j: usize) -> usize {
+        self.at(i, j)
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for PascalTriangle {
+    fn name(&self) -> String {
+        format!("pascal(rows={})", self.rows)
+    }
+
+    fn memory_words(&self) -> usize {
+        (self.rows + 1) * (self.rows + 1)
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..0
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..(self.rows + 1) * (self.rows + 1)
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let one = m.constant(W::ONE);
+        let zero = m.zero();
+        // Zero the table obliviously (scratch may be uninitialised).
+        for i in 0..=self.rows {
+            for j in 0..=self.rows {
+                m.write(self.at(i, j), zero);
+            }
+        }
+        m.write(self.at(0, 0), one);
+        for i in 1..=self.rows {
+            m.write(self.at(i, 0), one);
+            for j in 1..=i {
+                let a = m.read(self.at(i - 1, j - 1));
+                let b = m.read(self.at(i - 1, j));
+                let s = m.add(a, b);
+                m.free(a);
+                m.free(b);
+                m.write(self.at(i, j), s);
+                m.free(s);
+            }
+        }
+    }
+}
+
+/// Exact reference binomial via u128 multiplicative formula.
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1u128;
+    let mut den = 1u128;
+    for i in 1..=u128::from(k) {
+        num *= u128::from(n) - i + 1;
+        den *= i;
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+    }
+    num / den
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input};
+    use oblivious::Layout;
+
+    fn table(rows: usize) -> Vec<u64> {
+        run_on_input::<u64, _>(&PascalTriangle::new(rows), &[])
+    }
+
+    #[test]
+    fn small_rows_match_hand_values() {
+        let p = PascalTriangle::new(4);
+        let t = table(4);
+        assert_eq!(t[p.offset(4, 0)], 1);
+        assert_eq!(t[p.offset(4, 1)], 4);
+        assert_eq!(t[p.offset(4, 2)], 6);
+        assert_eq!(t[p.offset(4, 3)], 4);
+        assert_eq!(t[p.offset(4, 4)], 1);
+    }
+
+    #[test]
+    fn matches_multiplicative_formula_exactly() {
+        let rows = 30usize;
+        let p = PascalTriangle::new(rows);
+        let t = table(rows);
+        for i in 0..=rows {
+            for j in 0..=i {
+                assert_eq!(
+                    u128::from(t[p.offset(i, j)]),
+                    binomial(i as u64, j as u64),
+                    "C({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_powers_of_two() {
+        let rows = 20usize;
+        let p = PascalTriangle::new(rows);
+        let t = table(rows);
+        for i in 0..=rows {
+            let sum: u64 = (0..=i).map(|j| t[p.offset(i, j)]).sum();
+            assert_eq!(sum, 1u64 << i, "row {i}");
+        }
+    }
+
+    #[test]
+    fn zero_rows_is_just_one() {
+        assert_eq!(table(0), vec![1]);
+    }
+
+    #[test]
+    fn bulk_generator_with_no_input() {
+        let prog = PascalTriangle::new(5);
+        let empty: Vec<Vec<u64>> = vec![vec![]; 9];
+        let refs: Vec<&[u64]> = empty.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+        assert_eq!(cpu[3][prog.offset(5, 2)], 10);
+    }
+}

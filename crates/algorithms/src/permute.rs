@@ -1,0 +1,198 @@
+//! Offline permutation — the workload of the authors' companion papers.
+//!
+//! The paper's related-work section leans on "offline permutation
+//! algorithms on the DMM and the UMM": applying a permutation that is
+//! *known in advance* (part of the program, not the data).  Since the
+//! destination of every element is fixed offline, the access schedule is
+//! data-independent — oblivious by definition — even though an arbitrary
+//! permutation has the worst possible spatial locality.
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// Apply a fixed permutation: `dst[perm[i]] = src[i]`.
+///
+/// Memory: `src` at `0..n`, `dst` at `n..2n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OfflinePermute {
+    perm: Vec<usize>,
+}
+
+impl OfflinePermute {
+    /// Build from a permutation vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()` or empty.
+    #[must_use]
+    pub fn new(perm: Vec<usize>) -> Self {
+        assert!(!perm.is_empty(), "permutation must be non-empty");
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(p < n, "permutation entry {p} out of range 0..{n}");
+            assert!(!seen[p], "duplicate permutation entry {p}");
+            seen[p] = true;
+        }
+        Self { perm }
+    }
+
+    /// The identity permutation on `n` elements.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self::new((0..n).collect())
+    }
+
+    /// The reversal permutation on `n` elements.
+    #[must_use]
+    pub fn reversal(n: usize) -> Self {
+        Self::new((0..n).rev().collect())
+    }
+
+    /// The perfect-shuffle (riffle) permutation on `n = 2m` elements:
+    /// element `i` goes to `2i mod (n-1)` (last element fixed) — a classic
+    /// stress pattern for interleaved memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n` is odd.
+    #[must_use]
+    pub fn perfect_shuffle(n: usize) -> Self {
+        assert!(n >= 2 && n.is_multiple_of(2), "perfect shuffle needs even n >= 2");
+        let mut perm = vec![0usize; n];
+        for (i, p) in perm.iter_mut().enumerate().take(n - 1) {
+            *p = (2 * i) % (n - 1);
+        }
+        perm[n - 1] = n - 1;
+        Self::new(perm)
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True if the permutation is empty (never: constructor forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// The underlying mapping.
+    #[must_use]
+    pub fn mapping(&self) -> &[usize] {
+        &self.perm
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for OfflinePermute {
+    fn name(&self) -> String {
+        format!("offline-permute(n={})", self.perm.len())
+    }
+
+    fn memory_words(&self) -> usize {
+        2 * self.perm.len()
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.perm.len()
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.perm.len()..2 * self.perm.len()
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.perm.len();
+        for (i, &dst) in self.perm.iter().enumerate() {
+            let v = m.read(i);
+            m.write(n + dst, v);
+            m.free(v);
+        }
+    }
+}
+
+/// Plain-Rust reference permutation.
+#[must_use]
+pub fn reference<W: Copy>(src: &[W], perm: &[usize]) -> Vec<W> {
+    assert_eq!(src.len(), perm.len());
+    let mut dst = src.to_vec();
+    for (i, &p) in perm.iter().enumerate() {
+        dst[p] = src[i];
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    #[test]
+    fn identity_and_reversal() {
+        let x = [1.0f64, 2.0, 3.0, 4.0];
+        assert_eq!(run_on_input(&OfflinePermute::identity(4), &x), x.to_vec());
+        assert_eq!(run_on_input(&OfflinePermute::reversal(4), &x), vec![4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn perfect_shuffle_interleaves() {
+        // n = 8: i -> 2i mod 7: [0,2,4,6,1,3,5,7].
+        let p = OfflinePermute::perfect_shuffle(8);
+        let x: Vec<f64> = (0..8).map(f64::from).collect();
+        let out = run_on_input(&p, &x);
+        assert_eq!(out, reference(&x, p.mapping()));
+        // Element 1 lands at position 2.
+        assert_eq!(out[2], 1.0);
+    }
+
+    #[test]
+    fn arbitrary_permutation_matches_reference() {
+        let perm = vec![3usize, 0, 4, 1, 2];
+        let prog = OfflinePermute::new(perm.clone());
+        let x = [10.0f64, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(run_on_input(&prog, &x), reference(&x, &perm));
+    }
+
+    #[test]
+    fn trace_is_one_read_one_write_per_element() {
+        assert_eq!(time_steps::<f32, _>(&OfflinePermute::reversal(10)), 20);
+    }
+
+    #[test]
+    fn shuffle_is_its_own_inverse_three_times_for_n8() {
+        // The perfect shuffle of 8 cards has order 3.
+        let p = OfflinePermute::perfect_shuffle(8);
+        let x: Vec<f64> = (0..8).map(f64::from).collect();
+        let mut v = x.clone();
+        for _ in 0..3 {
+            v = run_on_input(&p, &v);
+        }
+        assert_eq!(v, x);
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let prog = OfflinePermute::perfect_shuffle(16);
+        let inputs: Vec<Vec<f32>> =
+            (0..9).map(|s| (0..16).map(|i| ((i * 7 + s * 3) % 13) as f32).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate permutation entry")]
+    fn non_permutation_rejected() {
+        let _ = OfflinePermute::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = OfflinePermute::new(vec![0, 5]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Oblivious polynomial multiplication (full convolution).
+//!
+//! The product of two degree-`(n-1)` polynomials is the convolution of
+//! their coefficient vectors — a doubly-nested index-scheduled loop, and
+//! the workload whose `O(n log n)` upgrade is the FFT path
+//! (`examples/signal_pipeline.rs` exercises the transform side; this is
+//! the direct side, cross-checked against it in tests).
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// `c = a * b` for two `n`-coefficient polynomials.
+///
+/// Memory: `a` at `0..n`, `b` at `n..2n`, `c` (length `2n-1`) after that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolyMul {
+    /// Coefficient count per operand.
+    pub n: usize,
+}
+
+impl PolyMul {
+    /// New program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "polynomials must be non-empty");
+        Self { n }
+    }
+
+    /// Length of the product (`2n - 1`).
+    #[must_use]
+    pub fn product_len(&self) -> usize {
+        2 * self.n - 1
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for PolyMul {
+    fn name(&self) -> String {
+        format!("poly-mul(n={})", self.n)
+    }
+
+    fn memory_words(&self) -> usize {
+        2 * self.n + self.product_len()
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..2 * self.n
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        2 * self.n..2 * self.n + self.product_len()
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.n;
+        for k in 0..self.product_len() {
+            let mut acc = m.zero();
+            // c[k] = sum over i of a[i] * b[k - i], with i in range.
+            let lo = k.saturating_sub(n - 1);
+            let hi = k.min(n - 1);
+            for i in lo..=hi {
+                let a = m.read(i);
+                let b = m.read(n + (k - i));
+                let prod = m.mul(a, b);
+                m.free(a);
+                m.free(b);
+                let acc2 = m.add(acc, prod);
+                m.free(prod);
+                m.free(acc);
+                acc = acc2;
+            }
+            m.write(2 * n + k, acc);
+            m.free(acc);
+        }
+    }
+}
+
+/// Plain-Rust reference convolution.
+#[must_use]
+pub fn reference(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut c = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            c[i + j] += x * y;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    fn mul(a: &[f64], b: &[f64]) -> Vec<f64> {
+        assert_eq!(a.len(), b.len());
+        let prog = PolyMul::new(a.len());
+        let mut input = a.to_vec();
+        input.extend_from_slice(b);
+        run_on_input::<f64, _>(&prog, &input)
+    }
+
+    #[test]
+    fn binomial_squared() {
+        // (1 + x)^2 = 1 + 2x + x^2.
+        assert_eq!(mul(&[1.0, 1.0], &[1.0, 1.0]), vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn multiply_by_constant() {
+        assert_eq!(mul(&[3.0], &[4.0]), vec![12.0]);
+    }
+
+    #[test]
+    fn matches_reference() {
+        let a = [1.0, -2.0, 0.5, 3.0];
+        let b = [2.0, 0.0, -1.0, 1.5];
+        assert_eq!(mul(&a, &b), reference(&a, &b));
+    }
+
+    #[test]
+    fn matches_fft_based_product() {
+        // Cross-algorithm check: zero-pad to 8 points, transform, multiply
+        // pointwise, inverse-transform — must equal the direct convolution.
+        use crate::fft::{dft_reference, pack, unpack};
+        use crate::Fft;
+        let a = [1.0f64, 2.0, 3.0, 4.0];
+        let b = [-1.0, 0.5, 2.0, 1.0];
+        let direct = mul(&a, &b);
+        let to_pts =
+            |v: &[f64]| -> Vec<(f64, f64)> { (0..8).map(|i| (*v.get(i).unwrap_or(&0.0), 0.0)).collect() };
+        let fa = run_on_input::<f64, _>(&Fft::new(3), &pack::<f64>(&to_pts(&a)));
+        let fb = run_on_input::<f64, _>(&Fft::new(3), &pack::<f64>(&to_pts(&b)));
+        let (pa, pb) = (unpack::<f64>(&fa), unpack::<f64>(&fb));
+        let pointwise: Vec<(f64, f64)> = pa
+            .iter()
+            .zip(&pb)
+            .map(|(&(ar, ai), &(br, bi))| (ar * br - ai * bi, ar * bi + ai * br))
+            .collect();
+        let back = dft_reference(&pointwise, true);
+        for (k, &d) in direct.iter().enumerate() {
+            assert!((back[k].0 - d).abs() < 1e-9, "coefficient {k}: {} vs {d}", back[k].0);
+        }
+    }
+
+    #[test]
+    fn trace_counts_the_triangle() {
+        // Total multiply-adds = n^2; each is 2 reads; plus 2n-1 writes.
+        let n = 5usize;
+        assert_eq!(time_steps::<f64, _>(&PolyMul::new(n)), n * n * 2 + (2 * n - 1));
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let prog = PolyMul::new(4);
+        let inputs: Vec<Vec<f32>> =
+            (0..7).map(|s| (0..8).map(|i| ((i + s) % 5) as f32 - 2.0).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+}

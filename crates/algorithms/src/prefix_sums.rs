@@ -1,0 +1,183 @@
+//! Algorithm Prefix-sums (paper, Section III).
+//!
+//! ```text
+//! r ← 0
+//! for i ← 0 to n-1 do
+//!     r ← r + b[i]
+//!     b[i] ← r
+//! ```
+//!
+//! The memory access function is `a(2i) = a(2i+1) = i`: one read and one
+//! write per element, independent of the data — the paper's canonical
+//! "quite simple" oblivious algorithm.
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// In-place prefix-sums over an `n`-word array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixSums {
+    /// Array length `n`.
+    pub n: usize,
+}
+
+impl PrefixSums {
+    /// New program for arrays of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "prefix-sums needs a non-empty array");
+        Self { n }
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for PrefixSums {
+    fn name(&self) -> String {
+        format!("prefix-sums(n={})", self.n)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.n
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..self.n
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let mut r = m.zero();
+        for i in 0..self.n {
+            let x = m.read(i);
+            let r2 = m.add(r, x);
+            m.free(x);
+            m.free(r);
+            m.write(i, r2);
+            r = r2;
+        }
+        m.free(r);
+    }
+}
+
+/// Plain-Rust reference implementation (for differential testing).
+#[must_use]
+pub fn reference<W: Word>(input: &[W]) -> Vec<W> {
+    let mut r = W::ZERO;
+    input
+        .iter()
+        .map(|&x| {
+            r = W::apply_bin(oblivious::BinOp::Add, r, x);
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps, trace_of};
+    use oblivious::{theorems, Layout, Model};
+    use umm_core::{MachineConfig, Op, ThreadAction};
+
+    #[test]
+    fn computes_prefix_sums() {
+        let out = run_on_input::<f64, _>(&PrefixSums::new(5), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(out, vec![1.0, 3.0, 6.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    fn matches_reference_on_negatives_and_zeros() {
+        let input = [0.5f64, -2.0, 0.0, 7.25, -0.25, 3.0];
+        let out = run_on_input(&PrefixSums::new(6), &input);
+        assert_eq!(out, reference(&input));
+    }
+
+    #[test]
+    fn works_on_integer_words() {
+        let input = [1u64, 10, 100];
+        let out = run_on_input(&PrefixSums::new(3), &input);
+        assert_eq!(out, vec![1, 11, 111]);
+    }
+
+    #[test]
+    fn trace_is_the_papers_address_function() {
+        // a(2i) = a(2i + 1) = i, read then write.
+        let t = trace_of::<f32, _>(&PrefixSums::new(4));
+        assert_eq!(t.len(), 8);
+        for i in 0..4 {
+            assert_eq!(t.steps()[2 * i], ThreadAction::Access(Op::Read, i));
+            assert_eq!(t.steps()[2 * i + 1], ThreadAction::Access(Op::Write, i));
+        }
+    }
+
+    #[test]
+    fn time_steps_is_2n() {
+        for n in [1usize, 2, 7, 32] {
+            assert_eq!(
+                time_steps::<f32, _>(&PrefixSums::new(n)) as u64,
+                theorems::prefix_sums_steps(n as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_equals_sequential_both_layouts() {
+        let inputs: Vec<Vec<f32>> =
+            (0..9).map(|j| (0..6).map(|i| (j * 6 + i) as f32).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let expected: Vec<Vec<f32>> = inputs.iter().map(|v| reference(v)).collect();
+        for layout in Layout::all() {
+            let out = bulk_execute(&PrefixSums::new(6), &refs, layout);
+            assert_eq!(out, expected, "{layout}");
+        }
+    }
+
+    #[test]
+    fn model_time_matches_lemma_1_exactly() {
+        // Lemma 1: row-wise O(np + nl), column-wise O(np/w + nl); the exact
+        // round-synchronous totals are (p + l - 1)·2n and (p/w + l - 1)·2n
+        // when p is a multiple of w and n >= w (aligned column bases).
+        let cfg = MachineConfig::new(4, 5);
+        let (n, p) = (8usize, 32usize);
+        let prog = PrefixSums::new(n);
+        let t = theorems::prefix_sums_steps(n as u64);
+        let row = oblivious::program::bulk_model_time::<f32, _>(
+            &prog, cfg, Model::Umm, Layout::RowWise, p,
+        );
+        assert_eq!(row, theorems::row_wise_time(t, p as u64, 5));
+        let col = oblivious::program::bulk_model_time::<f32, _>(
+            &prog, cfg, Model::Umm, Layout::ColumnWise, p,
+        );
+        assert_eq!(col, theorems::column_wise_time(t, p as u64, 4, 5));
+    }
+
+    #[test]
+    fn column_wise_meets_theorem_3_within_2x() {
+        let cfg = MachineConfig::new(32, 100);
+        let (n, p) = (32usize, 1024usize);
+        let prog = PrefixSums::new(n);
+        let t = theorems::prefix_sums_steps(n as u64);
+        let col = oblivious::program::bulk_model_time::<f32, _>(
+            &prog, cfg, Model::Umm, Layout::ColumnWise, p,
+        );
+        let ratio = theorems::optimality_ratio(col, t, p as u64, 32, 100);
+        assert!(ratio <= 2.0, "column-wise is time-optimal (Theorem 3), ratio {ratio}");
+    }
+
+    #[test]
+    fn single_element_array() {
+        let out = run_on_input::<f64, _>(&PrefixSums::new(1), &[42.0]);
+        assert_eq!(out, vec![42.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_length_rejected() {
+        let _ = PrefixSums::new(0);
+    }
+}

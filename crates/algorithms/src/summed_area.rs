@@ -1,0 +1,200 @@
+//! Oblivious summed-area table (2-D inclusive prefix sums).
+//!
+//! The two-dimensional generalisation of the paper's running example: two
+//! sweeps of the 1-D prefix-sums pattern, one along rows and one along
+//! columns.  Summed-area tables are the image-processing workhorse for
+//! box filters — a realistic bulk workload (one table per image tile).
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// In-place summed-area table over an `h × w` row-major image.
+///
+/// On exit, cell `(i, j)` holds `Σ_{i' ≤ i, j' ≤ j} input[i'][j']`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummedArea {
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+}
+
+impl SummedArea {
+    /// New program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    #[must_use]
+    pub fn new(h: usize, w: usize) -> Self {
+        assert!(h > 0 && w > 0, "image must be non-empty");
+        Self { h, w }
+    }
+
+    /// Query the sum over the inclusive rectangle `(i0, j0) ..= (i1, j1)`
+    /// from a computed table — the O(1) box-filter read (host-side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is out of bounds or inverted.
+    #[must_use]
+    pub fn box_sum<W: Word>(
+        &self,
+        table: &[W],
+        (i0, j0): (usize, usize),
+        (i1, j1): (usize, usize),
+    ) -> f64 {
+        assert!(i0 <= i1 && j0 <= j1 && i1 < self.h && j1 < self.w, "bad rectangle");
+        let at = |i: isize, j: isize| -> f64 {
+            if i < 0 || j < 0 {
+                0.0
+            } else {
+                table[i as usize * self.w + j as usize].to_f64()
+            }
+        };
+        at(i1 as isize, j1 as isize) - at(i0 as isize - 1, j1 as isize)
+            - at(i1 as isize, j0 as isize - 1)
+            + at(i0 as isize - 1, j0 as isize - 1)
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for SummedArea {
+    fn name(&self) -> String {
+        format!("summed-area({}x{})", self.h, self.w)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.h * self.w
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.h * self.w
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..self.h * self.w
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        // Row sweep: 1-D prefix sums along each row.
+        for i in 0..self.h {
+            let mut r = m.zero();
+            for j in 0..self.w {
+                let x = m.read(i * self.w + j);
+                let r2 = m.add(r, x);
+                m.free(x);
+                m.free(r);
+                m.write(i * self.w + j, r2);
+                r = r2;
+            }
+            m.free(r);
+        }
+        // Column sweep: 1-D prefix sums down each column.
+        for j in 0..self.w {
+            let mut r = m.zero();
+            for i in 0..self.h {
+                let x = m.read(i * self.w + j);
+                let r2 = m.add(r, x);
+                m.free(x);
+                m.free(r);
+                m.write(i * self.w + j, r2);
+                r = r2;
+            }
+            m.free(r);
+        }
+    }
+}
+
+/// Plain-Rust reference summed-area table.
+#[must_use]
+pub fn reference(img: &[f64], h: usize, w: usize) -> Vec<f64> {
+    assert_eq!(img.len(), h * w);
+    let mut t = img.to_vec();
+    for i in 0..h {
+        for j in 1..w {
+            t[i * w + j] += t[i * w + j - 1];
+        }
+    }
+    for j in 0..w {
+        for i in 1..h {
+            t[i * w + j] += t[(i - 1) * w + j];
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    #[test]
+    fn all_ones_gives_rectangle_areas() {
+        let prog = SummedArea::new(3, 4);
+        let out = run_on_input::<f64, _>(&prog, &[1.0; 12]);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(out[i * 4 + j], ((i + 1) * (j + 1)) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference() {
+        let (h, w) = (5, 7);
+        let img: Vec<f64> = (0..h * w).map(|x| ((x * 13 + 5) % 9) as f64 - 4.0).collect();
+        let out = run_on_input::<f64, _>(&SummedArea::new(h, w), &img);
+        assert_eq!(out, reference(&img, h, w));
+    }
+
+    #[test]
+    fn box_sum_recovers_regions() {
+        let (h, w) = (4, 4);
+        let img: Vec<f64> = (0..16).map(f64::from).collect();
+        let prog = SummedArea::new(h, w);
+        let table = run_on_input::<f64, _>(&prog, &img);
+        // Every rectangle equals the naive sum.
+        for i0 in 0..h {
+            for j0 in 0..w {
+                for i1 in i0..h {
+                    for j1 in j0..w {
+                        let mut naive = 0.0;
+                        for i in i0..=i1 {
+                            for j in j0..=j1 {
+                                naive += img[i * w + j];
+                            }
+                        }
+                        assert_eq!(prog.box_sum(&table, (i0, j0), (i1, j1)), naive);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_two_sweeps() {
+        let (h, w) = (3usize, 5usize);
+        // Each sweep: 1 read + 1 write per cell.
+        assert_eq!(time_steps::<f32, _>(&SummedArea::new(h, w)), 2 * 2 * h * w);
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let prog = SummedArea::new(4, 4);
+        let inputs: Vec<Vec<f32>> =
+            (0..9).map(|s| (0..16).map(|i| ((i + s * 5) % 7) as f32).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rectangle")]
+    fn inverted_rectangle_rejected() {
+        let prog = SummedArea::new(2, 2);
+        let table = run_on_input::<f64, _>(&prog, &[1.0; 4]);
+        let _ = prog.box_sum(&table, (1, 1), (0, 0));
+    }
+}

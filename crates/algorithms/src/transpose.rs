@@ -1,0 +1,122 @@
+//! Oblivious matrix transpose.
+//!
+//! Transpose is *the* canonical memory-layout workload: every access is
+//! index-scheduled, and the read and write strides cannot both be unit —
+//! which is why it is a classic GPU coalescing case study.  In-place for
+//! square matrices (swap schedule over the upper triangle).
+
+use oblivious::{ObliviousMachine, ObliviousProgram, Word};
+
+/// In-place transpose of an `n × n` row-major matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transpose {
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl Transpose {
+    /// New program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self { n }
+    }
+}
+
+impl<W: Word> ObliviousProgram<W> for Transpose {
+    fn name(&self) -> String {
+        format!("transpose(n={})", self.n)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.n * self.n
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n * self.n
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..self.n * self.n
+    }
+
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let n = self.n;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let a = m.read(i * n + j);
+                let b = m.read(j * n + i);
+                m.write(i * n + j, b);
+                m.write(j * n + i, a);
+                m.free(a);
+                m.free(b);
+            }
+        }
+    }
+}
+
+/// Plain-Rust reference transpose.
+#[must_use]
+pub fn reference<W: Copy>(a: &[W], n: usize) -> Vec<W> {
+    assert_eq!(a.len(), n * n);
+    let mut out = a.to_vec();
+    for i in 0..n {
+        for j in 0..n {
+            out[j * n + i] = a[i * n + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    #[test]
+    fn transposes_a_3x3() {
+        let a: Vec<f64> = (0..9).map(f64::from).collect();
+        let out = run_on_input(&Transpose::new(3), &a);
+        assert_eq!(out, reference(&a, 3));
+        assert_eq!(out[1], 3.0);
+        assert_eq!(out[3], 1.0);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let a: Vec<f64> = (0..25).map(|x| (x * x) as f64).collect();
+        let once = run_on_input(&Transpose::new(5), &a);
+        let twice = run_on_input(&Transpose::new(5), &once);
+        assert_eq!(twice, a);
+    }
+
+    #[test]
+    fn one_by_one_is_noop() {
+        assert_eq!(run_on_input::<f64, _>(&Transpose::new(1), &[7.0]), vec![7.0]);
+    }
+
+    #[test]
+    fn trace_is_upper_triangle_swaps() {
+        // n(n-1)/2 swaps, 4 accesses each.
+        let n = 6usize;
+        assert_eq!(time_steps::<f32, _>(&Transpose::new(n)), n * (n - 1) / 2 * 4);
+    }
+
+    #[test]
+    fn bulk_matches_sequential() {
+        let n = 4;
+        let inputs: Vec<Vec<f32>> =
+            (0..9).map(|s| (0..16).map(|i| ((i * 3 + s) % 11) as f32).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let prog = Transpose::new(n);
+        let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+        for layout in Layout::all() {
+            assert_eq!(bulk_execute(&prog, &refs, layout), cpu, "{layout}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! XTEA block cipher — the paper's "encryption/decryption" class.
+//!
+//! XTEA's Feistel rounds use only shifts, XORs and additions, and its key
+//! schedule indexes the key by `sum & 3` / `(sum >> 11) & 3` where `sum` is
+//! a round *constant* — so every memory access is statically scheduled and
+//! the cipher is oblivious.  Bulk execution over many blocks is exactly the
+//! ECB encryption of a long message, one instance per block.
+
+use oblivious::{ObliviousMachine, ObliviousProgram};
+
+const DELTA: u32 = 0x9E37_79B9;
+
+/// XTEA over `blocks` 64-bit blocks with a shared 128-bit key.
+///
+/// Memory: key (4 words) at `0..4`, then `2 * blocks` data words.  The key
+/// and data are input; the transformed data words are the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xtea {
+    /// Number of 64-bit blocks processed per instance.
+    pub blocks: usize,
+    /// Feistel cycles (the standard cipher uses 32).
+    pub rounds: u32,
+    /// Decrypt instead of encrypt.
+    pub decrypt: bool,
+}
+
+impl Xtea {
+    /// Standard 32-cycle encryption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks == 0` or `rounds == 0`.
+    #[must_use]
+    pub fn encrypt(blocks: usize) -> Self {
+        Self::with_rounds(blocks, 32, false)
+    }
+
+    /// Standard 32-cycle decryption.
+    #[must_use]
+    pub fn decrypt(blocks: usize) -> Self {
+        Self::with_rounds(blocks, 32, true)
+    }
+
+    /// Custom round count (reduced-round variants for tests/benches).
+    #[must_use]
+    pub fn with_rounds(blocks: usize, rounds: u32, decrypt: bool) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        assert!(rounds > 0, "need at least one round");
+        Self { blocks, rounds, decrypt }
+    }
+}
+
+impl ObliviousProgram<u32> for Xtea {
+    fn name(&self) -> String {
+        format!(
+            "xtea-{}(blocks={},rounds={})",
+            if self.decrypt { "dec" } else { "enc" },
+            self.blocks,
+            self.rounds
+        )
+    }
+
+    fn memory_words(&self) -> usize {
+        4 + 2 * self.blocks
+    }
+
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..4 + 2 * self.blocks
+    }
+
+    fn output_range(&self) -> core::ops::Range<usize> {
+        4..4 + 2 * self.blocks
+    }
+
+    fn run<M: ObliviousMachine<u32>>(&self, m: &mut M) {
+        use oblivious::UnOp;
+        // Hoist the four key words into registers: 4 reads total.
+        let key = [m.read(0), m.read(1), m.read(2), m.read(3)];
+
+        // One Feistel half-round: target += (((other << 4) ^ (other >> 5))
+        //                                    + other) ^ (sum + key[idx]).
+        // `sum` and `idx` are compile-time constants per round.
+        let mix = |m: &mut M, target: M::Value, other: M::Value, sum: u32, idx: usize| {
+            let s1 = m.unop(UnOp::Shl(4), other);
+            let s2 = m.unop(UnOp::Shr(5), other);
+            let x = m.xor(s1, s2);
+            m.free(s1);
+            m.free(s2);
+            let y = m.add(x, other);
+            m.free(x);
+            let sc = m.constant(sum);
+            let z = m.add(sc, key[idx]);
+            let t = m.xor(y, z);
+            m.free(y);
+            m.free(z);
+            let out = if self.decrypt { m.sub(target, t) } else { m.add(target, t) };
+            m.free(t);
+            m.free(target);
+            out
+        };
+
+        for b in 0..self.blocks {
+            let a0 = 4 + 2 * b;
+            let a1 = a0 + 1;
+            let mut v0 = m.read(a0);
+            let mut v1 = m.read(a1);
+            if self.decrypt {
+                let mut sum = DELTA.wrapping_mul(self.rounds);
+                for _ in 0..self.rounds {
+                    v1 = mix(m, v1, v0, sum, ((sum >> 11) & 3) as usize);
+                    sum = sum.wrapping_sub(DELTA);
+                    v0 = mix(m, v0, v1, sum, (sum & 3) as usize);
+                }
+            } else {
+                let mut sum = 0u32;
+                for _ in 0..self.rounds {
+                    v0 = mix(m, v0, v1, sum, (sum & 3) as usize);
+                    sum = sum.wrapping_add(DELTA);
+                    v1 = mix(m, v1, v0, sum, ((sum >> 11) & 3) as usize);
+                }
+            }
+            m.write(a0, v0);
+            m.write(a1, v1);
+            m.free(v0);
+            m.free(v1);
+        }
+        for k in key {
+            m.free(k);
+        }
+    }
+}
+
+/// Plain-Rust reference XTEA encipher of one block.
+#[must_use]
+pub fn encipher_reference(rounds: u32, v: [u32; 2], key: [u32; 4]) -> [u32; 2] {
+    let (mut v0, mut v1) = (v[0], v[1]);
+    let mut sum = 0u32;
+    for _ in 0..rounds {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+    }
+    [v0, v1]
+}
+
+/// Plain-Rust reference XTEA decipher of one block.
+#[must_use]
+pub fn decipher_reference(rounds: u32, v: [u32; 2], key: [u32; 4]) -> [u32; 2] {
+    let (mut v0, mut v1) = (v[0], v[1]);
+    let mut sum = DELTA.wrapping_mul(rounds);
+    for _ in 0..rounds {
+        v1 = v1.wrapping_sub(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+        sum = sum.wrapping_sub(DELTA);
+        v0 = v0.wrapping_sub(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+    }
+    [v0, v1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::program::{bulk_execute, run_on_input, time_steps};
+    use oblivious::Layout;
+
+    const KEY: [u32; 4] = [0x0001_0203, 0x0405_0607, 0x0809_0A0B, 0x0C0D_0E0F];
+
+    fn machine_encrypt(blocks: &[[u32; 2]], key: [u32; 4], rounds: u32, decrypt: bool) -> Vec<[u32; 2]> {
+        let prog = Xtea::with_rounds(blocks.len(), rounds, decrypt);
+        let mut input = key.to_vec();
+        for b in blocks {
+            input.extend_from_slice(b);
+        }
+        let out = run_on_input(&prog, &input);
+        out.chunks_exact(2).map(|c| [c[0], c[1]]).collect()
+    }
+
+    #[test]
+    fn reference_roundtrips() {
+        let v = [0x4142_4344, 0x4546_4748];
+        let c = encipher_reference(32, v, KEY);
+        assert_ne!(c, v);
+        assert_eq!(decipher_reference(32, c, KEY), v);
+    }
+
+    #[test]
+    fn machine_matches_reference_encrypt() {
+        let blocks = [[1u32, 2], [0xDEAD_BEEF, 0xCAFE_BABE], [0, 0]];
+        let got = machine_encrypt(&blocks, KEY, 32, false);
+        for (b, g) in blocks.iter().zip(&got) {
+            assert_eq!(*g, encipher_reference(32, *b, KEY));
+        }
+    }
+
+    #[test]
+    fn machine_matches_reference_decrypt() {
+        let blocks = [[7u32, 8], [9, 10]];
+        let enc: Vec<[u32; 2]> = blocks.iter().map(|&b| encipher_reference(32, b, KEY)).collect();
+        let got = machine_encrypt(&enc, KEY, 32, true);
+        assert_eq!(got, blocks.to_vec());
+    }
+
+    #[test]
+    fn machine_roundtrip_many_rounds() {
+        for rounds in [1u32, 2, 16, 32, 64] {
+            let blocks = [[0x0123_4567u32, 0x89AB_CDEF]];
+            let c = machine_encrypt(&blocks, KEY, rounds, false);
+            let p = machine_encrypt(&c, KEY, rounds, true);
+            assert_eq!(p, blocks.to_vec(), "rounds={rounds}");
+        }
+    }
+
+    #[test]
+    fn avalanche_single_bit_flip() {
+        let a = encipher_reference(32, [0, 0], KEY);
+        let b = encipher_reference(32, [1, 0], KEY);
+        let flipped = (a[0] ^ b[0]).count_ones() + (a[1] ^ b[1]).count_ones();
+        assert!(flipped >= 16, "one plaintext bit should flip many ciphertext bits, got {flipped}");
+    }
+
+    #[test]
+    fn key_reads_are_hoisted() {
+        // 4 key reads + 2 reads and 2 writes per block.
+        let prog = Xtea::encrypt(10);
+        assert_eq!(time_steps::<u32, _>(&prog), 4 + 10 * 4);
+    }
+
+    #[test]
+    fn bulk_ecb_encryption_matches_per_block() {
+        // Each bulk instance is an independent (key, message) pair.
+        let prog = Xtea::encrypt(2);
+        let instances: Vec<Vec<u32>> = (0..5u32)
+            .map(|s| {
+                let mut v = vec![s, s + 1, s + 2, s + 3]; // key
+                v.extend_from_slice(&[s * 17, s * 31, s * 7, s * 3]); // 2 blocks
+                v
+            })
+            .collect();
+        let refs: Vec<&[u32]> = instances.iter().map(|v| v.as_slice()).collect();
+        for layout in Layout::all() {
+            let outs = bulk_execute(&prog, &refs, layout);
+            for (inst, out) in instances.iter().zip(&outs) {
+                let key = [inst[0], inst[1], inst[2], inst[3]];
+                let want0 = encipher_reference(32, [inst[4], inst[5]], key);
+                let want1 = encipher_reference(32, [inst[6], inst[7]], key);
+                assert_eq!(&out[0..2], &want0, "{layout}");
+                assert_eq!(&out[2..4], &want1, "{layout}");
+            }
+        }
+    }
+}

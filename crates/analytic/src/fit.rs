@@ -1,0 +1,157 @@
+//! Least-squares fitting of the paper's latency + throughput model.
+//!
+//! Section V summarises each measured curve as a fixed overhead plus a
+//! per-input slope — e.g. row-wise prefix-sums for `n = 32` as
+//! "`37µs + (8.09 p) ns`".  [`fit_affine`] recovers exactly that `a + b·p`
+//! decomposition from a measured sweep.
+
+/// An affine model `time ≈ intercept + slope * p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineFit {
+    /// Fixed overhead in seconds (the paper's `O(l·t)` latency floor).
+    pub intercept: f64,
+    /// Per-input cost in seconds (the paper's `O(t/w)` throughput slope).
+    pub slope: f64,
+    /// Coefficient of determination on the fitted points.
+    pub r_squared: f64,
+}
+
+impl AffineFit {
+    /// Predicted time at `p`.
+    #[must_use]
+    pub fn predict(&self, p: f64) -> f64 {
+        self.intercept + self.slope * p
+    }
+
+    /// Paper-style summary, e.g. `"37.0µs + 8.09·p ns"`.
+    #[must_use]
+    pub fn paper_style(&self) -> String {
+        format!("{:.3}µs + {:.3}·p ns", self.intercept * 1e6, self.slope * 1e9)
+    }
+}
+
+/// The `p` at which two affine models cross (`a.predict(p) ==
+/// b.predict(p)`), if they cross at a positive `p`.
+///
+/// The paper's "column-wise is faster than the CPU when p ≥ …" claims are
+/// crossovers of this kind: a device series with a higher intercept
+/// (latency floor) but a lower slope overtakes the CPU past the returned
+/// point.
+#[must_use]
+pub fn crossover(a: &AffineFit, b: &AffineFit) -> Option<f64> {
+    let dslope = a.slope - b.slope;
+    if dslope.abs() < f64::EPSILON {
+        return None;
+    }
+    let p = (b.intercept - a.intercept) / dslope;
+    (p > 0.0).then_some(p)
+}
+
+/// Ordinary least squares on `(p, seconds)` samples.
+///
+/// # Panics
+///
+/// Panics with fewer than two samples or when all `p` coincide.
+#[must_use]
+pub fn fit_affine(samples: &[(f64, f64)]) -> AffineFit {
+    assert!(samples.len() >= 2, "need at least two samples to fit a line");
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|s| s.0).sum();
+    let sy: f64 = samples.iter().map(|s| s.1).sum();
+    let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+    let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > f64::EPSILON * sxx.max(1.0), "samples must span distinct p values");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+
+    let mean_y = sy / n;
+    let ss_tot: f64 = samples.iter().map(|s| (s.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 =
+        samples.iter().map(|s| (s.1 - (intercept + slope * s.0)).powi(2)).sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    AffineFit { intercept, slope, r_squared }
+}
+
+/// Fit only the asymptotic (large-`p`) tail: the paper reads the slope off
+/// the region where "the computing time is proportional to p"; including
+/// the latency-dominated small-`p` plateau would bias it.  Keeps the
+/// largest-`p` half of the samples (at least two).
+#[must_use]
+pub fn fit_affine_tail(samples: &[(f64, f64)]) -> AffineFit {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite p"));
+    let keep = (sorted.len() / 2).max(2).min(sorted.len());
+    fit_affine(&sorted[sorted.len() - keep..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let samples: Vec<(f64, f64)> =
+            (1..10).map(|p| (p as f64, 3.5e-5 + 8.09e-9 * p as f64)).collect();
+        let fit = fit_affine(&samples);
+        assert!((fit.intercept - 3.5e-5).abs() < 1e-12);
+        assert!((fit.slope - 8.09e-9).abs() < 1e-15);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn paper_style_formatting() {
+        let fit = AffineFit { intercept: 37e-6, slope: 8.09e-9, r_squared: 1.0 };
+        assert_eq!(fit.paper_style(), "37.000µs + 8.090·p ns");
+    }
+
+    #[test]
+    fn tail_fit_ignores_latency_plateau() {
+        // Flat at 40µs until p = 1024, then linear at 2 ns/p.
+        let samples: Vec<(f64, f64)> = (6..22)
+            .map(|e| {
+                let p = (1u64 << e) as f64;
+                (p, (40e-6f64).max(2e-9 * p))
+            })
+            .collect();
+        let tail = fit_affine_tail(&samples);
+        assert!(
+            (tail.slope - 2e-9).abs() < 2e-10,
+            "tail slope should be ~2 ns, got {}",
+            tail.slope * 1e9
+        );
+        let full = fit_affine(&samples);
+        assert!(full.r_squared <= tail.r_squared + 1e-12);
+    }
+
+    #[test]
+    fn crossover_finds_the_overtake_point() {
+        // Device: 40µs floor + 1 ns/p; CPU: 0 floor + 9 ns/p.
+        let dev = AffineFit { intercept: 40e-6, slope: 1e-9, r_squared: 1.0 };
+        let cpu = AffineFit { intercept: 0.0, slope: 9e-9, r_squared: 1.0 };
+        let p = crossover(&dev, &cpu).expect("they cross");
+        assert!((p - 5000.0).abs() < 1.0, "40µs / 8ns = 5000, got {p}");
+        // Parallel lines never cross; past-crossings return None.
+        assert!(crossover(&dev, &dev).is_none());
+        let slower = AffineFit { intercept: 80e-6, slope: 9e-9, r_squared: 1.0 };
+        assert!(crossover(&cpu, &slower).is_none(), "crossing at negative p");
+    }
+
+    #[test]
+    fn predict_is_affine() {
+        let fit = AffineFit { intercept: 1.0, slope: 2.0, r_squared: 1.0 };
+        assert_eq!(fit.predict(10.0), 21.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn one_sample_rejected() {
+        let _ = fit_affine(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct p")]
+    fn degenerate_x_rejected() {
+        let _ = fit_affine(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Closed-form UMM performance model and derived quantities.
+//!
+//! Thin wrappers over `oblivious::theorems`-style arithmetic, kept here so
+//! the bench harness can reason about sweeps (predicted series, crossover
+//! points, saturation thresholds) without dragging in program execution.
+
+use umm_core::MachineConfig;
+
+/// Predicted bulk execution time on the UMM, in time units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UmmPrediction {
+    /// Row-wise arrangement: `(p + l - 1) · t`.
+    pub row_wise: u64,
+    /// Column-wise arrangement: `(⌈p/w⌉ + l - 1) · t`.
+    pub column_wise: u64,
+    /// Theorem 3 lower bound: `max(⌈pt/w⌉, l·t)`.
+    pub lower_bound: u64,
+}
+
+/// Evaluate the model for an oblivious algorithm of `t` memory steps bulk
+/// executed on `p` inputs.
+#[must_use]
+pub fn predict(cfg: &MachineConfig, t: u64, p: u64) -> UmmPrediction {
+    let (w, l) = (cfg.width as u64, cfg.latency as u64);
+    UmmPrediction {
+        row_wise: (p + l - 1) * t,
+        column_wise: (p.div_ceil(w) + l - 1) * t,
+        lower_bound: ((p * t).div_ceil(w)).max(l * t),
+    }
+}
+
+/// The ratio `row/column` as `p → ∞` is `w`; at finite `p` it is smaller
+/// because the `l - 1` pipeline fill amortises both.  This returns the
+/// model ratio at a concrete `p`.
+#[must_use]
+pub fn layout_gap(cfg: &MachineConfig, t: u64, p: u64) -> f64 {
+    let pr = predict(cfg, t, p);
+    pr.row_wise as f64 / pr.column_wise as f64
+}
+
+/// Smallest `p` (scanning powers of two up to `max_p`) at which the
+/// column-wise time exceeds `factor ×` its latency floor `(l-1+1)·t` —
+/// i.e. where throughput starts to dominate latency, the knee visible in
+/// the paper's Figure 11 around `p ≈ 16K`.
+#[must_use]
+pub fn saturation_p(cfg: &MachineConfig, t: u64, factor: f64, max_p: u64) -> Option<u64> {
+    let l = cfg.latency as u64;
+    let floor = l * t; // (1 stage + l - 1) per round
+    let mut p = 1u64;
+    while p <= max_p {
+        if predict(cfg, t, p).column_wise as f64 >= factor * floor as f64 {
+            return Some(p);
+        }
+        p *= 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_matches_theorem_formulas() {
+        let cfg = MachineConfig::new(32, 100);
+        let pr = predict(&cfg, 64, 1024);
+        assert_eq!(pr.row_wise, (1024 + 99) * 64);
+        assert_eq!(pr.column_wise, (32 + 99) * 64);
+        assert_eq!(pr.lower_bound, 100 * 64);
+        assert!(pr.lower_bound <= pr.column_wise);
+    }
+
+    #[test]
+    fn gap_approaches_w() {
+        let cfg = MachineConfig::new(32, 4);
+        let small = layout_gap(&cfg, 100, 64);
+        let big = layout_gap(&cfg, 100, 1 << 22);
+        assert!(small < big, "gap grows with p");
+        assert!((big - 32.0).abs() < 0.5, "asymptote is w, got {big}");
+    }
+
+    #[test]
+    fn saturation_point_scales_with_latency() {
+        let t = 64;
+        let fast = MachineConfig::new(32, 8);
+        let slow = MachineConfig::new(32, 512);
+        let pf = saturation_p(&fast, t, 2.0, 1 << 30).unwrap();
+        let ps = saturation_p(&slow, t, 2.0, 1 << 30).unwrap();
+        assert!(ps > pf, "higher latency defers saturation: {ps} vs {pf}");
+    }
+
+    #[test]
+    fn saturation_none_when_out_of_range() {
+        let cfg = MachineConfig::new(32, 1 << 20);
+        assert_eq!(saturation_p(&cfg, 10, 100.0, 64), None);
+    }
+}

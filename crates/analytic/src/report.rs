@@ -1,0 +1,187 @@
+//! Fixed-width tables and CSV emission for the harness binaries.
+
+use crate::speedup::Series;
+
+/// Render a set of series sharing a `p` sweep as a fixed-width table,
+/// one row per `p`, one column per series.
+///
+/// Values are seconds rendered with engineering-style units.
+#[must_use]
+pub fn table(title: &str, series: &[&Series]) -> String {
+    table_fmt(title, series, format_value)
+}
+
+/// [`table`] with a custom cell formatter — use [`format_ratio`] for
+/// dimensionless series such as speedups.
+#[must_use]
+pub fn table_fmt(title: &str, series: &[&Series], fmt: impl Fn(f64) -> String) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    // Collect the union of p values.
+    let mut ps: Vec<u64> = series.iter().flat_map(|s| s.points.iter().map(|pt| pt.p)).collect();
+    ps.sort_unstable();
+    ps.dedup();
+    // Header.
+    out.push_str(&format!("{:>12}", "p"));
+    for s in series {
+        out.push_str(&format!("  {:>18}", s.label));
+    }
+    out.push('\n');
+    for p in ps {
+        out.push_str(&format!("{:>12}", format_p(p)));
+        for s in series {
+            match s.at(p) {
+                Some(v) => out.push_str(&format!("  {:>18}", fmt(v))),
+                None => out.push_str(&format!("  {:>18}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the same data as CSV (`p,label1,label2,…`), empty cells for
+/// missing points.
+#[must_use]
+pub fn csv(series: &[&Series]) -> String {
+    let mut out = String::from("p");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    let mut ps: Vec<u64> = series.iter().flat_map(|s| s.points.iter().map(|pt| pt.p)).collect();
+    ps.sort_unstable();
+    ps.dedup();
+    for p in ps {
+        out.push_str(&p.to_string());
+        for s in series {
+            out.push(',');
+            if let Some(v) = s.at(p) {
+                out.push_str(&format!("{v:.9}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `64, 128, …` with K/M suffixes, as the paper labels its x-axes.
+#[must_use]
+pub fn format_p(p: u64) -> String {
+    if p >= 1 << 20 && p.is_multiple_of(1 << 20) {
+        format!("{}M", p >> 20)
+    } else if p >= 1 << 10 && p.is_multiple_of(1 << 10) {
+        format!("{}K", p >> 10)
+    } else {
+        p.to_string()
+    }
+}
+
+/// Seconds with an auto-selected unit (ns/µs/ms/s), or a plain ratio for
+/// dimensionless values ≥ 1 (speedups).
+#[must_use]
+pub fn format_value(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.3}")
+    } else if v >= 1e-3 {
+        format!("{:.3}ms", v * 1e3)
+    } else if v >= 1e-6 {
+        format!("{:.3}µs", v * 1e6)
+    } else {
+        format!("{:.1}ns", v * 1e9)
+    }
+}
+
+/// Dimensionless ratio, e.g. `"2.31x"` — for speedup tables.
+#[must_use]
+pub fn format_ratio(v: f64) -> String {
+    format!("{v:.3}x")
+}
+
+/// Geometric series of bulk sizes `start, 2·start, …, ≤ end` — the paper's
+/// `p = 64, 128, …` sweeps.
+#[must_use]
+pub fn p_sweep(start: u64, end: u64) -> Vec<u64> {
+    assert!(start > 0 && start <= end, "invalid sweep bounds");
+    let mut v = Vec::new();
+    let mut p = start;
+    while p <= end {
+        v.push(p);
+        match p.checked_mul(2) {
+            Some(next) => p = next,
+            None => break,
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> (Series, Series) {
+        let mut a = Series::new("CPU");
+        let mut b = Series::new("GPU col");
+        for (i, p) in [64u64, 128, 256].iter().enumerate() {
+            a.push(*p, 1e-3 * (i + 1) as f64);
+            if *p != 128 {
+                b.push(*p, 1e-5 * (i + 1) as f64);
+            }
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn table_includes_all_points_and_dashes() {
+        let (a, b) = demo_series();
+        let t = table("Demo", &[&a, &b]);
+        assert!(t.contains("Demo"));
+        assert!(t.contains("CPU"));
+        assert!(t.contains("1.000ms"));
+        assert!(t.contains('-'), "missing point renders as dash");
+        assert_eq!(t.lines().count(), 1 + 1 + 3);
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let (a, b) = demo_series();
+        let c = csv(&[&a, &b]);
+        let mut lines = c.lines();
+        assert_eq!(lines.next(), Some("p,CPU,GPU col"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("64,"));
+        let midrow: Vec<&str> = c.lines().nth(2).unwrap().split(',').collect();
+        assert_eq!(midrow[0], "128");
+        assert_eq!(midrow[2], "", "missing cell is empty");
+    }
+
+    #[test]
+    fn p_formatting() {
+        assert_eq!(format_p(64), "64");
+        assert_eq!(format_p(8192), "8K");
+        assert_eq!(format_p(4 << 20), "4M");
+        assert_eq!(format_p(1000), "1000");
+    }
+
+    #[test]
+    fn value_formatting_units() {
+        assert_eq!(format_value(2.5), "2.500");
+        assert_eq!(format_value(2.5e-3), "2.500ms");
+        assert_eq!(format_value(37e-6), "37.000µs");
+        assert_eq!(format_value(8.09e-9), "8.1ns");
+    }
+
+    #[test]
+    fn sweep_doubles() {
+        assert_eq!(p_sweep(64, 512), vec![64, 128, 256, 512]);
+        assert_eq!(p_sweep(64, 600), vec![64, 128, 256, 512]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep")]
+    fn bad_sweep_rejected() {
+        let _ = p_sweep(0, 10);
+    }
+}

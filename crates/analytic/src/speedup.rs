@@ -1,0 +1,123 @@
+//! Speedup series — the paper's Figures 11(2) and 12(2).
+
+/// One point of a timing sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Bulk size `p`.
+    pub p: u64,
+    /// Measured seconds.
+    pub seconds: f64,
+}
+
+/// A named timing series over a `p` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (`"CPU"`, `"GPU row-wise"`, …).
+    pub label: String,
+    /// Points in increasing `p`.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Series {
+    /// New empty series.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, p: u64, seconds: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(p > last.p, "sweep points must be in increasing p");
+        }
+        self.points.push(SweepPoint { p, seconds });
+    }
+
+    /// Time at `p`, if measured.
+    #[must_use]
+    pub fn at(&self, p: u64) -> Option<f64> {
+        self.points.iter().find(|pt| pt.p == p).map(|pt| pt.seconds)
+    }
+
+    /// The `(p, seconds)` pairs as f64 tuples (for fitting).
+    #[must_use]
+    pub fn as_samples(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|pt| (pt.p as f64, pt.seconds)).collect()
+    }
+}
+
+/// Pointwise speedup `baseline / candidate` over the common `p` values.
+#[must_use]
+pub fn speedup(baseline: &Series, candidate: &Series) -> Series {
+    let mut out = Series::new(format!("{} / {}", baseline.label, candidate.label));
+    for pt in &baseline.points {
+        if let Some(c) = candidate.at(pt.p) {
+            out.push(pt.p, pt.seconds / c);
+        }
+    }
+    out
+}
+
+/// Largest speedup over the sweep, with the `p` where it occurs.
+#[must_use]
+pub fn peak(series: &Series) -> Option<(u64, f64)> {
+    series
+        .points
+        .iter()
+        .max_by(|a, b| a.seconds.partial_cmp(&b.seconds).expect("finite"))
+        .map(|pt| (pt.p, pt.seconds))
+}
+
+/// First `p` at which the series value reaches `threshold` (the paper's
+/// "more than 150 times faster when p ≥ 64K" claims).
+#[must_use]
+pub fn first_reaching(series: &Series, threshold: f64) -> Option<u64> {
+    series.points.iter().find(|pt| pt.seconds >= threshold).map(|pt| pt.p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(u64, f64)]) -> Series {
+        let mut s = Series::new(label);
+        for &(p, v) in pts {
+            s.push(p, v);
+        }
+        s
+    }
+
+    #[test]
+    fn speedup_divides_pointwise() {
+        let cpu = series("CPU", &[(64, 0.64), (128, 1.28), (256, 2.56)]);
+        let gpu = series("GPU", &[(64, 0.032), (128, 0.032), (256, 0.064)]);
+        let s = speedup(&cpu, &gpu);
+        assert_eq!(s.at(64), Some(20.0));
+        assert_eq!(s.at(128), Some(40.0));
+        assert_eq!(s.at(256), Some(40.0));
+    }
+
+    #[test]
+    fn speedup_skips_missing_points() {
+        let cpu = series("CPU", &[(64, 1.0), (128, 2.0)]);
+        let gpu = series("GPU", &[(64, 0.5)]);
+        let s = speedup(&cpu, &gpu);
+        assert_eq!(s.points.len(), 1);
+    }
+
+    #[test]
+    fn peak_and_threshold() {
+        let s = series("x", &[(64, 3.0), (128, 9.0), (256, 7.0)]);
+        assert_eq!(peak(&s), Some((128, 9.0)));
+        assert_eq!(first_reaching(&s, 5.0), Some(128));
+        assert_eq!(first_reaching(&s, 100.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing p")]
+    fn non_monotone_p_rejected() {
+        let mut s = Series::new("bad");
+        s.push(128, 1.0);
+        s.push(64, 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion bench for ablation A4: the generic conversion-system engine
+//! vs the hand-written kernel, and the per-algorithm cost of the generic
+//! engine across the algorithm library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::kernels::PrefixSumsKernel;
+use gpu_sim::{launch, Device, GenericKernel};
+use oblivious::layout::arrange;
+use oblivious::program::arrange_inputs;
+use oblivious::Layout;
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let device = Device::titan_like();
+    let mut group = c.benchmark_group("generic_vs_kernel");
+    group.sample_size(10);
+    let (n, p) = (256usize, 4usize << 10);
+    let flat = bench::random_words(p * n, 3);
+    let per: Vec<&[f32]> = flat.chunks_exact(n).collect();
+
+    let mut buf = arrange(&per, n, Layout::ColumnWise);
+    let kernel = PrefixSumsKernel::new(n, Layout::ColumnWise);
+    group.bench_function(BenchmarkId::new("kernel", "prefix_sums"), |b| {
+        b.iter(|| launch(&device, &kernel, &mut buf, p));
+    });
+
+    let mut buf = arrange(&per, n, Layout::ColumnWise);
+    let generic = GenericKernel::new(algorithms::PrefixSums::new(n), Layout::ColumnWise);
+    group.bench_function(BenchmarkId::new("generic", "prefix_sums"), |b| {
+        b.iter(|| launch(&device, &generic, &mut buf, p));
+    });
+
+    // Tape replay: control flow recorded once, replayed per launch.
+    let mut buf = arrange(&per, n, Layout::ColumnWise);
+    let mut tape = oblivious::Tape::record(&algorithms::PrefixSums::new(n));
+    tape.eliminate_dead_code();
+    let taped = GenericKernel::new(tape, Layout::ColumnWise);
+    group.bench_function(BenchmarkId::new("tape", "prefix_sums"), |b| {
+        b.iter(|| launch(&device, &taped, &mut buf, p));
+    });
+    group.finish();
+}
+
+fn bench_algorithm_library(c: &mut Criterion) {
+    let device = Device::titan_like();
+    let mut group = c.benchmark_group("generic_library");
+    group.sample_size(10);
+    let p = 1usize << 10;
+
+    // FFT over 64-point blocks.
+    {
+        let prog = algorithms::Fft::new(6);
+        let flat = bench::random_words(p * 128, 5);
+        let per: Vec<&[f32]> = flat.chunks_exact(128).collect();
+        let mut buf = arrange_inputs(&prog, &per, Layout::ColumnWise);
+        let k = GenericKernel::new(prog, Layout::ColumnWise);
+        group.bench_function("fft64", |b| b.iter(|| launch(&device, &k, &mut buf, p)));
+    }
+    // Bitonic sort of 64 elements.
+    {
+        let prog = algorithms::BitonicSort::new(6);
+        let flat = bench::random_words(p * 64, 6);
+        let per: Vec<&[f32]> = flat.chunks_exact(64).collect();
+        let mut buf = arrange_inputs(&prog, &per, Layout::ColumnWise);
+        let k = GenericKernel::new(prog, Layout::ColumnWise);
+        group.bench_function("bitonic64", |b| b.iter(|| launch(&device, &k, &mut buf, p)));
+    }
+    // XTEA over 8 blocks (u32 words).
+    {
+        let prog = algorithms::Xtea::encrypt(8);
+        let inputs: Vec<Vec<u32>> = (0..p as u32)
+            .map(|s| (0..20).map(|i| s.wrapping_mul(31).wrapping_add(i)).collect())
+            .collect();
+        let refs: Vec<&[u32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
+        let k = GenericKernel::new(prog, Layout::ColumnWise);
+        group.bench_function("xtea8", |b| b.iter(|| launch(&device, &k, &mut buf, p)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_overhead, bench_algorithm_library);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench of the model machinery itself: round-synchronous
+//! simulator stepping, the event-driven simulator, and the closed-form
+//! cost machine — the ablation of "cycle-accurate vs closed form"
+//! (DESIGN.md §5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oblivious::program::{bulk_model_time, bulk_round_trace};
+use oblivious::{Layout, Model};
+use umm_core::{simulate_async, MachineConfig, ThreadAction, UmmSimulator};
+
+fn bench_round_step(c: &mut Criterion) {
+    let cfg = MachineConfig::new(32, 100);
+    let p = 4096usize;
+    let mut group = c.benchmark_group("umm_sim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(p as u64));
+    let coalesced: Vec<_> = (0..p).map(ThreadAction::read).collect();
+    let scattered: Vec<_> = (0..p).map(|j| ThreadAction::read(j * 33)).collect();
+    group.bench_function("round_coalesced_p4096", |b| {
+        let mut sim = UmmSimulator::new(cfg, p);
+        b.iter(|| sim.step(&coalesced));
+    });
+    group.bench_function("round_scattered_p4096", |b| {
+        let mut sim = UmmSimulator::new(cfg, p);
+        b.iter(|| sim.step(&scattered));
+    });
+    group.finish();
+}
+
+fn bench_cost_vs_simulators(c: &mut Criterion) {
+    let cfg = MachineConfig::new(32, 100);
+    let p = 512usize;
+    let prog = algorithms::PrefixSums::new(64);
+    let mut group = c.benchmark_group("pricing");
+    group.sample_size(10);
+    group.bench_function("closed_form_cost_machine", |b| {
+        b.iter(|| bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::ColumnWise, p));
+    });
+    group.bench_function("materialised_sync_sim", |b| {
+        let trace = bulk_round_trace::<f32, _>(&prog, Layout::ColumnWise, p);
+        b.iter(|| {
+            let mut sim = UmmSimulator::new(cfg, p);
+            sim.run(&trace)
+        });
+    });
+    group.bench_function("event_driven_async_sim", |b| {
+        let trace = bulk_round_trace::<f32, _>(&prog, Layout::ColumnWise, p);
+        b.iter(|| simulate_async(&cfg, &trace));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_step, bench_cost_vs_simulators);
+criterion_main!(benches);

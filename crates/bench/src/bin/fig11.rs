@@ -1,0 +1,79 @@
+//! Figure 11: bulk execution of Algorithm Prefix-sums.
+//!
+//! Regenerates the paper's two panels for each array size `n`:
+//! (1) computing time of CPU / GPU row-wise / GPU column-wise over a
+//! doubling `p` sweep, and (2) the speedup of both device variants over the
+//! CPU; plus the paper-style `a + b·p` fitted constants.
+//!
+//! Defaults are laptop-scale; set `BULK_PAPER_SCALE=1` for the paper's caps
+//! (`p` up to 4M at `n = 32`, 256K at `n = 1K`, 8K at `n = 32K`) and
+//! `BULK_REPS` to change the timing repetitions.
+
+use analytic::p_sweep;
+use bench::{paper_scale, print_figure_block, random_words, reps, sweep_series, write_csv};
+use gpu_sim::kernels::PrefixSumsKernel;
+use gpu_sim::{cpu_ref, launch, timing, Device};
+use oblivious::layout::arrange;
+use oblivious::Layout;
+
+fn adaptive_reps(words: usize) -> usize {
+    if words > 8 << 20 {
+        1
+    } else {
+        reps()
+    }
+}
+
+/// Time one configuration (arrangement excluded, as for CUDA kernel time).
+fn measure(device: &Device, n: usize, p: usize, mode: Mode, seed: u64) -> f64 {
+    let flat = random_words(p * n, seed);
+    let per: Vec<&[f32]> = flat.chunks_exact(n).collect();
+    let layout = match mode {
+        Mode::Cpu | Mode::Row => Layout::RowWise,
+        Mode::Col => Layout::ColumnWise,
+    };
+    let mut buf = arrange(&per, n, layout);
+    let r = adaptive_reps(p * n);
+    let d = timing::median_time(r, || match mode {
+        Mode::Cpu => cpu_ref::prefix_sums_rowwise(&mut buf, p, n),
+        Mode::Row => launch(device, &PrefixSumsKernel::new(n, Layout::RowWise), &mut buf, p),
+        Mode::Col => launch(device, &PrefixSumsKernel::new(n, Layout::ColumnWise), &mut buf, p),
+    });
+    timing::secs(d)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Cpu,
+    Row,
+    Col,
+}
+
+fn main() {
+    let device = Device::titan_like();
+    println!(
+        "device: {} ({} workers, warp {}, block {})",
+        device.name, device.worker_threads, device.warp_size, device.block_size
+    );
+    // (n, laptop cap, paper cap) — the paper's memory-bound maxima.
+    let configs: [(usize, u64, u64); 3] =
+        [(32, 1 << 20, 4 << 20), (1024, 32 << 10, 256 << 10), (32 << 10, 1 << 10, 8 << 10)];
+    for (n, lap_cap, paper_cap) in configs {
+        let cap = if paper_scale() { paper_cap } else { lap_cap };
+        let ps = p_sweep(64, cap);
+        eprintln!("\n-- prefix-sums n = {n}, p up to {cap} --");
+        let cpu = sweep_series("CPU", &ps, |p| measure(&device, n, p as usize, Mode::Cpu, p));
+        let row =
+            sweep_series("GPU row-wise", &ps, |p| measure(&device, n, p as usize, Mode::Row, p));
+        let col =
+            sweep_series("GPU col-wise", &ps, |p| measure(&device, n, p as usize, Mode::Col, p));
+        print_figure_block(
+            &format!("Figure 11, n = {n}"),
+            &format!("Figure 11 (1): prefix-sums computing time, n = {n}"),
+            &cpu,
+            &row,
+            &col,
+        );
+        write_csv(&format!("fig11_n{n}.csv"), &analytic::csv(&[&cpu, &row, &col]));
+    }
+}

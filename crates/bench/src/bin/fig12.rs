@@ -1,0 +1,86 @@
+//! Figure 12: bulk execution of Algorithm OPT (optimal polygon
+//! triangulation).
+//!
+//! Regenerates the paper's two panels for 8-gons, 64-gons and 512-gons:
+//! (1) computing time of CPU / GPU row-wise / GPU column-wise over a `p`
+//! sweep, and (2) the speedup over the CPU; plus the fitted `a + b·p`
+//! constants (the paper reads `0.09ms + 50.8p ns` row-wise and
+//! `0.032ms + 2.11p ns` column-wise for 8-gons).
+//!
+//! Defaults are laptop-scale (an O(n³) DP on one core); set
+//! `BULK_PAPER_SCALE=1` for the paper's caps (4M / 64K / 1K).
+
+use analytic::p_sweep;
+use bench::{paper_scale, print_figure_block, random_polygons, reps, sweep_series, write_csv};
+use gpu_sim::kernels::OptKernel;
+use gpu_sim::{cpu_ref, launch, timing, Device};
+use oblivious::program::arrange_inputs;
+use oblivious::Layout;
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Cpu,
+    Row,
+    Col,
+}
+
+fn adaptive_reps(n: usize, p: usize) -> usize {
+    // ~n³/3 steps per instance; keep heavy points to a single rep.
+    let work = p.saturating_mul(n * n * n / 3);
+    if work > 32 << 20 {
+        1
+    } else {
+        reps()
+    }
+}
+
+fn measure(device: &Device, n: usize, p: usize, mode: Mode, seed: u64) -> f64 {
+    let inputs = random_polygons(n, p, seed);
+    let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+    let prog = algorithms::OptTriangulation::new(n);
+    let layout = match mode {
+        Mode::Cpu | Mode::Row => Layout::RowWise,
+        Mode::Col => Layout::ColumnWise,
+    };
+    let mut buf = arrange_inputs(&prog, &refs, layout);
+    let r = adaptive_reps(n, p);
+    let d = timing::median_time(r, || match mode {
+        Mode::Cpu => cpu_ref::opt_rowwise(&mut buf, p, n),
+        Mode::Row => launch(device, &OptKernel::new(n, Layout::RowWise), &mut buf, p),
+        Mode::Col => launch(device, &OptKernel::new(n, Layout::ColumnWise), &mut buf, p),
+    });
+    timing::secs(d)
+}
+
+fn main() {
+    let device = Device::titan_like();
+    println!(
+        "device: {} ({} workers, warp {}, block {})",
+        device.name, device.worker_threads, device.warp_size, device.block_size
+    );
+    // (n-gon, laptop start, laptop cap, paper cap).
+    let configs: [(usize, u64, u64, u64); 3] = [
+        (8, 64, 64 << 10, 4 << 20),
+        (64, 64, 1 << 10, 64 << 10),
+        (512, 4, 8, 1 << 10),
+    ];
+    for (n, lap_start, lap_cap, paper_cap) in configs {
+        let (start, cap) =
+            if paper_scale() { (64.min(paper_cap), paper_cap) } else { (lap_start, lap_cap) };
+        let ps = p_sweep(start, cap);
+        eprintln!("\n-- OPT {n}-gons, p in [{start}, {cap}] --");
+        let cpu = sweep_series("CPU", &ps, |p| measure(&device, n, p as usize, Mode::Cpu, p));
+        let row =
+            sweep_series("GPU row-wise", &ps, |p| measure(&device, n, p as usize, Mode::Row, p));
+        let col =
+            sweep_series("GPU col-wise", &ps, |p| measure(&device, n, p as usize, Mode::Col, p));
+        print_figure_block(
+            &format!("Figure 12, {n}-gons"),
+            &format!("Figure 12 (1): OPT computing time, {n}-gons"),
+            &cpu,
+            &row,
+            &col,
+        );
+        write_csv(&format!("fig12_n{n}.csv"), &analytic::csv(&[&cpu, &row, &col]));
+    }
+}

@@ -1,0 +1,174 @@
+//! # bench — harness plumbing shared by the figure/table regenerators
+//!
+//! The binaries in this crate regenerate the paper's evaluation artefacts
+//! (see DESIGN.md §4 for the experiment index):
+//!
+//! * `fig11` — bulk prefix-sums: computing time + speedup + fitted constants
+//! * `fig12` — bulk OPT: computing time + speedup + fitted constants
+//! * `model_tables` — Lemma 1 / Theorem 2 / Theorem 3 / Corollary 5 on the
+//!   exact UMM simulator
+//! * `ablation` — width/latency sweeps, DMM-vs-UMM, generic-vs-kernel
+//!
+//! This library holds the sweep driver and workload generators they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use analytic::Series;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paper-scale and laptop-scale sweep caps.
+///
+/// The paper ran `p` up to 4M (bounded by the Titan's 6 GB); the default
+/// caps here bound both memory and single-core wall-clock so a full harness
+/// run finishes in minutes.  Set `BULK_PAPER_SCALE=1` to use the paper's
+/// caps instead.
+#[must_use]
+pub fn paper_scale() -> bool {
+    std::env::var("BULK_PAPER_SCALE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Repetitions for median timing (`BULK_REPS`, default 3).
+#[must_use]
+pub fn reps() -> usize {
+    std::env::var("BULK_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Deterministic workload RNG.
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Random f32 words in `[-1, 1)` — the prefix-sums workload ("float
+/// (32-bit) numbers").
+#[must_use]
+pub fn random_words(len: usize, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..len).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Random chord-weight matrices for `p` convex `n`-gons, already flattened
+/// into per-instance input vectors (`n²` words each).
+#[must_use]
+pub fn random_polygons(n: usize, p: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut r = rng(seed);
+    (0..p)
+        .map(|_| {
+            algorithms::ChordWeights::from_fn(n, |_, _| f64::from(r.gen_range(1u32..1000)))
+                .as_words::<f32>()
+        })
+        .collect()
+}
+
+/// Run `measure(p)` over a doubling sweep and collect a [`Series`].
+pub fn sweep_series(label: &str, ps: &[u64], mut measure: impl FnMut(u64) -> f64) -> Series {
+    let mut s = Series::new(label);
+    for &p in ps {
+        let secs = measure(p);
+        s.push(p, secs);
+        eprintln!("  {label:>16}  p={p:>9}  {}", analytic::format_value(secs));
+    }
+    s
+}
+
+/// Print a figure block: the timing table, the speedup table, and the
+/// paper-style affine fits of each device series.
+pub fn print_figure_block(
+    figure: &str,
+    timing_title: &str,
+    cpu: &Series,
+    row: &Series,
+    col: &Series,
+) {
+    println!("\n=== {figure} ===");
+    println!("{}", analytic::table(timing_title, &[cpu, row, col]));
+    let su_row = analytic::speedup(cpu, row);
+    let su_col = analytic::speedup(cpu, col);
+    println!(
+        "{}",
+        analytic::table_fmt(
+            &format!("{figure} (2): speedup over CPU"),
+            &[&su_row, &su_col],
+            analytic::format_ratio,
+        )
+    );
+    for s in [row, col] {
+        if s.points.len() >= 2 {
+            let fit = analytic::fit_affine_tail(&s.as_samples());
+            println!(
+                "fit[{}]: {}  (tail R² = {:.4})",
+                s.label,
+                fit.paper_style(),
+                fit.r_squared
+            );
+        }
+    }
+    if let Some((p, s)) = analytic::peak(&su_col) {
+        println!("peak column-wise speedup: {s:.1}x at p = {}", analytic::format_p(p));
+    }
+    if cpu.points.len() >= 2 && col.points.len() >= 2 {
+        let f_cpu = analytic::fit_affine_tail(&cpu.as_samples());
+        let f_col = analytic::fit_affine_tail(&col.as_samples());
+        match analytic::crossover(&f_col, &f_cpu) {
+            Some(px) if f_col.slope < f_cpu.slope => println!(
+                "fitted crossover: column-wise overtakes the CPU for p >= ~{:.0}",
+                px
+            ),
+            _ => println!(
+                "fitted slopes: column-wise {:.2} ns/p vs CPU {:.2} ns/p",
+                f_col.slope * 1e9,
+                f_cpu.slope * 1e9
+            ),
+        }
+    }
+}
+
+/// Write a CSV artefact under `bench_results/`.
+pub fn write_csv(name: &str, content: &str) {
+    let dir = std::path::Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(name);
+        if std::fs::write(&path, content).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(random_words(16, 7), random_words(16, 7));
+        assert_ne!(random_words(16, 7), random_words(16, 8));
+        let a = random_polygons(5, 2, 3);
+        let b = random_polygons(5, 2, 3);
+        assert_eq!(a, b);
+        assert_eq!(a[0].len(), 25);
+    }
+
+    #[test]
+    fn polygon_weights_have_zero_edges() {
+        let p = random_polygons(6, 1, 1);
+        let n = 6;
+        for i in 0..n - 1 {
+            assert_eq!(p[0][i * n + i + 1], 0.0, "edge ({i},{})", i + 1);
+        }
+        assert_eq!(p[0][n - 1], 0.0, "root edge (0, n-1)");
+    }
+
+    #[test]
+    fn sweep_collects_in_order() {
+        let s = sweep_series("test", &[64, 128], |p| p as f64 * 1e-6);
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.at(128), Some(128e-6));
+    }
+
+    #[test]
+    fn reps_defaults_sanely() {
+        assert!(reps() >= 1);
+    }
+}

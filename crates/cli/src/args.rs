@@ -1,0 +1,225 @@
+//! Minimal dependency-free argument parsing for `bulkrun`.
+
+use oblivious::Layout;
+use umm_core::MachineConfig;
+
+/// A parsed `bulkrun` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `bulkrun list`
+    List,
+    /// `bulkrun trace <algo> [--size N] [--head K]`
+    Trace {
+        /// Algorithm name.
+        algo: String,
+        /// Size parameter.
+        size: Option<usize>,
+        /// How many steps to print.
+        head: usize,
+    },
+    /// `bulkrun model <algo> [--size N] [--p P] [--width W] [--latency L]`
+    Model {
+        /// Algorithm name.
+        algo: String,
+        /// Size parameter.
+        size: Option<usize>,
+        /// Bulk size.
+        p: usize,
+        /// Machine parameters.
+        cfg: MachineConfig,
+    },
+    /// `bulkrun run <algo> [--size N] [--p P] [--layout row|col]`
+    Run {
+        /// Algorithm name.
+        algo: String,
+        /// Size parameter.
+        size: Option<usize>,
+        /// Bulk size.
+        p: usize,
+        /// Arrangement.
+        layout: Layout,
+    },
+    /// `bulkrun hmm <algo> [--size N] [--p P] [--dmms D]`
+    Hmm {
+        /// Algorithm name.
+        algo: String,
+        /// Size parameter.
+        size: Option<usize>,
+        /// Bulk size.
+        p: usize,
+        /// Number of DMMs (streaming multiprocessors).
+        dmms: usize,
+    },
+    /// `bulkrun help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+bulkrun — bulk execution of oblivious algorithms (UMM reproduction)
+
+USAGE:
+  bulkrun list                                   catalog of algorithms
+  bulkrun trace <algo> [--size N] [--head K]     show the address function a(t)
+  bulkrun model <algo> [--size N] [--p P]        UMM/DMM model times
+                       [--width W] [--latency L]
+  bulkrun run   <algo> [--size N] [--p P]        bulk-execute random instances
+                       [--layout row|col]
+  bulkrun hmm   <algo> [--size N] [--p P]        shared-memory staging analysis
+                       [--dmms D]
+  bulkrun help
+
+Defaults: p = 4096, width = 32, latency = 100, layout = col.
+";
+
+fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            let v = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+            return v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("{flag}: '{v}' is not a number"));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_layout(args: &[String]) -> Result<Layout, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == "--layout" {
+            let v = args.get(i + 1).ok_or("--layout needs a value")?;
+            return match v.as_str() {
+                "row" | "row-wise" => Ok(Layout::RowWise),
+                "col" | "column" | "column-wise" => Ok(Layout::ColumnWise),
+                other => Err(format!("--layout: '{other}' is neither row nor col")),
+            };
+        }
+    }
+    Ok(Layout::ColumnWise)
+}
+
+/// Parse a full argument vector (excluding `argv[0]`).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "trace" | "model" | "run" | "hmm" => {
+            let algo = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| format!("{cmd} needs an algorithm name"))?
+                .clone();
+            let rest = &args[2..];
+            let size = parse_flag(rest, "--size")?;
+            match cmd.as_str() {
+                "trace" => Ok(Command::Trace {
+                    algo,
+                    size,
+                    head: parse_flag(rest, "--head")?.unwrap_or(16),
+                }),
+                "model" => Ok(Command::Model {
+                    algo,
+                    size,
+                    p: parse_flag(rest, "--p")?.unwrap_or(4096),
+                    cfg: MachineConfig::new(
+                        parse_flag(rest, "--width")?.unwrap_or(32),
+                        parse_flag(rest, "--latency")?.unwrap_or(100),
+                    ),
+                }),
+                "run" => Ok(Command::Run {
+                    algo,
+                    size,
+                    p: parse_flag(rest, "--p")?.unwrap_or(4096),
+                    layout: parse_layout(rest)?,
+                }),
+                "hmm" => {
+                    let dmms = parse_flag(rest, "--dmms")?.unwrap_or(14);
+                    if dmms == 0 {
+                        return Err("--dmms must be positive".into());
+                    }
+                    let p = parse_flag(rest, "--p")?.unwrap_or(14 * 64);
+                    Ok(Command::Hmm { algo, size, p, dmms })
+                }
+                _ => unreachable!(),
+            }
+        }
+        other => Err(format!("unknown command '{other}'; try `bulkrun help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn list_and_help() {
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn trace_with_flags() {
+        let c = parse(&argv("trace fft --size 4 --head 8")).unwrap();
+        assert_eq!(
+            c,
+            Command::Trace { algo: "fft".into(), size: Some(4), head: 8 }
+        );
+    }
+
+    #[test]
+    fn model_defaults() {
+        let c = parse(&argv("model opt")).unwrap();
+        assert_eq!(
+            c,
+            Command::Model {
+                algo: "opt".into(),
+                size: None,
+                p: 4096,
+                cfg: MachineConfig::new(32, 100)
+            }
+        );
+    }
+
+    #[test]
+    fn run_with_layout() {
+        let c = parse(&argv("run prefix-sums --p 128 --layout row")).unwrap();
+        match c {
+            Command::Run { p, layout, .. } => {
+                assert_eq!(p, 128);
+                assert_eq!(layout, Layout::RowWise);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hmm_parses_with_defaults() {
+        let c = parse(&argv("hmm opt --size 16")).unwrap();
+        assert_eq!(
+            c,
+            Command::Hmm { algo: "opt".into(), size: Some(16), p: 14 * 64, dmms: 14 }
+        );
+        assert!(parse(&argv("hmm opt --dmms 0")).is_err());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(parse(&argv("run x --p nope")).unwrap_err().contains("not a number"));
+        assert!(parse(&argv("run x --layout diagonal")).unwrap_err().contains("neither"));
+    }
+}

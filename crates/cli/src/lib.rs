@@ -1,0 +1,190 @@
+//! # cli — the `bulkrun` command-line driver
+//!
+//! Name-addressable access to the algorithm library: list programs, dump
+//! their address functions, price bulk executions on the UMM/DMM, and run
+//! them on the generic engine.  Logic lives in the library so it is unit-
+//! testable; `main.rs` is a thin shell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod registry;
+
+use args::Command;
+use oblivious::{theorems, Layout, Model};
+use registry::{Algo, CATALOG};
+
+/// Execute a parsed command, writing human output to the returned string.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(args::USAGE),
+        Command::List => {
+            out.push_str(&format!("{:<16} {:>8}  description\n", "name", "default"));
+            for (name, default, desc) in CATALOG {
+                out.push_str(&format!("{name:<16} {default:>8}  {desc}\n"));
+            }
+        }
+        Command::Trace { algo, size, head } => {
+            let a = Algo::parse(algo, *size)?;
+            let trace = a.trace();
+            out.push_str(&format!(
+                "{}: t = {} memory steps over {} words\n",
+                a.display_name(),
+                trace.len(),
+                a.memory_words()
+            ));
+            for (i, step) in trace.steps().iter().take(*head).enumerate() {
+                out.push_str(&format!("  a({i}) = {step:?}\n"));
+            }
+            if trace.len() > *head {
+                out.push_str(&format!("  … {} more steps\n", trace.len() - head));
+            }
+        }
+        Command::Model { algo, size, p, cfg } => {
+            let a = Algo::parse(algo, *size)?;
+            let t = a.time_steps() as u64;
+            out.push_str(&format!(
+                "{} on UMM(w={}, l={}), p = {p}:\n",
+                a.display_name(),
+                cfg.width,
+                cfg.latency
+            ));
+            let row = a.model_time(*cfg, Model::Umm, Layout::RowWise, *p);
+            let col = a.model_time(*cfg, Model::Umm, Layout::ColumnWise, *p);
+            let lb = theorems::lower_bound(t, *p as u64, cfg.width as u64, cfg.latency as u64);
+            out.push_str(&format!("  row-wise     : {row} time units\n"));
+            out.push_str(&format!(
+                "  column-wise  : {col} time units ({:.2}x faster)\n",
+                row as f64 / col as f64
+            ));
+            out.push_str(&format!(
+                "  lower bound  : {lb} (Theorem 3; column-wise is within {:.2}x)\n",
+                col as f64 / lb as f64
+            ));
+            let drow = a.model_time(*cfg, Model::Dmm, Layout::RowWise, *p);
+            let dcol = a.model_time(*cfg, Model::Dmm, Layout::ColumnWise, *p);
+            out.push_str(&format!("  DMM row/col  : {drow} / {dcol} (bank-conflict cost)\n"));
+        }
+        Command::Hmm { algo, size, p, dmms } => {
+            let a = Algo::parse(algo, *size)?;
+            let mut p = *p;
+            if p % dmms != 0 {
+                p = (p / dmms + 1) * dmms; // round up to a DMM multiple
+            }
+            let hmm = umm_core::HmmConfig::new(
+                *dmms,
+                umm_core::MachineConfig::sm_shared(),
+                umm_core::MachineConfig::titan_global(),
+            );
+            let c = a.hmm_cost(&hmm, p);
+            out.push_str(&format!(
+                "{} on HMM({} DMMs, shared w={} l={}, global w={} l={}), p = {p}:\n",
+                a.display_name(),
+                dmms,
+                hmm.shared.width,
+                hmm.shared.latency,
+                hmm.global.width,
+                hmm.global.latency
+            ));
+            out.push_str(&format!("  all-global : {} time units\n", c.all_global));
+            out.push_str(&format!(
+                "  staged     : {} time units (load {} + compute {} + store {})\n",
+                c.staged, c.load, c.compute, c.store
+            ));
+            out.push_str(&format!(
+                "  verdict    : {} by {:.2}x; staging needs {} shared words per DMM\n",
+                if c.staging_wins() { "stage into shared memory" } else { "stay in global memory" },
+                c.advantage(),
+                a.memory_words() * (p / dmms),
+            ));
+        }
+        Command::Run { algo, size, p, layout } => {
+            let a = Algo::parse(algo, *size)?;
+            out.push_str(&format!(
+                "bulk-executing {} for p = {p} instances, {layout} …\n",
+                a.display_name()
+            ));
+            let secs = a.run_bulk(*p, *layout, 0xB01D_FACE);
+            out.push_str(&format!(
+                "  wall clock: {}  ({} per instance)\n",
+                analytic::format_value(secs),
+                analytic::format_value(secs / *p as f64)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umm_core::MachineConfig;
+
+    #[test]
+    fn list_mentions_every_algorithm() {
+        let out = execute(&Command::List).unwrap();
+        for (name, _, _) in CATALOG {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn trace_prints_address_function() {
+        let cmd = Command::Trace { algo: "prefix-sums".into(), size: Some(4), head: 3 };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("t = 8 memory steps"));
+        assert!(out.contains("a(0) = Access(Read, 0)"));
+        assert!(out.contains("more steps"));
+    }
+
+    #[test]
+    fn model_reports_speedup_and_bound() {
+        let cmd = Command::Model {
+            algo: "opt".into(),
+            size: Some(8),
+            p: 1024,
+            cfg: MachineConfig::new(32, 100),
+        };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("row-wise"));
+        assert!(out.contains("lower bound"));
+        assert!(out.contains("faster"));
+    }
+
+    #[test]
+    fn run_executes() {
+        let cmd = Command::Run {
+            algo: "bitonic".into(),
+            size: Some(3),
+            p: 16,
+            layout: oblivious::Layout::ColumnWise,
+        };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("wall clock"));
+    }
+
+    #[test]
+    fn hmm_reports_staging_verdict() {
+        let cmd = Command::Hmm { algo: "opt".into(), size: Some(32), p: 896, dmms: 14 };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("stage into shared memory"), "{out}");
+        let cmd = Command::Hmm { algo: "prefix-sums".into(), size: None, p: 896, dmms: 14 };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("stay in global memory"), "{out}");
+    }
+
+    #[test]
+    fn hmm_rounds_p_to_dmm_multiple() {
+        let cmd = Command::Hmm { algo: "horner".into(), size: Some(8), p: 100, dmms: 14 };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("p = 112"), "rounded up to the next multiple: {out}");
+    }
+
+    #[test]
+    fn unknown_algorithm_propagates_error() {
+        let cmd = Command::Trace { algo: "bogosort".into(), size: None, head: 4 };
+        assert!(execute(&cmd).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! `bulkrun` entry point — parse, execute, print.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = cli::args::parse(&argv).and_then(|cmd| cli::execute(&cmd));
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The algorithm registry: name-addressable access to the heterogeneous
+//! program library.
+//!
+//! `ObliviousProgram::run` is generic over the machine, so programs cannot
+//! be trait objects; the registry is an enum that dispatches each CLI
+//! operation to the concrete program type (and the right word type — XTEA
+//! runs on `u32`, everything else on `f32`).
+
+use algorithms::{
+    BitonicSort, EditDistance, Fft, FirFilter, FloydWarshall, Horner, LcsLength, LuDecomposition,
+    MatMul, MatVec, MatrixChain, OddEvenMergeSort, OfflinePermute, OptTriangulation, PascalTriangle,
+    PolyMul, PrefixSums, SummedArea, Transpose, Xtea,
+};
+use oblivious::program::{bulk_execute, bulk_model_time, time_steps, trace_of};
+use oblivious::{Layout, Model, ObliviousProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use umm_core::{MachineConfig, ThreadTrace};
+
+/// A selected algorithm with its size parameter bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Prefix-sums over `n` words.
+    PrefixSums(usize),
+    /// OPT triangulation of an `n`-gon.
+    Opt(usize),
+    /// `n × n` matrix product.
+    MatMul(usize),
+    /// `n × n` matrix transpose.
+    Transpose(usize),
+    /// `n × n` matrix–vector product.
+    MatVec(usize),
+    /// FFT of `2^k` points (parameter is `k`).
+    Fft(u32),
+    /// FIR moving average of width 4 over `n` samples.
+    Fir(usize),
+    /// Bitonic sort of `2^k` words.
+    Bitonic(u32),
+    /// Batcher odd-even merge sort of `2^k` words.
+    OeMergeSort(u32),
+    /// LCS of two `n`-word sequences.
+    Lcs(usize),
+    /// Edit distance of two `n`-word sequences.
+    EditDistance(usize),
+    /// Floyd–Warshall over `n` vertices.
+    FloydWarshall(usize),
+    /// Summed-area table of an `n × n` image.
+    SummedArea(usize),
+    /// XTEA encryption of `n` 64-bit blocks.
+    Xtea(usize),
+    /// Horner evaluation of a degree-`n` polynomial.
+    Horner(usize),
+    /// Offline perfect-shuffle permutation of `n` words (n even).
+    Permute(usize),
+    /// Matrix-chain ordering DP over `n` matrices.
+    MatrixChain(usize),
+    /// LU decomposition of an `n × n` matrix (no pivoting).
+    Lu(usize),
+    /// Polynomial product of two `n`-coefficient operands.
+    PolyMul(usize),
+    /// Pascal's triangle with `n` rows (u64 words).
+    Pascal(usize),
+}
+
+/// `(name, default size, description)` rows for `bulkrun list`.
+pub const CATALOG: &[(&str, usize, &str)] = &[
+    ("prefix-sums", 1024, "in-place prefix sums (paper §III)"),
+    ("opt", 16, "optimal polygon triangulation DP (paper §IV)"),
+    ("matmul", 16, "dense n x n matrix product"),
+    ("transpose", 32, "in-place n x n transpose"),
+    ("matvec", 32, "n x n matrix-vector product"),
+    ("fft", 8, "radix-2 FFT of 2^k points (k = size)"),
+    ("fir", 1024, "4-tap moving-average filter"),
+    ("bitonic", 8, "bitonic sorting network of 2^k words (k = size)"),
+    ("oe-mergesort", 8, "Batcher odd-even merge sort of 2^k words (k = size)"),
+    ("lcs", 32, "longest common subsequence length"),
+    ("edit-distance", 32, "Levenshtein distance"),
+    ("floyd-warshall", 16, "all-pairs shortest paths"),
+    ("summed-area", 32, "2-D prefix sums over an n x n image"),
+    ("xtea", 16, "XTEA encryption of n 64-bit blocks (u32 words)"),
+    ("horner", 64, "degree-n polynomial evaluation"),
+    ("permute", 1024, "offline perfect-shuffle permutation of n words"),
+    ("matrix-chain", 16, "matrix-chain multiplication order DP"),
+    ("lu", 16, "LU decomposition without pivoting"),
+    ("poly-mul", 64, "polynomial multiplication (direct convolution)"),
+    ("pascal", 24, "Pascal's triangle / binomial table (u64 words)"),
+];
+
+impl Algo {
+    /// Parse a name and optional size into a bound algorithm.
+    pub fn parse(name: &str, size: Option<usize>) -> Result<Self, String> {
+        let default = CATALOG
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, d, _)| *d)
+            .ok_or_else(|| {
+                format!("unknown algorithm '{name}'; try `bulkrun list`")
+            })?;
+        let s = size.unwrap_or(default);
+        if s == 0 {
+            return Err("size must be positive".into());
+        }
+        Ok(match name {
+            "prefix-sums" => Algo::PrefixSums(s),
+            "opt" => {
+                if s < 3 {
+                    return Err("opt needs a polygon with at least 3 vertices".into());
+                }
+                Algo::Opt(s)
+            }
+            "matmul" => Algo::MatMul(s),
+            "transpose" => Algo::Transpose(s),
+            "matvec" => Algo::MatVec(s),
+            "fft" => Algo::Fft(u32::try_from(s).map_err(|_| "k too large")?),
+            "fir" => Algo::Fir(s),
+            "bitonic" => Algo::Bitonic(u32::try_from(s).map_err(|_| "k too large")?),
+            "oe-mergesort" => Algo::OeMergeSort(u32::try_from(s).map_err(|_| "k too large")?),
+            "lcs" => Algo::Lcs(s),
+            "edit-distance" => Algo::EditDistance(s),
+            "floyd-warshall" => Algo::FloydWarshall(s),
+            "summed-area" => Algo::SummedArea(s),
+            "xtea" => Algo::Xtea(s),
+            "horner" => Algo::Horner(s),
+            "permute" => {
+                if s < 2 || !s.is_multiple_of(2) {
+                    return Err("permute needs an even size >= 2".into());
+                }
+                Algo::Permute(s)
+            }
+            "matrix-chain" => Algo::MatrixChain(s),
+            "lu" => Algo::Lu(s),
+            "poly-mul" => Algo::PolyMul(s),
+            "pascal" => Algo::Pascal(s),
+            _ => unreachable!("catalog covered above"),
+        })
+    }
+
+    /// Dispatch a generic operation over the concrete program type.
+    fn with_program<R>(&self, op: impl ProgramOp<R>) -> R {
+        match *self {
+            Algo::PrefixSums(n) => op.call_f32(PrefixSums::new(n)),
+            Algo::Opt(n) => op.call_f32(OptTriangulation::new(n)),
+            Algo::MatMul(n) => op.call_f32(MatMul::new(n)),
+            Algo::Transpose(n) => op.call_f32(Transpose::new(n)),
+            Algo::MatVec(n) => op.call_f32(MatVec::new(n)),
+            Algo::Fft(k) => op.call_f32(Fft::new(k)),
+            Algo::Fir(n) => op.call_f32(FirFilter::moving_average(n, 4)),
+            Algo::Bitonic(k) => op.call_f32(BitonicSort::new(k)),
+            Algo::OeMergeSort(k) => op.call_f32(OddEvenMergeSort::new(k)),
+            Algo::Lcs(n) => op.call_f32(LcsLength::new(n, n)),
+            Algo::EditDistance(n) => op.call_f32(EditDistance::new(n, n)),
+            Algo::FloydWarshall(n) => op.call_f32(FloydWarshall::new(n)),
+            Algo::SummedArea(n) => op.call_f32(SummedArea::new(n, n)),
+            Algo::Xtea(n) => op.call_u32(Xtea::encrypt(n)),
+            Algo::Horner(n) => op.call_f32(Horner::new(n)),
+            Algo::Permute(n) => op.call_f32(OfflinePermute::perfect_shuffle(n)),
+            Algo::MatrixChain(n) => op.call_f32(MatrixChain::new(n)),
+            Algo::Lu(n) => op.call_f32(LuDecomposition::new(n)),
+            Algo::PolyMul(n) => op.call_f32(PolyMul::new(n)),
+            Algo::Pascal(n) => op.call_u64(PascalTriangle::new(n)),
+        }
+    }
+
+    /// The program's display name.
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        struct NameOp;
+        impl ProgramOp<String> for NameOp {
+            fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> String {
+                p.name()
+            }
+            fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> String {
+                p.name()
+            }
+            fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> String {
+                p.name()
+            }
+        }
+        self.with_program(NameOp)
+    }
+
+    /// Per-instance memory words.
+    #[must_use]
+    pub fn memory_words(&self) -> usize {
+        struct MemOp;
+        impl ProgramOp<usize> for MemOp {
+            fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> usize {
+                p.memory_words()
+            }
+            fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> usize {
+                p.memory_words()
+            }
+            fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> usize {
+                p.memory_words()
+            }
+        }
+        self.with_program(MemOp)
+    }
+
+    /// Sequential memory steps `t`.
+    #[must_use]
+    pub fn time_steps(&self) -> usize {
+        struct StepsOp;
+        impl ProgramOp<usize> for StepsOp {
+            fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> usize {
+                time_steps(&p)
+            }
+            fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> usize {
+                time_steps(&p)
+            }
+            fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> usize {
+                time_steps(&p)
+            }
+        }
+        self.with_program(StepsOp)
+    }
+
+    /// The address trace.
+    #[must_use]
+    pub fn trace(&self) -> ThreadTrace {
+        struct TraceOp;
+        impl ProgramOp<ThreadTrace> for TraceOp {
+            fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> ThreadTrace {
+                trace_of(&p)
+            }
+            fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> ThreadTrace {
+                trace_of(&p)
+            }
+            fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> ThreadTrace {
+                trace_of(&p)
+            }
+        }
+        self.with_program(TraceOp)
+    }
+
+    /// UMM/DMM model time for a bulk execution.
+    #[must_use]
+    pub fn model_time(&self, cfg: MachineConfig, model: Model, layout: Layout, p: usize) -> u64 {
+        struct CostOp {
+            cfg: MachineConfig,
+            model: Model,
+            layout: Layout,
+            p: usize,
+        }
+        impl ProgramOp<u64> for CostOp {
+            fn call_f32<P: ObliviousProgram<f32>>(self, pr: P) -> u64 {
+                bulk_model_time(&pr, self.cfg, self.model, self.layout, self.p)
+            }
+            fn call_u32<P: ObliviousProgram<u32>>(self, pr: P) -> u64 {
+                bulk_model_time(&pr, self.cfg, self.model, self.layout, self.p)
+            }
+            fn call_u64<P: ObliviousProgram<u64>>(self, pr: P) -> u64 {
+                bulk_model_time(&pr, self.cfg, self.model, self.layout, self.p)
+            }
+        }
+        self.with_program(CostOp { cfg, model, layout, p })
+    }
+
+    /// Bulk-execute `p` random instances through the generic engine,
+    /// returning wall-clock seconds (excludes input generation and
+    /// arrangement, to mirror kernel-only timing).
+    #[must_use]
+    pub fn run_bulk(&self, p: usize, layout: Layout, seed: u64) -> f64 {
+        struct RunOp {
+            p: usize,
+            layout: Layout,
+            seed: u64,
+        }
+        impl ProgramOp<f64> for RunOp {
+            fn call_f32<P: ObliviousProgram<f32>>(self, pr: P) -> f64 {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let len = pr.input_range().len();
+                let inputs: Vec<Vec<f32>> = (0..self.p)
+                    .map(|_| (0..len).map(|_| rng.gen_range(0.0f32..4.0)).collect())
+                    .collect();
+                let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+                let t0 = std::time::Instant::now();
+                let out = bulk_execute(&pr, &refs, self.layout);
+                let dt = t0.elapsed().as_secs_f64();
+                std::hint::black_box(out);
+                dt
+            }
+            fn call_u32<P: ObliviousProgram<u32>>(self, pr: P) -> f64 {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let len = pr.input_range().len();
+                let inputs: Vec<Vec<u32>> =
+                    (0..self.p).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+                let refs: Vec<&[u32]> = inputs.iter().map(|v| v.as_slice()).collect();
+                let t0 = std::time::Instant::now();
+                let out = bulk_execute(&pr, &refs, self.layout);
+                let dt = t0.elapsed().as_secs_f64();
+                std::hint::black_box(out);
+                dt
+            }
+            fn call_u64<P: ObliviousProgram<u64>>(self, pr: P) -> f64 {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let len = pr.input_range().len();
+                let inputs: Vec<Vec<u64>> =
+                    (0..self.p).map(|_| (0..len).map(|_| rng.gen::<u32>() as u64).collect()).collect();
+                let refs: Vec<&[u64]> = inputs.iter().map(|v| v.as_slice()).collect();
+                let t0 = std::time::Instant::now();
+                let out = bulk_execute(&pr, &refs, self.layout);
+                let dt = t0.elapsed().as_secs_f64();
+                std::hint::black_box(out);
+                dt
+            }
+        }
+        self.with_program(RunOp { p, layout, seed })
+    }
+}
+
+impl Algo {
+    /// HMM staging analysis (all-global vs staged) for a bulk execution.
+    #[must_use]
+    pub fn hmm_cost(&self, hmm: &umm_core::HmmConfig, p: usize) -> oblivious::HmmBulkCost {
+        struct HmmOp<'a> {
+            hmm: &'a umm_core::HmmConfig,
+            p: usize,
+        }
+        impl<'a> ProgramOp<oblivious::HmmBulkCost> for HmmOp<'a> {
+            fn call_f32<P: ObliviousProgram<f32>>(self, pr: P) -> oblivious::HmmBulkCost {
+                oblivious::hmm_bulk_cost(&pr, self.hmm, self.p)
+            }
+            fn call_u32<P: ObliviousProgram<u32>>(self, pr: P) -> oblivious::HmmBulkCost {
+                oblivious::hmm_bulk_cost(&pr, self.hmm, self.p)
+            }
+            fn call_u64<P: ObliviousProgram<u64>>(self, pr: P) -> oblivious::HmmBulkCost {
+                oblivious::hmm_bulk_cost(&pr, self.hmm, self.p)
+            }
+        }
+        self.with_program(HmmOp { hmm, p })
+    }
+}
+
+/// A rank-2-style operation applied to whichever program type the registry
+/// selects.
+trait ProgramOp<R> {
+    fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> R;
+    fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> R;
+    fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> R;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_names() {
+        assert_eq!(Algo::parse("prefix-sums", Some(64)).unwrap(), Algo::PrefixSums(64));
+        assert_eq!(Algo::parse("opt", None).unwrap(), Algo::Opt(16));
+        assert_eq!(Algo::parse("xtea", Some(4)).unwrap(), Algo::Xtea(4));
+    }
+
+    #[test]
+    fn parse_unknown_name_errors() {
+        let e = Algo::parse("quicksort", None).unwrap_err();
+        assert!(e.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_sizes() {
+        assert!(Algo::parse("opt", Some(2)).is_err());
+        assert!(Algo::parse("prefix-sums", Some(0)).is_err());
+    }
+
+    #[test]
+    fn every_catalog_entry_parses_and_reports() {
+        for &(name, _, _) in CATALOG {
+            let algo = Algo::parse(name, None).unwrap();
+            assert!(algo.memory_words() > 0, "{name}");
+            assert!(algo.time_steps() > 0, "{name}");
+            assert!(!algo.display_name().is_empty(), "{name}");
+            let trace = algo.trace();
+            assert_eq!(trace.len(), algo.time_steps(), "{name}");
+            assert!(trace.within_bounds(algo.memory_words()), "{name}");
+        }
+    }
+
+    #[test]
+    fn model_time_orders_layouts() {
+        let algo = Algo::parse("prefix-sums", Some(256)).unwrap();
+        let cfg = MachineConfig::new(32, 100);
+        let row = algo.model_time(cfg, Model::Umm, Layout::RowWise, 1024);
+        let col = algo.model_time(cfg, Model::Umm, Layout::ColumnWise, 1024);
+        assert!(col < row);
+    }
+
+    #[test]
+    fn run_bulk_smoke() {
+        let algo = Algo::parse("bitonic", Some(4)).unwrap();
+        let secs = algo.run_bulk(32, Layout::ColumnWise, 1);
+        assert!(secs >= 0.0);
+        let algo = Algo::parse("xtea", Some(2)).unwrap();
+        assert!(algo.run_bulk(16, Layout::RowWise, 2) >= 0.0);
+    }
+}

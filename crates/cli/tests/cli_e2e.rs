@@ -1,0 +1,63 @@
+//! End-to-end: the compiled `bulkrun` binary, driven as a subprocess.
+
+use std::process::Command;
+
+fn bulkrun(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bulkrun"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (out, _, ok) = bulkrun(&["help"]);
+    assert!(ok);
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn list_prints_catalog() {
+    let (out, _, ok) = bulkrun(&["list"]);
+    assert!(ok);
+    assert!(out.contains("prefix-sums"));
+    assert!(out.contains("opt"));
+    assert!(out.contains("pascal"));
+}
+
+#[test]
+fn model_command_end_to_end() {
+    let (out, _, ok) = bulkrun(&["model", "prefix-sums", "--size", "64", "--p", "1024"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("column-wise"));
+    assert!(out.contains("lower bound"));
+}
+
+#[test]
+fn hmm_command_end_to_end() {
+    let (out, _, ok) = bulkrun(&["hmm", "matmul", "--size", "24"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("verdict"));
+}
+
+#[test]
+fn run_command_end_to_end() {
+    let (out, _, ok) = bulkrun(&["run", "horner", "--size", "8", "--p", "64"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("wall clock"));
+}
+
+#[test]
+fn bad_invocations_fail_with_stderr() {
+    let (_, err, ok) = bulkrun(&["run", "bogosort"]);
+    assert!(!ok);
+    assert!(err.contains("unknown algorithm"));
+    let (_, err, ok) = bulkrun(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}

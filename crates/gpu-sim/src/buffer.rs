@@ -1,0 +1,153 @@
+//! Shared global-memory view for block-parallel kernels.
+//!
+//! Blocks of a bulk kernel write *disjoint lane sets* of the global buffer,
+//! but under the column-wise layout those sets interleave at word
+//! granularity, so the buffer cannot be partitioned into contiguous
+//! `&mut` chunks.  [`SharedSlice`] is the standard HPC escape hatch: a
+//! `Send + Sync` raw view whose safety contract is lane-disjointness,
+//! enforced by the launcher handing each block a non-overlapping lane
+//! range.
+
+use core::marker::PhantomData;
+
+/// A shareable mutable view of a word buffer.
+///
+/// # Safety contract
+///
+/// Concurrent users must access **disjoint index sets**.  The kernel
+/// launcher guarantees this by assigning each block a disjoint lane range
+/// and requiring kernels to touch only physical addresses belonging to
+/// their own lanes (`Layout::physical(addr, lane, ..)` with `lane` in
+/// range).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the view can move across threads; actual aliasing discipline is
+// the documented contract of the unsafe accessors.
+unsafe impl<'a, T: Send> Send for SharedSlice<'a, T> {}
+unsafe impl<'a, T: Send> Sync for SharedSlice<'a, T> {}
+
+impl<'a, T: Copy> SharedSlice<'a, T> {
+    /// Wrap an exclusive slice.  The borrow keeps the underlying buffer
+    /// alive and un-aliased for `'a`.
+    #[must_use]
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// Length in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read index `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len()`, and no other thread may concurrently write index `i`.
+    #[inline]
+    #[must_use]
+    pub unsafe fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        // SAFETY: bounds per caller contract; aliasing per type contract.
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Write index `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len()`, and no other thread may concurrently access index `i`.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        // SAFETY: as for `get`.
+        unsafe { *self.ptr.add(i) = v }
+    }
+
+    /// Borrow a contiguous range immutably.
+    ///
+    /// # Safety
+    ///
+    /// The range is in bounds and no other thread concurrently writes it.
+    #[inline]
+    #[must_use]
+    pub unsafe fn range(&self, lo: usize, hi: usize) -> &[T] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        // SAFETY: as documented.
+        unsafe { core::slice::from_raw_parts(self.ptr.add(lo), hi - lo) }
+    }
+
+    /// Borrow a contiguous range mutably.
+    ///
+    /// # Safety
+    ///
+    /// The range is in bounds and no other thread concurrently accesses it.
+    #[inline]
+    #[must_use]
+    #[allow(clippy::mut_from_ref)] // the aliasing discipline is the type's contract
+    pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        // SAFETY: as documented.
+        unsafe { core::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_read_write() {
+        let mut v = vec![0i32; 8];
+        let s = SharedSlice::new(&mut v);
+        unsafe {
+            s.set(3, 42);
+            assert_eq!(s.get(3), 42);
+            let r = s.range(2, 5);
+            assert_eq!(r, &[0, 42, 0]);
+            s.range_mut(0, 2).fill(7);
+        }
+        assert_eq!(v, vec![7, 7, 0, 42, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        // Two threads write interleaved (even/odd) indices — the exact
+        // pattern contiguous splitting cannot express.
+        let n = 1024;
+        let mut v = vec![0usize; n];
+        let s = SharedSlice::new(&mut v);
+        crossbeam::scope(|scope| {
+            for parity in 0..2usize {
+                scope.spawn(move |_| {
+                    for i in (parity..n).step_by(2) {
+                        // SAFETY: even/odd index sets are disjoint.
+                        unsafe { s.set(i, i) };
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn len_tracks_source() {
+        let mut v = vec![0.0f32; 5];
+        let s = SharedSlice::new(&mut v);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! The single-core CPU baseline of the paper's Section V.
+//!
+//! "We have executed Algorithm Prefix-sums p times on the Intel Core i7
+//! CPU … implemented for the row-wise arrangement."  These are plain
+//! native loops — no machine abstraction — so the baseline is as fast as
+//! straightforward sequential C, which keeps the measured speedups honest.
+
+use oblivious::{BinOp, Word};
+
+/// Sequential bulk prefix-sums over a row-wise buffer of `p` instances of
+/// `n` words, in place.
+///
+/// # Panics
+///
+/// Panics if the buffer size does not match.
+pub fn prefix_sums_rowwise<W: Word>(buf: &mut [W], p: usize, n: usize) {
+    assert_eq!(buf.len(), p * n, "buffer must hold p * n words");
+    for row in buf.chunks_exact_mut(n) {
+        let mut r = W::ZERO;
+        for x in row {
+            r = W::apply_bin(BinOp::Add, r, *x);
+            *x = r;
+        }
+    }
+}
+
+/// Sequential bulk OPT over a row-wise buffer of `p` instances
+/// (`2n²` words each: `c` then `M`), in place.
+///
+/// # Panics
+///
+/// Panics if the buffer size does not match.
+pub fn opt_rowwise<W: Word>(buf: &mut [W], p: usize, n: usize) {
+    let msize = 2 * n * n;
+    assert_eq!(buf.len(), p * msize, "buffer must hold p * 2n² words");
+    let nn = n * n;
+    for inst in buf.chunks_exact_mut(msize) {
+        let (c, m) = inst.split_at_mut(nn);
+        for i in 1..n {
+            m[i * n + i] = W::ZERO;
+        }
+        for i in (1..=n - 2).rev() {
+            for j in (i + 1)..n {
+                let mut s = W::POS_INF;
+                for k in i..j {
+                    let r = W::apply_bin(BinOp::Add, m[i * n + k], m[(k + 1) * n + j]);
+                    s = W::apply_bin(BinOp::Min, s, r);
+                }
+                m[i * n + j] = W::apply_bin(BinOp::Add, s, c[(i - 1) * n + j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algorithms::opt::{reference, ChordWeights, OptTriangulation};
+    use oblivious::layout::arrange;
+    use oblivious::program::arrange_inputs;
+    use oblivious::Layout;
+
+    #[test]
+    fn prefix_sums_baseline_matches_reference() {
+        let (p, n) = (7, 5);
+        let inputs: Vec<Vec<f64>> =
+            (0..p).map(|j| (0..n).map(|i| (j * n + i) as f64).collect()).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let mut buf = arrange(&refs, n, Layout::RowWise);
+        prefix_sums_rowwise(&mut buf, p, n);
+        for (j, inp) in inputs.iter().enumerate() {
+            let want = algorithms::prefix_sums::reference(inp);
+            assert_eq!(&buf[j * n..(j + 1) * n], want.as_slice());
+        }
+    }
+
+    #[test]
+    fn opt_baseline_matches_reference_dp() {
+        let (n, p) = (7usize, 5usize);
+        let ws: Vec<ChordWeights> = (0..p)
+            .map(|s| ChordWeights::from_fn(n, |i, j| ((i * 7 + j * 13 + s * 31) % 100) as f64))
+            .collect();
+        let inputs: Vec<Vec<f64>> = ws.iter().map(|c| c.as_words()).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let prog = OptTriangulation::new(n);
+        let mut buf = arrange_inputs(&prog, &refs, Layout::RowWise);
+        opt_rowwise(&mut buf, p, n);
+        let msize = 2 * n * n;
+        for (j, c) in ws.iter().enumerate() {
+            let (want, _) = reference(c);
+            let answer = buf[j * msize + prog.answer_address()];
+            assert_eq!(answer, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer must hold")]
+    fn size_mismatch_rejected() {
+        let mut buf = vec![0.0f32; 9];
+        prefix_sums_rowwise(&mut buf, 2, 5);
+    }
+}

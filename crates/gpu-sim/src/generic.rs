@@ -1,0 +1,188 @@
+//! The generic block engine: run **any** oblivious program as a bulk kernel.
+//!
+//! [`BlockLanes`] is a [`LanePort`] confined to one thread block's lane
+//! range of the global buffer, so a [`BulkMachine`] built on it executes
+//! the block's instances in lockstep while other blocks run concurrently.
+//! Wrapping a program in [`GenericKernel`] therefore gives a multi-threaded
+//! device implementation of the paper's "conversion system" for free — at
+//! an interpretation cost the benches quantify against the hand-written
+//! kernels (ablation 3 of DESIGN.md).
+
+use crate::buffer::SharedSlice;
+use crate::launch::BulkKernel;
+use oblivious::{BulkMachine, LanePort, Layout, ObliviousProgram, Word};
+
+/// A lane port over a block's slice of the global bulk buffer.
+///
+/// Safety of the underlying raw accesses rests on the launcher's
+/// lane-disjointness guarantee: this port only ever touches physical
+/// addresses `layout.physical(addr, lane, p, msize)` with `lane` in
+/// `[lane_lo, lane_hi)`.
+#[derive(Debug)]
+pub struct BlockLanes<'s, 'a, W> {
+    mem: &'s SharedSlice<'a, W>,
+    p: usize,
+    msize: usize,
+    layout: Layout,
+    lane_lo: usize,
+    lane_hi: usize,
+}
+
+impl<'s, 'a, W: Word> BlockLanes<'s, 'a, W> {
+    /// Create a port for lanes `[lane_lo, lane_hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or out-of-range lane window, or a buffer size
+    /// mismatch.
+    #[must_use]
+    pub fn new(
+        mem: &'s SharedSlice<'a, W>,
+        p: usize,
+        msize: usize,
+        layout: Layout,
+        lane_lo: usize,
+        lane_hi: usize,
+    ) -> Self {
+        assert!(lane_lo < lane_hi && lane_hi <= p, "invalid lane window");
+        assert_eq!(mem.len(), p * msize, "buffer must hold p * msize words");
+        Self { mem, p, msize, layout, lane_lo, lane_hi }
+    }
+}
+
+impl<'s, 'a, W: Word> LanePort<W> for BlockLanes<'s, 'a, W> {
+    fn lanes(&self) -> usize {
+        self.lane_hi - self.lane_lo
+    }
+
+    fn load(&mut self, addr: usize, dst: &mut [W]) {
+        assert!(addr < self.msize, "read address {addr} out of instance memory {}", self.msize);
+        match self.layout {
+            Layout::ColumnWise => {
+                let base = addr * self.p + self.lane_lo;
+                // SAFETY: span covers only this block's lanes.
+                dst.copy_from_slice(unsafe { self.mem.range(base, base + self.lanes()) });
+            }
+            Layout::RowWise => {
+                for (k, d) in dst.iter_mut().enumerate() {
+                    let lane = self.lane_lo + k;
+                    // SAFETY: this lane belongs to the block.
+                    *d = unsafe { self.mem.get(lane * self.msize + addr) };
+                }
+            }
+        }
+    }
+
+    fn store(&mut self, addr: usize, src: &[W]) {
+        assert!(addr < self.msize, "write address {addr} out of instance memory {}", self.msize);
+        match self.layout {
+            Layout::ColumnWise => {
+                let base = addr * self.p + self.lane_lo;
+                // SAFETY: as for load.
+                unsafe { self.mem.range_mut(base, base + self.lanes()) }.copy_from_slice(src);
+            }
+            Layout::RowWise => {
+                for (k, &s) in src.iter().enumerate() {
+                    let lane = self.lane_lo + k;
+                    // SAFETY: as for load.
+                    unsafe { self.mem.set(lane * self.msize + addr, s) };
+                }
+            }
+        }
+    }
+
+    fn broadcast(&mut self, addr: usize, c: W) {
+        assert!(addr < self.msize, "write address {addr} out of instance memory {}", self.msize);
+        match self.layout {
+            Layout::ColumnWise => {
+                let base = addr * self.p + self.lane_lo;
+                // SAFETY: as for load.
+                unsafe { self.mem.range_mut(base, base + self.lanes()) }.fill(c);
+            }
+            Layout::RowWise => {
+                for lane in self.lane_lo..self.lane_hi {
+                    // SAFETY: as for load.
+                    unsafe { self.mem.set(lane * self.msize + addr, c) };
+                }
+            }
+        }
+    }
+}
+
+/// Adapter: any [`ObliviousProgram`] as a device [`BulkKernel`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenericKernel<P> {
+    program: P,
+    layout: Layout,
+}
+
+impl<P> GenericKernel<P> {
+    /// Wrap a program for bulk execution under `layout`.
+    #[must_use]
+    pub fn new(program: P, layout: Layout) -> Self {
+        Self { program, layout }
+    }
+}
+
+impl<W: Word, P: ObliviousProgram<W> + Sync> BulkKernel<W> for GenericKernel<P> {
+    fn memory_words(&self) -> usize {
+        self.program.memory_words()
+    }
+
+    unsafe fn run_block(&self, mem: &SharedSlice<'_, W>, p: usize, lo: usize, hi: usize) {
+        let port = BlockLanes::new(mem, p, self.program.memory_words(), self.layout, lo, hi);
+        let mut machine = BulkMachine::with_port(port);
+        self.program.run(&mut machine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::launch::launch;
+    use algorithms::{BitonicSort, PrefixSums};
+    use oblivious::layout::extract;
+    use oblivious::program::arrange_inputs;
+
+    #[test]
+    fn generic_kernel_matches_single_machine_bulk() {
+        let (p, n) = (100usize, 12usize);
+        let inputs: Vec<Vec<f32>> =
+            (0..p).map(|j| (0..n).map(|i| ((j + i * 3) % 17) as f32).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let prog = PrefixSums::new(n);
+        for layout in Layout::all() {
+            let want = oblivious::program::bulk_execute(&prog, &refs, layout);
+            let mut buf = arrange_inputs(&prog, &refs, layout);
+            launch(&Device::titan_like(), &GenericKernel::new(prog, layout), &mut buf, p);
+            let got = extract(&buf, p, n, layout, 0..n);
+            assert_eq!(got, want, "{layout}");
+        }
+    }
+
+    #[test]
+    fn generic_kernel_runs_sorting_networks() {
+        let p = 66usize;
+        let prog = BitonicSort::new(3);
+        let inputs: Vec<Vec<f32>> =
+            (0..p).map(|j| (0..8).map(|i| (((i * 37 + j * 11) % 19) as f32) - 9.0).collect()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
+        launch(&Device::titan_like(), &GenericKernel::new(prog, Layout::ColumnWise), &mut buf, p);
+        let got = extract(&buf, p, 8, Layout::ColumnWise, 0..8);
+        for (inp, out) in inputs.iter().zip(&got) {
+            let mut want = inp.clone();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(out, &want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid lane window")]
+    fn empty_lane_window_rejected() {
+        let mut buf = vec![0.0f32; 8];
+        let shared = SharedSlice::new(&mut buf);
+        let _ = BlockLanes::new(&shared, 4, 2, Layout::ColumnWise, 2, 2);
+    }
+}

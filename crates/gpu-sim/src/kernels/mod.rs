@@ -1,0 +1,9 @@
+//! Hand-written lockstep kernels for the paper's two experiments.
+
+pub mod opt;
+pub mod prefix_sums;
+pub mod xtea;
+
+pub use opt::OptKernel;
+pub use prefix_sums::PrefixSumsKernel;
+pub use xtea::XteaKernel;

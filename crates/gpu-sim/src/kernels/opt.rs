@@ -1,0 +1,203 @@
+//! Hand-written lockstep kernels for Parallel Algorithm OPT
+//! (the paper's second Section V experiment).
+//!
+//! Each lane `h` solves its own convex `n`-gon.  The block keeps the
+//! registers `s_h` (current minimum) as a lane vector and walks the exact
+//! `(i, j, k)` schedule of Algorithm OPT; the `if r < s then s ← r else
+//! s ← s` conditional becomes a lane-wise branchless minimum, mirroring
+//! the SIMD semantics of a warp.
+
+use crate::buffer::SharedSlice;
+use crate::launch::BulkKernel;
+use algorithms::OptTriangulation;
+use oblivious::{BinOp, Layout, Word};
+
+/// Bulk OPT kernel over `n`-gon instances.
+///
+/// Memory layout per instance matches [`OptTriangulation`]: `c` then `M`
+/// (no argmin table — like the paper's experiments, the kernel computes the
+/// optimal weight; use the generic engine with
+/// [`OptTriangulation::with_argmin`] when chords are needed).
+#[derive(Debug, Clone, Copy)]
+pub struct OptKernel {
+    /// Polygon vertex count.
+    pub n: usize,
+    /// Bulk arrangement.
+    pub layout: Layout,
+}
+
+impl OptKernel {
+    /// New kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn new(n: usize, layout: Layout) -> Self {
+        assert!(n >= 3, "a polygon needs at least 3 vertices");
+        Self { n, layout }
+    }
+
+    /// The matching program (for arranging inputs / extracting outputs).
+    #[must_use]
+    pub fn program(&self) -> OptTriangulation {
+        OptTriangulation::new(self.n)
+    }
+}
+
+impl<W: Word> BulkKernel<W> for OptKernel {
+    fn memory_words(&self) -> usize {
+        2 * self.n * self.n
+    }
+
+    unsafe fn run_block(&self, mem: &SharedSlice<'_, W>, p: usize, lo: usize, hi: usize) {
+        let n = self.n;
+        let nn = n * n;
+        let width = hi - lo;
+        let c_at = |i: usize, j: usize| i * n + j;
+        let m_at = |i: usize, j: usize| nn + i * n + j;
+
+        match self.layout {
+            Layout::ColumnWise => {
+                let span = |addr: usize| (addr * p + lo, addr * p + lo + width);
+                // Diagonal zeros.
+                for i in 1..n {
+                    let (a, b) = span(m_at(i, i));
+                    // SAFETY: our lanes only (column span of this block).
+                    unsafe { mem.range_mut(a, b) }.fill(W::ZERO);
+                }
+                let mut s = vec![W::POS_INF; width];
+                for i in (1..=n - 2).rev() {
+                    for j in (i + 1)..n {
+                        s.fill(W::POS_INF);
+                        for k in i..j {
+                            let (a1, b1) = span(m_at(i, k));
+                            let (a2, b2) = span(m_at(k + 1, j));
+                            // SAFETY: disjoint from other blocks; these two
+                            // reads never alias the write below.
+                            let r1 = unsafe { mem.range(a1, b1) };
+                            let r2 = unsafe { mem.range(a2, b2) };
+                            for ((sv, &x), &y) in s.iter_mut().zip(r1).zip(r2) {
+                                let r = W::apply_bin(BinOp::Add, x, y);
+                                *sv = W::apply_bin(BinOp::Min, *sv, r);
+                            }
+                        }
+                        let (ca, cb) = span(c_at(i - 1, j));
+                        let (ma, mb) = span(m_at(i, j));
+                        let cj = unsafe { mem.range(ca, cb) };
+                        let out = unsafe { mem.range_mut(ma, mb) };
+                        for ((o, sv), &c) in out.iter_mut().zip(&s).zip(cj) {
+                            *o = W::apply_bin(BinOp::Add, *sv, c);
+                        }
+                    }
+                }
+            }
+            Layout::RowWise => {
+                let msize = 2 * nn;
+                let mut s = vec![W::POS_INF; width];
+                for (k, lane) in (lo..hi).enumerate() {
+                    let _ = k;
+                    let base = lane * msize;
+                    for i in 1..n {
+                        // SAFETY: this lane's own row.
+                        unsafe { mem.set(base + m_at(i, i), W::ZERO) };
+                    }
+                }
+                for i in (1..=n - 2).rev() {
+                    for j in (i + 1)..n {
+                        s.fill(W::POS_INF);
+                        for k in i..j {
+                            for (t, lane) in (lo..hi).enumerate() {
+                                let base = lane * msize;
+                                // SAFETY: per-lane row addresses.
+                                let x = unsafe { mem.get(base + m_at(i, k)) };
+                                let y = unsafe { mem.get(base + m_at(k + 1, j)) };
+                                let r = W::apply_bin(BinOp::Add, x, y);
+                                s[t] = W::apply_bin(BinOp::Min, s[t], r);
+                            }
+                        }
+                        for (t, lane) in (lo..hi).enumerate() {
+                            let base = lane * msize;
+                            let c = unsafe { mem.get(base + c_at(i - 1, j)) };
+                            let v = W::apply_bin(BinOp::Add, s[t], c);
+                            unsafe { mem.set(base + m_at(i, j), v) };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::launch::launch;
+    use algorithms::opt::{reference, ChordWeights};
+    use oblivious::layout::extract;
+    use oblivious::program::arrange_inputs;
+
+    fn weights(n: usize, p: usize) -> Vec<ChordWeights> {
+        (0..p)
+            .map(|s| {
+                ChordWeights::from_fn(n, |i, j| {
+                    (((i * 131 + j * 17 + s * 97) % 500) as f64) + 1.0
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_layouts_match_reference_dp() {
+        let (n, p) = (8usize, 70usize);
+        let ws = weights(n, p);
+        let inputs: Vec<Vec<f64>> = ws.iter().map(|c| c.as_words()).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let prog = OptTriangulation::new(n);
+        for layout in Layout::all() {
+            let kernel = OptKernel::new(n, layout);
+            let mut buf = arrange_inputs(&prog, &refs, layout);
+            launch(&Device::titan_like(), &kernel, &mut buf, p);
+            let nn = n * n;
+            let outs = extract(&buf, p, 2 * nn, layout, nn..2 * nn);
+            for (c, out) in ws.iter().zip(&outs) {
+                let (want, _) = reference(c);
+                assert_eq!(out[prog.answer_offset()], want, "{layout}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_agrees_with_generic_engine() {
+        let (n, p) = (6usize, 33usize);
+        let ws = weights(n, p);
+        let inputs: Vec<Vec<f32>> = ws.iter().map(|c| c.as_words()).collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let prog = OptTriangulation::new(n);
+        for layout in Layout::all() {
+            let want = oblivious::program::bulk_execute(&prog, &refs, layout);
+            let mut buf = arrange_inputs(&prog, &refs, layout);
+            launch(&Device::single_worker(), &OptKernel::new(n, layout), &mut buf, p);
+            let nn = n * n;
+            let got = extract(&buf, p, 2 * nn, layout, nn..2 * nn);
+            assert_eq!(got, want, "{layout}");
+        }
+    }
+
+    #[test]
+    fn triangle_answer_is_zero() {
+        let (n, p) = (3usize, 4usize);
+        let ws = weights(n, p);
+        let inputs: Vec<Vec<f64>> = ws.iter().map(|c| c.as_words()).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let prog = OptTriangulation::new(n);
+        let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
+        launch(&Device::single_worker(), &OptKernel::new(n, Layout::ColumnWise), &mut buf, p);
+        let nn = n * n;
+        let outs = extract(&buf, p, 2 * nn, Layout::ColumnWise, nn..2 * nn);
+        for out in outs {
+            assert_eq!(out[prog.answer_offset()], 0.0);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Hand-written lockstep kernels for Parallel Algorithm Prefix-sums
+//! (the paper's Section V experiment).
+//!
+//! Thread `h` keeps its running sum `r_h` in a block-local register vector
+//! and walks `i = 0 … n-1`, reading and writing `b_h[i]`.  Under the
+//! column-wise layout the block's accesses at step `i` form one contiguous
+//! span (`i*p + lane_lo .. i*p + lane_hi`) — the coalesced pattern; under
+//! the row-wise layout they form a stride-`n` gather — the uncoalesced
+//! pattern whose cost the paper's Figure 11 quantifies.
+
+use crate::buffer::SharedSlice;
+use crate::launch::BulkKernel;
+use oblivious::{BinOp, Layout, Word};
+
+/// Bulk prefix-sums kernel over `n`-word instances.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixSumsKernel {
+    /// Per-instance array length.
+    pub n: usize,
+    /// Bulk arrangement.
+    pub layout: Layout,
+}
+
+impl PrefixSumsKernel {
+    /// New kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, layout: Layout) -> Self {
+        assert!(n > 0, "prefix-sums needs a non-empty array");
+        Self { n, layout }
+    }
+}
+
+impl<W: Word> BulkKernel<W> for PrefixSumsKernel {
+    fn memory_words(&self) -> usize {
+        self.n
+    }
+
+    unsafe fn run_block(&self, mem: &SharedSlice<'_, W>, p: usize, lo: usize, hi: usize) {
+        let width = hi - lo;
+        let mut acc = vec![W::ZERO; width];
+        match self.layout {
+            Layout::ColumnWise => {
+                for i in 0..self.n {
+                    let base = i * p + lo;
+                    // SAFETY: the span covers only this block's lanes at
+                    // logical address i; blocks own disjoint lane ranges.
+                    let row = unsafe { mem.range_mut(base, base + width) };
+                    for (a, x) in acc.iter_mut().zip(row.iter_mut()) {
+                        *a = W::apply_bin(BinOp::Add, *a, *x);
+                        *x = *a;
+                    }
+                }
+            }
+            Layout::RowWise => {
+                let n = self.n;
+                for i in 0..n {
+                    for (k, lane) in (lo..hi).enumerate() {
+                        let idx = lane * n + i;
+                        // SAFETY: address belongs to `lane`, owned by this
+                        // block.
+                        let v = unsafe { mem.get(idx) };
+                        acc[k] = W::apply_bin(BinOp::Add, acc[k], v);
+                        unsafe { mem.set(idx, acc[k]) };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::launch::launch;
+    use oblivious::layout::{arrange, extract};
+
+    fn inputs(p: usize, n: usize) -> Vec<Vec<f32>> {
+        (0..p)
+            .map(|j| (0..n).map(|i| (((j * 31 + i * 7) % 13) as f32) - 6.0).collect())
+            .collect()
+    }
+
+    fn expected(inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        inputs.iter().map(|v| algorithms::prefix_sums::reference(v)).collect()
+    }
+
+    #[test]
+    fn both_layouts_match_reference() {
+        let (p, n) = (150, 9); // ragged final block
+        let ins = inputs(p, n);
+        let refs: Vec<&[f32]> = ins.iter().map(|v| v.as_slice()).collect();
+        let want = expected(&ins);
+        for layout in Layout::all() {
+            let mut buf = arrange(&refs, n, layout);
+            launch(&Device::titan_like(), &PrefixSumsKernel::new(n, layout), &mut buf, p);
+            let got = extract(&buf, p, n, layout, 0..n);
+            assert_eq!(got, want, "{layout}");
+        }
+    }
+
+    #[test]
+    fn kernel_agrees_with_generic_engine() {
+        let (p, n) = (64, 16);
+        let ins = inputs(p, n);
+        let refs: Vec<&[f32]> = ins.iter().map(|v| v.as_slice()).collect();
+        let prog = algorithms::PrefixSums::new(n);
+        for layout in Layout::all() {
+            let want = oblivious::program::bulk_execute(&prog, &refs, layout);
+            let mut buf = arrange(&refs, n, layout);
+            launch(&Device::single_worker(), &PrefixSumsKernel::new(n, layout), &mut buf, p);
+            let got = extract(&buf, p, n, layout, 0..n);
+            assert_eq!(got, want, "{layout}");
+        }
+    }
+
+    #[test]
+    fn integer_words_supported() {
+        let (p, n) = (5, 4);
+        let ins: Vec<Vec<u64>> = (0..p).map(|j| vec![j as u64 + 1; n]).collect();
+        let refs: Vec<&[u64]> = ins.iter().map(|v| v.as_slice()).collect();
+        let mut buf = arrange(&refs, n, Layout::ColumnWise);
+        launch(&Device::single_worker(), &PrefixSumsKernel::new(n, Layout::ColumnWise), &mut buf, p);
+        let got = extract(&buf, p, n, Layout::ColumnWise, 0..n);
+        assert_eq!(got[2], vec![3, 6, 9, 12]);
+    }
+}

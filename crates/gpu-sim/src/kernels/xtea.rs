@@ -1,0 +1,152 @@
+//! Hand-written lockstep XTEA kernel — the compute-bound counterpoint.
+//!
+//! Prefix-sums and OPT are memory-bound: their layout gap is the whole
+//! story.  XTEA does 32 Feistel cycles of register arithmetic per 8-byte
+//! block, so global traffic is a sliver of the work and the row/column gap
+//! nearly vanishes — the boundary case that shows the coalescing rule only
+//! bites when memory dominates (bench `bench_xtea` quantifies it).
+
+use crate::buffer::SharedSlice;
+use crate::launch::BulkKernel;
+use oblivious::Layout;
+
+const DELTA: u32 = 0x9E37_79B9;
+
+/// Bulk XTEA encryption kernel: each instance holds a 4-word key followed
+/// by `2 * blocks` data words (matching `algorithms::Xtea`'s layout).
+#[derive(Debug, Clone, Copy)]
+pub struct XteaKernel {
+    /// 64-bit blocks per instance.
+    pub blocks: usize,
+    /// Feistel cycles (standard: 32).
+    pub rounds: u32,
+    /// Bulk arrangement.
+    pub layout: Layout,
+}
+
+impl XteaKernel {
+    /// Standard 32-cycle encryption kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks == 0`.
+    #[must_use]
+    pub fn new(blocks: usize, layout: Layout) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        Self { blocks, rounds: 32, layout }
+    }
+
+    #[inline]
+    fn encipher(&self, mut v0: u32, mut v1: u32, key: [u32; 4]) -> (u32, u32) {
+        let mut sum = 0u32;
+        for _ in 0..self.rounds {
+            v0 = v0.wrapping_add(
+                (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                    ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+            );
+            sum = sum.wrapping_add(DELTA);
+            v1 = v1.wrapping_add(
+                (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                    ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+            );
+        }
+        (v0, v1)
+    }
+}
+
+impl BulkKernel<u32> for XteaKernel {
+    fn memory_words(&self) -> usize {
+        4 + 2 * self.blocks
+    }
+
+    unsafe fn run_block(&self, mem: &SharedSlice<'_, u32>, p: usize, lo: usize, hi: usize) {
+        let msize = 4 + 2 * self.blocks;
+        let addr = |a: usize, lane: usize| match self.layout {
+            Layout::RowWise => lane * msize + a,
+            Layout::ColumnWise => a * p + lane,
+        };
+        for lane in lo..hi {
+            // SAFETY: every address below belongs to `lane`, which this
+            // block owns exclusively.
+            let key = unsafe {
+                [
+                    mem.get(addr(0, lane)),
+                    mem.get(addr(1, lane)),
+                    mem.get(addr(2, lane)),
+                    mem.get(addr(3, lane)),
+                ]
+            };
+            for b in 0..self.blocks {
+                let a0 = addr(4 + 2 * b, lane);
+                let a1 = addr(5 + 2 * b, lane);
+                let (v0, v1) = unsafe { (mem.get(a0), mem.get(a1)) };
+                let (c0, c1) = self.encipher(v0, v1, key);
+                unsafe {
+                    mem.set(a0, c0);
+                    mem.set(a1, c1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::launch::launch;
+    use algorithms::xtea::encipher_reference;
+    use algorithms::Xtea;
+    use oblivious::layout::extract;
+    use oblivious::program::arrange_inputs;
+
+    fn instances(p: usize, blocks: usize) -> Vec<Vec<u32>> {
+        (0..p as u32)
+            .map(|s| {
+                (0..4 + 2 * blocks)
+                    .map(|i| s.wrapping_mul(2654435761).wrapping_add(i as u32 * 40503))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_cipher_both_layouts() {
+        let (p, blocks) = (77usize, 3usize);
+        let ins = instances(p, blocks);
+        let refs: Vec<&[u32]> = ins.iter().map(|v| v.as_slice()).collect();
+        let prog = Xtea::encrypt(blocks);
+        for layout in Layout::all() {
+            let mut buf = arrange_inputs(&prog, &refs, layout);
+            launch(&Device::titan_like(), &XteaKernel::new(blocks, layout), &mut buf, p);
+            let msize = 4 + 2 * blocks;
+            let outs = extract(&buf, p, msize, layout, 4..msize);
+            for (inst, out) in ins.iter().zip(&outs) {
+                let key = [inst[0], inst[1], inst[2], inst[3]];
+                for b in 0..blocks {
+                    let want = encipher_reference(32, [inst[4 + 2 * b], inst[5 + 2 * b]], key);
+                    assert_eq!(&out[2 * b..2 * b + 2], &want, "{layout} block {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_agrees_with_generic_engine() {
+        let (p, blocks) = (40usize, 2usize);
+        let ins = instances(p, blocks);
+        let refs: Vec<&[u32]> = ins.iter().map(|v| v.as_slice()).collect();
+        let prog = Xtea::encrypt(blocks);
+        let want = oblivious::program::bulk_execute(&prog, &refs, Layout::ColumnWise);
+        let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
+        launch(
+            &Device::single_worker(),
+            &XteaKernel::new(blocks, Layout::ColumnWise),
+            &mut buf,
+            p,
+        );
+        let msize = 4 + 2 * blocks;
+        let got = extract(&buf, p, msize, Layout::ColumnWise, 4..msize);
+        assert_eq!(got, want);
+    }
+}

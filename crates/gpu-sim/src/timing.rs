@@ -1,0 +1,75 @@
+//! Wall-clock measurement helpers for the benchmark harnesses.
+
+use std::time::{Duration, Instant};
+
+/// Time one invocation of `f`.
+pub fn time_once<F: FnOnce()>(f: F) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+/// Run `f` `reps` times (after one warm-up) and return the **median**
+/// duration — robust to scheduler noise on small hosts.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn median_time<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    assert!(reps > 0, "need at least one repetition");
+    f(); // warm-up: page in buffers, warm caches
+    let mut samples: Vec<Duration> = (0..reps).map(|_| time_once(&mut f)).collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Seconds as f64.
+#[must_use]
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Nanoseconds per item for a duration over `items` units of work.
+#[must_use]
+pub fn ns_per_item(d: Duration, items: usize) -> f64 {
+    d.as_secs_f64() * 1e9 / items as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_measures_something() {
+        let d = time_once(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut calls = 0usize;
+        let d = median_time(5, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 6, "5 reps + 1 warm-up");
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn ns_per_item_scales() {
+        let d = Duration::from_micros(1000);
+        assert!((ns_per_item(d, 1000) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_rejected() {
+        let _ = median_time(0, || {});
+    }
+}

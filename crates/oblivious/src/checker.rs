@@ -1,0 +1,160 @@
+//! Obliviousness checking for *raw* algorithms.
+//!
+//! Programs written against [`crate::machine::ObliviousMachine`] are
+//! oblivious by construction.  Algorithms implemented outside that interface
+//! (hand-written kernels, third-party code) can still be *tested* for
+//! obliviousness: record their address trace on many inputs and require all
+//! traces to coincide step by step.  A genuine proof would need all inputs;
+//! the checker is a falsifier — one mismatch certifies non-obliviousness
+//! (as for binary search, see `algorithms::nonoblivious`).
+
+use umm_core::{ThreadAction, ThreadTrace};
+
+/// Evidence that an algorithm is not oblivious.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObliviousnessViolation {
+    /// Index of the input whose trace diverged from input 0's.
+    pub input_index: usize,
+    /// First time step at which the traces differ (or the length of the
+    /// shorter trace, when one trace is a strict prefix of the other).
+    pub step: usize,
+    /// Action of the reference trace at `step`, if it has one.
+    pub expected: Option<ThreadAction>,
+    /// Action of the diverging trace at `step`, if it has one.
+    pub got: Option<ThreadAction>,
+}
+
+impl core::fmt::Display for ObliviousnessViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "input {} diverges at step {}: expected {:?}, got {:?}",
+            self.input_index, self.step, self.expected, self.got
+        )
+    }
+}
+
+/// Compare the address traces an algorithm produces on a set of inputs.
+///
+/// Returns the common trace if all agree, or the first violation found.
+/// `trace_fn` runs the algorithm on one input and records its trace.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn check_oblivious<I>(
+    trace_fn: impl Fn(&I) -> ThreadTrace,
+    inputs: &[I],
+) -> Result<ThreadTrace, ObliviousnessViolation> {
+    assert!(!inputs.is_empty(), "need at least one input to trace");
+    let reference = trace_fn(&inputs[0]);
+    for (idx, input) in inputs.iter().enumerate().skip(1) {
+        let t = trace_fn(input);
+        if let Some(v) = first_divergence(&reference, &t, idx) {
+            return Err(v);
+        }
+    }
+    Ok(reference)
+}
+
+fn first_divergence(
+    a: &ThreadTrace,
+    b: &ThreadTrace,
+    input_index: usize,
+) -> Option<ObliviousnessViolation> {
+    let (sa, sb) = (a.steps(), b.steps());
+    let n = sa.len().min(sb.len());
+    for i in 0..n {
+        if sa[i] != sb[i] {
+            return Some(ObliviousnessViolation {
+                input_index,
+                step: i,
+                expected: Some(sa[i]),
+                got: Some(sb[i]),
+            });
+        }
+    }
+    if sa.len() != sb.len() {
+        return Some(ObliviousnessViolation {
+            input_index,
+            step: n,
+            expected: sa.get(n).copied(),
+            got: sb.get(n).copied(),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A raw oblivious trace: always touches 0, 1, 2.
+    #[allow(clippy::ptr_arg)] // matches the checker's &I item type
+    fn sweep_trace(_input: &Vec<f64>) -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        for a in 0..3 {
+            t.read(a);
+        }
+        t
+    }
+
+    /// A raw data-dependent trace: touches the index of the first negative
+    /// element — a miniature binary-search-like pattern.
+    #[allow(clippy::ptr_arg)]
+    fn leaky_trace(input: &Vec<f64>) -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        let idx = input.iter().position(|&x| x < 0.0).unwrap_or(0);
+        t.read(idx);
+        t
+    }
+
+    /// A trace whose *length* depends on the data.
+    #[allow(clippy::ptr_arg)]
+    fn variable_length_trace(input: &Vec<f64>) -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        let n = if input[0] > 0.0 { 3 } else { 1 };
+        for a in 0..n {
+            t.read(a);
+        }
+        t
+    }
+
+    #[test]
+    fn accepts_identical_traces() {
+        let inputs = vec![vec![1.0, 2.0], vec![-5.0, 0.5], vec![0.0, 0.0]];
+        let t = check_oblivious(sweep_trace, &inputs).expect("oblivious");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn rejects_data_dependent_addresses() {
+        let inputs = vec![vec![1.0, -1.0, 1.0], vec![-1.0, 1.0, 1.0]];
+        let v = check_oblivious(leaky_trace, &inputs).unwrap_err();
+        assert_eq!(v.input_index, 1);
+        assert_eq!(v.step, 0);
+        assert_ne!(v.expected, v.got);
+        assert!(v.to_string().contains("diverges at step 0"));
+    }
+
+    #[test]
+    fn rejects_data_dependent_length() {
+        let inputs = vec![vec![1.0], vec![-1.0]];
+        let v = check_oblivious(variable_length_trace, &inputs).unwrap_err();
+        assert_eq!(v.step, 1, "prefix matches, divergence at truncation point");
+        assert!(v.got.is_none());
+    }
+
+    #[test]
+    fn single_input_vacuously_oblivious() {
+        let inputs = vec![vec![-1.0, 2.0, 3.0]];
+        assert!(check_oblivious(leaky_trace, &inputs).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_inputs_panic() {
+        let inputs: Vec<Vec<f64>> = vec![];
+        let _ = check_oblivious(sweep_trace, &inputs);
+    }
+}

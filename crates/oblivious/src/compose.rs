@@ -1,0 +1,256 @@
+//! Program combinators: build larger oblivious programs from smaller ones.
+//!
+//! Because an [`ObliviousProgram`] is just control flow over a machine,
+//! combinators are implemented as *wrapper machines* that rewrite
+//! addresses on the way through — composition cannot break obliviousness,
+//! since the wrappers only apply index arithmetic.
+//!
+//! * [`Shifted`] — relocate a program's memory window by a constant offset.
+//! * [`Chain`] — run `A` then `B` over one shared memory (pipelines where
+//!   `B` consumes `A`'s output in place).
+//! * [`Repeat`] — run a program `k` times (iterative refinement).
+
+use crate::machine::{ObliviousMachine, ObliviousProgram};
+use crate::ops::{BinOp, CmpOp, UnOp};
+use crate::word::Word;
+
+/// A machine view whose addresses are shifted by a constant.
+struct OffsetMachine<'m, M> {
+    inner: &'m mut M,
+    offset: usize,
+}
+
+impl<'m, W: Word, M: ObliviousMachine<W>> ObliviousMachine<W> for OffsetMachine<'m, M> {
+    type Value = M::Value;
+
+    fn read(&mut self, addr: usize) -> M::Value {
+        self.inner.read(addr + self.offset)
+    }
+    fn write(&mut self, addr: usize, v: M::Value) {
+        self.inner.write(addr + self.offset, v);
+    }
+    fn constant(&mut self, c: W) -> M::Value {
+        self.inner.constant(c)
+    }
+    fn unop(&mut self, op: UnOp, a: M::Value) -> M::Value {
+        self.inner.unop(op, a)
+    }
+    fn binop(&mut self, op: BinOp, a: M::Value, b: M::Value) -> M::Value {
+        self.inner.binop(op, a, b)
+    }
+    fn select(&mut self, cmp: CmpOp, a: M::Value, b: M::Value, t: M::Value, e: M::Value) -> M::Value {
+        self.inner.select(cmp, a, b, t, e)
+    }
+    fn free(&mut self, v: M::Value) {
+        self.inner.free(v);
+    }
+}
+
+/// `P` with its whole memory window moved up by `offset` words.
+#[derive(Debug, Clone, Copy)]
+pub struct Shifted<P> {
+    inner: P,
+    offset: usize,
+}
+
+impl<P> Shifted<P> {
+    /// Shift `inner`'s addresses by `offset`.
+    #[must_use]
+    pub fn new(inner: P, offset: usize) -> Self {
+        Self { inner, offset }
+    }
+}
+
+impl<W: Word, P: ObliviousProgram<W>> ObliviousProgram<W> for Shifted<P> {
+    fn name(&self) -> String {
+        format!("{}@+{}", self.inner.name(), self.offset)
+    }
+    fn memory_words(&self) -> usize {
+        self.inner.memory_words() + self.offset
+    }
+    fn input_range(&self) -> core::ops::Range<usize> {
+        let r = self.inner.input_range();
+        r.start + self.offset..r.end + self.offset
+    }
+    fn output_range(&self) -> core::ops::Range<usize> {
+        let r = self.inner.output_range();
+        r.start + self.offset..r.end + self.offset
+    }
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        let mut om = OffsetMachine { inner: m, offset: self.offset };
+        self.inner.run(&mut om);
+    }
+}
+
+/// Run `A` then `B` over one shared memory window.
+///
+/// The combined program's memory is the larger of the two; `A`'s output is
+/// expected to land where `B` reads its input (arrange with [`Shifted`] if
+/// the windows differ).  Input is `A`'s, output is `B`'s.
+#[derive(Debug, Clone, Copy)]
+pub struct Chain<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Chain<A, B> {
+    /// Compose two programs sequentially.
+    #[must_use]
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<W: Word, A: ObliviousProgram<W>, B: ObliviousProgram<W>> ObliviousProgram<W> for Chain<A, B> {
+    fn name(&self) -> String {
+        format!("{} ; {}", self.a.name(), self.b.name())
+    }
+    fn memory_words(&self) -> usize {
+        self.a.memory_words().max(self.b.memory_words())
+    }
+    fn input_range(&self) -> core::ops::Range<usize> {
+        self.a.input_range()
+    }
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.b.output_range()
+    }
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        self.a.run(m);
+        self.b.run(m);
+    }
+}
+
+/// Run `P` `k` times over its own memory (requires `P` to read where it
+/// writes, i.e. `input_range == output_range` for the iteration to be
+/// meaningful — not enforced, but asserted in debug builds).
+#[derive(Debug, Clone, Copy)]
+pub struct Repeat<P> {
+    inner: P,
+    times: usize,
+}
+
+impl<P> Repeat<P> {
+    /// Repeat `inner` `times` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times == 0`.
+    #[must_use]
+    pub fn new(inner: P, times: usize) -> Self {
+        assert!(times > 0, "must repeat at least once");
+        Self { inner, times }
+    }
+}
+
+impl<W: Word, P: ObliviousProgram<W>> ObliviousProgram<W> for Repeat<P> {
+    fn name(&self) -> String {
+        format!("{} x{}", self.inner.name(), self.times)
+    }
+    fn memory_words(&self) -> usize {
+        self.inner.memory_words()
+    }
+    fn input_range(&self) -> core::ops::Range<usize> {
+        self.inner.input_range()
+    }
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.inner.output_range()
+    }
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        debug_assert_eq!(
+            self.inner.input_range(),
+            self.inner.output_range(),
+            "Repeat needs an in-place program"
+        );
+        for _ in 0..self.times {
+            self.inner.run(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{run_on_input, time_steps, trace_of};
+
+    /// mem[i] += 1 for all i.
+    #[derive(Clone, Copy)]
+    struct Inc {
+        n: usize,
+    }
+
+    impl ObliviousProgram<f64> for Inc {
+        fn name(&self) -> String {
+            "inc".into()
+        }
+        fn memory_words(&self) -> usize {
+            self.n
+        }
+        fn input_range(&self) -> core::ops::Range<usize> {
+            0..self.n
+        }
+        fn output_range(&self) -> core::ops::Range<usize> {
+            0..self.n
+        }
+        fn run<M: ObliviousMachine<f64>>(&self, m: &mut M) {
+            let one = m.constant(1.0);
+            for i in 0..self.n {
+                let x = m.read(i);
+                let y = m.add(x, one);
+                m.write(i, y);
+                m.free(x);
+                m.free(y);
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_relocates_the_window() {
+        let prog = Shifted::new(Inc { n: 2 }, 3);
+        assert_eq!(prog.memory_words(), 5);
+        assert_eq!(prog.input_range(), 3..5);
+        let out = run_on_input(&prog, &[10.0, 20.0]);
+        assert_eq!(out, vec![11.0, 21.0]);
+        // The trace touches only the shifted addresses.
+        let t = trace_of::<f64, _>(&prog);
+        assert!(t.steps().iter().all(|s| s.addr().is_none_or(|a| a >= 3)));
+    }
+
+    #[test]
+    fn chain_runs_in_order() {
+        // inc ; inc = +2.
+        let prog = Chain::new(Inc { n: 3 }, Inc { n: 3 });
+        let out = run_on_input(&prog, &[0.0, 1.0, 2.0]);
+        assert_eq!(out, vec![2.0, 3.0, 4.0]);
+        assert_eq!(
+            time_steps::<f64, _>(&prog),
+            2 * time_steps::<f64, _>(&Inc { n: 3 })
+        );
+    }
+
+    #[test]
+    fn repeat_composes_k_times() {
+        let prog = Repeat::new(Inc { n: 2 }, 5);
+        let out = run_on_input(&prog, &[0.0, 100.0]);
+        assert_eq!(out, vec![5.0, 105.0]);
+    }
+
+    #[test]
+    fn combinators_nest() {
+        // (inc x2) shifted by 1, chained after inc over the full window:
+        // cell 0 gets +1, cells 1..3 get +1 then +2.
+        let prog = Chain::new(Inc { n: 3 }, Shifted::new(Repeat::new(Inc { n: 2 }, 2), 1));
+        assert_eq!(prog.memory_words(), 3);
+        let out: Vec<f64> = {
+            let mut mem = vec![0.0; 3];
+            crate::program::run_scalar(&prog, &mut mem);
+            mem
+        };
+        assert_eq!(out, vec![1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least once")]
+    fn zero_repeats_rejected() {
+        let _ = Repeat::new(Inc { n: 1 }, 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Machine backends: one oblivious program, four executors.
+
+pub mod bulk;
+pub mod cost;
+pub mod scalar;
+pub mod tracer;
+
+pub use bulk::{BulkMachine, BulkValue, LanePort, SliceLanes};
+pub use cost::{CostMachine, Model};
+pub use scalar::ScalarMachine;
+pub use tracer::TraceMachine;

@@ -1,0 +1,111 @@
+//! Direct sequential execution — the paper's single-CPU reference.
+
+use crate::machine::ObliviousMachine;
+use crate::ops::{BinOp, CmpOp, UnOp};
+use crate::word::Word;
+
+/// Executes an oblivious program on one instance, in place.
+///
+/// `Value = W`: registers are plain words, operations are native arithmetic.
+/// This backend is what "run the sequential algorithm on a single CPU"
+/// means throughout the benchmarks.
+#[derive(Debug)]
+pub struct ScalarMachine<'a, W> {
+    mem: &'a mut [W],
+}
+
+impl<'a, W: Word> ScalarMachine<'a, W> {
+    /// Wrap a working memory.  The program's `memory_words()` must equal
+    /// `mem.len()`; helpers in [`crate::program`] enforce that.
+    #[must_use]
+    pub fn new(mem: &'a mut [W]) -> Self {
+        Self { mem }
+    }
+
+    /// The underlying memory.
+    #[must_use]
+    pub fn memory(&self) -> &[W] {
+        self.mem
+    }
+}
+
+impl<'a, W: Word> ObliviousMachine<W> for ScalarMachine<'a, W> {
+    type Value = W;
+
+    #[inline]
+    fn read(&mut self, addr: usize) -> W {
+        self.mem[addr]
+    }
+
+    #[inline]
+    fn write(&mut self, addr: usize, v: W) {
+        self.mem[addr] = v;
+    }
+
+    #[inline]
+    fn constant(&mut self, c: W) -> W {
+        c
+    }
+
+    #[inline]
+    fn unop(&mut self, op: UnOp, a: W) -> W {
+        W::apply_un(op, a)
+    }
+
+    #[inline]
+    fn binop(&mut self, op: BinOp, a: W, b: W) -> W {
+        W::apply_bin(op, a, b)
+    }
+
+    #[inline]
+    fn select(&mut self, cmp: CmpOp, a: W, b: W, t: W, e: W) -> W {
+        if W::compare(cmp, a, b) {
+            t
+        } else {
+            e
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_writes_hit_memory() {
+        let mut mem = [10.0f64, 20.0];
+        let mut m = ScalarMachine::new(&mut mem);
+        let a = m.read(0);
+        let b = m.read(1);
+        let s = m.binop(BinOp::Add, a, b);
+        m.write(1, s);
+        assert_eq!(mem[1], 30.0);
+    }
+
+    #[test]
+    fn select_picks_by_comparison() {
+        let mut mem = [0.0f64];
+        let mut m = ScalarMachine::new(&mut mem);
+        let one = m.constant(1.0);
+        let two = m.constant(2.0);
+        assert_eq!(m.select(CmpOp::Lt, one, two, one, two), 1.0);
+        assert_eq!(m.select(CmpOp::Lt, two, one, one, two), 2.0);
+        assert_eq!(m.select(CmpOp::Eq, one, one, two, one), 2.0);
+    }
+
+    #[test]
+    fn unop_applies() {
+        let mut mem = [0u32];
+        let mut m = ScalarMachine::new(&mut mem);
+        let x = m.constant(0b1010u32);
+        assert_eq!(m.unop(UnOp::Shl(1), x), 0b10100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mut mem = [0.0f32; 2];
+        let mut m = ScalarMachine::new(&mut mem);
+        let _ = m.read(2);
+    }
+}

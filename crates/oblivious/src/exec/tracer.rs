@@ -1,0 +1,115 @@
+//! Address-trace recording — extracting the paper's address function `a(t)`.
+
+use crate::machine::ObliviousMachine;
+use crate::ops::{BinOp, CmpOp, UnOp};
+use crate::word::Word;
+use umm_core::ThreadTrace;
+
+/// Records the sequence of memory addresses a program touches.
+///
+/// `Value = ()`: no data is computed at all.  Because programs cannot
+/// branch on data, the recorded trace is *the* address function `a(t)` for
+/// every input of the same shape — running the tracer once fully
+/// characterises the program's memory behaviour.
+#[derive(Debug, Default)]
+pub struct TraceMachine {
+    trace: ThreadTrace,
+    bound: Option<usize>,
+}
+
+impl TraceMachine {
+    /// New tracer without bounds checking.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New tracer that asserts every address is `< bound`
+    /// (use the program's `memory_words()`).
+    #[must_use]
+    pub fn with_bound(bound: usize) -> Self {
+        Self { trace: ThreadTrace::new(), bound: Some(bound) }
+    }
+
+    /// Consume the tracer, yielding the recorded trace.
+    #[must_use]
+    pub fn into_trace(self) -> ThreadTrace {
+        self.trace
+    }
+
+    /// The trace so far.
+    #[must_use]
+    pub fn trace(&self) -> &ThreadTrace {
+        &self.trace
+    }
+
+    fn check(&self, addr: usize) {
+        if let Some(b) = self.bound {
+            assert!(addr < b, "oblivious program accessed address {addr} >= memory size {b}");
+        }
+    }
+}
+
+impl<W: Word> ObliviousMachine<W> for TraceMachine {
+    type Value = ();
+
+    #[inline]
+    fn read(&mut self, addr: usize) {
+        self.check(addr);
+        self.trace.read(addr);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: usize, _v: ()) {
+        self.check(addr);
+        self.trace.write(addr);
+    }
+
+    #[inline]
+    fn constant(&mut self, _c: W) {}
+
+    #[inline]
+    fn unop(&mut self, _op: UnOp, _a: ()) {}
+
+    #[inline]
+    fn binop(&mut self, _op: BinOp, _a: (), _b: ()) {}
+
+    #[inline]
+    fn select(&mut self, _cmp: CmpOp, _a: (), _b: (), _t: (), _e: ()) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umm_core::{Op, ThreadAction};
+
+    #[test]
+    fn records_reads_and_writes_in_order() {
+        let mut m = TraceMachine::new();
+        <TraceMachine as ObliviousMachine<f32>>::read(&mut m, 3);
+        <TraceMachine as ObliviousMachine<f32>>::write(&mut m, 4, ());
+        let t = m.into_trace();
+        assert_eq!(
+            t.steps(),
+            &[ThreadAction::Access(Op::Read, 3), ThreadAction::Access(Op::Write, 4)]
+        );
+    }
+
+    #[test]
+    fn register_ops_do_not_appear_in_trace() {
+        // The paper's accounting: "we ignore access to registers and local
+        // computation" — only memory steps are timed.
+        let mut m = TraceMachine::new();
+        <TraceMachine as ObliviousMachine<f32>>::constant(&mut m, 1.0);
+        <TraceMachine as ObliviousMachine<f32>>::binop(&mut m, BinOp::Add, (), ());
+        <TraceMachine as ObliviousMachine<f32>>::write(&mut m, 0, ());
+        assert_eq!(m.trace().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "accessed address 5")]
+    fn bound_violation_panics() {
+        let mut m = TraceMachine::with_bound(5);
+        <TraceMachine as ObliviousMachine<f32>>::read(&mut m, 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bulk-execution pricing on the Hierarchical Memory Machine.
+//!
+//! The paper's experiments deliberately use only the global memory ("we do
+//! not use the shared memory of the streaming multiprocessors"), but the
+//! HMM it cites models exactly that choice.  This module prices both
+//! strategies for a bulk execution:
+//!
+//! * **all-global** — every one of the `t` memory steps is a (column-wise,
+//!   coalesced) access to the global UMM;
+//! * **staged** — each DMM copies its block's instances into shared memory
+//!   (one coalesced global round per instance word), runs all `t` steps at
+//!   shared-memory cost with DMMs in parallel, and writes the output range
+//!   back.
+//!
+//! The crossover is the classic GPU rule of thumb, now derivable: staging
+//! wins exactly when the compute-to-footprint ratio `t / msize` outweighs
+//! the extra copy traffic — true for OPT (`t ~ n³/3` over `2n²` words),
+//! false for prefix-sums (`t = 2n` over `n` words, no reuse).
+
+use crate::machine::ObliviousProgram;
+use crate::program::{bulk_model_time, time_steps};
+use crate::word::Word;
+use crate::{Layout, Model};
+use umm_core::HmmConfig;
+
+/// The priced alternatives for one bulk execution on the HMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HmmBulkCost {
+    /// Every step against the global UMM (the paper's configuration).
+    pub all_global: u64,
+    /// Stage into shared memory, compute, write back.
+    pub staged: u64,
+    /// Staged breakdown: global load rounds.
+    pub load: u64,
+    /// Staged breakdown: shared-memory compute rounds.
+    pub compute: u64,
+    /// Staged breakdown: global store rounds.
+    pub store: u64,
+}
+
+impl HmmBulkCost {
+    /// True iff staging is the better strategy.
+    #[must_use]
+    pub fn staging_wins(&self) -> bool {
+        self.staged < self.all_global
+    }
+
+    /// Speedup of the better strategy over the other.
+    #[must_use]
+    pub fn advantage(&self) -> f64 {
+        let (a, b) = (self.all_global as f64, self.staged as f64);
+        if a >= b {
+            a / b
+        } else {
+            b / a
+        }
+    }
+}
+
+/// Cost of one fully-coalesced bulk round against a machine
+/// (`⌈p/w⌉ + l − 1`).
+fn coalesced_round(cfg: &umm_core::MachineConfig, p: u64) -> u64 {
+    p.div_ceil(cfg.width as u64) + cfg.latency as u64 - 1
+}
+
+/// Price a bulk execution of `p` instances on `hmm`.
+///
+/// Assumes the column-wise arrangement in both memories (the optimal one
+/// by Theorem 3) and that shared capacity suffices for each DMM's block —
+/// the caller can check `capacity_needed_per_dmm`.
+///
+/// # Panics
+///
+/// Panics if `p` is not a positive multiple of the DMM count.
+#[must_use]
+pub fn hmm_bulk_cost<W: Word, P: ObliviousProgram<W>>(
+    program: &P,
+    hmm: &HmmConfig,
+    p: usize,
+) -> HmmBulkCost {
+    assert!(p > 0 && p.is_multiple_of(hmm.dmms), "p must be a positive multiple of the DMM count");
+    let t = time_steps(program) as u64;
+    let msize = program.memory_words() as u64;
+    let out_words = program.output_range().len() as u64;
+    let per_dmm = (p / hmm.dmms) as u64;
+
+    // All-global: the ordinary column-wise UMM pricing.
+    let all_global = bulk_model_time(program, hmm.global, Model::Umm, Layout::ColumnWise, p);
+
+    // Staged: load every instance word once (coalesced global rounds),
+    // compute on shared (DMMs in parallel, conflict-free column-wise
+    // within each DMM), store the output range back.
+    let load = msize * coalesced_round(&hmm.global, p as u64);
+    let compute = t * (per_dmm.div_ceil(hmm.shared.width as u64) + hmm.shared.latency as u64 - 1);
+    let store = out_words * coalesced_round(&hmm.global, p as u64);
+
+    HmmBulkCost { all_global, staged: load + compute + store, load, compute, store }
+}
+
+/// Shared-memory words each DMM needs to stage its block.
+#[must_use]
+pub fn capacity_needed_per_dmm<W: Word, P: ObliviousProgram<W>>(
+    program: &P,
+    hmm: &HmmConfig,
+    p: usize,
+) -> usize {
+    program.memory_words() * (p / hmm.dmms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umm_core::MachineConfig;
+
+    fn hmm() -> HmmConfig {
+        HmmConfig::new(4, MachineConfig::new(32, 2), MachineConfig::new(32, 200))
+    }
+
+    #[test]
+    fn staging_wins_for_reuse_heavy_dp() {
+        // OPT: t ~ n³/3 over 2n² words — massive reuse.
+        let prog = crate::tests_support::opt_like(16);
+        let c = hmm_bulk_cost(&prog, &hmm(), 64);
+        assert!(c.staging_wins(), "{c:?}");
+        assert!(c.advantage() > 2.0, "staging should win big: {c:?}");
+        assert_eq!(c.staged, c.load + c.compute + c.store);
+    }
+
+    #[test]
+    fn staging_loses_for_streaming_prefix_sums() {
+        // Prefix-sums: every word read once and written once — staging
+        // doubles the global traffic for nothing.
+        let prog = crate::tests_support::prefix_sums_like(256);
+        let c = hmm_bulk_cost(&prog, &hmm(), 64);
+        assert!(!c.staging_wins(), "{c:?}");
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let prog = crate::tests_support::prefix_sums_like(100);
+        assert_eq!(capacity_needed_per_dmm(&prog, &hmm(), 64), 100 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the DMM count")]
+    fn ragged_p_rejected() {
+        let prog = crate::tests_support::prefix_sums_like(8);
+        let _ = hmm_bulk_cost(&prog, &hmm(), 63);
+    }
+}

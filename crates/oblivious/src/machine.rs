@@ -1,0 +1,181 @@
+//! The oblivious machine abstraction.
+//!
+//! An [`ObliviousMachine`] is the only interface through which an oblivious
+//! program touches data.  Values are opaque handles ([`ObliviousMachine::Value`]);
+//! the program can combine them arithmetically and *select* between them by
+//! comparison, but it can never extract one into a `bool` or an address.
+//! Consequently the sequence of `read`/`write` addresses a program issues is
+//! a function of its size parameters only — the program is oblivious **by
+//! construction** (cf. paper Section III: "there exists a function
+//! `a : time → N` such that for any input the algorithm accesses address
+//! `a(i)` or does not access memory at time `i`").
+//!
+//! One program, many machines:
+//!
+//! * [`crate::exec::ScalarMachine`] executes it directly on one input — the
+//!   sequential CPU algorithm;
+//! * [`crate::exec::TraceMachine`] records the address function `a(t)`;
+//! * [`crate::exec::BulkMachine`] executes it on `p` inputs in SIMD
+//!   lockstep — the paper's *bulk execution* (and its future-work "automatic
+//!   conversion system");
+//! * [`crate::exec::CostMachine`] prices it on the UMM/DMM without touching
+//!   data.
+
+use crate::ops::{BinOp, CmpOp, UnOp};
+use crate::word::Word;
+
+/// Abstract executor of oblivious programs over word type `W`.
+pub trait ObliviousMachine<W: Word> {
+    /// Opaque handle to a runtime value (a "register").
+    type Value: Copy;
+
+    /// Load the word at `addr`.  One machine time step.
+    fn read(&mut self, addr: usize) -> Self::Value;
+
+    /// Store `v` to `addr`.  One machine time step.
+    fn write(&mut self, addr: usize, v: Self::Value);
+
+    /// Materialise a compile-time constant.  Free (register operation).
+    fn constant(&mut self, c: W) -> Self::Value;
+
+    /// Apply a unary operation.  Free (register operation).
+    fn unop(&mut self, op: UnOp, a: Self::Value) -> Self::Value;
+
+    /// Apply a binary operation.  Free (register operation).
+    fn binop(&mut self, op: BinOp, a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// Oblivious conditional: the value of `t` where `cmp(a, b)` holds and
+    /// of `e` elsewhere.  This is the `if r < s then s ← r else s ← s`
+    /// idiom the paper uses to keep Algorithm OPT oblivious, lifted into the
+    /// machine so every backend implements it without branching on data.
+    fn select(
+        &mut self,
+        cmp: CmpOp,
+        a: Self::Value,
+        b: Self::Value,
+        t: Self::Value,
+        e: Self::Value,
+    ) -> Self::Value;
+
+    /// Release a dead value.
+    ///
+    /// Backends with per-value storage (the bulk executor keeps a `p`-lane
+    /// vector per live value) reuse the slot; other backends ignore it.
+    /// Forgetting to free is safe — merely more memory — so programs only
+    /// bother inside loops.
+    fn free(&mut self, _v: Self::Value) {}
+
+    // ---- convenience wrappers -------------------------------------------
+
+    /// `a + b`
+    fn add(&mut self, a: Self::Value, b: Self::Value) -> Self::Value {
+        self.binop(BinOp::Add, a, b)
+    }
+    /// `a - b`
+    fn sub(&mut self, a: Self::Value, b: Self::Value) -> Self::Value {
+        self.binop(BinOp::Sub, a, b)
+    }
+    /// `a * b`
+    fn mul(&mut self, a: Self::Value, b: Self::Value) -> Self::Value {
+        self.binop(BinOp::Mul, a, b)
+    }
+    /// `min(a, b)`
+    fn min(&mut self, a: Self::Value, b: Self::Value) -> Self::Value {
+        self.binop(BinOp::Min, a, b)
+    }
+    /// `max(a, b)`
+    fn max(&mut self, a: Self::Value, b: Self::Value) -> Self::Value {
+        self.binop(BinOp::Max, a, b)
+    }
+    /// `a ^ b` (integer words)
+    fn xor(&mut self, a: Self::Value, b: Self::Value) -> Self::Value {
+        self.binop(BinOp::Xor, a, b)
+    }
+    /// The zero constant.
+    fn zero(&mut self) -> Self::Value {
+        self.constant(W::ZERO)
+    }
+    /// The `+∞` sentinel.
+    fn pos_inf(&mut self) -> Self::Value {
+        self.constant(W::POS_INF)
+    }
+}
+
+/// A sequential algorithm expressed against the oblivious machine interface.
+///
+/// The program's control flow may depend only on its own size parameters
+/// (captured in `self`), never on data — the `Value`-opacity of
+/// [`ObliviousMachine`] enforces this.  `memory_words` declares the size of
+/// the flat working memory (input, scratch and output regions included); all
+/// `read`/`write` addresses must stay below it.
+pub trait ObliviousProgram<W: Word> {
+    /// Human-readable name, used in reports and error messages.
+    fn name(&self) -> String;
+
+    /// Size in words of the per-instance working memory.
+    fn memory_words(&self) -> usize;
+
+    /// The address range `lo..hi` holding the input on entry.
+    fn input_range(&self) -> core::ops::Range<usize>;
+
+    /// The address range holding the output on exit.
+    fn output_range(&self) -> core::ops::Range<usize>;
+
+    /// Execute against an arbitrary machine.
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ScalarMachine;
+
+    /// A toy two-word swap written against the machine API.
+    struct Swap;
+
+    impl ObliviousProgram<f64> for Swap {
+        fn name(&self) -> String {
+            "swap".into()
+        }
+        fn memory_words(&self) -> usize {
+            2
+        }
+        fn input_range(&self) -> core::ops::Range<usize> {
+            0..2
+        }
+        fn output_range(&self) -> core::ops::Range<usize> {
+            0..2
+        }
+        fn run<M: ObliviousMachine<f64>>(&self, m: &mut M) {
+            let a = m.read(0);
+            let b = m.read(1);
+            m.write(0, b);
+            m.write(1, a);
+        }
+    }
+
+    #[test]
+    fn convenience_wrappers_delegate() {
+        let mut mem = [3.0, 4.0];
+        let mut m = ScalarMachine::new(&mut mem);
+        let a = m.read(0);
+        let b = m.read(1);
+        let s = m.add(a, b);
+        let d = m.sub(a, b);
+        let mn = m.min(a, b);
+        let mx = m.max(a, b);
+        m.write(0, s);
+        m.write(1, d);
+        assert_eq!(mem, [7.0, -1.0]);
+        assert_eq!(mn, 3.0);
+        assert_eq!(mx, 4.0);
+    }
+
+    #[test]
+    fn program_runs_on_scalar_machine() {
+        let mut mem = [1.0, 2.0];
+        let mut m = ScalarMachine::new(&mut mem);
+        Swap.run(&mut m);
+        assert_eq!(mem, [2.0, 1.0]);
+    }
+}

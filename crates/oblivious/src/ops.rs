@@ -1,0 +1,87 @@
+//! The operation vocabulary of oblivious programs.
+//!
+//! Programs manipulate opaque values through a fixed set of unary, binary
+//! and compare-select operations.  Because a comparison yields a *selected
+//! value* rather than a branchable boolean, a program cannot make control
+//! flow depend on data — which is exactly the paper's definition of an
+//! oblivious algorithm, enforced at the type level.
+
+use serde::{Deserialize, Serialize};
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation (two's complement for integers).
+    Neg,
+    /// Bitwise NOT (integer words only).
+    Not,
+    /// Left shift by a compile-time constant (integer words only).
+    Shl(u32),
+    /// Logical right shift by a compile-time constant (integer words only).
+    Shr(u32),
+}
+
+/// Binary operations.
+///
+/// Integer words use wrapping arithmetic for `Add`/`Sub`/`Mul`, matching the
+/// modular arithmetic of cipher kernels; floating words use IEEE arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition (wrapping for integers).
+    Add,
+    /// Subtraction (wrapping for integers).
+    Sub,
+    /// Multiplication (wrapping for integers).
+    Mul,
+    /// Division.  Integer division by zero yields the zero word rather than
+    /// trapping, so that lockstep bulk execution cannot fault on one lane.
+    Div,
+    /// Minimum (IEEE `min` semantics for floats).
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise XOR (integer words only).
+    Xor,
+    /// Bitwise AND (integer words only).
+    And,
+    /// Bitwise OR (integer words only).
+    Or,
+}
+
+/// Comparison predicates used by oblivious selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a == b`
+    Eq,
+}
+
+impl CmpOp {
+    /// Evaluate the predicate on an already-ordered pair.
+    #[inline]
+    #[must_use]
+    pub fn eval<T: PartialOrd>(&self, a: &T, b: &T) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Eq => a == b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval(&1, &2));
+        assert!(!CmpOp::Lt.eval(&2, &2));
+        assert!(CmpOp::Le.eval(&2, &2));
+        assert!(CmpOp::Eq.eval(&2, &2));
+        assert!(!CmpOp::Eq.eval(&1, &2));
+    }
+}

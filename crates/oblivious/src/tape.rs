@@ -1,0 +1,518 @@
+//! Recorded instruction tapes: compile an oblivious program once, replay
+//! it anywhere.
+//!
+//! The paper's future work describes "a conversion system that
+//! automatically converts a sequential program … for the bulk execution".
+//! The generic engine already does that by re-running the program's Rust
+//! control flow against each backend; a [`Tape`] takes the next step and
+//! *records* the instruction stream once — legal precisely because the
+//! program is oblivious, so the stream is identical for every input of the
+//! same shape.  Replaying a tape skips all host control flow (loop
+//! arithmetic, bounds checks, schedule generation), which is the analogue
+//! of emitting a straight-line CUDA kernel.
+//!
+//! Tapes use single-assignment slots; [`Tape::eliminate_dead_code`] drops
+//! instructions whose results never reach a `Write` — a tiny but real
+//! optimising pass, property-tested to preserve semantics.
+
+use crate::machine::{ObliviousMachine, ObliviousProgram};
+use crate::ops::{BinOp, CmpOp, UnOp};
+use crate::word::Word;
+use serde::{Deserialize, Serialize};
+
+/// A single-assignment slot index.
+pub type Slot = u32;
+
+/// One recorded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Inst<W> {
+    /// `slot ← mem[addr]`
+    Read {
+        /// Destination slot.
+        dst: Slot,
+        /// Logical address.
+        addr: usize,
+    },
+    /// `mem[addr] ← slot`
+    Write {
+        /// Logical address.
+        addr: usize,
+        /// Source slot.
+        src: Slot,
+    },
+    /// `slot ← c`
+    Const {
+        /// Destination slot.
+        dst: Slot,
+        /// Constant value.
+        value: W,
+    },
+    /// `slot ← op a`
+    Un {
+        /// Destination slot.
+        dst: Slot,
+        /// Operation.
+        op: UnOp,
+        /// Operand slot.
+        a: Slot,
+    },
+    /// `slot ← a op b`
+    Bin {
+        /// Destination slot.
+        dst: Slot,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Slot,
+        /// Right operand.
+        b: Slot,
+    },
+    /// `slot ← cmp(a, b) ? t : e`
+    Select {
+        /// Destination slot.
+        dst: Slot,
+        /// Predicate.
+        cmp: CmpOp,
+        /// Compared left.
+        a: Slot,
+        /// Compared right.
+        b: Slot,
+        /// Value if the predicate holds.
+        t: Slot,
+        /// Value otherwise.
+        e: Slot,
+    },
+}
+
+impl<W> Inst<W> {
+    fn dst(&self) -> Option<Slot> {
+        match *self {
+            Inst::Read { dst, .. }
+            | Inst::Const { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Select { dst, .. } => Some(dst),
+            Inst::Write { .. } => None,
+        }
+    }
+
+    fn sources(&self) -> [Option<Slot>; 4] {
+        match *self {
+            Inst::Read { .. } | Inst::Const { .. } => [None; 4],
+            Inst::Write { src, .. } => [Some(src), None, None, None],
+            Inst::Un { a, .. } => [Some(a), None, None, None],
+            Inst::Bin { a, b, .. } => [Some(a), Some(b), None, None],
+            Inst::Select { a, b, t, e, .. } => [Some(a), Some(b), Some(t), Some(e)],
+        }
+    }
+}
+
+/// A recorded, replayable oblivious program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tape<W> {
+    name: String,
+    memory_words: usize,
+    input: core::ops::Range<usize>,
+    output: core::ops::Range<usize>,
+    slots: u32,
+    insts: Vec<Inst<W>>,
+}
+
+impl<W: Word + Serialize + for<'de> Deserialize<'de>> Tape<W> {
+    /// Record a program into a tape.
+    #[must_use]
+    pub fn record<P: ObliviousProgram<W>>(program: &P) -> Self {
+        let mut rec = Recorder { insts: Vec::new(), next: 0, bound: program.memory_words() };
+        program.run(&mut rec);
+        Self {
+            name: format!("tape({})", program.name()),
+            memory_words: program.memory_words(),
+            input: program.input_range(),
+            output: program.output_range(),
+            slots: rec.next,
+            insts: rec.insts,
+        }
+    }
+
+    /// Number of recorded instructions (memory + register ops).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Number of memory instructions (the paper's `t`).
+    #[must_use]
+    pub fn memory_steps(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Read { .. } | Inst::Write { .. }))
+            .count()
+    }
+
+    /// The instruction stream.
+    #[must_use]
+    pub fn instructions(&self) -> &[Inst<W>] {
+        &self.insts
+    }
+
+    /// Drop instructions whose results can never reach memory — a
+    /// backwards liveness sweep over the single-assignment slots.
+    /// Returns the number of instructions removed.
+    pub fn eliminate_dead_code(&mut self) -> usize {
+        let mut live = vec![false; self.slots as usize];
+        let mut keep = vec![false; self.insts.len()];
+        for (i, inst) in self.insts.iter().enumerate().rev() {
+            let needed = match inst {
+                Inst::Write { .. } => true,
+                _ => inst.dst().is_some_and(|d| live[d as usize]),
+            };
+            if needed {
+                keep[i] = true;
+                for s in inst.sources().into_iter().flatten() {
+                    live[s as usize] = true;
+                }
+            }
+        }
+        let before = self.insts.len();
+        let mut it = keep.iter();
+        self.insts.retain(|_| *it.next().expect("keep mask aligned"));
+        before - self.insts.len()
+    }
+
+    /// Last instruction index at which each slot is live (defined or
+    /// used).  Replay frees a slot's machine value right after that
+    /// instruction — the recorded program's `free` calls are not on the
+    /// tape, so without this pass a bulk replay would allocate one lane
+    /// vector per instruction and never recycle any.
+    fn last_use(&self) -> Vec<usize> {
+        let mut last = vec![usize::MAX; self.slots as usize];
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(d) = inst.dst() {
+                last[d as usize] = i;
+            }
+            for s in inst.sources().into_iter().flatten() {
+                last[s as usize] = i;
+            }
+        }
+        last
+    }
+
+    /// Replay the tape against any machine.
+    pub fn replay<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        // Slot storage: machines hand out opaque values; keep them in a
+        // dense table indexed by slot.  `Option` because DCE can leave
+        // gaps.
+        let mut vals: Vec<Option<M::Value>> = vec![None; self.slots as usize];
+        let get = |vals: &Vec<Option<M::Value>>, s: Slot| -> M::Value {
+            vals[s as usize].expect("tape uses slot before definition")
+        };
+        // Free list per instruction, from the liveness sweep.
+        let last = self.last_use();
+        let mut frees_at: Vec<Vec<Slot>> = vec![Vec::new(); self.insts.len()];
+        for (slot, &at) in last.iter().enumerate() {
+            if at != usize::MAX {
+                frees_at[at].push(slot as Slot);
+            }
+        }
+        for (i, inst) in self.insts.iter().enumerate() {
+            self.replay_inst(m, inst, &mut vals, &get);
+            for &s in &frees_at[i] {
+                if let Some(v) = vals[s as usize].take() {
+                    m.free(v);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn replay_inst<M: ObliviousMachine<W>>(
+        &self,
+        m: &mut M,
+        inst: &Inst<W>,
+        vals: &mut Vec<Option<M::Value>>,
+        get: &impl Fn(&Vec<Option<M::Value>>, Slot) -> M::Value,
+    ) {
+        {
+            match *inst {
+                Inst::Read { dst, addr } => {
+                    let v = m.read(addr);
+                    vals[dst as usize] = Some(v);
+                }
+                Inst::Write { addr, src } => {
+                    let v = get(vals, src);
+                    m.write(addr, v);
+                }
+                Inst::Const { dst, value } => {
+                    let v = m.constant(value);
+                    vals[dst as usize] = Some(v);
+                }
+                Inst::Un { dst, op, a } => {
+                    let av = get(vals, a);
+                    let v = m.unop(op, av);
+                    vals[dst as usize] = Some(v);
+                }
+                Inst::Bin { dst, op, a, b } => {
+                    let (av, bv) = (get(vals, a), get(vals, b));
+                    let v = m.binop(op, av, bv);
+                    vals[dst as usize] = Some(v);
+                }
+                Inst::Select { dst, cmp, a, b, t, e } => {
+                    let (av, bv) = (get(vals, a), get(vals, b));
+                    let (tv, ev) = (get(vals, t), get(vals, e));
+                    let v = m.select(cmp, av, bv, tv, ev);
+                    vals[dst as usize] = Some(v);
+                }
+            }
+        }
+    }
+}
+
+impl<W: Word + Serialize + for<'de> Deserialize<'de>> ObliviousProgram<W> for Tape<W> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn memory_words(&self) -> usize {
+        self.memory_words
+    }
+    fn input_range(&self) -> core::ops::Range<usize> {
+        self.input.clone()
+    }
+    fn output_range(&self) -> core::ops::Range<usize> {
+        self.output.clone()
+    }
+    fn run<M: ObliviousMachine<W>>(&self, m: &mut M) {
+        self.replay(m);
+    }
+}
+
+/// The recording machine: allocates a fresh slot per produced value.
+struct Recorder<W> {
+    insts: Vec<Inst<W>>,
+    next: u32,
+    bound: usize,
+}
+
+impl<W: Word> Recorder<W> {
+    fn fresh(&mut self) -> Slot {
+        let s = self.next;
+        self.next += 1;
+        s
+    }
+}
+
+impl<W: Word> ObliviousMachine<W> for Recorder<W> {
+    type Value = Slot;
+
+    fn read(&mut self, addr: usize) -> Slot {
+        assert!(addr < self.bound, "tape recording: address {addr} out of bounds");
+        let dst = self.fresh();
+        self.insts.push(Inst::Read { dst, addr });
+        dst
+    }
+    fn write(&mut self, addr: usize, v: Slot) {
+        assert!(addr < self.bound, "tape recording: address {addr} out of bounds");
+        self.insts.push(Inst::Write { addr, src: v });
+    }
+    fn constant(&mut self, c: W) -> Slot {
+        let dst = self.fresh();
+        self.insts.push(Inst::Const { dst, value: c });
+        dst
+    }
+    fn unop(&mut self, op: UnOp, a: Slot) -> Slot {
+        let dst = self.fresh();
+        self.insts.push(Inst::Un { dst, op, a });
+        dst
+    }
+    fn binop(&mut self, op: BinOp, a: Slot, b: Slot) -> Slot {
+        let dst = self.fresh();
+        self.insts.push(Inst::Bin { dst, op, a, b });
+        dst
+    }
+    fn select(&mut self, cmp: CmpOp, a: Slot, b: Slot, t: Slot, e: Slot) -> Slot {
+        let dst = self.fresh();
+        self.insts.push(Inst::Select { dst, cmp, a, b, t, e });
+        dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{run_on_input, trace_of};
+
+    /// Computes mem[1] = mem[0]² + 1, plus a dead min that DCE removes.
+    struct SquarePlusOne;
+
+    impl ObliviousProgram<f64> for SquarePlusOne {
+        fn name(&self) -> String {
+            "square-plus-one".into()
+        }
+        fn memory_words(&self) -> usize {
+            2
+        }
+        fn input_range(&self) -> core::ops::Range<usize> {
+            0..1
+        }
+        fn output_range(&self) -> core::ops::Range<usize> {
+            1..2
+        }
+        fn run<M: ObliviousMachine<f64>>(&self, m: &mut M) {
+            let x = m.read(0);
+            let sq = m.mul(x, x);
+            let one = m.constant(1.0);
+            let y = m.add(sq, one);
+            let _dead = m.min(x, one); // never written anywhere
+            m.write(1, y);
+        }
+    }
+
+    #[test]
+    fn tape_replays_identically_on_scalar() {
+        let tape = Tape::record(&SquarePlusOne);
+        assert_eq!(run_on_input(&tape, &[3.0]), run_on_input(&SquarePlusOne, &[3.0]));
+        assert_eq!(run_on_input(&tape, &[3.0]), vec![10.0]);
+    }
+
+    #[test]
+    fn tape_memory_steps_match_trace() {
+        let tape = Tape::record(&SquarePlusOne);
+        assert_eq!(tape.memory_steps(), trace_of::<f64, _>(&SquarePlusOne).len());
+        assert!(tape.len() > tape.memory_steps(), "register ops are recorded too");
+    }
+
+    #[test]
+    fn dead_code_elimination_preserves_semantics() {
+        let mut tape = Tape::record(&SquarePlusOne);
+        let before = tape.len();
+        let removed = tape.eliminate_dead_code();
+        assert_eq!(removed, 1, "exactly the dead min is removed");
+        assert!(tape.len() < before);
+        assert_eq!(run_on_input(&tape, &[5.0]), vec![26.0]);
+    }
+
+    #[test]
+    fn dce_never_removes_memory_writes() {
+        let mut tape = Tape::record(&SquarePlusOne);
+        tape.eliminate_dead_code();
+        assert_eq!(
+            tape.memory_steps(),
+            trace_of::<f64, _>(&SquarePlusOne).len(),
+            "reads feeding writes and all writes survive"
+        );
+    }
+
+    #[test]
+    fn tape_runs_in_bulk() {
+        let tape = Tape::record(&SquarePlusOne);
+        let inputs: Vec<Vec<f64>> = (0..10).map(|j| vec![j as f64]).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for layout in crate::Layout::all() {
+            let outs = crate::program::bulk_execute(&tape, &refs, layout);
+            for (j, out) in outs.iter().enumerate() {
+                assert_eq!(out[0], (j * j) as f64 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tape_is_serialisable() {
+        // Compile-time check: tapes derive Serialize/Deserialize so they
+        // can be persisted as compiled artefacts (no JSON crate in the
+        // dependency budget, so the check is type-level).
+        fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>() {}
+        assert_serde::<Tape<f64>>();
+        assert_serde::<Tape<u32>>();
+    }
+}
+
+#[cfg(test)]
+mod liveness_tests {
+    use super::*;
+    use crate::exec::BulkMachine;
+    use crate::layout::Layout;
+    use crate::machine::{ObliviousMachine, ObliviousProgram};
+
+    /// A loop-heavy program with temporaries freed by the author.
+    struct SweepAdd {
+        n: usize,
+    }
+
+    impl ObliviousProgram<f32> for SweepAdd {
+        fn name(&self) -> String {
+            "sweep-add".into()
+        }
+        fn memory_words(&self) -> usize {
+            self.n
+        }
+        fn input_range(&self) -> core::ops::Range<usize> {
+            0..self.n
+        }
+        fn output_range(&self) -> core::ops::Range<usize> {
+            0..self.n
+        }
+        fn run<M: ObliviousMachine<f32>>(&self, m: &mut M) {
+            let mut r = m.zero();
+            for i in 0..self.n {
+                let x = m.read(i);
+                let r2 = m.add(r, x);
+                m.free(x);
+                m.free(r);
+                m.write(i, r2);
+                r = r2;
+            }
+            m.free(r);
+        }
+    }
+
+    #[test]
+    fn replay_liveness_keeps_register_pressure_constant() {
+        // The recorded tape has no free() calls, but replay's last-use
+        // sweep must recover O(1) live registers — not O(n).
+        let n = 128usize;
+        let tape = Tape::record(&SweepAdd { n });
+        let mut buf = vec![1.0f32; n * 4];
+        let mut m = BulkMachine::new(&mut buf, 4, n, Layout::ColumnWise);
+        tape.replay(&mut m);
+        assert!(
+            m.max_live_registers() <= 4,
+            "liveness-driven frees must bound pressure, got {}",
+            m.max_live_registers()
+        );
+    }
+
+    #[test]
+    fn last_use_handles_dce_gaps() {
+        struct DeadTemp;
+        impl ObliviousProgram<f32> for DeadTemp {
+            fn name(&self) -> String {
+                "dead-temp".into()
+            }
+            fn memory_words(&self) -> usize {
+                2
+            }
+            fn input_range(&self) -> core::ops::Range<usize> {
+                0..1
+            }
+            fn output_range(&self) -> core::ops::Range<usize> {
+                1..2
+            }
+            fn run<M: ObliviousMachine<f32>>(&self, m: &mut M) {
+                let x = m.read(0);
+                let dead = m.mul(x, x);
+                let _ = dead;
+                m.write(1, x);
+            }
+        }
+        let mut tape = Tape::record(&DeadTemp);
+        assert_eq!(tape.eliminate_dead_code(), 1);
+        // Replay over a machine: the removed slot never materialises.
+        let out = crate::program::run_on_input(&tape, &[3.0]);
+        assert_eq!(out, vec![3.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Minimal programs used by this crate's own tests.
+//!
+//! The real algorithm library lives in the `algorithms` crate (which
+//! depends on this one), so tests here use these structural stand-ins:
+//! one streaming program (each word touched O(1) times) and one
+//! reuse-heavy DP-like program (t ≫ memory footprint).
+
+use crate::machine::{ObliviousMachine, ObliviousProgram};
+
+/// Read-add-write sweep: the shape of Algorithm Prefix-sums.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingSweep {
+    /// Array length.
+    pub n: usize,
+}
+
+impl ObliviousProgram<f32> for StreamingSweep {
+    fn name(&self) -> String {
+        format!("streaming-sweep(n={})", self.n)
+    }
+    fn memory_words(&self) -> usize {
+        self.n
+    }
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n
+    }
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..self.n
+    }
+    fn run<M: ObliviousMachine<f32>>(&self, m: &mut M) {
+        let mut r = m.zero();
+        for i in 0..self.n {
+            let x = m.read(i);
+            let r2 = m.add(r, x);
+            m.free(x);
+            m.free(r);
+            m.write(i, r2);
+            r = r2;
+        }
+        m.free(r);
+    }
+}
+
+/// Cubic-time DP over an `n × n` table: the reuse shape of Algorithm OPT.
+#[derive(Debug, Clone, Copy)]
+pub struct CubicDp {
+    /// Table dimension.
+    pub n: usize,
+}
+
+impl ObliviousProgram<f32> for CubicDp {
+    fn name(&self) -> String {
+        format!("cubic-dp(n={})", self.n)
+    }
+    fn memory_words(&self) -> usize {
+        self.n * self.n
+    }
+    fn input_range(&self) -> core::ops::Range<usize> {
+        0..self.n * self.n
+    }
+    fn output_range(&self) -> core::ops::Range<usize> {
+        0..self.n * self.n
+    }
+    fn run<M: ObliviousMachine<f32>>(&self, m: &mut M) {
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = m.zero();
+                for k in 0..n {
+                    let a = m.read(i * n + k);
+                    let b = m.read(k * n + j);
+                    let s = m.add(a, b);
+                    m.free(a);
+                    m.free(b);
+                    let acc2 = m.min(acc, s);
+                    m.free(s);
+                    m.free(acc);
+                    acc = acc2;
+                }
+                m.write(i * n + j, acc);
+                m.free(acc);
+            }
+        }
+    }
+}
+
+/// A streaming stand-in sized `n`.
+#[must_use]
+pub fn prefix_sums_like(n: usize) -> StreamingSweep {
+    StreamingSweep { n }
+}
+
+/// A reuse-heavy stand-in over an `n × n` table.
+#[must_use]
+pub fn opt_like(n: usize) -> CubicDp {
+    CubicDp { n }
+}

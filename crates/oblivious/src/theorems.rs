@@ -1,0 +1,163 @@
+//! Executable forms of the paper's theoretical results.
+//!
+//! The paper's accounting is round-synchronous: a bulk step in which every
+//! thread accesses its own instance's copy of one logical address costs
+//! `(Σ_warps k_i) + l - 1` time units.  The functions here give the exact
+//! per-claim totals (not just the O-bounds) under the paper's assumptions —
+//! aligned `p` (a multiple of `w`) and instance memory at least `w` words —
+//! and the certified lower bound of Theorem 3.  Model experiments
+//! (`bench/model_tables`) and property tests compare simulator output
+//! against them.
+
+/// Exact row-wise bulk time of Lemma 1-style execution: `t` memory steps in
+/// which the `p` threads land in `p` distinct address groups each, i.e.
+/// `(p + l - 1) · t`.
+///
+/// Lemma 1's prefix-sums case is `t = 2n` (one read + one write per
+/// element); Theorem 2 is the same formula for arbitrary `t`.
+#[must_use]
+pub fn row_wise_time(t: u64, p: u64, l: u64) -> u64 {
+    (p + l - 1) * t
+}
+
+/// Exact column-wise bulk time under Lemma 1 / Theorem 2's assumptions
+/// (`p` a multiple of `w`, aligned bases): `(p/w + l - 1) · t`.
+#[must_use]
+pub fn column_wise_time(t: u64, p: u64, w: u64, l: u64) -> u64 {
+    (p.div_ceil(w) + l - 1) * t
+}
+
+/// Theorem 3's lower bound: any bulk execution of an oblivious algorithm
+/// with `t` memory steps on `p` inputs needs
+/// `Ω(pt/w + lt)` time.  We return the concrete certified quantity
+/// `max(⌈pt/w⌉, lt)` — both arguments are valid lower bounds (bandwidth and
+/// dependency-chain respectively), so their max is one too, and
+/// `max ≥ (pt/w + lt)/2` makes it tight within a factor of 2.
+#[must_use]
+pub fn lower_bound(t: u64, p: u64, w: u64, l: u64) -> u64 {
+    let bandwidth = (p * t).div_ceil(w);
+    let chain = l * t;
+    bandwidth.max(chain)
+}
+
+/// The optimality ratio of a measured time against Theorem 3's bound:
+/// `measured / lower_bound`.  Column-wise execution must stay within a small
+/// constant (2 under the paper's assumptions); row-wise grows like `w`.
+#[must_use]
+pub fn optimality_ratio(measured: u64, t: u64, p: u64, w: u64, l: u64) -> f64 {
+    measured as f64 / lower_bound(t, p, w, l) as f64
+}
+
+/// Sequential memory steps of Algorithm Prefix-sums on `n` elements:
+/// one read and one write per element (`a(2i) = a(2i+1) = i`).
+#[must_use]
+pub fn prefix_sums_steps(n: u64) -> u64 {
+    2 * n
+}
+
+/// Sequential memory steps of Algorithm OPT on a convex `n`-gon.
+///
+/// Per `(i, j)` cell the algorithm reads `M[i,k]` and `M[k+1,j]` for each of
+/// the `j - i` values of `k`, reads `c[i-1, j]`, and writes `M[i,j]`; the
+/// initialisation writes `n - 1` diagonal zeros:
+///
+/// `t(n) = (n-1) + Σ_{i=1}^{n-2} Σ_{j=i+1}^{n-1} (2(j-i) + 2)`.
+#[must_use]
+pub fn opt_steps(n: u64) -> u64 {
+    assert!(n >= 3, "a polygon needs at least 3 vertices");
+    let mut t = n - 1; // diagonal initialisation writes
+    for i in 1..=(n - 2) {
+        for j in (i + 1)..=(n - 1) {
+            t += 2 * (j - i) + 2;
+        }
+    }
+    t
+}
+
+/// Corollary 5, row-wise: exact `(p + l - 1) · t(n)` with `t(n)` from
+/// [`opt_steps`] (the paper states the `O(pn³ + ln³)` form).
+#[must_use]
+pub fn corollary5_row(n: u64, p: u64, l: u64) -> u64 {
+    row_wise_time(opt_steps(n), p, l)
+}
+
+/// Corollary 5, column-wise: exact `(p/w + l - 1) · t(n)`.
+#[must_use]
+pub fn corollary5_col(n: u64, p: u64, w: u64, l: u64) -> u64 {
+    column_wise_time(opt_steps(n), p, w, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_shapes() {
+        // Row-wise prefix-sums: O(np + nl) — exactly (p + l - 1) * 2n.
+        let (n, p, w, l) = (8u64, 32, 4, 5);
+        let t = prefix_sums_steps(n);
+        assert_eq!(t, 16);
+        assert_eq!(row_wise_time(t, p, l), (32 + 4) * 16);
+        assert_eq!(column_wise_time(t, p, w, l), (8 + 4) * 16);
+    }
+
+    #[test]
+    fn column_wise_beats_row_wise_by_about_w() {
+        let (t, p, w, l) = (1000u64, 4096, 32, 1);
+        let row = row_wise_time(t, p, l);
+        let col = column_wise_time(t, p, w, l);
+        assert_eq!(row / col, w, "with l = 1 the gap is exactly w");
+    }
+
+    #[test]
+    fn lower_bound_is_below_column_wise_within_2x() {
+        for &(t, p, w, l) in
+            &[(10u64, 64u64, 4u64, 5u64), (100, 1024, 32, 100), (7, 8, 8, 1), (1, 1, 1, 1)]
+        {
+            let lb = lower_bound(t, p, w, l);
+            let col = column_wise_time(t, p, w, l);
+            assert!(lb <= col, "lower bound must not exceed an achievable time");
+            assert!(
+                col <= 2 * lb + w * t, // slack for the ceil and the -1 terms
+                "column-wise should be near-optimal: col={col} lb={lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimality_ratio_flags_row_wise() {
+        let (t, p, w, l) = (100u64, 4096, 32, 4);
+        let col = column_wise_time(t, p, w, l);
+        let row = row_wise_time(t, p, l);
+        let rc = optimality_ratio(col, t, p, w, l);
+        let rr = optimality_ratio(row, t, p, w, l);
+        assert!(rc < 2.0, "column-wise within 2x of optimal, got {rc}");
+        assert!(rr > 16.0, "row-wise far from optimal, got {rr}");
+    }
+
+    #[test]
+    fn opt_steps_is_cubic() {
+        // t(n) = (n-1) + sum 2(j-i)+2 ~ n^3/3.
+        // n = 3: 2 diagonal writes + the single (i=1, j=2) cell at 2*1+2.
+        assert_eq!(opt_steps(3), 2 + (2 + 2));
+        // n = 4: 3 diagonal writes + cells (1,2)=4, (1,3)=6, (2,3)=4.
+        assert_eq!(opt_steps(4), 3 + 4 + 6 + 4);
+        let t64 = opt_steps(64) as f64;
+        let t128 = opt_steps(128) as f64;
+        let ratio = t128 / t64;
+        assert!((7.0..9.0).contains(&ratio), "doubling n scales ~8x, got {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn degenerate_polygon_rejected() {
+        let _ = opt_steps(2);
+    }
+
+    #[test]
+    fn corollary5_consistency() {
+        let (n, p, w, l) = (8u64, 64, 4, 5);
+        assert_eq!(corollary5_row(n, p, l), row_wise_time(opt_steps(n), p, l));
+        assert_eq!(corollary5_col(n, p, w, l), column_wise_time(opt_steps(n), p, w, l));
+    }
+}

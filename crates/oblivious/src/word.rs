@@ -1,0 +1,252 @@
+//! Machine word types.
+//!
+//! A [`Word`] is the unit of memory on the UMM: programs are generic over it
+//! so the same oblivious program runs on `f32` data (the paper's
+//! experiments), `f64`, or integer words (cipher kernels).
+
+use crate::ops::{BinOp, CmpOp, UnOp};
+use core::fmt::Debug;
+
+/// A memory word: the scalar element type oblivious programs compute on.
+///
+/// Implementations must make every operation **total** — bulk lockstep
+/// execution applies the same operation across thousands of lanes and a trap
+/// on one lane (overflow, division by zero) would poison the batch, so
+/// integer words wrap and divide-by-zero yields [`Word::ZERO`].
+pub trait Word: Copy + PartialOrd + PartialEq + Debug + Send + Sync + 'static {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// A value larger than any finite operand — the paper's `+∞` sentinel
+    /// used to seed minimisations (`f32::INFINITY`, integer `MAX`).
+    const POS_INF: Self;
+
+    /// Apply a unary operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bitwise operation is applied to a floating word; oblivious
+    /// programs that use bitwise operations must be written against
+    /// [`IntWord`] bounds so this is a programming error, not a data error.
+    fn apply_un(op: UnOp, a: Self) -> Self;
+
+    /// Apply a binary operation (same panic rule as [`Word::apply_un`]).
+    fn apply_bin(op: BinOp, a: Self, b: Self) -> Self;
+
+    /// Evaluate a comparison predicate.
+    fn compare(op: CmpOp, a: Self, b: Self) -> bool {
+        op.eval(&a, &b)
+    }
+
+    /// Lossy conversion from `f64`, used by workload generators and floating
+    /// constants in programs.
+    fn from_f64(v: f64) -> Self;
+
+    /// Lossy conversion to `f64`, used by result checkers.
+    fn to_f64(self) -> f64;
+}
+
+/// Floating-point words: `f32` (the paper's element type) and `f64`.
+pub trait FloatWord: Word {}
+
+/// Integer words with exact index arithmetic, used by cipher kernels and by
+/// programs that store array indices (e.g. the OPT argmin table).
+pub trait IntWord: Word + Eq + Ord {
+    /// Exact conversion from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index does not fit the word.
+    fn from_index(i: usize) -> Self;
+    /// Exact conversion back to a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is negative or does not fit a `usize`.
+    fn to_index(self) -> usize;
+}
+
+macro_rules! impl_float_word {
+    ($t:ty) => {
+        impl Word for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const POS_INF: Self = <$t>::INFINITY;
+
+            #[inline]
+            fn apply_un(op: UnOp, a: Self) -> Self {
+                match op {
+                    UnOp::Neg => -a,
+                    UnOp::Not | UnOp::Shl(_) | UnOp::Shr(_) => {
+                        panic!("bitwise {:?} is not defined on floating words", op)
+                    }
+                }
+            }
+
+            #[inline]
+            fn apply_bin(op: BinOp, a: Self, b: Self) -> Self {
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Min => if b < a { b } else { a },
+                    BinOp::Max => if b > a { b } else { a },
+                    BinOp::Xor | BinOp::And | BinOp::Or => {
+                        panic!("bitwise {:?} is not defined on floating words", op)
+                    }
+                }
+            }
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+
+        impl FloatWord for $t {}
+    };
+}
+
+impl_float_word!(f32);
+impl_float_word!(f64);
+
+macro_rules! impl_int_word {
+    ($t:ty, $signed:expr) => {
+        impl Word for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            const POS_INF: Self = <$t>::MAX;
+
+            #[inline]
+            fn apply_un(op: UnOp, a: Self) -> Self {
+                match op {
+                    UnOp::Neg => a.wrapping_neg(),
+                    UnOp::Not => !a,
+                    UnOp::Shl(k) => a.wrapping_shl(k),
+                    UnOp::Shr(k) => {
+                        // Logical shift: mask sign-extension for signed types.
+                        if $signed {
+                            ((a as u64).wrapping_shr(k)
+                                & (u64::MAX >> (64 - <$t>::BITS))) as $t
+                        } else {
+                            a.wrapping_shr(k)
+                        }
+                    }
+                }
+            }
+
+            #[inline]
+            fn apply_bin(op: BinOp, a: Self, b: Self) -> Self {
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => if b == 0 { 0 } else { a.wrapping_div(b) },
+                    BinOp::Min => a.min(b),
+                    BinOp::Max => a.max(b),
+                    BinOp::Xor => a ^ b,
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                }
+            }
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+
+        impl IntWord for $t {
+            #[inline]
+            fn from_index(i: usize) -> Self {
+                <$t>::try_from(i).expect("index does not fit word type")
+            }
+
+            #[inline]
+            fn to_index(self) -> usize {
+                usize::try_from(self).expect("word is not a valid index")
+            }
+        }
+    };
+}
+
+impl_int_word!(u32, false);
+impl_int_word!(u64, false);
+impl_int_word!(i64, true);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(f32::apply_bin(BinOp::Add, 1.5, 2.5), 4.0);
+        assert_eq!(f32::apply_bin(BinOp::Min, 3.0, -1.0), -1.0);
+        assert_eq!(f32::apply_bin(BinOp::Max, 3.0, -1.0), 3.0);
+        assert_eq!(f64::apply_un(UnOp::Neg, 2.0), -2.0);
+        assert!(f32::compare(CmpOp::Lt, 1.0, 2.0));
+        assert_eq!(f32::POS_INF, f32::INFINITY);
+    }
+
+    #[test]
+    fn min_with_infinity_seeds_minimisation() {
+        // The OPT inner loop starts with s = +inf and folds mins into it.
+        let s = f32::POS_INF;
+        assert_eq!(f32::apply_bin(BinOp::Min, s, 42.0), 42.0);
+        assert_eq!(u32::apply_bin(BinOp::Min, u32::POS_INF, 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined on floating")]
+    fn float_xor_panics() {
+        let _ = f32::apply_bin(BinOp::Xor, 1.0, 2.0);
+    }
+
+    #[test]
+    fn integer_wrapping() {
+        assert_eq!(u32::apply_bin(BinOp::Add, u32::MAX, 1), 0);
+        assert_eq!(u32::apply_bin(BinOp::Mul, 0x9E3779B9, 2), 0x9E3779B9u32.wrapping_mul(2));
+        assert_eq!(u32::apply_bin(BinOp::Div, 5, 0), 0, "div-by-zero is total");
+        assert_eq!(i64::apply_un(UnOp::Neg, i64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn integer_shifts_are_logical() {
+        assert_eq!(u32::apply_un(UnOp::Shl(4), 1), 16);
+        assert_eq!(u32::apply_un(UnOp::Shr(5), 0xFFFF_FFFF), 0x07FF_FFFF);
+        // Signed right shift must not sign-extend (logical semantics).
+        assert_eq!(i64::apply_un(UnOp::Shr(1), -2), ((u64::MAX >> 1) as i64));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(u32::from_index(77).to_index(), 77);
+        assert_eq!(i64::from_index(0).to_index(), 0);
+        assert_eq!(u64::from_index(1 << 40).to_index(), 1 << 40);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_index_panics() {
+        let _ = u32::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn f64_conversions() {
+        assert_eq!(f32::from_f64(0.5), 0.5f32);
+        assert_eq!(u32::from_f64(3.9), 3);
+        assert_eq!(7u64.to_f64(), 7.0);
+    }
+}

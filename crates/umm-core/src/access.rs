@@ -1,0 +1,124 @@
+//! Memory access requests: the unit of work consumed by the machine models.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of a memory operation.
+///
+/// The UMM/DMM cost model of the paper does not distinguish read from write
+/// cost-wise, but traces keep the distinction so that correctness checkers
+/// and statistics can use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// A load from memory.
+    Read,
+    /// A store to memory.
+    Write,
+}
+
+/// One thread's action during one machine step.
+///
+/// A thread either issues a single memory request (`Access`) or stays silent
+/// (`Idle`).  The paper's definition of an oblivious algorithm allows a step
+/// to "access address `a(i)` or not access the memory at all" — `Idle`
+/// captures the latter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadAction {
+    /// No memory request this step.
+    Idle,
+    /// A memory request for `addr`.
+    Access(Op, usize),
+}
+
+impl ThreadAction {
+    /// The address touched, if any.
+    #[inline]
+    #[must_use]
+    pub fn addr(&self) -> Option<usize> {
+        match self {
+            ThreadAction::Idle => None,
+            ThreadAction::Access(_, a) => Some(*a),
+        }
+    }
+
+    /// Shorthand for a read request.
+    #[inline]
+    #[must_use]
+    pub fn read(addr: usize) -> Self {
+        ThreadAction::Access(Op::Read, addr)
+    }
+
+    /// Shorthand for a write request.
+    #[inline]
+    #[must_use]
+    pub fn write(addr: usize) -> Self {
+        ThreadAction::Access(Op::Write, addr)
+    }
+
+    /// True if the thread issues a request this step.
+    #[inline]
+    #[must_use]
+    pub fn is_access(&self) -> bool {
+        matches!(self, ThreadAction::Access(..))
+    }
+}
+
+/// The set of requests issued by one warp when it is dispatched.
+///
+/// `actions[i]` is the action of the warp's `i`-th thread.  A warp on a
+/// machine of width `w` always has exactly `w` lanes; callers construct warps
+/// via [`crate::schedule::WarpSchedule`], which enforces that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpRequest<'a> {
+    /// Per-lane actions, length `w`.
+    pub actions: &'a [ThreadAction],
+}
+
+impl<'a> WarpRequest<'a> {
+    /// Construct from a slice of per-lane actions.
+    #[must_use]
+    pub fn new(actions: &'a [ThreadAction]) -> Self {
+        Self { actions }
+    }
+
+    /// True if at least one lane issues a request.  Warps in which no thread
+    /// needs the memory are *not* dispatched (paper, Section II).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.actions.iter().any(ThreadAction::is_access)
+    }
+
+    /// Iterator over the addresses requested by active lanes.
+    pub fn addresses(&self) -> impl Iterator<Item = usize> + '_ {
+        self.actions.iter().filter_map(ThreadAction::addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_has_no_address() {
+        assert_eq!(ThreadAction::Idle.addr(), None);
+        assert!(!ThreadAction::Idle.is_access());
+    }
+
+    #[test]
+    fn access_roundtrip() {
+        let a = ThreadAction::read(17);
+        assert_eq!(a.addr(), Some(17));
+        assert!(a.is_access());
+        let b = ThreadAction::write(3);
+        assert_eq!(b, ThreadAction::Access(Op::Write, 3));
+    }
+
+    #[test]
+    fn warp_activity() {
+        let lanes = [ThreadAction::Idle, ThreadAction::Idle];
+        assert!(!WarpRequest::new(&lanes).is_active());
+        let lanes = [ThreadAction::Idle, ThreadAction::read(9)];
+        let w = WarpRequest::new(&lanes);
+        assert!(w.is_active());
+        assert_eq!(w.addresses().collect::<Vec<_>>(), vec![9]);
+    }
+}

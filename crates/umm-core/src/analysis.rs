@@ -1,0 +1,211 @@
+//! Trace analysis: structural summaries of an address function `a(t)`.
+//!
+//! These diagnostics answer the questions a developer asks before choosing
+//! an arrangement: how big is the working set, how strided is the walk,
+//! which address groups run hot, and how much locality is there to exploit.
+
+use crate::access::{Op, ThreadAction};
+use crate::config::MachineConfig;
+use crate::trace::ThreadTrace;
+use std::collections::HashMap;
+
+/// Structural summary of a thread trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Total steps (including idles).
+    pub steps: usize,
+    /// Read count.
+    pub reads: usize,
+    /// Write count.
+    pub writes: usize,
+    /// Idle steps.
+    pub idles: usize,
+    /// Number of distinct addresses touched.
+    pub working_set: usize,
+    /// Smallest address touched.
+    pub min_address: Option<usize>,
+    /// Largest address touched.
+    pub max_address: Option<usize>,
+    /// Mean absolute stride between consecutive accesses.
+    pub mean_abs_stride: f64,
+    /// Fraction of consecutive access pairs with |stride| ≤ 1.
+    pub sequential_fraction: f64,
+    /// Mean reuse distance (steps between successive touches of the same
+    /// address), over addresses touched more than once.
+    pub mean_reuse_distance: f64,
+}
+
+/// Compute the summary of a trace.
+#[must_use]
+pub fn summarize(trace: &ThreadTrace) -> TraceSummary {
+    let mut reads = 0usize;
+    let mut writes = 0usize;
+    let mut idles = 0usize;
+    let mut last_touch: HashMap<usize, usize> = HashMap::new();
+    let mut reuse_sum = 0usize;
+    let mut reuse_count = 0usize;
+    let mut prev_addr: Option<usize> = None;
+    let mut stride_sum = 0f64;
+    let mut stride_count = 0usize;
+    let mut sequential = 0usize;
+    let mut min_address = None::<usize>;
+    let mut max_address = None::<usize>;
+
+    for (t, step) in trace.steps().iter().enumerate() {
+        match step {
+            ThreadAction::Idle => idles += 1,
+            ThreadAction::Access(op, addr) => {
+                match op {
+                    Op::Read => reads += 1,
+                    Op::Write => writes += 1,
+                }
+                min_address = Some(min_address.map_or(*addr, |m| m.min(*addr)));
+                max_address = Some(max_address.map_or(*addr, |m| m.max(*addr)));
+                if let Some(prev) = prev_addr {
+                    let stride = (*addr as isize - prev as isize).unsigned_abs();
+                    stride_sum += stride as f64;
+                    stride_count += 1;
+                    if stride <= 1 {
+                        sequential += 1;
+                    }
+                }
+                prev_addr = Some(*addr);
+                if let Some(&last) = last_touch.get(addr) {
+                    reuse_sum += t - last;
+                    reuse_count += 1;
+                }
+                last_touch.insert(*addr, t);
+            }
+        }
+    }
+
+    TraceSummary {
+        steps: trace.len(),
+        reads,
+        writes,
+        idles,
+        working_set: last_touch.len(),
+        min_address,
+        max_address,
+        mean_abs_stride: if stride_count > 0 { stride_sum / stride_count as f64 } else { 0.0 },
+        sequential_fraction: if stride_count > 0 {
+            sequential as f64 / stride_count as f64
+        } else {
+            0.0
+        },
+        mean_reuse_distance: if reuse_count > 0 {
+            reuse_sum as f64 / reuse_count as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Per-address-group access counts — which rows of the memory run hot.
+#[must_use]
+pub fn address_group_histogram(trace: &ThreadTrace, cfg: &MachineConfig) -> Vec<(usize, usize)> {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for step in trace.steps() {
+        if let Some(addr) = step.addr() {
+            *counts.entry(cfg.address_group(addr)).or_default() += 1;
+        }
+    }
+    let mut v: Vec<(usize, usize)> = counts.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Histogram of signed strides between consecutive accesses, clamped into
+/// `[-clamp, clamp]` buckets (out-of-range strides land on the boundary).
+#[must_use]
+pub fn stride_histogram(trace: &ThreadTrace, clamp: isize) -> HashMap<isize, usize> {
+    assert!(clamp > 0, "clamp must be positive");
+    let mut out: HashMap<isize, usize> = HashMap::new();
+    let mut prev: Option<usize> = None;
+    for step in trace.steps() {
+        if let Some(addr) = step.addr() {
+            if let Some(p) = prev {
+                let s = (addr as isize - p as isize).clamp(-clamp, clamp);
+                *out.entry(s).or_default() += 1;
+            }
+            prev = Some(addr);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(n: usize) -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        for i in 0..n {
+            t.read(i);
+            t.write(i);
+        }
+        t
+    }
+
+    #[test]
+    fn summary_of_a_linear_sweep() {
+        let s = summarize(&sweep(8));
+        assert_eq!(s.steps, 16);
+        assert_eq!(s.reads, 8);
+        assert_eq!(s.writes, 8);
+        assert_eq!(s.idles, 0);
+        assert_eq!(s.working_set, 8);
+        assert_eq!((s.min_address, s.max_address), (Some(0), Some(7)));
+        // Strides: 0 (read->write same addr) and +1 alternate.
+        assert!(s.sequential_fraction > 0.99, "{}", s.sequential_fraction);
+        assert!(s.mean_abs_stride < 1.0);
+        assert!((s.mean_reuse_distance - 1.0).abs() < 1e-9, "write follows read immediately");
+    }
+
+    #[test]
+    fn summary_counts_idles() {
+        let mut t = ThreadTrace::new();
+        t.read(0);
+        t.push(crate::access::ThreadAction::Idle);
+        t.write(5);
+        let s = summarize(&t);
+        assert_eq!(s.idles, 1);
+        assert_eq!(s.working_set, 2);
+        assert_eq!(s.mean_abs_stride, 5.0);
+        assert_eq!(s.sequential_fraction, 0.0);
+        assert_eq!(s.mean_reuse_distance, 0.0, "no address touched twice");
+    }
+
+    #[test]
+    fn empty_trace_summary_is_zeroed() {
+        let s = summarize(&ThreadTrace::new());
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.working_set, 0);
+        assert_eq!(s.min_address, None);
+    }
+
+    #[test]
+    fn group_histogram_buckets_by_w() {
+        let cfg = MachineConfig::new(4, 1);
+        let h = address_group_histogram(&sweep(8), &cfg);
+        // Addresses 0..8 over w=4: groups 0 and 1, 8 touches each.
+        assert_eq!(h, vec![(0, 8), (1, 8)]);
+    }
+
+    #[test]
+    fn stride_histogram_clamps() {
+        let mut t = ThreadTrace::new();
+        t.read(0);
+        t.read(1000);
+        t.read(999);
+        let h = stride_histogram(&t, 16);
+        assert_eq!(h.get(&16), Some(&1), "big stride clamped to +16");
+        assert_eq!(h.get(&-1), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp must be positive")]
+    fn zero_clamp_rejected() {
+        let _ = stride_histogram(&ThreadTrace::new(), 0);
+    }
+}

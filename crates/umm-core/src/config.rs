@@ -1,0 +1,133 @@
+//! Machine configuration shared by the UMM and DMM simulators.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a memory machine (UMM or DMM).
+///
+/// The paper characterises both machines by two architectural parameters:
+///
+/// * `width` (`w`) — the number of memory banks, which is also the number of
+///   threads in a warp and the number of words in an address group;
+/// * `latency` (`l`) — the depth of the memory access pipeline, i.e. the
+///   number of time units between a request entering the pipeline and its
+///   completion.
+///
+/// The number of threads `p` is a property of a particular execution, not of
+/// the machine, so it lives in [`crate::schedule::WarpSchedule`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Memory width `w`: words per address group, threads per warp, banks.
+    pub width: usize,
+    /// Memory access latency `l` in time units (pipeline depth).
+    pub latency: usize,
+}
+
+impl MachineConfig {
+    /// Create a configuration, validating both parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `latency == 0`; the model is undefined for
+    /// either (the paper assumes `w >= 1` and an `l`-stage pipeline with
+    /// `l >= 1`).
+    #[must_use]
+    pub fn new(width: usize, latency: usize) -> Self {
+        assert!(width > 0, "UMM/DMM width w must be positive");
+        assert!(latency > 0, "UMM/DMM latency l must be positive");
+        Self { width, latency }
+    }
+
+    /// The configuration used in the paper's worked example (Figure 4):
+    /// width 4, latency 5.
+    #[must_use]
+    pub fn paper_figure4() -> Self {
+        Self::new(4, 5)
+    }
+
+    /// A configuration loosely modelling the global memory of a GeForce GTX
+    /// Titan class device: 32-thread warps and a few hundred cycles of DRAM
+    /// latency.  (The paper quotes widths of 256–384 *bits* for the DRAM bus;
+    /// in words the effective coalescing unit is the 32-thread warp.)
+    #[must_use]
+    pub fn titan_global() -> Self {
+        Self::new(32, 400)
+    }
+
+    /// A configuration loosely modelling the shared memory of a streaming
+    /// multiprocessor: 32 banks, very small latency.
+    #[must_use]
+    pub fn sm_shared() -> Self {
+        Self::new(32, 2)
+    }
+
+    /// The address group index of memory address `addr`: `A[j]` holds
+    /// addresses `j*w .. (j+1)*w`.
+    #[inline]
+    #[must_use]
+    pub fn address_group(&self, addr: usize) -> usize {
+        addr / self.width
+    }
+
+    /// The memory bank index of memory address `addr`: `B[j]` holds addresses
+    /// `{ j, j+w, j+2w, ... }`.
+    #[inline]
+    #[must_use]
+    pub fn bank(&self, addr: usize) -> usize {
+        addr % self.width
+    }
+}
+
+impl Default for MachineConfig {
+    /// Defaults to the paper's worked-example machine (`w = 4`, `l = 5`).
+    fn default() -> Self {
+        Self::paper_figure4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_group_partitions_memory_into_w_word_rows() {
+        let c = MachineConfig::new(4, 5);
+        assert_eq!(c.address_group(0), 0);
+        assert_eq!(c.address_group(3), 0);
+        assert_eq!(c.address_group(4), 1);
+        assert_eq!(c.address_group(15), 3);
+    }
+
+    #[test]
+    fn bank_interleaves_addresses_mod_w() {
+        let c = MachineConfig::new(4, 5);
+        assert_eq!(c.bank(0), 0);
+        assert_eq!(c.bank(5), 1);
+        assert_eq!(c.bank(14), 2);
+        // B[j] = { j, j+w, j+2w, ... } from the paper.
+        for j in 0..4 {
+            for k in 0..8 {
+                assert_eq!(c.bank(j + k * 4), j);
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_example_config() {
+        let c = MachineConfig::paper_figure4();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.latency, 5);
+        assert_eq!(MachineConfig::default(), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = MachineConfig::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn zero_latency_rejected() {
+        let _ = MachineConfig::new(4, 0);
+    }
+}

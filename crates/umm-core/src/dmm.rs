@@ -1,0 +1,170 @@
+//! The Discrete Memory Machine (DMM) timing simulator.
+//!
+//! The DMM models the *shared memory* of a streaming multiprocessor: each of
+//! the `w` banks has its own address line, so a dispatched warp's requests
+//! are constrained by **bank conflicts** rather than address groups.  If the
+//! maximum number of requests aimed at any single bank is `c`, the warp's
+//! requests are serialised into `c` pipeline injections.
+//!
+//! Comparing the DMM and UMM cost of the *same* trace (ablation A3 in
+//! DESIGN.md) shows why the two memories want opposite layouts: stride-`w`
+//! access is free on the UMM's address groups but fully serialised on the
+//! DMM's banks, and vice versa for same-group access.
+
+use crate::access::ThreadAction;
+use crate::config::MachineConfig;
+use crate::schedule::{WarpSchedule, WarpScratch};
+use crate::stats::AccessStats;
+use crate::trace::RoundTrace;
+
+/// Streaming round-synchronous DMM timing simulator.
+///
+/// API mirrors [`crate::umm::UmmSimulator`]; only the per-warp charge
+/// differs (max bank conflict instead of distinct address groups).
+#[derive(Debug)]
+pub struct DmmSimulator {
+    cfg: MachineConfig,
+    schedule: WarpSchedule,
+    scratch: WarpScratch,
+    elapsed: u64,
+    stats: AccessStats,
+}
+
+impl DmmSimulator {
+    /// Create a simulator for `p` lockstep threads on machine `cfg`.
+    #[must_use]
+    pub fn new(cfg: MachineConfig, p: usize) -> Self {
+        Self {
+            cfg,
+            schedule: WarpSchedule::new(p, &cfg),
+            scratch: WarpScratch::new(),
+            elapsed: 0,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// Machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Charge one lockstep round and return its cost:
+    /// `(Σ_{active warps} c_i) + l - 1`, where `c_i` is warp `i`'s maximum
+    /// bank conflict; a round with no active warp costs nothing.
+    pub fn step(&mut self, actions: &[ThreadAction]) -> u64 {
+        debug_assert_eq!(actions.len(), self.schedule.p, "round width must equal p");
+        let mut stages = 0u64;
+        let mut active = false;
+        for warp in self.schedule.warps(actions) {
+            let c = self.scratch.max_bank_conflicts(&self.cfg, &warp) as u64;
+            if c > 0 {
+                active = true;
+                stages += c;
+            }
+        }
+        let cost = if active { stages + self.cfg.latency as u64 - 1 } else { 0 };
+        self.elapsed += cost;
+        self.stats.record_round(actions, stages, cost);
+        cost
+    }
+
+    /// Total time units charged so far.
+    #[must_use]
+    pub fn elapsed(&self) -> u64 {
+        self.elapsed
+    }
+
+    /// Access statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Reset the clock and statistics.
+    pub fn reset(&mut self) {
+        self.elapsed = 0;
+        self.stats = AccessStats::default();
+    }
+
+    /// Run an entire materialised trace and return the total time.
+    pub fn run(&mut self, trace: &RoundTrace) -> u64 {
+        for round in trace.rounds() {
+            self.step(&round.actions);
+        }
+        self.elapsed
+    }
+}
+
+/// Cost of a single round on the DMM.
+#[must_use]
+pub fn round_cost(cfg: &MachineConfig, actions: &[ThreadAction]) -> u64 {
+    let mut sim = DmmSimulator::new(*cfg, actions.len());
+    sim.step(actions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::umm;
+
+    #[test]
+    fn conflict_free_round_costs_warps_plus_latency() {
+        let cfg = MachineConfig::new(4, 5);
+        let p = 16;
+        // Consecutive addresses: each warp hits all 4 banks once.
+        let actions: Vec<_> = (0..p).map(ThreadAction::read).collect();
+        assert_eq!(round_cost(&cfg, &actions), (p / 4 + 5 - 1) as u64);
+    }
+
+    #[test]
+    fn stride_w_round_fully_serialises() {
+        let cfg = MachineConfig::new(4, 5);
+        let p = 16;
+        // Stride-w: every thread in a warp hits bank 0 → c = w per warp.
+        let actions: Vec<_> = (0..p).map(|j| ThreadAction::read(j * 4)).collect();
+        assert_eq!(round_cost(&cfg, &actions), (p + 5 - 1) as u64);
+    }
+
+    #[test]
+    fn dmm_and_umm_disagree_on_layouts() {
+        // The duality the two models exist to capture: stride-w is the best
+        // case for the UMM within one group span but the worst case for the
+        // DMM, and conversely n-strided single-bank-free patterns flip it.
+        let cfg = MachineConfig::new(4, 5);
+        let p = 4;
+        // All four threads in addresses 0..4: one address group, all banks.
+        let coalesced: Vec<_> = (0..p).map(ThreadAction::read).collect();
+        assert_eq!(umm::round_cost(&cfg, &coalesced), 1 + 4);
+        assert_eq!(round_cost(&cfg, &coalesced), 1 + 4);
+        // Stride 4 (= w): 4 address groups on UMM, 1 bank on DMM.
+        let strided: Vec<_> = (0..p).map(|j| ThreadAction::read(j * 4)).collect();
+        assert_eq!(umm::round_cost(&cfg, &strided), 4 + 4);
+        assert_eq!(round_cost(&cfg, &strided), 4 + 4);
+        // Diagonal stride w+1: distinct banks AND (generally) distinct
+        // groups — good for DMM, bad for UMM.
+        let diagonal: Vec<_> = (0..p).map(|j| ThreadAction::read(j * 5)).collect();
+        assert_eq!(round_cost(&cfg, &diagonal), 1 + 4); // banks 0,1,2,3
+        assert_eq!(umm::round_cost(&cfg, &diagonal), 4 + 4); // groups 0,1,2,3
+    }
+
+    #[test]
+    fn idle_round_is_free() {
+        let cfg = MachineConfig::new(4, 5);
+        let actions = vec![ThreadAction::Idle; 8];
+        assert_eq!(round_cost(&cfg, &actions), 0);
+    }
+
+    #[test]
+    fn accumulation_and_reset() {
+        let cfg = MachineConfig::new(4, 2);
+        let mut sim = DmmSimulator::new(cfg, 4);
+        let actions: Vec<_> = (0..4).map(ThreadAction::read).collect();
+        sim.step(&actions);
+        sim.step(&actions);
+        assert_eq!(sim.elapsed(), 2 * (1 + 1));
+        assert_eq!(sim.stats().rounds, 2);
+        sim.reset();
+        assert_eq!(sim.elapsed(), 0);
+    }
+}

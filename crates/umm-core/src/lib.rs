@@ -1,0 +1,58 @@
+//! # umm-core — memory machine models
+//!
+//! Cycle-level timing models of the **Unified Memory Machine (UMM)** and the
+//! **Discrete Memory Machine (DMM)**, the theoretical GPU memory models of
+//! Nakano et al. used by *"Bulk Execution of Oblivious Algorithms on the
+//! Unified Memory Machine, with GPU Implementation"* (Tani, Takafuji,
+//! Nakano, Ito; 2014).
+//!
+//! Both machines run `p` threads in SIMD lockstep, partitioned into warps of
+//! `w` threads, over a memory reached through an `l`-stage pipeline:
+//!
+//! * on the **UMM** a warp's requests are grouped by *address group*
+//!   (`w` consecutive words) and occupy one pipeline stage per distinct
+//!   group — the model of CUDA global-memory *coalescing*;
+//! * on the **DMM** a warp's requests are serialised per *memory bank*
+//!   (addresses congruent mod `w`) — the model of shared-memory *bank
+//!   conflicts*.
+//!
+//! The crate is **trace-driven**: it prices sequences of memory requests and
+//! never stores data values.  Value semantics live in the `oblivious` crate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use umm_core::{MachineConfig, ThreadAction, UmmSimulator};
+//!
+//! // Width 4, latency 5 — the machine of the paper's Figure 4.
+//! let cfg = MachineConfig::paper_figure4();
+//! let mut sim = UmmSimulator::new(cfg, 8);
+//!
+//! // Eight threads read eight consecutive addresses: two warps, one
+//! // address group each => 2 stages + 5 - 1 = 6 time units.
+//! let round: Vec<_> = (0..8).map(ThreadAction::read).collect();
+//! assert_eq!(sim.step(&round), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod analysis;
+pub mod config;
+pub mod dmm;
+pub mod hmm;
+pub mod schedule;
+pub mod stats;
+pub mod trace;
+pub mod umm;
+
+pub use access::{Op, ThreadAction, WarpRequest};
+pub use analysis::{address_group_histogram, stride_histogram, summarize, TraceSummary};
+pub use config::MachineConfig;
+pub use dmm::DmmSimulator;
+pub use hmm::{HmmAction, HmmConfig, HmmSimulator};
+pub use schedule::{WarpSchedule, WarpScratch};
+pub use stats::AccessStats;
+pub use trace::{Round, RoundTrace, ThreadTrace};
+pub use umm::{simulate_async, UmmSimulator};

@@ -1,0 +1,127 @@
+//! Aggregate memory access statistics.
+
+use crate::access::ThreadAction;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by the machine simulators.
+///
+/// `pipeline_stages` counts injections into the memory pipeline: on the UMM
+/// one per distinct address group per warp dispatch, on the DMM the sum of
+/// per-warp maximum bank conflicts.  The ratio of accesses to stage-widths
+/// gives a *coalescing efficiency*: 1.0 means every stage carried a full
+/// warp's worth of useful requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Lockstep rounds observed (including all-idle rounds).
+    pub rounds: u64,
+    /// Rounds in which at least one thread accessed memory.
+    pub active_rounds: u64,
+    /// Individual thread memory requests.
+    pub accesses: u64,
+    /// Read requests among `accesses`.
+    pub reads: u64,
+    /// Write requests among `accesses`.
+    pub writes: u64,
+    /// Pipeline injections charged.
+    pub pipeline_stages: u64,
+    /// Total time units charged.
+    pub time_units: u64,
+}
+
+impl AccessStats {
+    /// Record one round's actions and its charged stages/cost.
+    pub(crate) fn record_round(&mut self, actions: &[ThreadAction], stages: u64, cost: u64) {
+        self.rounds += 1;
+        if stages > 0 {
+            self.active_rounds += 1;
+        }
+        for a in actions {
+            match a {
+                ThreadAction::Idle => {}
+                ThreadAction::Access(crate::access::Op::Read, _) => {
+                    self.accesses += 1;
+                    self.reads += 1;
+                }
+                ThreadAction::Access(crate::access::Op::Write, _) => {
+                    self.accesses += 1;
+                    self.writes += 1;
+                }
+            }
+        }
+        self.pipeline_stages += stages;
+        self.time_units += cost;
+    }
+
+    /// Fraction of pipeline stage capacity carrying useful requests:
+    /// `accesses / (pipeline_stages * w)`.  Returns `None` before any stage
+    /// has been charged.
+    #[must_use]
+    pub fn coalescing_efficiency(&self, width: usize) -> Option<f64> {
+        if self.pipeline_stages == 0 {
+            return None;
+        }
+        Some(self.accesses as f64 / (self.pipeline_stages as f64 * width as f64))
+    }
+
+    /// Merge another statistics block into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.rounds += other.rounds;
+        self.active_rounds += other.active_rounds;
+        self.accesses += other.accesses;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.pipeline_stages += other.pipeline_stages;
+        self.time_units += other.time_units;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::ThreadAction;
+
+    #[test]
+    fn record_counts_ops() {
+        let mut s = AccessStats::default();
+        let actions =
+            [ThreadAction::read(0), ThreadAction::write(1), ThreadAction::Idle];
+        s.record_round(&actions, 2, 6);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.active_rounds, 1);
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.pipeline_stages, 2);
+        assert_eq!(s.time_units, 6);
+    }
+
+    #[test]
+    fn efficiency_is_accesses_per_stage_width() {
+        let mut s = AccessStats::default();
+        let actions: Vec<_> = (0..4).map(ThreadAction::read).collect();
+        s.record_round(&actions, 1, 5);
+        assert_eq!(s.coalescing_efficiency(4), Some(1.0));
+        let mut bad = AccessStats::default();
+        bad.record_round(&actions, 4, 8);
+        assert_eq!(bad.coalescing_efficiency(4), Some(0.25));
+    }
+
+    #[test]
+    fn efficiency_none_without_stages() {
+        let s = AccessStats::default();
+        assert_eq!(s.coalescing_efficiency(4), None);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = AccessStats::default();
+        let actions = [ThreadAction::read(0)];
+        a.record_round(&actions, 1, 5);
+        let mut b = AccessStats::default();
+        b.record_round(&actions, 1, 5);
+        a.merge(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.accesses, 2);
+        assert_eq!(a.time_units, 10);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration: boundary configurations that exercise the corners of the
+//! layout arithmetic and the executors.
+
+use bulk_oblivious::prelude::*;
+use oblivious::program::{bulk_execute, bulk_model_time, run_on_input};
+
+#[test]
+fn single_instance_bulk_equals_sequential() {
+    let prog = OptTriangulation::new(6);
+    let c = ChordWeights::from_fn(6, |i, j| ((i * 5 + j) % 17) as f64);
+    let input = c.as_words::<f64>();
+    let seq = run_on_input(&prog, &input);
+    for layout in Layout::all() {
+        let bulk = bulk_execute(&prog, &[&input], layout);
+        assert_eq!(bulk[0], seq, "{layout}");
+    }
+}
+
+#[test]
+fn one_word_instances_make_the_layouts_coincide() {
+    // With msize = 1, row-wise (lane·1 + 0) and column-wise (0·p + lane)
+    // are the *same* physical arrangement — the model must agree.
+    struct OneWord;
+    impl ObliviousProgram<f32> for OneWord {
+        fn name(&self) -> String {
+            "one-word".into()
+        }
+        fn memory_words(&self) -> usize {
+            1
+        }
+        fn input_range(&self) -> std::ops::Range<usize> {
+            0..1
+        }
+        fn output_range(&self) -> std::ops::Range<usize> {
+            0..1
+        }
+        fn run<M: ObliviousMachine<f32>>(&self, m: &mut M) {
+            let x = m.read(0);
+            let y = m.add(x, x);
+            m.write(0, y);
+            m.free(x);
+            m.free(y);
+        }
+    }
+    let cfg = MachineConfig::new(8, 3);
+    for p in [1usize, 7, 8, 100] {
+        let row = bulk_model_time::<f32, _>(&OneWord, cfg, Model::Umm, Layout::RowWise, p);
+        let col = bulk_model_time::<f32, _>(&OneWord, cfg, Model::Umm, Layout::ColumnWise, p);
+        assert_eq!(row, col, "p={p}: identical physical layouts must cost alike");
+    }
+}
+
+#[test]
+fn width_one_machine_is_a_plain_ram() {
+    // w = 1: every access is its own address group AND its own bank; both
+    // layouts and both machines collapse to the same serial cost.
+    let cfg = MachineConfig::new(1, 2);
+    let prog = PrefixSums::new(8);
+    let p = 5usize;
+    let mut times = Vec::new();
+    for model in [Model::Umm, Model::Dmm] {
+        for layout in Layout::all() {
+            times.push(bulk_model_time::<f32, _>(&prog, cfg, model, layout, p));
+        }
+    }
+    assert!(times.windows(2).all(|w| w[0] == w[1]), "{times:?}");
+    // t rounds of p serial accesses each: (p + l - 1) * t.
+    assert_eq!(times[0], (5 + 1) * 16);
+}
+
+#[test]
+fn latency_one_machine_has_no_pipeline_fill() {
+    let cfg = MachineConfig::new(4, 1);
+    let prog = PrefixSums::new(8);
+    let col = bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::ColumnWise, 16);
+    // Each round: p/w stages + 0 fill.
+    assert_eq!(col, 16 / 4 * 16);
+}
+
+#[test]
+fn p_less_than_warp_size_still_works_everywhere() {
+    let prog = BitonicSort::new(3);
+    let inputs: Vec<Vec<f32>> =
+        (0..3).map(|s| (0..8).map(|i| ((i * 7 + s * 3) % 11) as f32).collect()).collect();
+    let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+    let seq = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);
+    for layout in Layout::all() {
+        assert_eq!(bulk_execute(&prog, &refs, layout), seq);
+    }
+    // Model: a partial warp costs like a full one latency-wise.
+    let cfg = MachineConfig::new(32, 10);
+    let col = bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::ColumnWise, 3);
+    let t = oblivious::program::time_steps::<f32, _>(&prog) as u64;
+    assert_eq!(col, t * (1 + 10 - 1), "3 lanes fit one warp, one group per round");
+}
+
+#[test]
+fn giant_latency_dominates_everything() {
+    // l >> p: both layouts cost ~l·t and the gap vanishes — the flat
+    // left-hand region of the paper's Figure 11.
+    let cfg = MachineConfig::new(32, 1 << 20);
+    let prog = PrefixSums::new(4);
+    let p = 64usize;
+    let row = bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::RowWise, p);
+    let col = bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::ColumnWise, p);
+    let gap = row as f64 / col as f64;
+    assert!(gap < 1.001, "latency hides the layout entirely: {gap}");
+}
+
+#[test]
+fn device_launch_with_exactly_one_lane() {
+    let mut buf = vec![1.0f32, 2.0, 3.0, 4.0];
+    launch(
+        &Device::titan_like(),
+        &PrefixSumsKernel::new(4, Layout::ColumnWise),
+        &mut buf,
+        1,
+    );
+    assert_eq!(buf, vec![1.0, 3.0, 6.0, 10.0]);
+}

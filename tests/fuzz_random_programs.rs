@@ -1,0 +1,170 @@
+//! Differential fuzzing: random oblivious programs through every backend.
+//!
+//! A random instruction sequence over a small memory is, by construction, a
+//! valid oblivious program — so every backend must agree on it *bitwise*:
+//! scalar execution per instance, lockstep bulk execution in both layouts,
+//! the device's generic kernel, and tape replay (before and after dead-code
+//! elimination).  The cost machine must charge exactly one round per memory
+//! instruction.  This is the strongest guard the engine has against subtle
+//! lane-indexing or register-recycling bugs.
+
+use bulk_oblivious::prelude::*;
+use oblivious::program::{bulk_execute, bulk_model_time, run_on_input, time_steps};
+use oblivious::{BinOp, CmpOp, Tape, UnOp};
+use proptest::prelude::*;
+
+/// One step of a random program.  Value operands are indices into the
+/// stack of previously produced values (taken modulo its length at run
+/// time, so any index is valid).
+#[derive(Debug, Clone)]
+enum ROp {
+    Read(usize),
+    Write(usize, usize),
+    Const(i32),
+    Neg(usize),
+    Bin(u8, usize, usize),
+    Select(u8, usize, usize, usize, usize),
+}
+
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    msize: usize,
+    ops: Vec<ROp>,
+}
+
+impl ObliviousProgram<f64> for RandomProgram {
+    fn name(&self) -> String {
+        format!("random({} ops over {} words)", self.ops.len(), self.msize)
+    }
+    fn memory_words(&self) -> usize {
+        self.msize
+    }
+    fn input_range(&self) -> std::ops::Range<usize> {
+        0..self.msize
+    }
+    fn output_range(&self) -> std::ops::Range<usize> {
+        0..self.msize
+    }
+    fn run<M: ObliviousMachine<f64>>(&self, m: &mut M) {
+        let mut stack: Vec<M::Value> = vec![m.constant(1.0)];
+        let pick = |stack: &Vec<M::Value>, i: usize| stack[i % stack.len()];
+        for op in &self.ops {
+            match *op {
+                ROp::Read(addr) => {
+                    let v = m.read(addr % self.msize);
+                    stack.push(v);
+                }
+                ROp::Write(addr, src) => {
+                    let v = pick(&stack, src);
+                    m.write(addr % self.msize, v);
+                }
+                ROp::Const(c) => {
+                    let v = m.constant(f64::from(c));
+                    stack.push(v);
+                }
+                ROp::Neg(a) => {
+                    let av = pick(&stack, a);
+                    let v = m.unop(UnOp::Neg, av);
+                    stack.push(v);
+                }
+                ROp::Bin(which, a, b) => {
+                    let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max];
+                    let (av, bv) = (pick(&stack, a), pick(&stack, b));
+                    let v = m.binop(ops[which as usize % ops.len()], av, bv);
+                    stack.push(v);
+                }
+                ROp::Select(which, a, b, t, e) => {
+                    let cmps = [CmpOp::Lt, CmpOp::Le, CmpOp::Eq];
+                    let v = m.select(
+                        cmps[which as usize % cmps.len()],
+                        pick(&stack, a),
+                        pick(&stack, b),
+                        pick(&stack, t),
+                        pick(&stack, e),
+                    );
+                    stack.push(v);
+                }
+            }
+        }
+    }
+}
+
+fn rop_strategy() -> impl Strategy<Value = ROp> {
+    prop_oneof![
+        (0usize..64).prop_map(ROp::Read),
+        (0usize..64, 0usize..32).prop_map(|(a, s)| ROp::Write(a, s)),
+        (-8i32..8).prop_map(ROp::Const),
+        (0usize..32).prop_map(ROp::Neg),
+        (any::<u8>(), 0usize..32, 0usize..32).prop_map(|(w, a, b)| ROp::Bin(w, a, b)),
+        (any::<u8>(), 0usize..32, 0usize..32, 0usize..32, 0usize..32)
+            .prop_map(|(w, a, b, t, e)| ROp::Select(w, a, b, t, e)),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = RandomProgram> {
+    (2usize..24, proptest::collection::vec(rop_strategy(), 1..60))
+        .prop_map(|(msize, ops)| RandomProgram { msize, ops })
+}
+
+/// Bitwise view of an output (NaN-safe equality).
+fn bits(v: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    v.iter().map(|row| row.iter().map(|x| x.to_bits()).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_backends_agree_bitwise(prog in program_strategy(),
+                                  seeds in proptest::collection::vec(-50i32..50, 5)) {
+        // Per-instance inputs derived from the seeds.
+        let p = seeds.len();
+        let inputs: Vec<Vec<f64>> = seeds
+            .iter()
+            .map(|&s| (0..prog.msize).map(|i| f64::from(s) + i as f64 * 0.5).collect())
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+
+        // Oracle: scalar execution per instance.
+        let scalar: Vec<Vec<f64>> =
+            inputs.iter().map(|inp| run_on_input(&prog, inp)).collect();
+
+        // Generic bulk, both layouts.
+        for layout in Layout::all() {
+            let bulk = bulk_execute(&prog, &refs, layout);
+            prop_assert_eq!(bits(&bulk), bits(&scalar), "bulk {}", layout);
+        }
+
+        // Device generic kernel (block-partitioned engine).
+        {
+            use oblivious::layout::extract;
+            use oblivious::program::arrange_inputs;
+            let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
+            launch(
+                &Device::titan_like(),
+                &GenericKernel::new(prog.clone(), Layout::ColumnWise),
+                &mut buf,
+                p,
+            );
+            let dev = extract(&buf, p, prog.msize, Layout::ColumnWise, 0..prog.msize);
+            prop_assert_eq!(bits(&dev), bits(&scalar), "device kernel");
+        }
+
+        // Tape replay, with and without DCE.
+        let mut tape = Tape::record(&prog);
+        let taped: Vec<Vec<f64>> = inputs.iter().map(|inp| run_on_input(&tape, inp)).collect();
+        prop_assert_eq!(bits(&taped), bits(&scalar), "tape replay");
+        let _removed = tape.eliminate_dead_code();
+        let dced: Vec<Vec<f64>> = inputs.iter().map(|inp| run_on_input(&tape, inp)).collect();
+        prop_assert_eq!(bits(&dced), bits(&scalar), "tape after DCE");
+
+        // Cost machine: exactly one round per memory instruction.
+        let t = time_steps::<f64, _>(&prog) as u64;
+        let cfg = MachineConfig::new(4, 7);
+        let col = bulk_model_time::<f64, _>(&prog, cfg, Model::Umm, Layout::ColumnWise, 8);
+        // Each round costs at least l and at most 2*ceil(p/w)+l-1... just
+        // bound it: t rounds, each in [l, p + l - 1].
+        prop_assert!(col >= t * 7);
+        prop_assert!(col <= t * (8 + 7 - 1));
+    }
+}

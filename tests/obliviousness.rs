@@ -1,0 +1,145 @@
+//! Integration: obliviousness, demonstrated rather than assumed.
+//!
+//! A `TracingScalar` machine executes programs on *real data* while
+//! recording addresses, so the checker can compare traces across genuinely
+//! different inputs — a stronger demonstration than `trace_of` (which never
+//! sees data at all).  The non-oblivious foils must be rejected by the same
+//! checker.
+
+use bulk_oblivious::prelude::*;
+use oblivious::{BinOp, CmpOp, UnOp};
+use umm_core::ThreadTrace;
+
+/// Scalar execution that also records the address trace.
+struct TracingScalar<'a, W> {
+    mem: &'a mut [W],
+    trace: ThreadTrace,
+}
+
+impl<'a, W: Word> TracingScalar<'a, W> {
+    fn new(mem: &'a mut [W]) -> Self {
+        Self { mem, trace: ThreadTrace::new() }
+    }
+}
+
+impl<'a, W: Word> ObliviousMachine<W> for TracingScalar<'a, W> {
+    type Value = W;
+    fn read(&mut self, addr: usize) -> W {
+        self.trace.read(addr);
+        self.mem[addr]
+    }
+    fn write(&mut self, addr: usize, v: W) {
+        self.trace.write(addr);
+        self.mem[addr] = v;
+    }
+    fn constant(&mut self, c: W) -> W {
+        c
+    }
+    fn unop(&mut self, op: UnOp, a: W) -> W {
+        W::apply_un(op, a)
+    }
+    fn binop(&mut self, op: BinOp, a: W, b: W) -> W {
+        W::apply_bin(op, a, b)
+    }
+    fn select(&mut self, cmp: CmpOp, a: W, b: W, t: W, e: W) -> W {
+        if W::compare(cmp, a, b) {
+            t
+        } else {
+            e
+        }
+    }
+}
+
+/// Trace a program's execution on a concrete input.
+fn traced_run<W: Word, P: ObliviousProgram<W>>(prog: &P, input: &[W]) -> ThreadTrace {
+    let mut mem = vec![W::ZERO; prog.memory_words()];
+    mem[prog.input_range()].copy_from_slice(input);
+    let mut m = TracingScalar::new(&mut mem);
+    prog.run(&mut m);
+    m.trace
+}
+
+#[test]
+fn library_programs_trace_identically_on_real_data() {
+    // Several adversarially different inputs per program.
+    let f32_inputs = |len: usize| -> Vec<Vec<f32>> {
+        vec![
+            vec![0.0; len],
+            (0..len).map(|i| i as f32).collect(),
+            (0..len).rev().map(|i| -(i as f32)).collect(),
+            (0..len).map(|i| if i % 2 == 0 { 1e30 } else { -1e30 }).collect(),
+        ]
+    };
+
+    let ps = PrefixSums::new(24);
+    check_oblivious(|inp: &Vec<f32>| traced_run(&ps, inp), &f32_inputs(24)).expect("prefix-sums");
+
+    let bs = BitonicSort::new(4);
+    check_oblivious(|inp: &Vec<f32>| traced_run(&bs, inp), &f32_inputs(16)).expect("bitonic");
+
+    let fft = Fft::new(4);
+    check_oblivious(|inp: &Vec<f32>| traced_run(&fft, inp), &f32_inputs(32)).expect("fft");
+
+    let opt = OptTriangulation::with_argmin(7);
+    let polys: Vec<Vec<f32>> = (0..4)
+        .map(|s| {
+            ChordWeights::from_fn(7, |i, j| ((i * 13 + j * 7 + s * 31) % 50) as f64)
+                .as_words::<f32>()
+        })
+        .collect();
+    check_oblivious(|inp: &Vec<f32>| traced_run(&opt, inp), &polys).expect("opt");
+
+    let lcs = LcsLength::new(5, 7);
+    check_oblivious(|inp: &Vec<f32>| traced_run(&lcs, inp), &f32_inputs(12)).expect("lcs");
+
+    let xtea = Xtea::encrypt(3);
+    let keys: Vec<Vec<u32>> = (0..4u32)
+        .map(|s| (0..10).map(|i| s.wrapping_mul(0x9E3779B9).wrapping_add(i)).collect())
+        .collect();
+    check_oblivious(|inp: &Vec<u32>| traced_run(&xtea, inp), &keys).expect("xtea");
+}
+
+#[test]
+fn traced_run_matches_the_declared_address_function() {
+    // The data-carrying trace must equal the data-free trace: the program
+    // cannot leak data into addresses even if it tried.
+    let prog = OptTriangulation::new(8);
+    let declared = trace_of::<f32, _>(&prog);
+    let input =
+        ChordWeights::from_fn(8, |i, j| ((i * j * 7) % 23) as f64).as_words::<f32>();
+    let actual = traced_run(&prog, &input);
+    assert_eq!(actual, declared);
+}
+
+#[test]
+fn non_oblivious_foils_are_rejected() {
+    use algorithms::nonoblivious::{binary_search_trace, partition_trace};
+
+    let sorted: Vec<f64> = (0..128).map(|i| i as f64 * 2.0).collect();
+    let targets = vec![1.0, 200.0, 17.0, 255.0];
+    assert!(
+        check_oblivious(|t| binary_search_trace(&sorted, *t), &targets).is_err(),
+        "binary search must fail the checker"
+    );
+
+    let perms = vec![
+        vec![3.0, 1.0, 4.0, 1.5, 9.0, 2.0],
+        vec![9.0, 4.0, 3.0, 2.0, 1.5, 1.0],
+        vec![1.0, 1.5, 2.0, 3.0, 4.0, 9.0],
+    ];
+    assert!(
+        check_oblivious(|d| partition_trace(d), &perms).is_err(),
+        "quicksort partition must fail the checker"
+    );
+}
+
+#[test]
+fn oblivious_padding_idiom_costs_what_the_paper_says() {
+    // The paper inserts `else s ← s` so both branches take equal time.  In
+    // our machine the select is a register operation: it must contribute
+    // zero memory steps regardless of outcome.
+    let n = 10;
+    let prog = OptTriangulation::new(n);
+    let t = time_steps::<f32, _>(&prog) as u64;
+    assert_eq!(t, oblivious::theorems::opt_steps(n as u64));
+}

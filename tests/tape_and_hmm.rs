@@ -1,0 +1,112 @@
+//! Integration: recorded tapes and HMM pricing across the whole library.
+
+use bulk_oblivious::prelude::*;
+use oblivious::program::{bulk_execute, run_on_input, time_steps, trace_of};
+use oblivious::Tape;
+use umm_core::HmmConfig;
+
+#[test]
+fn tapes_replay_identically_for_every_library_program() {
+    macro_rules! check {
+        ($prog:expr, $w:ty, $input:expr) => {{
+            let prog = $prog;
+            let input: Vec<$w> = $input;
+            let tape = Tape::record(&prog);
+            assert_eq!(
+                run_on_input(&tape, &input),
+                run_on_input(&prog, &input),
+                "tape of {} must replay identically",
+                ObliviousProgram::<$w>::name(&prog)
+            );
+            // A tape is itself an oblivious program with the same trace.
+            assert_eq!(trace_of::<$w, _>(&tape), trace_of::<$w, _>(&prog));
+        }};
+    }
+
+    check!(PrefixSums::new(16), f32, (0..16).map(|i| i as f32).collect());
+    check!(BitonicSort::new(4), f32, (0..16).rev().map(|i| i as f32).collect());
+    check!(Fft::new(3), f64, (0..16).map(|i| (i % 5) as f64).collect());
+    check!(MatMul::new(3), f64, (0..18).map(|i| (i % 4) as f64).collect());
+    check!(LcsLength::new(4, 4), f32, (0..8).map(|i| (i % 3) as f32).collect());
+    check!(Xtea::encrypt(2), u32, (0..8u32).map(|i| i * 0x0123_4567 / 16).collect());
+    check!(
+        OptTriangulation::new(6),
+        f64,
+        ChordWeights::from_fn(6, |i, j| ((i * 7 + j) % 13) as f64).as_words::<f64>()
+    );
+    check!(algorithms::OfflinePermute::perfect_shuffle(8), f32, (0..8).map(|i| i as f32).collect());
+}
+
+#[test]
+fn dce_is_a_noop_on_well_freed_programs_semantics() {
+    // DCE may or may not remove instructions (our library frees its
+    // temporaries, but argmin-free OPT still computes selects whose
+    // results feed writes) — semantics must be preserved either way.
+    let prog = OptTriangulation::new(7);
+    let input = ChordWeights::from_fn(7, |i, j| ((i * 3 + j * 11) % 40) as f64).as_words::<f64>();
+    let mut tape = Tape::record(&prog);
+    let before = run_on_input(&tape, &input);
+    let removed = tape.eliminate_dead_code();
+    let after = run_on_input(&tape, &input);
+    assert_eq!(before, after, "DCE removed {removed} instructions but changed nothing");
+    assert_eq!(tape.memory_steps(), time_steps::<f64, _>(&prog), "memory steps survive DCE");
+}
+
+#[test]
+fn tape_bulk_execution_matches_program_bulk_execution() {
+    let prog = SummedArea::new(4, 4);
+    let tape = Tape::record(&prog);
+    let inputs: Vec<Vec<f32>> =
+        (0..20).map(|s| (0..16).map(|i| ((i + s * 3) % 7) as f32).collect()).collect();
+    let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+    for layout in Layout::all() {
+        assert_eq!(
+            bulk_execute(&tape, &refs, layout),
+            bulk_execute(&prog, &refs, layout),
+            "{layout}"
+        );
+    }
+}
+
+#[test]
+fn hmm_staging_verdicts_match_reuse_structure() {
+    let hmm = HmmConfig::new(
+        8,
+        umm_core::MachineConfig::new(32, 2),
+        umm_core::MachineConfig::new(32, 400),
+    );
+    let p = 8 * 32;
+    // Streaming programs: stay global.
+    let ps = oblivious::hmm_bulk_cost::<f32, _>(&PrefixSums::new(1024), &hmm, p);
+    assert!(!ps.staging_wins(), "{ps:?}");
+    let pm =
+        oblivious::hmm_bulk_cost::<f32, _>(&algorithms::OfflinePermute::reversal(512), &hmm, p);
+    assert!(!pm.staging_wins(), "permutation has zero reuse: {pm:?}");
+    // Reuse-heavy programs: stage.
+    let opt = oblivious::hmm_bulk_cost::<f32, _>(&OptTriangulation::new(24), &hmm, p);
+    assert!(opt.staging_wins(), "{opt:?}");
+    let mm = oblivious::hmm_bulk_cost::<f32, _>(&MatMul::new(24), &hmm, p);
+    assert!(mm.staging_wins(), "matmul reads each word n times: {mm:?}");
+    // Sanity: breakdown adds up and capacity is reported.
+    assert_eq!(opt.staged, opt.load + opt.compute + opt.store);
+    assert_eq!(
+        oblivious::capacity_needed_per_dmm::<f32, _>(&OptTriangulation::new(24), &hmm, p),
+        2 * 24 * 24 * 32
+    );
+}
+
+#[test]
+fn hmm_simulator_agrees_with_coalesced_round_arithmetic() {
+    // One coalesced global round through the HmmSimulator equals the
+    // closed form used by hmm_bulk_cost's load/store phases.
+    let hmm = HmmConfig::new(
+        2,
+        umm_core::MachineConfig::new(4, 2),
+        umm_core::MachineConfig::new(4, 10),
+    );
+    let p = 16usize;
+    let mut sim = umm_core::HmmSimulator::new(hmm, p);
+    let actions: Vec<_> = (0..p).map(umm_core::HmmAction::global_read).collect();
+    let cost = sim.step(&actions);
+    assert_eq!(cost, (p as u64).div_ceil(4) + 10 - 1);
+}

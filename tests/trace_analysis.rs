@@ -1,0 +1,90 @@
+//! Integration: trace analysis characterises the library's algorithms the
+//! way their complexity analysis says it should.
+
+use bulk_oblivious::prelude::*;
+use oblivious::program::trace_of;
+use umm_core::{address_group_histogram, stride_histogram, summarize};
+
+#[test]
+fn prefix_sums_is_a_sequential_streaming_walk() {
+    let s = summarize(&trace_of::<f32, _>(&PrefixSums::new(256)));
+    assert_eq!(s.reads, 256);
+    assert_eq!(s.writes, 256);
+    assert_eq!(s.working_set, 256);
+    assert!(s.sequential_fraction > 0.99, "strides are 0 and +1: {}", s.sequential_fraction);
+    assert!(s.mean_reuse_distance <= 1.5, "write immediately follows read");
+}
+
+#[test]
+fn opt_dp_has_short_reuse_and_wild_strides() {
+    let s = summarize(&trace_of::<f32, _>(&OptTriangulation::new(24)));
+    // The DP re-reads M cells many times: working set much smaller than
+    // the access count.
+    assert!(s.reads + s.writes > 4 * s.working_set, "heavy reuse");
+    // Interval DP jumps between table rows: mostly non-sequential.
+    assert!(s.sequential_fraction < 0.2, "{}", s.sequential_fraction);
+    assert!(s.mean_abs_stride > 5.0);
+}
+
+#[test]
+fn transpose_bounces_between_triangles() {
+    let n = 16usize;
+    let trace = trace_of::<f32, _>(&Transpose::new(n));
+    let h = stride_histogram(&trace, 1024);
+    // Every swap hops between (i,j) and (j,i): both stride signs occur and
+    // no two consecutive accesses share an address.
+    assert!(h.keys().any(|&d| d > 0) && h.keys().any(|&d| d < 0));
+    assert_eq!(h.get(&0), None, "transpose never repeats an address back-to-back");
+    // Each off-diagonal cell is touched exactly twice (read + write).
+    let s = summarize(&trace);
+    assert_eq!(s.working_set, n * n - n);
+    assert_eq!(s.reads, s.writes);
+    assert!(s.mean_reuse_distance <= 3.0, "write follows its read within the swap");
+}
+
+#[test]
+fn fft_touches_every_group_evenly() {
+    let cfg = MachineConfig::new(8, 1);
+    let groups = address_group_histogram(&trace_of::<f32, _>(&Fft::new(5)), &cfg);
+    // 64 words over 8-word groups: all 8 groups used.
+    assert_eq!(groups.len(), 8);
+    let counts: Vec<usize> = groups.iter().map(|&(_, c)| c).collect();
+    let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+    assert!(
+        *max <= 2 * *min,
+        "butterflies spread accesses near-evenly, got {counts:?}"
+    );
+}
+
+#[test]
+fn xtea_working_set_is_the_whole_instance() {
+    let prog = Xtea::encrypt(8);
+    let s = summarize(&trace_of::<u32, _>(&prog));
+    assert_eq!(s.working_set, 4 + 16, "key + every data word");
+    assert_eq!(s.reads, 4 + 16);
+    assert_eq!(s.writes, 16);
+}
+
+#[test]
+fn permutation_analysis_reflects_its_shuffle() {
+    let prog = OfflinePermute::perfect_shuffle(64);
+    let s = summarize(&trace_of::<f32, _>(&prog));
+    assert_eq!(s.working_set, 128, "src and dst");
+    assert_eq!(s.mean_reuse_distance, 0.0, "no address is touched twice");
+    // The shuffle's writes alternate between halves: low sequentiality.
+    assert!(s.sequential_fraction < 0.1);
+}
+
+#[test]
+fn summaries_of_row_vs_column_friendly_traces_differ() {
+    // Same working set, same step count, opposite strides: the analyses
+    // must tell them apart even though the cost model sees both as "one
+    // address per step".
+    let seq = trace_of::<f32, _>(&PrefixSums::new(64));
+    let fw = trace_of::<f64, _>(&FloydWarshall::new(8));
+    let s1 = summarize(&seq);
+    let s2 = summarize(&fw);
+    assert_eq!(s1.working_set, s2.working_set, "both touch 64 words");
+    assert!(s1.sequential_fraction > s2.sequential_fraction);
+    assert!(s2.mean_reuse_distance > s1.mean_reuse_distance);
+}
