@@ -148,10 +148,8 @@ mod tests {
     #[test]
     fn matches_reference_pseudorandomly() {
         for seed in 0..6u64 {
-            let a: Vec<f64> =
-                (0..8).map(|i| ((i as u64 * 7 + seed * 3) % 4) as f64).collect();
-            let b: Vec<f64> =
-                (0..6).map(|i| ((i as u64 * 5 + seed * 11) % 4) as f64).collect();
+            let a: Vec<f64> = (0..8).map(|i| ((i as u64 * 7 + seed * 3) % 4) as f64).collect();
+            let b: Vec<f64> = (0..6).map(|i| ((i as u64 * 5 + seed * 11) % 4) as f64).collect();
             let ai: Vec<u64> = a.iter().map(|&x| x as u64).collect();
             let bi: Vec<u64> = b.iter().map(|&x| x as u64).collect();
             assert_eq!(distance(&a, &b) as usize, reference(&ai, &bi), "seed={seed}");

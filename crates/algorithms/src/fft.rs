@@ -187,9 +187,7 @@ mod tests {
 
     fn close(a: &[(f64, f64)], b: &[(f64, f64)], tol: f64) -> bool {
         a.len() == b.len()
-            && a.iter()
-                .zip(b)
-                .all(|(x, y)| (x.0 - y.0).abs() < tol && (x.1 - y.1).abs() < tol)
+            && a.iter().zip(b).all(|(x, y)| (x.0 - y.0).abs() < tol && (x.1 - y.1).abs() < tol)
     }
 
     fn signal(n: usize) -> Vec<(f64, f64)> {

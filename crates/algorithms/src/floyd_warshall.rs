@@ -91,11 +91,7 @@ pub fn reference(dist: &[f64], n: usize) -> Vec<f64> {
 
 /// Build a distance matrix from an edge list (symmetric if `undirected`).
 #[must_use]
-pub fn matrix_from_edges(
-    n: usize,
-    edges: &[(usize, usize, f64)],
-    undirected: bool,
-) -> Vec<f64> {
+pub fn matrix_from_edges(n: usize, edges: &[(usize, usize, f64)], undirected: bool) -> Vec<f64> {
     let mut d = vec![f64::INFINITY; n * n];
     for i in 0..n {
         d[i * n + i] = 0.0;
@@ -134,8 +130,7 @@ mod tests {
     #[test]
     fn matches_reference_on_a_ring() {
         let n = 8;
-        let edges: Vec<_> =
-            (0..n).map(|i| (i, (i + 1) % n, 1.0 + (i % 3) as f64)).collect();
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n, 1.0 + (i % 3) as f64)).collect();
         let d = matrix_from_edges(n, &edges, true);
         let out = run_on_input::<f64, _>(&FloydWarshall::new(n), &d);
         assert_eq!(out, reference(&d, n));
@@ -154,9 +149,8 @@ mod tests {
         let prog = FloydWarshall::new(n);
         let inputs: Vec<Vec<f64>> = (0..4)
             .map(|s| {
-                let edges: Vec<_> = (0..n)
-                    .map(|i| (i, (i + 2 + s) % n, 1.0 + ((i + s) % 4) as f64))
-                    .collect();
+                let edges: Vec<_> =
+                    (0..n).map(|i| (i, (i + 2 + s) % n, 1.0 + ((i + s) % 4) as f64)).collect();
                 matrix_from_edges(n, &edges, true)
             })
             .collect();

@@ -145,12 +145,8 @@ mod tests {
     #[test]
     fn matches_reference_pseudorandomly() {
         for seed in 0..5u64 {
-            let a: Vec<f64> = (0..9)
-                .map(|i| ((i as u64 * 7 + seed * 13) % 4) as f64)
-                .collect();
-            let b: Vec<f64> = (0..7)
-                .map(|i| ((i as u64 * 11 + seed * 5) % 4) as f64)
-                .collect();
+            let a: Vec<f64> = (0..9).map(|i| ((i as u64 * 7 + seed * 13) % 4) as f64).collect();
+            let b: Vec<f64> = (0..7).map(|i| ((i as u64 * 11 + seed * 5) % 4) as f64).collect();
             let ai: Vec<u64> = a.iter().map(|&x| x as u64).collect();
             let bi: Vec<u64> = b.iter().map(|&x| x as u64).collect();
             assert_eq!(lcs_of(&a, &b) as usize, reference(&ai, &bi), "seed={seed}");

@@ -59,8 +59,8 @@ pub use matvec::MatVec;
 pub use oe_mergesort::OddEvenMergeSort;
 pub use opt::{ChordWeights, OptTriangulation};
 pub use pascal::PascalTriangle;
-pub use poly_mul::PolyMul;
 pub use permute::OfflinePermute;
+pub use poly_mul::PolyMul;
 pub use prefix_sums::PrefixSums;
 pub use summed_area::SummedArea;
 pub use transpose::Transpose;

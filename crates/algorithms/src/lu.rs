@@ -95,7 +95,13 @@ pub fn multiply_lu(packed: &[f64], n: usize) -> Vec<f64> {
             Ordering::Less => 0.0,
         }
     };
-    let u = |i: usize, j: usize| -> f64 { if i <= j { packed[i * n + j] } else { 0.0 } };
+    let u = |i: usize, j: usize| -> f64 {
+        if i <= j {
+            packed[i * n + j]
+        } else {
+            0.0
+        }
+    };
     let mut out = vec![0.0; n * n];
     for i in 0..n {
         for j in 0..n {
@@ -113,8 +119,7 @@ pub fn diagonally_dominant(n: usize, seed: u64) -> Vec<f64> {
         let mut row_sum = 0.0;
         for j in 0..n {
             if i != j {
-                let h = (i as u64 * 31 + j as u64 * 17 + seed)
-                    .wrapping_mul(0x9E3779B97F4A7C15);
+                let h = (i as u64 * 31 + j as u64 * 17 + seed).wrapping_mul(0x9E3779B97F4A7C15);
                 let v = ((h >> 40) % 100) as f64 / 25.0 - 2.0;
                 a[i * n + j] = v;
                 row_sum += v.abs();
@@ -192,8 +197,7 @@ mod tests {
         let n = 6;
         let a = diagonally_dominant(n, 9);
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
-        let b: Vec<f64> =
-            (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x_true[j]).sum()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x_true[j]).sum()).collect();
         let packed = run_on_input::<f64, _>(&LuDecomposition::new(n), &a);
         let x = solve(&packed, &b, n);
         assert!(close(&x, &x_true, 1e-9));

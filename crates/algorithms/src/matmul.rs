@@ -162,9 +162,8 @@ mod tests {
     #[test]
     fn bulk_equals_sequential() {
         let n = 3;
-        let inputs: Vec<Vec<f32>> = (0..5)
-            .map(|s| (0..2 * n * n).map(|x| ((x + s * 13) % 7) as f32).collect())
-            .collect();
+        let inputs: Vec<Vec<f32>> =
+            (0..5).map(|s| (0..2 * n * n).map(|x| ((x + s * 13) % 7) as f32).collect()).collect();
         let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
         let prog = MatMul::new(n);
         let cpu = oblivious::program::bulk_execute_cpu_reference(&prog, &refs);

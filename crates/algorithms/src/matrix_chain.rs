@@ -142,8 +142,7 @@ mod tests {
     #[test]
     fn matches_reference_pseudorandomly() {
         for seed in 0..5u64 {
-            let dims: Vec<u64> =
-                (0..7).map(|i| 1 + (i as u64 * 13 + seed * 7) % 30).collect();
+            let dims: Vec<u64> = (0..7).map(|i| 1 + (i as u64 * 13 + seed * 7) % 30).collect();
             assert_eq!(chain_cost(&dims), reference(&dims), "dims={dims:?}");
         }
     }
@@ -152,10 +151,8 @@ mod tests {
     fn trace_is_cubic_like_opt() {
         // Per (i,j,k): 5 reads; per (i,j): 1 write; plus n diagonal writes.
         let n = 6usize;
-        let expected: usize = (2..=n)
-            .map(|len| (n - len + 1) * ((len - 1) * 5 + 1))
-            .sum::<usize>()
-            + n;
+        let expected: usize =
+            (2..=n).map(|len| (n - len + 1) * ((len - 1) * 5 + 1)).sum::<usize>() + n;
         assert_eq!(time_steps::<f64, _>(&MatrixChain::new(n)), expected);
     }
 

@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn partition_is_rejected_by_the_checker() {
-        let inputs = vec![
-            vec![1.0, 9.0, 2.0, 8.0, 5.0],
-            vec![9.0, 1.0, 8.0, 2.0, 5.0],
-        ];
+        let inputs = vec![vec![1.0, 9.0, 2.0, 8.0, 5.0], vec![9.0, 1.0, 8.0, 2.0, 5.0]];
         let result = check_oblivious(|d| partition_trace(d), &inputs);
         assert!(result.is_err(), "partition's swap writes are data-dependent");
     }

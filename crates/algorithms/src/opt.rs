@@ -101,7 +101,11 @@ impl OptTriangulation {
 
 impl<W: Word> ObliviousProgram<W> for OptTriangulation {
     fn name(&self) -> String {
-        format!("opt-triangulation(n={}{})", self.n, if self.record_argmin { ",argmin" } else { "" })
+        format!(
+            "opt-triangulation(n={}{})",
+            self.n,
+            if self.record_argmin { ",argmin" } else { "" }
+        )
     }
 
     fn memory_words(&self) -> usize {
@@ -137,11 +141,8 @@ impl<W: Word> ObliviousProgram<W> for OptTriangulation {
         for i in (1..=n - 2).rev() {
             for j in (i + 1)..n {
                 let mut s = m.pos_inf();
-                let mut bestk = if self.record_argmin {
-                    Some(m.constant(W::from_f64(i as f64)))
-                } else {
-                    None
-                };
+                let mut bestk =
+                    if self.record_argmin { Some(m.constant(W::from_f64(i as f64))) } else { None };
                 for k in i..j {
                     let m1 = m.read(self.m_at(i, k));
                     let m2 = m.read(self.m_at(k + 1, j));

@@ -130,8 +130,9 @@ mod tests {
         let a = [1.0f64, 2.0, 3.0, 4.0];
         let b = [-1.0, 0.5, 2.0, 1.0];
         let direct = mul(&a, &b);
-        let to_pts =
-            |v: &[f64]| -> Vec<(f64, f64)> { (0..8).map(|i| (*v.get(i).unwrap_or(&0.0), 0.0)).collect() };
+        let to_pts = |v: &[f64]| -> Vec<(f64, f64)> {
+            (0..8).map(|i| (*v.get(i).unwrap_or(&0.0), 0.0)).collect()
+        };
         let fa = run_on_input::<f64, _>(&Fft::new(3), &pack::<f64>(&to_pts(&a)));
         let fb = run_on_input::<f64, _>(&Fft::new(3), &pack::<f64>(&to_pts(&b)));
         let (pa, pb) = (unpack::<f64>(&fa), unpack::<f64>(&fb));

@@ -147,11 +147,19 @@ mod tests {
         let prog = PrefixSums::new(n);
         let t = theorems::prefix_sums_steps(n as u64);
         let row = oblivious::program::bulk_model_time::<f32, _>(
-            &prog, cfg, Model::Umm, Layout::RowWise, p,
+            &prog,
+            cfg,
+            Model::Umm,
+            Layout::RowWise,
+            p,
         );
         assert_eq!(row, theorems::row_wise_time(t, p as u64, 5));
         let col = oblivious::program::bulk_model_time::<f32, _>(
-            &prog, cfg, Model::Umm, Layout::ColumnWise, p,
+            &prog,
+            cfg,
+            Model::Umm,
+            Layout::ColumnWise,
+            p,
         );
         assert_eq!(col, theorems::column_wise_time(t, p as u64, 4, 5));
     }
@@ -163,7 +171,11 @@ mod tests {
         let prog = PrefixSums::new(n);
         let t = theorems::prefix_sums_steps(n as u64);
         let col = oblivious::program::bulk_model_time::<f32, _>(
-            &prog, cfg, Model::Umm, Layout::ColumnWise, p,
+            &prog,
+            cfg,
+            Model::Umm,
+            Layout::ColumnWise,
+            p,
         );
         let ratio = theorems::optimality_ratio(col, t, p as u64, 32, 100);
         assert!(ratio <= 2.0, "column-wise is time-optimal (Theorem 3), ratio {ratio}");

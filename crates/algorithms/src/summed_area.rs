@@ -51,7 +51,8 @@ impl SummedArea {
                 table[i as usize * self.w + j as usize].to_f64()
             }
         };
-        at(i1 as isize, j1 as isize) - at(i0 as isize - 1, j1 as isize)
+        at(i1 as isize, j1 as isize)
+            - at(i0 as isize - 1, j1 as isize)
             - at(i1 as isize, j0 as isize - 1)
             + at(i0 as isize - 1, j0 as isize - 1)
     }

@@ -137,7 +137,8 @@ pub fn encipher_reference(rounds: u32, v: [u32; 2], key: [u32; 4]) -> [u32; 2] {
     let mut sum = 0u32;
     for _ in 0..rounds {
         v0 = v0.wrapping_add(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
         );
         sum = sum.wrapping_add(DELTA);
         v1 = v1.wrapping_add(
@@ -160,7 +161,8 @@ pub fn decipher_reference(rounds: u32, v: [u32; 2], key: [u32; 4]) -> [u32; 2] {
         );
         sum = sum.wrapping_sub(DELTA);
         v0 = v0.wrapping_sub(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
         );
     }
     [v0, v1]
@@ -174,7 +176,12 @@ mod tests {
 
     const KEY: [u32; 4] = [0x0001_0203, 0x0405_0607, 0x0809_0A0B, 0x0C0D_0E0F];
 
-    fn machine_encrypt(blocks: &[[u32; 2]], key: [u32; 4], rounds: u32, decrypt: bool) -> Vec<[u32; 2]> {
+    fn machine_encrypt(
+        blocks: &[[u32; 2]],
+        key: [u32; 4],
+        rounds: u32,
+        decrypt: bool,
+    ) -> Vec<[u32; 2]> {
         let prog = Xtea::with_rounds(blocks.len(), rounds, decrypt);
         let mut input = key.to_vec();
         for b in blocks {

@@ -67,8 +67,7 @@ pub fn fit_affine(samples: &[(f64, f64)]) -> AffineFit {
 
     let mean_y = sy / n;
     let ss_tot: f64 = samples.iter().map(|s| (s.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        samples.iter().map(|s| (s.1 - (intercept + slope * s.0)).powi(2)).sum();
+    let ss_res: f64 = samples.iter().map(|s| (s.1 - (intercept + slope * s.0)).powi(2)).sum();
     let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
     AffineFit { intercept, slope, r_squared }
 }

@@ -1,32 +1,31 @@
-//! Criterion bench for ablation A4: the generic conversion-system engine
-//! vs the hand-written kernel, and the per-algorithm cost of the generic
+//! Micro-bench for ablation A4: the generic conversion-system engine vs
+//! the hand-written kernel, and the per-algorithm cost of the generic
 //! engine across the algorithm library.
+//!
+//! Plain `std::time` harness (`bench::harness`), median-of-samples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::case;
 use gpu_sim::kernels::PrefixSumsKernel;
 use gpu_sim::{launch, Device, GenericKernel};
 use oblivious::layout::arrange;
 use oblivious::program::arrange_inputs;
 use oblivious::Layout;
 
-fn bench_engine_overhead(c: &mut Criterion) {
-    let device = Device::titan_like();
-    let mut group = c.benchmark_group("generic_vs_kernel");
-    group.sample_size(10);
+fn bench_engine_overhead(device: &Device) {
     let (n, p) = (256usize, 4usize << 10);
     let flat = bench::random_words(p * n, 3);
     let per: Vec<&[f32]> = flat.chunks_exact(n).collect();
 
     let mut buf = arrange(&per, n, Layout::ColumnWise);
     let kernel = PrefixSumsKernel::new(n, Layout::ColumnWise);
-    group.bench_function(BenchmarkId::new("kernel", "prefix_sums"), |b| {
-        b.iter(|| launch(&device, &kernel, &mut buf, p));
+    case("generic_vs_kernel", "kernel_prefix_sums", None, || {
+        launch(device, &kernel, &mut buf, p);
     });
 
     let mut buf = arrange(&per, n, Layout::ColumnWise);
     let generic = GenericKernel::new(algorithms::PrefixSums::new(n), Layout::ColumnWise);
-    group.bench_function(BenchmarkId::new("generic", "prefix_sums"), |b| {
-        b.iter(|| launch(&device, &generic, &mut buf, p));
+    case("generic_vs_kernel", "generic_prefix_sums", None, || {
+        launch(device, &generic, &mut buf, p);
     });
 
     // Tape replay: control flow recorded once, replayed per launch.
@@ -34,16 +33,12 @@ fn bench_engine_overhead(c: &mut Criterion) {
     let mut tape = oblivious::Tape::record(&algorithms::PrefixSums::new(n));
     tape.eliminate_dead_code();
     let taped = GenericKernel::new(tape, Layout::ColumnWise);
-    group.bench_function(BenchmarkId::new("tape", "prefix_sums"), |b| {
-        b.iter(|| launch(&device, &taped, &mut buf, p));
+    case("generic_vs_kernel", "tape_prefix_sums", None, || {
+        launch(device, &taped, &mut buf, p);
     });
-    group.finish();
 }
 
-fn bench_algorithm_library(c: &mut Criterion) {
-    let device = Device::titan_like();
-    let mut group = c.benchmark_group("generic_library");
-    group.sample_size(10);
+fn bench_algorithm_library(device: &Device) {
     let p = 1usize << 10;
 
     // FFT over 64-point blocks.
@@ -53,7 +48,7 @@ fn bench_algorithm_library(c: &mut Criterion) {
         let per: Vec<&[f32]> = flat.chunks_exact(128).collect();
         let mut buf = arrange_inputs(&prog, &per, Layout::ColumnWise);
         let k = GenericKernel::new(prog, Layout::ColumnWise);
-        group.bench_function("fft64", |b| b.iter(|| launch(&device, &k, &mut buf, p)));
+        case("generic_library", "fft64", None, || launch(device, &k, &mut buf, p));
     }
     // Bitonic sort of 64 elements.
     {
@@ -62,7 +57,7 @@ fn bench_algorithm_library(c: &mut Criterion) {
         let per: Vec<&[f32]> = flat.chunks_exact(64).collect();
         let mut buf = arrange_inputs(&prog, &per, Layout::ColumnWise);
         let k = GenericKernel::new(prog, Layout::ColumnWise);
-        group.bench_function("bitonic64", |b| b.iter(|| launch(&device, &k, &mut buf, p)));
+        case("generic_library", "bitonic64", None, || launch(device, &k, &mut buf, p));
     }
     // XTEA over 8 blocks (u32 words).
     {
@@ -73,10 +68,12 @@ fn bench_algorithm_library(c: &mut Criterion) {
         let refs: Vec<&[u32]> = inputs.iter().map(|v| v.as_slice()).collect();
         let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
         let k = GenericKernel::new(prog, Layout::ColumnWise);
-        group.bench_function("xtea8", |b| b.iter(|| launch(&device, &k, &mut buf, p)));
+        case("generic_library", "xtea8", None, || launch(device, &k, &mut buf, p));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_engine_overhead, bench_algorithm_library);
-criterion_main!(benches);
+fn main() {
+    let device = Device::titan_like();
+    bench_engine_overhead(&device);
+    bench_algorithm_library(&device);
+}

@@ -1,43 +1,39 @@
-//! Criterion micro-bench behind Figure 12: bulk OPT, CPU baseline vs the
-//! two device layouts.
+//! Micro-bench behind Figure 12: bulk OPT, CPU baseline vs the two device
+//! layouts.
+//!
+//! Plain `std::time` harness (`bench::harness`), median-of-samples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::case;
 use gpu_sim::kernels::OptKernel;
 use gpu_sim::{cpu_ref, launch, Device};
 use oblivious::program::arrange_inputs;
 use oblivious::Layout;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let device = Device::titan_like();
-    let mut group = c.benchmark_group("opt");
-    group.sample_size(10);
     for (n, p) in [(8usize, 4usize << 10), (64, 64)] {
         let inputs = bench::random_polygons(n, p, 7);
         let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
         let prog = algorithms::OptTriangulation::new(n);
         // Work per launch ~ p * n^3 / 3 DP steps.
-        group.throughput(Throughput::Elements((p * n * n * n / 3) as u64));
-        let label = format!("n{n}_p{p}");
+        let elems = Some((p * n * n * n / 3) as u64);
+        let label = |kind: &str| format!("{kind}_n{n}_p{p}");
 
         let mut buf = arrange_inputs(&prog, &refs, Layout::RowWise);
-        group.bench_function(BenchmarkId::new("cpu", &label), |b| {
-            b.iter(|| cpu_ref::opt_rowwise(&mut buf, p, n));
+        case("opt", &label("cpu"), elems, || {
+            cpu_ref::opt_rowwise(&mut buf, p, n);
         });
 
         let mut buf = arrange_inputs(&prog, &refs, Layout::RowWise);
         let kernel = OptKernel::new(n, Layout::RowWise);
-        group.bench_function(BenchmarkId::new("gpu_row", &label), |b| {
-            b.iter(|| launch(&device, &kernel, &mut buf, p));
+        case("opt", &label("gpu_row"), elems, || {
+            launch(&device, &kernel, &mut buf, p);
         });
 
         let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
         let kernel = OptKernel::new(n, Layout::ColumnWise);
-        group.bench_function(BenchmarkId::new("gpu_col", &label), |b| {
-            b.iter(|| launch(&device, &kernel, &mut buf, p));
+        case("opt", &label("gpu_col"), elems, || {
+            launch(&device, &kernel, &mut buf, p);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

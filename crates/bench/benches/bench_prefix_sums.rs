@@ -1,41 +1,37 @@
-//! Criterion micro-bench behind Figure 11: bulk prefix-sums, CPU baseline
-//! vs the two device layouts, at representative (n, p) points.
+//! Micro-bench behind Figure 11: bulk prefix-sums, CPU baseline vs the two
+//! device layouts, at representative (n, p) points.
+//!
+//! Plain `std::time` harness (`bench::harness`), median-of-samples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::case;
 use gpu_sim::kernels::PrefixSumsKernel;
 use gpu_sim::{cpu_ref, launch, Device};
 use oblivious::layout::arrange;
 use oblivious::Layout;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let device = Device::titan_like();
-    let mut group = c.benchmark_group("prefix_sums");
-    group.sample_size(10);
     for (n, p) in [(32usize, 16usize << 10), (1024, 1 << 10)] {
         let flat = bench::random_words(p * n, 42);
         let per: Vec<&[f32]> = flat.chunks_exact(n).collect();
-        group.throughput(Throughput::Elements((p * n) as u64));
-        let label = format!("n{n}_p{p}");
+        let elems = Some((p * n) as u64);
+        let label = |kind: &str| format!("{kind}_n{n}_p{p}");
 
         let mut buf = arrange(&per, n, Layout::RowWise);
-        group.bench_function(BenchmarkId::new("cpu", &label), |b| {
-            b.iter(|| cpu_ref::prefix_sums_rowwise(&mut buf, p, n));
+        case("prefix_sums", &label("cpu"), elems, || {
+            cpu_ref::prefix_sums_rowwise(&mut buf, p, n);
         });
 
         let mut buf = arrange(&per, n, Layout::RowWise);
         let kernel = PrefixSumsKernel::new(n, Layout::RowWise);
-        group.bench_function(BenchmarkId::new("gpu_row", &label), |b| {
-            b.iter(|| launch(&device, &kernel, &mut buf, p));
+        case("prefix_sums", &label("gpu_row"), elems, || {
+            launch(&device, &kernel, &mut buf, p);
         });
 
         let mut buf = arrange(&per, n, Layout::ColumnWise);
         let kernel = PrefixSumsKernel::new(n, Layout::ColumnWise);
-        group.bench_function(BenchmarkId::new("gpu_col", &label), |b| {
-            b.iter(|| launch(&device, &kernel, &mut buf, p));
+        case("prefix_sums", &label("gpu_col"), elems, || {
+            launch(&device, &kernel, &mut buf, p);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

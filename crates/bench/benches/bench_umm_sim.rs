@@ -1,54 +1,63 @@
-//! Criterion bench of the model machinery itself: round-synchronous
-//! simulator stepping, the event-driven simulator, and the closed-form
-//! cost machine — the ablation of "cycle-accurate vs closed form"
-//! (DESIGN.md §5.2).
+//! Micro-bench of the model machinery itself: round-synchronous simulator
+//! stepping, the event-driven simulator, and the closed-form cost machine —
+//! the ablation of "cycle-accurate vs closed form" (DESIGN.md §5.2).
+//!
+//! `cargo bench -p bench --bench bench_umm_sim` — plain `std::time`
+//! harness, median-of-samples; see `bench::harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::case;
 use oblivious::program::{bulk_model_time, bulk_round_trace};
 use oblivious::{Layout, Model};
 use umm_core::{simulate_async, MachineConfig, ThreadAction, UmmSimulator};
 
-fn bench_round_step(c: &mut Criterion) {
+fn bench_round_step() {
     let cfg = MachineConfig::new(32, 100);
     let p = 4096usize;
-    let mut group = c.benchmark_group("umm_sim");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(p as u64));
     let coalesced: Vec<_> = (0..p).map(ThreadAction::read).collect();
     let scattered: Vec<_> = (0..p).map(|j| ThreadAction::read(j * 33)).collect();
-    group.bench_function("round_coalesced_p4096", |b| {
+    {
         let mut sim = UmmSimulator::new(cfg, p);
-        b.iter(|| sim.step(&coalesced));
-    });
-    group.bench_function("round_scattered_p4096", |b| {
+        case("umm_sim", "round_coalesced_p4096", Some(p as u64), || {
+            sim.step(&coalesced);
+        });
+    }
+    {
         let mut sim = UmmSimulator::new(cfg, p);
-        b.iter(|| sim.step(&scattered));
-    });
-    group.finish();
+        case("umm_sim", "round_scattered_p4096", Some(p as u64), || {
+            sim.step(&scattered);
+        });
+    }
 }
 
-fn bench_cost_vs_simulators(c: &mut Criterion) {
+fn bench_cost_vs_simulators() {
     let cfg = MachineConfig::new(32, 100);
     let p = 512usize;
     let prog = algorithms::PrefixSums::new(64);
-    let mut group = c.benchmark_group("pricing");
-    group.sample_size(10);
-    group.bench_function("closed_form_cost_machine", |b| {
-        b.iter(|| bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::ColumnWise, p));
+    case("pricing", "closed_form_cost_machine", None, || {
+        std::hint::black_box(bulk_model_time::<f32, _>(
+            &prog,
+            cfg,
+            Model::Umm,
+            Layout::ColumnWise,
+            p,
+        ));
     });
-    group.bench_function("materialised_sync_sim", |b| {
+    {
         let trace = bulk_round_trace::<f32, _>(&prog, Layout::ColumnWise, p);
-        b.iter(|| {
+        case("pricing", "materialised_sync_sim", None, || {
             let mut sim = UmmSimulator::new(cfg, p);
-            sim.run(&trace)
+            std::hint::black_box(sim.run(&trace));
         });
-    });
-    group.bench_function("event_driven_async_sim", |b| {
+    }
+    {
         let trace = bulk_round_trace::<f32, _>(&prog, Layout::ColumnWise, p);
-        b.iter(|| simulate_async(&cfg, &trace));
-    });
-    group.finish();
+        case("pricing", "event_driven_async_sim", None, || {
+            std::hint::black_box(simulate_async(&cfg, &trace));
+        });
+    }
 }
 
-criterion_group!(benches, bench_round_step, bench_cost_vs_simulators);
-criterion_main!(benches);
+fn main() {
+    bench_round_step();
+    bench_cost_vs_simulators();
+}

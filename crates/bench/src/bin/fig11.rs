@@ -10,11 +10,15 @@
 //! `BULK_REPS` to change the timing repetitions.
 
 use analytic::p_sweep;
-use bench::{paper_scale, print_figure_block, random_words, reps, sweep_series, write_csv};
+use bench::{
+    paper_scale, print_figure_block, random_words, reps, series_json, smoke_scale, sweep_series,
+    write_csv, write_report,
+};
 use gpu_sim::kernels::PrefixSumsKernel;
 use gpu_sim::{cpu_ref, launch, timing, Device};
 use oblivious::layout::arrange;
 use oblivious::Layout;
+use obs::{Json, RunReport};
 
 fn adaptive_reps(words: usize) -> usize {
     if words > 8 << 20 {
@@ -55,9 +59,16 @@ fn main() {
         "device: {} ({} workers, warp {}, block {})",
         device.name, device.worker_threads, device.warp_size, device.block_size
     );
+    let mut report = RunReport::new("fig11");
+    report.set("device", bench::device_json(&device));
+    let mut figures: Vec<Json> = Vec::new();
     // (n, laptop cap, paper cap) — the paper's memory-bound maxima.
-    let configs: [(usize, u64, u64); 3] =
-        [(32, 1 << 20, 4 << 20), (1024, 32 << 10, 256 << 10), (32 << 10, 1 << 10, 8 << 10)];
+    let mut configs: Vec<(usize, u64, u64)> =
+        vec![(32, 1 << 20, 4 << 20), (1024, 32 << 10, 256 << 10), (32 << 10, 1 << 10, 8 << 10)];
+    if smoke_scale() {
+        // CI smoke: one small n, tiny sweep — seconds, not minutes.
+        configs = vec![(32, 256, 256), (1024, 128, 128)];
+    }
     for (n, lap_cap, paper_cap) in configs {
         let cap = if paper_scale() { paper_cap } else { lap_cap };
         let ps = p_sweep(64, cap);
@@ -75,5 +86,14 @@ fn main() {
             &col,
         );
         write_csv(&format!("fig11_n{n}.csv"), &analytic::csv(&[&cpu, &row, &col]));
+        let mut fig = Json::obj();
+        fig.set("n", n);
+        fig.set("p_max", cap as i64);
+        fig.set("cpu", series_json(&cpu));
+        fig.set("gpu_row_wise", series_json(&row));
+        fig.set("gpu_col_wise", series_json(&col));
+        figures.push(fig);
     }
+    report.set("figures", Json::Arr(figures));
+    write_report(&bench::report_path("fig11_report.json"), &report);
 }

@@ -11,11 +11,15 @@
 //! `BULK_PAPER_SCALE=1` for the paper's caps (4M / 64K / 1K).
 
 use analytic::p_sweep;
-use bench::{paper_scale, print_figure_block, random_polygons, reps, sweep_series, write_csv};
+use bench::{
+    paper_scale, print_figure_block, random_polygons, reps, series_json, smoke_scale, sweep_series,
+    write_csv, write_report,
+};
 use gpu_sim::kernels::OptKernel;
 use gpu_sim::{cpu_ref, launch, timing, Device};
 use oblivious::program::arrange_inputs;
 use oblivious::Layout;
+use obs::{Json, RunReport};
 
 #[derive(Clone, Copy)]
 enum Mode {
@@ -58,12 +62,15 @@ fn main() {
         "device: {} ({} workers, warp {}, block {})",
         device.name, device.worker_threads, device.warp_size, device.block_size
     );
+    let mut report = RunReport::new("fig12");
+    report.set("device", bench::device_json(&device));
+    let mut figures: Vec<Json> = Vec::new();
     // (n-gon, laptop start, laptop cap, paper cap).
-    let configs: [(usize, u64, u64, u64); 3] = [
-        (8, 64, 64 << 10, 4 << 20),
-        (64, 64, 1 << 10, 64 << 10),
-        (512, 4, 8, 1 << 10),
-    ];
+    let mut configs: Vec<(usize, u64, u64, u64)> =
+        vec![(8, 64, 64 << 10, 4 << 20), (64, 64, 1 << 10, 64 << 10), (512, 4, 8, 1 << 10)];
+    if smoke_scale() {
+        configs = vec![(8, 64, 128, 128)];
+    }
     for (n, lap_start, lap_cap, paper_cap) in configs {
         let (start, cap) =
             if paper_scale() { (64.min(paper_cap), paper_cap) } else { (lap_start, lap_cap) };
@@ -82,5 +89,14 @@ fn main() {
             &col,
         );
         write_csv(&format!("fig12_n{n}.csv"), &analytic::csv(&[&cpu, &row, &col]));
+        let mut fig = Json::obj();
+        fig.set("n", n);
+        fig.set("p_max", cap as i64);
+        fig.set("cpu", series_json(&cpu));
+        fig.set("gpu_row_wise", series_json(&row));
+        fig.set("gpu_col_wise", series_json(&col));
+        figures.push(fig);
     }
+    report.set("figures", Json::Arr(figures));
+    write_report(&bench::report_path("fig12_report.json"), &report);
 }

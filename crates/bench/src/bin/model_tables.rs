@@ -86,9 +86,7 @@ fn main() {
         }
     }
 
-    println!(
-        "\nTheorem 3 check: column-wise optimality ratio stays ≤ 2 in every row above."
-    );
+    println!("\nTheorem 3 check: column-wise optimality ratio stays ≤ 2 in every row above.");
     assert!(all_ok, "a simulated time diverged from its closed form");
     println!("all model rows verified: simulator == closed form");
 }

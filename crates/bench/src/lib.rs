@@ -15,8 +15,7 @@
 #![warn(missing_docs)]
 
 use analytic::Series;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use obs::Rng;
 
 /// Paper-scale and laptop-scale sweep caps.
 ///
@@ -35,10 +34,10 @@ pub fn reps() -> usize {
     std::env::var("BULK_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
 }
 
-/// Deterministic workload RNG.
+/// Deterministic workload RNG (SplitMix64, from `obs`).
 #[must_use]
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::new(seed)
 }
 
 /// Random f32 words in `[-1, 1)` — the prefix-sums workload ("float
@@ -46,7 +45,7 @@ pub fn rng(seed: u64) -> StdRng {
 #[must_use]
 pub fn random_words(len: usize, seed: u64) -> Vec<f32> {
     let mut r = rng(seed);
-    (0..len).map(|_| r.gen_range(-1.0f32..1.0)).collect()
+    (0..len).map(|_| r.f32_range(-1.0, 1.0)).collect()
 }
 
 /// Random chord-weight matrices for `p` convex `n`-gons, already flattened
@@ -56,10 +55,84 @@ pub fn random_polygons(n: usize, p: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut r = rng(seed);
     (0..p)
         .map(|_| {
-            algorithms::ChordWeights::from_fn(n, |_, _| f64::from(r.gen_range(1u32..1000)))
+            algorithms::ChordWeights::from_fn(n, |_, _| r.range_u64(1, 1000) as f64)
                 .as_words::<f32>()
         })
         .collect()
+}
+
+/// CI smoke mode (`BULK_SMOKE=1`): shrink sweeps so a figure binary
+/// finishes in seconds while still exercising every code path.
+#[must_use]
+pub fn smoke_scale() -> bool {
+    std::env::var("BULK_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The output path for a binary's JSON run report: the value of a
+/// `--profile <path>` command-line flag if one was passed, else the
+/// given default file name (resolved under `bench_results/` by
+/// [`write_report`]).
+#[must_use]
+pub fn report_path(default_name: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--profile" {
+            if let Some(v) = args.get(i + 1) {
+                return v.clone();
+            }
+        }
+    }
+    default_name.to_string()
+}
+
+/// Write a JSON [`obs::RunReport`] artefact.  Bare file names land under
+/// `bench_results/`; paths with a directory component are honoured as
+/// given (so `--profile /tmp/out.json` works).
+pub fn write_report(name: &str, report: &obs::RunReport) {
+    let p = std::path::Path::new(name);
+    let path = if p.components().count() > 1 || p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new("bench_results").join(p)
+    };
+    match report.write_to(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Device geometry as a JSON object, for report headers.
+#[must_use]
+pub fn device_json(device: &gpu_sim::Device) -> obs::Json {
+    let mut o = obs::Json::obj();
+    o.set("name", device.name.as_str());
+    o.set("worker_threads", device.worker_threads);
+    o.set("warp_size", device.warp_size);
+    o.set("block_size", device.block_size);
+    o
+}
+
+/// Convert a [`Series`] into a JSON array of `{p, seconds}` points for
+/// embedding in a run report.
+#[must_use]
+pub fn series_json(s: &Series) -> obs::Json {
+    let mut o = obs::Json::obj();
+    o.set("label", s.label.as_str());
+    o.set(
+        "points",
+        obs::Json::Arr(
+            s.points
+                .iter()
+                .map(|pt| {
+                    let mut e = obs::Json::obj();
+                    e.set("p", pt.p);
+                    e.set("seconds", pt.seconds);
+                    e
+                })
+                .collect(),
+        ),
+    );
+    o
 }
 
 /// Run `measure(p)` over a doubling sweep and collect a [`Series`].
@@ -97,12 +170,7 @@ pub fn print_figure_block(
     for s in [row, col] {
         if s.points.len() >= 2 {
             let fit = analytic::fit_affine_tail(&s.as_samples());
-            println!(
-                "fit[{}]: {}  (tail R² = {:.4})",
-                s.label,
-                fit.paper_style(),
-                fit.r_squared
-            );
+            println!("fit[{}]: {}  (tail R² = {:.4})", s.label, fit.paper_style(), fit.r_squared);
         }
     }
     if let Some((p, s)) = analytic::peak(&su_col) {
@@ -112,10 +180,9 @@ pub fn print_figure_block(
         let f_cpu = analytic::fit_affine_tail(&cpu.as_samples());
         let f_col = analytic::fit_affine_tail(&col.as_samples());
         match analytic::crossover(&f_col, &f_cpu) {
-            Some(px) if f_col.slope < f_cpu.slope => println!(
-                "fitted crossover: column-wise overtakes the CPU for p >= ~{:.0}",
-                px
-            ),
+            Some(px) if f_col.slope < f_cpu.slope => {
+                println!("fitted crossover: column-wise overtakes the CPU for p >= ~{:.0}", px)
+            }
             _ => println!(
                 "fitted slopes: column-wise {:.2} ns/p vs CPU {:.2} ns/p",
                 f_col.slope * 1e9,
@@ -132,6 +199,60 @@ pub fn write_csv(name: &str, content: &str) {
         let path = dir.join(name);
         if std::fs::write(&path, content).is_ok() {
             println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Dependency-free micro-benchmark harness used by the `benches/` binaries
+/// (`harness = false`): auto-calibrated batch sizes, median-of-samples
+/// timing, one table row per case.
+pub mod harness {
+    use std::time::Instant;
+
+    /// Median ns/iteration of `f`: batch size is grown until one batch
+    /// takes ≥ 10 ms (capped at 4M iterations), then the median of
+    /// `samples` batches is reported.  `BULK_BENCH_SAMPLES` overrides the
+    /// sample count (default 5).
+    pub fn bench_ns(mut f: impl FnMut()) -> f64 {
+        let samples: usize = std::env::var("BULK_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5)
+            .max(1);
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            if t0.elapsed().as_millis() >= 10 || iters >= 1 << 22 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t0.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2] * 1e9
+    }
+
+    /// Run one case and print its table row; `elements` adds a derived
+    /// throughput column.
+    pub fn case(group: &str, name: &str, elements: Option<u64>, f: impl FnMut()) {
+        let ns = bench_ns(f);
+        match elements {
+            Some(e) if ns > 0.0 => {
+                let meps = e as f64 / ns * 1e3; // elements per microsecond→M/s
+                println!("{group}/{name:<32} {ns:>14.1} ns/iter {meps:>10.1} Melem/s");
+            }
+            _ => println!("{group}/{name:<32} {ns:>14.1} ns/iter"),
         }
     }
 }

@@ -28,7 +28,8 @@ pub enum Command {
         /// Machine parameters.
         cfg: MachineConfig,
     },
-    /// `bulkrun run <algo> [--size N] [--p P] [--layout row|col]`
+    /// `bulkrun run <algo> [--size N] [--p P] [--layout row|col]
+    /// [--profile PATH]`
     Run {
         /// Algorithm name.
         algo: String,
@@ -38,6 +39,9 @@ pub enum Command {
         p: usize,
         /// Arrangement.
         layout: Layout,
+        /// Write a JSON `RunReport` (model profile + device scheduler
+        /// profile) to this path.
+        profile: Option<String>,
     },
     /// `bulkrun hmm <algo> [--size N] [--p P] [--dmms D]`
     Hmm {
@@ -65,6 +69,9 @@ USAGE:
                        [--width W] [--latency L]
   bulkrun run   <algo> [--size N] [--p P]        bulk-execute random instances
                        [--layout row|col]
+                       [--profile PATH]          write a JSON RunReport
+                                                 (model rounds + histogram,
+                                                 device worker/block timings)
   bulkrun hmm   <algo> [--size N] [--p P]        shared-memory staging analysis
                        [--dmms D]
   bulkrun help
@@ -83,6 +90,30 @@ fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
         }
     }
     Ok(None)
+}
+
+fn parse_string_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            let v = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+            if v.starts_with("--") {
+                return Err(format!("{flag} needs a value, got flag '{v}'"));
+            }
+            return Ok(Some(v.clone()));
+        }
+    }
+    Ok(None)
+}
+
+/// Reject any `--flag` token the subcommand does not know — a typo'd
+/// `--profil` must error, not silently run without its effect.
+fn reject_unknown(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    for a in args {
+        if a.starts_with("--") && !allowed.contains(&a.as_str()) {
+            return Err(format!("unknown flag '{a}'; try `bulkrun help`"));
+        }
+    }
+    Ok(())
 }
 
 fn parse_layout(args: &[String]) -> Result<Layout, String> {
@@ -114,6 +145,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .ok_or_else(|| format!("{cmd} needs an algorithm name"))?
                 .clone();
             let rest = &args[2..];
+            match cmd.as_str() {
+                "trace" => reject_unknown(rest, &["--size", "--head"])?,
+                "model" => reject_unknown(rest, &["--size", "--p", "--width", "--latency"])?,
+                "run" => reject_unknown(rest, &["--size", "--p", "--layout", "--profile"])?,
+                "hmm" => reject_unknown(rest, &["--size", "--p", "--dmms"])?,
+                _ => unreachable!(),
+            }
             let size = parse_flag(rest, "--size")?;
             match cmd.as_str() {
                 "trace" => Ok(Command::Trace {
@@ -135,6 +173,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     size,
                     p: parse_flag(rest, "--p")?.unwrap_or(4096),
                     layout: parse_layout(rest)?,
+                    profile: parse_string_flag(rest, "--profile")?,
                 }),
                 "hmm" => {
                     let dmms = parse_flag(rest, "--dmms")?.unwrap_or(14);
@@ -173,10 +212,7 @@ mod tests {
     #[test]
     fn trace_with_flags() {
         let c = parse(&argv("trace fft --size 4 --head 8")).unwrap();
-        assert_eq!(
-            c,
-            Command::Trace { algo: "fft".into(), size: Some(4), head: 8 }
-        );
+        assert_eq!(c, Command::Trace { algo: "fft".into(), size: Some(4), head: 8 });
     }
 
     #[test]
@@ -206,12 +242,20 @@ mod tests {
     }
 
     #[test]
+    fn run_profile_flag() {
+        let c = parse(&argv("run opt --p 64 --profile out.json")).unwrap();
+        match c {
+            Command::Run { profile, .. } => assert_eq!(profile.as_deref(), Some("out.json")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run opt --profile")).is_err());
+        assert!(parse(&argv("run opt --profile --p")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
     fn hmm_parses_with_defaults() {
         let c = parse(&argv("hmm opt --size 16")).unwrap();
-        assert_eq!(
-            c,
-            Command::Hmm { algo: "opt".into(), size: Some(16), p: 14 * 64, dmms: 14 }
-        );
+        assert_eq!(c, Command::Hmm { algo: "opt".into(), size: Some(16), p: 14 * 64, dmms: 14 });
         assert!(parse(&argv("hmm opt --dmms 0")).is_err());
     }
 
@@ -221,5 +265,13 @@ mod tests {
         assert!(parse(&argv("frobnicate")).unwrap_err().contains("unknown command"));
         assert!(parse(&argv("run x --p nope")).unwrap_err().contains("not a number"));
         assert!(parse(&argv("run x --layout diagonal")).unwrap_err().contains("neither"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&argv("run opt --profil x.json")).unwrap_err().contains("--profil"));
+        assert!(parse(&argv("model opt --layout row")).unwrap_err().contains("--layout"));
+        assert!(parse(&argv("trace fft --p 4")).unwrap_err().contains("--p"));
+        assert!(parse(&argv("hmm opt --width 4")).unwrap_err().contains("--width"));
     }
 }

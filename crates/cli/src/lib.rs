@@ -12,8 +12,46 @@ pub mod args;
 pub mod registry;
 
 use args::Command;
+use gpu_sim::Device;
 use oblivious::{theorems, Layout, Model};
+use obs::RunReport;
 use registry::{Algo, CATALOG};
+use umm_core::MachineConfig;
+
+/// The seed every `bulkrun run` invocation uses for input generation —
+/// fixed so reports and differential runs are reproducible.
+pub const RUN_SEED: u64 = 0xB01D_FACE;
+
+/// Assemble the full profiling [`RunReport`] for one bulk run: engine
+/// port-traffic metrics, the profiled UMM/DMM model simulation (round
+/// counts, address-group histogram, stall accounting), and the SIMT
+/// device's scheduler profile (per-worker block counts and timings).
+#[must_use]
+pub fn run_report(
+    algo: &Algo,
+    p: usize,
+    layout: Layout,
+    seed: u64,
+    wall_seconds: f64,
+) -> RunReport {
+    let cfg = MachineConfig::new(32, 100);
+    let mut report = RunReport::new("bulkrun run");
+    let mut algo_json = obs::Json::obj();
+    algo_json.set("name", algo.display_name());
+    algo_json.set("memory_words", algo.memory_words());
+    algo_json.set("time_steps", algo.time_steps());
+    report.set("algo", algo_json);
+    let mut params = obs::Json::obj();
+    params.set("p", p);
+    params.set("layout", format!("{layout}"));
+    params.set("seed", seed as i64);
+    report.set("params", params);
+    report.set("wall_seconds", wall_seconds);
+    report.set("engine", algo.bulk_metrics(p, layout, seed).to_json());
+    report.set("model", algo.model_profile_json(cfg, layout, p));
+    report.set("device", algo.device_profile_json(&Device::titan_like(), p, layout, seed));
+    report
+}
 
 /// Execute a parsed command, writing human output to the returned string.
 pub fn execute(cmd: &Command) -> Result<String, String> {
@@ -100,18 +138,25 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 a.memory_words() * (p / dmms),
             ));
         }
-        Command::Run { algo, size, p, layout } => {
+        Command::Run { algo, size, p, layout, profile } => {
             let a = Algo::parse(algo, *size)?;
             out.push_str(&format!(
                 "bulk-executing {} for p = {p} instances, {layout} …\n",
                 a.display_name()
             ));
-            let secs = a.run_bulk(*p, *layout, 0xB01D_FACE);
+            let secs = a.run_bulk(*p, *layout, RUN_SEED);
             out.push_str(&format!(
                 "  wall clock: {}  ({} per instance)\n",
                 analytic::format_value(secs),
                 analytic::format_value(secs / *p as f64)
             ));
+            if let Some(path) = profile {
+                let report = run_report(&a, *p, *layout, RUN_SEED, secs);
+                report
+                    .write_to(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot write profile to {path}: {e}"))?;
+                out.push_str(&format!("  profile   : wrote {path}\n"));
+            }
         }
     }
     Ok(out)
@@ -160,9 +205,54 @@ mod tests {
             size: Some(3),
             p: 16,
             layout: oblivious::Layout::ColumnWise,
+            profile: None,
         };
         let out = execute(&cmd).unwrap();
         assert!(out.contains("wall clock"));
+    }
+
+    /// The measured model section of a report must agree with the analytic
+    /// closed forms: for warp-aligned `p`, the simulated column-wise time
+    /// equals `(p/w + l - 1)·t` *exactly*, and sits between Theorem 3's
+    /// lower bound and the row-wise prediction.
+    #[test]
+    fn report_model_section_matches_analytic_prediction() {
+        let a = Algo::parse("prefix-sums", Some(32)).unwrap();
+        let p = 64usize; // multiple of the report's w = 32
+        let report = run_report(&a, p, Layout::ColumnWise, 7, 0.001);
+        let j = report.json();
+        let t = j.path("algo.time_steps").unwrap().as_i64().unwrap() as u64;
+        let measured = j.path("model.umm.stats.time_units").unwrap().as_i64().unwrap() as u64;
+        let cfg = umm_core::MachineConfig::new(32, 100);
+        let predicted = analytic::predict(&cfg, t, p as u64);
+        assert_eq!(measured, predicted.column_wise, "simulator vs closed form");
+        assert!(measured >= predicted.lower_bound);
+        assert!(measured <= predicted.row_wise);
+        assert_eq!(
+            j.path("model.lower_bound").unwrap().as_i64().unwrap() as u64,
+            predicted.lower_bound,
+        );
+    }
+
+    #[test]
+    fn run_report_carries_model_and_device_profiles() {
+        let a = Algo::parse("prefix-sums", Some(8)).unwrap();
+        let report = run_report(&a, 64, Layout::ColumnWise, 42, 0.001);
+        let j = report.json();
+        // Round counts and the address-group histogram from the model sim.
+        assert!(j.path("model.umm.stats.rounds").unwrap().as_i64().unwrap() > 0);
+        let hist = j.path("model.umm.profile.address_group_histogram").unwrap();
+        assert!(hist.path("total").unwrap().as_i64().unwrap() > 0);
+        // Per-worker block accounting from the device scheduler.
+        let workers = j.path("device.workers").unwrap().as_arr().unwrap();
+        assert!(!workers.is_empty());
+        let blocks: i64 = workers.iter().map(|w| w.path("blocks").unwrap().as_i64().unwrap()).sum();
+        assert_eq!(blocks, j.path("device.blocks").unwrap().as_i64().unwrap());
+        // Engine port traffic is non-trivial.
+        assert!(j.path("engine.loads").unwrap().as_i64().unwrap() > 0);
+        // The whole thing round-trips through text.
+        let reparsed = obs::RunReport::parse(&report.to_pretty()).unwrap();
+        assert_eq!(reparsed.tool(), "bulkrun run");
     }
 
     #[test]

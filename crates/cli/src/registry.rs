@@ -8,14 +8,49 @@
 
 use algorithms::{
     BitonicSort, EditDistance, Fft, FirFilter, FloydWarshall, Horner, LcsLength, LuDecomposition,
-    MatMul, MatVec, MatrixChain, OddEvenMergeSort, OfflinePermute, OptTriangulation, PascalTriangle,
-    PolyMul, PrefixSums, SummedArea, Transpose, Xtea,
+    MatMul, MatVec, MatrixChain, OddEvenMergeSort, OfflinePermute, OptTriangulation,
+    PascalTriangle, PolyMul, PrefixSums, SummedArea, Transpose, Xtea,
 };
-use oblivious::program::{bulk_execute, bulk_model_time, time_steps, trace_of};
-use oblivious::{Layout, Model, ObliviousProgram};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpu_sim::{launch, launch_profiled, Device, GenericKernel};
+use oblivious::layout::extract;
+use oblivious::program::{
+    arrange_inputs, bulk_execute, bulk_execute_cpu_reference, bulk_model_time, bulk_profiled_dmm,
+    bulk_profiled_umm, time_steps, trace_of,
+};
+use oblivious::{theorems, BulkMachine, BulkMetrics, Layout, Model, ObliviousProgram, Word};
+use obs::{Json, Rng};
 use umm_core::{MachineConfig, ThreadTrace};
+
+/// Deterministic random inputs for `p` instances of `len` words each.
+///
+/// The f32 path draws from `[0, 4)` (small positive values keep DP and
+/// sorting programs numerically tame); integer paths draw 32-bit values so
+/// u64 programs cannot overflow in additive DP tables.
+fn random_f32_inputs(seed: u64, p: usize, len: usize) -> Vec<Vec<f32>> {
+    let mut rng = Rng::new(seed);
+    (0..p).map(|_| (0..len).map(|_| rng.f32_range(0.0, 4.0)).collect()).collect()
+}
+
+fn random_u32_inputs(seed: u64, p: usize, len: usize) -> Vec<Vec<u32>> {
+    let mut rng = Rng::new(seed);
+    (0..p).map(|_| (0..len).map(|_| rng.next_u32()).collect()).collect()
+}
+
+fn random_u64_inputs(seed: u64, p: usize, len: usize) -> Vec<Vec<u64>> {
+    let mut rng = Rng::new(seed);
+    (0..p).map(|_| (0..len).map(|_| u64::from(rng.next_u32())).collect()).collect()
+}
+
+/// Which execution engine [`Algo::outputs_bits`] drives.
+#[derive(Debug, Clone, Copy)]
+pub enum Engine<'d> {
+    /// The scalar reference, one instance at a time (layout-independent).
+    Scalar,
+    /// The block-parallel SIMT device via [`GenericKernel`].
+    Device(&'d Device),
+    /// The single [`BulkMachine`] engine (`bulk_execute`).
+    BulkMachine,
+}
 
 /// A selected algorithm with its size parameter bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,9 +128,7 @@ impl Algo {
             .iter()
             .find(|(n, _, _)| *n == name)
             .map(|(_, d, _)| *d)
-            .ok_or_else(|| {
-                format!("unknown algorithm '{name}'; try `bulkrun list`")
-            })?;
+            .ok_or_else(|| format!("unknown algorithm '{name}'; try `bulkrun list`"))?;
         let s = size.unwrap_or(default);
         if s == 0 {
             return Err("size must be positive".into());
@@ -166,13 +199,13 @@ impl Algo {
     pub fn display_name(&self) -> String {
         struct NameOp;
         impl ProgramOp<String> for NameOp {
-            fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> String {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, p: P) -> String {
                 p.name()
             }
-            fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> String {
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, p: P) -> String {
                 p.name()
             }
-            fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> String {
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, p: P) -> String {
                 p.name()
             }
         }
@@ -184,13 +217,13 @@ impl Algo {
     pub fn memory_words(&self) -> usize {
         struct MemOp;
         impl ProgramOp<usize> for MemOp {
-            fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> usize {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, p: P) -> usize {
                 p.memory_words()
             }
-            fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> usize {
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, p: P) -> usize {
                 p.memory_words()
             }
-            fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> usize {
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, p: P) -> usize {
                 p.memory_words()
             }
         }
@@ -202,13 +235,13 @@ impl Algo {
     pub fn time_steps(&self) -> usize {
         struct StepsOp;
         impl ProgramOp<usize> for StepsOp {
-            fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> usize {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, p: P) -> usize {
                 time_steps(&p)
             }
-            fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> usize {
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, p: P) -> usize {
                 time_steps(&p)
             }
-            fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> usize {
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, p: P) -> usize {
                 time_steps(&p)
             }
         }
@@ -220,13 +253,13 @@ impl Algo {
     pub fn trace(&self) -> ThreadTrace {
         struct TraceOp;
         impl ProgramOp<ThreadTrace> for TraceOp {
-            fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> ThreadTrace {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, p: P) -> ThreadTrace {
                 trace_of(&p)
             }
-            fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> ThreadTrace {
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, p: P) -> ThreadTrace {
                 trace_of(&p)
             }
-            fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> ThreadTrace {
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, p: P) -> ThreadTrace {
                 trace_of(&p)
             }
         }
@@ -243,13 +276,13 @@ impl Algo {
             p: usize,
         }
         impl ProgramOp<u64> for CostOp {
-            fn call_f32<P: ObliviousProgram<f32>>(self, pr: P) -> u64 {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> u64 {
                 bulk_model_time(&pr, self.cfg, self.model, self.layout, self.p)
             }
-            fn call_u32<P: ObliviousProgram<u32>>(self, pr: P) -> u64 {
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> u64 {
                 bulk_model_time(&pr, self.cfg, self.model, self.layout, self.p)
             }
-            fn call_u64<P: ObliviousProgram<u64>>(self, pr: P) -> u64 {
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> u64 {
                 bulk_model_time(&pr, self.cfg, self.model, self.layout, self.p)
             }
         }
@@ -266,46 +299,236 @@ impl Algo {
             layout: Layout,
             seed: u64,
         }
+        fn timed<W: Word, P: ObliviousProgram<W>>(
+            pr: &P,
+            inputs: &[Vec<W>],
+            layout: Layout,
+        ) -> f64 {
+            let refs: Vec<&[W]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let t0 = std::time::Instant::now();
+            let out = bulk_execute(pr, &refs, layout);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(out);
+            dt
+        }
         impl ProgramOp<f64> for RunOp {
-            fn call_f32<P: ObliviousProgram<f32>>(self, pr: P) -> f64 {
-                let mut rng = StdRng::seed_from_u64(self.seed);
-                let len = pr.input_range().len();
-                let inputs: Vec<Vec<f32>> = (0..self.p)
-                    .map(|_| (0..len).map(|_| rng.gen_range(0.0f32..4.0)).collect())
-                    .collect();
-                let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
-                let t0 = std::time::Instant::now();
-                let out = bulk_execute(&pr, &refs, self.layout);
-                let dt = t0.elapsed().as_secs_f64();
-                std::hint::black_box(out);
-                dt
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> f64 {
+                let inputs = random_f32_inputs(self.seed, self.p, pr.input_range().len());
+                timed(&pr, &inputs, self.layout)
             }
-            fn call_u32<P: ObliviousProgram<u32>>(self, pr: P) -> f64 {
-                let mut rng = StdRng::seed_from_u64(self.seed);
-                let len = pr.input_range().len();
-                let inputs: Vec<Vec<u32>> =
-                    (0..self.p).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
-                let refs: Vec<&[u32]> = inputs.iter().map(|v| v.as_slice()).collect();
-                let t0 = std::time::Instant::now();
-                let out = bulk_execute(&pr, &refs, self.layout);
-                let dt = t0.elapsed().as_secs_f64();
-                std::hint::black_box(out);
-                dt
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> f64 {
+                let inputs = random_u32_inputs(self.seed, self.p, pr.input_range().len());
+                timed(&pr, &inputs, self.layout)
             }
-            fn call_u64<P: ObliviousProgram<u64>>(self, pr: P) -> f64 {
-                let mut rng = StdRng::seed_from_u64(self.seed);
-                let len = pr.input_range().len();
-                let inputs: Vec<Vec<u64>> =
-                    (0..self.p).map(|_| (0..len).map(|_| rng.gen::<u32>() as u64).collect()).collect();
-                let refs: Vec<&[u64]> = inputs.iter().map(|v| v.as_slice()).collect();
-                let t0 = std::time::Instant::now();
-                let out = bulk_execute(&pr, &refs, self.layout);
-                let dt = t0.elapsed().as_secs_f64();
-                std::hint::black_box(out);
-                dt
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> f64 {
+                let inputs = random_u64_inputs(self.seed, self.p, pr.input_range().len());
+                timed(&pr, &inputs, self.layout)
             }
         }
         self.with_program(RunOp { p, layout, seed })
+    }
+
+    /// Port-traffic metrics of one bulk execution on the single
+    /// [`BulkMachine`] engine (loads/stores/broadcasts/register ops).
+    #[must_use]
+    pub fn bulk_metrics(&self, p: usize, layout: Layout, seed: u64) -> BulkMetrics {
+        struct MetricsOp {
+            p: usize,
+            layout: Layout,
+            seed: u64,
+        }
+        fn run_metrics<W: Word, P: ObliviousProgram<W>>(
+            pr: &P,
+            inputs: &[Vec<W>],
+            p: usize,
+            layout: Layout,
+        ) -> BulkMetrics {
+            let refs: Vec<&[W]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let mut buf = arrange_inputs(pr, &refs, layout);
+            let mut m = BulkMachine::new(&mut buf, p, pr.memory_words(), layout);
+            pr.run(&mut m);
+            m.metrics()
+        }
+        impl ProgramOp<BulkMetrics> for MetricsOp {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> BulkMetrics {
+                let inputs = random_f32_inputs(self.seed, self.p, pr.input_range().len());
+                run_metrics(&pr, &inputs, self.p, self.layout)
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> BulkMetrics {
+                let inputs = random_u32_inputs(self.seed, self.p, pr.input_range().len());
+                run_metrics(&pr, &inputs, self.p, self.layout)
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> BulkMetrics {
+                let inputs = random_u64_inputs(self.seed, self.p, pr.input_range().len());
+                run_metrics(&pr, &inputs, self.p, self.layout)
+            }
+        }
+        self.with_program(MetricsOp { p, layout, seed })
+    }
+
+    /// Profiled round-synchronous model simulation of a bulk execution:
+    /// UMM and DMM stats + profiles under `layout`, plus the Theorem 3
+    /// lower bound, as one JSON object.
+    #[must_use]
+    pub fn model_profile_json(&self, cfg: MachineConfig, layout: Layout, p: usize) -> Json {
+        struct ModelOp {
+            cfg: MachineConfig,
+            layout: Layout,
+            p: usize,
+        }
+        fn model_json<W: Word, P: ObliviousProgram<W>>(
+            pr: &P,
+            cfg: MachineConfig,
+            layout: Layout,
+            p: usize,
+        ) -> Json {
+            let umm = bulk_profiled_umm(pr, cfg, layout, p);
+            let dmm = bulk_profiled_dmm(pr, cfg, layout, p);
+            fn sim_json(
+                stats: &umm_core::AccessStats,
+                profile: Option<&umm_core::SimProfile>,
+            ) -> Json {
+                let mut o = Json::obj();
+                o.set("stats", stats.to_json());
+                o.set("profile", profile.map_or(Json::Null, umm_core::SimProfile::to_json));
+                o
+            }
+            let mut o = Json::obj();
+            o.set("machine", cfg.to_json());
+            o.set(
+                "lower_bound",
+                theorems::lower_bound(
+                    time_steps(pr) as u64,
+                    p as u64,
+                    cfg.width as u64,
+                    cfg.latency as u64,
+                ),
+            );
+            o.set("umm", sim_json(umm.stats(), umm.profile()));
+            o.set("dmm", sim_json(dmm.stats(), dmm.profile()));
+            o
+        }
+        impl ProgramOp<Json> for ModelOp {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> Json {
+                model_json(&pr, self.cfg, self.layout, self.p)
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> Json {
+                model_json(&pr, self.cfg, self.layout, self.p)
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> Json {
+                model_json(&pr, self.cfg, self.layout, self.p)
+            }
+        }
+        self.with_program(ModelOp { cfg, layout, p })
+    }
+
+    /// Run the program through [`GenericKernel`] on `device` with scheduler
+    /// profiling, returning the [`gpu_sim::LaunchReport`] as JSON
+    /// (per-worker block counts and busy/wait times, per-block timings).
+    #[must_use]
+    pub fn device_profile_json(
+        &self,
+        device: &Device,
+        p: usize,
+        layout: Layout,
+        seed: u64,
+    ) -> Json {
+        struct LaunchOp<'d> {
+            device: &'d Device,
+            p: usize,
+            layout: Layout,
+            seed: u64,
+        }
+        fn launch_json<W: Word + Send + Sync, P: ObliviousProgram<W> + Sync>(
+            pr: P,
+            inputs: &[Vec<W>],
+            device: &Device,
+            p: usize,
+            layout: Layout,
+        ) -> Json {
+            let refs: Vec<&[W]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let mut buf = arrange_inputs(&pr, &refs, layout);
+            let report = launch_profiled(device, &GenericKernel::new(pr, layout), &mut buf, p);
+            std::hint::black_box(buf);
+            report.to_json()
+        }
+        impl<'d> ProgramOp<Json> for LaunchOp<'d> {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> Json {
+                let inputs = random_f32_inputs(self.seed, self.p, pr.input_range().len());
+                launch_json(pr, &inputs, self.device, self.p, self.layout)
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> Json {
+                let inputs = random_u32_inputs(self.seed, self.p, pr.input_range().len());
+                launch_json(pr, &inputs, self.device, self.p, self.layout)
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> Json {
+                let inputs = random_u64_inputs(self.seed, self.p, pr.input_range().len());
+                launch_json(pr, &inputs, self.device, self.p, self.layout)
+            }
+        }
+        self.with_program(LaunchOp { device, p, layout, seed })
+    }
+
+    /// Execute `p` deterministic random instances on `engine` and return
+    /// each instance's output words as raw bit patterns (`f32::to_bits`,
+    /// zero-extended integers).  Bit-level equality across engines is the
+    /// differential-testing contract: the SIMT device, the single bulk
+    /// machine and the scalar reference must agree exactly.
+    #[must_use]
+    pub fn outputs_bits(
+        &self,
+        engine: Engine<'_>,
+        p: usize,
+        layout: Layout,
+        seed: u64,
+    ) -> Vec<Vec<u64>> {
+        struct BitsOp<'d> {
+            engine: Engine<'d>,
+            p: usize,
+            layout: Layout,
+            seed: u64,
+        }
+        fn run_engine<W: Word + Send + Sync, P: ObliviousProgram<W> + Sync>(
+            pr: P,
+            inputs: &[Vec<W>],
+            engine: Engine<'_>,
+            p: usize,
+            layout: Layout,
+        ) -> Vec<Vec<W>> {
+            let refs: Vec<&[W]> = inputs.iter().map(|v| v.as_slice()).collect();
+            match engine {
+                Engine::Scalar => bulk_execute_cpu_reference(&pr, &refs),
+                Engine::BulkMachine => bulk_execute(&pr, &refs, layout),
+                Engine::Device(device) => {
+                    let msize = pr.memory_words();
+                    let or = pr.output_range();
+                    let mut buf = arrange_inputs(&pr, &refs, layout);
+                    launch(device, &GenericKernel::new(pr, layout), &mut buf, p);
+                    extract(&buf, p, msize, layout, or)
+                }
+            }
+        }
+        impl<'d> ProgramOp<Vec<Vec<u64>>> for BitsOp<'d> {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                let inputs = random_f32_inputs(self.seed, self.p, pr.input_range().len());
+                run_engine(pr, &inputs, self.engine, self.p, self.layout)
+                    .into_iter()
+                    .map(|lane| lane.into_iter().map(|w| u64::from(w.to_bits())).collect())
+                    .collect()
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                let inputs = random_u32_inputs(self.seed, self.p, pr.input_range().len());
+                run_engine(pr, &inputs, self.engine, self.p, self.layout)
+                    .into_iter()
+                    .map(|lane| lane.into_iter().map(u64::from).collect())
+                    .collect()
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                let inputs = random_u64_inputs(self.seed, self.p, pr.input_range().len());
+                run_engine(pr, &inputs, self.engine, self.p, self.layout)
+            }
+        }
+        self.with_program(BitsOp { engine, p, layout, seed })
     }
 }
 
@@ -318,13 +541,13 @@ impl Algo {
             p: usize,
         }
         impl<'a> ProgramOp<oblivious::HmmBulkCost> for HmmOp<'a> {
-            fn call_f32<P: ObliviousProgram<f32>>(self, pr: P) -> oblivious::HmmBulkCost {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> oblivious::HmmBulkCost {
                 oblivious::hmm_bulk_cost(&pr, self.hmm, self.p)
             }
-            fn call_u32<P: ObliviousProgram<u32>>(self, pr: P) -> oblivious::HmmBulkCost {
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> oblivious::HmmBulkCost {
                 oblivious::hmm_bulk_cost(&pr, self.hmm, self.p)
             }
-            fn call_u64<P: ObliviousProgram<u64>>(self, pr: P) -> oblivious::HmmBulkCost {
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> oblivious::HmmBulkCost {
                 oblivious::hmm_bulk_cost(&pr, self.hmm, self.p)
             }
         }
@@ -335,9 +558,9 @@ impl Algo {
 /// A rank-2-style operation applied to whichever program type the registry
 /// selects.
 trait ProgramOp<R> {
-    fn call_f32<P: ObliviousProgram<f32>>(self, p: P) -> R;
-    fn call_u32<P: ObliviousProgram<u32>>(self, p: P) -> R;
-    fn call_u64<P: ObliviousProgram<u64>>(self, p: P) -> R;
+    fn call_f32<P: ObliviousProgram<f32> + Sync>(self, p: P) -> R;
+    fn call_u32<P: ObliviousProgram<u32> + Sync>(self, p: P) -> R;
+    fn call_u64<P: ObliviousProgram<u64> + Sync>(self, p: P) -> R;
 }
 
 #[cfg(test)]

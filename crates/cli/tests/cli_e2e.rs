@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn bulkrun(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_bulkrun"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_bulkrun")).args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -50,6 +47,53 @@ fn run_command_end_to_end() {
     let (out, _, ok) = bulkrun(&["run", "horner", "--size", "8", "--p", "64"]);
     assert!(ok, "{out}");
     assert!(out.contains("wall clock"));
+}
+
+/// `run --profile PATH` must emit a parseable `RunReport` whose model,
+/// device, and engine sections carry the profiling payload (round counts,
+/// address-group histogram, per-worker block timings).
+#[test]
+fn run_profile_emits_a_valid_report() {
+    let path = std::env::temp_dir().join(format!("bulkrun_e2e_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("temp path is utf-8");
+    let (out, err, ok) =
+        bulkrun(&["run", "prefix-sums", "--size", "32", "--p", "256", "--profile", path_str]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("profile"), "run output should mention the profile path: {out}");
+
+    let text = std::fs::read_to_string(&path).expect("profile file written");
+    std::fs::remove_file(&path).ok();
+    let report = obs::RunReport::parse(&text).expect("profile parses as a RunReport");
+    assert_eq!(report.tool(), "bulkrun run");
+
+    let j = report.json();
+    let rounds = j
+        .path("model.umm.stats.rounds")
+        .and_then(obs::Json::as_i64)
+        .expect("model.umm.stats.rounds present");
+    assert!(rounds > 0, "simulated rounds must be counted");
+    let hist_total = j
+        .path("model.umm.profile.address_group_histogram.total")
+        .and_then(obs::Json::as_i64)
+        .expect("address-group histogram present");
+    assert!(hist_total > 0);
+    let workers =
+        j.path("device.workers").and_then(obs::Json::as_arr).expect("per-worker timings present");
+    assert!(!workers.is_empty());
+    let blocks: i64 = workers
+        .iter()
+        .map(|w| w.path("blocks").and_then(obs::Json::as_i64).expect("worker block count"))
+        .sum();
+    let total_blocks =
+        j.path("device.blocks").and_then(obs::Json::as_i64).expect("device block total");
+    assert_eq!(blocks, total_blocks, "workers must account for every block");
+}
+
+#[test]
+fn run_profile_without_value_is_rejected() {
+    let (_, err, ok) = bulkrun(&["run", "horner", "--profile"]);
+    assert!(!ok);
+    assert!(err.contains("--profile"), "stderr should name the flag: {err}");
 }
 
 #[test]

@@ -27,7 +27,12 @@ impl Device {
     #[must_use]
     pub fn titan_like() -> Self {
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(14);
-        Self { name: "sw-simt-titan".into(), worker_threads: workers, warp_size: 32, block_size: 64 }
+        Self {
+            name: "sw-simt-titan".into(),
+            worker_threads: workers,
+            warp_size: 32,
+            block_size: 64,
+        }
     }
 
     /// A single-worker device (deterministic scheduling; useful in tests).

@@ -165,8 +165,9 @@ mod tests {
     fn generic_kernel_runs_sorting_networks() {
         let p = 66usize;
         let prog = BitonicSort::new(3);
-        let inputs: Vec<Vec<f32>> =
-            (0..p).map(|j| (0..8).map(|i| (((i * 37 + j * 11) % 19) as f32) - 9.0).collect()).collect();
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|j| (0..8).map(|i| (((i * 37 + j * 11) % 19) as f32) - 9.0).collect())
+            .collect();
         let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
         let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
         launch(&Device::titan_like(), &GenericKernel::new(prog, Layout::ColumnWise), &mut buf, p);

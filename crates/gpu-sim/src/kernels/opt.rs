@@ -141,9 +141,7 @@ mod tests {
     fn weights(n: usize, p: usize) -> Vec<ChordWeights> {
         (0..p)
             .map(|s| {
-                ChordWeights::from_fn(n, |i, j| {
-                    (((i * 131 + j * 17 + s * 97) % 500) as f64) + 1.0
-                })
+                ChordWeights::from_fn(n, |i, j| (((i * 131 + j * 17 + s * 97) % 500) as f64) + 1.0)
             })
             .collect()
     }

@@ -80,9 +80,7 @@ mod tests {
     use oblivious::layout::{arrange, extract};
 
     fn inputs(p: usize, n: usize) -> Vec<Vec<f32>> {
-        (0..p)
-            .map(|j| (0..n).map(|i| (((j * 31 + i * 7) % 13) as f32) - 6.0).collect())
-            .collect()
+        (0..p).map(|j| (0..n).map(|i| (((j * 31 + i * 7) % 13) as f32) - 6.0).collect()).collect()
     }
 
     fn expected(inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
@@ -124,7 +122,12 @@ mod tests {
         let ins: Vec<Vec<u64>> = (0..p).map(|j| vec![j as u64 + 1; n]).collect();
         let refs: Vec<&[u64]> = ins.iter().map(|v| v.as_slice()).collect();
         let mut buf = arrange(&refs, n, Layout::ColumnWise);
-        launch(&Device::single_worker(), &PrefixSumsKernel::new(n, Layout::ColumnWise), &mut buf, p);
+        launch(
+            &Device::single_worker(),
+            &PrefixSumsKernel::new(n, Layout::ColumnWise),
+            &mut buf,
+            p,
+        );
         let got = extract(&buf, p, n, Layout::ColumnWise, 0..n);
         assert_eq!(got[2], vec![3, 6, 9, 12]);
     }

@@ -139,12 +139,7 @@ mod tests {
         let prog = Xtea::encrypt(blocks);
         let want = oblivious::program::bulk_execute(&prog, &refs, Layout::ColumnWise);
         let mut buf = arrange_inputs(&prog, &refs, Layout::ColumnWise);
-        launch(
-            &Device::single_worker(),
-            &XteaKernel::new(blocks, Layout::ColumnWise),
-            &mut buf,
-            p,
-        );
+        launch(&Device::single_worker(), &XteaKernel::new(blocks, Layout::ColumnWise), &mut buf, p);
         let msize = 4 + 2 * blocks;
         let got = extract(&buf, p, msize, Layout::ColumnWise, 4..msize);
         assert_eq!(got, want);

@@ -2,7 +2,9 @@
 
 use crate::buffer::SharedSlice;
 use crate::device::Device;
+use obs::Json;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// A bulk kernel: lockstep execution of one algorithm over a lane range.
 ///
@@ -24,6 +26,195 @@ pub trait BulkKernel<W: Copy>: Sync {
     unsafe fn run_block(&self, mem: &SharedSlice<'_, W>, p: usize, lane_lo: usize, lane_hi: usize);
 }
 
+/// Per-worker observer of block execution, monomorphized into the worker
+/// loop.  The no-op implementation ([`NoObserver`]) compiles away entirely,
+/// so the plain [`launch`] path carries zero instrumentation cost; the
+/// recording implementation behind [`launch_profiled`] reads the clock
+/// around each block.
+trait BlockObserver {
+    /// Called immediately after claiming `block`, before executing it.
+    fn block_start(&mut self, _block: usize) {}
+    /// Called immediately after `block` finishes.
+    fn block_end(&mut self, _block: usize) {}
+}
+
+/// The zero-cost observer.
+struct NoObserver;
+impl BlockObserver for NoObserver {}
+
+/// One executed block, as recorded by [`launch_profiled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Block index (lane range `block * block_size ..`).
+    pub block: usize,
+    /// Worker ("SM") that executed it.
+    pub worker: usize,
+    /// Time between this worker finishing its previous block (or the launch
+    /// starting) and this block beginning execution — scheduler queue-wait.
+    pub queue_wait: Duration,
+    /// Block execution time.
+    pub exec: Duration,
+}
+
+/// Aggregate of one worker's activity during a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Total time spent executing blocks.
+    pub busy: Duration,
+    /// Total time spent waiting to claim work.
+    pub waiting: Duration,
+}
+
+/// The full profile of one [`launch_profiled`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchReport {
+    /// Device name the launch ran on.
+    pub device: String,
+    /// Lanes per block.
+    pub block_size: usize,
+    /// Blocks launched.
+    pub blocks: usize,
+    /// Wall-clock duration of the whole launch.
+    pub wall: Duration,
+    /// Per-worker aggregates, indexed by worker.
+    pub workers: Vec<WorkerReport>,
+    /// Every executed block, sorted by block index.
+    pub block_records: Vec<BlockRecord>,
+}
+
+impl LaunchReport {
+    /// Blocks-per-worker imbalance: `max / mean` (1.0 = perfectly even).
+    #[must_use]
+    pub fn block_imbalance(&self) -> f64 {
+        let max = self.workers.iter().map(|w| w.blocks).max().unwrap_or(0) as f64;
+        let mean = self.blocks as f64 / self.workers.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// As a JSON object: launch shape, per-worker aggregates, and the full
+    /// per-block timing array.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = self.summary_json();
+        obj.set(
+            "blocks_detail",
+            Json::Arr(
+                self.block_records
+                    .iter()
+                    .map(|b| {
+                        let mut r = Json::obj();
+                        r.set("block", b.block);
+                        r.set("worker", b.worker);
+                        r.set("queue_wait_s", b.queue_wait.as_secs_f64());
+                        r.set("exec_s", b.exec.as_secs_f64());
+                        r
+                    })
+                    .collect(),
+            ),
+        );
+        obj
+    }
+
+    /// The aggregate half of [`LaunchReport::to_json`] — per-worker rows
+    /// without the per-block array (what sweep benchmarks embed).
+    #[must_use]
+    pub fn summary_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("device", self.device.as_str());
+        obj.set("block_size", self.block_size);
+        obj.set("blocks", self.blocks);
+        obj.set("wall_s", self.wall.as_secs_f64());
+        obj.set("block_imbalance", self.block_imbalance());
+        obj.set(
+            "workers",
+            Json::Arr(
+                self.workers
+                    .iter()
+                    .map(|w| {
+                        let mut r = Json::obj();
+                        r.set("worker", w.worker);
+                        r.set("blocks", w.blocks);
+                        r.set("busy_s", w.busy.as_secs_f64());
+                        r.set("waiting_s", w.waiting.as_secs_f64());
+                        r
+                    })
+                    .collect(),
+            ),
+        );
+        obj
+    }
+}
+
+/// Recording observer: one per worker, merged after the join.
+struct Recorder {
+    worker: usize,
+    last_free: Instant,
+    started: Option<Instant>,
+    current: usize,
+    records: Vec<BlockRecord>,
+}
+
+impl Recorder {
+    fn new(worker: usize, launch_start: Instant) -> Self {
+        Self { worker, last_free: launch_start, started: None, current: 0, records: Vec::new() }
+    }
+}
+
+impl BlockObserver for Recorder {
+    fn block_start(&mut self, block: usize) {
+        self.current = block;
+        self.started = Some(Instant::now());
+    }
+
+    fn block_end(&mut self, block: usize) {
+        debug_assert_eq!(block, self.current);
+        let end = Instant::now();
+        let started = self.started.take().expect("block_end without block_start");
+        self.records.push(BlockRecord {
+            block,
+            worker: self.worker,
+            queue_wait: started - self.last_free,
+            exec: end - started,
+        });
+        self.last_free = end;
+    }
+}
+
+/// The block-claim loop every worker runs: grab the next block index off the
+/// shared counter until none remain.
+fn worker_loop<W: Copy, K: BulkKernel<W>, O: BlockObserver>(
+    kernel: &K,
+    shared: &SharedSlice<'_, W>,
+    p: usize,
+    block: usize,
+    nblocks: usize,
+    next: &AtomicUsize,
+    observer: &mut O,
+) {
+    loop {
+        let b = next.fetch_add(1, Ordering::Relaxed);
+        if b >= nblocks {
+            break;
+        }
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(p);
+        observer.block_start(b);
+        // SAFETY: each block index is claimed exactly once, so lane ranges
+        // across threads are disjoint; kernels honour the lane-locality
+        // contract.
+        unsafe { kernel.run_block(shared, p, lo, hi) };
+        observer.block_end(b);
+    }
+}
+
 /// Launch a kernel over `p` instances stored in `buf` (length
 /// `p * kernel.memory_words()`), in place.
 ///
@@ -35,7 +226,12 @@ pub trait BulkKernel<W: Copy>: Sync {
 /// # Panics
 ///
 /// Panics if the buffer size does not match, or a worker panics.
-pub fn launch<W: Copy + Send, K: BulkKernel<W>>(device: &Device, kernel: &K, buf: &mut [W], p: usize) {
+pub fn launch<W: Copy + Send, K: BulkKernel<W>>(
+    device: &Device,
+    kernel: &K,
+    buf: &mut [W],
+    p: usize,
+) {
     assert!(p > 0, "launch needs at least one instance");
     assert_eq!(buf.len(), p * kernel.memory_words(), "buffer must hold p * memory_words words");
     let block = device.block_size;
@@ -54,23 +250,85 @@ pub fn launch<W: Copy + Send, K: BulkKernel<W>>(device: &Device, kernel: &K, buf
 
     let next = AtomicUsize::new(0);
     let workers = device.worker_threads.min(nblocks);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let b = next.fetch_add(1, Ordering::Relaxed);
-                if b >= nblocks {
-                    break;
-                }
-                let lo = b * block;
-                let hi = ((b + 1) * block).min(p);
-                // SAFETY: each block index is claimed exactly once, so lane
-                // ranges across threads are disjoint; kernels honour the
-                // lane-locality contract.
-                unsafe { kernel.run_block(&shared, p, lo, hi) };
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (shared, next) = (&shared, &next);
+                scope.spawn(move || {
+                    worker_loop(kernel, shared, p, block, nblocks, next, &mut NoObserver);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("kernel worker panicked");
         }
-    })
-    .expect("kernel worker panicked");
+    });
+}
+
+/// [`launch`] with scheduler profiling: records which worker executed each
+/// block, its execution time and queue-wait, and returns per-worker
+/// aggregates.  The unprofiled path is monomorphized separately (the
+/// no-op observer inlines to nothing), so [`launch`] never pays for this.
+///
+/// # Panics
+///
+/// Panics if the buffer size does not match, or a worker panics.
+pub fn launch_profiled<W: Copy + Send, K: BulkKernel<W>>(
+    device: &Device,
+    kernel: &K,
+    buf: &mut [W],
+    p: usize,
+) -> LaunchReport {
+    assert!(p > 0, "launch needs at least one instance");
+    assert_eq!(buf.len(), p * kernel.memory_words(), "buffer must hold p * memory_words words");
+    let block = device.block_size;
+    let nblocks = p.div_ceil(block);
+    let shared = SharedSlice::new(buf);
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+
+    let recorders: Vec<Recorder> = if device.worker_threads <= 1 || nblocks == 1 {
+        let mut rec = Recorder::new(0, start);
+        worker_loop(kernel, &shared, p, block, nblocks, &next, &mut rec);
+        vec![rec]
+    } else {
+        let workers = device.worker_threads.min(nblocks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wid| {
+                    let (shared, next) = (&shared, &next);
+                    scope.spawn(move || {
+                        let mut rec = Recorder::new(wid, start);
+                        worker_loop(kernel, shared, p, block, nblocks, next, &mut rec);
+                        rec
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("kernel worker panicked")).collect()
+        })
+    };
+
+    let wall = start.elapsed();
+    let workers = recorders
+        .iter()
+        .map(|r| WorkerReport {
+            worker: r.worker,
+            blocks: r.records.len() as u64,
+            busy: r.records.iter().map(|b| b.exec).sum(),
+            waiting: r.records.iter().map(|b| b.queue_wait).sum(),
+        })
+        .collect();
+    let mut block_records: Vec<BlockRecord> =
+        recorders.into_iter().flat_map(|r| r.records).collect();
+    block_records.sort_by_key(|b| b.block);
+    LaunchReport {
+        device: device.name.clone(),
+        block_size: block,
+        blocks: nblocks,
+        wall,
+        workers,
+        block_records,
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +386,41 @@ mod tests {
     fn wrong_buffer_size_rejected() {
         let mut buf = vec![0u64; 5];
         launch(&Device::single_worker(), &StampKernel { msize: 3 }, &mut buf, 2);
+    }
+
+    #[test]
+    fn profiled_launch_matches_plain_and_accounts_blocks() {
+        let (p, msize) = (1000, 2);
+        let mut dev = Device::titan_like();
+        dev.worker_threads = dev.worker_threads.max(2);
+
+        let mut plain = vec![0u64; p * msize];
+        launch(&dev, &StampKernel { msize }, &mut plain, p);
+        let mut prof = vec![0u64; p * msize];
+        let report = launch_profiled(&dev, &StampKernel { msize }, &mut prof, p);
+        assert_eq!(plain, prof, "profiling must not change results");
+
+        let nblocks = p.div_ceil(dev.block_size);
+        assert_eq!(report.blocks, nblocks);
+        assert_eq!(report.block_records.len(), nblocks, "every block recorded once");
+        for (i, b) in report.block_records.iter().enumerate() {
+            assert_eq!(b.block, i, "each block index claimed exactly once");
+        }
+        let total: u64 = report.workers.iter().map(|w| w.blocks).sum();
+        assert_eq!(total, nblocks as u64);
+        assert!(report.wall >= report.workers.iter().map(|w| w.busy).max().unwrap());
+        assert!(report.block_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn profiled_single_worker_records_serially() {
+        let (p, msize) = (100, 1);
+        let mut buf = vec![0u64; p * msize];
+        let report = launch_profiled(&Device::single_worker(), &StampKernel { msize }, &mut buf, p);
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.workers[0].blocks, report.blocks as u64);
+        let j = report.to_json();
+        assert_eq!(j.path("blocks").unwrap().as_i64().unwrap(), report.blocks as i64);
+        assert_eq!(j.path("blocks_detail").unwrap().as_arr().unwrap().len(), report.blocks);
     }
 }

@@ -13,7 +13,8 @@
 //!
 //! * [`Device`] — SM-count / warp / block geometry ([`Device::titan_like`]).
 //! * [`mod@launch`] — the block scheduler (dynamic block claiming over
-//!   crossbeam-scoped workers).
+//!   std-scoped worker threads), with an optionally profiled variant
+//!   ([`launch_profiled`]) recording per-block timings and queue-waits.
 //! * [`kernels`] — hand-written lockstep kernels for Parallel Algorithm
 //!   Prefix-sums and Parallel Algorithm OPT, both layouts.
 //! * [`generic`] — any [`oblivious::ObliviousProgram`] as a kernel
@@ -39,4 +40,4 @@ pub use buffer::SharedSlice;
 pub use device::Device;
 pub use generic::{BlockLanes, GenericKernel};
 pub use kernels::{OptKernel, PrefixSumsKernel, XteaKernel};
-pub use launch::{launch, BulkKernel};
+pub use launch::{launch, launch_profiled, BlockRecord, BulkKernel, LaunchReport, WorkerReport};

@@ -38,7 +38,14 @@ impl<'m, W: Word, M: ObliviousMachine<W>> ObliviousMachine<W> for OffsetMachine<
     fn binop(&mut self, op: BinOp, a: M::Value, b: M::Value) -> M::Value {
         self.inner.binop(op, a, b)
     }
-    fn select(&mut self, cmp: CmpOp, a: M::Value, b: M::Value, t: M::Value, e: M::Value) -> M::Value {
+    fn select(
+        &mut self,
+        cmp: CmpOp,
+        a: M::Value,
+        b: M::Value,
+        t: M::Value,
+        e: M::Value,
+    ) -> M::Value {
         self.inner.select(cmp, a, b, t, e)
     }
     fn free(&mut self, v: M::Value) {
@@ -221,10 +228,7 @@ mod tests {
         let prog = Chain::new(Inc { n: 3 }, Inc { n: 3 });
         let out = run_on_input(&prog, &[0.0, 1.0, 2.0]);
         assert_eq!(out, vec![2.0, 3.0, 4.0]);
-        assert_eq!(
-            time_steps::<f64, _>(&prog),
-            2 * time_steps::<f64, _>(&Inc { n: 3 })
-        );
+        assert_eq!(time_steps::<f64, _>(&prog), 2 * time_steps::<f64, _>(&Inc { n: 3 }));
     }
 
     #[test]

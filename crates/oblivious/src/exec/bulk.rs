@@ -16,6 +16,50 @@ use crate::layout::Layout;
 use crate::machine::ObliviousMachine;
 use crate::ops::{BinOp, CmpOp, UnOp};
 use crate::word::Word;
+use obs::Json;
+
+/// Port-traffic and register-pressure counters of a bulk execution.
+///
+/// Each count is one *vector* step (touching all `p` lanes): `loads` and
+/// `stores` are the memory rounds the cost model prices, `broadcasts` are
+/// constant stores (one coalesced fill), and `register_ops` are pure
+/// arithmetic steps that never reach memory.  Counting costs one integer
+/// increment per `p`-word operation, so it is always on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BulkMetrics {
+    /// Vector loads issued through the port.
+    pub loads: u64,
+    /// Vector stores issued through the port.
+    pub stores: u64,
+    /// Constant broadcasts issued through the port.
+    pub broadcasts: u64,
+    /// Register-only vector operations (unop/binop/select on lane data).
+    pub register_ops: u64,
+    /// High-water mark of simultaneously live registers.
+    pub max_live_registers: usize,
+}
+
+impl BulkMetrics {
+    /// Memory rounds (loads + stores + broadcasts) — the `t` that the
+    /// UMM/DMM models charge for.
+    #[must_use]
+    pub fn memory_rounds(&self) -> u64 {
+        self.loads + self.stores + self.broadcasts
+    }
+
+    /// As a JSON object for run reports.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("loads", self.loads);
+        obj.set("stores", self.stores);
+        obj.set("broadcasts", self.broadcasts);
+        obj.set("memory_rounds", self.memory_rounds());
+        obj.set("register_ops", self.register_ops);
+        obj.set("max_live_registers", self.max_live_registers);
+        obj
+    }
+}
 
 /// Vectorised memory access over a set of lockstep lanes.
 ///
@@ -136,6 +180,7 @@ pub struct BulkMachine<W, P> {
     free: Vec<u32>,
     live: usize,
     max_live: usize,
+    metrics: BulkMetrics,
 }
 
 impl<'a, W: Word> BulkMachine<W, SliceLanes<'a, W>> {
@@ -153,7 +198,15 @@ impl<W: Word, P: LanePort<W>> BulkMachine<W, P> {
     pub fn with_port(port: P) -> Self {
         let lanes = port.lanes();
         assert!(lanes > 0, "bulk execution needs at least one lane");
-        Self { port, lanes, regs: Vec::new(), free: Vec::new(), live: 0, max_live: 0 }
+        Self {
+            port,
+            lanes,
+            regs: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            max_live: 0,
+            metrics: BulkMetrics::default(),
+        }
     }
 
     /// Number of lanes (instances).
@@ -167,6 +220,13 @@ impl<W: Word, P: LanePort<W>> BulkMachine<W, P> {
     #[must_use]
     pub fn max_live_registers(&self) -> usize {
         self.max_live
+    }
+
+    /// Port-traffic counters accumulated so far (with the register
+    /// high-water mark folded in).
+    #[must_use]
+    pub fn metrics(&self) -> BulkMetrics {
+        BulkMetrics { max_live_registers: self.max_live, ..self.metrics }
     }
 
     fn alloc(&mut self) -> u32 {
@@ -210,6 +270,7 @@ impl<W: Word, P: LanePort<W>> BulkMachine<W, P> {
         match (a, b) {
             (BulkValue::Const(x), BulkValue::Const(y)) => BulkValue::Const(f(x, y)),
             _ => {
+                self.metrics.register_ops += 1;
                 let id = self.alloc();
                 let mut dst = self.take(id);
                 match (a, b) {
@@ -245,6 +306,7 @@ impl<W: Word, Pt: LanePort<W>> ObliviousMachine<W> for BulkMachine<W, Pt> {
     type Value = BulkValue<W>;
 
     fn read(&mut self, addr: usize) -> BulkValue<W> {
+        self.metrics.loads += 1;
         let id = self.alloc();
         let mut dst = self.take(id);
         self.port.load(addr, &mut dst);
@@ -255,11 +317,15 @@ impl<W: Word, Pt: LanePort<W>> ObliviousMachine<W> for BulkMachine<W, Pt> {
     fn write(&mut self, addr: usize, v: BulkValue<W>) {
         match v {
             BulkValue::Reg(r) => {
+                self.metrics.stores += 1;
                 let src = core::mem::take(&mut self.regs[r as usize]);
                 self.port.store(addr, &src);
                 self.regs[r as usize] = src;
             }
-            BulkValue::Const(c) => self.port.broadcast(addr, c),
+            BulkValue::Const(c) => {
+                self.metrics.broadcasts += 1;
+                self.port.broadcast(addr, c);
+            }
         }
     }
 
@@ -272,6 +338,7 @@ impl<W: Word, Pt: LanePort<W>> ObliviousMachine<W> for BulkMachine<W, Pt> {
         match a {
             BulkValue::Const(c) => BulkValue::Const(W::apply_un(op, c)),
             BulkValue::Reg(ra) => {
+                self.metrics.register_ops += 1;
                 let id = self.alloc();
                 let mut dst = self.take(id);
                 let src = &self.regs[ra as usize];
@@ -309,11 +376,16 @@ impl<W: Word, Pt: LanePort<W>> ObliviousMachine<W> for BulkMachine<W, Pt> {
         e: BulkValue<W>,
     ) -> BulkValue<W> {
         // All-constant fast path.
-        if let (BulkValue::Const(ca), BulkValue::Const(cb), BulkValue::Const(ct), BulkValue::Const(ce)) =
-            (a, b, t, e)
+        if let (
+            BulkValue::Const(ca),
+            BulkValue::Const(cb),
+            BulkValue::Const(ct),
+            BulkValue::Const(ce),
+        ) = (a, b, t, e)
         {
             return BulkValue::Const(if W::compare(cmp, ca, cb) { ct } else { ce });
         }
+        self.metrics.register_ops += 1;
         let id = self.alloc();
         let mut dst = self.take(id);
         match (a, b, t, e) {
@@ -423,6 +495,27 @@ mod tests {
         let out = extract(&buf, 2, 1, Layout::ColumnWise, 0..1);
         assert_eq!(out[0], vec![100.0], "1 < 3 picks hi");
         assert_eq!(out[1], vec![-100.0], "5 >= 3 picks lo");
+    }
+
+    #[test]
+    fn metrics_count_port_traffic() {
+        let mut buf = vec![0.0f32; 8];
+        let mut m = BulkMachine::new(&mut buf, 4, 2, Layout::ColumnWise);
+        let x = m.read(0);
+        let y = m.read(1);
+        let s = m.add(x, y); // register op
+        m.write(1, s); // store
+        let c = m.constant(9.0);
+        m.write(0, c); // broadcast
+        let got = m.metrics();
+        assert_eq!(got.loads, 2);
+        assert_eq!(got.stores, 1);
+        assert_eq!(got.broadcasts, 1);
+        assert_eq!(got.register_ops, 1);
+        assert_eq!(got.memory_rounds(), 4);
+        assert_eq!(got.max_live_registers, m.max_live_registers());
+        let j = got.to_json();
+        assert_eq!(j.path("memory_rounds").unwrap().as_i64(), Some(4));
     }
 
     #[test]

@@ -5,7 +5,7 @@ pub mod cost;
 pub mod scalar;
 pub mod tracer;
 
-pub use bulk::{BulkMachine, BulkValue, LanePort, SliceLanes};
+pub use bulk::{BulkMachine, BulkMetrics, BulkValue, LanePort, SliceLanes};
 pub use cost::{CostMachine, Model};
 pub use scalar::ScalarMachine;
 pub use tracer::TraceMachine;

@@ -17,11 +17,10 @@
 //! rounds, which the cost machine uses to price large executions without
 //! materialising per-thread request vectors.
 
-use serde::{Deserialize, Serialize};
 use umm_core::MachineConfig;
 
 /// The two bulk arrangements studied in the paper (Figure 5 / Figure 10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layout {
     /// Instance-major: input `j` is a contiguous row.
     RowWise,
@@ -270,12 +269,9 @@ mod tests {
                 for msize in [1usize, 2, 3, 4, 5, 8, 16] {
                     for addr in 0..msize {
                         for layout in Layout::all() {
-                            let (u_sim, d_sim) =
-                                simulated_stages(&cfg, layout, p, msize, addr);
-                            let u_cf =
-                                uniform_round_stages_umm(&cfg, layout, p, msize, addr);
-                            let d_cf =
-                                uniform_round_conflicts_dmm(&cfg, layout, p, msize, addr);
+                            let (u_sim, d_sim) = simulated_stages(&cfg, layout, p, msize, addr);
+                            let u_cf = uniform_round_stages_umm(&cfg, layout, p, msize, addr);
+                            let d_cf = uniform_round_conflicts_dmm(&cfg, layout, p, msize, addr);
                             assert_eq!(
                                 u_cf, u_sim,
                                 "UMM closed form mismatch: w={w} p={p} msize={msize} addr={addr} {layout}"

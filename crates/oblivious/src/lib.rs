@@ -71,8 +71,11 @@ pub mod word;
 
 pub use checker::{check_oblivious, ObliviousnessViolation};
 pub use compose::{Chain, Repeat, Shifted};
+pub use exec::{
+    BulkMachine, BulkMetrics, BulkValue, CostMachine, LanePort, Model, ScalarMachine, SliceLanes,
+    TraceMachine,
+};
 pub use hmm_cost::{capacity_needed_per_dmm, hmm_bulk_cost, HmmBulkCost};
-pub use exec::{BulkMachine, BulkValue, CostMachine, LanePort, Model, ScalarMachine, SliceLanes, TraceMachine};
 pub use layout::Layout;
 pub use machine::{ObliviousMachine, ObliviousProgram};
 pub use ops::{BinOp, CmpOp, UnOp};

@@ -6,10 +6,8 @@
 //! flow depend on data — which is exactly the paper's definition of an
 //! oblivious algorithm, enforced at the type level.
 
-use serde::{Deserialize, Serialize};
-
 /// Unary operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Arithmetic negation (two's complement for integers).
     Neg,
@@ -25,7 +23,7 @@ pub enum UnOp {
 ///
 /// Integer words use wrapping arithmetic for `Add`/`Sub`/`Mul`, matching the
 /// modular arithmetic of cipher kernels; floating words use IEEE arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Addition (wrapping for integers).
     Add,
@@ -49,7 +47,7 @@ pub enum BinOp {
 }
 
 /// Comparison predicates used by oblivious selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `a < b`
     Lt,

@@ -71,12 +71,7 @@ pub fn bulk_execute<W: Word, P: ObliviousProgram<W>>(
     assert!(p > 0, "bulk execution needs at least one input");
     let ir = program.input_range();
     for (i, input) in inputs.iter().enumerate() {
-        assert_eq!(
-            input.len(),
-            ir.len(),
-            "input {i} must fill input_range of {}",
-            program.name()
-        );
+        assert_eq!(input.len(), ir.len(), "input {i} must fill input_range of {}", program.name());
     }
     let msize = program.memory_words();
     // Arrange inputs: logical address `ir.start + k` holds input word k.
@@ -142,6 +137,68 @@ pub fn bulk_round_trace<W: Word, P: ObliviousProgram<W>>(
         rt.push(round);
     }
     rt
+}
+
+/// Run a profiled round-synchronous UMM simulation of a bulk execution,
+/// streaming one uniform round at a time (memory `O(p)`, not `O(p · t)`).
+///
+/// The returned simulator carries [`umm_core::AccessStats`] and a
+/// [`umm_core::SimProfile`] (per-warp address-group histogram, stall
+/// accounting) for the whole execution — the model half of a `RunReport`.
+#[must_use]
+pub fn bulk_profiled_umm<W: Word, P: ObliviousProgram<W>>(
+    program: &P,
+    cfg: MachineConfig,
+    layout: Layout,
+    p: usize,
+) -> umm_core::UmmSimulator {
+    let mut sim = umm_core::UmmSimulator::new(cfg, p);
+    sim.enable_profiling();
+    stream_rounds(program, layout, p, |actions| {
+        sim.step(actions);
+    });
+    sim
+}
+
+/// [`bulk_profiled_umm`]'s DMM counterpart: the same streamed rounds priced
+/// by bank conflict, with the conflict histogram recorded.
+#[must_use]
+pub fn bulk_profiled_dmm<W: Word, P: ObliviousProgram<W>>(
+    program: &P,
+    cfg: MachineConfig,
+    layout: Layout,
+    p: usize,
+) -> umm_core::DmmSimulator {
+    let mut sim = umm_core::DmmSimulator::new(cfg, p);
+    sim.enable_profiling();
+    stream_rounds(program, layout, p, |actions| {
+        sim.step(actions);
+    });
+    sim
+}
+
+/// Feed each uniform bulk round of `program` under `layout` to `consume`,
+/// reusing one `p`-wide action buffer.
+fn stream_rounds<W: Word, P: ObliviousProgram<W>>(
+    program: &P,
+    layout: Layout,
+    p: usize,
+    mut consume: impl FnMut(&[ThreadAction]),
+) {
+    let msize = program.memory_words();
+    let thread = trace_of(program);
+    let mut actions = vec![ThreadAction::Idle; p];
+    for step in thread.steps() {
+        match step {
+            ThreadAction::Idle => actions.fill(ThreadAction::Idle),
+            ThreadAction::Access(op, addr) => {
+                for (lane, a) in actions.iter_mut().enumerate() {
+                    *a = ThreadAction::Access(*op, layout.physical(*addr, lane, p, msize));
+                }
+            }
+        }
+        consume(&actions);
+    }
 }
 
 /// Bulk-execute by running the scalar machine once per input, sequentially —

@@ -18,13 +18,12 @@
 use crate::machine::{ObliviousMachine, ObliviousProgram};
 use crate::ops::{BinOp, CmpOp, UnOp};
 use crate::word::Word;
-use serde::{Deserialize, Serialize};
 
 /// A single-assignment slot index.
 pub type Slot = u32;
 
 /// One recorded instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Inst<W> {
     /// `slot ← mem[addr]`
     Read {
@@ -108,7 +107,7 @@ impl<W> Inst<W> {
 }
 
 /// A recorded, replayable oblivious program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tape<W> {
     name: String,
     memory_words: usize,
@@ -118,7 +117,7 @@ pub struct Tape<W> {
     insts: Vec<Inst<W>>,
 }
 
-impl<W: Word + Serialize + for<'de> Deserialize<'de>> Tape<W> {
+impl<W: Word> Tape<W> {
     /// Record a program into a tape.
     #[must_use]
     pub fn record<P: ObliviousProgram<W>>(program: &P) -> Self {
@@ -149,10 +148,7 @@ impl<W: Word + Serialize + for<'de> Deserialize<'de>> Tape<W> {
     /// Number of memory instructions (the paper's `t`).
     #[must_use]
     pub fn memory_steps(&self) -> usize {
-        self.insts
-            .iter()
-            .filter(|i| matches!(i, Inst::Read { .. } | Inst::Write { .. }))
-            .count()
+        self.insts.iter().filter(|i| matches!(i, Inst::Read { .. } | Inst::Write { .. })).count()
     }
 
     /// The instruction stream.
@@ -273,7 +269,7 @@ impl<W: Word + Serialize + for<'de> Deserialize<'de>> Tape<W> {
     }
 }
 
-impl<W: Word + Serialize + for<'de> Deserialize<'de>> ObliviousProgram<W> for Tape<W> {
+impl<W: Word> ObliviousProgram<W> for Tape<W> {
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -421,13 +417,13 @@ mod tests {
     }
 
     #[test]
-    fn tape_is_serialisable() {
-        // Compile-time check: tapes derive Serialize/Deserialize so they
-        // can be persisted as compiled artefacts (no JSON crate in the
-        // dependency budget, so the check is type-level).
-        fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>() {}
-        assert_serde::<Tape<f64>>();
-        assert_serde::<Tape<u32>>();
+    fn tape_is_shareable_across_threads() {
+        // Compile-time check: tapes are plain owned data (`Send + Sync +
+        // 'static`), so a recorded tape can be compiled once and replayed
+        // from every gpu-sim worker thread.
+        fn assert_shareable<T: Send + Sync + Clone + 'static>() {}
+        assert_shareable::<Tape<f64>>();
+        assert_shareable::<Tape<u32>>();
     }
 }
 

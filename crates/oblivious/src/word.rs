@@ -91,8 +91,20 @@ macro_rules! impl_float_word {
                     BinOp::Sub => a - b,
                     BinOp::Mul => a * b,
                     BinOp::Div => a / b,
-                    BinOp::Min => if b < a { b } else { a },
-                    BinOp::Max => if b > a { b } else { a },
+                    BinOp::Min => {
+                        if b < a {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                    BinOp::Max => {
+                        if b > a {
+                            b
+                        } else {
+                            a
+                        }
+                    }
                     BinOp::Xor | BinOp::And | BinOp::Or => {
                         panic!("bitwise {:?} is not defined on floating words", op)
                     }
@@ -133,8 +145,7 @@ macro_rules! impl_int_word {
                     UnOp::Shr(k) => {
                         // Logical shift: mask sign-extension for signed types.
                         if $signed {
-                            ((a as u64).wrapping_shr(k)
-                                & (u64::MAX >> (64 - <$t>::BITS))) as $t
+                            ((a as u64).wrapping_shr(k) & (u64::MAX >> (64 - <$t>::BITS))) as $t
                         } else {
                             a.wrapping_shr(k)
                         }
@@ -148,7 +159,13 @@ macro_rules! impl_int_word {
                     BinOp::Add => a.wrapping_add(b),
                     BinOp::Sub => a.wrapping_sub(b),
                     BinOp::Mul => a.wrapping_mul(b),
-                    BinOp::Div => if b == 0 { 0 } else { a.wrapping_div(b) },
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
                     BinOp::Min => a.min(b),
                     BinOp::Max => a.max(b),
                     BinOp::Xor => a ^ b,

@@ -1,0 +1,539 @@
+//! A small, dependency-free JSON value: builder, writer, and parser.
+//!
+//! The workspace builds with no registry access, so serde is not an
+//! option.  This module covers what the profiling layer actually needs:
+//! order-preserving objects (reports read top-to-bottom), exact integers,
+//! shortest-round-trip floats, and a strict parser good enough for tests
+//! to load a report back and assert on its fields.
+
+use std::fmt::Write as _;
+
+/// A JSON value.  Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact integer (covers every counter in the workspace).
+    Int(i64),
+    /// A float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        i64::try_from(v).map_or(Json::Float(v as f64), Json::Int)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::from(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Int(i64::from(v))
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// An empty object.
+    #[must_use]
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert (or replace) `key` in an object.  Panics on non-objects.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        let Json::Obj(fields) = self else { panic!("set on non-object Json") };
+        let value = value.into();
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            fields.push((key.to_owned(), value));
+        }
+        self
+    }
+
+    /// Field of an object, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walk a dotted path of object fields (`"model.rounds"`).
+    #[must_use]
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        dotted.split('.').try_fold(self, |v, key| v.get(key))
+    }
+
+    /// The integer value, widening from `Int` only.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (from `Int` or `Float`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object fields.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization, two-space indent, trailing newline.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Rust's shortest-round-trip Display; force a fraction so
+                    // the value re-parses as a float.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+
+    /// Parse a JSON document (must consume all non-whitespace input).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00))
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad \\u escape {code:#x}"))?,
+                            );
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so this is valid;
+                    // copy the whole scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let chunk =
+            self.bytes.get(self.pos..self.pos + 4).ok_or_else(|| "short \\u escape".to_string())?;
+        let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>().map(Json::Float).map_err(|e| e.to_string())
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .or_else(|_| text.parse::<f64>().map(Json::Float))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_write_compact() {
+        let mut j = Json::obj();
+        j.set("tool", "bulkrun").set("p", 4096u64).set("ok", true);
+        j.set("ratio", 1.5);
+        j.set("hist", vec![1u64, 2, 3]);
+        assert_eq!(
+            j.to_compact(),
+            r#"{"tool":"bulkrun","p":4096,"ok":true,"ratio":1.5,"hist":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut j = Json::obj();
+        j.set("a", 1u64).set("b", 2u64).set("a", 3u64);
+        assert_eq!(j.to_compact(), r#"{"a":3,"b":2}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_stay_floats() {
+        let j = Json::Float(2.0);
+        assert_eq!(j.to_compact(), "2.0");
+        assert_eq!(Json::parse("2.0").unwrap(), Json::Float(2.0));
+        assert_eq!(Json::parse("2").unwrap(), Json::Int(2));
+        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let text = r#" { "a\n\"x\"": [1, -2.5e1, null, {"k": false}], "u": "Aé" } "#;
+        let j = Json::parse(text).unwrap();
+        assert_eq!(j.get("u").unwrap().as_str(), Some("Aé"));
+        let arr = j.get("a\n\"x\"").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_i64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[3].get("k"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nope").is_err());
+    }
+
+    #[test]
+    fn pretty_output_round_trips() {
+        let mut j = Json::obj();
+        j.set("hist", vec![Json::Arr(vec![Json::Int(0), Json::Int(7)])]);
+        j.set("empty", Json::obj());
+        let pretty = j.to_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), j);
+        assert!(pretty.contains("\n  \"hist\""));
+    }
+
+    #[test]
+    fn path_walks_nested_objects() {
+        let j = Json::parse(r#"{"model":{"umm":{"rounds":16}}}"#).unwrap();
+        assert_eq!(j.path("model.umm.rounds").unwrap().as_i64(), Some(16));
+        assert!(j.path("model.dmm").is_none());
+    }
+
+    #[test]
+    fn u64_beyond_i64_degrades_to_float() {
+        let j = Json::from(u64::MAX);
+        assert!(matches!(j, Json::Float(_)));
+        assert_eq!(Json::from(42u64), Json::Int(42));
+    }
+}

@@ -1,0 +1,43 @@
+//! # obs — observability primitives for the bulk-oblivious workspace
+//!
+//! Every execution layer of the workspace (the UMM/DMM simulators, the
+//! bulk interpreter, the software-SIMT engine, the CLI and the bench
+//! binaries) reports what it did through this crate:
+//!
+//! * [`Counters`] — named monotone event counts;
+//! * [`Histogram`] — sparse integer-valued distributions (e.g. distinct
+//!   address groups per dispatched warp);
+//! * [`Spans`] — named wall-clock span accumulation;
+//! * [`RunReport`] — an ordered, structured report serialized as JSON;
+//! * [`Json`] — a dependency-free JSON value with writer *and* parser, so
+//!   tests can round-trip emitted reports without external crates;
+//! * [`Rng`] — a tiny deterministic SplitMix64 generator used by the CLI,
+//!   benches and randomized tests (the workspace builds offline, with no
+//!   registry access, so `rand` is not available).
+//!
+//! ## Zero cost when disabled
+//!
+//! The `profile` cargo feature (default on) gates all recording.  Hot
+//! loops consult [`PROFILING_COMPILED`] — a `const` — before installing
+//! any sink, so with `--no-default-features` the instrumentation folds to
+//! a never-taken branch on an `Option` that is always `None`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod rng;
+
+pub use json::Json;
+pub use metrics::{Counters, Histogram, Spans};
+pub use report::RunReport;
+pub use rng::Rng;
+
+/// True when the `profile` cargo feature is enabled.
+///
+/// Instrumented layers only install their recording sinks when this is
+/// `true`; building `obs` with `--no-default-features` turns every
+/// `enable_profiling` call in the workspace into a no-op at compile time.
+pub const PROFILING_COMPILED: bool = cfg!(feature = "profile");

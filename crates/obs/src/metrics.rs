@@ -1,0 +1,249 @@
+//! Counters, histograms, and wall-clock span accumulation.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Named monotone event counters, in first-touch order.
+///
+/// The key set in any one instrumentation site is small (a handful of
+/// event kinds), so a linear scan beats hashing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    items: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// An empty counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to `key`.
+    #[inline]
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        if let Some(slot) = self.items.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 += n;
+        } else {
+            self.items.push((key, n));
+        }
+    }
+
+    /// Add one to `key`.
+    #[inline]
+    pub fn incr(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// The current value of `key` (0 if never touched).
+    #[must_use]
+    pub fn get(&self, key: &str) -> u64 {
+        self.items.iter().find(|(k, _)| *k == key).map_or(0, |(_, v)| *v)
+    }
+
+    /// All counters, in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// As a JSON object `{key: count, ...}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (k, v) in &self.items {
+            obj.set(k, *v);
+        }
+        obj
+    }
+}
+
+/// A sparse histogram over `u64` sample values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical samples.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of samples equal to `value`.
+    #[must_use]
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// `(value, count)` pairs in increasing value order.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts.iter().map(|(&v, &c)| (v, c)).collect()
+    }
+
+    /// As a JSON array of `[value, count]` pairs plus summary fields:
+    /// `{"total": .., "mean": .., "max": .., "buckets": [[v, c], ..]}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("total", self.total);
+        obj.set("mean", self.mean());
+        obj.set("max", self.max().map_or(Json::Null, Json::from));
+        obj.set(
+            "buckets",
+            Json::Arr(
+                self.buckets()
+                    .into_iter()
+                    .map(|(v, c)| Json::Arr(vec![Json::from(v), Json::from(c)]))
+                    .collect(),
+            ),
+        );
+        obj
+    }
+}
+
+/// Named wall-clock span accumulation, in first-touch order.
+#[derive(Debug, Clone, Default)]
+pub struct Spans {
+    items: Vec<(&'static str, Duration)>,
+}
+
+impl Spans {
+    /// An empty span set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `d` to the span named `key`.
+    pub fn record(&mut self, key: &'static str, d: Duration) {
+        if let Some(slot) = self.items.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 += d;
+        } else {
+            self.items.push((key, d));
+        }
+    }
+
+    /// Run `f`, charging its wall-clock time to `key`.
+    pub fn time<R>(&mut self, key: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(key, start.elapsed());
+        out
+    }
+
+    /// Accumulated time for `key`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Duration {
+        self.items.iter().find(|(k, _)| *k == key).map_or(Duration::ZERO, |(_, d)| *d)
+    }
+
+    /// Sum of all spans.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.items.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// As a JSON object of seconds: `{key: secs, ...}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (k, d) in &self.items {
+            obj.set(k, d.as_secs_f64());
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_in_order() {
+        let mut c = Counters::new();
+        c.incr("loads");
+        c.add("stores", 3);
+        c.incr("loads");
+        assert_eq!(c.get("loads"), 2);
+        assert_eq!(c.get("stores"), 3);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.to_json().to_compact(), r#"{"loads":2,"stores":3}"#);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record_n(4, 3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(4), 3);
+        assert_eq!(h.max(), Some(4));
+        assert!((h.mean() - 13.0 / 4.0).abs() < 1e-12);
+        assert_eq!(h.buckets(), vec![(1, 1), (4, 3)]);
+        let j = h.to_json();
+        assert_eq!(j.path("total").unwrap().as_i64(), Some(4));
+        assert_eq!(j.path("buckets").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.to_json().get("max"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn spans_time_and_merge() {
+        let mut s = Spans::new();
+        let v = s.time("work", || 7);
+        assert_eq!(v, 7);
+        s.record("work", Duration::from_millis(1));
+        assert!(s.get("work") >= Duration::from_millis(1));
+        assert_eq!(s.total(), s.get("work"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Structured run reports: the machine-readable output of a profiled run.
+
+use crate::json::Json;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Version stamped into every report, bumped on breaking schema changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// An ordered, structured run report.
+///
+/// A report is a JSON object whose first two fields are always `"tool"`
+/// (which binary produced it) and `"schema_version"`.  Sections are added
+/// in emission order with [`RunReport::set`]; nested sections are plain
+/// [`Json`] objects built by the instrumented layers' `to_json` methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    root: Json,
+}
+
+impl RunReport {
+    /// A fresh report for `tool` (e.g. `"bulkrun"`, `"fig11"`).
+    #[must_use]
+    pub fn new(tool: &str) -> Self {
+        let mut root = Json::obj();
+        root.set("tool", tool);
+        root.set("schema_version", SCHEMA_VERSION);
+        Self { root }
+    }
+
+    /// Add (or replace) a top-level section.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.root.set(key, value);
+        self
+    }
+
+    /// The report as a JSON value.
+    #[must_use]
+    pub fn json(&self) -> &Json {
+        &self.root
+    }
+
+    /// Pretty-printed JSON text (the on-disk format).
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        self.root.to_pretty()
+    }
+
+    /// Write the report to `path`, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_pretty().as_bytes())
+    }
+
+    /// Parse a report back from JSON text and check the envelope
+    /// (`tool` and a compatible `schema_version` must be present).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a missing/alien envelope.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        root.get("tool").and_then(Json::as_str).ok_or("report missing \"tool\"")?;
+        let v = root
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("report missing \"schema_version\"")?;
+        if v != i64::from(SCHEMA_VERSION) {
+            return Err(format!("unsupported schema_version {v}"));
+        }
+        Ok(Self { root })
+    }
+
+    /// The producing tool's name.
+    #[must_use]
+    pub fn tool(&self) -> &str {
+        self.root.get("tool").and_then(Json::as_str).unwrap_or("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips_through_disk_format() {
+        let mut r = RunReport::new("bulkrun");
+        let mut model = Json::obj();
+        model.set("rounds", 16u64);
+        r.set("model", model);
+        let text = r.to_pretty();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back.tool(), "bulkrun");
+        assert_eq!(back.json().path("model.rounds").unwrap().as_i64(), Some(16));
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parse_rejects_missing_envelope() {
+        assert!(RunReport::parse("{}").is_err());
+        assert!(RunReport::parse(r#"{"tool":"x","schema_version":999}"#).is_err());
+        assert!(RunReport::parse("not json").is_err());
+    }
+
+    #[test]
+    fn write_to_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("obs-report-{}", std::process::id()));
+        let path = dir.join("nested/run.json");
+        let r = RunReport::new("test");
+        r.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(RunReport::parse(&text).unwrap().tool(), "test");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

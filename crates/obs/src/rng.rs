@@ -1,0 +1,137 @@
+//! A small deterministic PRNG (SplitMix64).
+//!
+//! The workspace builds without registry access, so `rand` is not
+//! available; benches, the CLI, and the randomized tests all draw from
+//! this generator instead.  SplitMix64 passes BigCrush, is seedable from
+//! a single `u64`, and two lines of code — plenty for test-input
+//! generation and benchmark data (nothing here is cryptographic).
+
+/// A SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed`.  Equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next raw 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, n)`.  Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift rejection-free mapping (Lemire); the tiny modulo
+        // bias at 2^64 scale is irrelevant for test generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.  Panics if the range is empty.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.  Panics if the range is empty.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn f32_range(&mut self, lo: f32, hi: f32) -> f32 {
+        self.f64_range(f64::from(lo), f64::from(hi)) as f32
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let (mut a, mut b) = (Rng::new(7), Rng::new(7));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs of SplitMix64 seeded with 1234567, from the
+        // reference implementation (Steele, Lea, Flood / Vigna).
+        let mut r = Rng::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(42);
+        for _ in 0..10_000 {
+            let v = r.range_usize(3, 17);
+            assert!((3..17).contains(&v));
+            let f = r.f64_range(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let g = r.f32_range(0.0, 4.0);
+            assert!((0.0..4.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut r = Rng::new(9);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_rejected() {
+        Rng::new(0).below(0);
+    }
+}

@@ -1,13 +1,11 @@
 //! Memory access requests: the unit of work consumed by the machine models.
 
-use serde::{Deserialize, Serialize};
-
 /// Kind of a memory operation.
 ///
 /// The UMM/DMM cost model of the paper does not distinguish read from write
 /// cost-wise, but traces keep the distinction so that correctness checkers
 /// and statistics can use it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// A load from memory.
     Read,
@@ -21,7 +19,7 @@ pub enum Op {
 /// (`Idle`).  The paper's definition of an oblivious algorithm allows a step
 /// to "access address `a(i)` or not access the memory at all" — `Idle`
 /// captures the latter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ThreadAction {
     /// No memory request this step.
     Idle,

@@ -1,6 +1,6 @@
 //! Machine configuration shared by the UMM and DMM simulators.
 
-use serde::{Deserialize, Serialize};
+use obs::Json;
 
 /// Parameters of a memory machine (UMM or DMM).
 ///
@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The number of threads `p` is a property of a particular execution, not of
 /// the machine, so it lives in [`crate::schedule::WarpSchedule`] instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Memory width `w`: words per address group, threads per warp, banks.
     pub width: usize,
@@ -74,6 +74,15 @@ impl MachineConfig {
     #[must_use]
     pub fn bank(&self, addr: usize) -> usize {
         addr % self.width
+    }
+
+    /// As a JSON object `{"width": w, "latency": l}` for run reports.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("width", self.width);
+        obj.set("latency", self.latency);
+        obj
     }
 }
 

@@ -13,6 +13,7 @@
 
 use crate::access::ThreadAction;
 use crate::config::MachineConfig;
+use crate::profile::SimProfile;
 use crate::schedule::{WarpSchedule, WarpScratch};
 use crate::stats::AccessStats;
 use crate::trace::RoundTrace;
@@ -28,6 +29,7 @@ pub struct DmmSimulator {
     scratch: WarpScratch,
     elapsed: u64,
     stats: AccessStats,
+    profile: Option<SimProfile>,
 }
 
 impl DmmSimulator {
@@ -40,6 +42,7 @@ impl DmmSimulator {
             scratch: WarpScratch::new(),
             elapsed: 0,
             stats: AccessStats::default(),
+            profile: None,
         }
     }
 
@@ -47,6 +50,21 @@ impl DmmSimulator {
     #[must_use]
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Turn on per-warp profiling (histogram of per-warp bank conflicts,
+    /// stall accounting).  No-op at compile time when `obs` is built
+    /// without its `profile` feature.
+    pub fn enable_profiling(&mut self) {
+        if obs::PROFILING_COMPILED {
+            self.profile = Some(SimProfile::new());
+        }
+    }
+
+    /// The recorded profile, if profiling was enabled.
+    #[must_use]
+    pub fn profile(&self) -> Option<&SimProfile> {
+        self.profile.as_ref()
     }
 
     /// Charge one lockstep round and return its cost:
@@ -61,11 +79,17 @@ impl DmmSimulator {
             if c > 0 {
                 active = true;
                 stages += c;
+                if let Some(pr) = self.profile.as_mut() {
+                    pr.record_warp(c);
+                }
             }
         }
         let cost = if active { stages + self.cfg.latency as u64 - 1 } else { 0 };
         self.elapsed += cost;
         self.stats.record_round(actions, stages, cost);
+        if let Some(pr) = self.profile.as_mut() {
+            pr.record_round(active, self.cfg.latency);
+        }
         cost
     }
 
@@ -81,10 +105,13 @@ impl DmmSimulator {
         &self.stats
     }
 
-    /// Reset the clock and statistics.
+    /// Reset the clock, statistics, and any recorded profile.
     pub fn reset(&mut self) {
         self.elapsed = 0;
         self.stats = AccessStats::default();
+        if let Some(pr) = self.profile.as_mut() {
+            *pr = SimProfile::new();
+        }
     }
 
     /// Run an entire materialised trace and return the total time.

@@ -74,11 +74,7 @@ impl HmmConfig {
     /// memories under a w=32, high-latency global UMM.
     #[must_use]
     pub fn titan_like() -> Self {
-        Self {
-            dmms: 14,
-            shared: MachineConfig::sm_shared(),
-            global: MachineConfig::titan_global(),
-        }
+        Self { dmms: 14, shared: MachineConfig::sm_shared(), global: MachineConfig::titan_global() }
     }
 
     /// Validate and construct.
@@ -113,7 +109,10 @@ impl HmmSimulator {
     /// Panics if `p` is not a positive multiple of `cfg.dmms`.
     #[must_use]
     pub fn new(cfg: HmmConfig, p: usize) -> Self {
-        assert!(p > 0 && p.is_multiple_of(cfg.dmms), "p must be a positive multiple of the DMM count");
+        assert!(
+            p > 0 && p.is_multiple_of(cfg.dmms),
+            "p must be a positive multiple of the DMM count"
+        );
         Self {
             cfg,
             p,
@@ -238,11 +237,8 @@ mod tests {
         // DMM 0 does shared (1 stage + 1), DMM 1 does global (1 stage + 9).
         let mut actions = vec![HmmAction::Idle; 8];
         for (j, a) in actions.iter_mut().enumerate() {
-            *a = if j < 4 {
-                HmmAction::shared_read(j)
-            } else {
-                HmmAction::global_read(100 + j - 4)
-            };
+            *a =
+                if j < 4 { HmmAction::shared_read(j) } else { HmmAction::global_read(100 + j - 4) };
         }
         assert_eq!(sim.step(&actions), 2 + 10);
     }

@@ -42,6 +42,7 @@ pub mod analysis;
 pub mod config;
 pub mod dmm;
 pub mod hmm;
+pub mod profile;
 pub mod schedule;
 pub mod stats;
 pub mod trace;
@@ -52,7 +53,8 @@ pub use analysis::{address_group_histogram, stride_histogram, summarize, TraceSu
 pub use config::MachineConfig;
 pub use dmm::DmmSimulator;
 pub use hmm::{HmmAction, HmmConfig, HmmSimulator};
+pub use profile::SimProfile;
 pub use schedule::{WarpSchedule, WarpScratch};
 pub use stats::AccessStats;
 pub use trace::{Round, RoundTrace, ThreadTrace};
-pub use umm::{simulate_async, UmmSimulator};
+pub use umm::{simulate_async, simulate_async_profiled, UmmSimulator};

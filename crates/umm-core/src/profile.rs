@@ -1,0 +1,101 @@
+//! Simulator profiling: per-warp dispatch histograms and stall accounting.
+//!
+//! The round-synchronous simulators ([`crate::umm::UmmSimulator`],
+//! [`crate::dmm::DmmSimulator`]) and the event-driven
+//! [`crate::umm::simulate_async`] optionally record *why* time was spent:
+//!
+//! * a histogram of the per-warp charge `k` (distinct address groups on the
+//!   UMM, maximum bank conflict on the DMM) — the paper's entire coalescing
+//!   argument is about the shape of this distribution;
+//! * pipeline-stall accounting — time units in which no useful request was
+//!   injected, split into per-round latency overhead (`l - 1` fill/drain
+//!   per synchronous round) and, for the async executor, slots in which no
+//!   warp was ready to dispatch.
+//!
+//! Recording is off by default and costs one never-taken branch per warp
+//! when disabled; when the `obs` crate is built without its `profile`
+//! feature, `enable_profiling` is a compile-time no-op.
+
+use obs::{Histogram, Json};
+
+/// Profiling data recorded by a simulator run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Active (dispatched) warp count.
+    pub warp_dispatches: u64,
+    /// Distribution of the per-warp charge `k`: distinct address groups on
+    /// the UMM, maximum bank conflict on the DMM.
+    pub group_histogram: Histogram,
+    /// Rounds in which no thread accessed memory (free on both machines).
+    pub idle_rounds: u64,
+    /// Time units lost to pipeline fill/drain: `l - 1` per active round on
+    /// the synchronous simulators.
+    pub latency_stall_units: u64,
+    /// Async only: time units in which the pipeline had no ready warp to
+    /// inject (threads all waiting on outstanding requests).
+    pub wait_stall_units: u64,
+}
+
+impl SimProfile {
+    /// A fresh, empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one dispatched warp with charge `k > 0`.
+    #[inline]
+    pub fn record_warp(&mut self, k: u64) {
+        self.warp_dispatches += 1;
+        self.group_histogram.record(k);
+    }
+
+    /// Record one synchronous round's outcome.
+    #[inline]
+    pub fn record_round(&mut self, active: bool, latency: usize) {
+        if active {
+            self.latency_stall_units += latency as u64 - 1;
+        } else {
+            self.idle_rounds += 1;
+        }
+    }
+
+    /// Record an async scheduling gap of `gap` time units.
+    #[inline]
+    pub fn record_wait(&mut self, gap: u64) {
+        self.wait_stall_units += gap;
+    }
+
+    /// As a JSON object (the `RunReport` building block).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("warp_dispatches", self.warp_dispatches);
+        obj.set("idle_rounds", self.idle_rounds);
+        obj.set("latency_stall_units", self.latency_stall_units);
+        obj.set("wait_stall_units", self.wait_stall_units);
+        obj.set("address_group_histogram", self.group_histogram.to_json());
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_accumulates_warps_and_rounds() {
+        let mut p = SimProfile::new();
+        p.record_warp(3);
+        p.record_warp(1);
+        p.record_round(true, 5);
+        p.record_round(false, 5);
+        assert_eq!(p.warp_dispatches, 2);
+        assert_eq!(p.group_histogram.count(3), 1);
+        assert_eq!(p.latency_stall_units, 4);
+        assert_eq!(p.idle_rounds, 1);
+        let j = p.to_json();
+        assert_eq!(j.path("warp_dispatches").unwrap().as_i64(), Some(2));
+        assert_eq!(j.path("address_group_histogram.total").unwrap().as_i64(), Some(2));
+    }
+}

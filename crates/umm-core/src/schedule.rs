@@ -85,7 +85,11 @@ impl WarpScratch {
     /// the UMM pipeline-stage count `k` for this warp.  Zero for an inactive
     /// warp.
     #[must_use]
-    pub fn distinct_address_groups(&mut self, cfg: &MachineConfig, warp: &WarpRequest<'_>) -> usize {
+    pub fn distinct_address_groups(
+        &mut self,
+        cfg: &MachineConfig,
+        warp: &WarpRequest<'_>,
+    ) -> usize {
         self.buf.clear();
         self.buf.extend(warp.addresses().map(|a| cfg.address_group(a)));
         Self::count_distinct(&mut self.buf)
@@ -182,8 +186,7 @@ mod tests {
         let lanes: Vec<_> = (0..4).map(|j| ThreadAction::read(j * 4)).collect();
         assert_eq!(scratch.max_bank_conflicts(&c, &WarpRequest::new(&lanes)), 4);
         // Two-way conflict.
-        let lanes: Vec<_> =
-            [0usize, 4, 1, 2].iter().map(|&a| ThreadAction::read(a)).collect();
+        let lanes: Vec<_> = [0usize, 4, 1, 2].iter().map(|&a| ThreadAction::read(a)).collect();
         assert_eq!(scratch.max_bank_conflicts(&c, &WarpRequest::new(&lanes)), 2);
         // Idle warp.
         let lanes = vec![ThreadAction::Idle; 4];

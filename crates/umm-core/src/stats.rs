@@ -1,7 +1,7 @@
 //! Aggregate memory access statistics.
 
 use crate::access::ThreadAction;
-use serde::{Deserialize, Serialize};
+use obs::Json;
 
 /// Counters accumulated by the machine simulators.
 ///
@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// per-warp maximum bank conflicts.  The ratio of accesses to stage-widths
 /// gives a *coalescing efficiency*: 1.0 means every stage carried a full
 /// warp's worth of useful requests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Lockstep rounds observed (including all-idle rounds).
     pub rounds: u64,
@@ -63,6 +63,20 @@ impl AccessStats {
         Some(self.accesses as f64 / (self.pipeline_stages as f64 * width as f64))
     }
 
+    /// As a JSON object, one field per counter.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("rounds", self.rounds);
+        obj.set("active_rounds", self.active_rounds);
+        obj.set("accesses", self.accesses);
+        obj.set("reads", self.reads);
+        obj.set("writes", self.writes);
+        obj.set("pipeline_stages", self.pipeline_stages);
+        obj.set("time_units", self.time_units);
+        obj
+    }
+
     /// Merge another statistics block into this one.
     pub fn merge(&mut self, other: &AccessStats) {
         self.rounds += other.rounds;
@@ -83,8 +97,7 @@ mod tests {
     #[test]
     fn record_counts_ops() {
         let mut s = AccessStats::default();
-        let actions =
-            [ThreadAction::read(0), ThreadAction::write(1), ThreadAction::Idle];
+        let actions = [ThreadAction::read(0), ThreadAction::write(1), ThreadAction::Idle];
         s.record_round(&actions, 2, 6);
         assert_eq!(s.rounds, 1);
         assert_eq!(s.active_rounds, 1);

@@ -5,14 +5,14 @@
 //! A *round trace* is the per-step action matrix of `p` threads executing in
 //! SIMD lockstep; the machine simulators consume rounds.
 
-use crate::access::ThreadAction;
-use serde::{Deserialize, Serialize};
+use crate::access::{Op, ThreadAction};
+use obs::Json;
 
 /// The recorded access sequence of a single sequential execution.
 ///
 /// For an oblivious algorithm this sequence is the same for every input of
 /// the same size, so it *is* the address function `a : time -> address`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ThreadTrace {
     steps: Vec<ThreadAction>,
 }
@@ -79,6 +79,28 @@ impl ThreadTrace {
     #[must_use]
     pub fn within_bounds(&self, bound: usize) -> bool {
         self.max_address().is_none_or(|m| m < bound)
+    }
+
+    /// As a JSON array of actions (see [`action_json`] for the encoding).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.steps.iter().map(action_json).collect())
+    }
+}
+
+/// JSON encoding of one action: `null` for idle, `["r", addr]` / `["w",
+/// addr]` for accesses.  Used by the golden-trace regression files.
+#[must_use]
+pub fn action_json(a: &ThreadAction) -> Json {
+    match a {
+        ThreadAction::Idle => Json::Null,
+        ThreadAction::Access(op, addr) => Json::Arr(vec![
+            Json::from(match op {
+                Op::Read => "r",
+                Op::Write => "w",
+            }),
+            Json::from(*addr),
+        ]),
     }
 }
 
@@ -164,6 +186,17 @@ impl RoundTrace {
     #[must_use]
     pub fn p(&self) -> usize {
         self.rounds.first().map_or(0, Round::p)
+    }
+
+    /// As a JSON array of rounds, each an array of per-thread actions.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rounds
+                .iter()
+                .map(|r| Json::Arr(r.actions.iter().map(action_json).collect()))
+                .collect(),
+        )
     }
 }
 

@@ -22,6 +22,7 @@
 
 use crate::access::ThreadAction;
 use crate::config::MachineConfig;
+use crate::profile::SimProfile;
 use crate::schedule::{WarpSchedule, WarpScratch};
 use crate::stats::AccessStats;
 use crate::trace::RoundTrace;
@@ -37,6 +38,7 @@ pub struct UmmSimulator {
     scratch: WarpScratch,
     elapsed: u64,
     stats: AccessStats,
+    profile: Option<SimProfile>,
 }
 
 impl UmmSimulator {
@@ -49,6 +51,7 @@ impl UmmSimulator {
             scratch: WarpScratch::new(),
             elapsed: 0,
             stats: AccessStats::default(),
+            profile: None,
         }
     }
 
@@ -62,6 +65,21 @@ impl UmmSimulator {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.schedule.p
+    }
+
+    /// Turn on per-warp profiling (histogram of distinct address groups,
+    /// stall accounting).  No-op at compile time when `obs` is built
+    /// without its `profile` feature.
+    pub fn enable_profiling(&mut self) {
+        if obs::PROFILING_COMPILED {
+            self.profile = Some(SimProfile::new());
+        }
+    }
+
+    /// The recorded profile, if profiling was enabled.
+    #[must_use]
+    pub fn profile(&self) -> Option<&SimProfile> {
+        self.profile.as_ref()
     }
 
     /// Charge one lockstep round (`actions.len() == p`) and return its cost.
@@ -82,11 +100,17 @@ impl UmmSimulator {
             if k > 0 {
                 active = true;
                 stages += k;
+                if let Some(pr) = self.profile.as_mut() {
+                    pr.record_warp(k);
+                }
             }
         }
         let cost = if active { stages + self.cfg.latency as u64 - 1 } else { 0 };
         self.elapsed += cost;
         self.stats.record_round(actions, stages, cost);
+        if let Some(pr) = self.profile.as_mut() {
+            pr.record_round(active, self.cfg.latency);
+        }
         cost
     }
 
@@ -102,10 +126,14 @@ impl UmmSimulator {
         &self.stats
     }
 
-    /// Reset the clock and statistics, keeping configuration.
+    /// Reset the clock, statistics, and any recorded profile, keeping
+    /// configuration (and whether profiling is enabled).
     pub fn reset(&mut self) {
         self.elapsed = 0;
         self.stats = AccessStats::default();
+        if let Some(pr) = self.profile.as_mut() {
+            *pr = SimProfile::new();
+        }
     }
 
     /// Run an entire materialised trace and return the total time.
@@ -124,6 +152,29 @@ pub fn round_cost(cfg: &MachineConfig, actions: &[ThreadAction]) -> u64 {
     sim.step(actions)
 }
 
+/// A recording sink for [`simulate_async`] events.
+///
+/// The plain entry point uses the no-op implementation, which monomorphizes
+/// to nothing — the profiled and unprofiled simulations compile to separate
+/// code, so disabled instrumentation costs zero.
+trait AsyncSink {
+    fn dispatch(&mut self, _k: u64) {}
+    fn wait(&mut self, _gap: u64) {}
+}
+
+/// The zero-cost sink.
+struct NoSink;
+impl AsyncSink for NoSink {}
+
+impl AsyncSink for SimProfile {
+    fn dispatch(&mut self, k: u64) {
+        self.record_warp(k);
+    }
+    fn wait(&mut self, gap: u64) {
+        self.record_wait(gap);
+    }
+}
+
 /// Discrete-event UMM simulation of a materialised trace.
 ///
 /// Warps are dispatched in round-robin order among those that are *ready*
@@ -134,6 +185,20 @@ pub fn round_cost(cfg: &MachineConfig, actions: &[ThreadAction]) -> u64 {
 /// final request (total duration in time units).
 #[must_use]
 pub fn simulate_async(cfg: &MachineConfig, trace: &RoundTrace) -> u64 {
+    simulate_async_sink(cfg, trace, &mut NoSink)
+}
+
+/// [`simulate_async`] with profiling: additionally returns the per-warp
+/// dispatch histogram and the time units in which the pipeline sat idle
+/// because every warp was waiting on its outstanding request.
+#[must_use]
+pub fn simulate_async_profiled(cfg: &MachineConfig, trace: &RoundTrace) -> (u64, SimProfile) {
+    let mut profile = SimProfile::new();
+    let t = simulate_async_sink(cfg, trace, &mut profile);
+    (t, profile)
+}
+
+fn simulate_async_sink<S: AsyncSink>(cfg: &MachineConfig, trace: &RoundTrace, sink: &mut S) -> u64 {
     if trace.is_empty() {
         return 0;
     }
@@ -175,14 +240,17 @@ pub fn simulate_async(cfg: &MachineConfig, trace: &RoundTrace) -> u64 {
         }
         let Some(i) = chosen else {
             // Nobody ready: advance the clock to the earliest ready time.
-            inject = (0..nwarps)
+            let earliest = (0..nwarps)
                 .filter(|&i| next[i] < queues[i].len())
                 .map(|i| busy[i])
                 .min()
                 .expect("pending > 0 implies a pending warp exists");
+            sink.wait(earliest - inject);
+            inject = earliest;
             continue;
         };
         let k = queues[i][next[i]];
+        sink.dispatch(k);
         next[i] += 1;
         if next[i] == queues[i].len() {
             pending -= 1;
@@ -305,9 +373,7 @@ mod tests {
         let mut trace = RoundTrace::new();
         for i in 0..10usize {
             let base = i * p;
-            trace.push(Round {
-                actions: (0..p).map(|j| ThreadAction::read(base + j)).collect(),
-            });
+            trace.push(Round { actions: (0..p).map(|j| ThreadAction::read(base + j)).collect() });
         }
         // Round r injects at time r*l and completes at r*l + l - 1.
         assert_eq!(simulate_async(&cfg, &trace), 10 * 5);
@@ -323,9 +389,7 @@ mod tests {
         let mut trace = RoundTrace::new();
         for i in 0..rounds {
             let base = i * p;
-            trace.push(Round {
-                actions: (0..p).map(|j| ThreadAction::read(base + j)).collect(),
-            });
+            trace.push(Round { actions: (0..p).map(|j| ThreadAction::read(base + j)).collect() });
         }
         let t = simulate_async(&cfg, &trace);
         assert_eq!(t, (rounds * 8 + 5 - 1) as u64);

@@ -27,9 +27,8 @@ fn main() {
         state ^= state << 17;
         (state >> 32) as u32
     };
-    let instances: Vec<Vec<u32>> = (0..MESSAGES)
-        .map(|_| (0..4 + 2 * BLOCKS_PER_MESSAGE).map(|_| word()).collect())
-        .collect();
+    let instances: Vec<Vec<u32>> =
+        (0..MESSAGES).map(|_| (0..4 + 2 * BLOCKS_PER_MESSAGE).map(|_| word()).collect()).collect();
     let refs: Vec<&[u32]> = instances.iter().map(|v| v.as_slice()).collect();
 
     // The encryption program is oblivious: its trace is data-independent.

@@ -22,7 +22,10 @@ fn main() {
     // View 1: the p sweep on a GPU-like machine.
     let cfg = MachineConfig::new(32, 200);
     println!("UMM(w=32, l=200) bulk times (time units):");
-    println!("{:>10} {:>14} {:>14} {:>8} {:>12}", "p", "row-wise", "column-wise", "gap", "vs bound");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8} {:>12}",
+        "p", "row-wise", "column-wise", "gap", "vs bound"
+    );
     for exp in [6u32, 8, 10, 12, 14, 16, 18] {
         let p = 1usize << exp;
         let row = bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::RowWise, p);

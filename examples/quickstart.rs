@@ -77,11 +77,14 @@ fn main() {
     let p = 4096;
     let row = bulk_model_time(&prog, cfg, Model::Umm, Layout::RowWise, p);
     let col = bulk_model_time(&prog, cfg, Model::Umm, Layout::ColumnWise, p);
-    println!("UMM model, p = {p}: row-wise {row} units, column-wise {col} units ({:.1}x)",
-        row as f64 / col as f64);
+    println!(
+        "UMM model, p = {p}: row-wise {row} units, column-wise {col} units ({:.1}x)",
+        row as f64 / col as f64
+    );
 
     // (4) Bulk execution on the virtual device, column-wise.
-    let inputs: Vec<Vec<f32>> = (0..p).map(|j| (0..n).map(|i| (i + j % 3) as f32).collect()).collect();
+    let inputs: Vec<Vec<f32>> =
+        (0..p).map(|j| (0..n).map(|i| (i + j % 3) as f32).collect()).collect();
     let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
     let outputs = bulk_execute(&prog, &refs, Layout::ColumnWise);
     println!("bulk: executed {} instances; instance 7 -> {:?}", outputs.len(), outputs[7]);

@@ -54,10 +54,8 @@ fn main() {
     // Stage 2: bulk FFT of all blocks on the virtual device via the
     // generic engine (complex-interleaved inputs).
     let fft = Fft::new(BLOCK_LOG2);
-    let packed: Vec<Vec<f32>> = smoothed
-        .iter()
-        .map(|b| b.iter().flat_map(|&re| [re, 0.0f32]).collect())
-        .collect();
+    let packed: Vec<Vec<f32>> =
+        smoothed.iter().map(|b| b.iter().flat_map(|&re| [re, 0.0f32]).collect()).collect();
     let refs: Vec<&[f32]> = packed.iter().map(|v| v.as_slice()).collect();
 
     let device = Device::titan_like();
@@ -83,7 +81,10 @@ fn main() {
     // Report the two strongest bins (skipping DC).
     let mut bins: Vec<(usize, f64)> = avg.iter().copied().enumerate().skip(1).collect();
     bins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("strongest bins: {} ({:.1}) and {} ({:.1})", bins[0].0, bins[0].1, bins[1].0, bins[1].1);
+    println!(
+        "strongest bins: {} ({:.1}) and {} ({:.1})",
+        bins[0].0, bins[0].1, bins[1].0, bins[1].1
+    );
     let mut top = [bins[0].0, bins[1].0];
     top.sort_unstable();
     assert_eq!(top, [5, 19], "the injected tones must dominate the spectrum");

@@ -22,9 +22,7 @@ fn main() {
 
     // Random chord weights per polygon (edges weight 0 by convention).
     let weights: Vec<ChordWeights> = (0..p)
-        .map(|s| {
-            ChordWeights::from_fn(n, |i, j| (((i * 31 + j * 17 + s * 101) % 90) + 10) as f64)
-        })
+        .map(|s| ChordWeights::from_fn(n, |i, j| (((i * 31 + j * 17 + s * 101) % 90) + 10) as f64))
         .collect();
     let inputs: Vec<Vec<f64>> = weights.iter().map(|c| c.as_words()).collect();
     let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
@@ -62,8 +60,10 @@ fn main() {
     let base = OptTriangulation::new(n);
     let row = bulk_model_time::<f64, _>(&base, cfg, Model::Umm, Layout::RowWise, p);
     let col = bulk_model_time::<f64, _>(&base, cfg, Model::Umm, Layout::ColumnWise, p);
-    println!("\nUMM model (w=32, l=100), p = {p}: row {row} vs col {col} time units ({:.1}x)",
-        row as f64 / col as f64);
+    println!(
+        "\nUMM model (w=32, l=100), p = {p}: row {row} vs col {col} time units ({:.1}x)",
+        row as f64 / col as f64
+    );
 }
 
 /// Tiny ASCII rendering of an octagon with its chords (vertex layout

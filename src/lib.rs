@@ -46,9 +46,9 @@ pub use umm_core as umm;
 /// The names most programs need.
 pub mod prelude {
     pub use algorithms::{
-        BitonicSort, ChordWeights, EditDistance, Fft, FirFilter, FloydWarshall, Horner,
-        LcsLength, MatMul, MatVec, OddEvenMergeSort, OfflinePermute, OptTriangulation,
-        PrefixSums, SummedArea, Transpose, Xtea,
+        BitonicSort, ChordWeights, EditDistance, Fft, FirFilter, FloydWarshall, Horner, LcsLength,
+        MatMul, MatVec, OddEvenMergeSort, OfflinePermute, OptTriangulation, PrefixSums, SummedArea,
+        Transpose, Xtea,
     };
     pub use gpu_sim::{launch, BulkKernel, Device, GenericKernel, OptKernel, PrefixSumsKernel};
     pub use oblivious::program::{
@@ -56,8 +56,8 @@ pub mod prelude {
         trace_of,
     };
     pub use oblivious::{
-        check_oblivious, Chain, Layout, Model, ObliviousMachine, ObliviousProgram, Repeat,
-        Shifted, Tape, Word,
+        check_oblivious, Chain, Layout, Model, ObliviousMachine, ObliviousProgram, Repeat, Shifted,
+        Tape, Word,
     };
     pub use umm_core::{DmmSimulator, HmmConfig, HmmSimulator, MachineConfig, UmmSimulator};
 }

@@ -82,9 +82,8 @@ fn bitonic_all_paths() {
 fn fft_all_paths() {
     // f32 FFT is exact across paths because every path performs the same
     // operations in the same order — bit-for-bit equality is required.
-    let inputs: Vec<Vec<f32>> = (0..17)
-        .map(|s| (0..32).map(|i| ((i + s) % 9) as f32 * 0.25 - 1.0).collect())
-        .collect();
+    let inputs: Vec<Vec<f32>> =
+        (0..17).map(|s| (0..32).map(|i| ((i + s) % 9) as f32 * 0.25 - 1.0).collect()).collect();
     assert_all_paths_agree(Fft::new(4), &inputs);
 }
 
@@ -118,9 +117,8 @@ fn xtea_all_paths() {
 
 #[test]
 fn horner_all_paths() {
-    let inputs: Vec<Vec<f64>> = (0..31)
-        .map(|s| (0..6).map(|i| ((i * 7 + s) % 5) as f64 - 2.0).collect())
-        .collect();
+    let inputs: Vec<Vec<f64>> =
+        (0..31).map(|s| (0..6).map(|i| ((i * 7 + s) % 5) as f64 - 2.0).collect()).collect();
     assert_all_paths_agree(Horner::new(4), &inputs);
 }
 

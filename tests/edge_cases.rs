@@ -110,11 +110,6 @@ fn giant_latency_dominates_everything() {
 #[test]
 fn device_launch_with_exactly_one_lane() {
     let mut buf = vec![1.0f32, 2.0, 3.0, 4.0];
-    launch(
-        &Device::titan_like(),
-        &PrefixSumsKernel::new(4, Layout::ColumnWise),
-        &mut buf,
-        1,
-    );
+    launch(&Device::titan_like(), &PrefixSumsKernel::new(4, Layout::ColumnWise), &mut buf, 1);
     assert_eq!(buf, vec![1.0, 3.0, 6.0, 10.0]);
 }

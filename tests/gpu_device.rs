@@ -83,9 +83,8 @@ fn row_and_column_kernels_agree_bitwise_on_floats() {
     // results must agree bit-for-bit — a strong guard against accidental
     // reassociation in one of the kernels.
     let (p, n) = (257usize, 33usize);
-    let inputs: Vec<Vec<f32>> = (0..p)
-        .map(|j| (0..n).map(|i| ((j * 131 + i * 17) % 997) as f32 * 0.1).collect())
-        .collect();
+    let inputs: Vec<Vec<f32>> =
+        (0..p).map(|j| (0..n).map(|i| ((j * 131 + i * 17) % 997) as f32 * 0.1).collect()).collect();
     let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
     let mut row_buf = arrange(&refs, n, Layout::RowWise);
     launch(&Device::titan_like(), &PrefixSumsKernel::new(n, Layout::RowWise), &mut row_buf, p);

@@ -35,7 +35,8 @@ fn lemma1_exact_for_aligned_parameters() {
             let p = (4 * cfg.width) as u64;
             let prog = PrefixSums::new(n);
             let t = theorems::prefix_sums_steps(n as u64);
-            let row = bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::RowWise, p as usize);
+            let row =
+                bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::RowWise, p as usize);
             let col =
                 bulk_model_time::<f32, _>(&prog, cfg, Model::Umm, Layout::ColumnWise, p as usize);
             assert_eq!(row, theorems::row_wise_time(t, p, l), "row n={n} cfg={cfg:?}");

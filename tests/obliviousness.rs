@@ -105,8 +105,7 @@ fn traced_run_matches_the_declared_address_function() {
     // cannot leak data into addresses even if it tried.
     let prog = OptTriangulation::new(8);
     let declared = trace_of::<f32, _>(&prog);
-    let input =
-        ChordWeights::from_fn(8, |i, j| ((i * j * 7) % 23) as f64).as_words::<f32>();
+    let input = ChordWeights::from_fn(8, |i, j| ((i * j * 7) % 23) as f64).as_words::<f32>();
     let actual = traced_run(&prog, &input);
     assert_eq!(actual, declared);
 }

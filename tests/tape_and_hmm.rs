@@ -99,11 +99,8 @@ fn hmm_staging_verdicts_match_reuse_structure() {
 fn hmm_simulator_agrees_with_coalesced_round_arithmetic() {
     // One coalesced global round through the HmmSimulator equals the
     // closed form used by hmm_bulk_cost's load/store phases.
-    let hmm = HmmConfig::new(
-        2,
-        umm_core::MachineConfig::new(4, 2),
-        umm_core::MachineConfig::new(4, 10),
-    );
+    let hmm =
+        HmmConfig::new(2, umm_core::MachineConfig::new(4, 2), umm_core::MachineConfig::new(4, 10));
     let p = 16usize;
     let mut sim = umm_core::HmmSimulator::new(hmm, p);
     let actions: Vec<_> = (0..p).map(umm_core::HmmAction::global_read).collect();

@@ -50,10 +50,7 @@ fn fft_touches_every_group_evenly() {
     assert_eq!(groups.len(), 8);
     let counts: Vec<usize> = groups.iter().map(|&(_, c)| c).collect();
     let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-    assert!(
-        *max <= 2 * *min,
-        "butterflies spread accesses near-evenly, got {counts:?}"
-    );
+    assert!(*max <= 2 * *min, "butterflies spread accesses near-evenly, got {counts:?}");
 }
 
 #[test]
