@@ -15,7 +15,7 @@ use bench::{
     write_csv, write_report,
 };
 use gpu_sim::kernels::PrefixSumsKernel;
-use gpu_sim::{cpu_ref, launch, timing, Device};
+use gpu_sim::{cpu_ref, launch, launch_profiled, timing, Device};
 use oblivious::layout::arrange;
 use oblivious::Layout;
 use obs::{Json, RunReport};
@@ -96,4 +96,17 @@ fn main() {
     }
     report.set("figures", Json::Arr(figures));
     write_report(&bench::report_path("fig11_report.json"), &report);
+
+    // `--trace PATH`: one extra profiled column-wise launch, exported as a
+    // Chrome-trace timeline of the device's per-worker block scheduling.
+    if let Some(path) = bench::trace_path() {
+        let (n, p) = (1024, 256);
+        let flat = random_words(p * n, 1);
+        let per: Vec<&[f32]> = flat.chunks_exact(n).collect();
+        let mut buf = arrange(&per, n, Layout::ColumnWise);
+        let rep =
+            launch_profiled(&device, &PrefixSumsKernel::new(n, Layout::ColumnWise), &mut buf, p);
+        let t = rep.to_trace();
+        bench::write_trace(&path, &obs::trace::chrome_trace(&[("device.fig11", &t)]));
+    }
 }

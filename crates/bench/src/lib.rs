@@ -85,17 +85,54 @@ pub fn report_path(default_name: &str) -> String {
     default_name.to_string()
 }
 
+/// The output path of a `--trace <path>` command-line flag, if one was
+/// passed: figure binaries then also emit a Chrome-trace timeline of one
+/// profiled device launch (see [`write_trace`]).
+#[must_use]
+pub fn trace_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--trace" {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Resolve an artefact name: bare file names land under `bench_results/`;
+/// paths with a directory component are honoured as given.
+fn artefact_path(name: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(name);
+    if p.components().count() > 1 || p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new("bench_results").join(p)
+    }
+}
+
 /// Write a JSON [`obs::RunReport`] artefact.  Bare file names land under
 /// `bench_results/`; paths with a directory component are honoured as
 /// given (so `--profile /tmp/out.json` works).
 pub fn write_report(name: &str, report: &obs::RunReport) {
-    let p = std::path::Path::new(name);
-    let path = if p.components().count() > 1 || p.is_absolute() {
-        p.to_path_buf()
-    } else {
-        std::path::Path::new("bench_results").join(p)
-    };
+    let path = artefact_path(name);
     match report.write_to(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Write a Chrome Trace Event Format JSON artefact (compact form, the
+/// format Perfetto and `about:tracing` open directly), creating parent
+/// directories as needed.  Same name resolution as [`write_report`].
+pub fn write_trace(name: &str, chrome: &obs::Json) {
+    let path = artefact_path(name);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("could not create {}: {e}", dir.display());
+            return;
+        }
+    }
+    match std::fs::write(&path, chrome.to_compact()) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

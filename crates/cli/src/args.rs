@@ -4,7 +4,7 @@ use oblivious::Layout;
 use umm_core::MachineConfig;
 
 /// A parsed `bulkrun` invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `bulkrun list`
     List,
@@ -42,6 +42,34 @@ pub enum Command {
         /// Write a JSON `RunReport` (model profile + device scheduler
         /// profile) to this path.
         profile: Option<String>,
+        /// Write a Chrome Trace Event Format JSON timeline (engine, UMM,
+        /// DMM and device processes) to this path.
+        trace: Option<String>,
+    },
+    /// `bulkrun timeline <algo> [--size N] [--p P] [--layout row|col]
+    /// [--width W] [--latency L] [--cols C]`
+    Timeline {
+        /// Algorithm name.
+        algo: String,
+        /// Size parameter.
+        size: Option<usize>,
+        /// Bulk size.
+        p: usize,
+        /// Arrangement.
+        layout: Layout,
+        /// Machine parameters.
+        cfg: MachineConfig,
+        /// Terminal columns for the time axis.
+        cols: usize,
+    },
+    /// `bulkrun compare <a.json> <b.json> [--threshold PCT]`
+    Compare {
+        /// Baseline report path.
+        a: String,
+        /// Candidate report path.
+        b: String,
+        /// Relative tolerance for gated metrics, in percent.
+        threshold: f64,
     },
     /// `bulkrun hmm <algo> [--size N] [--p P] [--dmms D]`
     Hmm {
@@ -72,11 +100,21 @@ USAGE:
                        [--profile PATH]          write a JSON RunReport
                                                  (model rounds + histogram,
                                                  device worker/block timings)
+                       [--trace PATH]            write a Chrome-trace timeline
+                                                 (open in Perfetto / about:tracing)
+  bulkrun timeline <algo> [--size N] [--p P]     plain-terminal warp timeline
+                       [--layout row|col]        of the UMM model simulation
+                       [--width W] [--latency L]
+                       [--cols C]
+  bulkrun compare <a.json> <b.json>              diff two RunReports; exits
+                       [--threshold PCT]         non-zero on regression beyond
+                                                 the tolerance (default 0%)
   bulkrun hmm   <algo> [--size N] [--p P]        shared-memory staging analysis
                        [--dmms D]
   bulkrun help
 
 Defaults: p = 4096, width = 32, latency = 100, layout = col.
+Timeline defaults: p = 128, latency = 8, cols = 72 (small enough to read).
 ";
 
 fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
@@ -87,6 +125,20 @@ fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
                 .parse::<usize>()
                 .map(Some)
                 .map_err(|_| format!("{flag}: '{v}' is not a number"));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_f64_flag(args: &[String], flag: &str) -> Result<Option<f64>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            let v = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+            let x = v.parse::<f64>().map_err(|_| format!("{flag}: '{v}' is not a number"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!("{flag} must be a non-negative number, got '{v}'"));
+            }
+            return Ok(Some(x));
         }
     }
     Ok(None)
@@ -138,6 +190,42 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "compare" => {
+            let a = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("compare needs two report paths")?
+                .clone();
+            let b = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("compare needs two report paths")?
+                .clone();
+            let rest = &args[3..];
+            reject_unknown(rest, &["--threshold"])?;
+            let threshold = parse_f64_flag(rest, "--threshold")?.unwrap_or(0.0);
+            Ok(Command::Compare { a, b, threshold })
+        }
+        "timeline" => {
+            let algo = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("timeline needs an algorithm name")?
+                .clone();
+            let rest = &args[2..];
+            reject_unknown(rest, &["--size", "--p", "--layout", "--width", "--latency", "--cols"])?;
+            Ok(Command::Timeline {
+                algo,
+                size: parse_flag(rest, "--size")?,
+                p: parse_flag(rest, "--p")?.unwrap_or(128),
+                layout: parse_layout(rest)?,
+                cfg: MachineConfig::new(
+                    parse_flag(rest, "--width")?.unwrap_or(32),
+                    parse_flag(rest, "--latency")?.unwrap_or(8),
+                ),
+                cols: parse_flag(rest, "--cols")?.unwrap_or(72),
+            })
+        }
         "trace" | "model" | "run" | "hmm" => {
             let algo = args
                 .get(1)
@@ -148,7 +236,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             match cmd.as_str() {
                 "trace" => reject_unknown(rest, &["--size", "--head"])?,
                 "model" => reject_unknown(rest, &["--size", "--p", "--width", "--latency"])?,
-                "run" => reject_unknown(rest, &["--size", "--p", "--layout", "--profile"])?,
+                "run" => {
+                    reject_unknown(rest, &["--size", "--p", "--layout", "--profile", "--trace"])?
+                }
                 "hmm" => reject_unknown(rest, &["--size", "--p", "--dmms"])?,
                 _ => unreachable!(),
             }
@@ -174,6 +264,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     p: parse_flag(rest, "--p")?.unwrap_or(4096),
                     layout: parse_layout(rest)?,
                     profile: parse_string_flag(rest, "--profile")?,
+                    trace: parse_string_flag(rest, "--trace")?,
                 }),
                 "hmm" => {
                     let dmms = parse_flag(rest, "--dmms")?.unwrap_or(14);
@@ -273,5 +364,52 @@ mod tests {
         assert!(parse(&argv("model opt --layout row")).unwrap_err().contains("--layout"));
         assert!(parse(&argv("trace fft --p 4")).unwrap_err().contains("--p"));
         assert!(parse(&argv("hmm opt --width 4")).unwrap_err().contains("--width"));
+        assert!(parse(&argv("compare a.json b.json --tolerance 5")).is_err());
+        assert!(parse(&argv("timeline opt --dmms 2")).is_err());
+    }
+
+    #[test]
+    fn run_trace_flag() {
+        let c = parse(&argv("run opt --p 64 --trace t.json")).unwrap();
+        match c {
+            Command::Run { trace, .. } => assert_eq!(trace.as_deref(), Some("t.json")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run opt --trace")).is_err());
+    }
+
+    #[test]
+    fn compare_parses_paths_and_threshold() {
+        let c = parse(&argv("compare a.json b.json --threshold 2.5")).unwrap();
+        assert_eq!(c, Command::Compare { a: "a.json".into(), b: "b.json".into(), threshold: 2.5 });
+        let c = parse(&argv("compare a.json b.json")).unwrap();
+        assert_eq!(c, Command::Compare { a: "a.json".into(), b: "b.json".into(), threshold: 0.0 });
+        assert!(parse(&argv("compare a.json")).is_err());
+        assert!(parse(&argv("compare a.json b.json --threshold -1")).is_err());
+        assert!(parse(&argv("compare a.json b.json --threshold nope")).is_err());
+    }
+
+    #[test]
+    fn timeline_parses_with_defaults() {
+        let c = parse(&argv("timeline prefix-sums")).unwrap();
+        assert_eq!(
+            c,
+            Command::Timeline {
+                algo: "prefix-sums".into(),
+                size: None,
+                p: 128,
+                layout: Layout::ColumnWise,
+                cfg: MachineConfig::new(32, 8),
+                cols: 72,
+            }
+        );
+        let c = parse(&argv("timeline fft --size 4 --p 64 --latency 5 --cols 40")).unwrap();
+        match c {
+            Command::Timeline { p, cfg, cols, .. } => {
+                assert_eq!((p, cfg.latency, cols), (64, 5, 40));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("timeline")).is_err());
     }
 }

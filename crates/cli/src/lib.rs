@@ -22,6 +22,24 @@ use umm_core::MachineConfig;
 /// fixed so reports and differential runs are reproducible.
 pub const RUN_SEED: u64 = 0xB01D_FACE;
 
+/// Write `text` to `path`, creating missing parent directories first, with
+/// error messages that name both the path and the failing operation.
+fn write_text(kind: &str, path: &str, text: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            format!("cannot create directory {} for {kind} {path}: {e}", dir.display())
+        })?;
+    }
+    std::fs::write(p, text).map_err(|e| format!("cannot write {kind} to {path}: {e}"))
+}
+
+/// Read and parse a JSON report for `bulkrun compare`.
+fn read_report(path: &str) -> Result<obs::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    obs::Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Assemble the full profiling [`RunReport`] for one bulk run: engine
 /// port-traffic metrics, the profiled UMM/DMM model simulation (round
 /// counts, address-group histogram, stall accounting), and the SIMT
@@ -138,7 +156,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 a.memory_words() * (p / dmms),
             ));
         }
-        Command::Run { algo, size, p, layout, profile } => {
+        Command::Run { algo, size, p, layout, profile, trace } => {
             let a = Algo::parse(algo, *size)?;
             out.push_str(&format!(
                 "bulk-executing {} for p = {p} instances, {layout} …\n",
@@ -156,6 +174,55 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     .write_to(std::path::Path::new(path))
                     .map_err(|e| format!("cannot write profile to {path}: {e}"))?;
                 out.push_str(&format!("  profile   : wrote {path}\n"));
+            }
+            if let Some(path) = trace {
+                let cfg = MachineConfig::new(32, 100);
+                let b = a.trace_bundle(cfg, &Device::titan_like(), *p, *layout, RUN_SEED);
+                let chrome = obs::trace::chrome_trace(&[
+                    ("engine", &b.engine),
+                    ("model.umm", &b.umm),
+                    ("model.dmm", &b.dmm),
+                    ("device", &b.device),
+                ]);
+                write_text("trace", path, &chrome.to_compact())?;
+                let dropped: u64 =
+                    [&b.engine, &b.umm, &b.dmm, &b.device].iter().map(|t| t.dropped()).sum();
+                out.push_str(&format!("  trace     : wrote {path}"));
+                if dropped > 0 {
+                    out.push_str(&format!(" ({dropped} events dropped; ring buffer full)"));
+                }
+                out.push('\n');
+            }
+        }
+        Command::Timeline { algo, size, p, layout, cfg, cols } => {
+            let a = Algo::parse(algo, *size)?;
+            let t = a.umm_timeline(*cfg, *layout, *p);
+            out.push_str(&format!(
+                "{} on UMM(w={}, l={}), p = {p}, {layout} — warp occupancy:\n",
+                a.display_name(),
+                cfg.width,
+                cfg.latency
+            ));
+            out.push_str(&obs::trace::ascii_timeline(&t, &t.tracks(), *cols));
+            if t.dropped() > 0 {
+                out.push_str(&format!(
+                    "({} events dropped; view truncated — lower --p or --size)\n",
+                    t.dropped()
+                ));
+            }
+        }
+        Command::Compare { a, b, threshold } => {
+            let base = read_report(a)?;
+            let cand = read_report(b)?;
+            let cfg = obs::diff::DiffConfig { tolerance: threshold / 100.0, ..Default::default() };
+            let report = obs::diff::diff_reports(&base, &cand, &cfg);
+            out.push_str(&format!("comparing {a} (baseline) vs {b}:\n"));
+            out.push_str(&report.summary());
+            if report.regression_count() > 0 {
+                return Err(format!(
+                    "{out}\n{} metric(s) regressed beyond {threshold}% tolerance",
+                    report.regression_count()
+                ));
             }
         }
     }
@@ -206,9 +273,64 @@ mod tests {
             p: 16,
             layout: oblivious::Layout::ColumnWise,
             profile: None,
+            trace: None,
         };
         let out = execute(&cmd).unwrap();
         assert!(out.contains("wall clock"));
+    }
+
+    #[test]
+    fn timeline_renders_warp_tracks() {
+        let cmd = Command::Timeline {
+            algo: "prefix-sums".into(),
+            size: Some(16),
+            p: 64,
+            layout: Layout::ColumnWise,
+            cfg: MachineConfig::new(32, 8),
+            cols: 40,
+        };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("warp occupancy"), "{out}");
+        assert!(out.contains("warp 0"), "{out}");
+        assert!(out.contains("pipeline"), "{out}");
+        assert!(out.contains('█') || out.contains('▒'), "occupancy cells rendered: {out}");
+    }
+
+    #[test]
+    fn compare_is_clean_on_identical_reports_and_gates_on_drift() {
+        let dir = std::env::temp_dir().join(format!("bulkrun-cmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = Algo::parse("prefix-sums", Some(8)).unwrap();
+        let report = run_report(&a, 64, Layout::ColumnWise, 7, 0.001);
+        let pa = dir.join("a.json");
+        let pb = dir.join("b.json");
+        report.write_to(&pa).unwrap();
+        report.write_to(&pb).unwrap();
+        let cmd = Command::Compare {
+            a: pa.to_string_lossy().into_owned(),
+            b: pb.to_string_lossy().into_owned(),
+            threshold: 0.0,
+        };
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+
+        // Perturb a deterministic metric beyond any tolerance: gates.
+        let text = report.to_pretty().replace("\"rounds\": ", "\"rounds\": 9");
+        std::fs::write(&pb, text).unwrap();
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("regressed beyond"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_missing_file_names_the_path() {
+        let cmd = Command::Compare {
+            a: "/nonexistent/base.json".into(),
+            b: "/nonexistent/cand.json".into(),
+            threshold: 0.0,
+        };
+        let err = execute(&cmd).unwrap_err();
+        assert!(err.contains("/nonexistent/base.json"), "{err}");
     }
 
     /// The measured model section of a report must agree with the analytic

@@ -15,10 +15,10 @@ use gpu_sim::{launch, launch_profiled, Device, GenericKernel};
 use oblivious::layout::extract;
 use oblivious::program::{
     arrange_inputs, bulk_execute, bulk_execute_cpu_reference, bulk_model_time, bulk_profiled_dmm,
-    bulk_profiled_umm, time_steps, trace_of,
+    bulk_profiled_umm, bulk_traced_dmm, bulk_traced_umm, time_steps, trace_of,
 };
 use oblivious::{theorems, BulkMachine, BulkMetrics, Layout, Model, ObliviousProgram, Word};
-use obs::{Json, Rng};
+use obs::{Json, Rng, Tracer};
 use umm_core::{MachineConfig, ThreadTrace};
 
 /// Deterministic random inputs for `p` instances of `len` words each.
@@ -532,7 +532,110 @@ impl Algo {
     }
 }
 
+/// Event timelines of one bulk run, one tracer per layer.  Exported
+/// together by `bulkrun run --trace` as one Chrome-trace document with four
+/// processes on a shared axis.
+#[derive(Debug)]
+pub struct TraceBundle {
+    /// Per-step port/ALU traffic of the single `BulkMachine` engine.
+    pub engine: Tracer,
+    /// Per-round warp-dispatch spans of the UMM model simulation.
+    pub umm: Tracer,
+    /// Per-round warp-dispatch spans of the DMM model simulation.
+    pub dmm: Tracer,
+    /// Per-worker block/wait spans of the SIMT device launch (nanoseconds).
+    pub device: Tracer,
+}
+
 impl Algo {
+    /// Run the program once through every instrumented layer — the
+    /// `BulkMachine` engine, the profiled UMM and DMM model simulations,
+    /// and a profiled device launch — collecting each layer's timeline.
+    #[must_use]
+    pub fn trace_bundle(
+        &self,
+        cfg: MachineConfig,
+        device: &Device,
+        p: usize,
+        layout: Layout,
+        seed: u64,
+    ) -> TraceBundle {
+        struct BundleOp<'d> {
+            cfg: MachineConfig,
+            device: &'d Device,
+            p: usize,
+            layout: Layout,
+            seed: u64,
+        }
+        fn bundle<W: Word + Send + Sync, P: ObliviousProgram<W> + Sync>(
+            pr: P,
+            inputs: &[Vec<W>],
+            cfg: MachineConfig,
+            device: &Device,
+            p: usize,
+            layout: Layout,
+        ) -> TraceBundle {
+            let refs: Vec<&[W]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let engine = {
+                let mut buf = arrange_inputs(&pr, &refs, layout);
+                let mut m = BulkMachine::new(&mut buf, p, pr.memory_words(), layout);
+                m.enable_tracing();
+                pr.run(&mut m);
+                m.take_tracer().unwrap_or_default()
+            };
+            let umm = bulk_traced_umm(&pr, cfg, layout, p).take_tracer().unwrap_or_default();
+            let dmm = bulk_traced_dmm(&pr, cfg, layout, p).take_tracer().unwrap_or_default();
+            let device = {
+                let mut buf = arrange_inputs(&pr, &refs, layout);
+                launch_profiled(device, &GenericKernel::new(pr, layout), &mut buf, p).to_trace()
+            };
+            TraceBundle { engine, umm, dmm, device }
+        }
+        impl<'d> ProgramOp<TraceBundle> for BundleOp<'d> {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> TraceBundle {
+                let inputs = random_f32_inputs(self.seed, self.p, pr.input_range().len());
+                bundle(pr, &inputs, self.cfg, self.device, self.p, self.layout)
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> TraceBundle {
+                let inputs = random_u32_inputs(self.seed, self.p, pr.input_range().len());
+                bundle(pr, &inputs, self.cfg, self.device, self.p, self.layout)
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> TraceBundle {
+                let inputs = random_u64_inputs(self.seed, self.p, pr.input_range().len());
+                bundle(pr, &inputs, self.cfg, self.device, self.p, self.layout)
+            }
+        }
+        self.with_program(BundleOp { cfg, device, p, layout, seed })
+    }
+
+    /// The UMM model timeline alone — what `bulkrun timeline` renders.
+    #[must_use]
+    pub fn umm_timeline(&self, cfg: MachineConfig, layout: Layout, p: usize) -> Tracer {
+        struct TimelineOp {
+            cfg: MachineConfig,
+            layout: Layout,
+            p: usize,
+        }
+        impl ProgramOp<Tracer> for TimelineOp {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> Tracer {
+                bulk_traced_umm(&pr, self.cfg, self.layout, self.p)
+                    .take_tracer()
+                    .unwrap_or_default()
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> Tracer {
+                bulk_traced_umm(&pr, self.cfg, self.layout, self.p)
+                    .take_tracer()
+                    .unwrap_or_default()
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> Tracer {
+                bulk_traced_umm(&pr, self.cfg, self.layout, self.p)
+                    .take_tracer()
+                    .unwrap_or_default()
+            }
+        }
+        self.with_program(TimelineOp { cfg, layout, p })
+    }
+
     /// HMM staging analysis (all-global vs staged) for a bulk execution.
     #[must_use]
     pub fn hmm_cost(&self, hmm: &umm_core::HmmConfig, p: usize) -> oblivious::HmmBulkCost {

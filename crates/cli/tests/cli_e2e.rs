@@ -89,6 +89,104 @@ fn run_profile_emits_a_valid_report() {
     assert_eq!(blocks, total_blocks, "workers must account for every block");
 }
 
+/// `run --trace PATH` into a not-yet-existing directory must create it and
+/// emit Chrome Trace Event Format JSON whose UMM warp spans reconcile
+/// exactly with the `--profile` report's pipeline-stage accounting.
+#[test]
+fn run_trace_emits_chrome_json_reconciling_with_profile() {
+    let dir = std::env::temp_dir().join(format!("bulkrun_trace_{}/nested", std::process::id()));
+    let trace_path = dir.join("t.json");
+    let profile_path = dir.join("p.json");
+    let (out, err, ok) = bulkrun(&[
+        "run",
+        "prefix-sums",
+        "--size",
+        "8",
+        "--p",
+        "64",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--profile",
+        profile_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("trace"), "run output should mention the trace path: {out}");
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written in created dir");
+    let chrome = obs::Json::parse(&text).expect("trace parses as JSON");
+    let events = chrome.path("traceEvents").and_then(obs::Json::as_arr).expect("traceEvents");
+    assert_eq!(
+        chrome.path("dropped_events").and_then(obs::Json::as_i64),
+        Some(0),
+        "small run must not overflow the ring buffer"
+    );
+    // Four processes announce themselves via metadata events.
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.path("name").and_then(obs::Json::as_str) == Some("process_name"))
+        .map(|e| e.path("args.name").and_then(obs::Json::as_str).unwrap())
+        .collect();
+    assert_eq!(process_names, ["engine", "model.umm", "model.dmm", "device"]);
+
+    // The model.umm process is pid 2; its complete spans with cat "umm" are
+    // the warp-dispatch spans, and their total duration must equal the
+    // profiled pipeline_stages count exactly (ticks_per_us = 1 => Int µs).
+    let umm_span_total: i64 = events
+        .iter()
+        .filter(|e| {
+            e.path("pid").and_then(obs::Json::as_i64) == Some(2)
+                && e.path("ph").and_then(obs::Json::as_str) == Some("X")
+                && e.path("cat").and_then(obs::Json::as_str) == Some("umm")
+        })
+        .map(|e| e.path("dur").and_then(obs::Json::as_i64).expect("integer duration"))
+        .sum();
+    let profile = std::fs::read_to_string(&profile_path).expect("profile written");
+    let report = obs::RunReport::parse(&profile).expect("profile parses");
+    let stages = report
+        .json()
+        .path("model.umm.stats.pipeline_stages")
+        .and_then(obs::Json::as_i64)
+        .expect("pipeline_stages present");
+    assert_eq!(umm_span_total, stages, "trace and profile must agree on busy time");
+    std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+}
+
+#[test]
+fn timeline_command_end_to_end() {
+    let (out, err, ok) = bulkrun(&["timeline", "prefix-sums", "--size", "16", "--p", "64"]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("warp 0"), "{out}");
+    assert!(out.contains('█') || out.contains('▒'), "{out}");
+}
+
+/// `compare` exits zero on a self-diff and non-zero when a deterministic
+/// metric drifts beyond the threshold.
+#[test]
+fn compare_gates_regressions_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("bulkrun_cmp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pa = dir.join("a.json");
+    let pb = dir.join("b.json");
+    let (out, err, ok) =
+        bulkrun(&["run", "horner", "--size", "8", "--p", "64", "--profile", pa.to_str().unwrap()]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    std::fs::copy(&pa, &pb).unwrap();
+
+    let (out, err, ok) = bulkrun(&["compare", pa.to_str().unwrap(), pb.to_str().unwrap()]);
+    assert!(ok, "self-diff must be clean\nstdout: {out}\nstderr: {err}");
+    assert!(out.contains("0 regression(s)"), "{out}");
+
+    // Perturb a deterministic engine metric: gates even with a threshold.
+    let text = std::fs::read_to_string(&pa).unwrap();
+    assert!(text.contains("\"loads\": "), "report carries engine.loads");
+    std::fs::write(&pb, text.replace("\"loads\": ", "\"loads\": 9")).unwrap();
+    let (out, err, ok) =
+        bulkrun(&["compare", pa.to_str().unwrap(), pb.to_str().unwrap(), "--threshold", "5"]);
+    assert!(!ok, "perturbed deterministic metric must gate\nstdout: {out}");
+    assert!(err.contains("regressed beyond"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn run_profile_without_value_is_rejected() {
     let (_, err, ok) = bulkrun(&["run", "horner", "--profile"]);

@@ -123,6 +123,40 @@ impl LaunchReport {
         obj
     }
 
+    /// Reconstruct the launch as an event timeline: one track per worker
+    /// ("SM n"), a `block` span per executed block and a `sched`-category
+    /// `wait` span for every non-zero queue wait preceding it.
+    ///
+    /// Ticks are nanoseconds (`ticks_per_us = 1000`), so a Chrome-trace
+    /// export of the result lands on a microsecond axis with fractional
+    /// precision.  Block order within a worker is execution order, so span
+    /// placement follows directly from each worker's running free time.
+    #[must_use]
+    pub fn to_trace(&self) -> obs::Tracer {
+        let mut t =
+            obs::Tracer::with_capacity(self.block_records.len() * 2 + 16).with_ticks_per_us(1_000);
+        for w in &self.workers {
+            t.name_track(w.worker as u64, format!("SM {}", w.worker));
+        }
+        let nworkers = self.workers.iter().map(|w| w.worker + 1).max().unwrap_or(0);
+        let mut free = vec![0u64; nworkers];
+        // Sorted by block index; within one worker that is execution order.
+        for b in &self.block_records {
+            let tid = b.worker as u64;
+            let wait = b.queue_wait.as_nanos() as u64;
+            let exec = b.exec.as_nanos() as u64;
+            let start = free[b.worker] + wait;
+            if wait > 0 {
+                t.span(tid, "wait", "sched", free[b.worker], wait, Json::obj());
+            }
+            let mut args = Json::obj();
+            args.set("block", b.block);
+            t.span(tid, "block", "block", start, exec, args);
+            free[b.worker] = start + exec;
+        }
+        t
+    }
+
     /// The aggregate half of [`LaunchReport::to_json`] — per-worker rows
     /// without the per-block array (what sweep benchmarks embed).
     #[must_use]
@@ -410,6 +444,32 @@ mod tests {
         assert_eq!(total, nblocks as u64);
         assert!(report.wall >= report.workers.iter().map(|w| w.busy).max().unwrap());
         assert!(report.block_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn launch_trace_reconstructs_per_worker_timelines() {
+        let (p, msize) = (1000, 2);
+        let mut dev = Device::titan_like();
+        dev.worker_threads = dev.worker_threads.max(2);
+        let mut buf = vec![0u64; p * msize];
+        let report = launch_profiled(&dev, &StampKernel { msize }, &mut buf, p);
+
+        let t = report.to_trace();
+        obs::trace::validate(&t).expect("launch trace must be well-formed");
+        assert_eq!(t.ticks_per_us(), 1_000, "device time is in nanoseconds");
+        assert_eq!(t.dropped(), 0);
+        let blocks = t.events().iter().filter(|e| e.name == "block").count();
+        assert_eq!(blocks, report.blocks, "one block span per executed block");
+        for w in &report.workers {
+            assert_eq!(t.track_name(w.worker as u64), Some(format!("SM {}", w.worker)).as_deref());
+            let busy = t
+                .events()
+                .iter()
+                .filter(|e| e.tid == w.worker as u64 && e.cat == "block")
+                .map(|e| e.dur)
+                .sum::<u64>();
+            assert_eq!(busy, w.busy.as_nanos() as u64, "track busy time matches worker report");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::layout::Layout;
 use crate::machine::ObliviousMachine;
 use crate::ops::{BinOp, CmpOp, UnOp};
 use crate::word::Word;
+use obs::trace::Tracer;
 use obs::Json;
 
 /// Port-traffic and register-pressure counters of a bulk execution.
@@ -171,6 +172,18 @@ pub enum BulkValue<W> {
     Reg(u32),
 }
 
+/// Per-step event recording for a traced bulk execution.
+///
+/// Track 0 ("port") holds one unit span per memory round — load, store,
+/// broadcast, with the logical address in args — and track 1 ("alu") one
+/// per register-only vector op.  The shared clock is the vector-step
+/// counter, so the trace is the program's step sequence laid on a line.
+#[derive(Debug)]
+struct EngineTrace {
+    tracer: Tracer,
+    step: u64,
+}
+
 /// Lockstep executor of an oblivious program over the lanes of a port.
 #[derive(Debug)]
 pub struct BulkMachine<W, P> {
@@ -181,6 +194,7 @@ pub struct BulkMachine<W, P> {
     live: usize,
     max_live: usize,
     metrics: BulkMetrics,
+    trace: Option<Box<EngineTrace>>,
 }
 
 impl<'a, W: Word> BulkMachine<W, SliceLanes<'a, W>> {
@@ -206,6 +220,44 @@ impl<W: Word, P: LanePort<W>> BulkMachine<W, P> {
             live: 0,
             max_live: 0,
             metrics: BulkMetrics::default(),
+            trace: None,
+        }
+    }
+
+    /// Turn on per-step event tracing: one unit span per vector step, on a
+    /// "port" track (loads/stores/broadcasts, args = the logical address)
+    /// or an "alu" track (register-only ops).  No-op at compile time when
+    /// `obs` is built without its `profile` feature.
+    pub fn enable_tracing(&mut self) {
+        if obs::PROFILING_COMPILED && self.trace.is_none() {
+            let mut tracer = Tracer::new();
+            tracer.name_track(0, "port");
+            tracer.name_track(1, "alu");
+            self.trace = Some(Box::new(EngineTrace { tracer, step: 0 }));
+        }
+    }
+
+    /// Take the recorded trace out of the machine (tracing stops).
+    #[must_use]
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.trace.take().map(|t| t.tracer)
+    }
+
+    #[inline]
+    fn trace_port(&mut self, name: &'static str, addr: usize) {
+        if let Some(t) = self.trace.as_mut() {
+            let mut args = Json::obj();
+            args.set("addr", addr);
+            t.tracer.span(0, name, "port", t.step, 1, args);
+            t.step += 1;
+        }
+    }
+
+    #[inline]
+    fn trace_alu(&mut self, name: &'static str) {
+        if let Some(t) = self.trace.as_mut() {
+            t.tracer.span(1, name, "alu", t.step, 1, Json::Null);
+            t.step += 1;
         }
     }
 
@@ -271,6 +323,7 @@ impl<W: Word, P: LanePort<W>> BulkMachine<W, P> {
             (BulkValue::Const(x), BulkValue::Const(y)) => BulkValue::Const(f(x, y)),
             _ => {
                 self.metrics.register_ops += 1;
+                self.trace_alu("binop");
                 let id = self.alloc();
                 let mut dst = self.take(id);
                 match (a, b) {
@@ -307,6 +360,7 @@ impl<W: Word, Pt: LanePort<W>> ObliviousMachine<W> for BulkMachine<W, Pt> {
 
     fn read(&mut self, addr: usize) -> BulkValue<W> {
         self.metrics.loads += 1;
+        self.trace_port("load", addr);
         let id = self.alloc();
         let mut dst = self.take(id);
         self.port.load(addr, &mut dst);
@@ -318,12 +372,14 @@ impl<W: Word, Pt: LanePort<W>> ObliviousMachine<W> for BulkMachine<W, Pt> {
         match v {
             BulkValue::Reg(r) => {
                 self.metrics.stores += 1;
+                self.trace_port("store", addr);
                 let src = core::mem::take(&mut self.regs[r as usize]);
                 self.port.store(addr, &src);
                 self.regs[r as usize] = src;
             }
             BulkValue::Const(c) => {
                 self.metrics.broadcasts += 1;
+                self.trace_port("broadcast", addr);
                 self.port.broadcast(addr, c);
             }
         }
@@ -339,6 +395,7 @@ impl<W: Word, Pt: LanePort<W>> ObliviousMachine<W> for BulkMachine<W, Pt> {
             BulkValue::Const(c) => BulkValue::Const(W::apply_un(op, c)),
             BulkValue::Reg(ra) => {
                 self.metrics.register_ops += 1;
+                self.trace_alu("unop");
                 let id = self.alloc();
                 let mut dst = self.take(id);
                 let src = &self.regs[ra as usize];
@@ -386,6 +443,7 @@ impl<W: Word, Pt: LanePort<W>> ObliviousMachine<W> for BulkMachine<W, Pt> {
             return BulkValue::Const(if W::compare(cmp, ca, cb) { ct } else { ce });
         }
         self.metrics.register_ops += 1;
+        self.trace_alu("select");
         let id = self.alloc();
         let mut dst = self.take(id);
         match (a, b, t, e) {
@@ -516,6 +574,34 @@ mod tests {
         assert_eq!(got.max_live_registers, m.max_live_registers());
         let j = got.to_json();
         assert_eq!(j.path("memory_rounds").unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn engine_trace_records_one_span_per_vector_step() {
+        let mut buf = vec![0.0f32; 8];
+        let mut m = BulkMachine::new(&mut buf, 4, 2, Layout::ColumnWise);
+        m.enable_tracing();
+        let x = m.read(0);
+        let y = m.read(1);
+        let s = m.add(x, y);
+        m.write(1, s);
+        let c = m.constant(9.0);
+        m.write(0, c);
+        let metrics = m.metrics();
+        let t = m.take_tracer().unwrap();
+        assert!(m.take_tracer().is_none());
+        obs::trace::validate(&t).unwrap();
+        // One span per vector step, port and alu tracks sharing the clock.
+        assert_eq!(t.len() as u64, metrics.memory_rounds() + metrics.register_ops);
+        assert_eq!(t.spanned_ticks(0), metrics.memory_rounds());
+        assert_eq!(t.spanned_ticks(1), metrics.register_ops);
+        assert_eq!(t.end_ts(), metrics.memory_rounds() + metrics.register_ops);
+        // Steps carry the op kind and the logical address.
+        let ev = &t.events()[0];
+        assert_eq!(ev.name, "load");
+        assert_eq!(ev.args.get("addr").unwrap().as_i64(), Some(0));
+        assert!(t.events().iter().any(|e| e.name == "broadcast"));
+        assert!(t.events().iter().any(|e| e.name == "binop"));
     }
 
     #[test]

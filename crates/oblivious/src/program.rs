@@ -177,6 +177,42 @@ pub fn bulk_profiled_dmm<W: Word, P: ObliviousProgram<W>>(
     sim
 }
 
+/// [`bulk_profiled_umm`] with event-timeline tracing also enabled: the
+/// returned simulator additionally carries an `obs::Tracer` with one span
+/// per dispatched warp (take it with `take_tracer()`).
+#[must_use]
+pub fn bulk_traced_umm<W: Word, P: ObliviousProgram<W>>(
+    program: &P,
+    cfg: MachineConfig,
+    layout: Layout,
+    p: usize,
+) -> umm_core::UmmSimulator {
+    let mut sim = umm_core::UmmSimulator::new(cfg, p);
+    sim.enable_profiling();
+    sim.enable_tracing();
+    stream_rounds(program, layout, p, |actions| {
+        sim.step(actions);
+    });
+    sim
+}
+
+/// [`bulk_traced_umm`]'s DMM counterpart.
+#[must_use]
+pub fn bulk_traced_dmm<W: Word, P: ObliviousProgram<W>>(
+    program: &P,
+    cfg: MachineConfig,
+    layout: Layout,
+    p: usize,
+) -> umm_core::DmmSimulator {
+    let mut sim = umm_core::DmmSimulator::new(cfg, p);
+    sim.enable_profiling();
+    sim.enable_tracing();
+    stream_rounds(program, layout, p, |actions| {
+        sim.step(actions);
+    });
+    sim
+}
+
 /// Feed each uniform bulk round of `program` under `layout` to `consume`,
 /// reusing one `p`-wide action buffer.
 fn stream_rounds<W: Word, P: ObliviousProgram<W>>(

@@ -1,0 +1,430 @@
+//! Structural diffing of run reports with per-metric tolerance rules.
+//!
+//! [`diff_reports`] walks two [`Json`] documents (typically two
+//! [`crate::RunReport`]s) in parallel and classifies every difference:
+//!
+//! * **Deterministic** metrics — model time units, round counts, port
+//!   traffic, histogram shapes — must match within the configured relative
+//!   tolerance, or the difference is a *regression*.
+//! * **Informational** metrics — wall-clock seconds, worker counts, and
+//!   scheduler-dependent block distributions — vary run to run and machine
+//!   to machine, so they are reported but never gated.  This is what lets
+//!   CI compare a fresh smoke run against a baseline recorded on a
+//!   different machine without flaking.
+//!
+//! Histogram sections (the `{"total", "mean", "max", "buckets"}` shape
+//! emitted by [`crate::Histogram::to_json`]) are compared by summary
+//! quantiles when a tolerance is set, so a one-sample shift in a bucket
+//! does not trip an otherwise tolerant gate.
+
+use crate::json::Json;
+
+/// How a metric path is treated by the diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Must match within tolerance; differences are regressions.
+    Deterministic,
+    /// Machine- or schedule-dependent; differences are reported only.
+    Informational,
+}
+
+/// Tolerance rules for [`diff_reports`].
+#[derive(Debug, Clone, Default)]
+pub struct DiffConfig {
+    /// Relative tolerance for deterministic numeric leaves
+    /// (`0.0` = exact match required; `0.05` = 5% drift allowed).
+    pub tolerance: f64,
+    /// Extra substring patterns marking paths as informational, on top of
+    /// the built-in timing/scheduling rules.
+    pub informational: Vec<String>,
+}
+
+/// One observed difference between the two documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Dotted path of the differing leaf (`model.umm.stats.rounds`).
+    pub path: String,
+    /// Human-readable description of the difference.
+    pub message: String,
+    /// True when the difference gates (deterministic, beyond tolerance).
+    pub regression: bool,
+}
+
+/// The result of diffing two documents.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// All observed differences, in document order.
+    pub entries: Vec<DiffEntry>,
+    /// Number of leaf values compared.
+    pub leaves_compared: usize,
+}
+
+impl DiffReport {
+    /// Number of gating differences.
+    #[must_use]
+    pub fn regression_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.regression).count()
+    }
+
+    /// True when no difference gates.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.regression_count() == 0
+    }
+
+    /// A stable multi-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "compared {} leaves: {} regression(s), {} informational difference(s)\n",
+            self.leaves_compared,
+            self.regression_count(),
+            self.entries.len() - self.regression_count()
+        );
+        for e in &self.entries {
+            let tag = if e.regression { "REGRESSION" } else { "      info" };
+            out.push_str(&format!("{tag} {}: {}\n", e.path, e.message));
+        }
+        out
+    }
+}
+
+/// The built-in classification of a metric path.
+///
+/// Timing leaves (`*_s`, `seconds`, `wall_seconds`), host shape
+/// (`worker_threads`), and scheduler-dependent block placement
+/// (`workers[i].blocks`, the `blocks_detail` subtree, `block_imbalance`)
+/// are informational; everything else is deterministic.
+#[must_use]
+pub fn classify(path: &str) -> MetricClass {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let leaf = leaf.split('[').next().unwrap_or(leaf);
+    let timing = leaf.ends_with("_s")
+        || leaf == "seconds"
+        || leaf == "wall_seconds"
+        || leaf == "ns_per_iter"
+        || leaf == "worker_threads"
+        || leaf == "block_imbalance"
+        || leaf == "dropped_events";
+    let scheduling =
+        path.contains("blocks_detail") || (path.contains(".workers[") && leaf == "blocks");
+    if timing || scheduling {
+        MetricClass::Informational
+    } else {
+        MetricClass::Deterministic
+    }
+}
+
+fn class_of(path: &str, cfg: &DiffConfig) -> MetricClass {
+    if cfg.informational.iter().any(|p| path.contains(p.as_str())) {
+        return MetricClass::Informational;
+    }
+    classify(path)
+}
+
+/// Structurally diff `a` (baseline) against `b` (candidate).
+#[must_use]
+pub fn diff_reports(a: &Json, b: &Json, cfg: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport::default();
+    walk("", a, b, cfg, &mut report);
+    report
+}
+
+fn entry(report: &mut DiffReport, path: &str, message: String, regression: bool) {
+    report.entries.push(DiffEntry { path: path.to_string(), message, regression });
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn is_histogram(j: &Json) -> bool {
+    match j {
+        Json::Obj(fields) => {
+            fields.len() == 4
+                && ["total", "mean", "max", "buckets"]
+                    .iter()
+                    .all(|k| fields.iter().any(|(n, _)| n == *k))
+        }
+        _ => false,
+    }
+}
+
+fn walk(path: &str, a: &Json, b: &Json, cfg: &DiffConfig, report: &mut DiffReport) {
+    match (a, b) {
+        (Json::Obj(af), Json::Obj(bf)) => {
+            if cfg.tolerance > 0.0 && is_histogram(a) && is_histogram(b) {
+                compare_histograms(path, a, b, cfg, report);
+                return;
+            }
+            for (k, av) in af {
+                match bf.iter().find(|(n, _)| n == k) {
+                    Some((_, bv)) => walk(&join(path, k), av, bv, cfg, report),
+                    None => {
+                        let p = join(path, k);
+                        let gate = class_of(&p, cfg) == MetricClass::Deterministic;
+                        entry(report, &p, "present in baseline, missing in candidate".into(), gate);
+                    }
+                }
+            }
+            for (k, _) in bf {
+                if !af.iter().any(|(n, _)| n == k) {
+                    let p = join(path, k);
+                    let gate = class_of(&p, cfg) == MetricClass::Deterministic;
+                    entry(report, &p, "missing in baseline, present in candidate".into(), gate);
+                }
+            }
+        }
+        (Json::Arr(aa), Json::Arr(ba)) => {
+            if aa.len() != ba.len() {
+                let gate = class_of(path, cfg) == MetricClass::Deterministic;
+                entry(report, path, format!("length {} -> {}", aa.len(), ba.len()), gate);
+            }
+            for (i, (av, bv)) in aa.iter().zip(ba.iter()).enumerate() {
+                walk(&format!("{path}[{i}]"), av, bv, cfg, report);
+            }
+        }
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => compare_numbers(path, x, y, cfg, report),
+            _ => compare_scalars(path, a, b, cfg, report),
+        },
+    }
+}
+
+fn compare_numbers(path: &str, x: f64, y: f64, cfg: &DiffConfig, report: &mut DiffReport) {
+    report.leaves_compared += 1;
+    #[allow(clippy::float_cmp)]
+    if x == y {
+        return;
+    }
+    let rel = (y - x).abs() / x.abs().max(y.abs()).max(f64::EPSILON);
+    let delta = format!("{x} -> {y} ({:+.2}%)", 100.0 * (y - x) / x.abs().max(f64::EPSILON));
+    match class_of(path, cfg) {
+        MetricClass::Informational => {
+            entry(report, path, format!("{delta} [timing/scheduling, not gated]"), false);
+        }
+        MetricClass::Deterministic if rel > cfg.tolerance => {
+            entry(
+                report,
+                path,
+                format!("{delta} exceeds tolerance {:.2}%", 100.0 * cfg.tolerance),
+                true,
+            );
+        }
+        MetricClass::Deterministic => {
+            entry(report, path, format!("{delta} within tolerance"), false);
+        }
+    }
+}
+
+fn compare_scalars(path: &str, a: &Json, b: &Json, cfg: &DiffConfig, report: &mut DiffReport) {
+    report.leaves_compared += 1;
+    if a == b {
+        return;
+    }
+    let gate = class_of(path, cfg) == MetricClass::Deterministic;
+    entry(report, path, format!("{} -> {}", a.to_compact(), b.to_compact()), gate);
+}
+
+fn hist_buckets(j: &Json) -> Option<Vec<(u64, u64)>> {
+    let arr = j.get("buckets")?.as_arr()?;
+    let mut out = Vec::with_capacity(arr.len());
+    for pair in arr {
+        let p = pair.as_arr()?;
+        if p.len() != 2 {
+            return None;
+        }
+        out.push((u64::try_from(p[0].as_i64()?).ok()?, u64::try_from(p[1].as_i64()?).ok()?));
+    }
+    Some(out)
+}
+
+/// The `q`-quantile of a `[(value, count)]` bucket list (None when empty).
+#[must_use]
+pub fn bucket_quantile(buckets: &[(u64, u64)], q: f64) -> Option<u64> {
+    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for &(v, c) in buckets {
+        seen += c;
+        if seen >= rank {
+            return Some(v);
+        }
+    }
+    buckets.last().map(|&(v, _)| v)
+}
+
+fn compare_histograms(path: &str, a: &Json, b: &Json, cfg: &DiffConfig, report: &mut DiffReport) {
+    let (Some(ab), Some(bb)) = (hist_buckets(a), hist_buckets(b)) else {
+        // Malformed histogram shape: fall back to exact scalar comparison
+        // of the summary fields.
+        for k in ["total", "mean", "max"] {
+            if let (Some(av), Some(bv)) = (a.get(k), b.get(k)) {
+                walk(&join(path, k), av, bv, cfg, report);
+            }
+        }
+        return;
+    };
+    if let (Some(at), Some(bt)) =
+        (a.path("total").and_then(Json::as_f64), b.path("total").and_then(Json::as_f64))
+    {
+        compare_numbers(&join(path, "total"), at, bt, cfg, report);
+    }
+    if let (Some(am), Some(bm)) =
+        (a.path("mean").and_then(Json::as_f64), b.path("mean").and_then(Json::as_f64))
+    {
+        compare_numbers(&join(path, "mean"), am, bm, cfg, report);
+    }
+    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p100", 1.0)] {
+        let (qa, qb) = (bucket_quantile(&ab, q), bucket_quantile(&bb, q));
+        match (qa, qb) {
+            (Some(x), Some(y)) => {
+                compare_numbers(&format!("{}.{label}", path), x as f64, y as f64, cfg, report);
+            }
+            (None, None) => {}
+            _ => entry(
+                report,
+                &format!("{}.{label}", path),
+                "histogram emptiness differs".into(),
+                true,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report3(units: u64, secs: f64, threads: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"tool":"t","schema_version":1,"wall_seconds":{secs},
+                "model":{{"time_units":{units},"rounds":4}},
+                "device":{{"worker_threads":{threads},"workers":[{{"id":0,"blocks":3,"busy_s":0.1}}]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn report(units: u64, secs: f64) -> Json {
+        report3(units, secs, 8)
+    }
+
+    #[test]
+    fn self_diff_is_empty() {
+        let a = report(100, 0.5);
+        let d = diff_reports(&a, &a, &DiffConfig::default());
+        assert!(d.is_clean());
+        assert!(d.entries.is_empty());
+        assert!(d.leaves_compared > 0);
+        assert!(d.summary().contains("0 regression(s)"));
+    }
+
+    #[test]
+    fn deterministic_drift_beyond_tolerance_gates() {
+        let a = report(100, 0.5);
+        let b = report(130, 0.5);
+        let d = diff_reports(&a, &b, &DiffConfig { tolerance: 0.05, ..Default::default() });
+        assert_eq!(d.regression_count(), 1);
+        assert!(d.summary().contains("model.time_units"));
+        // Within a generous tolerance the same drift is informational.
+        let d = diff_reports(&a, &b, &DiffConfig { tolerance: 0.5, ..Default::default() });
+        assert!(d.is_clean());
+        assert_eq!(d.entries.len(), 1);
+    }
+
+    #[test]
+    fn timing_and_scheduling_leaves_never_gate() {
+        let a = report(100, 0.5);
+        let b = report3(100, 9.9, 2);
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert!(d.is_clean(), "{}", d.summary());
+        assert!(d.entries.iter().all(|e| !e.regression));
+        assert!(!d.entries.is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_keys_gate() {
+        let a = Json::parse(r#"{"x":1,"y":2}"#).unwrap();
+        let b = Json::parse(r#"{"x":1,"z":3}"#).unwrap();
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert_eq!(d.regression_count(), 2);
+    }
+
+    #[test]
+    fn type_and_string_changes_gate() {
+        let a = Json::parse(r#"{"name":"fft","v":1}"#).unwrap();
+        let b = Json::parse(r#"{"name":"opt","v":"1"}"#).unwrap();
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert_eq!(d.regression_count(), 2);
+    }
+
+    #[test]
+    fn array_length_mismatch_gates() {
+        let a = Json::parse(r#"{"points":[1,2,3]}"#).unwrap();
+        let b = Json::parse(r#"{"points":[1,2]}"#).unwrap();
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert_eq!(d.regression_count(), 1);
+    }
+
+    #[test]
+    fn histograms_compare_by_quantiles_under_tolerance() {
+        let mk = |shift: u64| {
+            Json::parse(&format!(
+                r#"{{"h":{{"total":100,"mean":2.0,"max":{},"buckets":[[1,50],[2,40],[{},10]]}}}}"#,
+                4 + shift,
+                4 + shift
+            ))
+            .unwrap()
+        };
+        let cfg = DiffConfig { tolerance: 0.30, ..Default::default() };
+        // p50/p90 identical, p99/p100 shift 4 -> 5 = +25% < 30%: clean.
+        let d = diff_reports(&mk(0), &mk(1), &cfg);
+        assert!(d.is_clean(), "{}", d.summary());
+        // A 4 -> 8 tail shift (+100%) gates.
+        let d = diff_reports(&mk(0), &mk(4), &cfg);
+        assert!(!d.is_clean());
+        // With tolerance 0 the same histograms are compared structurally.
+        let d = diff_reports(&mk(0), &mk(1), &DiffConfig::default());
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn bucket_quantiles() {
+        let b = vec![(1u64, 50u64), (2, 40), (9, 10)];
+        assert_eq!(bucket_quantile(&b, 0.0), Some(1));
+        assert_eq!(bucket_quantile(&b, 0.5), Some(1));
+        assert_eq!(bucket_quantile(&b, 0.9), Some(2));
+        assert_eq!(bucket_quantile(&b, 0.95), Some(9));
+        assert_eq!(bucket_quantile(&b, 1.0), Some(9));
+        assert_eq!(bucket_quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn custom_informational_patterns() {
+        let a = Json::parse(r#"{"noisy":{"v":1}}"#).unwrap();
+        let b = Json::parse(r#"{"noisy":{"v":2}}"#).unwrap();
+        let cfg = DiffConfig { informational: vec!["noisy".into()], ..Default::default() };
+        assert!(diff_reports(&a, &b, &cfg).is_clean());
+        assert!(!diff_reports(&a, &b, &DiffConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn classification_rules() {
+        assert_eq!(classify("wall_seconds"), MetricClass::Informational);
+        assert_eq!(classify("device.workers[3].busy_s"), MetricClass::Informational);
+        assert_eq!(classify("device.workers[3].blocks"), MetricClass::Informational);
+        assert_eq!(classify("device.blocks_detail[0].worker"), MetricClass::Informational);
+        assert_eq!(classify("device.worker_threads"), MetricClass::Informational);
+        assert_eq!(classify("figures[0].cpu.points[2].seconds"), MetricClass::Informational);
+        assert_eq!(classify("model.umm.stats.time_units"), MetricClass::Deterministic);
+        assert_eq!(classify("device.blocks"), MetricClass::Deterministic);
+        assert_eq!(classify("engine.loads"), MetricClass::Deterministic);
+    }
+}

@@ -344,6 +344,9 @@ impl Parser<'_> {
                 loop {
                     self.skip_ws();
                     let key = self.string()?;
+                    if fields.iter().any(|(k, _)| *k == key) {
+                        return Err(format!("duplicate key \"{key}\" at byte {}", self.pos));
+                    }
                     self.skip_ws();
                     self.expect(b':')?;
                     fields.push((key, self.value()?));
@@ -535,5 +538,64 @@ mod tests {
         let j = Json::from(u64::MAX);
         assert!(matches!(j, Json::Float(_)));
         assert_eq!(Json::from(42u64), Json::Int(42));
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let mut j = Json::obj();
+        j.set("s", "quote \" backslash \\ slash / tab \t nl \n cr \r nul \u{0} bell \u{7}");
+        let compact = j.to_compact();
+        assert_eq!(Json::parse(&compact).unwrap(), j);
+        let pretty = j.to_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), j);
+    }
+
+    #[test]
+    fn unicode_round_trips_including_escapes_and_surrogate_pairs() {
+        let mut j = Json::obj();
+        j.set("plain", "héllo wörld — ∑ ∞ 日本語");
+        j.set("astral", "🚀 𝕌𝕄𝕄 🎯");
+        assert_eq!(Json::parse(&j.to_compact()).unwrap(), j);
+        // Escaped forms parse to the same values: BMP escape and a
+        // surrogate pair for an astral-plane scalar.
+        let j2 = Json::parse(r#"{"bmp":"é","pair":"🚀"}"#).unwrap();
+        assert_eq!(j2.get("bmp").unwrap().as_str(), Some("é"));
+        assert_eq!(j2.get("pair").unwrap().as_str(), Some("🚀"));
+        assert_eq!(Json::parse(&j2.to_compact()).unwrap(), j2);
+    }
+
+    #[test]
+    fn deeply_nested_structures_round_trip() {
+        let mut j = Json::Int(7);
+        for depth in 0..64 {
+            if depth % 2 == 0 {
+                j = Json::Arr(vec![j]);
+            } else {
+                let mut o = Json::obj();
+                o.set("d", j);
+                j = o;
+            }
+        }
+        assert_eq!(Json::parse(&j.to_compact()).unwrap(), j);
+        assert_eq!(Json::parse(&j.to_pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(Json::parse(r#"{"a":1} extra"#).unwrap_err().contains("trailing"));
+        assert!(Json::parse("[1,2] [3]").unwrap_err().contains("trailing"));
+        assert!(Json::parse("1,").unwrap_err().contains("trailing"));
+        // Trailing whitespace is fine.
+        assert!(Json::parse("{\"a\":1}  \n").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys() {
+        let err = Json::parse(r#"{"a":1,"a":2}"#).unwrap_err();
+        assert!(err.contains("duplicate key \"a\""), "{err}");
+        // Also in nested objects.
+        assert!(Json::parse(r#"{"o":{"x":1,"x":1}}"#).unwrap_err().contains("duplicate"));
+        // Same key in *different* objects is fine.
+        assert!(Json::parse(r#"{"o":{"x":1},"p":{"x":2}}"#).is_ok());
     }
 }

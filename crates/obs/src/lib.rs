@@ -13,7 +13,11 @@
 //!   tests can round-trip emitted reports without external crates;
 //! * [`Rng`] — a tiny deterministic SplitMix64 generator used by the CLI,
 //!   benches and randomized tests (the workspace builds offline, with no
-//!   registry access, so `rand` is not available).
+//!   registry access, so `rand` is not available);
+//! * [`Tracer`] — a bounded event-timeline recorder with Chrome Trace
+//!   Event Format (Perfetto) export and an ASCII occupancy renderer;
+//! * [`diff`] — structural [`RunReport`] diffing with per-metric tolerance
+//!   rules, the engine behind `bulkrun compare` and the CI perf gate.
 //!
 //! ## Zero cost when disabled
 //!
@@ -25,15 +29,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod rng;
+pub mod trace;
 
 pub use json::Json;
 pub use metrics::{Counters, Histogram, Spans};
 pub use report::RunReport;
 pub use rng::Rng;
+pub use trace::Tracer;
 
 /// True when the `profile` cargo feature is enabled.
 ///

@@ -118,6 +118,30 @@ impl Histogram {
         }
     }
 
+    /// Sum of all recorded sample values.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest value `v` such that at least `q * total` samples are `<= v`
+    /// (`q` clamped to `[0, 1]`; `None` when empty).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&v, &c) in &self.counts {
+            seen += c;
+            if seen >= rank {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
     /// `(value, count)` pairs in increasing value order.
     #[must_use]
     pub fn buckets(&self) -> Vec<(u64, u64)> {
@@ -224,6 +248,12 @@ mod tests {
         assert_eq!(h.max(), Some(4));
         assert!((h.mean() - 13.0 / 4.0).abs() < 1e-12);
         assert_eq!(h.buckets(), vec![(1, 1), (4, 3)]);
+        assert_eq!(h.sum(), 13);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(1.0), Some(4));
+        assert_eq!(Histogram::new().quantile(0.5), None);
         let j = h.to_json();
         assert_eq!(j.path("total").unwrap().as_i64(), Some(4));
         assert_eq!(j.path("buckets").unwrap().as_arr().unwrap().len(), 2);

@@ -13,10 +13,11 @@
 
 use crate::access::ThreadAction;
 use crate::config::MachineConfig;
-use crate::profile::SimProfile;
+use crate::profile::{SimProfile, SimTimeline};
 use crate::schedule::{WarpSchedule, WarpScratch};
 use crate::stats::AccessStats;
 use crate::trace::RoundTrace;
+use obs::trace::Tracer;
 
 /// Streaming round-synchronous DMM timing simulator.
 ///
@@ -30,6 +31,7 @@ pub struct DmmSimulator {
     elapsed: u64,
     stats: AccessStats,
     profile: Option<SimProfile>,
+    timeline: Option<Box<SimTimeline>>,
 }
 
 impl DmmSimulator {
@@ -43,6 +45,7 @@ impl DmmSimulator {
             elapsed: 0,
             stats: AccessStats::default(),
             profile: None,
+            timeline: None,
         }
     }
 
@@ -67,17 +70,43 @@ impl DmmSimulator {
         self.profile.as_ref()
     }
 
+    /// Turn on event-timeline tracing: one span per dispatched warp (track
+    /// = warp id, args = the bank-conflict charge `c`) plus fill/drain and
+    /// idle markers on a "pipeline" track.  No-op at compile time when
+    /// `obs` is built without its `profile` feature.
+    pub fn enable_tracing(&mut self) {
+        if obs::PROFILING_COMPILED {
+            self.timeline = Some(Box::new(SimTimeline::new("dmm", self.schedule.warp_count())));
+        }
+    }
+
+    /// The recorded timeline events, if tracing was enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.timeline.as_ref().map(|tl| tl.tracer())
+    }
+
+    /// Take the recorded timeline out of the simulator (tracing stops).
+    #[must_use]
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.timeline.take().map(|tl| tl.into_tracer())
+    }
+
     /// Charge one lockstep round and return its cost:
     /// `(Σ_{active warps} c_i) + l - 1`, where `c_i` is warp `i`'s maximum
     /// bank conflict; a round with no active warp costs nothing.
     pub fn step(&mut self, actions: &[ThreadAction]) -> u64 {
         debug_assert_eq!(actions.len(), self.schedule.p, "round width must equal p");
+        let round_start = self.elapsed;
         let mut stages = 0u64;
         let mut active = false;
-        for warp in self.schedule.warps(actions) {
+        for (wi, warp) in self.schedule.warps(actions).enumerate() {
             let c = self.scratch.max_bank_conflicts(&self.cfg, &warp) as u64;
             if c > 0 {
                 active = true;
+                if let Some(tl) = self.timeline.as_mut() {
+                    tl.warp(wi, round_start + stages, c);
+                }
                 stages += c;
                 if let Some(pr) = self.profile.as_mut() {
                     pr.record_warp(c);
@@ -89,6 +118,13 @@ impl DmmSimulator {
         self.stats.record_round(actions, stages, cost);
         if let Some(pr) = self.profile.as_mut() {
             pr.record_round(active, self.cfg.latency);
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            if active {
+                tl.drain(round_start + stages, self.cfg.latency as u64 - 1);
+            } else {
+                tl.idle(round_start);
+            }
         }
         cost
     }
@@ -105,12 +141,15 @@ impl DmmSimulator {
         &self.stats
     }
 
-    /// Reset the clock, statistics, and any recorded profile.
+    /// Reset the clock, statistics, and any recorded profile or timeline.
     pub fn reset(&mut self) {
         self.elapsed = 0;
         self.stats = AccessStats::default();
         if let Some(pr) = self.profile.as_mut() {
             *pr = SimProfile::new();
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            **tl = SimTimeline::new("dmm", self.schedule.warp_count());
         }
     }
 

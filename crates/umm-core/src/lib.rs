@@ -53,8 +53,8 @@ pub use analysis::{address_group_histogram, stride_histogram, summarize, TraceSu
 pub use config::MachineConfig;
 pub use dmm::DmmSimulator;
 pub use hmm::{HmmAction, HmmConfig, HmmSimulator};
-pub use profile::SimProfile;
+pub use profile::{SimProfile, SimTimeline};
 pub use schedule::{WarpSchedule, WarpScratch};
 pub use stats::AccessStats;
 pub use trace::{Round, RoundTrace, ThreadTrace};
-pub use umm::{simulate_async, simulate_async_profiled, UmmSimulator};
+pub use umm::{simulate_async, simulate_async_profiled, simulate_async_traced, UmmSimulator};

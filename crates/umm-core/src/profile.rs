@@ -16,6 +16,7 @@
 //! when disabled; when the `obs` crate is built without its `profile`
 //! feature, `enable_profiling` is a compile-time no-op.
 
+use obs::trace::Tracer;
 use obs::{Histogram, Json};
 
 /// Profiling data recorded by a simulator run.
@@ -79,6 +80,81 @@ impl SimProfile {
     }
 }
 
+/// Per-warp pipeline-occupancy timeline shared by the simulators.
+///
+/// Tracks 0..`warp_count` hold one complete span per dispatched warp (the
+/// `k` injection slots it occupied); one extra "pipeline" track holds the
+/// `l - 1` fill/drain span of each active round, async starvation gaps,
+/// and idle-round markers.  By construction the spans on each track are
+/// non-overlapping and their total duration reconciles exactly with
+/// [`SimProfile`] and `AccessStats` accounting — the workspace's
+/// `trace_invariants` tests assert this.
+#[derive(Debug)]
+pub struct SimTimeline {
+    tracer: Tracer,
+    model: &'static str,
+    stall_tid: u64,
+}
+
+impl SimTimeline {
+    /// A timeline for `warp_count` warps of the `model` machine
+    /// (`"umm"`, `"dmm"`, `"umm-async"` — used as the span category).
+    #[must_use]
+    pub fn new(model: &'static str, warp_count: usize) -> Self {
+        let mut tracer = Tracer::new();
+        for i in 0..warp_count {
+            tracer.name_track(i as u64, format!("warp {i}"));
+        }
+        let stall_tid = warp_count as u64;
+        tracer.name_track(stall_tid, "pipeline");
+        Self { tracer, model, stall_tid }
+    }
+
+    /// Record warp `warp` occupying `k` injection slots from `ts`.
+    #[inline]
+    pub fn warp(&mut self, warp: usize, ts: u64, k: u64) {
+        let mut args = Json::obj();
+        args.set("k", k);
+        self.tracer.span(warp as u64, "warp", self.model, ts, k, args);
+    }
+
+    /// Record a round's `l - 1` fill/drain span starting at `ts`.
+    #[inline]
+    pub fn drain(&mut self, ts: u64, units: u64) {
+        self.tracer.span(self.stall_tid, "fill/drain", "stall", ts, units, Json::Null);
+    }
+
+    /// Record an async starvation gap (no warp ready) starting at `ts`.
+    #[inline]
+    pub fn starved(&mut self, ts: u64, units: u64) {
+        self.tracer.span(self.stall_tid, "starved", "stall", ts, units, Json::Null);
+    }
+
+    /// Mark a free idle round (no thread accessed memory) at `ts`.
+    #[inline]
+    pub fn idle(&mut self, ts: u64) {
+        self.tracer.instant(self.stall_tid, "idle_round", "stall", ts);
+    }
+
+    /// The stall track's id (`warp_count`).
+    #[must_use]
+    pub fn stall_track(&self) -> u64 {
+        self.stall_tid
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Consume the timeline, yielding the recorded events.
+    #[must_use]
+    pub fn into_tracer(self) -> Tracer {
+        self.tracer
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +173,22 @@ mod tests {
         let j = p.to_json();
         assert_eq!(j.path("warp_dispatches").unwrap().as_i64(), Some(2));
         assert_eq!(j.path("address_group_histogram.total").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn timeline_names_tracks_and_separates_categories() {
+        let mut tl = SimTimeline::new("umm", 2);
+        tl.warp(0, 0, 3);
+        tl.warp(1, 3, 1);
+        tl.drain(4, 4);
+        tl.idle(8);
+        assert_eq!(tl.stall_track(), 2);
+        let t = tl.into_tracer();
+        assert_eq!(t.track_name(0), Some("warp 0"));
+        assert_eq!(t.track_name(2), Some("pipeline"));
+        assert_eq!(t.spanned_ticks(0), 3);
+        assert_eq!(t.spanned_ticks_by_cat("umm"), 4);
+        assert_eq!(t.spanned_ticks_by_cat("stall"), 4);
+        obs::trace::validate(&t).unwrap();
     }
 }

@@ -22,10 +22,11 @@
 
 use crate::access::ThreadAction;
 use crate::config::MachineConfig;
-use crate::profile::SimProfile;
+use crate::profile::{SimProfile, SimTimeline};
 use crate::schedule::{WarpSchedule, WarpScratch};
 use crate::stats::AccessStats;
 use crate::trace::RoundTrace;
+use obs::trace::Tracer;
 
 /// Streaming round-synchronous UMM timing simulator.
 ///
@@ -39,6 +40,7 @@ pub struct UmmSimulator {
     elapsed: u64,
     stats: AccessStats,
     profile: Option<SimProfile>,
+    timeline: Option<Box<SimTimeline>>,
 }
 
 impl UmmSimulator {
@@ -52,6 +54,7 @@ impl UmmSimulator {
             elapsed: 0,
             stats: AccessStats::default(),
             profile: None,
+            timeline: None,
         }
     }
 
@@ -82,6 +85,28 @@ impl UmmSimulator {
         self.profile.as_ref()
     }
 
+    /// Turn on event-timeline tracing: one span per dispatched warp (track
+    /// = warp id, args = the charge `k`) plus fill/drain and idle markers
+    /// on a "pipeline" track.  No-op at compile time when `obs` is built
+    /// without its `profile` feature.
+    pub fn enable_tracing(&mut self) {
+        if obs::PROFILING_COMPILED {
+            self.timeline = Some(Box::new(SimTimeline::new("umm", self.schedule.warp_count())));
+        }
+    }
+
+    /// The recorded timeline events, if tracing was enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.timeline.as_ref().map(|tl| tl.tracer())
+    }
+
+    /// Take the recorded timeline out of the simulator (tracing stops).
+    #[must_use]
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.timeline.take().map(|tl| tl.into_tracer())
+    }
+
     /// Charge one lockstep round (`actions.len() == p`) and return its cost.
     ///
     /// The cost is `(Σ_{active warps} k_i) + l - 1` where `k_i` is the number
@@ -93,12 +118,16 @@ impl UmmSimulator {
     /// Panics (in debug builds) if `actions.len() != p`.
     pub fn step(&mut self, actions: &[ThreadAction]) -> u64 {
         debug_assert_eq!(actions.len(), self.schedule.p, "round width must equal p");
+        let round_start = self.elapsed;
         let mut stages = 0u64;
         let mut active = false;
-        for warp in self.schedule.warps(actions) {
+        for (wi, warp) in self.schedule.warps(actions).enumerate() {
             let k = self.scratch.distinct_address_groups(&self.cfg, &warp) as u64;
             if k > 0 {
                 active = true;
+                if let Some(tl) = self.timeline.as_mut() {
+                    tl.warp(wi, round_start + stages, k);
+                }
                 stages += k;
                 if let Some(pr) = self.profile.as_mut() {
                     pr.record_warp(k);
@@ -110,6 +139,13 @@ impl UmmSimulator {
         self.stats.record_round(actions, stages, cost);
         if let Some(pr) = self.profile.as_mut() {
             pr.record_round(active, self.cfg.latency);
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            if active {
+                tl.drain(round_start + stages, self.cfg.latency as u64 - 1);
+            } else {
+                tl.idle(round_start);
+            }
         }
         cost
     }
@@ -126,13 +162,16 @@ impl UmmSimulator {
         &self.stats
     }
 
-    /// Reset the clock, statistics, and any recorded profile, keeping
-    /// configuration (and whether profiling is enabled).
+    /// Reset the clock, statistics, and any recorded profile or timeline,
+    /// keeping configuration (and whether profiling/tracing is enabled).
     pub fn reset(&mut self) {
         self.elapsed = 0;
         self.stats = AccessStats::default();
         if let Some(pr) = self.profile.as_mut() {
             *pr = SimProfile::new();
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            **tl = SimTimeline::new("umm", self.schedule.warp_count());
         }
     }
 
@@ -158,8 +197,8 @@ pub fn round_cost(cfg: &MachineConfig, actions: &[ThreadAction]) -> u64 {
 /// to nothing — the profiled and unprofiled simulations compile to separate
 /// code, so disabled instrumentation costs zero.
 trait AsyncSink {
-    fn dispatch(&mut self, _k: u64) {}
-    fn wait(&mut self, _gap: u64) {}
+    fn dispatch(&mut self, _warp: usize, _k: u64, _inject: u64) {}
+    fn wait(&mut self, _at: u64, _gap: u64) {}
 }
 
 /// The zero-cost sink.
@@ -167,11 +206,28 @@ struct NoSink;
 impl AsyncSink for NoSink {}
 
 impl AsyncSink for SimProfile {
-    fn dispatch(&mut self, k: u64) {
+    fn dispatch(&mut self, _warp: usize, k: u64, _inject: u64) {
         self.record_warp(k);
     }
-    fn wait(&mut self, gap: u64) {
+    fn wait(&mut self, _at: u64, gap: u64) {
         self.record_wait(gap);
+    }
+}
+
+/// Profile + timeline recording for [`simulate_async_traced`].
+struct TracedSink {
+    profile: SimProfile,
+    timeline: SimTimeline,
+}
+
+impl AsyncSink for TracedSink {
+    fn dispatch(&mut self, warp: usize, k: u64, inject: u64) {
+        self.profile.record_warp(k);
+        self.timeline.warp(warp, inject, k);
+    }
+    fn wait(&mut self, at: u64, gap: u64) {
+        self.profile.record_wait(gap);
+        self.timeline.starved(at, gap);
     }
 }
 
@@ -196,6 +252,22 @@ pub fn simulate_async_profiled(cfg: &MachineConfig, trace: &RoundTrace) -> (u64,
     let mut profile = SimProfile::new();
     let t = simulate_async_sink(cfg, trace, &mut profile);
     (t, profile)
+}
+
+/// [`simulate_async_profiled`] plus an event timeline: one span per warp
+/// dispatch at its actual injection slot (track = warp id, args = `k`) and
+/// starvation gaps on the "pipeline" track.  Unlike the round-synchronous
+/// tracer, spans of different warps interleave freely on the time axis —
+/// that overlap *is* the speedup the async executor models.
+#[must_use]
+pub fn simulate_async_traced(cfg: &MachineConfig, trace: &RoundTrace) -> (u64, SimProfile, Tracer) {
+    let warp_count = WarpSchedule::new(trace.p().max(1), cfg).warp_count();
+    let mut sink = TracedSink {
+        profile: SimProfile::new(),
+        timeline: SimTimeline::new("umm-async", warp_count),
+    };
+    let t = simulate_async_sink(cfg, trace, &mut sink);
+    (t, sink.profile, sink.timeline.into_tracer())
 }
 
 fn simulate_async_sink<S: AsyncSink>(cfg: &MachineConfig, trace: &RoundTrace, sink: &mut S) -> u64 {
@@ -245,12 +317,12 @@ fn simulate_async_sink<S: AsyncSink>(cfg: &MachineConfig, trace: &RoundTrace, si
                 .map(|i| busy[i])
                 .min()
                 .expect("pending > 0 implies a pending warp exists");
-            sink.wait(earliest - inject);
+            sink.wait(inject, earliest - inject);
             inject = earliest;
             continue;
         };
         let k = queues[i][next[i]];
-        sink.dispatch(k);
+        sink.dispatch(i, k, inject);
         next[i] += 1;
         if next[i] == queues[i].len() {
             pending -= 1;
@@ -393,6 +465,68 @@ mod tests {
         }
         let t = simulate_async(&cfg, &trace);
         assert_eq!(t, (rounds * 8 + 5 - 1) as u64);
+    }
+
+    #[test]
+    fn sync_tracer_reconciles_with_profile_and_elapsed() {
+        let cfg = MachineConfig::paper_figure4();
+        let mut sim = UmmSimulator::new(cfg, 8);
+        sim.enable_profiling();
+        sim.enable_tracing();
+        // Figure 4 round (k = 3 + 1), an idle round, and a coalesced round.
+        let fig4 = vec![
+            ThreadAction::read(0),
+            ThreadAction::read(5),
+            ThreadAction::read(9),
+            ThreadAction::read(1),
+            ThreadAction::read(12),
+            ThreadAction::read(13),
+            ThreadAction::read(14),
+            ThreadAction::read(15),
+        ];
+        sim.step(&fig4);
+        sim.step(&[ThreadAction::Idle; 8]);
+        sim.step(&(0..8).map(ThreadAction::read).collect::<Vec<_>>());
+        let profile = sim.profile().unwrap().clone();
+        let elapsed = sim.elapsed();
+        let stages = sim.stats().pipeline_stages;
+        let t = sim.take_tracer().unwrap();
+        assert!(sim.tracer().is_none());
+        obs::trace::validate(&t).unwrap();
+        // Warp spans carry the model category; their total is Σk.
+        assert_eq!(t.spanned_ticks_by_cat("umm"), stages);
+        assert_eq!(t.spanned_ticks_by_cat("umm"), profile.group_histogram.sum() as u64);
+        // Stall spans total the latency fill/drain accounting, and busy +
+        // stall covers the whole clock (idle rounds cost nothing).
+        assert_eq!(t.spanned_ticks_by_cat("stall"), profile.latency_stall_units);
+        assert_eq!(t.spanned_ticks_by_cat("umm") + t.spanned_ticks_by_cat("stall"), elapsed);
+        // The second warp's Figure 4 span sits after the first's 3 slots.
+        let w1: Vec<_> = t.events().iter().filter(|e| e.tid == 1).collect();
+        assert_eq!((w1[0].ts, w1[0].dur), (3, 1));
+        // Idle round shows up as an instant on the pipeline track.
+        assert!(t.events().iter().any(|e| e.name == "idle_round"));
+    }
+
+    #[test]
+    fn async_tracer_places_spans_at_injection_slots() {
+        let cfg = MachineConfig::new(4, 5);
+        let p = 4; // one warp: rounds serialise on latency
+        let mut trace = RoundTrace::new();
+        for i in 0..3usize {
+            let base = i * p;
+            trace.push(Round { actions: (0..p).map(|j| ThreadAction::read(base + j)).collect() });
+        }
+        let (t_total, profile, tracer) = simulate_async_traced(&cfg, &trace);
+        assert_eq!(t_total, 3 * 5);
+        obs::trace::validate(&tracer).unwrap();
+        // Three dispatches of k = 1, injected at 0, 5, 10.
+        let spans: Vec<_> = tracer.events().iter().filter(|e| e.cat == "umm-async").collect();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![0, 5, 10]);
+        assert_eq!(tracer.spanned_ticks_by_cat("umm-async"), profile.group_histogram.sum() as u64);
+        // The 4-unit gaps between injections are starvation stalls.
+        assert_eq!(tracer.spanned_ticks_by_cat("stall"), profile.wait_stall_units);
+        assert_eq!(profile.wait_stall_units, 2 * 4);
     }
 
     #[test]

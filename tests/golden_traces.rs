@@ -17,7 +17,7 @@
 //! then inspect the diff of `tests/goldens/` before committing.
 
 use algorithms::{OptTriangulation, PrefixSums};
-use oblivious::program::bulk_round_trace;
+use oblivious::program::{bulk_round_trace, bulk_traced_dmm, bulk_traced_umm};
 use oblivious::{Layout, ObliviousProgram, Word};
 use obs::Json;
 use umm_core::{simulate_async, DmmSimulator, MachineConfig, UmmSimulator};
@@ -90,6 +90,7 @@ fn goldens_are_valid_json() {
         "prefix_sums_n8_column_wise.json",
         "opt_n4_row_wise.json",
         "opt_n4_column_wise.json",
+        "chrome_trace_prefix_sums_n8.json",
     ] {
         let path = golden_path(name);
         if std::env::var_os("BLESS_GOLDENS").is_some() && !path.exists() {
@@ -117,6 +118,28 @@ fn prefix_sums_n8_column_wise() {
         "prefix_sums_n8_column_wise.json",
         &case_json::<f32, _>(&PrefixSums::new(8), Layout::ColumnWise, 4),
     );
+}
+
+/// The Chrome-trace export of the traced UMM/DMM model simulations is
+/// itself a pure function of (program, layout, p, machine): model ticks are
+/// deterministic and export as integer microseconds.  Golden the whole
+/// document so any drift in event placement, ordering, metadata, or JSON
+/// shape is a reviewable diff.
+#[test]
+fn chrome_trace_prefix_sums_n8() {
+    if !obs::PROFILING_COMPILED {
+        return; // tracing compiled out; nothing to compare
+    }
+    let cfg = golden_config();
+    let pr = PrefixSums::new(8);
+    let umm = bulk_traced_umm::<f32, _>(&pr, cfg, Layout::ColumnWise, 8)
+        .take_tracer()
+        .expect("tracing enabled");
+    let dmm = bulk_traced_dmm::<f32, _>(&pr, cfg, Layout::ColumnWise, 8)
+        .take_tracer()
+        .expect("tracing enabled");
+    let chrome = obs::trace::chrome_trace(&[("model.umm", &umm), ("model.dmm", &dmm)]);
+    check_golden("chrome_trace_prefix_sums_n8.json", &chrome);
 }
 
 #[test]
