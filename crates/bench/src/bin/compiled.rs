@@ -1,0 +1,79 @@
+//! Interpreter vs compiled-schedule replay of the generic bulk engine.
+//!
+//! Times `bulk_execute_in_place` (re-decoding the program every run)
+//! against `run_compiled_in_place` (replaying a pre-compiled step table,
+//! with load/binop/store fusion) and sharded replay, on bulk prefix-sums.
+//! Writes a BENCH JSON (`bench_results/compiled_report.json` by default;
+//! `--profile PATH` overrides) capturing the measured ns/iter and the
+//! interpreter-over-compiled speedup per configuration.
+
+use bench::harness::bench_ns;
+use bench::{random_words, smoke_scale, write_report};
+use oblivious::exec::shard::run_sharded;
+use oblivious::layout::arrange;
+use oblivious::program::{bulk_execute, bulk_execute_in_place, run_compiled_in_place};
+use oblivious::{CompiledSchedule, Layout};
+use obs::{Json, RunReport};
+
+fn main() {
+    // The acceptance case (n = 32K) plus a wide-batch case; smoke mode
+    // shrinks both so CI exercises the paths in milliseconds.
+    let configs: &[(usize, usize)] =
+        if smoke_scale() { &[(256, 16), (64, 64)] } else { &[(32 << 10, 64), (1024, 1 << 10)] };
+    let shard_counts = [2usize, 4];
+
+    let mut report = RunReport::new("compiled");
+    let mut cases: Vec<Json> = Vec::new();
+    for &(n, p) in configs {
+        let program = algorithms::PrefixSums::new(n);
+        let schedule = CompiledSchedule::<f32>::compile(&program);
+        let flat = random_words(p * n, 0xC0DE);
+        let per: Vec<&[f32]> = flat.chunks_exact(n).collect();
+
+        // Outputs must agree before the timings mean anything.
+        let expect = bulk_execute(&program, &per, Layout::ColumnWise);
+        for shards in [1, 2, 7] {
+            let got = run_sharded(&schedule, &per, Layout::ColumnWise, shards);
+            assert_eq!(got, expect, "n={n} p={p} shards={shards}");
+        }
+
+        let label = format!("prefix_sums_n{n}_p{p}");
+        let mut buf = arrange(&per, n, Layout::ColumnWise);
+        let interp_ns = bench_ns(|| {
+            bulk_execute_in_place(&program, &mut buf, p, Layout::ColumnWise);
+        });
+        let mut buf = arrange(&per, n, Layout::ColumnWise);
+        let compiled_ns = bench_ns(|| {
+            run_compiled_in_place(&schedule, &mut buf, p, Layout::ColumnWise);
+        });
+        let speedup = interp_ns / compiled_ns;
+        println!("{label:<28} interpreter {interp_ns:>12.1} ns/iter");
+        println!("{label:<28} compiled    {compiled_ns:>12.1} ns/iter  ({speedup:.2}x)");
+
+        let mut case = Json::obj();
+        case.set("n", n);
+        case.set("p", p);
+        case.set("algo", "prefix-sums");
+        case.set("layout", "column-wise");
+        case.set("interpreter_ns_per_iter", interp_ns);
+        case.set("compiled_ns_per_iter", compiled_ns);
+        case.set("compiled_speedup", speedup);
+
+        // Sharded replay re-arranges per shard, so time the whole call
+        // (inputs → outputs) — comparable across shard counts, not to the
+        // in-place single-shard number above.
+        let mut sharded = Json::obj();
+        for &s in &shard_counts {
+            let ns = bench_ns(|| {
+                let out = run_sharded(&schedule, &per, Layout::ColumnWise, s);
+                std::hint::black_box(out);
+            });
+            println!("{label:<28} sharded x{s}  {ns:>12.1} ns/iter");
+            sharded.set(&format!("shards_{s}_ns_per_iter"), ns);
+        }
+        case.set("sharded", sharded);
+        cases.push(case);
+    }
+    report.set("cases", Json::Arr(cases));
+    write_report(&bench::report_path("compiled_report.json"), &report);
+}

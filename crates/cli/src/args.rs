@@ -45,6 +45,12 @@ pub enum Command {
         /// Write a Chrome Trace Event Format JSON timeline (engine, UMM,
         /// DMM and device processes) to this path.
         trace: Option<String>,
+        /// Execute through a compiled schedule (one dry run, replayed)
+        /// instead of re-interpreting the program.
+        compiled: bool,
+        /// Number of instance shards replayed on separate threads
+        /// (`--compiled` only).
+        shards: usize,
     },
     /// `bulkrun timeline <algo> [--size N] [--p P] [--layout row|col]
     /// [--width W] [--latency L] [--cols C]`
@@ -102,6 +108,10 @@ USAGE:
                                                  device worker/block timings)
                        [--trace PATH]            write a Chrome-trace timeline
                                                  (open in Perfetto / about:tracing)
+                       [--compiled]              replay a compiled schedule
+                                                 instead of re-interpreting
+                       [--shards N]              split instances over N threads
+                                                 (requires --compiled)
   bulkrun timeline <algo> [--size N] [--p P]     plain-terminal warp timeline
                        [--layout row|col]        of the UMM model simulation
                        [--width W] [--latency L]
@@ -236,9 +246,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             match cmd.as_str() {
                 "trace" => reject_unknown(rest, &["--size", "--head"])?,
                 "model" => reject_unknown(rest, &["--size", "--p", "--width", "--latency"])?,
-                "run" => {
-                    reject_unknown(rest, &["--size", "--p", "--layout", "--profile", "--trace"])?
-                }
+                "run" => reject_unknown(
+                    rest,
+                    &[
+                        "--size",
+                        "--p",
+                        "--layout",
+                        "--profile",
+                        "--trace",
+                        "--compiled",
+                        "--shards",
+                    ],
+                )?,
                 "hmm" => reject_unknown(rest, &["--size", "--p", "--dmms"])?,
                 _ => unreachable!(),
             }
@@ -258,14 +277,27 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         parse_flag(rest, "--latency")?.unwrap_or(100),
                     ),
                 }),
-                "run" => Ok(Command::Run {
-                    algo,
-                    size,
-                    p: parse_flag(rest, "--p")?.unwrap_or(4096),
-                    layout: parse_layout(rest)?,
-                    profile: parse_string_flag(rest, "--profile")?,
-                    trace: parse_string_flag(rest, "--trace")?,
-                }),
+                "run" => {
+                    let compiled = rest.iter().any(|a| a == "--compiled");
+                    let shards = parse_flag(rest, "--shards")?;
+                    if shards.is_some() && !compiled {
+                        return Err("--shards requires --compiled".into());
+                    }
+                    let shards = shards.unwrap_or(1);
+                    if shards == 0 {
+                        return Err("--shards must be positive".into());
+                    }
+                    Ok(Command::Run {
+                        algo,
+                        size,
+                        p: parse_flag(rest, "--p")?.unwrap_or(4096),
+                        layout: parse_layout(rest)?,
+                        profile: parse_string_flag(rest, "--profile")?,
+                        trace: parse_string_flag(rest, "--trace")?,
+                        compiled,
+                        shards,
+                    })
+                }
                 "hmm" => {
                     let dmms = parse_flag(rest, "--dmms")?.unwrap_or(14);
                     if dmms == 0 {
@@ -376,6 +408,37 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("run opt --trace")).is_err());
+    }
+
+    #[test]
+    fn run_compiled_and_shards() {
+        let c = parse(&argv("run prefix-sums --compiled --shards 4")).unwrap();
+        match c {
+            Command::Run { compiled, shards, .. } => {
+                assert!(compiled);
+                assert_eq!(shards, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --compiled alone defaults to one shard; plain runs stay on the
+        // interpreter.
+        match parse(&argv("run opt --compiled")).unwrap() {
+            Command::Run { compiled, shards, .. } => {
+                assert!(compiled);
+                assert_eq!(shards, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("run opt")).unwrap() {
+            Command::Run { compiled, shards, .. } => {
+                assert!(!compiled);
+                assert_eq!(shards, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run opt --shards 2")).unwrap_err().contains("requires --compiled"));
+        assert!(parse(&argv("run opt --compiled --shards 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("run opt --compiled --shards x")).is_err());
     }
 
     #[test]

@@ -14,10 +14,13 @@ use algorithms::{
 use gpu_sim::{launch, launch_profiled, Device, GenericKernel};
 use oblivious::layout::extract;
 use oblivious::program::{
-    arrange_inputs, bulk_execute, bulk_execute_cpu_reference, bulk_model_time, bulk_profiled_dmm,
-    bulk_profiled_umm, bulk_traced_dmm, bulk_traced_umm, time_steps, trace_of,
+    arrange_inputs, bulk_execute, bulk_execute_compiled, bulk_execute_cpu_reference,
+    bulk_model_time, bulk_profiled_dmm, bulk_profiled_umm, bulk_traced_dmm, bulk_traced_umm,
+    compiled_profiled_dmm, compiled_profiled_umm, run_compiled_in_place, time_steps, trace_of,
 };
-use oblivious::{theorems, BulkMachine, BulkMetrics, Layout, Model, ObliviousProgram, Word};
+use oblivious::{
+    theorems, BulkMachine, BulkMetrics, CompiledSchedule, Layout, Model, ObliviousProgram, Word,
+};
 use obs::{Json, Rng, Tracer};
 use umm_core::{MachineConfig, ThreadTrace};
 
@@ -50,6 +53,12 @@ pub enum Engine<'d> {
     Device(&'d Device),
     /// The single [`BulkMachine`] engine (`bulk_execute`).
     BulkMachine,
+    /// Compiled-schedule replay, sharded over `shards` threads
+    /// (`bulk_execute_compiled`).
+    Compiled {
+        /// Number of instance shards replayed on separate threads.
+        shards: usize,
+    },
 }
 
 /// A selected algorithm with its size parameter bound.
@@ -328,6 +337,89 @@ impl Algo {
         self.with_program(RunOp { p, layout, seed })
     }
 
+    /// Bulk-execute `p` random instances through the compiled-schedule
+    /// replay path (`shards` threads), returning wall-clock seconds.
+    /// Compilation happens before the clock starts, mirroring
+    /// [`Algo::run_bulk`]'s kernel-only timing.
+    #[must_use]
+    pub fn run_bulk_compiled(&self, p: usize, layout: Layout, seed: u64, shards: usize) -> f64 {
+        struct RunOp {
+            p: usize,
+            layout: Layout,
+            seed: u64,
+            shards: usize,
+        }
+        fn timed<W: Word + Send + Sync, P: ObliviousProgram<W>>(
+            pr: &P,
+            inputs: &[Vec<W>],
+            layout: Layout,
+            shards: usize,
+        ) -> f64 {
+            let refs: Vec<&[W]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let schedule = CompiledSchedule::compile(pr);
+            let t0 = std::time::Instant::now();
+            let out = oblivious::run_sharded(&schedule, &refs, layout, shards);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(out);
+            dt
+        }
+        impl ProgramOp<f64> for RunOp {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> f64 {
+                let inputs = random_f32_inputs(self.seed, self.p, pr.input_range().len());
+                timed(&pr, &inputs, self.layout, self.shards)
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> f64 {
+                let inputs = random_u32_inputs(self.seed, self.p, pr.input_range().len());
+                timed(&pr, &inputs, self.layout, self.shards)
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> f64 {
+                let inputs = random_u64_inputs(self.seed, self.p, pr.input_range().len());
+                timed(&pr, &inputs, self.layout, self.shards)
+            }
+        }
+        self.with_program(RunOp { p, layout, seed, shards })
+    }
+
+    /// Port-traffic metrics of one *compiled* bulk replay — identical to
+    /// [`Algo::bulk_metrics`] for every program (the compiler mirrors the
+    /// interpreter's step table and counters), and independent of the shard
+    /// count: each shard replays the same schedule, so the merged counters
+    /// are the schedule's own.
+    #[must_use]
+    pub fn bulk_metrics_compiled(&self, p: usize, layout: Layout, seed: u64) -> BulkMetrics {
+        struct MetricsOp {
+            p: usize,
+            layout: Layout,
+            seed: u64,
+        }
+        fn run_metrics<W: Word, P: ObliviousProgram<W>>(
+            pr: &P,
+            inputs: &[Vec<W>],
+            p: usize,
+            layout: Layout,
+        ) -> BulkMetrics {
+            let refs: Vec<&[W]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let schedule = CompiledSchedule::compile(pr);
+            let mut buf = arrange_inputs(pr, &refs, layout);
+            run_compiled_in_place(&schedule, &mut buf, p, layout)
+        }
+        impl ProgramOp<BulkMetrics> for MetricsOp {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> BulkMetrics {
+                let inputs = random_f32_inputs(self.seed, self.p, pr.input_range().len());
+                run_metrics(&pr, &inputs, self.p, self.layout)
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> BulkMetrics {
+                let inputs = random_u32_inputs(self.seed, self.p, pr.input_range().len());
+                run_metrics(&pr, &inputs, self.p, self.layout)
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> BulkMetrics {
+                let inputs = random_u64_inputs(self.seed, self.p, pr.input_range().len());
+                run_metrics(&pr, &inputs, self.p, self.layout)
+            }
+        }
+        self.with_program(MetricsOp { p, layout, seed })
+    }
+
     /// Port-traffic metrics of one bulk execution on the single
     /// [`BulkMachine`] engine (loads/stores/broadcasts/register ops).
     #[must_use]
@@ -369,21 +461,41 @@ impl Algo {
     /// Profiled round-synchronous model simulation of a bulk execution:
     /// UMM and DMM stats + profiles under `layout`, plus the Theorem 3
     /// lower bound, as one JSON object.
+    ///
+    /// With `compiled`, the simulators are driven through the schedule's
+    /// precomputed per-warp cost table (`compiled_profiled_umm`/`_dmm`)
+    /// instead of streamed thread actions; the resulting stats, profiles
+    /// and round counts are bit-identical, so the JSON is too.
     #[must_use]
-    pub fn model_profile_json(&self, cfg: MachineConfig, layout: Layout, p: usize) -> Json {
+    pub fn model_profile_json(
+        &self,
+        cfg: MachineConfig,
+        layout: Layout,
+        p: usize,
+        compiled: bool,
+    ) -> Json {
         struct ModelOp {
             cfg: MachineConfig,
             layout: Layout,
             p: usize,
+            compiled: bool,
         }
         fn model_json<W: Word, P: ObliviousProgram<W>>(
             pr: &P,
             cfg: MachineConfig,
             layout: Layout,
             p: usize,
+            compiled: bool,
         ) -> Json {
-            let umm = bulk_profiled_umm(pr, cfg, layout, p);
-            let dmm = bulk_profiled_dmm(pr, cfg, layout, p);
+            let (umm, dmm) = if compiled {
+                let schedule = CompiledSchedule::compile(pr);
+                (
+                    compiled_profiled_umm(&schedule, cfg, layout, p),
+                    compiled_profiled_dmm(&schedule, cfg, layout, p),
+                )
+            } else {
+                (bulk_profiled_umm(pr, cfg, layout, p), bulk_profiled_dmm(pr, cfg, layout, p))
+            };
             fn sim_json(
                 stats: &umm_core::AccessStats,
                 profile: Option<&umm_core::SimProfile>,
@@ -410,16 +522,16 @@ impl Algo {
         }
         impl ProgramOp<Json> for ModelOp {
             fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> Json {
-                model_json(&pr, self.cfg, self.layout, self.p)
+                model_json(&pr, self.cfg, self.layout, self.p, self.compiled)
             }
             fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> Json {
-                model_json(&pr, self.cfg, self.layout, self.p)
+                model_json(&pr, self.cfg, self.layout, self.p, self.compiled)
             }
             fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> Json {
-                model_json(&pr, self.cfg, self.layout, self.p)
+                model_json(&pr, self.cfg, self.layout, self.p, self.compiled)
             }
         }
-        self.with_program(ModelOp { cfg, layout, p })
+        self.with_program(ModelOp { cfg, layout, p, compiled })
     }
 
     /// Run the program through [`GenericKernel`] on `device` with scheduler
@@ -499,6 +611,7 @@ impl Algo {
             match engine {
                 Engine::Scalar => bulk_execute_cpu_reference(&pr, &refs),
                 Engine::BulkMachine => bulk_execute(&pr, &refs, layout),
+                Engine::Compiled { shards } => bulk_execute_compiled(&pr, &refs, layout, shards),
                 Engine::Device(device) => {
                     let msize = pr.memory_words();
                     let or = pr.output_range();

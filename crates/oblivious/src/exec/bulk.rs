@@ -12,6 +12,7 @@
 //! simulator provides its own port that confines a machine to one thread
 //! block's lane range, which is how the generic engine runs multi-threaded.
 
+use crate::exec::compiled::{CompiledSchedule, FusedStep, Operand, Step};
 use crate::layout::Layout;
 use crate::machine::ObliviousMachine;
 use crate::ops::{BinOp, CmpOp, UnOp};
@@ -62,6 +63,16 @@ impl BulkMetrics {
     }
 }
 
+/// The non-memory operand of a fused read-modify-write round: either a
+/// uniform constant or a borrowed register's lane vector.
+#[derive(Debug, Clone, Copy)]
+pub enum RmwOperand<'a, W> {
+    /// The same constant for every lane.
+    Const(W),
+    /// Per-lane values (`len() == lanes()`).
+    Reg(&'a [W]),
+}
+
 /// Vectorised memory access over a set of lockstep lanes.
 ///
 /// `load`/`store` move one logical address's value for *every* lane at once;
@@ -78,6 +89,76 @@ pub trait LanePort<W> {
 
     /// Store the same constant to logical `addr` of every lane.
     fn broadcast(&mut self, addr: usize, c: W);
+
+    /// Fused read-modify-write: per lane, combine the word at `addr` with
+    /// `other` and write the result back to `addr` *and* into `dst`
+    /// (`dst.len() == lanes()`).  Operand order follows `other_on_left`:
+    /// `op(other, mem)` when set, `op(mem, other)` otherwise.
+    ///
+    /// Semantically identical to `load(addr, dst); combine; store(addr,
+    /// dst)` — which is the default implementation — but ports backed by
+    /// directly addressable storage override it with a single pass, which is
+    /// what makes compiled replay of streaming programs cheaper than the
+    /// interpreter's three separate rounds.
+    fn rmw_bin(
+        &mut self,
+        addr: usize,
+        op: BinOp,
+        other: RmwOperand<'_, W>,
+        other_on_left: bool,
+        dst: &mut [W],
+    ) where
+        W: Word,
+    {
+        self.load(addr, dst);
+        match other {
+            RmwOperand::Const(c) => {
+                if other_on_left {
+                    for d in dst.iter_mut() {
+                        *d = W::apply_bin(op, c, *d);
+                    }
+                } else {
+                    for d in dst.iter_mut() {
+                        *d = W::apply_bin(op, *d, c);
+                    }
+                }
+            }
+            RmwOperand::Reg(o) => {
+                if other_on_left {
+                    for (d, &x) in dst.iter_mut().zip(o) {
+                        *d = W::apply_bin(op, x, *d);
+                    }
+                } else {
+                    for (d, &x) in dst.iter_mut().zip(o) {
+                        *d = W::apply_bin(op, *d, x);
+                    }
+                }
+            }
+        }
+        self.store(addr, dst);
+    }
+
+    /// Accumulator variant of [`LanePort::rmw_bin`]: `acc` is both the
+    /// non-memory operand and the result sink — per lane,
+    /// `mem[addr] = acc = op(mem[addr], acc)` (operand order per
+    /// `other_on_left`).  One link of a fused accumulator chain.
+    fn rmw_bin_acc(&mut self, addr: usize, op: BinOp, other_on_left: bool, acc: &mut [W])
+    where
+        W: Word,
+    {
+        let mut mem = vec![W::ZERO; acc.len()];
+        self.load(addr, &mut mem);
+        if other_on_left {
+            for (a, &m) in acc.iter_mut().zip(&mem) {
+                *a = W::apply_bin(op, *a, m);
+            }
+        } else {
+            for (a, &m) in acc.iter_mut().zip(&mem) {
+                *a = W::apply_bin(op, m, *a);
+            }
+        }
+        self.store(addr, acc);
+    }
 }
 
 /// The standard port: a flat `p × msize` buffer addressed through a
@@ -101,6 +182,126 @@ impl<'a, W: Word> SliceLanes<'a, W> {
         assert!(p > 0, "bulk execution needs at least one instance");
         assert_eq!(buf.len(), p * msize, "buffer must hold p * msize words");
         Self { buf, p, msize, layout }
+    }
+
+    /// Single-pass read-modify-write over the flat buffer: each lane's word
+    /// at `addr` is read, combined, and written back in place, with the
+    /// result mirrored into `dst`.
+    ///
+    /// The operand-order branch is resolved *here*, outside the lane loops
+    /// (each order monomorphises its own copy of [`SliceLanes::rmw_go`]),
+    /// so the loops stay branch-free and vectorisable.
+    fn rmw_lanes(
+        &mut self,
+        addr: usize,
+        other: RmwOperand<'_, W>,
+        other_on_left: bool,
+        dst: &mut [W],
+        f: impl Fn(W, W) -> W,
+    ) {
+        if other_on_left {
+            self.rmw_go(addr, other, dst, |m: W, o: W| f(o, m));
+        } else {
+            self.rmw_go(addr, other, dst, f);
+        }
+    }
+
+    /// Single-pass accumulator link: per lane, combine the word at `addr`
+    /// with `acc` and write the result to both — two streams, with the
+    /// accumulator staying hot across a whole chain.
+    fn acc_lanes(
+        &mut self,
+        addr: usize,
+        other_on_left: bool,
+        acc: &mut [W],
+        f: impl Fn(W, W) -> W,
+    ) {
+        if other_on_left {
+            self.acc_go(addr, acc, |m: W, o: W| f(o, m));
+        } else {
+            self.acc_go(addr, acc, f);
+        }
+    }
+
+    /// The lane loops of [`SliceLanes::acc_lanes`], with `g(mem, acc)`
+    /// already in memory-first operand order.
+    fn acc_go(&mut self, addr: usize, acc: &mut [W], g: impl Fn(W, W) -> W) {
+        assert!(addr < self.msize, "write address {addr} out of instance memory {}", self.msize);
+        match self.layout {
+            Layout::ColumnWise => {
+                let base = addr * self.p;
+                let seg = &mut self.buf[base..base + self.p];
+                for (s, a) in seg.iter_mut().zip(acc.iter_mut()) {
+                    let v = g(*s, *a);
+                    *s = v;
+                    *a = v;
+                }
+            }
+            Layout::RowWise => {
+                let msize = self.msize;
+                for (lane, a) in acc.iter_mut().enumerate() {
+                    let s = &mut self.buf[lane * msize + addr];
+                    let v = g(*s, *a);
+                    *s = v;
+                    *a = v;
+                }
+            }
+        }
+    }
+
+    /// The lane loops of [`SliceLanes::rmw_lanes`], with `g(mem, other)`
+    /// already in memory-first operand order.
+    fn rmw_go(
+        &mut self,
+        addr: usize,
+        other: RmwOperand<'_, W>,
+        dst: &mut [W],
+        g: impl Fn(W, W) -> W,
+    ) {
+        assert!(addr < self.msize, "write address {addr} out of instance memory {}", self.msize);
+        match self.layout {
+            Layout::ColumnWise => {
+                let base = addr * self.p;
+                let seg = &mut self.buf[base..base + self.p];
+                match other {
+                    RmwOperand::Const(c) => {
+                        for (s, d) in seg.iter_mut().zip(dst.iter_mut()) {
+                            let v = g(*s, c);
+                            *s = v;
+                            *d = v;
+                        }
+                    }
+                    RmwOperand::Reg(o) => {
+                        for ((s, d), &x) in seg.iter_mut().zip(dst.iter_mut()).zip(o) {
+                            let v = g(*s, x);
+                            *s = v;
+                            *d = v;
+                        }
+                    }
+                }
+            }
+            Layout::RowWise => {
+                let msize = self.msize;
+                match other {
+                    RmwOperand::Const(c) => {
+                        for (lane, d) in dst.iter_mut().enumerate() {
+                            let s = &mut self.buf[lane * msize + addr];
+                            let v = g(*s, c);
+                            *s = v;
+                            *d = v;
+                        }
+                    }
+                    RmwOperand::Reg(o) => {
+                        for ((lane, d), &x) in dst.iter_mut().enumerate().zip(o) {
+                            let s = &mut self.buf[lane * msize + addr];
+                            let v = g(*s, x);
+                            *s = v;
+                            *d = v;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -158,6 +359,97 @@ impl<'a, W: Word> LanePort<W> for SliceLanes<'a, W> {
             }
         }
     }
+
+    fn rmw_bin(
+        &mut self,
+        addr: usize,
+        op: BinOp,
+        other: RmwOperand<'_, W>,
+        other_on_left: bool,
+        dst: &mut [W],
+    ) {
+        // Dispatch on `op` once so each lane loop can vectorise (as in
+        // `BulkMachine::binop`).
+        match op {
+            BinOp::Add => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::Add, x, y)
+                });
+            }
+            BinOp::Sub => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::Sub, x, y)
+                });
+            }
+            BinOp::Mul => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::Mul, x, y)
+                });
+            }
+            BinOp::Div => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::Div, x, y)
+                });
+            }
+            BinOp::Min => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::Min, x, y)
+                });
+            }
+            BinOp::Max => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::Max, x, y)
+                });
+            }
+            BinOp::Xor => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::Xor, x, y)
+                });
+            }
+            BinOp::And => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::And, x, y)
+                });
+            }
+            BinOp::Or => {
+                self.rmw_lanes(addr, other, other_on_left, dst, |x, y| {
+                    W::apply_bin(BinOp::Or, x, y)
+                });
+            }
+        }
+    }
+
+    fn rmw_bin_acc(&mut self, addr: usize, op: BinOp, other_on_left: bool, acc: &mut [W]) {
+        match op {
+            BinOp::Add => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::Add, x, y));
+            }
+            BinOp::Sub => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::Sub, x, y));
+            }
+            BinOp::Mul => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::Mul, x, y));
+            }
+            BinOp::Div => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::Div, x, y));
+            }
+            BinOp::Min => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::Min, x, y));
+            }
+            BinOp::Max => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::Max, x, y));
+            }
+            BinOp::Xor => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::Xor, x, y));
+            }
+            BinOp::And => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::And, x, y));
+            }
+            BinOp::Or => {
+                self.acc_lanes(addr, other_on_left, acc, |x, y| W::apply_bin(BinOp::Or, x, y));
+            }
+        }
+    }
 }
 
 /// Opaque value handle of the bulk machine.
@@ -195,6 +487,7 @@ pub struct BulkMachine<W, P> {
     max_live: usize,
     metrics: BulkMetrics,
     trace: Option<Box<EngineTrace>>,
+    trace_taken: bool,
 }
 
 impl<'a, W: Word> BulkMachine<W, SliceLanes<'a, W>> {
@@ -221,15 +514,19 @@ impl<W: Word, P: LanePort<W>> BulkMachine<W, P> {
             max_live: 0,
             metrics: BulkMetrics::default(),
             trace: None,
+            trace_taken: false,
         }
     }
 
     /// Turn on per-step event tracing: one unit span per vector step, on a
     /// "port" track (loads/stores/broadcasts, args = the logical address)
     /// or an "alu" track (register-only ops).  No-op at compile time when
-    /// `obs` is built without its `profile` feature.
+    /// `obs` is built without its `profile` feature, and after
+    /// [`BulkMachine::take_tracer`] — re-enabling on a machine whose trace
+    /// was taken would restart the step clock at zero and silently record a
+    /// disjoint fragment that misaligns with the taken one.
     pub fn enable_tracing(&mut self) {
-        if obs::PROFILING_COMPILED && self.trace.is_none() {
+        if obs::PROFILING_COMPILED && self.trace.is_none() && !self.trace_taken {
             let mut tracer = Tracer::new();
             tracer.name_track(0, "port");
             tracer.name_track(1, "alu");
@@ -237,10 +534,16 @@ impl<W: Word, P: LanePort<W>> BulkMachine<W, P> {
         }
     }
 
-    /// Take the recorded trace out of the machine (tracing stops).
+    /// Take the recorded trace out of the machine.  Tracing stops
+    /// permanently for this machine: later [`BulkMachine::enable_tracing`]
+    /// calls are no-ops.
     #[must_use]
     pub fn take_tracer(&mut self) -> Option<Tracer> {
-        self.trace.take().map(|t| t.tracer)
+        let t = self.trace.take().map(|t| t.tracer);
+        if t.is_some() {
+            self.trace_taken = true;
+        }
+        t
     }
 
     #[inline]
@@ -352,6 +655,212 @@ impl<W: Word, P: LanePort<W>> BulkMachine<W, P> {
                 BulkValue::Reg(id)
             }
         }
+    }
+
+    /// Replay a compiled schedule across all lanes.
+    ///
+    /// Semantically identical to running the source program through this
+    /// machine's [`ObliviousMachine`] interface — same lane data, same
+    /// [`BulkMetrics`], and (when tracing is enabled) the same event
+    /// sequence — but without re-deriving the step table: opcode decode,
+    /// address computation, constant folding and register allocation all
+    /// happened once at compile time.  Untraced replay additionally runs
+    /// the schedule's fused table, collapsing `load; binop; store` triples
+    /// into single [`LanePort::rmw_bin`] rounds.
+    pub fn run_compiled(&mut self, schedule: &CompiledSchedule<W>) {
+        while self.regs.len() < schedule.reg_count() {
+            self.regs.push(vec![W::ZERO; self.lanes]);
+        }
+        if self.trace.is_some() {
+            // Traced replay walks the canonical table so the span sequence
+            // matches the interpreter's step for step.
+            for &step in schedule.steps() {
+                match step {
+                    Step::Load { addr, .. } => self.trace_port("load", addr),
+                    Step::Store { addr, .. } => self.trace_port("store", addr),
+                    Step::Broadcast { addr, .. } => self.trace_port("broadcast", addr),
+                    Step::Un { .. } => self.trace_alu("unop"),
+                    Step::Bin { .. } => self.trace_alu("binop"),
+                    Step::Select { .. } => self.trace_alu("select"),
+                }
+                self.exec_step(step);
+            }
+        } else {
+            for fused in schedule.fused_steps() {
+                match *fused {
+                    FusedStep::Plain(step) => self.exec_step(step),
+                    FusedStep::LoadBinStore { addr, op, other, other_on_left, dst } => {
+                        let mut d = self.take(dst);
+                        match other {
+                            Operand::Const(c) => {
+                                self.port.rmw_bin(
+                                    addr,
+                                    op,
+                                    RmwOperand::Const(c),
+                                    other_on_left,
+                                    &mut d,
+                                );
+                            }
+                            Operand::Reg(o) => {
+                                let Self { port, regs, .. } = self;
+                                port.rmw_bin(
+                                    addr,
+                                    op,
+                                    RmwOperand::Reg(&regs[o as usize]),
+                                    other_on_left,
+                                    &mut d,
+                                );
+                            }
+                        }
+                        self.put(dst, d);
+                    }
+                    FusedStep::Chain { init, dst, ref links } => {
+                        let mut acc = self.take(dst);
+                        match init {
+                            Operand::Const(c) => acc.fill(c),
+                            // `r == dst`: `take` already handed us the
+                            // pre-chain contents of that register.
+                            Operand::Reg(r) if r != dst => {
+                                acc.copy_from_slice(&self.regs[r as usize]);
+                            }
+                            Operand::Reg(_) => {}
+                        }
+                        for &(addr, op, other_on_left) in links {
+                            self.port.rmw_bin_acc(addr, op, other_on_left, &mut acc);
+                        }
+                        self.put(dst, acc);
+                    }
+                }
+            }
+        }
+        // The schedule carries the interpreter's counters; report them
+        // instead of recounting per replayed step.
+        let m = schedule.metrics();
+        self.metrics.loads += m.loads;
+        self.metrics.stores += m.stores;
+        self.metrics.broadcasts += m.broadcasts;
+        self.metrics.register_ops += m.register_ops;
+        self.max_live = self.max_live.max(m.max_live_registers);
+    }
+
+    /// Execute one canonical step with the interpreter's exact take/put
+    /// register discipline (so even pathological schedules — aliased
+    /// operands from use-after-free programs — behave identically).
+    fn exec_step(&mut self, step: Step<W>) {
+        match step {
+            Step::Load { addr, dst } => {
+                let mut d = self.take(dst);
+                self.port.load(addr, &mut d);
+                self.put(dst, d);
+            }
+            Step::Store { addr, src } => {
+                let s = core::mem::take(&mut self.regs[src as usize]);
+                self.port.store(addr, &s);
+                self.regs[src as usize] = s;
+            }
+            Step::Broadcast { addr, value } => self.port.broadcast(addr, value),
+            Step::Un { op, src, dst } => {
+                let mut d = self.take(dst);
+                let s = &self.regs[src as usize];
+                for (d, &x) in d.iter_mut().zip(s) {
+                    *d = W::apply_un(op, x);
+                }
+                self.put(dst, d);
+            }
+            Step::Bin { op, a, b, dst } => match op {
+                BinOp::Add => self.replay_bin(|x, y| W::apply_bin(BinOp::Add, x, y), a, b, dst),
+                BinOp::Sub => self.replay_bin(|x, y| W::apply_bin(BinOp::Sub, x, y), a, b, dst),
+                BinOp::Mul => self.replay_bin(|x, y| W::apply_bin(BinOp::Mul, x, y), a, b, dst),
+                BinOp::Div => self.replay_bin(|x, y| W::apply_bin(BinOp::Div, x, y), a, b, dst),
+                BinOp::Min => self.replay_bin(|x, y| W::apply_bin(BinOp::Min, x, y), a, b, dst),
+                BinOp::Max => self.replay_bin(|x, y| W::apply_bin(BinOp::Max, x, y), a, b, dst),
+                BinOp::Xor => self.replay_bin(|x, y| W::apply_bin(BinOp::Xor, x, y), a, b, dst),
+                BinOp::And => self.replay_bin(|x, y| W::apply_bin(BinOp::And, x, y), a, b, dst),
+                BinOp::Or => self.replay_bin(|x, y| W::apply_bin(BinOp::Or, x, y), a, b, dst),
+            },
+            Step::Select { cmp, a, b, t, e, dst } => self.replay_select(cmp, a, b, t, e, dst),
+        }
+    }
+
+    fn replay_bin(&mut self, f: impl Fn(W, W) -> W, a: Operand<W>, b: Operand<W>, dst: u32) {
+        let mut d = self.take(dst);
+        match (a, b) {
+            (Operand::Reg(ra), Operand::Reg(rb)) => {
+                let sa = &self.regs[ra as usize];
+                let sb = &self.regs[rb as usize];
+                for ((d, &x), &y) in d.iter_mut().zip(sa).zip(sb) {
+                    *d = f(x, y);
+                }
+            }
+            (Operand::Reg(ra), Operand::Const(c)) => {
+                let sa = &self.regs[ra as usize];
+                for (d, &x) in d.iter_mut().zip(sa) {
+                    *d = f(x, c);
+                }
+            }
+            (Operand::Const(c), Operand::Reg(rb)) => {
+                let sb = &self.regs[rb as usize];
+                for (d, &y) in d.iter_mut().zip(sb) {
+                    *d = f(c, y);
+                }
+            }
+            // Never emitted by the compiler (folded), but reachable through
+            // a hand-written JSON schedule.
+            (Operand::Const(x), Operand::Const(y)) => d.fill(f(x, y)),
+        }
+        self.put(dst, d);
+    }
+
+    #[inline]
+    fn operand_lane(&self, o: Operand<W>, lane: usize) -> W {
+        match o {
+            Operand::Const(c) => c,
+            Operand::Reg(r) => self.regs[r as usize][lane],
+        }
+    }
+
+    fn replay_select(
+        &mut self,
+        cmp: CmpOp,
+        a: Operand<W>,
+        b: Operand<W>,
+        t: Operand<W>,
+        e: Operand<W>,
+        dst: u32,
+    ) {
+        let mut d = self.take(dst);
+        match (a, b, t, e) {
+            (Operand::Reg(ra), Operand::Reg(rb), Operand::Reg(rt), Operand::Reg(re)) => {
+                let (sa, sb) = (&self.regs[ra as usize], &self.regs[rb as usize]);
+                let (st, se) = (&self.regs[rt as usize], &self.regs[re as usize]);
+                match cmp {
+                    CmpOp::Lt => {
+                        for i in 0..self.lanes {
+                            d[i] = if sa[i] < sb[i] { st[i] } else { se[i] };
+                        }
+                    }
+                    CmpOp::Le => {
+                        for i in 0..self.lanes {
+                            d[i] = if sa[i] <= sb[i] { st[i] } else { se[i] };
+                        }
+                    }
+                    CmpOp::Eq => {
+                        for i in 0..self.lanes {
+                            d[i] = if sa[i] == sb[i] { st[i] } else { se[i] };
+                        }
+                    }
+                }
+            }
+            _ => {
+                #[allow(clippy::needless_range_loop)] // four parallel operand streams
+                for i in 0..self.lanes {
+                    let (va, vb) = (self.operand_lane(a, i), self.operand_lane(b, i));
+                    let pick = W::compare(cmp, va, vb);
+                    d[i] = if pick { self.operand_lane(t, i) } else { self.operand_lane(e, i) };
+                }
+            }
+        }
+        self.put(dst, d);
     }
 }
 
@@ -684,5 +1193,142 @@ mod tests {
         m.write(0, s);
         // Register ops worked lane-wise through the custom port.
         assert_eq!(m.port.data, vec![4.0, 6.0, 3.0, 4.0]);
+    }
+
+    /// A program mixing fusable accumulator triples with unops, selects,
+    /// broadcasts, and register reuse — every replay path in one table.
+    struct Workout {
+        n: usize,
+    }
+
+    impl crate::machine::ObliviousProgram<f32> for Workout {
+        fn name(&self) -> String {
+            "workout".into()
+        }
+        fn memory_words(&self) -> usize {
+            self.n + 2
+        }
+        fn input_range(&self) -> core::ops::Range<usize> {
+            0..self.n
+        }
+        fn output_range(&self) -> core::ops::Range<usize> {
+            0..self.n + 2
+        }
+        fn run<M: crate::machine::ObliviousMachine<f32>>(&self, m: &mut M) {
+            // Fusable running-max chain over the inputs.
+            let mut r = m.pos_inf();
+            let r0 = m.unop(UnOp::Neg, r);
+            m.free(r);
+            r = r0;
+            for i in 0..self.n {
+                let x = m.read(i);
+                let r2 = m.max(r, x);
+                m.free(x);
+                m.free(r);
+                m.write(i, r2);
+                r = r2;
+            }
+            // Unfused tail: select, constant-folded broadcast, unop.
+            let half = m.constant(0.5);
+            let scaled = m.mul(r, half);
+            let pick = m.select(CmpOp::Le, scaled, half, r, scaled);
+            m.write(self.n, pick);
+            let c = m.constant(3.0);
+            let folded = m.add(c, c);
+            m.write(self.n + 1, folded);
+        }
+    }
+
+    #[test]
+    fn compiled_replay_matches_interpreter_bitwise() {
+        use crate::exec::compiled::CompiledSchedule;
+        let prog = Workout { n: 5 };
+        let schedule = CompiledSchedule::compile(&prog);
+        for layout in Layout::all() {
+            let rows: Vec<Vec<f32>> = (0..6)
+                .map(|i| (0..5).map(|k| ((i * 7 + k * 3) % 11) as f32 - 5.0).collect())
+                .collect();
+            let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+            let mut interp_buf = arrange(&refs, 7, layout);
+            let mut m = BulkMachine::new(&mut interp_buf, 6, 7, layout);
+            crate::machine::ObliviousProgram::run(&prog, &mut m);
+            let interp_metrics = m.metrics();
+
+            let mut replay_buf = arrange(&refs, 7, layout);
+            let mut m = BulkMachine::new(&mut replay_buf, 6, 7, layout);
+            m.run_compiled(&schedule);
+            assert_eq!(m.metrics(), interp_metrics, "{layout}");
+            assert_eq!(replay_buf, interp_buf, "{layout}");
+        }
+    }
+
+    #[test]
+    fn traced_replay_emits_identical_events() {
+        use crate::exec::compiled::CompiledSchedule;
+        let prog = Workout { n: 3 };
+        let schedule = CompiledSchedule::compile(&prog);
+        let rows: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32, -1.0, 2.5]).collect();
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+
+        let mut a_buf = arrange(&refs, 5, Layout::ColumnWise);
+        let mut a = BulkMachine::new(&mut a_buf, 4, 5, Layout::ColumnWise);
+        a.enable_tracing();
+        crate::machine::ObliviousProgram::run(&prog, &mut a);
+        let ta = a.take_tracer().unwrap();
+
+        let mut b_buf = arrange(&refs, 5, Layout::ColumnWise);
+        let mut b = BulkMachine::new(&mut b_buf, 4, 5, Layout::ColumnWise);
+        b.enable_tracing();
+        b.run_compiled(&schedule);
+        let tb = b.take_tracer().unwrap();
+
+        assert_eq!(ta.events(), tb.events(), "replay must reproduce the exact span stream");
+        assert_eq!(a_buf, b_buf);
+    }
+
+    #[test]
+    fn take_tracer_disables_tracing_for_good() {
+        let mut buf = vec![0.0f32; 8];
+        let mut m = BulkMachine::new(&mut buf, 4, 2, Layout::ColumnWise);
+        m.enable_tracing();
+        let x = m.read(0);
+        m.write(1, x);
+        let t = m.take_tracer().unwrap();
+        assert_eq!(t.len(), 2);
+        // Regression: re-enabling after a take used to restart the span
+        // clock at zero, splicing a second, misaligned timeline into
+        // downstream reports. It must now be a no-op.
+        m.enable_tracing();
+        let y = m.read(1);
+        m.write(0, y);
+        assert!(m.take_tracer().is_none(), "tracing must stay off after the take");
+    }
+
+    #[test]
+    fn default_rmw_methods_match_slice_lane_overrides() {
+        // ShiftPort uses the LanePort default rmw_bin/rmw_bin_acc;
+        // SliceLanes overrides them with fused loops. Same data, same ops,
+        // same result.
+        let data = vec![1.5f32, -2.0, 3.0, 0.25];
+        for (op, other_on_left) in
+            [(BinOp::Add, false), (BinOp::Sub, true), (BinOp::Max, false), (BinOp::Mul, true)]
+        {
+            let mut custom = ShiftPort { data: data.clone(), lanes: 2 };
+            let mut dst_c = vec![0.0f32; 2];
+            custom.rmw_bin(1, op, RmwOperand::Const(2.0), other_on_left, &mut dst_c);
+            let mut acc_c = vec![4.0f32, -4.0];
+            custom.rmw_bin_acc(0, op, other_on_left, &mut acc_c);
+
+            let mut flat = data.clone();
+            let mut slices = SliceLanes::new(&mut flat, 2, 2, Layout::ColumnWise);
+            let mut dst_s = vec![0.0f32; 2];
+            slices.rmw_bin(1, op, RmwOperand::Const(2.0), other_on_left, &mut dst_s);
+            let mut acc_s = vec![4.0f32, -4.0];
+            slices.rmw_bin_acc(0, op, other_on_left, &mut acc_s);
+
+            assert_eq!(custom.data, flat, "{op:?} left={other_on_left}");
+            assert_eq!(dst_c, dst_s, "{op:?} left={other_on_left}");
+            assert_eq!(acc_c, acc_s, "{op:?} left={other_on_left}");
+        }
     }
 }

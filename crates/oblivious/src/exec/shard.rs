@@ -1,0 +1,140 @@
+//! Sharded multi-threaded replay of compiled schedules.
+//!
+//! Bulk execution is embarrassingly parallel across instances: lanes never
+//! interact, so the `p` instances can be split into contiguous shards, each
+//! replayed by its own [`BulkMachine`] on its own thread over its own
+//! arranged buffer.  Results merge in shard order (= instance order), so
+//! outputs are **bit-identical for every shard count**: replay arithmetic
+//! is elementwise per lane (independent of how many lanes share a machine),
+//! and [`BulkMetrics`](crate::exec::BulkMetrics) counts *vector* steps —
+//! every shard performs the same step sequence, and the metrics a run
+//! reports are the schedule's own, which do not depend on `p` at all.
+
+use crate::exec::bulk::BulkMachine;
+use crate::exec::compiled::CompiledSchedule;
+use crate::layout::{extract, Layout};
+use crate::word::Word;
+
+/// Split `0..p` into `shards` contiguous ranges whose lengths differ by at
+/// most one (the first `p % shards` shards take the extra instance).
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `shards > p`.
+#[must_use]
+pub fn shard_bounds(p: usize, shards: usize) -> Vec<core::ops::Range<usize>> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(shards <= p, "cannot split {p} instances into {shards} shards");
+    let base = p / shards;
+    let extra = p % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut lo = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        bounds.push(lo..lo + len);
+        lo += len;
+    }
+    bounds
+}
+
+/// Replay `schedule` over all `p = inputs.len()` instances using up to
+/// `shards` worker threads, returning each instance's output in input
+/// order.
+///
+/// `shards` is clamped to `1..=p`; `shards == 1` (after clamping) runs
+/// inline on the calling thread.  Each shard arranges its own compact
+/// `len × memory_words()` buffer under `layout` — the shard is a complete,
+/// smaller bulk execution — so outputs, and the metrics reported by
+/// compiled runs ([`CompiledSchedule::metrics`]), are bit-identical
+/// regardless of the shard count.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, an input does not fill the schedule's
+/// `input_range`, or a worker thread panics.
+#[must_use]
+pub fn run_sharded<W: Word + Send + Sync>(
+    schedule: &CompiledSchedule<W>,
+    inputs: &[&[W]],
+    layout: Layout,
+    shards: usize,
+) -> Vec<Vec<W>> {
+    let p = inputs.len();
+    assert!(p > 0, "bulk execution needs at least one input");
+    let ir = schedule.input_range();
+    for (i, input) in inputs.iter().enumerate() {
+        assert_eq!(input.len(), ir.len(), "input {i} must fill input_range of {}", schedule.name());
+    }
+    let shards = shards.clamp(1, p);
+    if shards == 1 {
+        return run_shard(schedule, inputs, layout);
+    }
+    let chunks = std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_bounds(p, shards)
+            .into_iter()
+            .map(|r| {
+                let chunk = &inputs[r];
+                scope.spawn(move || run_shard(schedule, chunk, layout))
+            })
+            .collect();
+        // Joining in spawn order makes the merge deterministic regardless
+        // of which shard finishes first.
+        handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect::<Vec<_>>()
+    });
+    let mut out = Vec::with_capacity(p);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// One shard: a complete bulk execution of the schedule over a contiguous
+/// slice of the instances.
+fn run_shard<W: Word>(
+    schedule: &CompiledSchedule<W>,
+    inputs: &[&[W]],
+    layout: Layout,
+) -> Vec<Vec<W>> {
+    let p = inputs.len();
+    let msize = schedule.memory_words();
+    let ir = schedule.input_range();
+    let mut buf = vec![W::ZERO; p * msize];
+    for (lane, input) in inputs.iter().enumerate() {
+        for (k, &v) in input.iter().enumerate() {
+            buf[layout.physical(ir.start + k, lane, p, msize)] = v;
+        }
+    }
+    let mut m = BulkMachine::new(&mut buf, p, msize, layout);
+    m.run_compiled(schedule);
+    extract(&buf, p, msize, layout, schedule.output_range())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_cover_contiguously_with_balanced_lengths() {
+        for p in 1..40 {
+            for shards in 1..=p {
+                let bounds = shard_bounds(p, shards);
+                assert_eq!(bounds.len(), shards);
+                let mut next = 0;
+                for r in &bounds {
+                    assert_eq!(r.start, next, "p={p} shards={shards}");
+                    next = r.end;
+                }
+                assert_eq!(next, p);
+                let lens: Vec<usize> = bounds.iter().map(ExactSizeIterator::len).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "p={p} shards={shards}: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "into 9 shards")]
+    fn more_shards_than_instances_rejected() {
+        let _ = shard_bounds(4, 9);
+    }
+}

@@ -204,6 +204,75 @@ pub fn uniform_round_conflicts_dmm(
     }
 }
 
+/// Per-warp UMM stage charges `k_i` of one uniform round, in warp order.
+///
+/// `out` is cleared and refilled with `ceil(p/w)` entries; entry `i` is the
+/// number of distinct address groups warp `i` spans, so
+/// `out.iter().sum() == uniform_round_stages_umm(..)`.  A compiled schedule
+/// replays these vectors through the simulators' uniform-round fast path,
+/// which must reproduce the interpreter's per-warp profile histogram and
+/// timeline spans exactly — totals alone are not enough.
+pub fn uniform_round_warp_charges_umm(
+    cfg: &MachineConfig,
+    layout: Layout,
+    p: usize,
+    msize: usize,
+    addr: usize,
+    out: &mut Vec<u64>,
+) {
+    let w = cfg.width;
+    out.clear();
+    let mut lo = 0usize;
+    while lo < p {
+        let hi = (lo + w).min(p);
+        let k = match layout {
+            // Consecutive physical addresses `addr*p + lane`: the warp spans
+            // every group between its first and last lane's group.
+            Layout::ColumnWise => {
+                let base = addr * p;
+                (base + hi - 1) / w - (base + lo) / w + 1
+            }
+            Layout::RowWise => {
+                if msize >= w {
+                    // Stride >= w: every lane in its own group.
+                    hi - lo
+                } else {
+                    // Monotone step < w: contiguous group span.
+                    ((hi - 1) * msize + addr) / w - (lo * msize + addr) / w + 1
+                }
+            }
+        };
+        out.push(k as u64);
+        lo = hi;
+    }
+}
+
+/// Per-warp DMM serialisation charges `c_i` of one uniform round, in warp
+/// order (the per-warp counterpart of [`uniform_round_conflicts_dmm`]).
+pub fn uniform_round_warp_charges_dmm(
+    cfg: &MachineConfig,
+    layout: Layout,
+    p: usize,
+    msize: usize,
+    _addr: usize,
+    out: &mut Vec<u64>,
+) {
+    let w = cfg.width;
+    out.clear();
+    let cycle = match layout {
+        // Consecutive addresses: each bank at most once per warp.
+        Layout::ColumnWise => w,
+        // Stride msize hits w/gcd(msize, w) distinct banks cyclically.
+        Layout::RowWise => w / gcd(msize.max(1), w),
+    };
+    let mut lo = 0usize;
+    while lo < p {
+        let hi = (lo + w).min(p);
+        out.push((hi - lo).div_ceil(cycle) as u64);
+        lo = hi;
+    }
+}
+
 fn gcd(mut a: usize, mut b: usize) -> usize {
     while b != 0 {
         (a, b) = (b, a % b);
@@ -279,6 +348,55 @@ mod tests {
                             assert_eq!(
                                 d_cf, d_sim,
                                 "DMM closed form mismatch: w={w} p={p} msize={msize} addr={addr} {layout}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_warp_charges_match_warp_scratch_exhaustive_small() {
+        use umm_core::{WarpRequest, WarpScratch};
+        let mut scratch = WarpScratch::new();
+        let (mut ucf, mut dcf) = (Vec::new(), Vec::new());
+        for w in [1usize, 2, 3, 4, 8] {
+            let cfg = MachineConfig::new(w, 3);
+            for p in [1usize, 2, 4, 7, 8, 16, 33] {
+                for msize in [1usize, 2, 3, 4, 5, 8, 16] {
+                    for addr in 0..msize {
+                        for layout in Layout::all() {
+                            let actions: Vec<_> = (0..p)
+                                .map(|j| ThreadAction::read(layout.physical(addr, j, p, msize)))
+                                .collect();
+                            let u_sim: Vec<u64> = actions
+                                .chunks(w)
+                                .map(|c| {
+                                    scratch.distinct_address_groups(&cfg, &WarpRequest::new(c))
+                                        as u64
+                                })
+                                .collect();
+                            let d_sim: Vec<u64> = actions
+                                .chunks(w)
+                                .map(|c| {
+                                    scratch.max_bank_conflicts(&cfg, &WarpRequest::new(c)) as u64
+                                })
+                                .collect();
+                            uniform_round_warp_charges_umm(&cfg, layout, p, msize, addr, &mut ucf);
+                            uniform_round_warp_charges_dmm(&cfg, layout, p, msize, addr, &mut dcf);
+                            let ctx = format!("w={w} p={p} msize={msize} addr={addr} {layout}");
+                            assert_eq!(ucf, u_sim, "UMM per-warp mismatch: {ctx}");
+                            assert_eq!(dcf, d_sim, "DMM per-warp mismatch: {ctx}");
+                            assert_eq!(
+                                ucf.iter().sum::<u64>(),
+                                uniform_round_stages_umm(&cfg, layout, p, msize, addr),
+                                "UMM per-warp sum vs total: {ctx}"
+                            );
+                            assert_eq!(
+                                dcf.iter().sum::<u64>(),
+                                uniform_round_conflicts_dmm(&cfg, layout, p, msize, addr),
+                                "DMM per-warp sum vs total: {ctx}"
                             );
                         }
                     }

@@ -1,6 +1,9 @@
 //! High-level entry points: run, trace, price and bulk-execute programs.
 
-use crate::exec::{BulkMachine, CostMachine, Model, ScalarMachine, TraceMachine};
+use crate::exec::shard::run_sharded;
+use crate::exec::{
+    BulkMachine, BulkMetrics, CompiledSchedule, CostMachine, Model, ScalarMachine, TraceMachine,
+};
 use crate::layout::{arrange, extract, Layout};
 use crate::machine::ObliviousProgram;
 use crate::word::Word;
@@ -97,6 +100,35 @@ pub fn bulk_execute_in_place<W: Word, P: ObliviousProgram<W>>(
     let msize = program.memory_words();
     let mut m = BulkMachine::new(buf, p, msize, layout);
     program.run(&mut m);
+}
+
+/// [`bulk_execute`]'s compiled counterpart: compile the program once (one
+/// dry run), then replay the schedule across all instances with up to
+/// `shards` worker threads.  Outputs are bit-identical to [`bulk_execute`]
+/// for every shard count.
+#[must_use]
+pub fn bulk_execute_compiled<W: Word + Send + Sync, P: ObliviousProgram<W>>(
+    program: &P,
+    inputs: &[&[W]],
+    layout: Layout,
+    shards: usize,
+) -> Vec<Vec<W>> {
+    let schedule = CompiledSchedule::compile(program);
+    run_sharded(&schedule, inputs, layout, shards)
+}
+
+/// [`bulk_execute_in_place`]'s compiled counterpart: replay a schedule over
+/// a pre-arranged buffer, returning the replay's [`BulkMetrics`] (identical
+/// to the interpreter's).
+pub fn run_compiled_in_place<W: Word>(
+    schedule: &CompiledSchedule<W>,
+    buf: &mut [W],
+    p: usize,
+    layout: Layout,
+) -> BulkMetrics {
+    let mut m = BulkMachine::new(buf, p, schedule.memory_words(), layout);
+    m.run_compiled(schedule);
+    m.metrics()
 }
 
 /// Model time (round-synchronous accounting, as in the paper's proofs) of a
@@ -210,6 +242,47 @@ pub fn bulk_traced_dmm<W: Word, P: ObliviousProgram<W>>(
     stream_rounds(program, layout, p, |actions| {
         sim.step(actions);
     });
+    sim
+}
+
+/// [`bulk_profiled_umm`]'s compiled counterpart: price a schedule's memory
+/// rounds through the simulator's uniform-round fast path, using the
+/// per-warp charges precomputed by [`CompiledSchedule::cost_table`] instead
+/// of materialising and re-grouping `p` thread actions per round.
+///
+/// Statistics, profile and elapsed time are bit-identical to running the
+/// source program through [`bulk_profiled_umm`].
+#[must_use]
+pub fn compiled_profiled_umm<W: Word>(
+    schedule: &CompiledSchedule<W>,
+    cfg: MachineConfig,
+    layout: Layout,
+    p: usize,
+) -> umm_core::UmmSimulator {
+    let mut sim = umm_core::UmmSimulator::new(cfg, p);
+    sim.enable_profiling();
+    let table = schedule.cost_table(&cfg, layout, p);
+    for (op, addr) in schedule.mem_steps() {
+        sim.step_uniform(op, table.umm_charges(addr));
+    }
+    sim
+}
+
+/// [`compiled_profiled_umm`]'s DMM counterpart (parity with
+/// [`bulk_profiled_dmm`]).
+#[must_use]
+pub fn compiled_profiled_dmm<W: Word>(
+    schedule: &CompiledSchedule<W>,
+    cfg: MachineConfig,
+    layout: Layout,
+    p: usize,
+) -> umm_core::DmmSimulator {
+    let mut sim = umm_core::DmmSimulator::new(cfg, p);
+    sim.enable_profiling();
+    let table = schedule.cost_table(&cfg, layout, p);
+    for (op, addr) in schedule.mem_steps() {
+        sim.step_uniform(op, table.dmm_charges(addr));
+    }
     sim
 }
 
@@ -380,6 +453,40 @@ mod tests {
     fn run_on_input_extracts_output() {
         let out = run_on_input(&AddMax, &[3.0, 4.0]);
         assert_eq!(out, vec![7.0, 4.0]);
+    }
+
+    #[test]
+    fn compiled_profiling_matches_interpreter_profiling() {
+        let cfg = MachineConfig::new(4, 3);
+        let p = 10; // deliberately not warp-aligned
+        let schedule = CompiledSchedule::compile(&AddMax);
+        for layout in Layout::all() {
+            let a = bulk_profiled_umm(&AddMax, cfg, layout, p);
+            let b = compiled_profiled_umm(&schedule, cfg, layout, p);
+            assert_eq!(a.elapsed(), b.elapsed(), "umm {layout}");
+            assert_eq!(a.stats(), b.stats(), "umm {layout}");
+            assert_eq!(a.profile(), b.profile(), "umm {layout}");
+
+            let a = bulk_profiled_dmm(&AddMax, cfg, layout, p);
+            let b = compiled_profiled_dmm(&schedule, cfg, layout, p);
+            assert_eq!(a.elapsed(), b.elapsed(), "dmm {layout}");
+            assert_eq!(a.stats(), b.stats(), "dmm {layout}");
+            assert_eq!(a.profile(), b.profile(), "dmm {layout}");
+        }
+    }
+
+    #[test]
+    fn bulk_execute_compiled_matches_bulk_execute() {
+        let inputs: Vec<Vec<f64>> =
+            (0..9).map(|i| vec![f64::from(i), 9.0 - f64::from(i)]).collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        for layout in Layout::all() {
+            let expect = bulk_execute(&AddMax, &refs, layout);
+            for shards in [1, 3, 4] {
+                let got = bulk_execute_compiled(&AddMax, &refs, layout, shards);
+                assert_eq!(got, expect, "{layout} shards={shards}");
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub trait Word: Copy + PartialOrd + PartialEq + Debug + Send + Sync + 'static {
 
     /// Lossy conversion to `f64`, used by result checkers.
     fn to_f64(self) -> f64;
+
+    /// The word's raw bit pattern, zero-extended to 64 bits.
+    ///
+    /// This is the serialization used when a compiled-schedule constant
+    /// round-trips through `obs::json`: `Json` integers are `i64`, so bit
+    /// patterns travel as fixed-width hex strings instead of numbers and
+    /// must survive exactly (`from_bits_u64(w.to_bits_u64()) == w` bitwise,
+    /// including NaN payloads on floating words).
+    fn to_bits_u64(self) -> u64;
+
+    /// Inverse of [`Word::to_bits_u64`].  Bits above the word's width are
+    /// ignored (narrow words truncate).
+    fn from_bits_u64(bits: u64) -> Self;
 }
 
 /// Floating-point words: `f32` (the paper's element type) and `f64`.
@@ -68,7 +81,7 @@ pub trait IntWord: Word + Eq + Ord {
 }
 
 macro_rules! impl_float_word {
-    ($t:ty) => {
+    ($t:ty, $bits:ty) => {
         impl Word for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -120,14 +133,26 @@ macro_rules! impl_float_word {
             fn to_f64(self) -> f64 {
                 self as f64
             }
+
+            #[inline]
+            #[allow(clippy::unnecessary_cast)]
+            fn to_bits_u64(self) -> u64 {
+                self.to_bits() as u64
+            }
+
+            #[inline]
+            #[allow(clippy::unnecessary_cast)]
+            fn from_bits_u64(bits: u64) -> Self {
+                <$t>::from_bits(bits as $bits)
+            }
         }
 
         impl FloatWord for $t {}
     };
 }
 
-impl_float_word!(f32);
-impl_float_word!(f64);
+impl_float_word!(f32, u32);
+impl_float_word!(f64, u64);
 
 macro_rules! impl_int_word {
     ($t:ty, $signed:expr) => {
@@ -182,6 +207,18 @@ macro_rules! impl_int_word {
             #[inline]
             fn to_f64(self) -> f64 {
                 self as f64
+            }
+
+            #[inline]
+            #[allow(clippy::unnecessary_cast, clippy::cast_lossless)]
+            fn to_bits_u64(self) -> u64 {
+                self as u64
+            }
+
+            #[inline]
+            #[allow(clippy::unnecessary_cast)]
+            fn from_bits_u64(bits: u64) -> Self {
+                bits as $t
             }
         }
 
@@ -258,6 +295,23 @@ mod tests {
     #[should_panic]
     fn oversized_index_panics() {
         let _ = u32::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn bit_patterns_round_trip_exactly() {
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::NAN, f32::MIN_POSITIVE] {
+            assert_eq!(f32::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+        for v in [0.0f64, -0.0, core::f64::consts::PI, f64::NEG_INFINITY, f64::NAN] {
+            assert_eq!(f64::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+        for v in [0u64, 1, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            assert_eq!(u64::from_bits_u64(v.to_bits_u64()), v);
+        }
+        assert_eq!(u32::from_bits_u64(u32::MAX.to_bits_u64()), u32::MAX);
+        assert_eq!(i64::from_bits_u64((-1i64).to_bits_u64()), -1);
+        // Zero-extension: a u32 pattern occupies only the low 32 bits.
+        assert_eq!(0xFFFF_FFFFu32.to_bits_u64(), 0xFFFF_FFFFu64);
     }
 
     #[test]

@@ -129,6 +129,44 @@ impl DmmSimulator {
         cost
     }
 
+    /// Charge one *uniform* round from precomputed per-warp conflict
+    /// charges, and return its cost.
+    ///
+    /// The DMM counterpart of [`crate::umm::UmmSimulator::step_uniform`]:
+    /// `charges[i]` must be warp `i`'s maximum bank-conflict count for the
+    /// round (`>= 1`, since every lane accesses).  Accounting is identical
+    /// to [`DmmSimulator::step`] on the materialised round.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `charges.len()` differs from the warp
+    /// count or any charge is zero.
+    pub fn step_uniform(&mut self, op: crate::access::Op, charges: &[u64]) -> u64 {
+        debug_assert_eq!(charges.len(), self.schedule.warp_count(), "one charge per warp required");
+        debug_assert!(charges.iter().all(|&c| c > 0), "uniform rounds have no idle warp");
+        let round_start = self.elapsed;
+        let mut stages = 0u64;
+        for (wi, &c) in charges.iter().enumerate() {
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.warp(wi, round_start + stages, c);
+            }
+            stages += c;
+            if let Some(pr) = self.profile.as_mut() {
+                pr.record_warp(c);
+            }
+        }
+        let cost = stages + self.cfg.latency as u64 - 1;
+        self.elapsed += cost;
+        self.stats.record_uniform_round(op, self.schedule.p as u64, stages, cost);
+        if let Some(pr) = self.profile.as_mut() {
+            pr.record_round(true, self.cfg.latency);
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.drain(round_start + stages, self.cfg.latency as u64 - 1);
+        }
+        cost
+    }
+
     /// Total time units charged so far.
     #[must_use]
     pub fn elapsed(&self) -> u64 {
@@ -232,5 +270,42 @@ mod tests {
         assert_eq!(sim.stats().rounds, 2);
         sim.reset();
         assert_eq!(sim.elapsed(), 0);
+    }
+
+    /// DMM counterpart of the UMM `step_uniform` equivalence: per-warp
+    /// conflict charges replayed through the fast path must reproduce
+    /// `step`'s cost, statistics, profile, and timeline exactly.
+    #[test]
+    fn step_uniform_matches_step_exactly() {
+        use crate::access::{Op, WarpRequest};
+        use crate::schedule::WarpScratch;
+        let mut scratch = WarpScratch::new();
+        for w in [1usize, 3, 4, 8] {
+            let cfg = MachineConfig::new(w, 5);
+            for p in [1usize, 4, 7, 16, 33] {
+                let mut a = DmmSimulator::new(cfg, p);
+                let mut b = DmmSimulator::new(cfg, p);
+                a.enable_profiling();
+                a.enable_tracing();
+                b.enable_profiling();
+                b.enable_tracing();
+                for (base, stride, op) in
+                    [(0usize, 1usize, Op::Read), (5, 4, Op::Write), (2, 7, Op::Read)]
+                {
+                    let actions: Vec<_> =
+                        (0..p).map(|j| ThreadAction::Access(op, base + j * stride)).collect();
+                    let charges: Vec<u64> = actions
+                        .chunks(w)
+                        .map(|c| scratch.max_bank_conflicts(&cfg, &WarpRequest::new(c)) as u64)
+                        .collect();
+                    assert_eq!(a.step(&actions), b.step_uniform(op, &charges), "w={w} p={p}");
+                }
+                assert_eq!(a.elapsed(), b.elapsed());
+                assert_eq!(a.stats(), b.stats());
+                assert_eq!(a.profile(), b.profile());
+                let (ta, tb) = (a.take_tracer().unwrap(), b.take_tracer().unwrap());
+                assert_eq!(ta.events(), tb.events(), "timelines diverge at w={w} p={p}");
+            }
+        }
     }
 }

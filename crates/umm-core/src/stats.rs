@@ -52,6 +52,33 @@ impl AccessStats {
         self.time_units += cost;
     }
 
+    /// Record one *uniform* round — all `p` threads perform the same `op`
+    /// (no idle lanes) — without materialising a per-thread action vector.
+    ///
+    /// Arithmetic is identical to [`AccessStats::record_round`] on a round
+    /// of `p` copies of `ThreadAction::Access(op, _)`; the compiled-schedule
+    /// replay path uses this so its statistics are bit-identical to the
+    /// interpreter's.
+    pub(crate) fn record_uniform_round(
+        &mut self,
+        op: crate::access::Op,
+        p: u64,
+        stages: u64,
+        cost: u64,
+    ) {
+        self.rounds += 1;
+        if stages > 0 {
+            self.active_rounds += 1;
+        }
+        self.accesses += p;
+        match op {
+            crate::access::Op::Read => self.reads += p,
+            crate::access::Op::Write => self.writes += p,
+        }
+        self.pipeline_stages += stages;
+        self.time_units += cost;
+    }
+
     /// Fraction of pipeline stage capacity carrying useful requests:
     /// `accesses / (pipeline_stages * w)`.  Returns `None` before any stage
     /// has been charged.

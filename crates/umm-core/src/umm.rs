@@ -150,6 +150,51 @@ impl UmmSimulator {
         cost
     }
 
+    /// Charge one *uniform* round from precomputed per-warp charges, and
+    /// return its cost.
+    ///
+    /// A uniform round is one in which every thread performs the same `op`
+    /// on its own instance's copy of one logical address — the only round
+    /// shape bulk execution of an oblivious program ever produces.  Its
+    /// per-warp stage counts depend only on `(layout, p, msize, addr)`, so a
+    /// compiled schedule precomputes them once and replays them here,
+    /// skipping the per-thread action vector and the address-group scan.
+    ///
+    /// Accounting (statistics, profile, timeline, clock) is identical to
+    /// [`UmmSimulator::step`] on the materialised round: `charges[i]` must
+    /// be warp `i`'s distinct-address-group count, which is `>= 1` for every
+    /// warp since no lane is idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `charges.len()` differs from the warp
+    /// count or any charge is zero.
+    pub fn step_uniform(&mut self, op: crate::access::Op, charges: &[u64]) -> u64 {
+        debug_assert_eq!(charges.len(), self.schedule.warp_count(), "one charge per warp required");
+        debug_assert!(charges.iter().all(|&k| k > 0), "uniform rounds have no idle warp");
+        let round_start = self.elapsed;
+        let mut stages = 0u64;
+        for (wi, &k) in charges.iter().enumerate() {
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.warp(wi, round_start + stages, k);
+            }
+            stages += k;
+            if let Some(pr) = self.profile.as_mut() {
+                pr.record_warp(k);
+            }
+        }
+        let cost = stages + self.cfg.latency as u64 - 1;
+        self.elapsed += cost;
+        self.stats.record_uniform_round(op, self.schedule.p as u64, stages, cost);
+        if let Some(pr) = self.profile.as_mut() {
+            pr.record_round(true, self.cfg.latency);
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.drain(round_start + stages, self.cfg.latency as u64 - 1);
+        }
+        cost
+    }
+
     /// Total time units charged so far.
     #[must_use]
     pub fn elapsed(&self) -> u64 {
@@ -539,5 +584,43 @@ mod tests {
         assert_eq!(sim.stats().accesses, 8);
         assert_eq!(sim.stats().rounds, 1);
         assert_eq!(sim.stats().pipeline_stages, 2);
+    }
+
+    /// `step_uniform` fed per-warp charges must be indistinguishable from
+    /// `step` on the materialised round: same cost, clock, statistics,
+    /// profile, and timeline events.
+    #[test]
+    fn step_uniform_matches_step_exactly() {
+        use crate::access::{Op, WarpRequest};
+        use crate::schedule::WarpScratch;
+        let mut scratch = WarpScratch::new();
+        for w in [1usize, 3, 4, 8] {
+            let cfg = MachineConfig::new(w, 5);
+            for p in [1usize, 4, 7, 16, 33] {
+                let mut a = UmmSimulator::new(cfg, p);
+                let mut b = UmmSimulator::new(cfg, p);
+                a.enable_profiling();
+                a.enable_tracing();
+                b.enable_profiling();
+                b.enable_tracing();
+                // Uniform rounds with different strides and base offsets.
+                for (base, stride, op) in
+                    [(0usize, 1usize, Op::Read), (5, 3, Op::Write), (2, 7, Op::Read)]
+                {
+                    let actions: Vec<_> =
+                        (0..p).map(|j| ThreadAction::Access(op, base + j * stride)).collect();
+                    let charges: Vec<u64> = actions
+                        .chunks(w)
+                        .map(|c| scratch.distinct_address_groups(&cfg, &WarpRequest::new(c)) as u64)
+                        .collect();
+                    assert_eq!(a.step(&actions), b.step_uniform(op, &charges), "w={w} p={p}");
+                }
+                assert_eq!(a.elapsed(), b.elapsed());
+                assert_eq!(a.stats(), b.stats());
+                assert_eq!(a.profile(), b.profile());
+                let (ta, tb) = (a.take_tracer().unwrap(), b.take_tracer().unwrap());
+                assert_eq!(ta.events(), tb.events(), "timelines diverge at w={w} p={p}");
+            }
+        }
     }
 }

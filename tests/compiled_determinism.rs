@@ -1,0 +1,77 @@
+//! Determinism of compiled-schedule replay, property-tested on the random
+//! oblivious-program corpus shared with `fuzz_random_programs.rs`.
+//!
+//! Two properties per case:
+//!
+//! 1. **Shard-count independence.** `run_sharded` must produce bitwise
+//!    identical outputs for every shard count — including counts that do
+//!    not divide `p` (ragged last shard) and counts exceeding `p`
+//!    (clamped) — and those outputs must equal the interpreter's.  The
+//!    merge is deterministic by construction (shards are joined in spawn
+//!    order), so any divergence is a real replay bug.
+//!
+//! 2. **JSON round-trip.** A `CompiledSchedule` serialized through
+//!    `obs::Json` and parsed back must be step-for-step identical,
+//!    including register ids, metrics counters and recomputed fusion.
+//!    Comparison is on the serialized form, so NaN-valued constants
+//!    (possible under random arithmetic) still compare bit-exactly.
+
+use common::{bits, random_program};
+use oblivious::program::bulk_execute;
+use oblivious::{run_sharded, CompiledSchedule, Layout, ObliviousProgram};
+use obs::Rng;
+
+mod common;
+
+#[test]
+fn sharded_replay_is_shard_count_independent() {
+    let mut rng = Rng::new(0x5EED_5A4D);
+    for case in 0..48 {
+        let prog = random_program(&mut rng);
+        let p = 9usize;
+        let inputs: Vec<Vec<f64>> = (0..p)
+            .map(|k| {
+                (0..prog.msize)
+                    .map(|i| f64::from(rng.range_u64(0, 40) as i32 - 20) + (k + i) as f64 * 0.25)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+
+        let schedule = CompiledSchedule::compile(&prog);
+        assert_eq!(schedule.metrics().memory_rounds() as usize, {
+            use oblivious::program::time_steps;
+            time_steps::<f64, _>(&prog)
+        });
+
+        for layout in Layout::all() {
+            let interp = bulk_execute(&prog, &refs, layout);
+            // 1 = inline path, 2/3 = even-ish splits, 7 = ragged split,
+            // 9 = one instance per shard, 13 = clamped to p.
+            for shards in [1usize, 2, 3, 7, 9, 13] {
+                let sharded = run_sharded(&schedule, &refs, layout, shards);
+                assert_eq!(
+                    bits(&sharded),
+                    bits(&interp),
+                    "case {case}: {layout} shards={shards} diverges from the interpreter"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_schedules_round_trip_through_json_unchanged() {
+    let mut rng = Rng::new(0x0DD_1505);
+    for case in 0..48 {
+        let prog = random_program(&mut rng);
+        let schedule = CompiledSchedule::compile(&prog);
+        let j = schedule.to_json();
+        let back = CompiledSchedule::<f64>::from_json(&j)
+            .unwrap_or_else(|e| panic!("case {case}: round trip failed: {e}"));
+        assert_eq!(back.to_json(), j, "case {case}: serialized forms differ");
+        assert_eq!(back.name(), prog.name(), "case {case}");
+        assert_eq!(back.memory_words(), prog.memory_words(), "case {case}");
+        assert_eq!(back.metrics(), schedule.metrics(), "case {case}");
+    }
+}
