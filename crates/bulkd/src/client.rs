@@ -1,0 +1,172 @@
+//! A small blocking client for the bulkd wire protocol.
+
+use crate::protocol::{words_from_json, JobKey, Request};
+use obs::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or server hangup).
+    Io(std::io::Error),
+    /// The response did not parse or lacked the documented shape.
+    Protocol(String),
+    /// The server's admission control turned the submit away.
+    Overloaded {
+        /// Suggested backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The server rejected the request for a stated reason.
+    Rejected {
+        /// Error kind (`"draining"`, `"bad-request"`, `"exec"`, …).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded (retry after {retry_after_ms} ms)")
+            }
+            ClientError::Rejected { kind, detail } => write!(f, "{kind}: {detail}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful submit: per-instance outputs plus batch observability.
+#[derive(Debug)]
+pub struct SubmitOk {
+    /// Per-instance output words (bit patterns), in submission order.
+    pub outputs: Vec<Vec<u64>>,
+    /// The executed batch's total instance count.
+    pub batch_p: u64,
+    /// Microseconds the job waited in the queue.
+    pub queue_us: u64,
+    /// Microseconds the batch spent executing.
+    pub exec_us: u64,
+}
+
+/// A blocking connection to a bulkd server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn roundtrip(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let mut line = req.to_compact();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Json::parse(resp.trim_end()).map_err(ClientError::Protocol)
+    }
+
+    /// Check a response's `ok` flag, converting failures to typed errors.
+    fn expect_ok(resp: Json) -> Result<Json, ClientError> {
+        match resp.get("ok") {
+            Some(&Json::Bool(true)) => Ok(resp),
+            Some(&Json::Bool(false)) => {
+                let kind = resp.get("error").and_then(Json::as_str).unwrap_or("unknown");
+                if kind == "overloaded" {
+                    let retry_after_ms =
+                        resp.get("retry_after_ms").and_then(Json::as_i64).unwrap_or(1).max(1)
+                            as u64;
+                    Err(ClientError::Overloaded { retry_after_ms })
+                } else {
+                    let detail = resp.get("detail").and_then(Json::as_str).unwrap_or("").to_owned();
+                    Err(ClientError::Rejected { kind: kind.to_owned(), detail })
+                }
+            }
+            _ => Err(ClientError::Protocol(format!(
+                "response lacks an \"ok\" flag: {}",
+                resp.to_compact()
+            ))),
+        }
+    }
+
+    /// Submit `inputs` (one inner vector of word bit patterns per
+    /// instance) under `key` and block until the coalesced batch executes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Overloaded`] under backpressure,
+    /// [`ClientError::Rejected`] on draining/bad-request/execution errors.
+    pub fn submit(&mut self, key: &JobKey, inputs: &[Vec<u64>]) -> Result<SubmitOk, ClientError> {
+        let req = Request::Submit { key: key.clone(), inputs: inputs.to_vec() };
+        let resp = Self::expect_ok(self.roundtrip(&req.to_json())?)?;
+        let outputs = resp
+            .get("outputs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("submit response lacks \"outputs\"".into()))?
+            .iter()
+            .map(words_from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ClientError::Protocol)?;
+        let field = |name: &str| resp.get(name).and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+        Ok(SubmitOk {
+            outputs,
+            batch_p: field("batch_p"),
+            queue_us: field("queue_us"),
+            exec_us: field("exec_us"),
+        })
+    }
+
+    /// Fetch the lightweight queue-depth probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn status(&mut self) -> Result<Json, ClientError> {
+        Self::expect_ok(self.roundtrip(&Request::Status.to_json())?)
+    }
+
+    /// Fetch the full observability snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        Self::expect_ok(self.roundtrip(&Request::Stats.to_json())?)
+    }
+
+    /// Ask the server to drain and shut down; blocks until every accepted
+    /// job has executed and returns the final stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn drain(&mut self) -> Result<Json, ClientError> {
+        Self::expect_ok(self.roundtrip(&Request::Drain.to_json())?)
+    }
+}

@@ -1,0 +1,43 @@
+//! `bulkd`: a batch-serving daemon for bulk oblivious execution.
+//!
+//! The paper's premise is *bulk* execution — one oblivious schedule
+//! amortized over `p` independent instances (Theorem 2).  This crate makes
+//! that operational for a long-running service: many small client requests
+//! arrive over TCP, a [`queue::CoalescingQueue`] groups compatible jobs by
+//! `(algo, n, layout)` key, and each flushed batch rides one
+//! already-compiled schedule on a fixed worker pool.  The larger the
+//! coalesced `p`, the closer the service runs to the paper's amortized
+//! regime.
+//!
+//! Everything here is `std`-only: the wire protocol is newline-delimited
+//! JSON over `std::net`, serialized with the `obs::json` codec, and word
+//! values cross the wire as `"0x…"` bit-pattern strings so `f32`/`u32`/
+//! `u64` payloads survive bit-exactly.
+//!
+//! Layering (each module usable on its own):
+//!
+//! - [`protocol`] — requests, responses, and the hex word codec;
+//! - [`queue`] — the coalescing queue with admission control and drain;
+//! - [`stats`] — live counters/histograms behind one lock, snapshotted as
+//!   a versioned `RunReport`-style JSON document;
+//! - [`server`] — TCP accept loop, worker pool, and the [`BatchExecutor`]
+//!   trait the embedding binary implements to actually run batches;
+//! - [`client`] — a small blocking client;
+//! - [`loadgen`] — a closed-loop load generator built on the client.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, ClientError, SubmitOk};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use protocol::{JobKey, Request, PROTOCOL_VERSION};
+pub use queue::{CoalescingQueue, QueueConfig, SubmitError};
+pub use server::{serve, BatchExecutor, ServerConfig};
+pub use stats::ServerStats;

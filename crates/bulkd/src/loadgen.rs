@@ -1,0 +1,222 @@
+//! A closed-loop load generator over the blocking client.
+//!
+//! `clients` threads each run their own connection and submit
+//! back-to-back until the deadline: the offered load is `clients`
+//! in-flight jobs, which is exactly what makes coalescing visible — the
+//! server groups whatever arrives within one flush window into a single
+//! batch.  Per-thread latency/batch-p histograms merge losslessly into
+//! one report.
+
+use crate::client::{Client, ClientError};
+use crate::protocol::JobKey;
+use obs::{Histogram, Json, RunReport};
+use std::time::{Duration, Instant};
+
+/// Tunables of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent closed-loop client connections.
+    pub clients: usize,
+    /// How long to keep submitting.
+    pub duration: Duration,
+    /// The coalescing key every submit targets.
+    pub key: JobKey,
+    /// Instances carried by each submit.
+    pub instances_per_submit: usize,
+}
+
+/// Aggregated result of a load-generation run.
+#[derive(Debug, Default)]
+pub struct LoadgenReport {
+    /// Jobs submitted (accepted or not).
+    pub submitted: u64,
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Overload responses honored with a backoff-and-retry.
+    pub overload_retries: u64,
+    /// Hard errors (rejections, transport failures).
+    pub errors: u64,
+    /// End-to-end submit latency per job, microseconds.
+    pub latency_us: Histogram,
+    /// The executed batch `p` each completed job reported riding in.
+    pub batch_p: Histogram,
+    /// Wall-clock span of the run.
+    pub elapsed: Duration,
+}
+
+impl LoadgenReport {
+    fn merge(&mut self, other: &LoadgenReport) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.overload_retries += other.overload_retries;
+        self.errors += other.errors;
+        self.latency_us.merge(&other.latency_us);
+        self.batch_p.merge(&other.batch_p);
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
+    /// The run as a versioned report document.
+    #[must_use]
+    pub fn to_json(&self, cfg: &LoadgenConfig) -> Json {
+        let mut report = RunReport::new("bulkd-loadgen");
+        let mut c = Json::obj();
+        c.set("addr", cfg.addr.as_str());
+        c.set("clients", cfg.clients);
+        c.set("duration_ms", cfg.duration.as_millis() as u64);
+        c.set("algo", cfg.key.algo.as_str());
+        c.set("size", cfg.key.size);
+        c.set("layout", crate::protocol::layout_name(cfg.key.layout));
+        c.set("instances_per_submit", cfg.instances_per_submit);
+        report.set("config", c);
+
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        let mut t = Json::obj();
+        t.set("submitted_jobs", self.submitted);
+        t.set("completed_jobs", self.completed);
+        t.set("overload_retries", self.overload_retries);
+        t.set("errors", self.errors);
+        t.set("jobs_per_sec", self.completed as f64 / secs);
+        t.set(
+            "instances_per_sec",
+            (self.completed * cfg.instances_per_submit as u64) as f64 / secs,
+        );
+        report.set("throughput", t);
+
+        let mut l = Json::obj();
+        l.set("latency_us", self.latency_us.summary_json());
+        l.set("observed_batch_p", self.batch_p.summary_json());
+        l.set("mean_observed_batch_p", self.batch_p.mean());
+        report.set("latency", l);
+        report.json().clone()
+    }
+}
+
+/// Drive a closed-loop load against `cfg.addr`, drawing instance inputs
+/// round-robin from `pool` (each entry one instance's input words).
+///
+/// # Errors
+///
+/// Configuration errors (empty pool, zero clients) and a total failure to
+/// connect; transport errors mid-run are counted, not fatal.
+pub fn run_loadgen(cfg: &LoadgenConfig, pool: &[Vec<u64>]) -> Result<LoadgenReport, String> {
+    if pool.is_empty() {
+        return Err("loadgen needs a non-empty input pool".into());
+    }
+    if cfg.clients == 0 || cfg.instances_per_submit == 0 {
+        return Err("loadgen needs at least one client and one instance per submit".into());
+    }
+    let deadline = Instant::now() + cfg.duration;
+    let reports = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| scope.spawn(move || client_loop(cfg, pool, c, deadline)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen client panicked")).collect::<Vec<_>>()
+    });
+    let mut total = LoadgenReport::default();
+    let mut connected = false;
+    for r in &reports {
+        match r {
+            Ok(rep) => {
+                connected = true;
+                total.merge(rep);
+            }
+            Err(e) => return Err(e.clone()),
+        }
+    }
+    if !connected {
+        return Err("no loadgen client connected".into());
+    }
+    Ok(total)
+}
+
+fn client_loop(
+    cfg: &LoadgenConfig,
+    pool: &[Vec<u64>],
+    client_idx: usize,
+    deadline: Instant,
+) -> Result<LoadgenReport, String> {
+    let t0 = Instant::now();
+    let mut client =
+        Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    let mut rep = LoadgenReport::default();
+    // Stagger draw positions so clients don't all submit identical work.
+    let mut cursor = client_idx * cfg.instances_per_submit;
+    while Instant::now() < deadline {
+        let inputs: Vec<Vec<u64>> = (0..cfg.instances_per_submit)
+            .map(|i| pool[(cursor + i) % pool.len()].clone())
+            .collect();
+        cursor += cfg.instances_per_submit;
+        rep.submitted += 1;
+        let sent = Instant::now();
+        match client.submit(&cfg.key, &inputs) {
+            Ok(ok) => {
+                rep.completed += 1;
+                rep.latency_us.record(sent.elapsed().as_micros() as u64);
+                rep.batch_p.record(ok.batch_p);
+            }
+            Err(ClientError::Overloaded { retry_after_ms }) => {
+                rep.overload_retries += 1;
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                std::thread::sleep(Duration::from_millis(retry_after_ms).min(remaining));
+            }
+            Err(ClientError::Rejected { kind, .. }) if kind == "draining" => {
+                rep.errors += 1;
+                break;
+            }
+            Err(ClientError::Io(_)) => {
+                rep.errors += 1;
+                break;
+            }
+            Err(_) => rep.errors += 1,
+        }
+    }
+    rep.elapsed = t0.elapsed();
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::Layout;
+
+    #[test]
+    fn report_json_has_throughput_and_latency_sections() {
+        let cfg = LoadgenConfig {
+            addr: "127.0.0.1:1".into(),
+            clients: 2,
+            duration: Duration::from_millis(100),
+            key: JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise },
+            instances_per_submit: 1,
+        };
+        let mut rep = LoadgenReport {
+            submitted: 10,
+            completed: 9,
+            errors: 1,
+            elapsed: Duration::from_secs(1),
+            ..LoadgenReport::default()
+        };
+        rep.latency_us.record_n(500, 9);
+        rep.batch_p.record_n(8, 9);
+        let j = rep.to_json(&cfg);
+        assert_eq!(j.path("tool").unwrap().as_str(), Some("bulkd-loadgen"));
+        assert_eq!(j.path("throughput.completed_jobs").unwrap().as_i64(), Some(9));
+        assert_eq!(j.path("throughput.jobs_per_sec").unwrap().as_f64(), Some(9.0));
+        assert_eq!(j.path("latency.mean_observed_batch_p").unwrap().as_f64(), Some(8.0));
+        assert!(RunReport::parse(&j.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn loadgen_rejects_degenerate_configs() {
+        let cfg = LoadgenConfig {
+            addr: "127.0.0.1:1".into(),
+            clients: 0,
+            duration: Duration::from_millis(1),
+            key: JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise },
+            instances_per_submit: 1,
+        };
+        assert!(run_loadgen(&cfg, &[vec![0]]).is_err());
+        assert!(run_loadgen(&cfg, &[]).is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! The coalescing queue: groups compatible jobs, bounds admission, drains.
+//!
+//! Jobs sharing a [`JobKey`] accumulate in an open *group*; a group flushes
+//! to the ready queue as one batch when its instance count reaches the
+//! target `p` (`max_batch`) or its deadline (`flush_after` past the first
+//! job) expires — whichever comes first.  A submit's instances are never
+//! split across batches.  Admission is bounded by `max_queue` total queued
+//! instances; beyond it submitters get [`SubmitError::Overloaded`] with a
+//! retry hint instead of unbounded buffering.
+
+use crate::protocol::JobKey;
+use std::collections::VecDeque;
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`CoalescingQueue`].
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Target batch `p`: a group flushes as soon as it holds this many
+    /// instances.
+    pub max_batch: usize,
+    /// Admission bound on total queued (grouped + ready) instances.
+    pub max_queue: usize,
+    /// How long a group may wait for more riders before flushing anyway.
+    pub flush_after: Duration,
+}
+
+/// What a completed job hands back to its submitter.
+#[derive(Debug)]
+pub struct JobDone {
+    /// Per-instance output words (bit patterns), in submission order.
+    pub outputs: Vec<Vec<u64>>,
+    /// Total instance count of the batch this job rode in.
+    pub batch_p: usize,
+    /// Microseconds the job waited from enqueue to execution start.
+    pub queue_us: u64,
+    /// Microseconds the batch spent executing.
+    pub exec_us: u64,
+}
+
+/// The per-job completion message.
+pub type JobReply = Result<JobDone, String>;
+
+/// One accepted submit: its instances plus the channel to answer on.
+#[derive(Debug)]
+pub struct Job {
+    /// Per-instance input words (bit patterns).
+    pub inputs: Vec<Vec<u64>>,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// Completion channel back to the connection handler.
+    pub reply: mpsc::Sender<JobReply>,
+}
+
+/// A flushed group, ready for one worker to execute as a unit.
+#[derive(Debug)]
+pub struct Batch {
+    /// The shared coalescing key.
+    pub key: JobKey,
+    /// The coalesced jobs, in arrival order.
+    pub jobs: Vec<Job>,
+}
+
+impl Batch {
+    /// Total instances across the batch's jobs — the executed `p`.
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.jobs.iter().map(|j| j.inputs.len()).sum()
+    }
+}
+
+/// Why a submit was turned away at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is draining; no new work is accepted.
+    Draining,
+    /// The queue is full; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client backoff, one flush interval.
+        retry_after_ms: u64,
+    },
+}
+
+#[derive(Debug)]
+struct PendingGroup {
+    key: JobKey,
+    jobs: Vec<Job>,
+    instances: usize,
+    deadline: Instant,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    groups: Vec<PendingGroup>,
+    ready: VecDeque<Batch>,
+    queued_instances: usize,
+    in_flight_batches: usize,
+    draining: bool,
+}
+
+/// A point-in-time queue occupancy reading (for `status`/`stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueDepth {
+    /// Instances waiting in open groups or ready batches.
+    pub queued_instances: usize,
+    /// Open (not yet flushed) groups.
+    pub open_groups: usize,
+    /// Flushed batches awaiting a worker.
+    pub ready_batches: usize,
+    /// Batches currently executing.
+    pub in_flight_batches: usize,
+    /// Whether the queue has stopped admitting.
+    pub draining: bool,
+}
+
+/// The coalescing queue.  Shared by connection handlers (producers) and
+/// the worker pool (consumers) behind an `Arc`.
+#[derive(Debug)]
+pub struct CoalescingQueue {
+    cfg: QueueConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl CoalescingQueue {
+    /// An empty queue with the given tunables.
+    #[must_use]
+    pub fn new(cfg: QueueConfig) -> Self {
+        Self { cfg, state: Mutex::new(State::default()), cv: Condvar::new() }
+    }
+
+    /// The configured tunables.
+    #[must_use]
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+
+    fn retry_after_ms(&self) -> u64 {
+        (self.cfg.flush_after.as_millis() as u64).max(1)
+    }
+
+    /// Enqueue a job under `key`.  Non-blocking: the caller waits on the
+    /// job's reply channel for completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Draining`] once [`CoalescingQueue::drain`] has begun;
+    /// [`SubmitError::Overloaded`] when accepting the job would exceed
+    /// `max_queue` queued instances.
+    pub fn submit(&self, key: JobKey, job: Job) -> Result<(), SubmitError> {
+        let n = job.inputs.len();
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.draining {
+            return Err(SubmitError::Draining);
+        }
+        if st.queued_instances + n > self.cfg.max_queue {
+            return Err(SubmitError::Overloaded { retry_after_ms: self.retry_after_ms() });
+        }
+        st.queued_instances += n;
+        let pos = match st.groups.iter().position(|g| g.key == key) {
+            Some(pos) => pos,
+            None => {
+                st.groups.push(PendingGroup {
+                    key,
+                    jobs: Vec::new(),
+                    instances: 0,
+                    deadline: Instant::now() + self.cfg.flush_after,
+                });
+                st.groups.len() - 1
+            }
+        };
+        st.groups[pos].jobs.push(job);
+        st.groups[pos].instances += n;
+        if st.groups[pos].instances >= self.cfg.max_batch {
+            let g = st.groups.remove(pos);
+            st.ready.push_back(Batch { key: g.key, jobs: g.jobs });
+        }
+        // Wake workers either way: a ready batch needs a consumer, a fresh
+        // group needs someone to arm its deadline timer.
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Block until a batch is available (size- or deadline-flushed) and
+    /// claim it.  Returns `None` once the queue is draining and empty —
+    /// the worker-pool exit signal.
+    pub fn next_batch(&self) -> Option<Batch> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(b) = st.ready.pop_front() {
+                st.queued_instances -= b.instances();
+                st.in_flight_batches += 1;
+                return Some(b);
+            }
+            // Flush groups whose deadline has passed (all of them when
+            // draining: nothing else is coming to fill them).
+            let now = Instant::now();
+            let mut flushed = false;
+            let mut i = 0;
+            while i < st.groups.len() {
+                if st.draining || st.groups[i].deadline <= now {
+                    let g = st.groups.remove(i);
+                    st.ready.push_back(Batch { key: g.key, jobs: g.jobs });
+                    flushed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if flushed {
+                continue;
+            }
+            if st.draining {
+                // Empty and draining: wake the drain() waiter and any
+                // sibling workers, then exit.
+                self.cv.notify_all();
+                return None;
+            }
+            let wait = st
+                .groups
+                .iter()
+                .map(|g| g.deadline)
+                .min()
+                .map(|d| d.saturating_duration_since(now).max(Duration::from_millis(1)));
+            st = match wait {
+                Some(d) => self.cv.wait_timeout(st, d).expect("queue poisoned").0,
+                None => self.cv.wait(st).expect("queue poisoned"),
+            };
+        }
+    }
+
+    /// Mark one claimed batch as finished (call after replying to its jobs).
+    pub fn batch_done(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.in_flight_batches -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Stop admitting new jobs, flush every open group, and block until
+    /// all accepted work has executed.  Idempotent; concurrent callers all
+    /// return once the queue is empty.
+    pub fn drain(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.draining = true;
+        self.cv.notify_all();
+        while st.queued_instances > 0
+            || st.in_flight_batches > 0
+            || !st.ready.is_empty()
+            || !st.groups.is_empty()
+        {
+            // The timeout is belt-and-braces against a missed wakeup; the
+            // normal path is a notify from `batch_done`/`next_batch`.
+            st = self.cv.wait_timeout(st, Duration::from_millis(50)).expect("queue poisoned").0;
+        }
+    }
+
+    /// A point-in-time occupancy reading.
+    #[must_use]
+    pub fn depth(&self) -> QueueDepth {
+        let st = self.state.lock().expect("queue poisoned");
+        QueueDepth {
+            queued_instances: st.queued_instances,
+            open_groups: st.groups.len(),
+            ready_batches: st.ready.len(),
+            in_flight_batches: st.in_flight_batches,
+            draining: st.draining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::Layout;
+    use std::sync::Arc;
+
+    fn key(algo: &str) -> JobKey {
+        JobKey { algo: algo.into(), size: 8, layout: Layout::ColumnWise }
+    }
+
+    fn job(instances: usize) -> (Job, mpsc::Receiver<JobReply>) {
+        let (tx, rx) = mpsc::channel();
+        let inputs = vec![vec![0u64; 2]; instances];
+        (Job { inputs, enqueued: Instant::now(), reply: tx }, rx)
+    }
+
+    fn queue(max_batch: usize, max_queue: usize, flush_ms: u64) -> CoalescingQueue {
+        CoalescingQueue::new(QueueConfig {
+            max_batch,
+            max_queue,
+            flush_after: Duration::from_millis(flush_ms),
+        })
+    }
+
+    #[test]
+    fn size_trigger_flushes_a_full_group() {
+        let q = queue(4, 100, 60_000);
+        for _ in 0..3 {
+            q.submit(key("a"), job(1).0).unwrap();
+        }
+        assert_eq!(q.depth().open_groups, 1);
+        assert_eq!(q.depth().ready_batches, 0);
+        q.submit(key("a"), job(1).0).unwrap();
+        let d = q.depth();
+        assert_eq!((d.open_groups, d.ready_batches), (0, 1));
+        let b = q.next_batch().unwrap();
+        assert_eq!(b.instances(), 4);
+        assert_eq!(b.jobs.len(), 4);
+        assert_eq!(q.depth().in_flight_batches, 1);
+        q.batch_done();
+        assert_eq!(q.depth().in_flight_batches, 0);
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_a_partial_group() {
+        let q = queue(1000, 100, 20);
+        q.submit(key("a"), job(2).0).unwrap();
+        let t0 = Instant::now();
+        let b = q.next_batch().expect("deadline flush");
+        assert!(t0.elapsed() >= Duration::from_millis(10), "flushed too early");
+        assert_eq!(b.instances(), 2);
+        q.batch_done();
+    }
+
+    #[test]
+    fn distinct_keys_never_share_a_batch() {
+        let q = queue(2, 100, 60_000);
+        q.submit(key("a"), job(1).0).unwrap();
+        q.submit(key("b"), job(1).0).unwrap();
+        assert_eq!(q.depth().open_groups, 2);
+        q.submit(key("a"), job(1).0).unwrap();
+        let b = q.next_batch().unwrap();
+        assert_eq!(b.key, key("a"));
+        assert_eq!(b.instances(), 2);
+        q.batch_done();
+    }
+
+    #[test]
+    fn admission_control_rejects_over_limit_submits() {
+        let q = queue(1000, 4, 60_000);
+        q.submit(key("a"), job(3).0).unwrap();
+        // 3 + 2 > 4: rejected with a retry hint, and nothing enqueued.
+        let err = q.submit(key("a"), job(2).0).unwrap_err();
+        assert_eq!(err, SubmitError::Overloaded { retry_after_ms: 60_000 });
+        assert_eq!(q.depth().queued_instances, 3);
+        // A fitting submit still gets in.
+        q.submit(key("a"), job(1).0).unwrap();
+        assert_eq!(q.depth().queued_instances, 4);
+    }
+
+    #[test]
+    fn drain_completes_accepted_work_and_rejects_new() {
+        let q = Arc::new(queue(1000, 100, 60_000));
+        let (j, rx) = job(2);
+        q.submit(key("a"), j).unwrap();
+        // A worker thread consumes until shutdown.
+        let qc = Arc::clone(&q);
+        let worker = std::thread::spawn(move || {
+            let mut served = 0;
+            while let Some(b) = qc.next_batch() {
+                let p = b.instances();
+                for jb in b.jobs {
+                    let done = JobDone {
+                        outputs: vec![vec![9]; jb.inputs.len()],
+                        batch_p: p,
+                        queue_us: 0,
+                        exec_us: 0,
+                    };
+                    jb.reply.send(Ok(done)).unwrap();
+                }
+                served += p;
+                qc.batch_done();
+            }
+            served
+        });
+        q.drain();
+        assert_eq!(q.submit(key("a"), job(1).0), Err(SubmitError::Draining));
+        let d = q.depth();
+        assert_eq!((d.queued_instances, d.in_flight_batches), (0, 0));
+        assert!(d.draining);
+        // The accepted job completed with its reply delivered.
+        let done = rx.recv().unwrap().unwrap();
+        assert_eq!(done.outputs.len(), 2);
+        assert_eq!(worker.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn concurrent_single_instance_submits_coalesce() {
+        let q = Arc::new(queue(8, 1000, 50));
+        let qc = Arc::clone(&q);
+        let worker = std::thread::spawn(move || {
+            let mut batches = Vec::new();
+            while let Some(b) = qc.next_batch() {
+                let p = b.instances();
+                batches.push(p);
+                for jb in b.jobs {
+                    let done = JobDone {
+                        outputs: vec![vec![0]; jb.inputs.len()],
+                        batch_p: p,
+                        queue_us: 0,
+                        exec_us: 0,
+                    };
+                    jb.reply.send(Ok(done)).unwrap();
+                }
+                qc.batch_done();
+            }
+            batches
+        });
+        let mut receivers = Vec::new();
+        for _ in 0..32 {
+            let (j, rx) = job(1);
+            q.submit(key("a"), j).unwrap();
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok());
+        }
+        q.drain();
+        let batches = worker.join().unwrap();
+        assert_eq!(batches.iter().sum::<usize>(), 32);
+        assert!(batches.len() < 32, "32 submits must coalesce into fewer batches, got {batches:?}");
+    }
+}

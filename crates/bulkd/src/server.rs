@@ -1,0 +1,316 @@
+//! The daemon: TCP accept loop, connection handlers, and the worker pool.
+//!
+//! Threading model: the calling thread runs the accept loop; each
+//! connection gets its own handler thread (blocking line-at-a-time reads);
+//! a fixed pool of worker threads consumes coalesced batches from the
+//! queue.  A `drain` request blocks its connection until every accepted
+//! job has executed, then stops the accept loop, and [`serve`] returns the
+//! final stats snapshot after joining the workers.
+
+use crate::protocol::{self, JobKey, Request, PROTOCOL_VERSION};
+use crate::queue::{CoalescingQueue, Job, JobDone, QueueConfig, SubmitError};
+use crate::stats::ServerStats;
+use obs::trace::chrome_trace;
+use obs::{Json, Tracer};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the embedding binary executes one coalesced batch.
+///
+/// `bulkd` stays catalog-agnostic: the CLI implements this over its
+/// algorithm registry and shared [`oblivious::ScheduleCache`]s.  All words
+/// cross as raw bit patterns (the wire encoding), so one trait covers
+/// `f32`/`u32`/`u64` programs alike.
+pub trait BatchExecutor: Send + Sync + 'static {
+    /// Admission-time check of a key; returns the expected input words per
+    /// instance so malformed submits bounce before they queue.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable rejection reason (unknown algorithm, bad size).
+    fn validate(&self, key: &JobKey) -> Result<usize, String>;
+
+    /// Execute the batch: one inner vector of input bits per instance, in
+    /// order; returns per-instance output bits in the same order.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable execution failure, fanned out to every rider.
+    fn execute(&self, key: &JobKey, inputs: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, String>;
+
+    /// The shared schedule cache's cumulative `(hits, compiles)`.
+    fn cache_stats(&self) -> (u64, u64);
+}
+
+/// Tunables of one [`serve`] invocation.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Target batch `p` (size-based flush trigger).
+    pub max_batch: usize,
+    /// Admission bound on queued instances.
+    pub max_queue: usize,
+    /// Deadline-based flush trigger, in milliseconds.
+    pub flush_after_ms: u64,
+    /// Where to write the per-batch Chrome trace at shutdown, if anywhere.
+    pub trace_path: Option<PathBuf>,
+}
+
+struct Shared {
+    queue: CoalescingQueue,
+    stats: ServerStats,
+    executor: Box<dyn BatchExecutor>,
+    tracer: Mutex<Tracer>,
+    started: Instant,
+    addr: SocketAddr,
+    stop_accepting: AtomicBool,
+}
+
+/// Run the daemon until a client sends `drain`.  `on_ready` fires once
+/// with the bound address (the way tests and the CLI learn an ephemeral
+/// port).  Returns the final stats snapshot.
+///
+/// # Errors
+///
+/// Bind/IO failures and a post-drain accounting imbalance.
+pub fn serve(
+    cfg: &ServerConfig,
+    executor: Box<dyn BatchExecutor>,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<Json, String> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    let shared = Arc::new(Shared {
+        queue: CoalescingQueue::new(QueueConfig {
+            max_batch: cfg.max_batch.max(1),
+            max_queue: cfg.max_queue.max(1),
+            flush_after: Duration::from_millis(cfg.flush_after_ms.max(1)),
+        }),
+        stats: ServerStats::new(),
+        executor,
+        tracer: Mutex::new(Tracer::new()),
+        started: Instant::now(),
+        addr,
+        stop_accepting: AtomicBool::new(false),
+    });
+    {
+        let mut t = shared.tracer.lock().expect("tracer poisoned");
+        for w in 0..cfg.workers.max(1) {
+            t.name_track(w as u64, format!("worker-{w}"));
+        }
+    }
+
+    let workers: Vec<_> = (0..cfg.workers.max(1))
+        .map(|idx| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("bulkd-worker-{idx}"))
+                .spawn(move || worker_loop(idx as u64, &sh))
+                .map_err(|e| format!("spawn worker: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    on_ready(addr);
+
+    for conn in listener.incoming() {
+        if shared.stop_accepting.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let sh = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("bulkd-conn".into())
+            .spawn(move || handle_conn(stream, &sh));
+    }
+
+    for w in workers {
+        let _ = w.join();
+    }
+    if let Some(path) = &cfg.trace_path {
+        let trace = {
+            let t = shared.tracer.lock().expect("tracer poisoned");
+            chrome_trace(&[("bulkd", &t)])
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(path, trace.to_pretty())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    shared.stats.check_balanced()?;
+    Ok(shared.stats.snapshot(shared.queue.depth(), shared.executor.cache_stats()))
+}
+
+fn worker_loop(tid: u64, sh: &Shared) {
+    while let Some(batch) = sh.queue.next_batch() {
+        let t0 = Instant::now();
+        let inputs: Vec<Vec<u64>> =
+            batch.jobs.iter().flat_map(|j| j.inputs.iter().cloned()).collect();
+        let p = inputs.len();
+        let result = sh.executor.execute(&batch.key, &inputs);
+        let exec_us = t0.elapsed().as_micros() as u64;
+
+        {
+            let ts = t0.duration_since(sh.started).as_micros() as u64;
+            let mut args = Json::obj();
+            args.set("algo", batch.key.algo.as_str());
+            args.set("size", batch.key.size);
+            args.set("layout", protocol::layout_name(batch.key.layout));
+            args.set("p", p);
+            args.set("jobs", batch.jobs.len());
+            let mut t = sh.tracer.lock().expect("tracer poisoned");
+            t.span(tid, "batch", "exec", ts, exec_us.max(1), args);
+        }
+        sh.stats.on_batch(p as u64, exec_us);
+
+        match result {
+            Ok(outputs) => {
+                let mut off = 0;
+                for job in batch.jobs {
+                    let n = job.inputs.len();
+                    let queue_us = t0.duration_since(job.enqueued).as_micros() as u64;
+                    let done = JobDone {
+                        outputs: outputs[off..off + n].to_vec(),
+                        batch_p: p,
+                        queue_us,
+                        exec_us,
+                    };
+                    off += n;
+                    sh.stats.on_job_done(n as u64, queue_us, false);
+                    let _ = job.reply.send(Ok(done));
+                }
+            }
+            Err(e) => {
+                for job in batch.jobs {
+                    let n = job.inputs.len() as u64;
+                    let queue_us = t0.duration_since(job.enqueued).as_micros() as u64;
+                    sh.stats.on_job_done(n, queue_us, true);
+                    let _ = job.reply.send(Err(e.clone()));
+                }
+            }
+        }
+        sh.queue.batch_done();
+    }
+}
+
+fn handle_conn(stream: TcpStream, sh: &Shared) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, shutdown) = handle_line(&line, sh);
+        let mut text = resp.to_compact();
+        text.push('\n');
+        // The drain response must be on the wire *before* the accept loop
+        // is released: `serve` may return (and the process exit) the
+        // moment it pops, and this handler thread would die mid-write.
+        let wrote = writer.write_all(text.as_bytes()).and_then(|()| writer.flush());
+        if shutdown {
+            sh.stop_accepting.store(true, Ordering::SeqCst);
+            // Self-connect to pop the accept loop out of `incoming()`.
+            let _ = TcpStream::connect(sh.addr);
+        }
+        if wrote.is_err() {
+            return;
+        }
+    }
+}
+
+/// Returns the response plus whether the caller must trigger shutdown
+/// after the response is on the wire.
+fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
+    let req = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            sh.stats.on_protocol_error();
+            return (protocol::resp_error("protocol", &e), false);
+        }
+    };
+    match req {
+        Request::Status => {
+            let d = sh.queue.depth();
+            let mut o = Json::obj();
+            o.set("ok", true);
+            o.set("protocol_version", PROTOCOL_VERSION);
+            o.set("queued_instances", d.queued_instances);
+            o.set("open_groups", d.open_groups);
+            o.set("ready_batches", d.ready_batches);
+            o.set("in_flight_batches", d.in_flight_batches);
+            o.set("draining", d.draining);
+            o.set("uptime_us", sh.started.elapsed().as_micros() as u64);
+            (o, false)
+        }
+        Request::Stats => {
+            let mut snap = sh.stats.snapshot(sh.queue.depth(), sh.executor.cache_stats());
+            snap.set("ok", true);
+            (snap, false)
+        }
+        Request::Drain => {
+            sh.queue.drain();
+            let mut snap = sh.stats.snapshot(sh.queue.depth(), sh.executor.cache_stats());
+            snap.set("ok", true);
+            snap.set("drained", true);
+            (snap, true)
+        }
+        Request::Submit { key, inputs } => (handle_submit(key, inputs, sh), false),
+    }
+}
+
+fn handle_submit(key: JobKey, inputs: Vec<Vec<u64>>, sh: &Shared) -> Json {
+    let n = inputs.len() as u64;
+    sh.stats.on_submit(n);
+    if inputs.is_empty() {
+        sh.stats.on_reject(0);
+        return protocol::resp_error("bad-request", "submit carries no instances");
+    }
+    let words = match sh.executor.validate(&key) {
+        Ok(w) => w,
+        Err(e) => {
+            sh.stats.on_reject(n);
+            return protocol::resp_error("bad-request", &e);
+        }
+    };
+    if let Some(bad) = inputs.iter().find(|i| i.len() != words) {
+        sh.stats.on_reject(n);
+        return protocol::resp_error(
+            "bad-request",
+            &format!("{key} expects {words} input words per instance, got {}", bad.len()),
+        );
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job { inputs, enqueued: Instant::now(), reply: tx };
+    match sh.queue.submit(key, job) {
+        Err(SubmitError::Draining) => {
+            sh.stats.on_reject(n);
+            protocol::resp_error("draining", "server is draining; no new work accepted")
+        }
+        Err(SubmitError::Overloaded { retry_after_ms }) => {
+            sh.stats.on_reject(n);
+            protocol::resp_overloaded(retry_after_ms)
+        }
+        Ok(()) => {
+            sh.stats.on_accept(n);
+            match rx.recv() {
+                Ok(Ok(done)) => {
+                    protocol::resp_outputs(&done.outputs, done.batch_p, done.queue_us, done.exec_us)
+                }
+                Ok(Err(e)) => protocol::resp_error("exec", &e),
+                Err(_) => protocol::resp_error("exec", "worker dropped the job"),
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Live server counters and latency/batch-size distributions.
+//!
+//! One mutex guards the whole set — every touch is a few integer adds, so
+//! contention is negligible next to batch execution — and `snapshot`
+//! renders the versioned `RunReport`-style JSON document that the `stats`
+//! protocol command returns.
+
+use crate::queue::QueueDepth;
+use obs::{Histogram, Json, RunReport};
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct Inner {
+    submitted_jobs: u64,
+    accepted_jobs: u64,
+    rejected_jobs: u64,
+    completed_jobs: u64,
+    failed_jobs: u64,
+    submitted_instances: u64,
+    accepted_instances: u64,
+    rejected_instances: u64,
+    completed_instances: u64,
+    protocol_errors: u64,
+    batches: u64,
+    batch_p: Histogram,
+    queue_wait_us: Histogram,
+    exec_us: Histogram,
+}
+
+/// Thread-safe server statistics.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    inner: Mutex<Inner>,
+}
+
+impl ServerStats {
+    /// A zeroed statistics set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("stats poisoned")
+    }
+
+    /// A well-formed submit request arrived (before admission).
+    pub fn on_submit(&self, instances: u64) {
+        let mut s = self.lock();
+        s.submitted_jobs += 1;
+        s.submitted_instances += instances;
+    }
+
+    /// A submit passed admission and was enqueued.
+    pub fn on_accept(&self, instances: u64) {
+        let mut s = self.lock();
+        s.accepted_jobs += 1;
+        s.accepted_instances += instances;
+    }
+
+    /// A submit was turned away (overloaded, draining, or bad request).
+    pub fn on_reject(&self, instances: u64) {
+        let mut s = self.lock();
+        s.rejected_jobs += 1;
+        s.rejected_instances += instances;
+    }
+
+    /// A line failed to parse as a protocol request.
+    pub fn on_protocol_error(&self) {
+        self.lock().protocol_errors += 1;
+    }
+
+    /// One coalesced batch executed with `instances` total lanes.
+    pub fn on_batch(&self, instances: u64, exec_us: u64) {
+        let mut s = self.lock();
+        s.batches += 1;
+        s.batch_p.record(instances);
+        s.exec_us.record(exec_us);
+    }
+
+    /// One accepted job finished (`failed` when its batch's execution
+    /// errored); `queue_us` is its enqueue-to-execution wait.
+    pub fn on_job_done(&self, instances: u64, queue_us: u64, failed: bool) {
+        let mut s = self.lock();
+        if failed {
+            s.failed_jobs += 1;
+        } else {
+            s.completed_jobs += 1;
+            s.completed_instances += instances;
+        }
+        s.queue_wait_us.record(queue_us);
+    }
+
+    /// Accounting invariant check: every submitted job must be accounted
+    /// as accepted or rejected, and (once the queue is empty) every
+    /// accepted job as completed or failed.  Returns a description of the
+    /// first violated equation.
+    ///
+    /// # Errors
+    ///
+    /// The violated equation, with both sides' values.
+    pub fn check_balanced(&self) -> Result<(), String> {
+        let s = self.lock();
+        if s.submitted_jobs != s.accepted_jobs + s.rejected_jobs {
+            return Err(format!(
+                "submitted_jobs {} != accepted {} + rejected {}",
+                s.submitted_jobs, s.accepted_jobs, s.rejected_jobs
+            ));
+        }
+        if s.accepted_jobs != s.completed_jobs + s.failed_jobs {
+            return Err(format!(
+                "accepted_jobs {} != completed {} + failed {}",
+                s.accepted_jobs, s.completed_jobs, s.failed_jobs
+            ));
+        }
+        Ok(())
+    }
+
+    /// The versioned observability snapshot served by the `stats` command.
+    ///
+    /// `cache` is the shared schedule cache's `(hits, compiles)` pair.
+    #[must_use]
+    pub fn snapshot(&self, depth: QueueDepth, cache: (u64, u64)) -> Json {
+        let s = self.lock();
+        let mut report = RunReport::new("bulkd");
+
+        let mut admission = Json::obj();
+        admission.set("submitted_jobs", s.submitted_jobs);
+        admission.set("accepted_jobs", s.accepted_jobs);
+        admission.set("rejected_jobs", s.rejected_jobs);
+        admission.set("submitted_instances", s.submitted_instances);
+        admission.set("accepted_instances", s.accepted_instances);
+        admission.set("rejected_instances", s.rejected_instances);
+        admission.set("protocol_errors", s.protocol_errors);
+        report.set("admission", admission);
+
+        let mut execution = Json::obj();
+        execution.set("batches", s.batches);
+        execution.set("completed_jobs", s.completed_jobs);
+        execution.set("failed_jobs", s.failed_jobs);
+        execution.set("completed_instances", s.completed_instances);
+        execution.set("exec_us", s.exec_us.summary_json());
+        report.set("execution", execution);
+
+        // Coalesce factor: jobs per executed batch — 1.0 means no
+        // amortization, `p` means the paper's ideal of one schedule replay
+        // serving `p` requests.
+        let mut coalescing = Json::obj();
+        let factor = if s.batches == 0 {
+            Json::Null
+        } else {
+            Json::from((s.completed_jobs + s.failed_jobs) as f64 / s.batches as f64)
+        };
+        coalescing.set("coalesce_factor", factor);
+        coalescing.set("mean_batch_p", s.batch_p.mean());
+        coalescing.set("batch_p", s.batch_p.summary_json());
+        report.set("coalescing", coalescing);
+
+        let mut queue = Json::obj();
+        queue.set("queued_instances", depth.queued_instances);
+        queue.set("open_groups", depth.open_groups);
+        queue.set("ready_batches", depth.ready_batches);
+        queue.set("in_flight_batches", depth.in_flight_batches);
+        queue.set("draining", depth.draining);
+        queue.set("queue_wait_us", s.queue_wait_us.summary_json());
+        report.set("queue", queue);
+
+        let (hits, compiles) = cache;
+        let mut sc = Json::obj();
+        sc.set("hits", hits);
+        sc.set("compiles", compiles);
+        let total = hits + compiles;
+        let rate = if total == 0 { Json::Null } else { Json::from(hits as f64 / total as f64) };
+        sc.set("hit_rate", rate);
+        report.set("schedule_cache", sc);
+
+        report.json().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDLE: QueueDepth = QueueDepth {
+        queued_instances: 0,
+        open_groups: 0,
+        ready_batches: 0,
+        in_flight_batches: 0,
+        draining: false,
+    };
+
+    #[test]
+    fn snapshot_reports_every_section_versioned() {
+        let st = ServerStats::new();
+        st.on_submit(4);
+        st.on_accept(4);
+        st.on_submit(1);
+        st.on_reject(1);
+        st.on_batch(4, 250);
+        st.on_job_done(4, 90, false);
+        st.on_protocol_error();
+        let j = st.snapshot(IDLE, (7, 1));
+        assert_eq!(j.path("tool").unwrap().as_str(), Some("bulkd"));
+        assert_eq!(j.path("schema_version").unwrap().as_i64(), Some(1));
+        assert_eq!(j.path("admission.submitted_jobs").unwrap().as_i64(), Some(2));
+        assert_eq!(j.path("admission.rejected_jobs").unwrap().as_i64(), Some(1));
+        assert_eq!(j.path("admission.protocol_errors").unwrap().as_i64(), Some(1));
+        assert_eq!(j.path("execution.batches").unwrap().as_i64(), Some(1));
+        assert_eq!(j.path("coalescing.coalesce_factor").unwrap().as_f64(), Some(1.0));
+        assert_eq!(j.path("coalescing.mean_batch_p").unwrap().as_f64(), Some(4.0));
+        assert_eq!(j.path("schedule_cache.hit_rate").unwrap().as_f64(), Some(0.875));
+        assert_eq!(j.path("queue.queued_instances").unwrap().as_i64(), Some(0));
+        // The snapshot is a parseable RunReport.
+        assert!(RunReport::parse(&j.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn balance_check_catches_lost_jobs() {
+        let st = ServerStats::new();
+        st.on_submit(1);
+        assert!(st.check_balanced().unwrap_err().contains("submitted_jobs"));
+        st.on_accept(1);
+        assert!(st.check_balanced().unwrap_err().contains("accepted_jobs"));
+        st.on_job_done(1, 5, false);
+        st.check_balanced().unwrap();
+        // Failed jobs balance too.
+        st.on_submit(1);
+        st.on_accept(1);
+        st.on_job_done(1, 5, true);
+        st.check_balanced().unwrap();
+    }
+
+    #[test]
+    fn empty_stats_snapshot_is_null_safe() {
+        let j = ServerStats::new().snapshot(IDLE, (0, 0));
+        assert_eq!(j.path("coalescing.coalesce_factor"), Some(&Json::Null));
+        assert_eq!(j.path("schedule_cache.hit_rate"), Some(&Json::Null));
+    }
+}

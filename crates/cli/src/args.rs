@@ -88,9 +88,69 @@ pub enum Command {
         /// Number of DMMs (streaming multiprocessors).
         dmms: usize,
     },
+    /// `bulkrun serve [--addr A] [--workers N] [--max-batch P]
+    /// [--max-queue Q] [--flush-after-ms MS] [--shards N] [--trace PATH]`
+    Serve {
+        /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+        addr: String,
+        /// Worker threads executing batches.
+        workers: usize,
+        /// Target batch `p` (size-based flush trigger).
+        max_batch: usize,
+        /// Admission bound on queued instances.
+        max_queue: usize,
+        /// Deadline-based flush trigger, in milliseconds.
+        flush_after_ms: u64,
+        /// Shards each batch replay splits over.
+        shards: usize,
+        /// Write a Chrome-trace of batch executions here at shutdown.
+        trace: Option<String>,
+    },
+    /// `bulkrun submit <algo> [--size N] [--layout row|col] [--addr A]
+    /// [--count C] [--seed S]`
+    Submit {
+        /// Algorithm name.
+        algo: String,
+        /// Size parameter.
+        size: Option<usize>,
+        /// Arrangement.
+        layout: Layout,
+        /// Server address.
+        addr: String,
+        /// Instances carried by the single submit.
+        count: usize,
+        /// Seed for deterministic input generation.
+        seed: u64,
+    },
+    /// `bulkrun loadgen <algo> [--size N] [--layout row|col] [--addr A]
+    /// [--clients C] [--duration-ms MS] [--instances N] [--report PATH]
+    /// [--drain-after]`
+    Loadgen {
+        /// Algorithm name.
+        algo: String,
+        /// Size parameter.
+        size: Option<usize>,
+        /// Arrangement.
+        layout: Layout,
+        /// Server address.
+        addr: String,
+        /// Concurrent closed-loop clients.
+        clients: usize,
+        /// How long to keep submitting, in milliseconds.
+        duration_ms: u64,
+        /// Instances per submit.
+        instances_per_submit: usize,
+        /// Write the combined loadgen + server-stats report here.
+        report: Option<String>,
+        /// Send `drain` when done (shuts the server down).
+        drain_after: bool,
+    },
     /// `bulkrun help`
     Help,
 }
+
+/// Default bind/connect address for the serving commands.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7070";
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -121,10 +181,31 @@ USAGE:
                                                  the tolerance (default 0%)
   bulkrun hmm   <algo> [--size N] [--p P]        shared-memory staging analysis
                        [--dmms D]
+  bulkrun serve        [--addr A]                batch-serving daemon: coalesce
+                       [--workers N]             submits by (algo, n, layout),
+                       [--max-batch P]           execute via cached compiled
+                       [--max-queue Q]           schedules; bounded queue with
+                       [--flush-after-ms MS]     overload backpressure
+                       [--shards N]
+                       [--trace PATH]            Chrome-trace of batch spans
+  bulkrun submit <algo> [--size N]               submit instances to a server
+                       [--layout row|col]        and wait for the batch
+                       [--addr A] [--count C]
+                       [--seed S]
+  bulkrun loadgen <algo> [--size N]              closed-loop load generator:
+                       [--layout row|col]        throughput + latency quantiles
+                       [--addr A] [--clients C]  (report embeds the server's
+                       [--duration-ms MS]        stats snapshot)
+                       [--instances N]
+                       [--report PATH]
+                       [--drain-after]           drain the server when done
   bulkrun help
 
 Defaults: p = 4096, width = 32, latency = 100, layout = col.
 Timeline defaults: p = 128, latency = 8, cols = 72 (small enough to read).
+Serve defaults: addr = 127.0.0.1:7070, workers = 4, max-batch = 256,
+  max-queue = 4096, flush-after-ms = 5, shards = 1.
+Loadgen defaults: clients = 32, duration-ms = 5000, instances = 1.
 ";
 
 fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
@@ -234,6 +315,99 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     parse_flag(rest, "--latency")?.unwrap_or(8),
                 ),
                 cols: parse_flag(rest, "--cols")?.unwrap_or(72),
+            })
+        }
+        "serve" => {
+            let rest = &args[1..];
+            reject_unknown(
+                rest,
+                &[
+                    "--addr",
+                    "--workers",
+                    "--max-batch",
+                    "--max-queue",
+                    "--flush-after-ms",
+                    "--shards",
+                    "--trace",
+                ],
+            )?;
+            let workers = parse_flag(rest, "--workers")?.unwrap_or(4);
+            let max_batch = parse_flag(rest, "--max-batch")?.unwrap_or(256);
+            let max_queue = parse_flag(rest, "--max-queue")?.unwrap_or(4096);
+            let shards = parse_flag(rest, "--shards")?.unwrap_or(1);
+            for (flag, v) in
+                [("--workers", workers), ("--max-batch", max_batch), ("--shards", shards)]
+            {
+                if v == 0 {
+                    return Err(format!("{flag} must be positive"));
+                }
+            }
+            Ok(Command::Serve {
+                addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                workers,
+                max_batch,
+                max_queue,
+                flush_after_ms: parse_flag(rest, "--flush-after-ms")?.unwrap_or(5) as u64,
+                shards,
+                trace: parse_string_flag(rest, "--trace")?,
+            })
+        }
+        "submit" => {
+            let algo = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("submit needs an algorithm name")?
+                .clone();
+            let rest = &args[2..];
+            reject_unknown(rest, &["--size", "--layout", "--addr", "--count", "--seed"])?;
+            let count = parse_flag(rest, "--count")?.unwrap_or(1);
+            if count == 0 {
+                return Err("--count must be positive".into());
+            }
+            Ok(Command::Submit {
+                algo,
+                size: parse_flag(rest, "--size")?,
+                layout: parse_layout(rest)?,
+                addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                count,
+                seed: parse_flag(rest, "--seed")?.unwrap_or(crate::RUN_SEED as usize) as u64,
+            })
+        }
+        "loadgen" => {
+            let algo = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("loadgen needs an algorithm name")?
+                .clone();
+            let rest = &args[2..];
+            reject_unknown(
+                rest,
+                &[
+                    "--size",
+                    "--layout",
+                    "--addr",
+                    "--clients",
+                    "--duration-ms",
+                    "--instances",
+                    "--report",
+                    "--drain-after",
+                ],
+            )?;
+            let clients = parse_flag(rest, "--clients")?.unwrap_or(32);
+            let instances = parse_flag(rest, "--instances")?.unwrap_or(1);
+            if clients == 0 || instances == 0 {
+                return Err("--clients and --instances must be positive".into());
+            }
+            Ok(Command::Loadgen {
+                algo,
+                size: parse_flag(rest, "--size")?,
+                layout: parse_layout(rest)?,
+                addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                clients,
+                duration_ms: parse_flag(rest, "--duration-ms")?.unwrap_or(5000) as u64,
+                instances_per_submit: instances,
+                report: parse_string_flag(rest, "--report")?,
+                drain_after: rest.iter().any(|a| a == "--drain-after"),
             })
         }
         "trace" | "model" | "run" | "hmm" => {
@@ -450,6 +624,111 @@ mod tests {
         assert!(parse(&argv("compare a.json")).is_err());
         assert!(parse(&argv("compare a.json b.json --threshold -1")).is_err());
         assert!(parse(&argv("compare a.json b.json --threshold nope")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_with_defaults() {
+        let c = parse(&argv("serve")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: DEFAULT_ADDR.into(),
+                workers: 4,
+                max_batch: 256,
+                max_queue: 4096,
+                flush_after_ms: 5,
+                shards: 1,
+                trace: None,
+            }
+        );
+        let c = parse(&argv(
+            "serve --addr 127.0.0.1:0 --workers 2 --max-batch 64 --max-queue 128 \
+             --flush-after-ms 20 --shards 3 --trace t.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                max_batch: 64,
+                max_queue: 128,
+                flush_after_ms: 20,
+                shards: 3,
+                trace: Some("t.json".into()),
+            }
+        );
+        assert!(parse(&argv("serve --workers 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("serve --max-batch 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("serve --p 4")).unwrap_err().contains("--p"));
+    }
+
+    #[test]
+    fn submit_parses_with_defaults() {
+        let c = parse(&argv("submit prefix-sums")).unwrap();
+        assert_eq!(
+            c,
+            Command::Submit {
+                algo: "prefix-sums".into(),
+                size: None,
+                layout: Layout::ColumnWise,
+                addr: DEFAULT_ADDR.into(),
+                count: 1,
+                seed: crate::RUN_SEED,
+            }
+        );
+        let c = parse(&argv("submit fir --size 16 --layout row --count 8 --seed 7")).unwrap();
+        match c {
+            Command::Submit { size, layout, count, seed, .. } => {
+                assert_eq!((size, layout, count, seed), (Some(16), Layout::RowWise, 8, 7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("submit")).is_err());
+        assert!(parse(&argv("submit opt --count 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("submit opt --p 4")).unwrap_err().contains("--p"));
+    }
+
+    #[test]
+    fn loadgen_parses_with_defaults() {
+        let c = parse(&argv("loadgen xtea")).unwrap();
+        assert_eq!(
+            c,
+            Command::Loadgen {
+                algo: "xtea".into(),
+                size: None,
+                layout: Layout::ColumnWise,
+                addr: DEFAULT_ADDR.into(),
+                clients: 32,
+                duration_ms: 5000,
+                instances_per_submit: 1,
+                report: None,
+                drain_after: false,
+            }
+        );
+        let c = parse(&argv(
+            "loadgen opt --size 8 --clients 4 --duration-ms 250 --instances 2 \
+             --report r.json --drain-after",
+        ))
+        .unwrap();
+        match c {
+            Command::Loadgen {
+                clients,
+                duration_ms,
+                instances_per_submit,
+                report,
+                drain_after,
+                ..
+            } => {
+                assert_eq!((clients, duration_ms, instances_per_submit), (4, 250, 2));
+                assert_eq!(report.as_deref(), Some("r.json"));
+                assert!(drain_after);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("loadgen")).is_err());
+        assert!(parse(&argv("loadgen opt --clients 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("loadgen opt --drain 1")).unwrap_err().contains("--drain"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod args;
 pub mod registry;
+pub mod serve;
 
 use args::Command;
 use gpu_sim::Device;
@@ -231,6 +232,98 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     "({} events dropped; view truncated — lower --p or --size)\n",
                     t.dropped()
                 ));
+            }
+        }
+        Command::Serve { addr, workers, max_batch, max_queue, flush_after_ms, shards, trace } => {
+            let executor = serve::CatalogExecutor::new(*shards);
+            let cfg = bulkd::ServerConfig {
+                addr: addr.clone(),
+                workers: *workers,
+                max_batch: *max_batch,
+                max_queue: *max_queue,
+                flush_after_ms: *flush_after_ms,
+                trace_path: trace.as_ref().map(std::path::PathBuf::from),
+            };
+            let snapshot = bulkd::serve(&cfg, Box::new(executor), |bound| {
+                // The one line the harness (tests, CI scripts) scrapes for
+                // the ephemeral port — flush so it lands before any wait.
+                println!("bulkd listening on {bound}");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            })?;
+            out.push_str("bulkd drained; final stats:\n");
+            out.push_str(&snapshot.to_pretty());
+            out.push('\n');
+            if let Some(path) = trace {
+                out.push_str(&format!("trace: wrote {path}\n"));
+            }
+        }
+        Command::Submit { algo, size, layout, addr, count, seed } => {
+            let a = Algo::parse(algo, *size)?;
+            let key = bulkd::JobKey { algo: algo.clone(), size: a.size_param(), layout: *layout };
+            let inputs = a.random_inputs_bits(*seed, *count);
+            let mut client =
+                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let ok = client.submit(&key, &inputs).map_err(|e| format!("submit: {e}"))?;
+            out.push_str(&format!(
+                "{key}: {} instance(s) rode a batch of p = {} \
+                 (queued {} us, executed in {} us)\n",
+                ok.outputs.len(),
+                ok.batch_p,
+                ok.queue_us,
+                ok.exec_us
+            ));
+        }
+        Command::Loadgen {
+            algo,
+            size,
+            layout,
+            addr,
+            clients,
+            duration_ms,
+            instances_per_submit,
+            report,
+            drain_after,
+        } => {
+            let a = Algo::parse(algo, *size)?;
+            let cfg = bulkd::LoadgenConfig {
+                addr: addr.clone(),
+                clients: *clients,
+                duration: std::time::Duration::from_millis(*duration_ms),
+                key: bulkd::JobKey { algo: algo.clone(), size: a.size_param(), layout: *layout },
+                instances_per_submit: *instances_per_submit,
+            };
+            let pool = a.random_inputs_bits(RUN_SEED, 64.max(*instances_per_submit));
+            let rep = bulkd::run_loadgen(&cfg, &pool)?;
+            let mut client =
+                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let server_stats = if *drain_after { client.drain() } else { client.stats() }
+                .map_err(|e| format!("server stats: {e}"))?;
+            let secs = rep.elapsed.as_secs_f64().max(1e-9);
+            out.push_str(&format!(
+                "loadgen {}: {} submitted, {} completed ({:.0} jobs/s, \
+                 {:.0} instances/s), {} overload retries, {} errors\n",
+                cfg.key,
+                rep.submitted,
+                rep.completed,
+                rep.completed as f64 / secs,
+                (rep.completed * *instances_per_submit as u64) as f64 / secs,
+                rep.overload_retries,
+                rep.errors
+            ));
+            out.push_str(&format!(
+                "  latency p50/p99: {} / {} us; mean observed batch p: {:.1}\n",
+                rep.latency_us.quantile(0.5).unwrap_or(0),
+                rep.latency_us.quantile(0.99).unwrap_or(0),
+                rep.batch_p.mean()
+            ));
+            if let Some(path) = report {
+                let mut j = rep.to_json(&cfg);
+                j.set("server", server_stats);
+                write_text("loadgen report", path, &j.to_pretty())?;
+                out.push_str(&format!("  report: wrote {path}\n"));
+            }
+            if *drain_after {
+                out.push_str("  server drained\n");
             }
         }
         Command::Compare { a, b, threshold } => {

@@ -19,7 +19,8 @@ use oblivious::program::{
     compiled_profiled_dmm, compiled_profiled_umm, run_compiled_in_place, time_steps, trace_of,
 };
 use oblivious::{
-    theorems, BulkMachine, BulkMetrics, CompiledSchedule, Layout, Model, ObliviousProgram, Word,
+    theorems, BulkMachine, BulkMetrics, CacheStats, CompiledSchedule, Layout, Model,
+    ObliviousProgram, ScheduleCache, Word,
 };
 use obs::{Json, Rng, Tracer};
 use umm_core::{MachineConfig, ThreadTrace};
@@ -42,6 +43,37 @@ fn random_u32_inputs(seed: u64, p: usize, len: usize) -> Vec<Vec<u32>> {
 fn random_u64_inputs(seed: u64, p: usize, len: usize) -> Vec<Vec<u64>> {
     let mut rng = Rng::new(seed);
     (0..p).map(|_| (0..len).map(|_| u64::from(rng.next_u32())).collect()).collect()
+}
+
+/// Shared compiled-schedule caches, one per word type — the serving
+/// daemon's execution substrate.  Every coalesced batch of a given
+/// `(algo, n, layout)` key replays one cached schedule; the aggregated
+/// [`ScheduleCaches::totals`] feed the daemon's cache-hit-rate stat.
+#[derive(Debug, Default)]
+pub struct ScheduleCaches {
+    /// Cache for `f32` programs (most of the catalog).
+    pub f32_cache: ScheduleCache<f32>,
+    /// Cache for `u32` programs (XTEA).
+    pub u32_cache: ScheduleCache<u32>,
+    /// Cache for `u64` programs (Pascal's triangle).
+    pub u64_cache: ScheduleCache<u64>,
+}
+
+impl ScheduleCaches {
+    /// Empty caches.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Aggregate hit/compile counts across the three word types.
+    #[must_use]
+    pub fn totals(&self) -> CacheStats {
+        [self.f32_cache.stats(), self.u32_cache.stats(), self.u64_cache.stats()].iter().fold(
+            CacheStats::default(),
+            |acc, s| CacheStats { hits: acc.hits + s.hits, compiles: acc.compiles + s.compiles },
+        )
+    }
 }
 
 /// Which execution engine [`Algo::outputs_bits`] drives.
@@ -643,6 +675,127 @@ impl Algo {
         }
         self.with_program(BitsOp { engine, p, layout, seed })
     }
+
+    /// The bound size parameter (defaults already applied by
+    /// [`Algo::parse`]) — what a serving client puts in its `JobKey`.
+    #[must_use]
+    pub fn size_param(&self) -> usize {
+        match *self {
+            Algo::PrefixSums(n)
+            | Algo::Opt(n)
+            | Algo::MatMul(n)
+            | Algo::Transpose(n)
+            | Algo::MatVec(n)
+            | Algo::Fir(n)
+            | Algo::Lcs(n)
+            | Algo::EditDistance(n)
+            | Algo::FloydWarshall(n)
+            | Algo::SummedArea(n)
+            | Algo::Xtea(n)
+            | Algo::Horner(n)
+            | Algo::Permute(n)
+            | Algo::MatrixChain(n)
+            | Algo::Lu(n)
+            | Algo::PolyMul(n)
+            | Algo::Pascal(n) => n,
+            Algo::Fft(k) | Algo::Bitonic(k) | Algo::OeMergeSort(k) => k as usize,
+        }
+    }
+
+    /// Input words per instance — what a serving submit must carry.
+    #[must_use]
+    pub fn input_words(&self) -> usize {
+        struct InputOp;
+        impl ProgramOp<usize> for InputOp {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, p: P) -> usize {
+                p.input_range().len()
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, p: P) -> usize {
+                p.input_range().len()
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, p: P) -> usize {
+                p.input_range().len()
+            }
+        }
+        self.with_program(InputOp)
+    }
+
+    /// The same deterministic input stream every engine run draws, as raw
+    /// bit patterns: `random_inputs_bits(seed, p)[i]` is instance `i` of
+    /// `outputs_bits(engine, p, layout, seed)`'s inputs, so wire-submitted
+    /// results can be compared bit-for-bit against direct engine runs.
+    #[must_use]
+    pub fn random_inputs_bits(&self, seed: u64, p: usize) -> Vec<Vec<u64>> {
+        struct GenOp {
+            seed: u64,
+            p: usize,
+        }
+        fn to_bits<W: Word>(inputs: Vec<Vec<W>>) -> Vec<Vec<u64>> {
+            inputs.into_iter().map(|i| i.into_iter().map(Word::to_bits_u64).collect()).collect()
+        }
+        impl ProgramOp<Vec<Vec<u64>>> for GenOp {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                to_bits(random_f32_inputs(self.seed, self.p, pr.input_range().len()))
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                to_bits(random_u32_inputs(self.seed, self.p, pr.input_range().len()))
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                to_bits(random_u64_inputs(self.seed, self.p, pr.input_range().len()))
+            }
+        }
+        self.with_program(GenOp { seed, p })
+    }
+
+    /// Execute instances given as raw bit patterns through the shared
+    /// schedule caches + sharded replay — the serving daemon's execution
+    /// path.  Outputs come back as bit patterns in instance order,
+    /// bit-identical to `bulk_execute_compiled` on the same inputs.
+    #[must_use]
+    pub fn run_cached_bits(
+        &self,
+        caches: &ScheduleCaches,
+        layout: Layout,
+        inputs_bits: &[Vec<u64>],
+        shards: usize,
+    ) -> Vec<Vec<u64>> {
+        struct CachedOp<'a> {
+            caches: &'a ScheduleCaches,
+            layout: Layout,
+            inputs: &'a [Vec<u64>],
+            shards: usize,
+        }
+        fn replay<W: Word, P: ObliviousProgram<W>>(
+            cache: &ScheduleCache<W>,
+            pr: &P,
+            layout: Layout,
+            inputs_bits: &[Vec<u64>],
+            shards: usize,
+        ) -> Vec<Vec<u64>> {
+            let inputs: Vec<Vec<W>> = inputs_bits
+                .iter()
+                .map(|i| i.iter().map(|&b| W::from_bits_u64(b)).collect())
+                .collect();
+            let refs: Vec<&[W]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let schedule = cache.get_or_compile(pr, layout);
+            oblivious::run_sharded(&schedule, &refs, layout, shards)
+                .into_iter()
+                .map(|lane| lane.into_iter().map(Word::to_bits_u64).collect())
+                .collect()
+        }
+        impl<'a> ProgramOp<Vec<Vec<u64>>> for CachedOp<'a> {
+            fn call_f32<P: ObliviousProgram<f32> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                replay(&self.caches.f32_cache, &pr, self.layout, self.inputs, self.shards)
+            }
+            fn call_u32<P: ObliviousProgram<u32> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                replay(&self.caches.u32_cache, &pr, self.layout, self.inputs, self.shards)
+            }
+            fn call_u64<P: ObliviousProgram<u64> + Sync>(self, pr: P) -> Vec<Vec<u64>> {
+                replay(&self.caches.u64_cache, &pr, self.layout, self.inputs, self.shards)
+            }
+        }
+        self.with_program(CachedOp { caches, layout, inputs: inputs_bits, shards })
+    }
 }
 
 /// Event timelines of one bulk run, one tracer per layer.  Exported
@@ -822,6 +975,35 @@ mod tests {
         let row = algo.model_time(cfg, Model::Umm, Layout::RowWise, 1024);
         let col = algo.model_time(cfg, Model::Umm, Layout::ColumnWise, 1024);
         assert!(col < row);
+    }
+
+    #[test]
+    fn size_param_reflects_defaults_and_overrides() {
+        assert_eq!(Algo::parse("prefix-sums", None).unwrap().size_param(), 1024);
+        assert_eq!(Algo::parse("fft", Some(3)).unwrap().size_param(), 3);
+        assert_eq!(Algo::parse("xtea", Some(5)).unwrap().size_param(), 5);
+    }
+
+    /// The serving path (`run_cached_bits`) must agree bit-for-bit with a
+    /// direct `bulk_execute_compiled` run on the same input stream, across
+    /// all three word types, and compile each schedule exactly once.
+    #[test]
+    fn cached_bits_match_direct_compiled_runs() {
+        for name in ["prefix-sums", "xtea", "pascal"] {
+            let algo = Algo::parse(name, Some(8)).unwrap();
+            let caches = ScheduleCaches::new();
+            let inputs = algo.random_inputs_bits(7, 12);
+            assert_eq!(inputs.len(), 12);
+            assert!(inputs.iter().all(|i| i.len() == algo.input_words()), "{name}");
+            let served = algo.run_cached_bits(&caches, Layout::ColumnWise, &inputs, 3);
+            let direct =
+                algo.outputs_bits(Engine::Compiled { shards: 1 }, 12, Layout::ColumnWise, 7);
+            assert_eq!(served, direct, "{name}");
+            assert_eq!(caches.totals(), CacheStats { hits: 0, compiles: 1 }, "{name}");
+            let again = algo.run_cached_bits(&caches, Layout::ColumnWise, &inputs, 1);
+            assert_eq!(again, direct, "{name}: shard count must not matter");
+            assert_eq!(caches.totals(), CacheStats { hits: 1, compiles: 1 }, "{name}");
+        }
     }
 
     #[test]

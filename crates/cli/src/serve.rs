@@ -1,0 +1,85 @@
+//! Serving glue: the catalog-backed [`BatchExecutor`] behind
+//! `bulkrun serve`.
+//!
+//! `bulkd` is catalog-agnostic — it moves word bit patterns.  This module
+//! closes the loop: keys resolve through [`Algo::parse`], batches execute
+//! via the shared [`ScheduleCaches`] + sharded compiled replay, and the
+//! caches' hit/compile totals feed the daemon's `stats` snapshot.
+
+use crate::registry::{Algo, ScheduleCaches};
+use bulkd::{BatchExecutor, JobKey};
+use std::sync::Arc;
+
+/// Executes coalesced batches through the algorithm registry.
+#[derive(Debug, Default)]
+pub struct CatalogExecutor {
+    caches: Arc<ScheduleCaches>,
+    shards: usize,
+}
+
+impl CatalogExecutor {
+    /// An executor replaying each batch over `shards` threads (clamped to
+    /// at least one; batch-level parallelism comes from the worker pool).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self { caches: Arc::new(ScheduleCaches::new()), shards: shards.max(1) }
+    }
+
+    /// The shared schedule caches (for tests asserting compile counts).
+    #[must_use]
+    pub fn caches(&self) -> &Arc<ScheduleCaches> {
+        &self.caches
+    }
+
+    fn algo(key: &JobKey) -> Result<Algo, String> {
+        Algo::parse(&key.algo, Some(key.size))
+    }
+}
+
+impl BatchExecutor for CatalogExecutor {
+    fn validate(&self, key: &JobKey) -> Result<usize, String> {
+        Ok(Self::algo(key)?.input_words())
+    }
+
+    fn execute(&self, key: &JobKey, inputs: &[Vec<u64>]) -> Result<Vec<Vec<u64>>, String> {
+        let algo = Self::algo(key)?;
+        Ok(algo.run_cached_bits(&self.caches, key.layout, inputs, self.shards))
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        let t = self.caches.totals();
+        (t.hits, t.compiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Engine;
+    use oblivious::Layout;
+
+    #[test]
+    fn validate_accepts_catalog_keys_and_rejects_unknown() {
+        let ex = CatalogExecutor::new(1);
+        let key = JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise };
+        assert_eq!(ex.validate(&key).unwrap(), 64);
+        let bad = JobKey { algo: "bogosort".into(), size: 64, layout: Layout::ColumnWise };
+        assert!(ex.validate(&bad).unwrap_err().contains("unknown algorithm"));
+        let bad = JobKey { algo: "opt".into(), size: 2, layout: Layout::ColumnWise };
+        assert!(ex.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn execute_matches_direct_engine_and_counts_cache_traffic() {
+        let ex = CatalogExecutor::new(2);
+        let key = JobKey { algo: "fir".into(), size: 16, layout: Layout::RowWise };
+        let algo = Algo::parse("fir", Some(16)).unwrap();
+        let inputs = algo.random_inputs_bits(3, 6);
+        let out = ex.execute(&key, &inputs).unwrap();
+        let direct = algo.outputs_bits(Engine::Compiled { shards: 1 }, 6, Layout::RowWise, 3);
+        assert_eq!(out, direct);
+        assert_eq!(ex.cache_stats(), (0, 1));
+        let _ = ex.execute(&key, &inputs).unwrap();
+        assert_eq!(ex.cache_stats(), (1, 1));
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end battery for the batch-serving daemon: real TCP, real worker
+//! pool, real schedule cache.
+//!
+//! The headline acceptance test is the paper's economics made observable:
+//! 512 independent single-instance submits of the same `(algo, n, layout)`
+//! key must coalesce into large batches (mean executed `p ≥ 32`), compile
+//! the schedule exactly once, and return outputs bit-identical to a direct
+//! `bulk_execute_compiled` run over the same inputs.
+
+use cli::registry::{Algo, Engine, ScheduleCaches};
+use cli::serve::CatalogExecutor;
+use cli::RUN_SEED;
+use obs::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+fn start_server(
+    workers: usize,
+    max_batch: usize,
+    max_queue: usize,
+    flush_after_ms: u64,
+) -> (String, std::thread::JoinHandle<Result<Json, String>>, Arc<ScheduleCaches>) {
+    let executor = CatalogExecutor::new(1);
+    let caches = Arc::clone(executor.caches());
+    let cfg = bulkd::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        max_batch,
+        max_queue,
+        flush_after_ms,
+        trace_path: None,
+    };
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        bulkd::serve(&cfg, Box::new(executor), move |addr| {
+            tx.send(addr).expect("addr channel");
+        })
+    });
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("server never became ready");
+    (addr.to_string(), handle, caches)
+}
+
+/// ISSUE acceptance: 512 clients' worth of single-instance submits of one
+/// key coalesce (mean batch p ≥ 32), compile once, and match the direct
+/// compiled engine bit-for-bit.
+#[test]
+fn coalesces_single_instance_submits_compiles_once_and_matches_direct() {
+    const JOBS: usize = 512;
+    const CLIENTS: usize = 64;
+    const PER_CLIENT: usize = JOBS / CLIENTS;
+
+    let algo = Algo::parse("prefix-sums", Some(64)).unwrap();
+    let layout = oblivious::Layout::ColumnWise;
+    let key = bulkd::JobKey { algo: "prefix-sums".into(), size: 64, layout };
+    // The same deterministic stream `bulkrun submit --count 512` would draw.
+    let inputs = algo.random_inputs_bits(RUN_SEED, JOBS);
+    let direct = algo.outputs_bits(Engine::Compiled { shards: 1 }, JOBS, layout, RUN_SEED);
+
+    // A flush window comfortably wider than a batch's execution keeps the
+    // closed-loop clients in lock-step: every round all 64 in-flight
+    // submits land in one batch.
+    let (addr, server, caches) = start_server(2, JOBS, 4 * JOBS, 30);
+
+    let batch_p_sum = AtomicU64::new(0);
+    let outputs: Vec<Vec<Vec<u64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let (addr, key, inputs) = (&addr, &key, &inputs);
+                let batch_p_sum = &batch_p_sum;
+                scope.spawn(move || {
+                    let mut client = bulkd::Client::connect(addr).expect("connect");
+                    let mut outs = Vec::with_capacity(PER_CLIENT);
+                    for j in 0..PER_CLIENT {
+                        let i = c * PER_CLIENT + j;
+                        let one = std::slice::from_ref(&inputs[i]);
+                        let ok = client.submit(key, one).expect("submit");
+                        assert_eq!(ok.outputs.len(), 1);
+                        batch_p_sum.fetch_add(ok.batch_p, Ordering::Relaxed);
+                        outs.push(ok.outputs.into_iter().next().unwrap());
+                    }
+                    outs
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+
+    // Bit-identity: reassemble per-submit outputs in instance order.
+    let served: Vec<Vec<u64>> = outputs.into_iter().flatten().collect();
+    assert_eq!(served, direct, "served outputs diverge from bulk_execute_compiled");
+
+    // Coalescing: the mean executed batch p each job observed.
+    let mean_p = batch_p_sum.load(Ordering::Relaxed) as f64 / JOBS as f64;
+    assert!(mean_p >= 32.0, "mean executed batch p {mean_p:.1} < 32 — coalescing failed");
+
+    // One compile total, everything after a hit — from the cache itself…
+    let totals = caches.totals();
+    assert_eq!(totals.compiles, 1, "schedule compiled more than once: {totals:?}");
+
+    // …and as reported over the wire.  The cache is touched once per
+    // executed batch, so hits + compiles == batches.
+    let mut c = bulkd::Client::connect(&addr).expect("connect");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.path("schedule_cache.compiles").unwrap().as_i64(), Some(1));
+    assert_eq!(stats.path("admission.accepted_jobs").unwrap().as_i64(), Some(JOBS as i64));
+    let batches = stats.path("execution.batches").unwrap().as_i64().unwrap();
+    assert!(batches >= 1 && batches <= (JOBS / 32) as i64, "batches = {batches}");
+    assert_eq!((totals.hits + totals.compiles) as i64, batches);
+    if batches > 1 {
+        assert!(stats.path("schedule_cache.hit_rate").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    let final_stats = drain_and_join(&addr, server);
+    assert_eq!(final_stats.path("execution.completed_jobs").unwrap().as_i64(), Some(JOBS as i64));
+    assert_eq!(final_stats.path("admission.rejected_jobs").unwrap().as_i64(), Some(0));
+}
+
+fn drain_and_join(addr: &str, server: std::thread::JoinHandle<Result<Json, String>>) -> Json {
+    let mut c = bulkd::Client::connect(addr).expect("connect for drain");
+    c.drain().expect("drain");
+    server.join().expect("server panicked").expect("serve returned an error")
+}
+
+/// Admission control: a submit that exceeds `max_queue` must bounce
+/// promptly with an `overloaded` response, never hang.
+#[test]
+fn over_limit_submit_is_rejected_promptly_with_overloaded() {
+    // A one-hour flush window: if admission control let the job in, the
+    // submit would block far past the test's patience.
+    let (addr, server, _caches) = start_server(1, 1024, 4, 3_600_000);
+    let algo = Algo::parse("xtea", None).unwrap();
+    let key = bulkd::JobKey {
+        algo: "xtea".into(),
+        size: algo.size_param(),
+        layout: oblivious::Layout::ColumnWise,
+    };
+    let inputs = algo.random_inputs_bits(1, 8); // 8 instances > max_queue 4
+
+    let mut client = bulkd::Client::connect(&addr).expect("connect");
+    let t0 = Instant::now();
+    match client.submit(&key, &inputs) {
+        Err(bulkd::ClientError::Overloaded { retry_after_ms }) => {
+            assert!(retry_after_ms >= 1);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(t0.elapsed() < Duration::from_secs(5), "overload rejection was not prompt");
+
+    // Within the limit the job is admitted (it rides the drain flush).
+    let small = algo.random_inputs_bits(2, 2);
+    let submit = {
+        let addr = addr.clone();
+        let key = key.clone();
+        std::thread::spawn(move || {
+            let mut c = bulkd::Client::connect(&addr).expect("connect");
+            c.submit(&key, &small).expect("in-limit submit")
+        })
+    };
+    // Give the submit time to enqueue, then drain: the pending group must
+    // flush and complete, not be abandoned.
+    std::thread::sleep(Duration::from_millis(200));
+    let final_stats = drain_and_join(&addr, server);
+    let ok = submit.join().expect("submitter panicked");
+    assert_eq!(ok.outputs.len(), 2);
+    assert_eq!(ok.batch_p, 2);
+    assert_eq!(final_stats.path("admission.rejected_jobs").unwrap().as_i64(), Some(1));
+    assert_eq!(final_stats.path("admission.rejected_instances").unwrap().as_i64(), Some(8));
+    assert_eq!(final_stats.path("execution.completed_jobs").unwrap().as_i64(), Some(1));
+}
+
+/// Graceful shutdown: drain completes accepted work, rejects new submits,
+/// and the final stats balance.
+#[test]
+fn drain_completes_accepted_work_and_rejects_new_submits() {
+    let (addr, server, _caches) = start_server(2, 64, 1024, 10);
+    let algo = Algo::parse("fir", Some(16)).unwrap();
+    let key = bulkd::JobKey { algo: "fir".into(), size: 16, layout: oblivious::Layout::RowWise };
+    let direct =
+        algo.outputs_bits(Engine::Compiled { shards: 1 }, 6, oblivious::Layout::RowWise, 9);
+
+    let mut client = bulkd::Client::connect(&addr).expect("connect");
+    let inputs = algo.random_inputs_bits(9, 6);
+    let ok = client.submit(&key, &inputs).expect("pre-drain submit");
+    assert_eq!(ok.outputs, direct);
+
+    let final_stats = drain_and_join(&addr, server);
+
+    // The old connection outlives the accept loop; its submits now bounce.
+    match client.submit(&key, &inputs) {
+        Err(bulkd::ClientError::Rejected { kind, .. }) => assert_eq!(kind, "draining"),
+        other => panic!("expected a draining rejection, got {other:?}"),
+    }
+
+    // Final accounting balances: one accepted job, one completed job (the
+    // post-drain reject is invisible to the *final* snapshot, which was
+    // taken at serve() exit before the late submit).
+    let submitted = final_stats.path("admission.submitted_jobs").unwrap().as_i64().unwrap();
+    let accepted = final_stats.path("admission.accepted_jobs").unwrap().as_i64().unwrap();
+    let rejected = final_stats.path("admission.rejected_jobs").unwrap().as_i64().unwrap();
+    let completed = final_stats.path("execution.completed_jobs").unwrap().as_i64().unwrap();
+    let failed = final_stats.path("execution.failed_jobs").unwrap().as_i64().unwrap();
+    assert_eq!(submitted, accepted + rejected);
+    assert_eq!(accepted, completed + failed);
+    assert_eq!((accepted, completed, failed), (1, 1, 0));
+    assert_eq!(final_stats.path("queue.draining"), Some(&Json::Bool(true)));
+    assert_eq!(final_stats.path("queue.queued_instances").unwrap().as_i64(), Some(0));
+}
+
+/// Malformed lines are answered with structured protocol errors (carrying
+/// the parser's byte offset) and counted — the connection stays usable.
+#[test]
+fn protocol_errors_are_structured_and_nonfatal() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, server, _caches) = start_server(1, 64, 1024, 5);
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    stream.write_all(b"{\"cmd\": \"submit\", \"algo\": }\n").expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let resp = Json::parse(line.trim()).expect("error response parses");
+    assert_eq!(resp.path("ok"), Some(&Json::Bool(false)));
+    assert_eq!(resp.path("error").unwrap().as_str(), Some("protocol"));
+    let detail = resp.path("detail").unwrap().as_str().unwrap();
+    assert!(detail.contains("byte"), "parse error lacks a byte offset: {detail}");
+
+    // The same connection still serves well-formed requests.
+    stream.write_all(b"{\"cmd\": \"status\"}\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    let resp = Json::parse(line.trim()).expect("status parses");
+    assert_eq!(resp.path("ok"), Some(&Json::Bool(true)));
+
+    let final_stats = drain_and_join(&addr, server);
+    assert_eq!(final_stats.path("admission.protocol_errors").unwrap().as_i64(), Some(1));
+}

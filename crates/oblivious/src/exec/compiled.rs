@@ -817,20 +817,62 @@ fn reg_dead_after<W: Word>(rest: &[Step<W>], x: u32) -> bool {
 /// schedule cannot depend on the physical arrangement); keying by layout
 /// keeps the cache aligned with how executions are requested and leaves
 /// room for layout-specialised artifacts (cost tables) to live alongside.
-/// Thread-safe: sharded executors may share one cache.
-#[derive(Debug, Default)]
+/// Thread-safe: sharded executors and serving daemons share one cache
+/// behind an `Arc`.  Compilation happens *under* the lock, so each key
+/// compiles exactly once no matter how many threads race on it — the
+/// invariant [`ScheduleCache::stats`] lets callers assert.
+#[derive(Debug)]
 pub struct ScheduleCache<W> {
-    entries: Mutex<Vec<CacheEntry<W>>>,
+    inner: Mutex<CacheInner<W>>,
+}
+
+/// Cumulative hit/compile counts of a [`ScheduleCache`].
+///
+/// `compiles` is the number of dry runs performed (one per distinct key
+/// ever requested); `hits` is the number of requests served from an
+/// existing entry.  A serving daemon reports these as its schedule-cache
+/// hit rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from an existing entry.
+    pub hits: u64,
+    /// Requests that compiled a new schedule (== distinct keys requested).
+    pub compiles: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache (0 when never used).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.compiles;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheInner<W> {
+    entries: Vec<CacheEntry<W>>,
+    stats: CacheStats,
 }
 
 /// `(name, memory_words, layout)` key plus the shared schedule.
 type CacheEntry<W> = ((String, usize, Layout), Arc<CompiledSchedule<W>>);
 
+impl<W> Default for ScheduleCache<W> {
+    fn default() -> Self {
+        Self { inner: Mutex::new(CacheInner { entries: Vec::new(), stats: CacheStats::default() }) }
+    }
+}
+
 impl<W: Word> ScheduleCache<W> {
     /// An empty cache.
     #[must_use]
     pub fn new() -> Self {
-        Self { entries: Mutex::new(Vec::new()) }
+        Self::default()
     }
 
     /// Fetch the schedule for `(program.name(), program.memory_words(),
@@ -841,25 +883,33 @@ impl<W: Word> ScheduleCache<W> {
         layout: Layout,
     ) -> Arc<CompiledSchedule<W>> {
         let key = (program.name(), program.memory_words(), layout);
-        let mut entries = self.entries.lock().expect("schedule cache poisoned");
-        if let Some((_, s)) = entries.iter().find(|(k, _)| *k == key) {
-            return Arc::clone(s);
+        let mut inner = self.inner.lock().expect("schedule cache poisoned");
+        if let Some(idx) = inner.entries.iter().position(|(k, _)| *k == key) {
+            inner.stats.hits += 1;
+            return Arc::clone(&inner.entries[idx].1);
         }
         let schedule = Arc::new(CompiledSchedule::compile(program));
-        entries.push((key, Arc::clone(&schedule)));
+        inner.stats.compiles += 1;
+        inner.entries.push((key, Arc::clone(&schedule)));
         schedule
     }
 
     /// Number of cached schedules.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("schedule cache poisoned").len()
+        self.inner.lock().expect("schedule cache poisoned").entries.len()
     }
 
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Cumulative hit/compile counts since construction.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("schedule cache poisoned").stats
     }
 }
 
@@ -1234,6 +1284,10 @@ mod tests {
         let _ = cache.get_or_compile(&MiniPrefix { n: 4 }, Layout::RowWise);
         let _ = cache.get_or_compile(&MiniPrefix { n: 5 }, Layout::ColumnWise);
         assert_eq!(cache.len(), 3, "layout and size are part of the key");
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { hits: 1, compiles: 3 });
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0, "unused cache has rate 0");
     }
 
     #[test]

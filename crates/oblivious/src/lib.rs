@@ -73,9 +73,9 @@ pub use checker::{check_oblivious, ObliviousnessViolation};
 pub use compose::{Chain, Repeat, Shifted};
 pub use exec::shard::{run_sharded, shard_bounds};
 pub use exec::{
-    compile_from_traces, BulkMachine, BulkMetrics, BulkValue, CompileError, CompiledSchedule,
-    CostMachine, LanePort, Model, RmwOperand, ScalarMachine, ScheduleCache, SliceLanes,
-    TraceMachine,
+    compile_from_traces, BulkMachine, BulkMetrics, BulkValue, CacheStats, CompileError,
+    CompiledSchedule, CostMachine, LanePort, Model, RmwOperand, ScalarMachine, ScheduleCache,
+    SliceLanes, TraceMachine,
 };
 pub use hmm_cost::{capacity_needed_per_dmm, hmm_bulk_cost, HmmBulkCost};
 pub use layout::Layout;

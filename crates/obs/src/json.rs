@@ -214,13 +214,15 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a message with a byte offset on malformed input.
+    /// Returns a message carrying the byte offset of the failure and a
+    /// snippet of the surrounding input, so a malformed line arriving over
+    /// a wire protocol is diagnosable from the error text alone.
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
+            return Err(p.err("trailing garbage"));
         }
         Ok(v)
     }
@@ -275,12 +277,33 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// How many bytes of input to quote on each side of a parse failure.
+const ERR_CONTEXT: usize = 24;
+
+/// Render `msg` with the byte offset and a `«here»`-marked snippet of the
+/// surrounding input.
+fn err_at(bytes: &[u8], pos: usize, msg: &str) -> String {
+    let pos = pos.min(bytes.len());
+    let start = pos.saturating_sub(ERR_CONTEXT);
+    let end = (pos + ERR_CONTEXT).min(bytes.len());
+    let before = String::from_utf8_lossy(&bytes[start..pos]);
+    let after = String::from_utf8_lossy(&bytes[pos..end]);
+    let pre = if start > 0 { "…" } else { "" };
+    let post = if end < bytes.len() { "…" } else { "" };
+    format!("{msg} at byte {pos} near `{pre}{before}«here»{after}{post}`")
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl Parser<'_> {
+    /// A parse error anchored at the current position.
+    fn err(&self, msg: &str) -> String {
+        err_at(self.bytes, self.pos, msg)
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
@@ -292,7 +315,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            Err(self.err(&format!("expected '{}'", b as char)))
         }
     }
 
@@ -301,7 +324,7 @@ impl Parser<'_> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("bad literal at byte {}", self.pos))
+            Err(self.err("bad literal"))
         }
     }
 
@@ -329,7 +352,7 @@ impl Parser<'_> {
                             self.pos += 1;
                             return Ok(Json::Arr(items));
                         }
-                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                        _ => return Err(self.err("expected ',' or ']'")),
                     }
                 }
             }
@@ -345,7 +368,7 @@ impl Parser<'_> {
                     self.skip_ws();
                     let key = self.string()?;
                     if fields.iter().any(|(k, _)| *k == key) {
-                        return Err(format!("duplicate key \"{key}\" at byte {}", self.pos));
+                        return Err(self.err(&format!("duplicate key \"{key}\"")));
                     }
                     self.skip_ws();
                     self.expect(b':')?;
@@ -357,12 +380,12 @@ impl Parser<'_> {
                             self.pos += 1;
                             return Ok(Json::Obj(fields));
                         }
-                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                        _ => return Err(self.err("expected ',' or '}'")),
                     }
                 }
             }
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
+            _ => Err(self.err("unexpected input")),
         }
     }
 
@@ -371,7 +394,7 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos) {
-                None => return Err("unterminated string".into()),
+                None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -381,7 +404,7 @@ impl Parser<'_> {
                     let esc = *self
                         .bytes
                         .get(self.pos)
-                        .ok_or_else(|| "unterminated escape".to_string())?;
+                        .ok_or_else(|| err_at(self.bytes, self.pos, "unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -408,7 +431,7 @@ impl Parser<'_> {
                                     .ok_or_else(|| format!("bad \\u escape {code:#x}"))?,
                             );
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                        _ => return Err(err_at(self.bytes, self.pos - 1, "bad escape")),
                     }
                 }
                 Some(&b) if b < 0x80 => {
@@ -587,6 +610,52 @@ mod tests {
         assert!(Json::parse("1,").unwrap_err().contains("trailing"));
         // Trailing whitespace is fine.
         assert!(Json::parse("{\"a\":1}  \n").is_ok());
+    }
+
+    /// Parse errors must be diagnosable from the text alone: every failure
+    /// carries its byte offset and a `«here»`-marked snippet of the input
+    /// around it — the contract the bulkd wire protocol relies on to
+    /// explain malformed client lines.
+    #[test]
+    fn parse_errors_carry_offset_and_context_snippet() {
+        let err = Json::parse(r#"{"cmd":"submit","p":boom}"#).unwrap_err();
+        assert!(err.contains("unexpected input"), "{err}");
+        assert!(err.contains("at byte 20"), "{err}");
+        assert!(err.contains("«here»boom}"), "{err}");
+        assert!(err.contains(r#"{"cmd":"submit","p":«here»"#), "{err}");
+
+        // Long inputs are windowed with ellipses on the truncated sides.
+        let long = format!("[{}oops]", "1,".repeat(40));
+        let err = Json::parse(&long).unwrap_err();
+        assert!(err.contains("at byte 81"), "{err}");
+        assert!(err.contains("…1,1,"), "{err}");
+        assert!(err.contains("«here»oops]"), "{err}");
+        assert!(!err.ends_with('…'), "right side is not truncated: {err}");
+
+        // Failures at end-of-input still render (empty right side).
+        let err = Json::parse(r#"{"a": "#).unwrap_err();
+        assert!(err.contains("at byte 6"), "{err}");
+        assert!(err.contains("«here»`"), "{err}");
+
+        // The offset marker never splits a multi-byte scalar into mojibake:
+        // the snippet is rendered lossily per side.
+        let err = Json::parse("\"héllo").unwrap_err();
+        assert!(err.contains("unterminated string"), "{err}");
+        assert!(err.contains("héllo"), "{err}");
+    }
+
+    #[test]
+    fn structural_errors_name_the_expected_token() {
+        let err = Json::parse(r#"{"a":1 "b":2}"#).unwrap_err();
+        assert!(err.contains("expected ',' or '}'"), "{err}");
+        assert!(err.contains("at byte 7"), "{err}");
+        let err = Json::parse(r#"[1 2]"#).unwrap_err();
+        assert!(err.contains("expected ',' or ']'"), "{err}");
+        let err = Json::parse(r#"{"a" 1}"#).unwrap_err();
+        assert!(err.contains("expected ':'"), "{err}");
+        assert!(err.contains("«here»1}"), "{err}");
+        let err = Json::parse(r#"{"a":1} {"#).unwrap_err();
+        assert!(err.contains("trailing garbage at byte 8"), "{err}");
     }
 
     #[test]

@@ -148,6 +148,32 @@ impl Histogram {
         self.counts.iter().map(|(&v, &c)| (v, c)).collect()
     }
 
+    /// Fold every sample of `other` into `self` — per-thread histograms
+    /// (e.g. each load-generator client's latencies) merge into one
+    /// distribution with no loss.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&v, &c) in &other.counts {
+            self.record_n(v, c);
+        }
+    }
+
+    /// Compact summary for reports where the full bucket list would drown
+    /// the reader (wire latencies, batch sizes): total, mean, max and the
+    /// standard p50/p90/p99 quantiles.  Quantile fields are `null` when
+    /// the histogram is empty.
+    #[must_use]
+    pub fn summary_json(&self) -> Json {
+        let q = |q: f64| self.quantile(q).map_or(Json::Null, Json::from);
+        let mut obj = Json::obj();
+        obj.set("total", self.total);
+        obj.set("mean", self.mean());
+        obj.set("p50", q(0.50));
+        obj.set("p90", q(0.90));
+        obj.set("p99", q(0.99));
+        obj.set("max", self.max().map_or(Json::Null, Json::from));
+        obj
+    }
+
     /// As a JSON array of `[value, count]` pairs plus summary fields:
     /// `{"total": .., "mean": .., "max": .., "buckets": [[v, c], ..]}`.
     #[must_use]
@@ -257,6 +283,44 @@ mod tests {
         let j = h.to_json();
         assert_eq!(j.path("total").unwrap().as_i64(), Some(4));
         assert_eq!(j.path("buckets").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_is_lossless() {
+        let mut a = Histogram::new();
+        a.record_n(1, 2);
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record_n(10, 3);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.total(), 7);
+        assert_eq!(a.count(10), 4);
+        assert_eq!(a.buckets(), vec![(1, 2), (7, 1), (10, 4)]);
+        assert_eq!(a.sum(), 2 + 7 + 40);
+        // Merging an empty histogram is a no-op both ways.
+        a.merge(&Histogram::new());
+        assert_eq!(a.total(), 7);
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn summary_json_reports_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let j = h.summary_json();
+        assert_eq!(j.path("total").unwrap().as_i64(), Some(100));
+        assert_eq!(j.path("p50").unwrap().as_i64(), Some(50));
+        assert_eq!(j.path("p90").unwrap().as_i64(), Some(90));
+        assert_eq!(j.path("p99").unwrap().as_i64(), Some(99));
+        assert_eq!(j.path("max").unwrap().as_i64(), Some(100));
+        let j = Histogram::new().summary_json();
+        assert_eq!(j.get("p50"), Some(&Json::Null));
+        assert_eq!(j.get("max"), Some(&Json::Null));
     }
 
     #[test]
