@@ -1,0 +1,461 @@
+//! The daemon's durability journal: WAL records for accepted jobs.
+//!
+//! Record types (payloads are compact `obs::json` documents, words as
+//! the wire's `"0x…"` bit patterns):
+//!
+//! ```text
+//! submit     (1) := {"job":ID,"algo":NAME,"size":N,"layout":"row"|"col",
+//!                    "inputs":[[WORD,…],…]}
+//! complete   (2) := {"job":ID,"ok":true,"outputs":[[WORD,…],…]}
+//!                 | {"job":ID,"ok":false,"error":TEXT}
+//! checkpoint (3) := {"next_job":ID}
+//! ```
+//!
+//! Ordering contract: a job's submit record is appended (and, under
+//! `--fsync always`, synced) *before* the accept path makes the job
+//! visible to workers, and its complete record is appended *before* the
+//! reply reaches the client.  Recovery therefore re-queues exactly the
+//! jobs whose submit survived without a matching completion; completed
+//! jobs are never re-executed, so every acknowledged job runs exactly
+//! once as far as the log is concerned.
+//!
+//! A checkpoint is written at drain time once every logged submit has
+//! its completion: the log rotates, a checkpoint record carrying the
+//! job-id high-water mark starts the fresh segment, and all earlier
+//! segments are deleted.
+
+use crate::protocol::{self, JobKey};
+use obs::Json;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use wal::record::Record;
+use wal::{FsyncPolicy, Wal, WalConfig};
+
+/// Record type: an accepted submit (job id, key, input words).
+pub const REC_SUBMIT: u8 = 1;
+/// Record type: a job's completion (outputs or the execution error).
+pub const REC_COMPLETE: u8 = 2;
+/// Record type: a drain-time checkpoint (job-id high-water mark).
+pub const REC_CHECKPOINT: u8 = 3;
+
+/// Journal tunables (a thin view over [`WalConfig`]).
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory for the segment files.
+    pub dir: PathBuf,
+    /// Durability dial, forwarded to the log.
+    pub fsync: FsyncPolicy,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+}
+
+/// A job recovered from the log: submitted (possibly acknowledged) but
+/// never completed before the crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredJob {
+    /// The job id it was accepted under.
+    pub id: u64,
+    /// Its coalescing key.
+    pub key: JobKey,
+    /// Per-instance input words (bit patterns).
+    pub inputs: Vec<Vec<u64>>,
+}
+
+/// What replaying the surviving log yields.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Jobs to re-queue, in original submit order.
+    pub requeue: Vec<RecoveredJob>,
+    /// First job id the new process may assign (above every recovered id).
+    pub next_job_id: u64,
+    /// Valid records replayed from the log.
+    pub recovered_records: u64,
+    /// Submit records whose completion was also found.
+    pub already_completed: u64,
+    /// Whether opening repaired a torn tail.
+    pub torn_tail: bool,
+}
+
+struct Inner {
+    wal: Wal,
+    /// Job ids with a logged submit but no logged completion yet.
+    incomplete: HashSet<u64>,
+    log_submits: u64,
+    log_completions: u64,
+}
+
+/// The daemon-facing journal: a [`Wal`] plus the submit/complete
+/// bookkeeping, safe to share across connection and worker threads.
+pub struct Journal {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    recovery_requeued: u64,
+    recovery_completed: u64,
+    recovery_records: u64,
+    recovery_next_job_id: u64,
+    inner: Mutex<Inner>,
+}
+
+fn submit_payload(id: u64, key: &JobKey, inputs: &[Vec<u64>]) -> Vec<u8> {
+    let mut o = Json::obj();
+    o.set("job", id);
+    o.set("algo", key.algo.as_str());
+    o.set("size", key.size);
+    o.set("layout", protocol::layout_name(key.layout));
+    o.set("inputs", Json::Arr(inputs.iter().map(|i| protocol::words_to_json(i)).collect()));
+    o.to_compact().into_bytes()
+}
+
+fn complete_payload(id: u64, result: Result<&[Vec<u64>], &str>) -> Vec<u8> {
+    let mut o = Json::obj();
+    o.set("job", id);
+    match result {
+        Ok(outputs) => {
+            o.set("ok", true);
+            o.set(
+                "outputs",
+                Json::Arr(outputs.iter().map(|w| protocol::words_to_json(w)).collect()),
+            );
+        }
+        Err(e) => {
+            o.set("ok", false);
+            o.set("error", e);
+        }
+    }
+    o.to_compact().into_bytes()
+}
+
+fn payload_json(rec: &Record) -> Result<Json, String> {
+    let text = std::str::from_utf8(&rec.payload)
+        .map_err(|e| format!("record seq {} payload is not UTF-8: {e}", rec.seq))?;
+    Json::parse(text).map_err(|e| format!("record seq {} payload: {e}", rec.seq))
+}
+
+fn field_u64(j: &Json, field: &str, seq: u64) -> Result<u64, String> {
+    j.get(field)
+        .and_then(Json::as_i64)
+        .filter(|&v| v >= 0)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("record seq {seq} is missing integer \"{field}\""))
+}
+
+/// Replay surviving records into the set of jobs that must re-run.
+///
+/// Pure over the record list, so crash scenarios are unit-testable
+/// without touching a filesystem.
+///
+/// # Errors
+///
+/// A record whose CRC passed but whose payload does not parse as the
+/// documented JSON — that is an implementation bug or foreign file, not
+/// a crash artifact, and recovery refuses to guess.
+pub fn replay(records: &[Record]) -> Result<Recovery, String> {
+    let mut submits: Vec<RecoveredJob> = Vec::new();
+    let mut completed: HashSet<u64> = HashSet::new();
+    let mut max_id = 0u64;
+    let mut checkpoint_next = 1u64;
+    for rec in records {
+        match rec.rec_type {
+            REC_SUBMIT => {
+                let j = payload_json(rec)?;
+                let id = field_u64(&j, "job", rec.seq)?;
+                let algo = j
+                    .get("algo")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("record seq {} is missing \"algo\"", rec.seq))?
+                    .to_owned();
+                let size = field_u64(&j, "size", rec.seq)? as usize;
+                let layout = protocol::parse_layout(
+                    j.get("layout")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("record seq {} is missing \"layout\"", rec.seq))?,
+                )?;
+                let inputs = j
+                    .get("inputs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("record seq {} is missing \"inputs\"", rec.seq))?
+                    .iter()
+                    .map(protocol::words_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if submits.iter().any(|s| s.id == id) {
+                    return Err(format!("duplicate submit record for job {id}"));
+                }
+                max_id = max_id.max(id);
+                submits.push(RecoveredJob { id, key: JobKey { algo, size, layout }, inputs });
+            }
+            REC_COMPLETE => {
+                let j = payload_json(rec)?;
+                let id = field_u64(&j, "job", rec.seq)?;
+                if !completed.insert(id) {
+                    return Err(format!("duplicate completion record for job {id}"));
+                }
+            }
+            REC_CHECKPOINT => {
+                let j = payload_json(rec)?;
+                checkpoint_next = checkpoint_next.max(field_u64(&j, "next_job", rec.seq)?);
+            }
+            other => return Err(format!("record seq {} has unknown type {other}", rec.seq)),
+        }
+    }
+    let already_completed = submits.iter().filter(|s| completed.contains(&s.id)).count() as u64;
+    let requeue: Vec<RecoveredJob> =
+        submits.into_iter().filter(|s| !completed.contains(&s.id)).collect();
+    Ok(Recovery {
+        requeue,
+        next_job_id: checkpoint_next.max(max_id + 1),
+        recovered_records: records.len() as u64,
+        already_completed,
+        torn_tail: false,
+    })
+}
+
+impl Journal {
+    /// Open (or create) the journal, repairing any torn tail, and replay
+    /// what survived.
+    ///
+    /// # Errors
+    ///
+    /// Log I/O failures or a structurally invalid surviving record.
+    pub fn open(cfg: &JournalConfig) -> Result<(Self, Recovery), String> {
+        let (wal, scan) = Wal::open(WalConfig {
+            dir: cfg.dir.clone(),
+            segment_bytes: cfg.segment_bytes,
+            fsync: cfg.fsync,
+        })?;
+        let mut recovery = replay(&scan.records)?;
+        recovery.torn_tail = scan.truncation.is_some();
+        let incomplete: HashSet<u64> = recovery.requeue.iter().map(|r| r.id).collect();
+        let journal = Self {
+            dir: cfg.dir.clone(),
+            fsync: cfg.fsync,
+            recovery_requeued: recovery.requeue.len() as u64,
+            recovery_completed: recovery.already_completed,
+            recovery_records: recovery.recovered_records,
+            recovery_next_job_id: recovery.next_job_id,
+            inner: Mutex::new(Inner { wal, incomplete, log_submits: 0, log_completions: 0 }),
+        };
+        Ok((journal, recovery))
+    }
+
+    /// Append (and per policy sync) a submit record.  Call *before* the
+    /// job becomes visible to workers.
+    ///
+    /// # Errors
+    ///
+    /// Log I/O failures — the caller must then refuse the job.
+    pub fn log_submit(&self, id: u64, key: &JobKey, inputs: &[Vec<u64>]) -> Result<(), String> {
+        let payload = submit_payload(id, key, inputs);
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        inner.wal.append(REC_SUBMIT, &payload)?;
+        inner.incomplete.insert(id);
+        inner.log_submits += 1;
+        Ok(())
+    }
+
+    /// Append (and per policy sync) a completion record.  Call *before*
+    /// the reply goes to the client.
+    ///
+    /// # Errors
+    ///
+    /// Log I/O failures.
+    pub fn log_complete(&self, id: u64, result: Result<&[Vec<u64>], &str>) -> Result<(), String> {
+        let payload = complete_payload(id, result);
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        inner.wal.append(REC_COMPLETE, &payload)?;
+        inner.incomplete.remove(&id);
+        inner.log_completions += 1;
+        Ok(())
+    }
+
+    /// Drain-time checkpoint: once every logged submit has completed,
+    /// rotate, write a checkpoint record carrying `next_job_id`, sync,
+    /// and delete every earlier segment.  Returns whether it ran (it
+    /// refuses while any job is incomplete — accounting must balance
+    /// before history is discarded).
+    ///
+    /// # Errors
+    ///
+    /// Log I/O failures.
+    pub fn checkpoint(&self, next_job_id: u64) -> Result<bool, String> {
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        if !inner.incomplete.is_empty() {
+            return Ok(false);
+        }
+        inner.wal.rotate()?;
+        let mut o = Json::obj();
+        o.set("next_job", next_job_id);
+        let seq = inner.wal.append(REC_CHECKPOINT, o.to_compact().as_bytes())?;
+        inner.wal.sync()?;
+        inner.wal.truncate_before(seq)?;
+        Ok(true)
+    }
+
+    /// The journal's section of the stats snapshot.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        let inner = self.inner.lock().expect("journal poisoned");
+        let m = inner.wal.metrics();
+        let mut o = Json::obj();
+        o.set("enabled", true);
+        o.set("dir", self.dir.display().to_string());
+        o.set("fsync", self.fsync.to_string());
+        o.set("records_appended", m.records_appended);
+        o.set("bytes_appended", m.bytes_appended);
+        o.set("fsyncs", m.fsyncs);
+        o.set("segments_created", m.segments_created);
+        o.set("segments_deleted", m.segments_deleted);
+        o.set("segment_count", inner.wal.segment_count());
+        o.set("torn_tail_truncations", m.torn_tail_truncations);
+        o.set("log_submits", inner.log_submits);
+        o.set("log_completions", inner.log_completions);
+        o.set("incomplete_jobs", inner.incomplete.len());
+        let mut r = Json::obj();
+        r.set("runs", u64::from(self.recovery_records > 0));
+        r.set("records", self.recovery_records);
+        r.set("requeued_jobs", self.recovery_requeued);
+        r.set("already_completed_jobs", self.recovery_completed);
+        r.set("next_job_id", self.recovery_next_job_id);
+        o.set("recovery", r);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivious::Layout;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "bulkd-journal-{tag}-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn cfg(dir: &std::path::Path) -> JournalConfig {
+        JournalConfig { dir: dir.to_path_buf(), fsync: FsyncPolicy::Always, segment_bytes: 4 << 20 }
+    }
+
+    fn key(algo: &str) -> JobKey {
+        JobKey { algo: algo.into(), size: 8, layout: Layout::ColumnWise }
+    }
+
+    fn submit_rec(seq: u64, id: u64) -> Record {
+        Record {
+            seq,
+            rec_type: REC_SUBMIT,
+            payload: submit_payload(id, &key("prefix-sums"), &[vec![1, 2], vec![3, 4]]),
+        }
+    }
+
+    fn complete_rec(seq: u64, id: u64) -> Record {
+        Record {
+            seq,
+            rec_type: REC_COMPLETE,
+            payload: complete_payload(id, Ok(&[vec![9], vec![10]])),
+        }
+    }
+
+    #[test]
+    fn replay_requeues_exactly_the_incomplete_jobs_in_order() {
+        let recs = vec![
+            submit_rec(1, 1),
+            submit_rec(2, 2),
+            complete_rec(3, 1),
+            submit_rec(4, 3),
+            // jobs 2 and 3 never completed
+        ];
+        let r = replay(&recs).unwrap();
+        let ids: Vec<u64> = r.requeue.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![2, 3], "incomplete jobs, original order");
+        assert_eq!(r.requeue[0].inputs, vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(r.requeue[0].key, key("prefix-sums"));
+        assert_eq!(r.next_job_id, 4);
+        assert_eq!(r.already_completed, 1);
+    }
+
+    #[test]
+    fn replay_honors_the_checkpoint_high_water_mark() {
+        let mut o = Json::obj();
+        o.set("next_job", 900u64);
+        let recs = vec![
+            Record { seq: 1, rec_type: REC_CHECKPOINT, payload: o.to_compact().into_bytes() },
+            submit_rec(2, 900),
+        ];
+        let r = replay(&recs).unwrap();
+        assert_eq!(r.next_job_id, 901, "above both checkpoint and max seen id");
+        assert!(replay(&[]).unwrap().next_job_id == 1, "empty log starts at job 1");
+    }
+
+    #[test]
+    fn replay_rejects_garbage_payloads_and_duplicates() {
+        let bad = Record { seq: 1, rec_type: REC_SUBMIT, payload: b"not json".to_vec() };
+        assert!(replay(&[bad]).unwrap_err().contains("seq 1"));
+        let unknown = Record { seq: 1, rec_type: 99, payload: Vec::new() };
+        assert!(replay(&[unknown]).unwrap_err().contains("unknown type"));
+        let dup = vec![submit_rec(1, 5), submit_rec(2, 5)];
+        assert!(replay(&dup).unwrap_err().contains("duplicate submit"));
+        let dup_c = vec![complete_rec(1, 5), complete_rec(2, 5)];
+        assert!(replay(&dup_c).unwrap_err().contains("duplicate completion"));
+    }
+
+    #[test]
+    fn journal_round_trips_through_a_restart() {
+        let dir = temp_dir("restart");
+        {
+            let (j, r) = Journal::open(&cfg(&dir)).unwrap();
+            assert!(r.requeue.is_empty());
+            j.log_submit(1, &key("a"), &[vec![1]]).unwrap();
+            j.log_submit(2, &key("a"), &[vec![2]]).unwrap();
+            j.log_complete(1, Ok(&[vec![11]])).unwrap();
+            // Simulate crash: drop without checkpoint.
+        }
+        let (j, r) = Journal::open(&cfg(&dir)).unwrap();
+        assert_eq!(r.requeue.len(), 1);
+        assert_eq!(r.requeue[0].id, 2);
+        assert_eq!(r.next_job_id, 3);
+        let s = j.stats_json();
+        assert_eq!(s.path("recovery.requeued_jobs").unwrap().as_i64(), Some(1));
+        assert_eq!(s.path("incomplete_jobs").unwrap().as_i64(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_only_when_accounting_balances() {
+        let dir = temp_dir("checkpoint");
+        {
+            let (j, _) = Journal::open(&cfg(&dir)).unwrap();
+            j.log_submit(1, &key("a"), &[vec![1]]).unwrap();
+            assert!(!j.checkpoint(2).unwrap(), "incomplete job blocks the checkpoint");
+            j.log_complete(1, Err("boom")).unwrap();
+            assert!(j.checkpoint(2).unwrap());
+        }
+        // After a checkpoint the log is a single segment holding exactly
+        // the checkpoint record; ids continue above the high-water mark.
+        let segs = wal::segment::list(&dir).unwrap();
+        assert_eq!(segs.len(), 1);
+        let (_, r) = Journal::open(&cfg(&dir)).unwrap();
+        assert!(r.requeue.is_empty());
+        assert_eq!(r.next_job_id, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_jobs_recover_as_completed_not_requeued() {
+        let dir = temp_dir("failed");
+        {
+            let (j, _) = Journal::open(&cfg(&dir)).unwrap();
+            j.log_submit(7, &key("a"), &[vec![1]]).unwrap();
+            j.log_complete(7, Err("executor exploded")).unwrap();
+        }
+        let (_, r) = Journal::open(&cfg(&dir)).unwrap();
+        assert!(r.requeue.is_empty(), "a failed job was answered; never re-run it");
+        assert_eq!(r.already_completed, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,6 +18,8 @@
 //!
 //! - [`protocol`] — requests, responses, and the hex word codec;
 //! - [`queue`] — the coalescing queue with admission control and drain;
+//! - [`journal`] — write-ahead logging of accepted jobs and their
+//!   completions over the `wal` crate, with crash recovery replay;
 //! - [`stats`] — live counters/histograms behind one lock, snapshotted as
 //!   a versioned `RunReport`-style JSON document;
 //! - [`server`] — TCP accept loop, worker pool, and the [`BatchExecutor`]
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod journal;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
@@ -36,6 +39,7 @@ pub mod server;
 pub mod stats;
 
 pub use client::{Client, ClientError, SubmitOk};
+pub use journal::{Journal, JournalConfig, RecoveredJob, Recovery};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use protocol::{JobKey, Request, PROTOCOL_VERSION};
 pub use queue::{CoalescingQueue, QueueConfig, SubmitError};

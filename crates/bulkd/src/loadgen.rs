@@ -9,7 +9,7 @@
 
 use crate::client::{Client, ClientError};
 use crate::protocol::JobKey;
-use obs::{Histogram, Json, RunReport};
+use obs::{Histogram, Json, Rng, RunReport};
 use std::time::{Duration, Instant};
 
 /// Tunables of one load-generation run.
@@ -131,6 +131,19 @@ pub fn run_loadgen(cfg: &LoadgenConfig, pool: &[Vec<u64>]) -> Result<LoadgenRepo
     Ok(total)
 }
 
+/// The server's `retry_after_ms` hint with ±25% uniform jitter applied.
+///
+/// Every overloaded client gets the same hint; sleeping it verbatim
+/// synchronizes their retries into a thundering herd that re-overloads
+/// the queue on arrival.  Jitter spreads the herd across half a hint
+/// window while keeping the mean backoff equal to the hint.
+fn jittered_backoff_ms(retry_after_ms: u64, rng: &mut Rng) -> u64 {
+    let base = retry_after_ms.max(1);
+    let lo = base - base / 4;
+    let hi = base + base / 4;
+    rng.range_u64(lo, hi + 1).max(1)
+}
+
 fn client_loop(
     cfg: &LoadgenConfig,
     pool: &[Vec<u64>],
@@ -141,6 +154,9 @@ fn client_loop(
     let mut client =
         Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
     let mut rep = LoadgenReport::default();
+    // Deterministic per-client stream: run-to-run reproducible, but no
+    // two clients share a jitter sequence.
+    let mut rng = Rng::new(0xBACC_0FF5 ^ (client_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     // Stagger draw positions so clients don't all submit identical work.
     let mut cursor = client_idx * cfg.instances_per_submit;
     while Instant::now() < deadline {
@@ -158,8 +174,9 @@ fn client_loop(
             }
             Err(ClientError::Overloaded { retry_after_ms }) => {
                 rep.overload_retries += 1;
+                let backoff = jittered_backoff_ms(retry_after_ms, &mut rng);
                 let remaining = deadline.saturating_duration_since(Instant::now());
-                std::thread::sleep(Duration::from_millis(retry_after_ms).min(remaining));
+                std::thread::sleep(Duration::from_millis(backoff).min(remaining));
             }
             Err(ClientError::Rejected { kind, .. }) if kind == "draining" => {
                 rep.errors += 1;
@@ -205,6 +222,31 @@ mod tests {
         assert_eq!(j.path("throughput.jobs_per_sec").unwrap().as_f64(), Some(9.0));
         assert_eq!(j.path("latency.mean_observed_batch_p").unwrap().as_f64(), Some(8.0));
         assert!(RunReport::parse(&j.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_quarter_band_and_desynchronizes() {
+        let mut rng = Rng::new(7);
+        for base in [1u64, 4, 40, 1000, 60_000] {
+            let lo = base - base / 4;
+            let hi = base + base / 4;
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..200 {
+                let b = jittered_backoff_ms(base, &mut rng);
+                assert!(b >= lo.max(1) && b <= hi, "base {base}: backoff {b} outside ±25%");
+                seen.insert(b);
+            }
+            if base >= 40 {
+                assert!(seen.len() > 10, "base {base}: backoffs barely vary ({seen:?})");
+            }
+        }
+        // Different clients draw different sequences (the anti-herd point).
+        let a: Vec<u64> = (0..8).map(|_| jittered_backoff_ms(1000, &mut Rng::new(1))).collect();
+        let mut r2 = Rng::new(2);
+        let b: Vec<u64> = (0..8).map(|_| jittered_backoff_ms(1000, &mut r2)).collect();
+        assert_ne!(a, b);
+        // Degenerate hint of 0 still sleeps at least a millisecond.
+        assert!(jittered_backoff_ms(0, &mut rng) >= 1);
     }
 
     #[test]

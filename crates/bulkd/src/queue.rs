@@ -44,6 +44,8 @@ pub type JobReply = Result<JobDone, String>;
 /// One accepted submit: its instances plus the channel to answer on.
 #[derive(Debug)]
 pub struct Job {
+    /// Server-assigned job id (unique across restarts via the WAL).
+    pub id: u64,
     /// Per-instance input words (bit patterns).
     pub inputs: Vec<Vec<u64>>,
     /// When the job entered the queue.
@@ -79,6 +81,22 @@ pub enum SubmitError {
         /// Suggested client backoff, one flush interval.
         retry_after_ms: u64,
     },
+}
+
+/// Capacity held against `max_queue` by [`CoalescingQueue::reserve`],
+/// waiting to be turned into a visible job by
+/// [`CoalescingQueue::enqueue`] or released by
+/// [`CoalescingQueue::cancel`].
+///
+/// The two-phase shape exists for write-ahead logging: a submit must be
+/// *admitted* (capacity reserved) before it is journaled, but must not
+/// become visible to workers until the journal append succeeded —
+/// otherwise a completion could be executed (and logged) for a job whose
+/// submit record never made it to disk.
+#[derive(Debug)]
+#[must_use = "a reservation holds queue capacity until enqueued or cancelled"]
+pub struct Admission {
+    instances: usize,
 }
 
 #[derive(Debug)]
@@ -148,15 +166,61 @@ impl CoalescingQueue {
     /// [`SubmitError::Overloaded`] when accepting the job would exceed
     /// `max_queue` queued instances.
     pub fn submit(&self, key: JobKey, job: Job) -> Result<(), SubmitError> {
-        let n = job.inputs.len();
+        let adm = self.reserve(job.inputs.len())?;
+        self.enqueue(adm, key, job);
+        Ok(())
+    }
+
+    /// Phase one of admission: reserve capacity for `instances` without
+    /// making anything visible to workers.  Follow with
+    /// [`CoalescingQueue::enqueue`] or [`CoalescingQueue::cancel`].
+    ///
+    /// # Errors
+    ///
+    /// Same admission rules as [`CoalescingQueue::submit`].
+    pub fn reserve(&self, instances: usize) -> Result<Admission, SubmitError> {
         let mut st = self.state.lock().expect("queue poisoned");
         if st.draining {
             return Err(SubmitError::Draining);
         }
-        if st.queued_instances + n > self.cfg.max_queue {
+        if st.queued_instances + instances > self.cfg.max_queue {
             return Err(SubmitError::Overloaded { retry_after_ms: self.retry_after_ms() });
         }
-        st.queued_instances += n;
+        st.queued_instances += instances;
+        Ok(Admission { instances })
+    }
+
+    /// Reserve capacity bypassing the admission bound and drain check.
+    ///
+    /// Only for WAL recovery replay: journaled jobs were already admitted
+    /// (and possibly acknowledged) in a previous life, so turning them
+    /// away now would break the acked-implies-completed contract.
+    pub fn reserve_unbounded(&self, instances: usize) -> Admission {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.queued_instances += instances;
+        Admission { instances }
+    }
+
+    /// Release a reservation without enqueuing (the journal append
+    /// failed, or the caller aborted between the phases).
+    pub fn cancel(&self, adm: Admission) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.queued_instances -= adm.instances;
+        self.cv.notify_all();
+    }
+
+    /// Phase two of admission: make a reserved job visible to workers.
+    /// Infallible — capacity was granted at [`CoalescingQueue::reserve`]
+    /// time, and a drain that began in between still owes the job
+    /// execution (it was admitted first).
+    ///
+    /// # Panics
+    ///
+    /// If the reservation's instance count does not match the job's.
+    pub fn enqueue(&self, adm: Admission, key: JobKey, job: Job) {
+        let n = job.inputs.len();
+        assert_eq!(adm.instances, n, "reservation/job instance mismatch");
+        let mut st = self.state.lock().expect("queue poisoned");
         let pos = match st.groups.iter().position(|g| g.key == key) {
             Some(pos) => pos,
             None => {
@@ -178,7 +242,6 @@ impl CoalescingQueue {
         // Wake workers either way: a ready batch needs a consumer, a fresh
         // group needs someone to arm its deadline timer.
         self.cv.notify_all();
-        Ok(())
     }
 
     /// Block until a batch is available (size- or deadline-flushed) and
@@ -280,7 +343,7 @@ mod tests {
     fn job(instances: usize) -> (Job, mpsc::Receiver<JobReply>) {
         let (tx, rx) = mpsc::channel();
         let inputs = vec![vec![0u64; 2]; instances];
-        (Job { inputs, enqueued: Instant::now(), reply: tx }, rx)
+        (Job { id: 0, inputs, enqueued: Instant::now(), reply: tx }, rx)
     }
 
     fn queue(max_batch: usize, max_queue: usize, flush_ms: u64) -> CoalescingQueue {
@@ -418,5 +481,152 @@ mod tests {
         let batches = worker.join().unwrap();
         assert_eq!(batches.iter().sum::<usize>(), 32);
         assert!(batches.len() < 32, "32 submits must coalesce into fewer batches, got {batches:?}");
+    }
+
+    #[test]
+    fn cancelled_reservation_releases_capacity() {
+        let q = queue(1000, 4, 60_000);
+        let adm = q.reserve(3).unwrap();
+        assert_eq!(q.depth().queued_instances, 3);
+        // Capacity is held even though nothing is visible to workers yet.
+        assert!(matches!(q.reserve(2), Err(SubmitError::Overloaded { .. })));
+        q.cancel(adm);
+        assert_eq!(q.depth().queued_instances, 0);
+        q.reserve(4).map(|a| q.cancel(a)).unwrap();
+    }
+
+    #[test]
+    fn reserved_job_can_be_enqueued_after_drain_begins() {
+        let q = Arc::new(queue(1000, 100, 60_000));
+        let adm = q.reserve(1).unwrap();
+        let qc = Arc::clone(&q);
+        let drainer = std::thread::spawn(move || qc.drain());
+        // Wait until the drain flag is up.
+        while !q.depth().draining {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // New reservations are refused, but the already-admitted job must
+        // still be enqueuable (the drain waits for it).
+        assert_eq!(q.reserve(1).unwrap_err(), SubmitError::Draining);
+        let (j, rx) = job(1);
+        q.enqueue(adm, key("a"), j);
+        let b = q.next_batch().expect("drain flushes the admitted job");
+        for jb in b.jobs {
+            let done = JobDone { outputs: vec![vec![1]], batch_p: 1, queue_us: 0, exec_us: 0 };
+            jb.reply.send(Ok(done)).unwrap();
+        }
+        q.batch_done();
+        assert!(rx.recv().unwrap().is_ok());
+        drainer.join().unwrap();
+    }
+
+    /// Satellite regression: the `flush_after` deadline timer racing a
+    /// concurrent `drain`.  Both paths pull groups out of `st.groups` and
+    /// push them to `ready`; the hazard is a job being flushed twice (two
+    /// replies) or silently dropped (drain observes an empty queue while
+    /// the job sits in a batch a timer wakeup is mid-flushing).  The test
+    /// hammers the window: many submitters on distinct keys (so groups
+    /// only ever deadline-flush), a tiny flush window, workers consuming,
+    /// and a drain fired mid-storm.
+    #[test]
+    fn deadline_flush_racing_drain_loses_and_duplicates_nothing() {
+        const WORKERS: usize = 3;
+        const SUBMITTERS: usize = 8;
+        let q = Arc::new(queue(1000, 10_000, 2));
+        let served = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let qc = Arc::clone(&q);
+                let served = Arc::clone(&served);
+                std::thread::spawn(move || {
+                    while let Some(b) = qc.next_batch() {
+                        let p = b.instances();
+                        for jb in b.jobs {
+                            let done = JobDone {
+                                outputs: vec![vec![7]; jb.inputs.len()],
+                                batch_p: p,
+                                queue_us: 0,
+                                exec_us: 0,
+                            };
+                            jb.reply.send(Ok(done)).unwrap();
+                        }
+                        served.fetch_add(p, std::sync::atomic::Ordering::SeqCst);
+                        qc.batch_done();
+                    }
+                })
+            })
+            .collect();
+
+        let accepted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|s| {
+                let qc = Arc::clone(&q);
+                let accepted = Arc::clone(&accepted);
+                std::thread::spawn(move || {
+                    let mut receivers = Vec::new();
+                    // A distinct key per (submitter, iteration) keeps every
+                    // group below max_batch: only the deadline timer — the
+                    // racer under test — can flush it.
+                    for i in 0..40 {
+                        let (j, rx) = job(1);
+                        match qc.submit(key(&format!("k{s}-{i}")), j) {
+                            Ok(()) => {
+                                accepted.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                                receivers.push(rx);
+                            }
+                            Err(SubmitError::Draining) => break,
+                            Err(SubmitError::Overloaded { .. }) => {}
+                        }
+                        if i % 8 == 0 {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                    // Exactly one reply per accepted job — a second flush of
+                    // the same group would panic the worker's send (receiver
+                    // consumed), a dropped job would hang recv here.
+                    let mut replies = 0;
+                    for rx in receivers {
+                        assert!(rx
+                            .recv_timeout(Duration::from_secs(30))
+                            .expect("accepted job never replied")
+                            .is_ok());
+                        replies += 1;
+                    }
+                    replies
+                })
+            })
+            .collect();
+
+        // Let the storm develop, then drain right through it.
+        std::thread::sleep(Duration::from_millis(10));
+        q.drain();
+        let replies: usize = submitters.into_iter().map(|h| h.join().unwrap()).sum();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let accepted = accepted.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(replies, accepted, "replies must match accepted submits");
+        assert_eq!(
+            served.load(std::sync::atomic::Ordering::SeqCst),
+            accepted,
+            "served instances must match accepted instances"
+        );
+        let d = q.depth();
+        assert_eq!(
+            (d.queued_instances, d.open_groups, d.ready_batches, d.in_flight_batches),
+            (0, 0, 0, 0),
+            "queue accounting must balance after drain: {d:?}"
+        );
+        assert!(accepted > 0, "the storm never got going");
+    }
+
+    #[test]
+    fn reserve_unbounded_ignores_limit_and_drain() {
+        let q = queue(1000, 2, 60_000);
+        let adm = q.reserve_unbounded(10);
+        assert_eq!(q.depth().queued_instances, 10);
+        let (j, _rx) = job(10);
+        q.enqueue(adm, key("a"), j);
+        assert_eq!(q.depth().open_groups, 1);
     }
 }

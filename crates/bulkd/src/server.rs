@@ -7,6 +7,7 @@
 //! job has executed, then stops the accept loop, and [`serve`] returns the
 //! final stats snapshot after joining the workers.
 
+use crate::journal::{Journal, JournalConfig};
 use crate::protocol::{self, JobKey, Request, PROTOCOL_VERSION};
 use crate::queue::{CoalescingQueue, Job, JobDone, QueueConfig, SubmitError};
 use crate::stats::ServerStats;
@@ -15,7 +16,7 @@ use obs::{Json, Tracer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -61,6 +62,8 @@ pub struct ServerConfig {
     pub flush_after_ms: u64,
     /// Where to write the per-batch Chrome trace at shutdown, if anywhere.
     pub trace_path: Option<PathBuf>,
+    /// Write-ahead logging of accepted jobs; `None` disables durability.
+    pub wal: Option<JournalConfig>,
 }
 
 struct Shared {
@@ -71,6 +74,12 @@ struct Shared {
     started: Instant,
     addr: SocketAddr,
     stop_accepting: AtomicBool,
+    journal: Option<Journal>,
+    next_job_id: AtomicU64,
+}
+
+fn wal_section(sh: &Shared) -> Option<Json> {
+    sh.journal.as_ref().map(Journal::stats_json)
 }
 
 /// Run the daemon until a client sends `drain`.  `on_ready` fires once
@@ -87,6 +96,16 @@ pub fn serve(
 ) -> Result<Json, String> {
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    // Open the journal (repairing a torn tail, replaying survivors)
+    // before anything is visible to clients.
+    let (journal, recovery) = match &cfg.wal {
+        Some(wal_cfg) => {
+            let (j, r) = Journal::open(wal_cfg)?;
+            (Some(j), Some(r))
+        }
+        None => (None, None),
+    };
+    let next_job_id = recovery.as_ref().map_or(1, |r| r.next_job_id);
     let shared = Arc::new(Shared {
         queue: CoalescingQueue::new(QueueConfig {
             max_batch: cfg.max_batch.max(1),
@@ -99,6 +118,8 @@ pub fn serve(
         started: Instant::now(),
         addr,
         stop_accepting: AtomicBool::new(false),
+        journal,
+        next_job_id: AtomicU64::new(next_job_id),
     });
     {
         let mut t = shared.tracer.lock().expect("tracer poisoned");
@@ -116,6 +137,26 @@ pub fn serve(
                 .map_err(|e| format!("spawn worker: {e}"))
         })
         .collect::<Result<_, _>>()?;
+
+    // Re-queue journaled jobs that never completed before the crash.
+    // Their original submitters are gone, so the reply receiver is a
+    // dropped channel end; execution (and its completion record) is what
+    // matters.  Admission is unbounded: these jobs were already admitted
+    // — and possibly acknowledged — in a previous life.
+    if let Some(r) = recovery {
+        for job in r.requeue {
+            let n = job.inputs.len() as u64;
+            shared.stats.on_submit(n);
+            shared.stats.on_accept(n);
+            let adm = shared.queue.reserve_unbounded(job.inputs.len());
+            let (tx, _rx) = mpsc::channel();
+            shared.queue.enqueue(
+                adm,
+                job.key,
+                Job { id: job.id, inputs: job.inputs, enqueued: Instant::now(), reply: tx },
+            );
+        }
+    }
 
     on_ready(addr);
 
@@ -147,8 +188,18 @@ pub fn serve(
         std::fs::write(path, trace.to_pretty())
             .map_err(|e| format!("write {}: {e}", path.display()))?;
     }
+    // Every accepted job has now completed: checkpoint so a clean
+    // shutdown leaves a single-segment log holding only the job-id
+    // high-water mark.
+    if let Some(journal) = &shared.journal {
+        journal.checkpoint(shared.next_job_id.load(Ordering::SeqCst))?;
+    }
     shared.stats.check_balanced()?;
-    Ok(shared.stats.snapshot(shared.queue.depth(), shared.executor.cache_stats()))
+    Ok(shared.stats.snapshot(
+        shared.queue.depth(),
+        shared.executor.cache_stats(),
+        wal_section(&shared),
+    ))
 }
 
 fn worker_loop(tid: u64, sh: &Shared) {
@@ -186,6 +237,7 @@ fn worker_loop(tid: u64, sh: &Shared) {
                         exec_us,
                     };
                     off += n;
+                    log_completion(sh, job.id, Ok(&done.outputs));
                     sh.stats.on_job_done(n as u64, queue_us, false);
                     let _ = job.reply.send(Ok(done));
                 }
@@ -194,12 +246,26 @@ fn worker_loop(tid: u64, sh: &Shared) {
                 for job in batch.jobs {
                     let n = job.inputs.len() as u64;
                     let queue_us = t0.duration_since(job.enqueued).as_micros() as u64;
+                    log_completion(sh, job.id, Err(&e));
                     sh.stats.on_job_done(n, queue_us, true);
                     let _ = job.reply.send(Err(e.clone()));
                 }
             }
         }
         sh.queue.batch_done();
+    }
+}
+
+/// Journal a job's completion *before* its reply goes out, so an
+/// acknowledged answer is never re-executed after a crash.  A journal
+/// append failure here is reported but does not withhold the reply: the
+/// job *did* execute, and execution is deterministic, so the worst case
+/// of the lost record is one redundant (bit-identical) re-execution.
+fn log_completion(sh: &Shared, job_id: u64, result: Result<&[Vec<u64>], &String>) {
+    if let Some(journal) = &sh.journal {
+        if let Err(e) = journal.log_complete(job_id, result.map_err(String::as_str)) {
+            eprintln!("bulkd: journal completion append failed for job {job_id}: {e}");
+        }
     }
 }
 
@@ -255,13 +321,15 @@ fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
             (o, false)
         }
         Request::Stats => {
-            let mut snap = sh.stats.snapshot(sh.queue.depth(), sh.executor.cache_stats());
+            let mut snap =
+                sh.stats.snapshot(sh.queue.depth(), sh.executor.cache_stats(), wal_section(sh));
             snap.set("ok", true);
             (snap, false)
         }
         Request::Drain => {
             sh.queue.drain();
-            let mut snap = sh.stats.snapshot(sh.queue.depth(), sh.executor.cache_stats());
+            let mut snap =
+                sh.stats.snapshot(sh.queue.depth(), sh.executor.cache_stats(), wal_section(sh));
             snap.set("ok", true);
             snap.set("drained", true);
             (snap, true)
@@ -291,26 +359,37 @@ fn handle_submit(key: JobKey, inputs: Vec<Vec<u64>>, sh: &Shared) -> Json {
             &format!("{key} expects {words} input words per instance, got {}", bad.len()),
         );
     }
-    let (tx, rx) = mpsc::channel();
-    let job = Job { inputs, enqueued: Instant::now(), reply: tx };
-    match sh.queue.submit(key, job) {
+    // Two-phase admission: reserve capacity, journal the submit, then
+    // make the job visible.  The WAL append sits between the phases so a
+    // job can never execute (let alone complete) without its submit
+    // record on disk, yet a full queue is still refused before any I/O.
+    let adm = match sh.queue.reserve(inputs.len()) {
         Err(SubmitError::Draining) => {
             sh.stats.on_reject(n);
-            protocol::resp_error("draining", "server is draining; no new work accepted")
+            return protocol::resp_error("draining", "server is draining; no new work accepted");
         }
         Err(SubmitError::Overloaded { retry_after_ms }) => {
             sh.stats.on_reject(n);
-            protocol::resp_overloaded(retry_after_ms)
+            return protocol::resp_overloaded(retry_after_ms);
         }
-        Ok(()) => {
-            sh.stats.on_accept(n);
-            match rx.recv() {
-                Ok(Ok(done)) => {
-                    protocol::resp_outputs(&done.outputs, done.batch_p, done.queue_us, done.exec_us)
-                }
-                Ok(Err(e)) => protocol::resp_error("exec", &e),
-                Err(_) => protocol::resp_error("exec", "worker dropped the job"),
-            }
+        Ok(adm) => adm,
+    };
+    let id = sh.next_job_id.fetch_add(1, Ordering::SeqCst);
+    if let Some(journal) = &sh.journal {
+        if let Err(e) = journal.log_submit(id, &key, &inputs) {
+            sh.queue.cancel(adm);
+            sh.stats.on_reject(n);
+            return protocol::resp_error("wal", &format!("journal append failed: {e}"));
         }
+    }
+    let (tx, rx) = mpsc::channel();
+    sh.queue.enqueue(adm, key, Job { id, inputs, enqueued: Instant::now(), reply: tx });
+    sh.stats.on_accept(n);
+    match rx.recv() {
+        Ok(Ok(done)) => {
+            protocol::resp_outputs(&done.outputs, done.batch_p, done.queue_us, done.exec_us)
+        }
+        Ok(Err(e)) => protocol::resp_error("exec", &e),
+        Err(_) => protocol::resp_error("exec", "worker dropped the job"),
     }
 }

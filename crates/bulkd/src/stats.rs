@@ -118,9 +118,11 @@ impl ServerStats {
 
     /// The versioned observability snapshot served by the `stats` command.
     ///
-    /// `cache` is the shared schedule cache's `(hits, compiles)` pair.
+    /// `cache` is the shared schedule cache's `(hits, compiles)` pair;
+    /// `wal` is the journal's section ([`crate::Journal::stats_json`]),
+    /// `None` when the server runs without durability.
     #[must_use]
-    pub fn snapshot(&self, depth: QueueDepth, cache: (u64, u64)) -> Json {
+    pub fn snapshot(&self, depth: QueueDepth, cache: (u64, u64), wal: Option<Json>) -> Json {
         let s = self.lock();
         let mut report = RunReport::new("bulkd");
 
@@ -174,6 +176,15 @@ impl ServerStats {
         sc.set("hit_rate", rate);
         report.set("schedule_cache", sc);
 
+        report.set(
+            "wal",
+            wal.unwrap_or_else(|| {
+                let mut off = Json::obj();
+                off.set("enabled", false);
+                off
+            }),
+        );
+
         report.json().clone()
     }
 }
@@ -200,8 +211,9 @@ mod tests {
         st.on_batch(4, 250);
         st.on_job_done(4, 90, false);
         st.on_protocol_error();
-        let j = st.snapshot(IDLE, (7, 1));
+        let j = st.snapshot(IDLE, (7, 1), None);
         assert_eq!(j.path("tool").unwrap().as_str(), Some("bulkd"));
+        assert_eq!(j.path("wal.enabled"), Some(&Json::Bool(false)));
         assert_eq!(j.path("schema_version").unwrap().as_i64(), Some(1));
         assert_eq!(j.path("admission.submitted_jobs").unwrap().as_i64(), Some(2));
         assert_eq!(j.path("admission.rejected_jobs").unwrap().as_i64(), Some(1));
@@ -233,8 +245,18 @@ mod tests {
 
     #[test]
     fn empty_stats_snapshot_is_null_safe() {
-        let j = ServerStats::new().snapshot(IDLE, (0, 0));
+        let j = ServerStats::new().snapshot(IDLE, (0, 0), None);
         assert_eq!(j.path("coalescing.coalesce_factor"), Some(&Json::Null));
         assert_eq!(j.path("schedule_cache.hit_rate"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn wal_section_passes_through_when_provided() {
+        let mut w = Json::obj();
+        w.set("enabled", true);
+        w.set("log_submits", 3u64);
+        let j = ServerStats::new().snapshot(IDLE, (0, 0), Some(w));
+        assert_eq!(j.path("wal.enabled"), Some(&Json::Bool(true)));
+        assert_eq!(j.path("wal.log_submits").unwrap().as_i64(), Some(3));
     }
 }

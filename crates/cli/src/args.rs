@@ -2,6 +2,7 @@
 
 use oblivious::Layout;
 use umm_core::MachineConfig;
+use wal::FsyncPolicy;
 
 /// A parsed `bulkrun` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +90,8 @@ pub enum Command {
         dmms: usize,
     },
     /// `bulkrun serve [--addr A] [--workers N] [--max-batch P]
-    /// [--max-queue Q] [--flush-after-ms MS] [--shards N] [--trace PATH]`
+    /// [--max-queue Q] [--flush-after-ms MS] [--shards N] [--trace PATH]
+    /// [--wal-dir DIR] [--fsync POLICY] [--wal-segment-bytes B]`
     Serve {
         /// Bind address (`127.0.0.1:0` picks an ephemeral port).
         addr: String,
@@ -105,6 +107,18 @@ pub enum Command {
         shards: usize,
         /// Write a Chrome-trace of batch executions here at shutdown.
         trace: Option<String>,
+        /// Write-ahead log directory; `None` disables durability.
+        wal_dir: Option<String>,
+        /// When WAL appends are fsynced.
+        fsync: FsyncPolicy,
+        /// WAL segment rotation threshold in bytes.
+        wal_segment_bytes: u64,
+    },
+    /// `bulkrun drain [--addr A]` — drain a server and print its final
+    /// stats snapshot as pure JSON.
+    Drain {
+        /// Server address.
+        addr: String,
     },
     /// `bulkrun submit <algo> [--size N] [--layout row|col] [--addr A]
     /// [--count C] [--seed S]`
@@ -188,6 +202,12 @@ USAGE:
                        [--flush-after-ms MS]     overload backpressure
                        [--shards N]
                        [--trace PATH]            Chrome-trace of batch spans
+                       [--wal-dir DIR]           write-ahead log: accepted jobs
+                       [--fsync POLICY]          survive kill -9 and re-run on
+                       [--wal-segment-bytes B]   restart (policy: always,
+                                                 every-n=N, every-ms=MS)
+  bulkrun drain        [--addr A]                drain a server; print its final
+                                                 stats snapshot as JSON
   bulkrun submit <algo> [--size N]               submit instances to a server
                        [--layout row|col]        and wait for the batch
                        [--addr A] [--count C]
@@ -204,7 +224,8 @@ USAGE:
 Defaults: p = 4096, width = 32, latency = 100, layout = col.
 Timeline defaults: p = 128, latency = 8, cols = 72 (small enough to read).
 Serve defaults: addr = 127.0.0.1:7070, workers = 4, max-batch = 256,
-  max-queue = 4096, flush-after-ms = 5, shards = 1.
+  max-queue = 4096, flush-after-ms = 5, shards = 1, no WAL;
+  with --wal-dir: fsync = always, wal-segment-bytes = 4194304.
 Loadgen defaults: clients = 32, duration-ms = 5000, instances = 1.
 ";
 
@@ -329,6 +350,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--flush-after-ms",
                     "--shards",
                     "--trace",
+                    "--wal-dir",
+                    "--fsync",
+                    "--wal-segment-bytes",
                 ],
             )?;
             let workers = parse_flag(rest, "--workers")?.unwrap_or(4);
@@ -342,6 +366,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     return Err(format!("{flag} must be positive"));
                 }
             }
+            let wal_dir = parse_string_flag(rest, "--wal-dir")?;
+            let fsync_raw = parse_string_flag(rest, "--fsync")?;
+            let wal_segment_bytes = parse_flag(rest, "--wal-segment-bytes")?;
+            if wal_dir.is_none() && (fsync_raw.is_some() || wal_segment_bytes.is_some()) {
+                return Err("--fsync / --wal-segment-bytes require --wal-dir".into());
+            }
+            let fsync = match fsync_raw {
+                Some(s) => FsyncPolicy::parse(&s).map_err(|e| format!("--fsync: {e}"))?,
+                None => FsyncPolicy::Always,
+            };
+            let wal_segment_bytes = wal_segment_bytes.unwrap_or(4 << 20) as u64;
+            if wal_segment_bytes == 0 {
+                return Err("--wal-segment-bytes must be positive".into());
+            }
             Ok(Command::Serve {
                 addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
                 workers,
@@ -350,6 +388,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 flush_after_ms: parse_flag(rest, "--flush-after-ms")?.unwrap_or(5) as u64,
                 shards,
                 trace: parse_string_flag(rest, "--trace")?,
+                wal_dir,
+                fsync,
+                wal_segment_bytes,
+            })
+        }
+        "drain" => {
+            let rest = &args[1..];
+            reject_unknown(rest, &["--addr"])?;
+            Ok(Command::Drain {
+                addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
             })
         }
         "submit" => {
@@ -639,6 +687,9 @@ mod tests {
                 flush_after_ms: 5,
                 shards: 1,
                 trace: None,
+                wal_dir: None,
+                fsync: FsyncPolicy::Always,
+                wal_segment_bytes: 4 << 20,
             }
         );
         let c = parse(&argv(
@@ -656,11 +707,50 @@ mod tests {
                 flush_after_ms: 20,
                 shards: 3,
                 trace: Some("t.json".into()),
+                wal_dir: None,
+                fsync: FsyncPolicy::Always,
+                wal_segment_bytes: 4 << 20,
             }
         );
         assert!(parse(&argv("serve --workers 0")).unwrap_err().contains("positive"));
         assert!(parse(&argv("serve --max-batch 0")).unwrap_err().contains("positive"));
         assert!(parse(&argv("serve --p 4")).unwrap_err().contains("--p"));
+    }
+
+    #[test]
+    fn serve_wal_flags() {
+        let c =
+            parse(&argv("serve --wal-dir /tmp/wal --fsync every-n=64 --wal-segment-bytes 1024"))
+                .unwrap();
+        match c {
+            Command::Serve { wal_dir, fsync, wal_segment_bytes, .. } => {
+                assert_eq!(wal_dir.as_deref(), Some("/tmp/wal"));
+                assert_eq!(fsync, FsyncPolicy::EveryN(64));
+                assert_eq!(wal_segment_bytes, 1024);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("serve --wal-dir d")).unwrap() {
+            Command::Serve { fsync, .. } => assert_eq!(fsync, FsyncPolicy::Always),
+            other => panic!("unexpected {other:?}"),
+        }
+        // WAL tuning flags without a WAL are a mistake, not a no-op.
+        assert!(parse(&argv("serve --fsync always")).unwrap_err().contains("--wal-dir"));
+        assert!(parse(&argv("serve --wal-segment-bytes 64")).unwrap_err().contains("--wal-dir"));
+        assert!(parse(&argv("serve --wal-dir d --fsync never")).unwrap_err().contains("--fsync"));
+        assert!(parse(&argv("serve --wal-dir d --wal-segment-bytes 0"))
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn drain_parses() {
+        assert_eq!(parse(&argv("drain")).unwrap(), Command::Drain { addr: DEFAULT_ADDR.into() });
+        assert_eq!(
+            parse(&argv("drain --addr 127.0.0.1:9")).unwrap(),
+            Command::Drain { addr: "127.0.0.1:9".into() }
+        );
+        assert!(parse(&argv("drain --p 4")).unwrap_err().contains("--p"));
     }
 
     #[test]

@@ -234,7 +234,18 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 ));
             }
         }
-        Command::Serve { addr, workers, max_batch, max_queue, flush_after_ms, shards, trace } => {
+        Command::Serve {
+            addr,
+            workers,
+            max_batch,
+            max_queue,
+            flush_after_ms,
+            shards,
+            trace,
+            wal_dir,
+            fsync,
+            wal_segment_bytes,
+        } => {
             let executor = serve::CatalogExecutor::new(*shards);
             let cfg = bulkd::ServerConfig {
                 addr: addr.clone(),
@@ -243,6 +254,11 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 max_queue: *max_queue,
                 flush_after_ms: *flush_after_ms,
                 trace_path: trace.as_ref().map(std::path::PathBuf::from),
+                wal: wal_dir.as_ref().map(|dir| bulkd::JournalConfig {
+                    dir: std::path::PathBuf::from(dir),
+                    fsync: *fsync,
+                    segment_bytes: *wal_segment_bytes,
+                }),
             };
             let snapshot = bulkd::serve(&cfg, Box::new(executor), |bound| {
                 // The one line the harness (tests, CI scripts) scrapes for
@@ -256,6 +272,15 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             if let Some(path) = trace {
                 out.push_str(&format!("trace: wrote {path}\n"));
             }
+        }
+        Command::Drain { addr } => {
+            let mut client =
+                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let snap = client.drain().map_err(|e| format!("drain: {e}"))?;
+            // Pure JSON on stdout so scripts can pipe it straight into a
+            // parser (the CI crash-recovery gate does exactly that).
+            out.push_str(&snap.to_pretty());
+            out.push('\n');
         }
         Command::Submit { algo, size, layout, addr, count, seed } => {
             let a = Algo::parse(algo, *size)?;
@@ -294,10 +319,22 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             };
             let pool = a.random_inputs_bits(RUN_SEED, 64.max(*instances_per_submit));
             let rep = bulkd::run_loadgen(&cfg, &pool)?;
-            let mut client =
-                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-            let server_stats = if *drain_after { client.drain() } else { client.stats() }
-                .map_err(|e| format!("server stats: {e}"))?;
+            // Fetching the server's stats is best-effort: in crash drills
+            // the server is killed mid-run, and the client-side report
+            // (what was acknowledged) is exactly the evidence needed.
+            let server_stats = bulkd::Client::connect(addr)
+                .map_err(|e| format!("connect {addr}: {e}"))
+                .and_then(|mut client| {
+                    if *drain_after { client.drain() } else { client.stats() }
+                        .map_err(|e| format!("server stats: {e}"))
+                })
+                .unwrap_or_else(|e| {
+                    let mut j = obs::Json::obj();
+                    j.set("unreachable", true);
+                    j.set("error", e.as_str());
+                    j
+                });
+            let server_unreachable = server_stats.get("unreachable").is_some();
             let secs = rep.elapsed.as_secs_f64().max(1e-9);
             out.push_str(&format!(
                 "loadgen {}: {} submitted, {} completed ({:.0} jobs/s, \
@@ -322,8 +359,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 write_text("loadgen report", path, &j.to_pretty())?;
                 out.push_str(&format!("  report: wrote {path}\n"));
             }
-            if *drain_after {
-                out.push_str("  server drained\n");
+            match (server_unreachable, *drain_after) {
+                (true, _) => out.push_str("  server unreachable after the run\n"),
+                (false, true) => out.push_str("  server drained\n"),
+                (false, false) => {}
             }
         }
         Command::Compare { a, b, threshold } => {

@@ -36,8 +36,34 @@ impl CatalogExecutor {
     }
 }
 
+/// Serving cap on the size parameter of exponent-style algorithms
+/// (`fft`, `bitonic`, `oe-mergesort` take `k`, working on `2^k` words).
+pub const MAX_SERVE_EXPONENT: usize = 16;
+
+/// Serving cap on the size parameter of direct-`n` algorithms.
+pub const MAX_SERVE_SIZE: usize = 4096;
+
+/// Admission-time bound check, *before* [`Algo::parse`] runs: a size far
+/// outside the catalog's supported range must bounce as a structured
+/// `bad-request`, not allocate `2^k` words (or overflow) constructing
+/// the program.
+fn check_serve_size(key: &JobKey) -> Result<(), String> {
+    let (cap, what) = match key.algo.as_str() {
+        "fft" | "bitonic" | "oe-mergesort" => (MAX_SERVE_EXPONENT, "exponent k ="),
+        _ => (MAX_SERVE_SIZE, "size"),
+    };
+    if key.size > cap {
+        return Err(format!(
+            "{} {what} {} exceeds the serving cap of {cap}; run it offline via `bulkrun run`",
+            key.algo, key.size
+        ));
+    }
+    Ok(())
+}
+
 impl BatchExecutor for CatalogExecutor {
     fn validate(&self, key: &JobKey) -> Result<usize, String> {
+        check_serve_size(key)?;
         Ok(Self::algo(key)?.input_words())
     }
 
@@ -67,6 +93,21 @@ mod tests {
         assert!(ex.validate(&bad).unwrap_err().contains("unknown algorithm"));
         let bad = JobKey { algo: "opt".into(), size: 2, layout: Layout::ColumnWise };
         assert!(ex.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn validate_caps_sizes_outside_the_serving_range() {
+        let ex = CatalogExecutor::new(1);
+        // A huge exponent must bounce *before* 2^k construction.
+        let huge = JobKey { algo: "fft".into(), size: 60, layout: Layout::ColumnWise };
+        let e = ex.validate(&huge).unwrap_err();
+        assert!(e.contains("serving cap"), "{e}");
+        let huge = JobKey { algo: "prefix-sums".into(), size: 1 << 20, layout: Layout::RowWise };
+        assert!(ex.validate(&huge).unwrap_err().contains("serving cap"));
+        // The caps themselves are servable.
+        let edge =
+            JobKey { algo: "prefix-sums".into(), size: MAX_SERVE_SIZE, layout: Layout::ColumnWise };
+        assert_eq!(ex.validate(&edge).unwrap(), MAX_SERVE_SIZE);
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn start_server(
         max_queue,
         flush_after_ms,
         trace_path: None,
+        wal: None,
     };
     let (tx, rx) = mpsc::channel();
     let handle = std::thread::spawn(move || {
@@ -205,6 +206,67 @@ fn drain_completes_accepted_work_and_rejects_new_submits() {
     assert_eq!((accepted, completed, failed), (1, 1, 0));
     assert_eq!(final_stats.path("queue.draining"), Some(&Json::Bool(true)));
     assert_eq!(final_stats.path("queue.queued_instances").unwrap().as_i64(), Some(0));
+}
+
+/// Degenerate submits — zero instances, or a size outside the catalog's
+/// serving range — bounce with a structured `bad-request` on a connection
+/// that stays usable, and the rejection is counted.
+#[test]
+fn zero_instance_and_out_of_range_submits_bounce_structurally() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, server, _caches) = start_server(1, 64, 1024, 5);
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    let mut roundtrip = |stream: &mut std::net::TcpStream, req: &str| {
+        stream.write_all(req.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write");
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        Json::parse(line.trim()).expect("response parses")
+    };
+
+    // Zero instances: well-formed at the protocol layer, refused at admission.
+    let resp = roundtrip(
+        &mut stream,
+        r#"{"cmd":"submit","algo":"prefix-sums","size":64,"layout":"col","inputs":[]}"#,
+    );
+    assert_eq!(resp.path("ok"), Some(&Json::Bool(false)));
+    assert_eq!(resp.path("error").unwrap().as_str(), Some("bad-request"));
+    assert!(resp.path("detail").unwrap().as_str().unwrap().contains("no instances"));
+
+    // A size beyond the serving cap must bounce before any 2^k allocation.
+    let resp = roundtrip(
+        &mut stream,
+        r#"{"cmd":"submit","algo":"fft","size":60,"layout":"col","inputs":[["0x0000000000000001"]]}"#,
+    );
+    assert_eq!(resp.path("ok"), Some(&Json::Bool(false)));
+    assert_eq!(resp.path("error").unwrap().as_str(), Some("bad-request"));
+    assert!(resp.path("detail").unwrap().as_str().unwrap().contains("serving cap"));
+
+    // The server survives both rejections and still serves real work.
+    let algo = Algo::parse("prefix-sums", Some(64)).unwrap();
+    let key = bulkd::JobKey {
+        algo: "prefix-sums".into(),
+        size: 64,
+        layout: oblivious::Layout::ColumnWise,
+    };
+    let inputs = algo.random_inputs_bits(5, 1);
+    let submit = {
+        let addr = addr.clone();
+        let key = key.clone();
+        std::thread::spawn(move || {
+            let mut c = bulkd::Client::connect(&addr).expect("connect");
+            c.submit(&key, &inputs).expect("valid submit")
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let final_stats = drain_and_join(&addr, server);
+    let ok = submit.join().expect("submitter panicked");
+    assert_eq!(ok.outputs.len(), 1);
+    assert_eq!(final_stats.path("admission.rejected_jobs").unwrap().as_i64(), Some(2));
+    assert_eq!(final_stats.path("admission.accepted_jobs").unwrap().as_i64(), Some(1));
+    assert_eq!(final_stats.path("execution.completed_jobs").unwrap().as_i64(), Some(1));
 }
 
 /// Malformed lines are answered with structured protocol errors (carrying

@@ -1,0 +1,75 @@
+//! Deterministic crash injection for writer tests.
+
+use std::io::{self, Write};
+
+/// A writer that silently stops persisting after `cut_at` bytes.
+///
+/// Models what `kill -9` leaves behind: the process *believed* its
+/// writes succeeded (every `write` returns `Ok` for the full buffer),
+/// but only a byte-exact prefix reached the file.  Wrapping a segment
+/// file in this lets a test cut a record stream at every possible
+/// offset and assert the reader's torn-tail behaviour.
+#[derive(Debug)]
+pub struct FailpointWriter<W: Write> {
+    inner: W,
+    cut_at: u64,
+    written: u64,
+}
+
+impl<W: Write> FailpointWriter<W> {
+    /// Wrap `inner`, persisting only the first `cut_at` bytes.
+    pub fn new(inner: W, cut_at: u64) -> Self {
+        Self { inner, cut_at, written: 0 }
+    }
+
+    /// Bytes offered by callers so far (persisted or not).
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailpointWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let room = self.cut_at.saturating_sub(self.written);
+        let persist = buf.len().min(usize::try_from(room).unwrap_or(usize::MAX));
+        if persist > 0 {
+            self.inner.write_all(&buf[..persist])?;
+        }
+        self.written += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persists_exactly_the_prefix_and_reports_success() {
+        for cut in 0..12u64 {
+            let mut w = FailpointWriter::new(Vec::new(), cut);
+            w.write_all(b"hello").unwrap();
+            w.write_all(b" world").unwrap();
+            assert_eq!(w.offered(), 11);
+            let inner = w.into_inner();
+            assert_eq!(inner, b"hello world"[..(cut as usize).min(11)].to_vec(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn cut_mid_buffer_persists_partial_write() {
+        let mut w = FailpointWriter::new(Vec::new(), 3);
+        w.write_all(b"abcdef").unwrap();
+        assert_eq!(w.into_inner(), b"abc".to_vec());
+    }
+}

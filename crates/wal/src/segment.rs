@@ -1,0 +1,86 @@
+//! Segment file naming and discovery.
+//!
+//! A segment is named `{first_seq:020}.wal` — the sequence number its
+//! first record will carry, zero-padded so lexicographic and numeric
+//! order agree.  Every segment starts with an 8-byte magic so a stray
+//! file (or a segment torn before its first byte landed) is recognized
+//! instead of misparsed.
+
+use std::path::{Path, PathBuf};
+
+/// Magic bytes at the start of every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"BULKWAL1";
+
+/// The file name a segment whose first record carries `first_seq` gets.
+#[must_use]
+pub fn file_name(first_seq: u64) -> String {
+    format!("{first_seq:020}.wal")
+}
+
+/// Parse a segment file name back to its `first_seq`; `None` for files
+/// that are not segments.
+#[must_use]
+pub fn parse_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_suffix(".wal")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// All segment files under `dir`, sorted by their `first_seq`.  Non-
+/// segment files are ignored.
+///
+/// # Errors
+///
+/// Directory read failures (a missing directory reads as empty).
+pub fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>, String> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(format!("read_dir {}: {e}", dir.display())),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(parse_file_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_sort() {
+        assert_eq!(file_name(1), "00000000000000000001.wal");
+        assert_eq!(parse_file_name(&file_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_file_name("00000000000000000007.wal"), Some(7));
+        assert_eq!(parse_file_name("7.wal"), None, "unpadded");
+        assert_eq!(parse_file_name("0000000000000000000x.wal"), None);
+        assert_eq!(parse_file_name("00000000000000000001.log"), None);
+        assert!(file_name(9) < file_name(10), "lexicographic == numeric");
+    }
+
+    #[test]
+    fn listing_ignores_strangers_and_sorts() {
+        let dir = std::env::temp_dir().join(format!("wal-seg-list-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in [file_name(12), file_name(3), "notes.txt".into(), "12.wal".into()] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let seqs: Vec<u64> = list(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![3, 12]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_lists_empty() {
+        assert!(list(Path::new("/nonexistent/wal-dir-xyz")).unwrap().is_empty());
+    }
+}
