@@ -16,6 +16,8 @@
 //!
 //! Layering (each module usable on its own):
 //!
+//! - [`clock`] — time and scheduling as injectable capabilities, the seam
+//!   that lets the whole daemon run under deterministic simulation;
 //! - [`protocol`] — requests, responses, and the hex word codec;
 //! - [`queue`] — the coalescing queue with admission control and drain;
 //! - [`journal`] — write-ahead logging of accepted jobs and their
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod clock;
 pub mod journal;
 pub mod loadgen;
 pub mod protocol;
@@ -39,6 +42,9 @@ pub mod server;
 pub mod stats;
 
 pub use client::{Client, ClientError, SubmitOk};
+pub use clock::{
+    real_runtime, Clock, RealClock, Scheduler, SimScheduler, ThreadScheduler, VirtualClock,
+};
 pub use journal::{Journal, JournalConfig, RecoveredJob, Recovery};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use protocol::{JobKey, Request, PROTOCOL_VERSION};

@@ -25,6 +25,17 @@ pub struct LoadgenConfig {
     pub key: JobKey,
     /// Instances carried by each submit.
     pub instances_per_submit: usize,
+    /// Root seed for the per-client RNG streams (backoff jitter).  Same
+    /// seed + same server behavior ⇒ same offered load; the report echoes
+    /// it so any run can be re-offered.
+    pub seed: u64,
+}
+
+/// Per-client RNG stream derived from the run's root seed: run-to-run
+/// reproducible, but no two clients share a jitter sequence.
+#[must_use]
+pub fn client_rng(seed: u64, client_idx: usize) -> Rng {
+    Rng::new(seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Aggregated result of a load-generation run.
@@ -69,6 +80,7 @@ impl LoadgenReport {
         c.set("size", cfg.key.size);
         c.set("layout", crate::protocol::layout_name(cfg.key.layout));
         c.set("instances_per_submit", cfg.instances_per_submit);
+        c.set("seed", cfg.seed);
         report.set("config", c);
 
         let secs = self.elapsed.as_secs_f64().max(1e-9);
@@ -154,9 +166,7 @@ fn client_loop(
     let mut client =
         Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
     let mut rep = LoadgenReport::default();
-    // Deterministic per-client stream: run-to-run reproducible, but no
-    // two clients share a jitter sequence.
-    let mut rng = Rng::new(0xBACC_0FF5 ^ (client_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = client_rng(cfg.seed, client_idx);
     // Stagger draw positions so clients don't all submit identical work.
     let mut cursor = client_idx * cfg.instances_per_submit;
     while Instant::now() < deadline {
@@ -206,6 +216,7 @@ mod tests {
             duration: Duration::from_millis(100),
             key: JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise },
             instances_per_submit: 1,
+            seed: 42,
         };
         let mut rep = LoadgenReport {
             submitted: 10,
@@ -221,7 +232,22 @@ mod tests {
         assert_eq!(j.path("throughput.completed_jobs").unwrap().as_i64(), Some(9));
         assert_eq!(j.path("throughput.jobs_per_sec").unwrap().as_f64(), Some(9.0));
         assert_eq!(j.path("latency.mean_observed_batch_p").unwrap().as_f64(), Some(8.0));
+        assert_eq!(j.path("config.seed").unwrap().as_i64(), Some(42));
         assert!(RunReport::parse(&j.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn client_rngs_are_seed_deterministic_and_pairwise_distinct() {
+        let draw8 = |seed, idx| {
+            let mut r = client_rng(seed, idx);
+            (0..8).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        // Same (seed, client) ⇒ the identical stream.
+        assert_eq!(draw8(1234, 0), draw8(1234, 0));
+        assert_eq!(draw8(1234, 3), draw8(1234, 3));
+        // Different client or different seed ⇒ a different stream.
+        assert_ne!(draw8(1234, 0), draw8(1234, 1));
+        assert_ne!(draw8(1234, 0), draw8(1235, 0));
     }
 
     #[test]
@@ -257,6 +283,7 @@ mod tests {
             duration: Duration::from_millis(1),
             key: JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise },
             instances_per_submit: 1,
+            seed: 0,
         };
         assert!(run_loadgen(&cfg, &[vec![0]]).is_err());
         assert!(run_loadgen(&cfg, &[]).is_err());

@@ -7,11 +7,21 @@
 //! split across batches.  Admission is bounded by `max_queue` total queued
 //! instances; beyond it submitters get [`SubmitError::Overloaded`] with a
 //! retry hint instead of unbounded buffering.
+//!
+//! All time flows through the injected [`Clock`] (microseconds) and all
+//! blocking through the injected [`Scheduler`], so the same queue runs
+//! under the production thread pool *and* single-threaded deterministic
+//! simulation: the non-blocking core ([`CoalescingQueue::try_next_batch`],
+//! [`CoalescingQueue::begin_drain`], [`CoalescingQueue::drained`]) is what
+//! the simulator drives directly; the blocking wrappers
+//! ([`CoalescingQueue::next_batch`], [`CoalescingQueue::drain`]) are thin
+//! epoch-checked loops over it.
 
+use crate::clock::{real_runtime, Clock, Scheduler};
 use crate::protocol::JobKey;
 use std::collections::VecDeque;
-use std::sync::{mpsc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 /// Tunables of a [`CoalescingQueue`].
 #[derive(Debug, Clone)]
@@ -48,8 +58,8 @@ pub struct Job {
     pub id: u64,
     /// Per-instance input words (bit patterns).
     pub inputs: Vec<Vec<u64>>,
-    /// When the job entered the queue.
-    pub enqueued: Instant,
+    /// Clock time (microseconds) at which the job entered the queue.
+    pub enqueued_us: u64,
     /// Completion channel back to the connection handler.
     pub reply: mpsc::Sender<JobReply>,
 }
@@ -83,6 +93,23 @@ pub enum SubmitError {
     },
 }
 
+/// Outcome of one non-blocking poll for work.
+#[derive(Debug)]
+pub enum TryNext {
+    /// A batch was claimed; execute it, then call
+    /// [`CoalescingQueue::batch_done`].
+    Batch(Batch),
+    /// Nothing ready.  `next_deadline_us` is the earliest open-group
+    /// flush deadline, if any group is open — the time by which polling
+    /// again is guaranteed to make progress.
+    Empty {
+        /// Earliest open-group deadline on the queue's clock.
+        next_deadline_us: Option<u64>,
+    },
+    /// The queue is draining and empty: the consumer should exit.
+    Drained,
+}
+
 /// Capacity held against `max_queue` by [`CoalescingQueue::reserve`],
 /// waiting to be turned into a visible job by
 /// [`CoalescingQueue::enqueue`] or released by
@@ -104,7 +131,7 @@ struct PendingGroup {
     key: JobKey,
     jobs: Vec<Job>,
     instances: usize,
-    deadline: Instant,
+    deadline_us: u64,
 }
 
 #[derive(Debug, Default)]
@@ -136,21 +163,42 @@ pub struct QueueDepth {
 #[derive(Debug)]
 pub struct CoalescingQueue {
     cfg: QueueConfig,
+    clock: Arc<dyn Clock>,
+    sched: Arc<dyn Scheduler>,
     state: Mutex<State>,
-    cv: Condvar,
 }
 
 impl CoalescingQueue {
-    /// An empty queue with the given tunables.
+    /// An empty queue on the production runtime (real clock, condvar
+    /// scheduler).
     #[must_use]
     pub fn new(cfg: QueueConfig) -> Self {
-        Self { cfg, state: Mutex::new(State::default()), cv: Condvar::new() }
+        let (clock, sched) = real_runtime();
+        Self::with_runtime(cfg, clock, sched)
+    }
+
+    /// An empty queue on an injected runtime — a [`crate::clock::VirtualClock`]
+    /// plus [`crate::clock::SimScheduler`] puts the queue under
+    /// deterministic simulation control.
+    #[must_use]
+    pub fn with_runtime(
+        cfg: QueueConfig,
+        clock: Arc<dyn Clock>,
+        sched: Arc<dyn Scheduler>,
+    ) -> Self {
+        Self { cfg, clock, sched, state: Mutex::new(State::default()) }
     }
 
     /// The configured tunables.
     #[must_use]
     pub fn config(&self) -> &QueueConfig {
         &self.cfg
+    }
+
+    /// The scheduler this queue notifies (shared with its consumers).
+    #[must_use]
+    pub fn scheduler(&self) -> &Arc<dyn Scheduler> {
+        &self.sched
     }
 
     fn retry_after_ms(&self) -> u64 {
@@ -206,7 +254,8 @@ impl CoalescingQueue {
     pub fn cancel(&self, adm: Admission) {
         let mut st = self.state.lock().expect("queue poisoned");
         st.queued_instances -= adm.instances;
-        self.cv.notify_all();
+        drop(st);
+        self.sched.notify_all();
     }
 
     /// Phase two of admission: make a reserved job visible to workers.
@@ -220,16 +269,12 @@ impl CoalescingQueue {
     pub fn enqueue(&self, adm: Admission, key: JobKey, job: Job) {
         let n = job.inputs.len();
         assert_eq!(adm.instances, n, "reservation/job instance mismatch");
+        let deadline_us = self.clock.now_us() + self.cfg.flush_after.as_micros() as u64;
         let mut st = self.state.lock().expect("queue poisoned");
         let pos = match st.groups.iter().position(|g| g.key == key) {
             Some(pos) => pos,
             None => {
-                st.groups.push(PendingGroup {
-                    key,
-                    jobs: Vec::new(),
-                    instances: 0,
-                    deadline: Instant::now() + self.cfg.flush_after,
-                });
+                st.groups.push(PendingGroup { key, jobs: Vec::new(), instances: 0, deadline_us });
                 st.groups.len() - 1
             }
         };
@@ -239,55 +284,56 @@ impl CoalescingQueue {
             let g = st.groups.remove(pos);
             st.ready.push_back(Batch { key: g.key, jobs: g.jobs });
         }
+        drop(st);
         // Wake workers either way: a ready batch needs a consumer, a fresh
         // group needs someone to arm its deadline timer.
-        self.cv.notify_all();
+        self.sched.notify_all();
+    }
+
+    /// Non-blocking poll: claim a ready batch, flushing any group whose
+    /// deadline has passed (all of them when draining — nothing else is
+    /// coming to fill them).  This is the consumer core the simulator
+    /// drives directly; threads use [`CoalescingQueue::next_batch`].
+    pub fn try_next_batch(&self) -> TryNext {
+        let now = self.clock.now_us();
+        let mut st = self.state.lock().expect("queue poisoned");
+        let mut i = 0;
+        while i < st.groups.len() {
+            if st.draining || st.groups[i].deadline_us <= now {
+                let g = st.groups.remove(i);
+                st.ready.push_back(Batch { key: g.key, jobs: g.jobs });
+            } else {
+                i += 1;
+            }
+        }
+        if let Some(b) = st.ready.pop_front() {
+            st.queued_instances -= b.instances();
+            st.in_flight_batches += 1;
+            return TryNext::Batch(b);
+        }
+        if st.draining {
+            if st.in_flight_batches == 0 {
+                // Queue empty, nothing in flight: tell the drain waiter.
+                drop(st);
+                self.sched.notify_all();
+                return TryNext::Drained;
+            }
+            return TryNext::Drained;
+        }
+        TryNext::Empty { next_deadline_us: st.groups.iter().map(|g| g.deadline_us).min() }
     }
 
     /// Block until a batch is available (size- or deadline-flushed) and
     /// claim it.  Returns `None` once the queue is draining and empty —
     /// the worker-pool exit signal.
     pub fn next_batch(&self) -> Option<Batch> {
-        let mut st = self.state.lock().expect("queue poisoned");
         loop {
-            if let Some(b) = st.ready.pop_front() {
-                st.queued_instances -= b.instances();
-                st.in_flight_batches += 1;
-                return Some(b);
+            let epoch = self.sched.epoch();
+            match self.try_next_batch() {
+                TryNext::Batch(b) => return Some(b),
+                TryNext::Drained => return None,
+                TryNext::Empty { next_deadline_us } => self.sched.wait(epoch, next_deadline_us),
             }
-            // Flush groups whose deadline has passed (all of them when
-            // draining: nothing else is coming to fill them).
-            let now = Instant::now();
-            let mut flushed = false;
-            let mut i = 0;
-            while i < st.groups.len() {
-                if st.draining || st.groups[i].deadline <= now {
-                    let g = st.groups.remove(i);
-                    st.ready.push_back(Batch { key: g.key, jobs: g.jobs });
-                    flushed = true;
-                } else {
-                    i += 1;
-                }
-            }
-            if flushed {
-                continue;
-            }
-            if st.draining {
-                // Empty and draining: wake the drain() waiter and any
-                // sibling workers, then exit.
-                self.cv.notify_all();
-                return None;
-            }
-            let wait = st
-                .groups
-                .iter()
-                .map(|g| g.deadline)
-                .min()
-                .map(|d| d.saturating_duration_since(now).max(Duration::from_millis(1)));
-            st = match wait {
-                Some(d) => self.cv.wait_timeout(st, d).expect("queue poisoned").0,
-                None => self.cv.wait(st).expect("queue poisoned"),
-            };
         }
     }
 
@@ -295,24 +341,44 @@ impl CoalescingQueue {
     pub fn batch_done(&self) {
         let mut st = self.state.lock().expect("queue poisoned");
         st.in_flight_batches -= 1;
-        self.cv.notify_all();
+        drop(st);
+        self.sched.notify_all();
+    }
+
+    /// Stop admitting new jobs and wake every consumer so open groups
+    /// flush.  Non-blocking half of [`CoalescingQueue::drain`]; pair with
+    /// [`CoalescingQueue::drained`] polling.  Idempotent.
+    pub fn begin_drain(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.draining = true;
+        drop(st);
+        self.sched.notify_all();
+    }
+
+    /// Whether every accepted job has finished executing (only
+    /// meaningful once [`CoalescingQueue::begin_drain`] ran).
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        let st = self.state.lock().expect("queue poisoned");
+        st.queued_instances == 0
+            && st.in_flight_batches == 0
+            && st.ready.is_empty()
+            && st.groups.is_empty()
     }
 
     /// Stop admitting new jobs, flush every open group, and block until
     /// all accepted work has executed.  Idempotent; concurrent callers all
     /// return once the queue is empty.
     pub fn drain(&self) {
-        let mut st = self.state.lock().expect("queue poisoned");
-        st.draining = true;
-        self.cv.notify_all();
-        while st.queued_instances > 0
-            || st.in_flight_batches > 0
-            || !st.ready.is_empty()
-            || !st.groups.is_empty()
-        {
-            // The timeout is belt-and-braces against a missed wakeup; the
-            // normal path is a notify from `batch_done`/`next_batch`.
-            st = self.cv.wait_timeout(st, Duration::from_millis(50)).expect("queue poisoned").0;
+        self.begin_drain();
+        loop {
+            let epoch = self.sched.epoch();
+            if self.drained() {
+                return;
+            }
+            // The deadline is belt-and-braces against a missed wakeup; the
+            // normal path is a notify from `batch_done`/`try_next_batch`.
+            self.sched.wait(epoch, Some(self.clock.now_us() + 50_000));
         }
     }
 
@@ -333,8 +399,9 @@ impl CoalescingQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::{SimScheduler, VirtualClock};
     use oblivious::Layout;
-    use std::sync::Arc;
+    use std::time::Instant;
 
     fn key(algo: &str) -> JobKey {
         JobKey { algo: algo.into(), size: 8, layout: Layout::ColumnWise }
@@ -343,7 +410,7 @@ mod tests {
     fn job(instances: usize) -> (Job, mpsc::Receiver<JobReply>) {
         let (tx, rx) = mpsc::channel();
         let inputs = vec![vec![0u64; 2]; instances];
-        (Job { id: 0, inputs, enqueued: Instant::now(), reply: tx }, rx)
+        (Job { id: 0, inputs, enqueued_us: 0, reply: tx }, rx)
     }
 
     fn queue(max_batch: usize, max_queue: usize, flush_ms: u64) -> CoalescingQueue {
@@ -352,6 +419,21 @@ mod tests {
             max_queue,
             flush_after: Duration::from_millis(flush_ms),
         })
+    }
+
+    /// A queue under a virtual clock the test advances by hand.
+    fn sim_queue(
+        max_batch: usize,
+        max_queue: usize,
+        flush_ms: u64,
+    ) -> (CoalescingQueue, Arc<VirtualClock>) {
+        let clock = Arc::new(VirtualClock::new());
+        let q = CoalescingQueue::with_runtime(
+            QueueConfig { max_batch, max_queue, flush_after: Duration::from_millis(flush_ms) },
+            Arc::<VirtualClock>::clone(&clock) as Arc<dyn Clock>,
+            Arc::new(SimScheduler::new()),
+        );
+        (q, clock)
     }
 
     #[test]
@@ -382,6 +464,31 @@ mod tests {
         assert!(t0.elapsed() >= Duration::from_millis(10), "flushed too early");
         assert_eq!(b.instances(), 2);
         q.batch_done();
+    }
+
+    /// The same deadline semantics, with zero sleeping: under a virtual
+    /// clock the flush instant is exact and the test is deterministic.
+    #[test]
+    fn deadline_flush_is_exact_under_a_virtual_clock() {
+        let (q, clock) = sim_queue(1000, 100, 20);
+        clock.advance_to(5_000);
+        q.submit(key("a"), job(2).0).unwrap();
+        match q.try_next_batch() {
+            TryNext::Empty { next_deadline_us } => assert_eq!(next_deadline_us, Some(25_000)),
+            other => panic!("group must still be open: {other:?}"),
+        }
+        clock.advance_to(24_999);
+        assert!(matches!(q.try_next_batch(), TryNext::Empty { .. }));
+        clock.advance_to(25_000);
+        match q.try_next_batch() {
+            TryNext::Batch(b) => assert_eq!(b.instances(), 2),
+            other => panic!("deadline reached, must flush: {other:?}"),
+        }
+        q.batch_done();
+        match q.try_next_batch() {
+            TryNext::Empty { next_deadline_us } => assert_eq!(next_deadline_us, None),
+            other => panic!("empty queue: {other:?}"),
+        }
     }
 
     #[test]
@@ -628,5 +735,32 @@ mod tests {
         let (j, _rx) = job(10);
         q.enqueue(adm, key("a"), j);
         assert_eq!(q.depth().open_groups, 1);
+    }
+
+    /// The simulator's drive loop in miniature: one thread, virtual time,
+    /// non-blocking polls — begin_drain/drained instead of blocking drain.
+    #[test]
+    fn single_threaded_drain_via_nonblocking_core() {
+        let (q, clock) = sim_queue(8, 100, 10);
+        let (j, rx) = job(3);
+        q.submit(key("a"), j).unwrap();
+        q.begin_drain();
+        assert!(!q.drained(), "accepted job still owed execution");
+        // Draining flushes the open group without waiting for its deadline.
+        let b = match q.try_next_batch() {
+            TryNext::Batch(b) => b,
+            other => panic!("drain must flush the open group: {other:?}"),
+        };
+        assert_eq!(b.instances(), 3);
+        for jb in b.jobs {
+            let done = JobDone { outputs: vec![vec![1]; 3], batch_p: 3, queue_us: 0, exec_us: 0 };
+            jb.reply.send(Ok(done)).unwrap();
+        }
+        assert!(!q.drained(), "batch still in flight");
+        q.batch_done();
+        assert!(q.drained());
+        assert!(matches!(q.try_next_batch(), TryNext::Drained));
+        assert!(rx.recv().unwrap().is_ok());
+        let _ = clock;
     }
 }

@@ -7,6 +7,7 @@
 //! job has executed, then stops the accept loop, and [`serve`] returns the
 //! final stats snapshot after joining the workers.
 
+use crate::clock::{real_runtime, Clock};
 use crate::journal::{Journal, JournalConfig};
 use crate::protocol::{self, JobKey, Request, PROTOCOL_VERSION};
 use crate::queue::{CoalescingQueue, Job, JobDone, QueueConfig, SubmitError};
@@ -18,7 +19,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How the embedding binary executes one coalesced batch.
 ///
@@ -71,7 +72,8 @@ struct Shared {
     stats: ServerStats,
     executor: Box<dyn BatchExecutor>,
     tracer: Mutex<Tracer>,
-    started: Instant,
+    // Anchored at serve() entry, so now_us() doubles as uptime.
+    clock: Arc<dyn Clock>,
     addr: SocketAddr,
     stop_accepting: AtomicBool,
     journal: Option<Journal>,
@@ -106,16 +108,21 @@ pub fn serve(
         None => (None, None),
     };
     let next_job_id = recovery.as_ref().map_or(1, |r| r.next_job_id);
+    let (clock, sched) = real_runtime();
     let shared = Arc::new(Shared {
-        queue: CoalescingQueue::new(QueueConfig {
-            max_batch: cfg.max_batch.max(1),
-            max_queue: cfg.max_queue.max(1),
-            flush_after: Duration::from_millis(cfg.flush_after_ms.max(1)),
-        }),
+        queue: CoalescingQueue::with_runtime(
+            QueueConfig {
+                max_batch: cfg.max_batch.max(1),
+                max_queue: cfg.max_queue.max(1),
+                flush_after: Duration::from_millis(cfg.flush_after_ms.max(1)),
+            },
+            Arc::clone(&clock),
+            sched,
+        ),
         stats: ServerStats::new(),
         executor,
         tracer: Mutex::new(Tracer::new()),
-        started: Instant::now(),
+        clock,
         addr,
         stop_accepting: AtomicBool::new(false),
         journal,
@@ -153,7 +160,12 @@ pub fn serve(
             shared.queue.enqueue(
                 adm,
                 job.key,
-                Job { id: job.id, inputs: job.inputs, enqueued: Instant::now(), reply: tx },
+                Job {
+                    id: job.id,
+                    inputs: job.inputs,
+                    enqueued_us: shared.clock.now_us(),
+                    reply: tx,
+                },
             );
         }
     }
@@ -204,15 +216,14 @@ pub fn serve(
 
 fn worker_loop(tid: u64, sh: &Shared) {
     while let Some(batch) = sh.queue.next_batch() {
-        let t0 = Instant::now();
+        let t0_us = sh.clock.now_us();
         let inputs: Vec<Vec<u64>> =
             batch.jobs.iter().flat_map(|j| j.inputs.iter().cloned()).collect();
         let p = inputs.len();
         let result = sh.executor.execute(&batch.key, &inputs);
-        let exec_us = t0.elapsed().as_micros() as u64;
+        let exec_us = sh.clock.now_us().saturating_sub(t0_us);
 
         {
-            let ts = t0.duration_since(sh.started).as_micros() as u64;
             let mut args = Json::obj();
             args.set("algo", batch.key.algo.as_str());
             args.set("size", batch.key.size);
@@ -220,7 +231,7 @@ fn worker_loop(tid: u64, sh: &Shared) {
             args.set("p", p);
             args.set("jobs", batch.jobs.len());
             let mut t = sh.tracer.lock().expect("tracer poisoned");
-            t.span(tid, "batch", "exec", ts, exec_us.max(1), args);
+            t.span(tid, "batch", "exec", t0_us, exec_us.max(1), args);
         }
         sh.stats.on_batch(p as u64, exec_us);
 
@@ -229,7 +240,7 @@ fn worker_loop(tid: u64, sh: &Shared) {
                 let mut off = 0;
                 for job in batch.jobs {
                     let n = job.inputs.len();
-                    let queue_us = t0.duration_since(job.enqueued).as_micros() as u64;
+                    let queue_us = t0_us.saturating_sub(job.enqueued_us);
                     let done = JobDone {
                         outputs: outputs[off..off + n].to_vec(),
                         batch_p: p,
@@ -245,7 +256,7 @@ fn worker_loop(tid: u64, sh: &Shared) {
             Err(e) => {
                 for job in batch.jobs {
                     let n = job.inputs.len() as u64;
-                    let queue_us = t0.duration_since(job.enqueued).as_micros() as u64;
+                    let queue_us = t0_us.saturating_sub(job.enqueued_us);
                     log_completion(sh, job.id, Err(&e));
                     sh.stats.on_job_done(n, queue_us, true);
                     let _ = job.reply.send(Err(e.clone()));
@@ -317,7 +328,7 @@ fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
             o.set("ready_batches", d.ready_batches);
             o.set("in_flight_batches", d.in_flight_batches);
             o.set("draining", d.draining);
-            o.set("uptime_us", sh.started.elapsed().as_micros() as u64);
+            o.set("uptime_us", sh.clock.now_us());
             (o, false)
         }
         Request::Stats => {
@@ -383,7 +394,7 @@ fn handle_submit(key: JobKey, inputs: Vec<Vec<u64>>, sh: &Shared) -> Json {
         }
     }
     let (tx, rx) = mpsc::channel();
-    sh.queue.enqueue(adm, key, Job { id, inputs, enqueued: Instant::now(), reply: tx });
+    sh.queue.enqueue(adm, key, Job { id, inputs, enqueued_us: sh.clock.now_us(), reply: tx });
     sh.stats.on_accept(n);
     match rx.recv() {
         Ok(Ok(done)) => {

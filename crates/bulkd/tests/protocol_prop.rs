@@ -1,0 +1,163 @@
+//! Property tests for the wire protocol: seeded random request fuzzing
+//! (every generated request must survive a wire round-trip bit-exactly)
+//! and a malformed-line corpus (every bad line must produce a structured
+//! error, never a panic — a daemon that aborts on a client's typo is a
+//! remote crash switch).
+
+use bulkd::protocol::{
+    hex_to_word, resp_error, resp_outputs, resp_overloaded, word_to_hex, Request,
+};
+use bulkd::JobKey;
+use obs::{Json, Rng};
+
+/// Interesting word bit patterns plus random fill: zero, all-ones, sign
+/// bit, NaN payloads — everything a plain JSON number would mangle.
+fn gen_word(rng: &mut Rng) -> u64 {
+    match rng.range_u64(0, 6) {
+        0 => 0,
+        1 => u64::MAX,
+        2 => 1 << 63,
+        3 => u64::from(f32::NAN.to_bits()),
+        4 => f64::NAN.to_bits(),
+        _ => rng.next_u64(),
+    }
+}
+
+fn gen_request(rng: &mut Rng) -> Request {
+    match rng.range_u64(0, 6) {
+        0 => Request::Status,
+        1 => Request::Stats,
+        2 => Request::Drain,
+        _ => {
+            let algo_pool = ["prefix-sums", "sort", "x", "a-b-c", "transpose32"];
+            let algo = algo_pool[rng.range_u64(0, algo_pool.len() as u64) as usize].to_string();
+            let size = 1 + rng.range_u64(0, 1 << 20) as usize;
+            let layout = if rng.range_u64(0, 2) == 0 {
+                oblivious::Layout::RowWise
+            } else {
+                oblivious::Layout::ColumnWise
+            };
+            let instances = rng.range_u64(0, 5) as usize;
+            let inputs = (0..instances)
+                .map(|_| {
+                    let words = rng.range_u64(0, 5) as usize;
+                    (0..words).map(|_| gen_word(rng)).collect()
+                })
+                .collect();
+            Request::Submit { key: JobKey { algo, size, layout }, inputs }
+        }
+    }
+}
+
+#[test]
+fn every_generated_request_round_trips_bit_exactly() {
+    let mut rng = Rng::new(0x5EED_0001);
+    for i in 0..500 {
+        let req = gen_request(&mut rng);
+        let line = req.to_json().to_compact();
+        let back = Request::parse_line(&line)
+            .unwrap_or_else(|e| panic!("iteration {i}: {line} did not parse: {e}"));
+        assert_eq!(back, req, "iteration {i}: wire round-trip changed the request");
+        // The wire form itself must be stable: re-serializing the parsed
+        // request yields the identical line.
+        assert_eq!(back.to_json().to_compact(), line, "iteration {i}: unstable serialization");
+    }
+}
+
+#[test]
+fn every_strict_prefix_of_a_valid_line_is_a_structured_error() {
+    let mut rng = Rng::new(0x5EED_0002);
+    for _ in 0..25 {
+        let line = gen_request(&mut rng).to_json().to_compact();
+        assert!(line.is_ascii(), "compact protocol lines are ASCII: {line}");
+        for cut in 0..line.len() {
+            let prefix = &line[..cut];
+            let err = Request::parse_line(prefix).expect_err("a strict prefix cannot parse");
+            assert!(!err.is_empty(), "error for {prefix:?} must carry a diagnosis");
+        }
+    }
+}
+
+#[test]
+fn responses_round_trip_through_the_json_layer() {
+    let mut rng = Rng::new(0x5EED_0003);
+    for _ in 0..100 {
+        let outputs: Vec<Vec<u64>> = (0..rng.range_u64(0, 4))
+            .map(|_| (0..rng.range_u64(0, 4)).map(|_| gen_word(&mut rng)).collect())
+            .collect();
+        let r = resp_outputs(&outputs, rng.range_u64(1, 256) as usize, rng.next_u64() >> 40, 17);
+        let parsed = Json::parse(&r.to_compact()).expect("response must be valid JSON");
+        assert_eq!(parsed, r, "response changed across a JSON round-trip");
+        assert_eq!(parsed.path("ok"), Some(&Json::Bool(true)));
+    }
+    for r in [resp_overloaded(7), resp_error("exec", "unit \"x/4\" is not in the catalog")] {
+        let parsed = Json::parse(&r.to_compact()).unwrap();
+        assert_eq!(parsed.path("ok"), Some(&Json::Bool(false)));
+        assert!(parsed.path("error").is_some());
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_errors_never_panics() {
+    // Every line here is wrong in a different way; `parse_line` must
+    // return a non-empty structured error for each — and, above all,
+    // must not panic on any of them.
+    let corpus: &[&str] = &[
+        "",
+        "   ",
+        "{",
+        "}",
+        "null",
+        "42",
+        "\"submit\"",
+        "[{\"cmd\":\"status\"}]",
+        "{\"cmd\":42}",
+        "{\"cmd\":null}",
+        "{\"cmd\":\"submit\"}",
+        "{\"cmd\":\"submit\",\"algo\":7,\"size\":4,\"layout\":\"row\",\"inputs\":[]}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":0,\"layout\":\"row\",\"inputs\":[]}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":-4,\"layout\":\"row\",\"inputs\":[]}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":4,\"layout\":\"diag\",\"inputs\":[]}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":4,\"layout\":\"row\",\"inputs\":7}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":4,\"layout\":\"row\",\"inputs\":[7]}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":4,\"layout\":\"row\",\"inputs\":[[7]]}",
+        // Out-of-range and malformed hex words.
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":4,\"layout\":\"row\",\
+         \"inputs\":[[\"0x1ffffffffffffffff\"]]}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":4,\"layout\":\"row\",\
+         \"inputs\":[[\"0x\"]]}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":4,\"layout\":\"row\",\
+         \"inputs\":[[\"0xgg\"]]}",
+        "{\"cmd\":\"submit\",\"algo\":\"x\",\"size\":4,\"layout\":\"row\",\
+         \"inputs\":[[\"ff\"]]}",
+        "{\"cmd\":\"explode\"}",
+        // Trailing garbage after a complete document.
+        "{\"cmd\":\"status\"} extra",
+    ];
+    for line in corpus {
+        let err = Request::parse_line(line)
+            .expect_err(&format!("malformed line {line:?} must not parse"));
+        assert!(!err.is_empty(), "error for {line:?} must carry a diagnosis");
+    }
+    // Duplicate keys must not panic either way the parser resolves them;
+    // if it accepts the line, the result must be a coherent request.
+    for line in ["{\"cmd\":\"status\",\"cmd\":\"stats\"}", "{\"cmd\":\"drain\",\"cmd\":7}"] {
+        match Request::parse_line(line) {
+            Ok(req) => assert!(
+                matches!(req, Request::Status | Request::Stats | Request::Drain),
+                "duplicate-key line {line:?} parsed to a nonsense request"
+            ),
+            Err(e) => assert!(!e.is_empty(), "error for {line:?} must carry a diagnosis"),
+        }
+    }
+}
+
+#[test]
+fn hex_words_reject_out_of_range_values_with_context() {
+    // 17 hex digits overflows u64: the error must name the word.
+    let e = hex_to_word("0x1ffffffffffffffff").unwrap_err();
+    assert!(e.contains("0x1ffffffffffffffff"), "{e}");
+    // Round-trip at the boundary stays exact.
+    assert_eq!(hex_to_word(&word_to_hex(u64::MAX)).unwrap(), u64::MAX);
+    assert_eq!(hex_to_word(&word_to_hex(0)).unwrap(), 0);
+}

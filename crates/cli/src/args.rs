@@ -137,8 +137,8 @@ pub enum Command {
         seed: u64,
     },
     /// `bulkrun loadgen <algo> [--size N] [--layout row|col] [--addr A]
-    /// [--clients C] [--duration-ms MS] [--instances N] [--report PATH]
-    /// [--drain-after]`
+    /// [--clients C] [--duration-ms MS] [--instances N] [--seed S]
+    /// [--report PATH] [--drain-after]`
     Loadgen {
         /// Algorithm name.
         algo: String,
@@ -154,10 +154,35 @@ pub enum Command {
         duration_ms: u64,
         /// Instances per submit.
         instances_per_submit: usize,
+        /// Root seed for the per-client RNG streams.
+        seed: u64,
         /// Write the combined loadgen + server-stats report here.
         report: Option<String>,
         /// Send `drain` when done (shuts the server down).
         drain_after: bool,
+    },
+    /// `bulkrun sim [--seeds N] [--seed0 S] [--clients C] [--workers W]
+    /// [--jobs J] [--replay SEED] [--crash-at K] [--report PATH]`
+    Sim {
+        /// How many seeds to explore (each seed also gets a crash sweep
+        /// over every WAL cut point).
+        seeds: u64,
+        /// First seed of the explored range.
+        seed0: u64,
+        /// Simulated client actors per schedule.
+        clients: usize,
+        /// Simulated worker actors per schedule.
+        workers: usize,
+        /// Jobs each simulated client submits.
+        jobs: usize,
+        /// Replay one seed instead of exploring: print its decision trace
+        /// and verify two runs produce bit-identical traces and stats.
+        replay: Option<u64>,
+        /// With `--replay`: crash the daemon after WAL append number K
+        /// (1-based) and verify recovery for every legal surviving cut.
+        crash_at: Option<u64>,
+        /// Write the exploration report (or replayed trace) here.
+        report: Option<String>,
     },
     /// `bulkrun help`
     Help,
@@ -217,8 +242,16 @@ USAGE:
                        [--addr A] [--clients C]  (report embeds the server's
                        [--duration-ms MS]        stats snapshot)
                        [--instances N]
+                       [--seed S]                reproducible per-client RNGs
                        [--report PATH]
                        [--drain-after]           drain the server when done
+  bulkrun sim          [--seeds N] [--seed0 S]   deterministic simulation: run
+                       [--clients C]             the daemon single-threaded on
+                       [--workers W] [--jobs J]  a virtual clock, exploring N
+                       [--replay SEED]           seeded schedules + a crash at
+                       [--crash-at K]            every WAL cut point; --replay
+                       [--report PATH]           re-runs one seed and prints
+                                                 its decision trace
   bulkrun help
 
 Defaults: p = 4096, width = 32, latency = 100, layout = col.
@@ -227,6 +260,7 @@ Serve defaults: addr = 127.0.0.1:7070, workers = 4, max-batch = 256,
   max-queue = 4096, flush-after-ms = 5, shards = 1, no WAL;
   with --wal-dir: fsync = always, wal-segment-bytes = 4194304.
 Loadgen defaults: clients = 32, duration-ms = 5000, instances = 1.
+Sim defaults: seeds = 100, seed0 = 1, clients = 3, workers = 2, jobs = 4.
 ";
 
 fn parse_flag(args: &[String], flag: &str) -> Result<Option<usize>, String> {
@@ -437,6 +471,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--clients",
                     "--duration-ms",
                     "--instances",
+                    "--seed",
                     "--report",
                     "--drain-after",
                 ],
@@ -454,8 +489,47 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 clients,
                 duration_ms: parse_flag(rest, "--duration-ms")?.unwrap_or(5000) as u64,
                 instances_per_submit: instances,
+                seed: parse_flag(rest, "--seed")?.unwrap_or(crate::RUN_SEED as usize) as u64,
                 report: parse_string_flag(rest, "--report")?,
                 drain_after: rest.iter().any(|a| a == "--drain-after"),
+            })
+        }
+        "sim" => {
+            let rest = &args[1..];
+            reject_unknown(
+                rest,
+                &[
+                    "--seeds",
+                    "--seed0",
+                    "--clients",
+                    "--workers",
+                    "--jobs",
+                    "--replay",
+                    "--crash-at",
+                    "--report",
+                ],
+            )?;
+            let seeds = parse_flag(rest, "--seeds")?.unwrap_or(100) as u64;
+            let clients = parse_flag(rest, "--clients")?.unwrap_or(3);
+            let workers = parse_flag(rest, "--workers")?.unwrap_or(2);
+            let jobs = parse_flag(rest, "--jobs")?.unwrap_or(4);
+            if seeds == 0 || clients == 0 || workers == 0 || jobs == 0 {
+                return Err("--seeds, --clients, --workers and --jobs must be positive".into());
+            }
+            let replay = parse_flag(rest, "--replay")?.map(|s| s as u64);
+            let crash_at = parse_flag(rest, "--crash-at")?.map(|k| k as u64);
+            if crash_at.is_some() && replay.is_none() {
+                return Err("--crash-at requires --replay".into());
+            }
+            Ok(Command::Sim {
+                seeds,
+                seed0: parse_flag(rest, "--seed0")?.unwrap_or(1) as u64,
+                clients,
+                workers,
+                jobs,
+                replay,
+                crash_at,
+                report: parse_string_flag(rest, "--report")?,
             })
         }
         "trace" | "model" | "run" | "hmm" => {
@@ -792,12 +866,13 @@ mod tests {
                 clients: 32,
                 duration_ms: 5000,
                 instances_per_submit: 1,
+                seed: crate::RUN_SEED,
                 report: None,
                 drain_after: false,
             }
         );
         let c = parse(&argv(
-            "loadgen opt --size 8 --clients 4 --duration-ms 250 --instances 2 \
+            "loadgen opt --size 8 --clients 4 --duration-ms 250 --instances 2 --seed 99 \
              --report r.json --drain-after",
         ))
         .unwrap();
@@ -806,11 +881,12 @@ mod tests {
                 clients,
                 duration_ms,
                 instances_per_submit,
+                seed,
                 report,
                 drain_after,
                 ..
             } => {
-                assert_eq!((clients, duration_ms, instances_per_submit), (4, 250, 2));
+                assert_eq!((clients, duration_ms, instances_per_submit, seed), (4, 250, 2, 99));
                 assert_eq!(report.as_deref(), Some("r.json"));
                 assert!(drain_after);
             }
@@ -819,6 +895,45 @@ mod tests {
         assert!(parse(&argv("loadgen")).is_err());
         assert!(parse(&argv("loadgen opt --clients 0")).unwrap_err().contains("positive"));
         assert!(parse(&argv("loadgen opt --drain 1")).unwrap_err().contains("--drain"));
+    }
+
+    #[test]
+    fn sim_parses_with_defaults() {
+        let c = parse(&argv("sim")).unwrap();
+        assert_eq!(
+            c,
+            Command::Sim {
+                seeds: 100,
+                seed0: 1,
+                clients: 3,
+                workers: 2,
+                jobs: 4,
+                replay: None,
+                crash_at: None,
+                report: None,
+            }
+        );
+        let c = parse(&argv(
+            "sim --seeds 1000 --seed0 50 --clients 5 --workers 3 --jobs 6 --report s.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Sim { seeds, seed0, clients, workers, jobs, report, .. } => {
+                assert_eq!((seeds, seed0, clients, workers, jobs), (1000, 50, 5, 3, 6));
+                assert_eq!(report.as_deref(), Some("s.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let c = parse(&argv("sim --replay 77 --crash-at 3")).unwrap();
+        match c {
+            Command::Sim { replay, crash_at, .. } => {
+                assert_eq!((replay, crash_at), (Some(77), Some(3)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("sim --seeds 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("sim --crash-at 2")).unwrap_err().contains("--replay"));
+        assert!(parse(&argv("sim --seedz 9")).unwrap_err().contains("unknown flag"));
     }
 
     #[test]

@@ -306,6 +306,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             clients,
             duration_ms,
             instances_per_submit,
+            seed,
             report,
             drain_after,
         } => {
@@ -316,6 +317,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 duration: std::time::Duration::from_millis(*duration_ms),
                 key: bulkd::JobKey { algo: algo.clone(), size: a.size_param(), layout: *layout },
                 instances_per_submit: *instances_per_submit,
+                seed: *seed,
             };
             let pool = a.random_inputs_bits(RUN_SEED, 64.max(*instances_per_submit));
             let rep = bulkd::run_loadgen(&cfg, &pool)?;
@@ -363,6 +365,80 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 (true, _) => out.push_str("  server unreachable after the run\n"),
                 (false, true) => out.push_str("  server drained\n"),
                 (false, false) => {}
+            }
+        }
+        Command::Sim { seeds, seed0, clients, workers, jobs, replay, crash_at, report } => {
+            let mk_cfg = |seed: u64| {
+                let mut cfg = sim::SimConfig::new(seed);
+                cfg.clients = *clients;
+                cfg.workers = *workers;
+                cfg.jobs_per_client = *jobs;
+                cfg
+            };
+            if let Some(seed) = replay {
+                // Reproduce one seed: the failure path prints this exact
+                // invocation, so it must re-run the same checks explore
+                // ran for that seed.
+                let cfg = mk_cfg(*seed);
+                let base = sim::run(&cfg, None).map_err(|f| f.to_string())?;
+                let again = sim::run(&cfg, None).map_err(|f| f.to_string())?;
+                if base.trace != again.trace || base.stats != again.stats {
+                    return Err(format!(
+                        "sim seed {seed}: two runs of the same seed diverged (nondeterminism)"
+                    ));
+                }
+                sim::replay_trace(&cfg, None, &base.trace).map_err(|f| f.to_string())?;
+                out.push_str(&format!(
+                    "sim seed {seed}: {} decisions, {} WAL appends, {} jobs acked; \
+                     trace and stats bit-identical across two runs and one trace replay\n",
+                    base.trace.decisions.len(),
+                    base.appends,
+                    base.acked.len()
+                ));
+                if let Some(k) = crash_at {
+                    if *k == 0 || *k > base.appends {
+                        return Err(format!(
+                            "--crash-at {k}: seed {seed} performs {} WAL appends \
+                             (valid range 1..={})",
+                            base.appends, base.appends
+                        ));
+                    }
+                    let floor = base.append_sync_floor[(*k - 1) as usize];
+                    for cut in floor..=*k {
+                        sim::run(&cfg, Some(sim::CrashPlan { after_append: *k, cut }))
+                            .map_err(|f| f.to_string())?;
+                    }
+                    out.push_str(&format!(
+                        "  crash after append {k}: cuts {floor}..={k} all recovered \
+                         with exactly-once intact\n"
+                    ));
+                }
+                out.push_str(&format!("  trace: {}\n", base.trace));
+                if let Some(path) = report {
+                    write_text("sim trace", path, &format!("{}\n", base.trace))?;
+                    out.push_str(&format!("  trace written to {path}\n"));
+                }
+            } else {
+                let t0 = std::time::Instant::now();
+                let rep = sim::explore(&mk_cfg(0), *seed0, *seeds).map_err(|f| f.to_string())?;
+                let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                out.push_str(&format!(
+                    "sim: {} schedules across {} seeds ({} crash scenarios, \
+                     {} scheduler decisions) in {:.2}s — {:.0} schedules/s, all invariants held\n",
+                    rep.schedules,
+                    rep.seeds,
+                    rep.crash_scenarios,
+                    rep.total_steps,
+                    secs,
+                    rep.schedules as f64 / secs
+                ));
+                if let Some(path) = report {
+                    let mut j = rep.to_json();
+                    j.set("seed0", *seed0);
+                    j.set("elapsed_ms", (secs * 1_000.0) as u64);
+                    write_text("sim report", path, &j.to_pretty())?;
+                    out.push_str(&format!("  report: wrote {path}\n"));
+                }
             }
         }
         Command::Compare { a, b, threshold } => {

@@ -1,0 +1,1005 @@
+//! # sim — deterministic simulation testing for `bulkd`
+//!
+//! FoundationDB-style schedule exploration for the batch-serving daemon:
+//! the *real* [`bulkd::CoalescingQueue`], the real crash-recovery
+//! [`bulkd::journal::replay`] logic, and the real [`bulkd::ServerStats`]
+//! accounting run single-threaded on a [`bulkd::VirtualClock`], with a
+//! seeded [`obs::Rng`] deciding which runnable actor (client or worker)
+//! steps next.  Every run is a pure function of its seed:
+//!
+//! - every nondeterminism decision is recorded to a compact
+//!   [`trace::Trace`] that replays bit-identically;
+//! - the WAL is modelled at record granularity with an explicit durable
+//!   prefix, so a crash can be injected after *every* append with *every*
+//!   legal surviving cut (synced prefix ≤ cut ≤ appended length) —
+//!   including between a group-commit append and its fsync;
+//! - recovery runs the daemon's own `replay` over the survivors and a
+//!   "second life" re-executes what it requeues, checking the
+//!   exactly-once contract: an acknowledged job is never re-executed.
+//!
+//! A failure carries its reproducer — the seed (plus crash point) that
+//! deterministically replays it — in the error message.
+//!
+//! The workload streams (instance counts, input words, think times) are
+//! derived from `(seed, client)` independently of the schedule stream, so
+//! the *same* work is offered under every interleaving a seed range
+//! explores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod trace;
+
+use bulkd::clock::{Clock, Scheduler, SimScheduler, VirtualClock};
+use bulkd::journal::{complete_payload, submit_payload, REC_COMPLETE, REC_SUBMIT};
+use bulkd::queue::{CoalescingQueue, Job, JobDone, JobReply, QueueConfig, SubmitError, TryNext};
+use bulkd::{JobKey, ServerStats};
+use obs::{Json, Rng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+use trace::{Actor, Decision, Trace};
+use wal::record::Record;
+
+/// Tunables of one simulated world.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The seed: the run is a pure function of it (given the same config).
+    pub seed: u64,
+    /// Client actors, each submitting [`SimConfig::jobs_per_client`] jobs.
+    pub clients: usize,
+    /// Worker actors consuming coalesced batches.
+    pub workers: usize,
+    /// Jobs each client submits before finishing.
+    pub jobs_per_client: usize,
+    /// Queue size-flush trigger (instances).
+    pub max_batch: usize,
+    /// Queue admission bound (instances) — small enough that overload
+    /// backoff paths get exercised.
+    pub max_queue: usize,
+    /// Queue deadline-flush trigger, in virtual microseconds.
+    pub flush_after_us: u64,
+}
+
+impl SimConfig {
+    /// The default small world for `seed`: 3 clients × 2 workers × 4 jobs.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            clients: 3,
+            workers: 2,
+            jobs_per_client: 4,
+            max_batch: 4,
+            max_queue: 8,
+            flush_after_us: 2_000,
+        }
+    }
+}
+
+/// A crash injection point: stop the world immediately after WAL append
+/// number `after_append` (1-based), with the first `cut` records
+/// surviving.  `cut` must lie between the durable prefix at that moment
+/// and the appended length — fsynced records cannot be lost, unsynced
+/// ones may or may not survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Crash right after this append (1-based count of appends).
+    pub after_append: u64,
+    /// Records surviving the crash (a prefix length).
+    pub cut: u64,
+}
+
+/// What recovering from an injected crash yielded (all invariants held).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashOutcome {
+    /// Surviving records.
+    pub cut: u64,
+    /// Jobs the real `replay` requeued.
+    pub requeued: u64,
+    /// Jobs `replay` recognized as already completed.
+    pub already_completed: u64,
+    /// Jobs the second life re-executed (must equal `requeued`).
+    pub second_life_executed: u64,
+}
+
+/// One completed simulated run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Every nondeterminism decision, in order.
+    pub trace: Trace,
+    /// The final stats snapshot (compact JSON) — bit-identical across
+    /// runs of the same seed.
+    pub stats: String,
+    /// Total WAL appends the run performed.
+    pub appends: u64,
+    /// For each append `k` (index `k-1`): the durable prefix length just
+    /// before it — the lower bound of crash cuts at that append.
+    pub append_sync_floor: Vec<u64>,
+    /// Job ids acknowledged to clients, in ack order.
+    pub acked: Vec<u64>,
+    /// Crash recovery report when a [`CrashPlan`] was active.
+    pub crash: Option<CrashOutcome>,
+    /// Scheduler decisions taken (a cost proxy).
+    pub steps: u64,
+}
+
+/// A failed run, carrying its deterministic reproducer.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    /// The seed that produces the failure.
+    pub seed: u64,
+    /// The crash injection active when it failed, if any.
+    pub crash: Option<CrashPlan>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sim failure at seed {}", self.seed)?;
+        if let Some(c) = &self.crash {
+            write!(f, " (crash after append {}, cut {})", c.after_append, c.cut)?;
+        }
+        write!(f, ": {}", self.message)?;
+        write!(f, "\nreproduce: bulkrun sim --replay {}", self.seed)?;
+        if let Some(c) = &self.crash {
+            write!(f, " --crash-at {}", c.after_append)?;
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic "executor": what a batch does to each input word.
+/// Clients precompute the expected outputs and assert the reply matches,
+/// so cross-wired or duplicated replies are caught.
+#[must_use]
+pub fn exec_word(w: u64) -> u64 {
+    w.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0xD1B5_4A32_D192_ED03)
+}
+
+/// Record-level WAL model: an append-only record list with an explicit
+/// durable prefix.  `append` leaves records unsynced (page cache);
+/// `sync` extends the durable prefix to the full length — exactly the
+/// group-commit shape, so a crash between the two is representable.
+#[derive(Debug, Default)]
+struct SimWal {
+    records: Vec<Record>,
+    synced_len: usize,
+    next_seq: u64,
+    appends: u64,
+    syncs: u64,
+    sync_floor: Vec<u64>,
+}
+
+impl SimWal {
+    fn new() -> Self {
+        Self { next_seq: 1, ..Self::default() }
+    }
+
+    /// Append unsynced; returns the total append count (for crash
+    /// triggers).
+    fn append(&mut self, rec_type: u8, payload: Vec<u8>) -> u64 {
+        self.sync_floor.push(self.synced_len as u64);
+        self.records.push(Record { seq: self.next_seq, rec_type, payload });
+        self.next_seq += 1;
+        self.appends += 1;
+        self.appends
+    }
+
+    /// One group fsync: everything appended so far becomes durable.
+    fn sync(&mut self) {
+        if self.synced_len < self.records.len() {
+            self.syncs += 1;
+            self.synced_len = self.records.len();
+        }
+    }
+
+    fn stats_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("enabled", true);
+        o.set("model", "sim");
+        o.set("records_appended", self.appends);
+        o.set("fsyncs", self.syncs);
+        o.set("synced_records", self.synced_len);
+        o
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Ready to submit job number `job` (0-based within the client).
+    Submit { job: usize },
+    /// Waiting for the reply to the in-flight job.
+    Await { job: usize },
+    /// Thinking (post-ack) or backing off (post-overload) until the
+    /// virtual clock reaches `until_us`, then submitting `job`.
+    Pause { job: usize, until_us: u64 },
+    /// All jobs acknowledged.
+    Done,
+}
+
+struct PendingJob {
+    key: JobKey,
+    inputs: Vec<Vec<u64>>,
+    expected: Vec<Vec<u64>>,
+}
+
+struct ClientState {
+    phase: Phase,
+    rng: Rng,
+    pending: Option<PendingJob>,
+    rx: Option<mpsc::Receiver<JobReply>>,
+    in_flight_id: Option<u64>,
+    reply_ready: bool,
+}
+
+struct WorkerState {
+    done: bool,
+    /// Eventcount snapshot + deadline from the last `Empty` poll.
+    blocked: Option<(u64, Option<u64>)>,
+}
+
+const WORDS_PER_INSTANCE: usize = 2;
+/// Hard cap on scheduler decisions — a livelock backstop far above any
+/// legitimate run of the default world sizes.
+const STEP_LIMIT: u64 = 1_000_000;
+
+struct World {
+    cfg: SimConfig,
+    clock: Arc<VirtualClock>,
+    sched: Arc<SimScheduler>,
+    queue: CoalescingQueue,
+    stats: ServerStats,
+    wal: SimWal,
+    clients: Vec<ClientState>,
+    workers: Vec<WorkerState>,
+    owner: BTreeMap<u64, usize>,
+    executed: BTreeMap<u64, u64>,
+    acked: Vec<u64>,
+    next_job_id: u64,
+    crash_plan: Option<CrashPlan>,
+    crashed: bool,
+    decisions: Vec<Decision>,
+    drain_started: bool,
+}
+
+impl World {
+    fn new(cfg: &SimConfig, crash: Option<CrashPlan>) -> Self {
+        let clock = Arc::new(VirtualClock::new());
+        let sched = Arc::new(SimScheduler::new());
+        let queue = CoalescingQueue::with_runtime(
+            QueueConfig {
+                max_batch: cfg.max_batch,
+                max_queue: cfg.max_queue,
+                flush_after: Duration::from_micros(cfg.flush_after_us),
+            },
+            Arc::<VirtualClock>::clone(&clock) as Arc<dyn Clock>,
+            Arc::<SimScheduler>::clone(&sched) as Arc<dyn Scheduler>,
+        );
+        let clients = (0..cfg.clients)
+            .map(|c| ClientState {
+                phase: Phase::Submit { job: 0 },
+                // Workload stream: derived from (seed, client), never from
+                // the schedule — every interleaving sees the same offered
+                // work.
+                rng: Rng::new(cfg.seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                pending: None,
+                rx: None,
+                in_flight_id: None,
+                reply_ready: false,
+            })
+            .collect();
+        let workers =
+            (0..cfg.workers).map(|_| WorkerState { done: false, blocked: None }).collect();
+        Self {
+            cfg: cfg.clone(),
+            clock,
+            sched,
+            queue,
+            stats: ServerStats::new(),
+            wal: SimWal::new(),
+            clients,
+            workers,
+            owner: BTreeMap::new(),
+            executed: BTreeMap::new(),
+            acked: Vec::new(),
+            next_job_id: 1,
+            crash_plan: crash,
+            crashed: false,
+            decisions: Vec::new(),
+            drain_started: false,
+        }
+    }
+
+    /// Append to the WAL model and fire the crash plan when its append
+    /// count is reached.  Returns `true` when the world just crashed —
+    /// the caller must abandon its step immediately (no sync, no enqueue,
+    /// no reply: exactly what `kill -9` at that instruction would do).
+    fn wal_append(&mut self, rec_type: u8, payload: Vec<u8>) -> bool {
+        let n = self.wal.append(rec_type, payload);
+        if let Some(plan) = &self.crash_plan {
+            if n == plan.after_append {
+                self.crashed = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn runnable(&self) -> Vec<Actor> {
+        let now = self.clock.now_us();
+        let epoch = self.sched.epoch();
+        let mut r = Vec::new();
+        for (i, c) in self.clients.iter().enumerate() {
+            let ready = match &c.phase {
+                Phase::Submit { .. } => true,
+                Phase::Pause { until_us, .. } => now >= *until_us,
+                Phase::Await { .. } => c.reply_ready,
+                Phase::Done => false,
+            };
+            if ready {
+                r.push(Actor::Client(i as u32));
+            }
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.done {
+                continue;
+            }
+            let ready = match &w.blocked {
+                None => true,
+                Some((e, dl)) => *e != epoch || dl.is_some_and(|d| now >= d),
+            };
+            if ready {
+                r.push(Actor::Worker(i as u32));
+            }
+        }
+        r
+    }
+
+    /// The earliest virtual instant at which a currently-blocked actor
+    /// becomes runnable by time alone.
+    fn earliest_deadline(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let mut fold = |t: u64| min = Some(min.map_or(t, |m| m.min(t)));
+        for c in &self.clients {
+            if let Phase::Pause { until_us, .. } = &c.phase {
+                fold(*until_us);
+            }
+        }
+        for w in &self.workers {
+            if let Some((_, Some(d))) = &w.blocked {
+                fold(*d);
+            }
+        }
+        min
+    }
+
+    fn all_clients_done(&self) -> bool {
+        self.clients.iter().all(|c| matches!(c.phase, Phase::Done))
+    }
+
+    fn step_client(&mut self, idx: usize) -> Result<(), String> {
+        let now = self.clock.now_us();
+        let phase = std::mem::replace(&mut self.clients[idx].phase, Phase::Done);
+        match phase {
+            Phase::Pause { job, until_us } => {
+                debug_assert!(now >= until_us, "paused client stepped early");
+                self.clients[idx].phase = Phase::Submit { job };
+                self.submit(idx)
+            }
+            Phase::Submit { job } => {
+                self.clients[idx].phase = Phase::Submit { job };
+                self.submit(idx)
+            }
+            Phase::Await { job } => {
+                self.clients[idx].phase = Phase::Await { job };
+                self.receive(idx)
+            }
+            Phase::Done => Err(format!("client {idx} stepped after Done")),
+        }
+    }
+
+    /// One submit attempt: reserve → journal (durable) → enqueue, the
+    /// daemon's two-phase admission, against the real queue.
+    fn submit(&mut self, idx: usize) -> Result<(), String> {
+        let Phase::Submit { job } = self.clients[idx].phase else {
+            return Err("submit in wrong phase".into());
+        };
+        // Draw the workload lazily, once per job — overload retries
+        // re-offer the identical job without consuming workload draws.
+        if self.clients[idx].pending.is_none() {
+            let c = &mut self.clients[idx];
+            let instances = 1 + c.rng.range_u64(0, 3) as usize;
+            let size = if c.rng.range_u64(0, 2) == 0 { 8 } else { 16 };
+            let inputs: Vec<Vec<u64>> = (0..instances)
+                .map(|_| (0..WORDS_PER_INSTANCE).map(|_| c.rng.next_u64()).collect())
+                .collect();
+            let expected =
+                inputs.iter().map(|i| i.iter().copied().map(exec_word).collect()).collect();
+            let key = JobKey { algo: "sim".into(), size, layout: oblivious::Layout::ColumnWise };
+            c.pending = Some(PendingJob { key, inputs, expected });
+        }
+        let n = self.clients[idx].pending.as_ref().map_or(0, |p| p.inputs.len());
+        self.stats.on_submit(n as u64);
+        let adm = match self.queue.reserve(n) {
+            Ok(adm) => adm,
+            Err(SubmitError::Overloaded { retry_after_ms }) => {
+                self.stats.on_reject(n as u64);
+                let now = self.clock.now_us();
+                self.clients[idx].phase =
+                    Phase::Pause { job, until_us: now + retry_after_ms * 1_000 };
+                return Ok(());
+            }
+            Err(SubmitError::Draining) => {
+                return Err("queue draining while clients still live".into());
+            }
+        };
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        let payload = {
+            let p = self.clients[idx].pending.as_ref().expect("pending drawn above");
+            submit_payload(id, &p.key, &p.inputs)
+        };
+        if self.wal_append(REC_SUBMIT, payload) {
+            // Crashed mid-submit: reservation and id die with the process.
+            return Ok(());
+        }
+        self.wal.sync();
+        let (key, inputs) = {
+            let p = self.clients[idx].pending.as_ref().expect("pending drawn above");
+            (p.key.clone(), p.inputs.clone())
+        };
+        let (tx, rx) = mpsc::channel();
+        let enqueued_us = self.clock.now_us();
+        self.queue.enqueue(adm, key, Job { id, inputs, enqueued_us, reply: tx });
+        self.stats.on_accept(n as u64);
+        self.owner.insert(id, idx);
+        let c = &mut self.clients[idx];
+        c.rx = Some(rx);
+        c.in_flight_id = Some(id);
+        c.phase = Phase::Await { job };
+        Ok(())
+    }
+
+    fn receive(&mut self, idx: usize) -> Result<(), String> {
+        let Phase::Await { job } = self.clients[idx].phase else {
+            return Err("receive in wrong phase".into());
+        };
+        let reply = match self.clients[idx].rx.as_ref().map(mpsc::Receiver::try_recv) {
+            Some(Ok(r)) => r,
+            Some(Err(_)) | None => {
+                // Spurious wake: keep waiting.
+                self.clients[idx].reply_ready = false;
+                return Ok(());
+            }
+        };
+        let id = self.clients[idx].in_flight_id.ok_or("reply with no in-flight job")?;
+        let done: JobDone = reply.map_err(|e| format!("job {id} failed in sim executor: {e}"))?;
+        {
+            let c = &self.clients[idx];
+            let expected = &c.pending.as_ref().ok_or("reply with no pending job")?.expected;
+            if &done.outputs != expected {
+                return Err(format!("job {id}: outputs do not match the executor function"));
+            }
+        }
+        self.acked.push(id);
+        let next = job + 1;
+        let c = &mut self.clients[idx];
+        c.pending = None;
+        c.rx = None;
+        c.in_flight_id = None;
+        c.reply_ready = false;
+        if next >= self.cfg.jobs_per_client {
+            c.phase = Phase::Done;
+        } else {
+            let think = c.rng.range_u64(0, self.cfg.flush_after_us * 2 + 1);
+            c.phase = Phase::Pause { job: next, until_us: self.clock.now_us() + think };
+        }
+        Ok(())
+    }
+
+    fn step_worker(&mut self, idx: usize) -> Result<(), String> {
+        // Eventcount discipline: snapshot BEFORE polling the queue.
+        let epoch = self.sched.epoch();
+        match self.queue.try_next_batch() {
+            TryNext::Batch(batch) => {
+                self.workers[idx].blocked = None;
+                let t0 = self.clock.now_us();
+                let p = batch.instances();
+                // Deterministic virtual execution cost.
+                let exec_us = 20 + 5 * p as u64;
+                self.clock.advance(exec_us);
+                self.stats.on_batch(p as u64, exec_us);
+                // Group commit: append every completion unsynced, then one
+                // fsync covers the batch.  A crash between lands cuts
+                // strictly inside the unsynced window.
+                for job in &batch.jobs {
+                    let outputs: Vec<Vec<u64>> = job
+                        .inputs
+                        .iter()
+                        .map(|i| i.iter().copied().map(exec_word).collect())
+                        .collect();
+                    if self.wal_append(REC_COMPLETE, complete_payload(job.id, Ok(&outputs))) {
+                        return Ok(());
+                    }
+                }
+                self.wal.sync();
+                for job in batch.jobs {
+                    let n = job.inputs.len() as u64;
+                    let queue_us = t0.saturating_sub(job.enqueued_us);
+                    let outputs: Vec<Vec<u64>> = job
+                        .inputs
+                        .iter()
+                        .map(|i| i.iter().copied().map(exec_word).collect())
+                        .collect();
+                    *self.executed.entry(job.id).or_insert(0) += 1;
+                    self.stats.on_job_done(n, queue_us, false);
+                    let _ = job.reply.send(Ok(JobDone { outputs, batch_p: p, queue_us, exec_us }));
+                    if let Some(&client) = self.owner.get(&job.id) {
+                        self.clients[client].reply_ready = true;
+                    }
+                }
+                self.queue.batch_done();
+                Ok(())
+            }
+            TryNext::Empty { next_deadline_us } => {
+                self.workers[idx].blocked = Some((epoch, next_deadline_us));
+                Ok(())
+            }
+            TryNext::Drained => {
+                self.workers[idx].done = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn snapshot(&self) -> String {
+        self.stats.snapshot(self.queue.depth(), (0, 0), Some(self.wal.stats_json())).to_compact()
+    }
+
+    /// Post-crash: recover via the daemon's real `replay`, check every
+    /// durability invariant, then run the "second life" that re-executes
+    /// the requeued jobs.
+    fn crash_outcome(&self) -> Result<CrashOutcome, String> {
+        let plan = self.crash_plan.expect("crash outcome without a plan");
+        let cut = plan.cut as usize;
+        if cut < self.wal.synced_len || cut > self.wal.records.len() {
+            return Err(format!(
+                "invalid cut {cut}: durable prefix is {}, appended length {}",
+                self.wal.synced_len,
+                self.wal.records.len()
+            ));
+        }
+        let survivors = &self.wal.records[..cut];
+        let recovery = bulkd::journal::replay(survivors)
+            .map_err(|e| format!("recovery replay rejected surviving records: {e}"))?;
+        let mut durable_submits: BTreeSet<u64> = BTreeSet::new();
+        let mut durable_completes: BTreeSet<u64> = BTreeSet::new();
+        for rec in survivors {
+            let text = std::str::from_utf8(&rec.payload)
+                .map_err(|e| format!("survivor seq {}: {e}", rec.seq))?;
+            let j = Json::parse(text).map_err(|e| format!("survivor seq {}: {e}", rec.seq))?;
+            let id = j
+                .get("job")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("survivor seq {} has no job id", rec.seq))?
+                as u64;
+            match rec.rec_type {
+                REC_SUBMIT => {
+                    durable_submits.insert(id);
+                }
+                REC_COMPLETE => {
+                    durable_completes.insert(id);
+                }
+                other => return Err(format!("survivor seq {} has type {other}", rec.seq)),
+            }
+        }
+        // Invariant A: an acknowledged job's completion is durable, and
+        // recovery never re-queues it — exactly-once as the client saw it.
+        for id in &self.acked {
+            if !durable_completes.contains(id) {
+                return Err(format!(
+                    "acked job {id} has no durable completion at cut {cut} \
+                     (reply must not outrun the fsync)"
+                ));
+            }
+            if recovery.requeue.iter().any(|r| r.id == *id) {
+                return Err(format!(
+                    "exactly-once violated: acked job {id} would be re-executed after recovery"
+                ));
+            }
+        }
+        // Invariant B: nothing executed without a durable submit record —
+        // the enqueue-after-durable contract of two-phase admission.
+        for id in self.executed.keys() {
+            if !durable_submits.contains(id) {
+                return Err(format!("job {id} executed without a durable submit record"));
+            }
+        }
+        // Requeues come only from durable, uncompleted submits.
+        for r in &recovery.requeue {
+            if !durable_submits.contains(&r.id) {
+                return Err(format!("recovery invented job {} from nowhere", r.id));
+            }
+        }
+        // Fresh ids must start above everything durable.
+        if let Some(&max_id) = durable_submits.iter().max() {
+            if recovery.next_job_id <= max_id {
+                return Err(format!(
+                    "next_job_id {} collides with durable job {max_id}",
+                    recovery.next_job_id
+                ));
+            }
+        }
+        let requeued = recovery.requeue.len() as u64;
+        let already_completed = recovery.already_completed;
+        let second_life_executed = self.second_life(recovery.requeue)?;
+        if second_life_executed != requeued {
+            return Err(format!(
+                "second life executed {second_life_executed} of {requeued} requeued jobs"
+            ));
+        }
+        Ok(CrashOutcome { cut: cut as u64, requeued, already_completed, second_life_executed })
+    }
+
+    /// The restarted daemon in miniature: requeue the recovered jobs on a
+    /// fresh queue (unbounded admission, dropped reply channels — their
+    /// submitters are gone) and drain them through one worker.
+    fn second_life(&self, requeue: Vec<bulkd::journal::RecoveredJob>) -> Result<u64, String> {
+        let clock = Arc::new(VirtualClock::new());
+        let queue = CoalescingQueue::with_runtime(
+            QueueConfig {
+                max_batch: self.cfg.max_batch,
+                max_queue: self.cfg.max_queue,
+                flush_after: Duration::from_micros(self.cfg.flush_after_us),
+            },
+            clock as Arc<dyn Clock>,
+            Arc::new(SimScheduler::new()) as Arc<dyn Scheduler>,
+        );
+        for job in requeue {
+            let adm = queue.reserve_unbounded(job.inputs.len());
+            let (tx, _rx) = mpsc::channel();
+            queue.enqueue(
+                adm,
+                job.key,
+                Job { id: job.id, inputs: job.inputs, enqueued_us: 0, reply: tx },
+            );
+        }
+        queue.begin_drain();
+        let mut executed = 0u64;
+        let mut guard = 0u64;
+        loop {
+            guard += 1;
+            if guard > STEP_LIMIT {
+                return Err("second life livelocked".into());
+            }
+            match queue.try_next_batch() {
+                TryNext::Batch(b) => {
+                    for job in &b.jobs {
+                        if self.acked.contains(&job.id) {
+                            return Err(format!(
+                                "exactly-once violated: acked job {} re-executed in recovery",
+                                job.id
+                            ));
+                        }
+                        executed += 1;
+                    }
+                    queue.batch_done();
+                }
+                TryNext::Drained => break,
+                TryNext::Empty { .. } => {
+                    return Err("second life queue idle while draining".into());
+                }
+            }
+        }
+        if !queue.drained() {
+            return Err("second life queue did not drain clean".into());
+        }
+        Ok(executed)
+    }
+}
+
+/// How the main loop picks among runnable actors.
+enum Schedule {
+    Seeded(Rng),
+    Replay { decisions: Vec<Decision>, pos: usize },
+}
+
+impl Schedule {
+    fn pick(&mut self, runnable: &[Actor]) -> Result<Actor, String> {
+        match self {
+            Self::Seeded(rng) => Ok(runnable[rng.range_u64(0, runnable.len() as u64) as usize]),
+            Self::Replay { decisions, pos } => {
+                // Advance/Crash entries are deterministic consequences —
+                // regenerated, not consumed.  Only Steps are decisions.
+                while let Some(d) = decisions.get(*pos) {
+                    *pos += 1;
+                    if let Decision::Step(a) = d {
+                        if !runnable.contains(a) {
+                            return Err(format!(
+                                "trace divergence: {a:?} is not runnable at this point"
+                            ));
+                        }
+                        return Ok(*a);
+                    }
+                }
+                Err("trace exhausted before the world finished".into())
+            }
+        }
+    }
+}
+
+fn run_world(
+    cfg: &SimConfig,
+    crash: Option<CrashPlan>,
+    mut schedule: Schedule,
+) -> Result<RunOutcome, SimFailure> {
+    let fail = |message: String| SimFailure { seed: cfg.seed, crash, message };
+    let mut w = World::new(cfg, crash);
+    let mut steps = 0u64;
+    loop {
+        if steps > STEP_LIMIT {
+            return Err(fail(format!("no progress after {STEP_LIMIT} decisions (livelock)")));
+        }
+        if w.crashed {
+            break;
+        }
+        if !w.drain_started && w.all_clients_done() {
+            // Not a decision: the daemon drains exactly when the offered
+            // load ends, under every schedule.
+            w.queue.begin_drain();
+            w.drain_started = true;
+        }
+        let runnable = w.runnable();
+        if runnable.is_empty() {
+            if w.workers.iter().all(|x| x.done) && w.all_clients_done() {
+                break;
+            }
+            match w.earliest_deadline() {
+                Some(t) => {
+                    let t = t.max(w.clock.now_us());
+                    w.clock.advance_to(t);
+                    w.decisions.push(Decision::Advance(t));
+                    continue;
+                }
+                None => {
+                    return Err(fail(
+                        "deadlock: no runnable actor, no pending timer, world not done".into(),
+                    ));
+                }
+            }
+        }
+        let actor = schedule.pick(&runnable).map_err(&fail)?;
+        w.decisions.push(Decision::Step(actor));
+        steps += 1;
+        let res = match actor {
+            Actor::Client(c) => w.step_client(c as usize),
+            Actor::Worker(wk) => w.step_worker(wk as usize),
+        };
+        res.map_err(&fail)?;
+    }
+
+    let crash_report = if w.crashed {
+        let plan = w.crash_plan.expect("crashed without a plan");
+        w.decisions.push(Decision::Crash(plan.cut));
+        Some(w.crash_outcome().map_err(&fail)?)
+    } else {
+        // Clean shutdown: the full exactly-once ledger must balance.
+        w.stats.check_balanced().map_err(&fail)?;
+        if !w.queue.drained() {
+            return Err(fail("queue not drained at clean shutdown".into()));
+        }
+        let total_jobs = (cfg.clients * cfg.jobs_per_client) as u64;
+        if w.acked.len() as u64 != total_jobs {
+            return Err(fail(format!(
+                "{} of {total_jobs} jobs acknowledged at clean shutdown",
+                w.acked.len()
+            )));
+        }
+        for (id, count) in &w.executed {
+            if *count != 1 {
+                return Err(fail(format!("job {id} executed {count} times (want exactly 1)")));
+            }
+        }
+        None
+    };
+
+    let stats = w.snapshot();
+    Ok(RunOutcome {
+        trace: Trace { decisions: w.decisions },
+        stats,
+        appends: w.wal.appends,
+        append_sync_floor: w.wal.sync_floor.clone(),
+        acked: w.acked,
+        crash: crash_report,
+        steps,
+    })
+}
+
+/// Run one seeded schedule (optionally with an injected crash), checking
+/// every invariant.
+///
+/// # Errors
+///
+/// A [`SimFailure`] carrying the reproducer seed (and crash point).
+pub fn run(cfg: &SimConfig, crash: Option<CrashPlan>) -> Result<RunOutcome, SimFailure> {
+    run_world(cfg, crash, Schedule::Seeded(Rng::new(cfg.seed)))
+}
+
+/// Replay a recorded trace: scheduler decisions come from the trace
+/// instead of the seed's RNG, and the regenerated trace must be
+/// bit-identical to the input.
+///
+/// # Errors
+///
+/// A [`SimFailure`] on divergence or any invariant violation.
+pub fn replay_trace(
+    cfg: &SimConfig,
+    crash: Option<CrashPlan>,
+    trace: &Trace,
+) -> Result<RunOutcome, SimFailure> {
+    let out =
+        run_world(cfg, crash, Schedule::Replay { decisions: trace.decisions.clone(), pos: 0 })?;
+    if &out.trace != trace {
+        return Err(SimFailure {
+            seed: cfg.seed,
+            crash,
+            message: "replay diverged: regenerated trace differs from input".into(),
+        });
+    }
+    Ok(out)
+}
+
+/// What a seed-range exploration covered.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExploreReport {
+    /// Seeds explored.
+    pub seeds: u64,
+    /// Distinct schedules executed (clean runs + determinism re-runs +
+    /// trace replays + crash scenarios).
+    pub schedules: u64,
+    /// Crash scenarios among them (one per reachable WAL cut point).
+    pub crash_scenarios: u64,
+    /// Scheduler decisions taken across all schedules.
+    pub total_steps: u64,
+}
+
+impl ExploreReport {
+    /// The report as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("seeds", self.seeds);
+        o.set("schedules", self.schedules);
+        o.set("crash_scenarios", self.crash_scenarios);
+        o.set("total_steps", self.total_steps);
+        o
+    }
+}
+
+/// Explore `seeds` seeded schedules starting at `seed0`.  Per seed: run
+/// twice (bit-identical trace + stats required), replay the trace, then
+/// sweep a crash over every reachable WAL cut point — every append
+/// index, every legal surviving prefix.
+///
+/// # Errors
+///
+/// The first [`SimFailure`] found, reproducible from its message.
+pub fn explore(base: &SimConfig, seed0: u64, seeds: u64) -> Result<ExploreReport, SimFailure> {
+    let mut report = ExploreReport { seeds, ..ExploreReport::default() };
+    for seed in seed0..seed0.saturating_add(seeds) {
+        let mut cfg = base.clone();
+        cfg.seed = seed;
+        let first = run(&cfg, None)?;
+        let second = run(&cfg, None)?;
+        report.schedules += 2;
+        report.total_steps += first.steps + second.steps;
+        if first.trace != second.trace || first.stats != second.stats {
+            return Err(SimFailure {
+                seed,
+                crash: None,
+                message: "nondeterminism: two runs of the same seed diverged".into(),
+            });
+        }
+        let replayed = replay_trace(&cfg, None, &first.trace)?;
+        report.schedules += 1;
+        report.total_steps += replayed.steps;
+        for k in 1..=first.appends {
+            let floor = first.append_sync_floor[(k - 1) as usize];
+            for cut in floor..=k {
+                let out = run(&cfg, Some(CrashPlan { after_append: k, cut }))?;
+                report.schedules += 1;
+                report.crash_scenarios += 1;
+                report.total_steps += out.steps;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let cfg = SimConfig::new(42);
+        let a = run(&cfg, None).unwrap();
+        let b = run(&cfg, None).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.acked, b.acked);
+        assert!(a.appends > 0);
+    }
+
+    #[test]
+    fn different_seeds_take_different_schedules() {
+        let a = run(&SimConfig::new(1), None).unwrap();
+        let b = run(&SimConfig::new(2), None).unwrap();
+        assert_ne!(a.trace, b.trace, "two seeds, one schedule: RNG not wired in");
+    }
+
+    #[test]
+    fn trace_replays_bit_identically() {
+        let cfg = SimConfig::new(7);
+        let out = run(&cfg, None).unwrap();
+        let replayed = replay_trace(&cfg, None, &out.trace).unwrap();
+        assert_eq!(replayed.trace, out.trace);
+        assert_eq!(replayed.stats, out.stats);
+        // And survives a round-trip through the textual grammar.
+        let parsed = Trace::parse(&out.trace.to_string()).unwrap();
+        assert_eq!(parsed, out.trace);
+    }
+
+    #[test]
+    fn clean_run_acks_every_job_exactly_once() {
+        let cfg = SimConfig::new(1234);
+        let out = run(&cfg, None).unwrap();
+        assert_eq!(out.acked.len(), cfg.clients * cfg.jobs_per_client);
+        let mut sorted = out.acked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), out.acked.len(), "no job acked twice");
+        assert!(out.crash.is_none());
+    }
+
+    #[test]
+    fn crash_sweep_over_every_cut_point_holds_invariants() {
+        let cfg = SimConfig::new(99);
+        let base = run(&cfg, None).unwrap();
+        let mut scenarios = 0;
+        for k in 1..=base.appends {
+            let floor = base.append_sync_floor[(k - 1) as usize];
+            for cut in floor..=k {
+                let out = run(&cfg, Some(CrashPlan { after_append: k, cut })).unwrap();
+                let c = out.crash.expect("crash plan must fire");
+                assert_eq!(c.cut, cut);
+                assert_eq!(c.second_life_executed, c.requeued);
+                scenarios += 1;
+            }
+        }
+        assert!(scenarios > base.appends, "sweep must include unsynced-window cuts");
+    }
+
+    #[test]
+    fn explore_counts_schedules_and_stays_clean() {
+        let rep = explore(&SimConfig::new(0), 1, 3).unwrap();
+        assert_eq!(rep.seeds, 3);
+        assert!(rep.crash_scenarios > 0);
+        assert!(rep.schedules > rep.crash_scenarios);
+    }
+
+    #[test]
+    fn failure_message_carries_the_reproducer() {
+        let f = SimFailure {
+            seed: 77,
+            crash: Some(CrashPlan { after_append: 5, cut: 4 }),
+            message: "boom".into(),
+        };
+        let text = f.to_string();
+        assert!(text.contains("seed 77"), "{text}");
+        assert!(text.contains("--replay 77"), "{text}");
+        assert!(text.contains("--crash-at 5"), "{text}");
+    }
+}

@@ -1,0 +1,120 @@
+//! The decision trace: a compact, replayable record of every
+//! nondeterministic choice one simulated run made.
+//!
+//! A run is a pure function of its seed; the trace is the *witness* —
+//! the exact sequence of scheduler decisions the seed produced.  The
+//! grammar is a whitespace-separated token stream:
+//!
+//! ```text
+//! trace    := token*
+//! token    := step | advance | crash
+//! step     := "c" INDEX          client INDEX ran one step
+//!           | "w" INDEX          worker INDEX ran one step
+//! advance  := "a" MICROS         virtual clock jumped to MICROS
+//! crash    := "x" CUT            world crashed; the first CUT WAL
+//!                                records survived
+//! ```
+//!
+//! Replaying a trace feeds these decisions back instead of drawing from
+//! the schedule RNG; the replay must regenerate the identical trace or
+//! the harness reports divergence (a determinism bug).
+
+use std::fmt;
+
+/// Who can be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Actor {
+    /// Client actor by index.
+    Client(u32),
+    /// Worker actor by index.
+    Worker(u32),
+}
+
+/// One nondeterminism decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The scheduler picked this runnable actor to step.
+    Step(Actor),
+    /// Nothing was runnable; virtual time advanced to this microsecond.
+    Advance(u64),
+    /// The world crashed; the first `cut` WAL records survived.
+    Crash(u64),
+}
+
+/// A full run's decision sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Decisions in the order they were taken.
+    pub decisions: Vec<Decision>,
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            match d {
+                Decision::Step(Actor::Client(c)) => write!(f, "c{c}")?,
+                Decision::Step(Actor::Worker(w)) => write!(f, "w{w}")?,
+                Decision::Advance(t) => write!(f, "a{t}")?,
+                Decision::Crash(cut) => write!(f, "x{cut}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Trace {
+    /// Parse the compact token stream produced by [`Trace`]'s `Display`.
+    ///
+    /// # Errors
+    ///
+    /// Any token not matching the grammar, naming the offending token.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut decisions = Vec::new();
+        for tok in text.split_whitespace() {
+            let (kind, num) = tok.split_at(1);
+            let n: u64 =
+                num.parse().map_err(|_| format!("trace token {tok:?}: {num:?} is not a number"))?;
+            let d = match kind {
+                "c" => Decision::Step(Actor::Client(n as u32)),
+                "w" => Decision::Step(Actor::Worker(n as u32)),
+                "a" => Decision::Advance(n),
+                "x" => Decision::Crash(n),
+                other => return Err(format!("trace token {tok:?}: unknown kind {other:?}")),
+            };
+            decisions.push(d);
+        }
+        Ok(Self { decisions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let t = Trace {
+            decisions: vec![
+                Decision::Step(Actor::Client(0)),
+                Decision::Step(Actor::Worker(2)),
+                Decision::Advance(5_000),
+                Decision::Step(Actor::Client(11)),
+                Decision::Crash(7),
+            ],
+        };
+        let text = t.to_string();
+        assert_eq!(text, "c0 w2 a5000 c11 x7");
+        assert_eq!(Trace::parse(&text).unwrap(), t);
+        assert_eq!(Trace::parse("").unwrap(), Trace::default());
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        for bad in ["q1", "c", "cx", "a-5", "c1 w2 zz"] {
+            assert!(Trace::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

@@ -215,6 +215,35 @@ impl Wal {
     ///
     /// I/O failures writing or syncing.
     pub fn append(&mut self, rec_type: u8, payload: &[u8]) -> Result<u64, String> {
+        let seq = self.append_unsynced(rec_type, payload)?;
+        match self.cfg.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.pending_sync >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::EveryMs(ms) => {
+                if self.last_sync.elapsed() >= Duration::from_millis(ms) {
+                    self.sync()?;
+                }
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Append one record *without* applying the fsync policy; returns its
+    /// sequence number.  The record is in the OS page cache, not durable,
+    /// until a later [`Wal::sync`] (or policy-triggered sync) covers it.
+    ///
+    /// This is the group-commit primitive: several writers append
+    /// unsynced, then one leader issues a single [`Wal::sync`] that makes
+    /// all of them durable at once.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing (rotation included).
+    pub fn append_unsynced(&mut self, rec_type: u8, payload: &[u8]) -> Result<u64, String> {
         if self.active_bytes >= self.cfg.segment_bytes && self.active_records > 0 {
             self.rotate()?;
         }
@@ -229,19 +258,6 @@ impl Wal {
         self.pending_sync += 1;
         self.metrics.records_appended += 1;
         self.metrics.bytes_appended += bytes.len() as u64;
-        match self.cfg.fsync {
-            FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::EveryN(n) => {
-                if self.pending_sync >= n {
-                    self.sync()?;
-                }
-            }
-            FsyncPolicy::EveryMs(ms) => {
-                if self.last_sync.elapsed() >= Duration::from_millis(ms) {
-                    self.sync()?;
-                }
-            }
-        }
         Ok(seq)
     }
 
@@ -509,6 +525,24 @@ mod tests {
             wal.sync().unwrap();
             assert_eq!(wal.metrics().fsyncs, 1, "explicit sync flushes the pending batch");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_unsynced_defers_durability_to_one_sync() {
+        let dir = temp_dir("unsynced");
+        let (mut wal, _) = Wal::open(cfg(&dir)).unwrap();
+        for i in 1..=5u64 {
+            assert_eq!(wal.append_unsynced(1, b"batched").unwrap(), i);
+        }
+        assert_eq!(wal.metrics().fsyncs, 0, "no policy sync despite Always");
+        wal.sync().unwrap();
+        assert_eq!(wal.metrics().fsyncs, 1, "one group fsync covers all five");
+        wal.sync().unwrap();
+        assert_eq!(wal.metrics().fsyncs, 1, "nothing pending => no extra fsync");
+        drop(wal);
+        let (_, scan) = Wal::open(cfg(&dir)).unwrap();
+        assert_eq!(scan.records.len(), 5);
         std::fs::remove_dir_all(&dir).ok();
     }
 
