@@ -56,6 +56,9 @@ pub struct SubmitOk {
     pub queue_us: u64,
     /// Microseconds the batch spent executing.
     pub exec_us: u64,
+    /// The per-stage latency breakdown, echoed when the submit opted in
+    /// with `timing: true` (`None` otherwise).
+    pub timing: Option<Json>,
 }
 
 /// A blocking connection to a bulkd server.
@@ -122,8 +125,13 @@ impl Client {
     ///
     /// [`ClientError::Overloaded`] under backpressure,
     /// [`ClientError::Rejected`] on draining/bad-request/execution errors.
-    pub fn submit(&mut self, key: &JobKey, inputs: &[Vec<u64>]) -> Result<SubmitOk, ClientError> {
-        let req = Request::Submit { key: key.clone(), inputs: inputs.to_vec() };
+    pub fn submit(
+        &mut self,
+        key: &JobKey,
+        inputs: &[Vec<u64>],
+        timing: bool,
+    ) -> Result<SubmitOk, ClientError> {
+        let req = Request::Submit { key: key.clone(), inputs: inputs.to_vec(), timing };
         let resp = Self::expect_ok(self.roundtrip(&req.to_json())?)?;
         let outputs = resp
             .get("outputs")
@@ -139,6 +147,7 @@ impl Client {
             batch_p: field("batch_p"),
             queue_us: field("queue_us"),
             exec_us: field("exec_us"),
+            timing: resp.get("timing").cloned(),
         })
     }
 
@@ -158,6 +167,31 @@ impl Client {
     /// Transport or protocol failures.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         Self::expect_ok(self.roundtrip(&Request::Stats.to_json())?)
+    }
+
+    /// Fetch the live Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures, or a response without the
+    /// documented `metrics` string.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let resp = Self::expect_ok(self.roundtrip(&Request::Metrics.to_json())?)?;
+        resp.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Protocol("metrics response lacks \"metrics\"".into()))
+    }
+
+    /// Trigger a flight-recorder dump; returns the response (recorded /
+    /// overwritten counts, the text tail, and the dump path if one is
+    /// configured).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn dump(&mut self) -> Result<Json, ClientError> {
+        Self::expect_ok(self.roundtrip(&Request::Dump.to_json())?)
     }
 
     /// Ask the server to drain and shut down; blocks until every accepted

@@ -36,10 +36,11 @@
 //! appends) get the error instead of a silent retry.
 
 use crate::protocol::{self, JobKey};
-use obs::Json;
+use obs::{Histogram, Json};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 use wal::record::Record;
 use wal::{FsyncPolicy, Wal, WalConfig};
 
@@ -110,6 +111,12 @@ struct GroupState {
     group_syncs: u64,
     /// Appends made durable through the group path.
     group_appends: u64,
+    /// Wall-clock latency of each leader fsync, in microseconds.  Real
+    /// device time, deliberately off the virtual-clock seam — the
+    /// simulator models the WAL at record granularity instead.
+    fsync_us: Histogram,
+    /// Records covered per leader fsync — the group-commit batch size.
+    batch_sizes: Histogram,
 }
 
 /// The daemon-facing journal: a [`Wal`] plus the submit/complete
@@ -329,6 +336,7 @@ impl Journal {
             }
             g.leader_running = true;
             drop(g);
+            let t0 = Instant::now();
             let res = {
                 let mut inner = self.inner.lock().expect("journal poisoned");
                 // Everything appended so far — including records from
@@ -336,13 +344,19 @@ impl Journal {
                 let high = inner.wal.next_seq().saturating_sub(1);
                 inner.wal.sync().map(|()| high)
             };
+            let fsync_us = t0.elapsed().as_micros() as u64;
             g = self.group.lock().expect("journal poisoned");
             g.leader_running = false;
             match res {
                 Ok(high) => {
-                    g.group_appends += high.saturating_sub(g.synced_seq);
+                    let covered = high.saturating_sub(g.synced_seq);
+                    g.group_appends += covered;
                     g.synced_seq = g.synced_seq.max(high);
                     g.group_syncs += 1;
+                    g.fsync_us.record(fsync_us);
+                    if covered > 0 {
+                        g.batch_sizes.record(covered);
+                    }
                 }
                 Err(e) => g.failed = Some(e),
             }
@@ -419,6 +433,20 @@ impl Journal {
         Ok(true)
     }
 
+    /// Snapshot of the leader-fsync latency distribution (microseconds).
+    /// Empty unless the policy is `always` (group commit).
+    #[must_use]
+    pub fn fsync_latency(&self) -> Histogram {
+        self.group.lock().expect("journal poisoned").fsync_us.clone()
+    }
+
+    /// Snapshot of the records-per-leader-fsync distribution (the group
+    /// commit batch size).  Empty unless the policy is `always`.
+    #[must_use]
+    pub fn group_batch_sizes(&self) -> Histogram {
+        self.group.lock().expect("journal poisoned").batch_sizes.clone()
+    }
+
     /// The journal's section of the stats snapshot.
     #[must_use]
     pub fn stats_json(&self) -> Json {
@@ -445,6 +473,8 @@ impl Journal {
         gc.set("syncs", g.group_syncs);
         gc.set("appends", g.group_appends);
         gc.set("fail_stopped", g.failed.is_some());
+        gc.set("fsync_us", g.fsync_us.summary_json());
+        gc.set("batch_size", g.batch_sizes.summary_json());
         o.set("group_commit", gc);
         let mut r = Json::obj();
         r.set("runs", u64::from(self.recovery_records > 0));
@@ -637,6 +667,11 @@ mod tests {
         assert_eq!(s.path("fsyncs").unwrap().as_i64(), Some(2));
         assert_eq!(s.path("group_commit.enabled").unwrap(), &Json::Bool(true));
         assert_eq!(s.path("group_commit.fail_stopped").unwrap(), &Json::Bool(false));
+        // Each leader fsync lands one latency sample and covers one record.
+        assert_eq!(j.fsync_latency().total(), 2);
+        assert_eq!(j.group_batch_sizes().sum(), 2);
+        assert_eq!(s.path("group_commit.fsync_us.total").unwrap().as_i64(), Some(2));
+        assert_eq!(s.path("group_commit.batch_size.total").unwrap().as_i64(), Some(2));
         std::fs::remove_dir_all(&dir).ok();
     }
 

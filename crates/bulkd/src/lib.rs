@@ -46,8 +46,8 @@ pub use clock::{
     real_runtime, Clock, RealClock, Scheduler, SimScheduler, ThreadScheduler, VirtualClock,
 };
 pub use journal::{Journal, JournalConfig, RecoveredJob, Recovery};
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{cold_key, run_loadgen, LoadgenConfig, LoadgenReport};
 pub use protocol::{JobKey, Request, PROTOCOL_VERSION};
-pub use queue::{CoalescingQueue, QueueConfig, SubmitError};
+pub use queue::{CoalescingQueue, KeyDepth, QueueConfig, StageBreakdown, StageStamps, SubmitError};
 pub use server::{serve, BatchExecutor, ServerConfig};
 pub use stats::ServerStats;

@@ -9,6 +9,7 @@
 
 use crate::client::{Client, ClientError};
 use crate::protocol::JobKey;
+use oblivious::Layout;
 use obs::{Histogram, Json, Rng, RunReport};
 use std::time::{Duration, Instant};
 
@@ -29,6 +30,25 @@ pub struct LoadgenConfig {
     /// seed + same server behavior ⇒ same offered load; the report echoes
     /// it so any run can be re-offered.
     pub seed: u64,
+    /// Request the per-stage timing breakdown on every submit (exercises
+    /// the trace-context echo; off measures the no-instrumentation path).
+    pub timing: bool,
+    /// Skewed-traffic scenario: most clients hammer `key` while the last
+    /// quarter (at least one, when there are ≥ 2 clients) submit to the
+    /// cold sibling key ([`cold_key`]) — makes the server's per-key
+    /// depth/served/age sections show real asymmetry.
+    pub hot_key: bool,
+}
+
+/// The cold sibling of a coalescing key: same algorithm and size (so one
+/// input pool serves both), flipped layout.
+#[must_use]
+pub fn cold_key(key: &JobKey) -> JobKey {
+    let layout = match key.layout {
+        Layout::RowWise => Layout::ColumnWise,
+        Layout::ColumnWise => Layout::RowWise,
+    };
+    JobKey { algo: key.algo.clone(), size: key.size, layout }
 }
 
 /// Per-client RNG stream derived from the run's root seed: run-to-run
@@ -51,6 +71,12 @@ pub struct LoadgenReport {
     pub errors: u64,
     /// End-to-end submit latency per job, microseconds.
     pub latency_us: Histogram,
+    /// The queue-wait share of each job's latency (the server-reported
+    /// enqueue-to-execution wait).
+    pub queue_wait_us: Histogram,
+    /// The service share: end-to-end latency minus queue wait (journal +
+    /// execution + reply transport).
+    pub service_us: Histogram,
     /// The executed batch `p` each completed job reported riding in.
     pub batch_p: Histogram,
     /// Wall-clock span of the run.
@@ -64,6 +90,8 @@ impl LoadgenReport {
         self.overload_retries += other.overload_retries;
         self.errors += other.errors;
         self.latency_us.merge(&other.latency_us);
+        self.queue_wait_us.merge(&other.queue_wait_us);
+        self.service_us.merge(&other.service_us);
         self.batch_p.merge(&other.batch_p);
         self.elapsed = self.elapsed.max(other.elapsed);
     }
@@ -81,6 +109,8 @@ impl LoadgenReport {
         c.set("layout", crate::protocol::layout_name(cfg.key.layout));
         c.set("instances_per_submit", cfg.instances_per_submit);
         c.set("seed", cfg.seed);
+        c.set("timing", cfg.timing);
+        c.set("hot_key", cfg.hot_key);
         report.set("config", c);
 
         let secs = self.elapsed.as_secs_f64().max(1e-9);
@@ -98,6 +128,8 @@ impl LoadgenReport {
 
         let mut l = Json::obj();
         l.set("latency_us", self.latency_us.summary_json());
+        l.set("queue_wait_us", self.queue_wait_us.summary_json());
+        l.set("service_us", self.service_us.summary_json());
         l.set("observed_batch_p", self.batch_p.summary_json());
         l.set("mean_observed_batch_p", self.batch_p.mean());
         report.set("latency", l);
@@ -167,6 +199,11 @@ fn client_loop(
         Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
     let mut rep = LoadgenReport::default();
     let mut rng = client_rng(cfg.seed, client_idx);
+    // Hot-key scenario: the last quarter of the clients (at least one,
+    // when there are two or more) target the cold sibling key.
+    let cold_count = if cfg.hot_key && cfg.clients >= 2 { (cfg.clients / 4).max(1) } else { 0 };
+    let key =
+        if client_idx >= cfg.clients - cold_count { cold_key(&cfg.key) } else { cfg.key.clone() };
     // Stagger draw positions so clients don't all submit identical work.
     let mut cursor = client_idx * cfg.instances_per_submit;
     while Instant::now() < deadline {
@@ -176,10 +213,13 @@ fn client_loop(
         cursor += cfg.instances_per_submit;
         rep.submitted += 1;
         let sent = Instant::now();
-        match client.submit(&cfg.key, &inputs) {
+        match client.submit(&key, &inputs, cfg.timing) {
             Ok(ok) => {
+                let latency_us = sent.elapsed().as_micros() as u64;
                 rep.completed += 1;
-                rep.latency_us.record(sent.elapsed().as_micros() as u64);
+                rep.latency_us.record(latency_us);
+                rep.queue_wait_us.record(ok.queue_us);
+                rep.service_us.record(latency_us.saturating_sub(ok.queue_us));
                 rep.batch_p.record(ok.batch_p);
             }
             Err(ClientError::Overloaded { retry_after_ms }) => {
@@ -217,6 +257,8 @@ mod tests {
             key: JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise },
             instances_per_submit: 1,
             seed: 42,
+            timing: true,
+            hot_key: false,
         };
         let mut rep = LoadgenReport {
             submitted: 10,
@@ -226,14 +268,32 @@ mod tests {
             ..LoadgenReport::default()
         };
         rep.latency_us.record_n(500, 9);
+        rep.queue_wait_us.record_n(300, 9);
+        rep.service_us.record_n(200, 9);
         rep.batch_p.record_n(8, 9);
         let j = rep.to_json(&cfg);
         assert_eq!(j.path("tool").unwrap().as_str(), Some("bulkd-loadgen"));
         assert_eq!(j.path("throughput.completed_jobs").unwrap().as_i64(), Some(9));
         assert_eq!(j.path("throughput.jobs_per_sec").unwrap().as_f64(), Some(9.0));
         assert_eq!(j.path("latency.mean_observed_batch_p").unwrap().as_f64(), Some(8.0));
+        // The queue-wait/service split decomposes end-to-end latency.
+        assert_eq!(j.path("latency.queue_wait_us.mean").unwrap().as_f64(), Some(300.0));
+        assert_eq!(j.path("latency.service_us.mean").unwrap().as_f64(), Some(200.0));
         assert_eq!(j.path("config.seed").unwrap().as_i64(), Some(42));
+        assert_eq!(j.path("config.timing"), Some(&Json::Bool(true)));
+        assert_eq!(j.path("config.hot_key"), Some(&Json::Bool(false)));
         assert!(RunReport::parse(&j.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn cold_key_flips_only_the_layout() {
+        let hot = JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise };
+        let cold = cold_key(&hot);
+        assert_eq!(cold.algo, hot.algo);
+        assert_eq!(cold.size, hot.size);
+        assert_eq!(cold.layout, Layout::RowWise);
+        // Involution: flipping twice restores the hot key.
+        assert_eq!(cold_key(&cold), hot);
     }
 
     #[test]
@@ -284,6 +344,8 @@ mod tests {
             key: JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise },
             instances_per_submit: 1,
             seed: 0,
+            timing: false,
+            hot_key: false,
         };
         assert!(run_loadgen(&cfg, &[vec![0]]).is_err());
         assert!(run_loadgen(&cfg, &[]).is_err());

@@ -3,15 +3,19 @@
 //! Grammar (one JSON document per line, LF-terminated):
 //!
 //! ```text
-//! request  := submit | status | stats | drain
+//! request  := submit | status | stats | metrics | dump | drain
 //! submit   := {"cmd":"submit","algo":NAME,"size":N,"layout":"row"|"col",
-//!              "inputs":[[WORD,…],…]}          // one inner array per instance
+//!              "inputs":[[WORD,…],…]           // one inner array per instance
+//!              [,"timing":true]}               // opt into the stage breakdown
 //! status   := {"cmd":"status"}
 //! stats    := {"cmd":"stats"}
+//! metrics  := {"cmd":"metrics"}                // Prometheus text exposition
+//! dump     := {"cmd":"dump"}                   // flight-recorder snapshot
 //! drain    := {"cmd":"drain"}
 //! WORD     := "0x" 16 hex digits               // bit pattern, zero-extended
 //!
 //! response := {"ok":true, …}                   // submit: outputs/batch_p/…
+//!                                              // (+"timing":{…} when requested)
 //!           | {"ok":false,"error":KIND,"detail":TEXT}
 //!           | {"ok":false,"error":"overloaded","retry_after_ms":M}
 //! ```
@@ -108,11 +112,17 @@ pub enum Request {
         key: JobKey,
         /// Per-instance input words as raw bit patterns.
         inputs: Vec<Vec<u64>>,
+        /// Echo the per-stage timing breakdown in the reply.
+        timing: bool,
     },
     /// Lightweight liveness / queue-depth probe.
     Status,
     /// Full observability snapshot.
     Stats,
+    /// Live metrics in Prometheus text exposition format.
+    Metrics,
+    /// Flight-recorder snapshot: the last N stage events as text + trace.
+    Dump,
     /// Stop admitting, finish all accepted jobs, then shut the server down.
     Drain,
 }
@@ -133,6 +143,8 @@ impl Request {
         match cmd {
             "status" => Ok(Request::Status),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "dump" => Ok(Request::Dump),
             "drain" => Ok(Request::Drain),
             "submit" => {
                 let algo = j
@@ -157,8 +169,13 @@ impl Request {
                     .iter()
                     .map(words_from_json)
                     .collect::<Result<Vec<_>, _>>()?;
+                let timing = match j.get("timing") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err("\"timing\" must be a boolean".into()),
+                };
                 let key = JobKey { algo, size: size as usize, layout };
-                Ok(Request::Submit { key, inputs })
+                Ok(Request::Submit { key, inputs, timing })
             }
             other => Err(format!("unknown cmd \"{other}\"")),
         }
@@ -175,30 +192,50 @@ impl Request {
             Request::Stats => {
                 o.set("cmd", "stats");
             }
+            Request::Metrics => {
+                o.set("cmd", "metrics");
+            }
+            Request::Dump => {
+                o.set("cmd", "dump");
+            }
             Request::Drain => {
                 o.set("cmd", "drain");
             }
-            Request::Submit { key, inputs } => {
+            Request::Submit { key, inputs, timing } => {
                 o.set("cmd", "submit");
                 o.set("algo", key.algo.as_str());
                 o.set("size", key.size);
                 o.set("layout", layout_name(key.layout));
                 o.set("inputs", Json::Arr(inputs.iter().map(|i| words_to_json(i)).collect()));
+                if *timing {
+                    o.set("timing", true);
+                }
             }
         }
         o
     }
 }
 
-/// Successful submit response.
+/// Successful submit response.  `timing` is the per-stage breakdown
+/// object, echoed only when the submit opted in with `"timing": true` —
+/// the default reply shape is unchanged.
 #[must_use]
-pub fn resp_outputs(outputs: &[Vec<u64>], batch_p: usize, queue_us: u64, exec_us: u64) -> Json {
+pub fn resp_outputs(
+    outputs: &[Vec<u64>],
+    batch_p: usize,
+    queue_us: u64,
+    exec_us: u64,
+    timing: Option<Json>,
+) -> Json {
     let mut o = Json::obj();
     o.set("ok", true);
     o.set("outputs", Json::Arr(outputs.iter().map(|w| words_to_json(w)).collect()));
     o.set("batch_p", batch_p);
     o.set("queue_us", queue_us);
     o.set("exec_us", exec_us);
+    if let Some(t) = timing {
+        o.set("timing", t);
+    }
     o
 }
 
@@ -242,12 +279,33 @@ mod tests {
         let req = Request::Submit {
             key: JobKey { algo: "prefix-sums".into(), size: 64, layout: Layout::ColumnWise },
             inputs: vec![vec![1, 2], vec![3, u64::MAX]],
+            timing: false,
         };
         let line = req.to_json().to_compact();
+        assert!(!line.contains("timing"), "default submits carry no timing field: {line}");
         assert_eq!(Request::parse_line(&line).unwrap(), req);
-        for cmd in [Request::Status, Request::Stats, Request::Drain] {
+        for cmd in
+            [Request::Status, Request::Stats, Request::Metrics, Request::Dump, Request::Drain]
+        {
             assert_eq!(Request::parse_line(&cmd.to_json().to_compact()).unwrap(), cmd);
         }
+    }
+
+    #[test]
+    fn timing_opt_in_round_trips_and_rejects_non_booleans() {
+        let req = Request::Submit {
+            key: JobKey { algo: "fir".into(), size: 8, layout: Layout::RowWise },
+            inputs: vec![vec![1]],
+            timing: true,
+        };
+        let line = req.to_json().to_compact();
+        assert!(line.contains("\"timing\":true"), "{line}");
+        assert_eq!(Request::parse_line(&line).unwrap(), req);
+        let e = Request::parse_line(
+            r#"{"cmd":"submit","algo":"fir","size":8,"layout":"row","inputs":[],"timing":1}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("boolean"), "{e}");
     }
 
     #[test]
@@ -271,9 +329,14 @@ mod tests {
 
     #[test]
     fn responses_have_the_documented_shape() {
-        let r = resp_outputs(&[vec![7]], 32, 120, 450);
+        let r = resp_outputs(&[vec![7]], 32, 120, 450, None);
         assert_eq!(r.path("ok"), Some(&Json::Bool(true)));
         assert_eq!(r.path("batch_p").unwrap().as_i64(), Some(32));
+        assert_eq!(r.get("timing"), None, "no timing unless requested");
+        let mut t = Json::obj();
+        t.set("queue_us", 120u64);
+        let r = resp_outputs(&[vec![7]], 32, 120, 450, Some(t));
+        assert_eq!(r.path("timing.queue_us").unwrap().as_i64(), Some(120));
         let r = resp_overloaded(5);
         assert_eq!(r.path("error").unwrap().as_str(), Some("overloaded"));
         assert_eq!(r.path("retry_after_ms").unwrap().as_i64(), Some(5));

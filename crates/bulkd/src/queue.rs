@@ -35,6 +35,41 @@ pub struct QueueConfig {
     pub flush_after: Duration,
 }
 
+/// Per-stage timing breakdown of one completed job, all in microseconds
+/// on the daemon's [`Clock`].  This is the trace context's final form:
+/// the monotone stage stamps collapsed into the durations an operator
+/// (or the opt-in `"timing"` reply echo) actually reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Admission → submit-record durable (includes the group-commit wait).
+    pub journal_us: u64,
+    /// Enqueue → the job's group flushed into a ready batch.
+    pub queue_us: u64,
+    /// Batch assembled → a worker started executing it.
+    pub dispatch_us: u64,
+    /// Batch execution (compile-or-cache-hit plus the sharded replay).
+    pub exec_us: u64,
+    /// Execution end → completion journaled and the reply written.
+    pub finalize_us: u64,
+    /// Admission → reply written, end to end.
+    pub total_us: u64,
+}
+
+impl StageBreakdown {
+    /// The breakdown as a JSON object (field order = stage order).
+    #[must_use]
+    pub fn to_json(&self) -> obs::Json {
+        let mut o = obs::Json::obj();
+        o.set("journal_us", self.journal_us);
+        o.set("queue_us", self.queue_us);
+        o.set("dispatch_us", self.dispatch_us);
+        o.set("exec_us", self.exec_us);
+        o.set("finalize_us", self.finalize_us);
+        o.set("total_us", self.total_us);
+        o
+    }
+}
+
 /// What a completed job hands back to its submitter.
 #[derive(Debug)]
 pub struct JobDone {
@@ -46,15 +81,32 @@ pub struct JobDone {
     pub queue_us: u64,
     /// Microseconds the batch spent executing.
     pub exec_us: u64,
+    /// Full stage breakdown, present when the submit opted into timing.
+    pub breakdown: Option<StageBreakdown>,
 }
 
 /// The per-job completion message.
 pub type JobReply = Result<JobDone, String>;
 
+/// Monotone stage timestamps a job accumulates on its way through the
+/// daemon, in clock microseconds.  Zero means "not reached" (or not
+/// applicable — e.g. `journaled_us` with the WAL off records the same
+/// instant as admission).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStamps {
+    /// Admission accepted the job (trace context opened).
+    pub accepted_us: u64,
+    /// The submit record became durable (after any group-commit wait).
+    pub journaled_us: u64,
+    /// The job's group flushed into a ready batch (stamped by the queue).
+    pub assembled_us: u64,
+}
+
 /// One accepted submit: its instances plus the channel to answer on.
 #[derive(Debug)]
 pub struct Job {
-    /// Server-assigned job id (unique across restarts via the WAL).
+    /// Server-assigned job id — also the job's trace id (unique across
+    /// restarts via the WAL).
     pub id: u64,
     /// Per-instance input words (bit patterns).
     pub inputs: Vec<Vec<u64>>,
@@ -62,6 +114,24 @@ pub struct Job {
     pub enqueued_us: u64,
     /// Completion channel back to the connection handler.
     pub reply: mpsc::Sender<JobReply>,
+    /// Stage timestamps recorded so far (the per-job trace context).
+    pub stages: StageStamps,
+    /// Whether the submitter asked for the timing breakdown in its reply.
+    pub timing: bool,
+}
+
+impl Job {
+    /// A job with empty stage stamps and no timing opt-in — the common
+    /// construction for recovery requeues and tests.
+    #[must_use]
+    pub fn new(
+        id: u64,
+        inputs: Vec<Vec<u64>>,
+        enqueued_us: u64,
+        reply: mpsc::Sender<JobReply>,
+    ) -> Self {
+        Self { id, inputs, enqueued_us, reply, stages: StageStamps::default(), timing: false }
+    }
 }
 
 /// A flushed group, ready for one worker to execute as a unit.
@@ -156,6 +226,20 @@ pub struct QueueDepth {
     pub in_flight_batches: usize,
     /// Whether the queue has stopped admitting.
     pub draining: bool,
+}
+
+/// Waiting work under one coalescing key — the observable half of the
+/// multi-tenant fairness question: is a hot key starving the others?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyDepth {
+    /// The coalescing key.
+    pub key: JobKey,
+    /// Instances waiting under this key (open group + ready batches).
+    pub queued_instances: usize,
+    /// Jobs waiting under this key.
+    pub waiting_jobs: usize,
+    /// Enqueue stamp of the longest-waiting job, when any is waiting.
+    pub oldest_enqueued_us: Option<u64>,
 }
 
 /// The coalescing queue.  Shared by connection handlers (producers) and
@@ -269,7 +353,8 @@ impl CoalescingQueue {
     pub fn enqueue(&self, adm: Admission, key: JobKey, job: Job) {
         let n = job.inputs.len();
         assert_eq!(adm.instances, n, "reservation/job instance mismatch");
-        let deadline_us = self.clock.now_us() + self.cfg.flush_after.as_micros() as u64;
+        let now = self.clock.now_us();
+        let deadline_us = now + self.cfg.flush_after.as_micros() as u64;
         let mut st = self.state.lock().expect("queue poisoned");
         let pos = match st.groups.iter().position(|g| g.key == key) {
             Some(pos) => pos,
@@ -281,8 +366,7 @@ impl CoalescingQueue {
         st.groups[pos].jobs.push(job);
         st.groups[pos].instances += n;
         if st.groups[pos].instances >= self.cfg.max_batch {
-            let g = st.groups.remove(pos);
-            st.ready.push_back(Batch { key: g.key, jobs: g.jobs });
+            Self::flush_group(&mut st, pos, now);
         }
         drop(st);
         // Wake workers either way: a ready batch needs a consumer, a fresh
@@ -300,8 +384,7 @@ impl CoalescingQueue {
         let mut i = 0;
         while i < st.groups.len() {
             if st.draining || st.groups[i].deadline_us <= now {
-                let g = st.groups.remove(i);
-                st.ready.push_back(Batch { key: g.key, jobs: g.jobs });
+                Self::flush_group(&mut st, i, now);
             } else {
                 i += 1;
             }
@@ -382,6 +465,59 @@ impl CoalescingQueue {
         }
     }
 
+    /// Move group `i` to the ready queue, stamping every rider's
+    /// batch-assembled time.  Caller holds the state lock.
+    fn flush_group(st: &mut State, i: usize, now: u64) {
+        let mut g = st.groups.remove(i);
+        for j in &mut g.jobs {
+            j.stages.assembled_us = now;
+        }
+        st.ready.push_back(Batch { key: g.key, jobs: g.jobs });
+    }
+
+    /// Per-key occupancy: waiting instances/jobs and the oldest enqueue
+    /// stamp under each key with work outstanding, sorted by key.  Scans
+    /// open groups and ready batches under the lock — both are bounded by
+    /// `max_queue` instances, so the scan is as cheap as [`Self::depth`].
+    #[must_use]
+    pub fn per_key_depth(&self) -> Vec<KeyDepth> {
+        let st = self.state.lock().expect("queue poisoned");
+        let mut out: Vec<KeyDepth> = Vec::new();
+        {
+            let mut fold = |key: &JobKey, jobs: &[Job]| {
+                let slot = match out.iter_mut().find(|d| &d.key == key) {
+                    Some(s) => s,
+                    None => {
+                        out.push(KeyDepth {
+                            key: key.clone(),
+                            queued_instances: 0,
+                            waiting_jobs: 0,
+                            oldest_enqueued_us: None,
+                        });
+                        out.last_mut().expect("just pushed")
+                    }
+                };
+                for j in jobs {
+                    slot.queued_instances += j.inputs.len();
+                    slot.waiting_jobs += 1;
+                    slot.oldest_enqueued_us = Some(match slot.oldest_enqueued_us {
+                        Some(t) => t.min(j.enqueued_us),
+                        None => j.enqueued_us,
+                    });
+                }
+            };
+            for g in &st.groups {
+                fold(&g.key, &g.jobs);
+            }
+            for b in &st.ready {
+                fold(&b.key, &b.jobs);
+            }
+        }
+        drop(st);
+        out.sort_by_key(|d| d.key.to_string());
+        out
+    }
+
     /// A point-in-time occupancy reading.
     #[must_use]
     pub fn depth(&self) -> QueueDepth {
@@ -410,7 +546,7 @@ mod tests {
     fn job(instances: usize) -> (Job, mpsc::Receiver<JobReply>) {
         let (tx, rx) = mpsc::channel();
         let inputs = vec![vec![0u64; 2]; instances];
-        (Job { id: 0, inputs, enqueued_us: 0, reply: tx }, rx)
+        (Job::new(0, inputs, 0, tx), rx)
     }
 
     fn queue(max_batch: usize, max_queue: usize, flush_ms: u64) -> CoalescingQueue {
@@ -534,6 +670,7 @@ mod tests {
                         batch_p: p,
                         queue_us: 0,
                         exec_us: 0,
+                        breakdown: None,
                     };
                     jb.reply.send(Ok(done)).unwrap();
                 }
@@ -568,6 +705,7 @@ mod tests {
                         batch_p: p,
                         queue_us: 0,
                         exec_us: 0,
+                        breakdown: None,
                     };
                     jb.reply.send(Ok(done)).unwrap();
                 }
@@ -619,7 +757,13 @@ mod tests {
         q.enqueue(adm, key("a"), j);
         let b = q.next_batch().expect("drain flushes the admitted job");
         for jb in b.jobs {
-            let done = JobDone { outputs: vec![vec![1]], batch_p: 1, queue_us: 0, exec_us: 0 };
+            let done = JobDone {
+                outputs: vec![vec![1]],
+                batch_p: 1,
+                queue_us: 0,
+                exec_us: 0,
+                breakdown: None,
+            };
             jb.reply.send(Ok(done)).unwrap();
         }
         q.batch_done();
@@ -654,6 +798,7 @@ mod tests {
                                 batch_p: p,
                                 queue_us: 0,
                                 exec_us: 0,
+                                breakdown: None,
                             };
                             jb.reply.send(Ok(done)).unwrap();
                         }
@@ -737,6 +882,66 @@ mod tests {
         assert_eq!(q.depth().open_groups, 1);
     }
 
+    /// A job enqueued at a specific virtual instant (for age tracking).
+    fn job_at(instances: usize, enqueued_us: u64) -> (Job, mpsc::Receiver<JobReply>) {
+        let (tx, rx) = mpsc::channel();
+        let inputs = vec![vec![0u64; 2]; instances];
+        (Job::new(0, inputs, enqueued_us, tx), rx)
+    }
+
+    #[test]
+    fn per_key_depth_tracks_waiting_work_and_oldest_age() {
+        let (q, clock) = sim_queue(1000, 100, 50);
+        clock.advance_to(1_000);
+        q.submit(key("hot"), job_at(2, 1_000).0).unwrap();
+        clock.advance_to(3_000);
+        q.submit(key("hot"), job_at(1, 3_000).0).unwrap();
+        q.submit(key("cold"), job_at(4, 3_000).0).unwrap();
+        let d = q.per_key_depth();
+        assert_eq!(d.len(), 2, "{d:?}");
+        // Sorted by key string: "cold/…" before "hot/…".
+        assert_eq!(d[0].key, key("cold"));
+        assert_eq!((d[0].queued_instances, d[0].waiting_jobs), (4, 1));
+        assert_eq!(d[0].oldest_enqueued_us, Some(3_000));
+        assert_eq!(d[1].key, key("hot"));
+        assert_eq!((d[1].queued_instances, d[1].waiting_jobs), (3, 2));
+        assert_eq!(d[1].oldest_enqueued_us, Some(1_000));
+        // Ready (flushed) work still counts until a worker claims it.
+        clock.advance(60_000);
+        match q.try_next_batch() {
+            TryNext::Batch(b) => {
+                assert!(q.per_key_depth().iter().all(|x| x.key != b.key));
+            }
+            other => panic!("deadline passed, must flush: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_stamps_every_riders_assembled_time() {
+        let (q, clock) = sim_queue(2, 100, 50);
+        clock.advance_to(100);
+        q.submit(key("a"), job_at(1, 100).0).unwrap();
+        clock.advance_to(700);
+        q.submit(key("a"), job_at(1, 700).0).unwrap(); // size flush now
+        match q.try_next_batch() {
+            TryNext::Batch(b) => {
+                for j in &b.jobs {
+                    assert_eq!(j.stages.assembled_us, 700, "size flush stamps flush instant");
+                }
+            }
+            other => panic!("size-flushed batch expected: {other:?}"),
+        }
+        q.batch_done();
+        // Deadline flush stamps the poll instant that noticed the expiry.
+        q.submit(key("b"), job_at(1, 700).0).unwrap();
+        clock.advance_to(90_000);
+        match q.try_next_batch() {
+            TryNext::Batch(b) => assert_eq!(b.jobs[0].stages.assembled_us, 90_000),
+            other => panic!("deadline-flushed batch expected: {other:?}"),
+        }
+        q.batch_done();
+    }
+
     /// The simulator's drive loop in miniature: one thread, virtual time,
     /// non-blocking polls — begin_drain/drained instead of blocking drain.
     #[test]
@@ -753,7 +958,13 @@ mod tests {
         };
         assert_eq!(b.instances(), 3);
         for jb in b.jobs {
-            let done = JobDone { outputs: vec![vec![1]; 3], batch_p: 3, queue_us: 0, exec_us: 0 };
+            let done = JobDone {
+                outputs: vec![vec![1]; 3],
+                batch_p: 3,
+                queue_us: 0,
+                exec_us: 0,
+                breakdown: None,
+            };
             jb.reply.send(Ok(done)).unwrap();
         }
         assert!(!q.drained(), "batch still in flight");

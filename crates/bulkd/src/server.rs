@@ -10,15 +10,17 @@
 use crate::clock::{real_runtime, Clock};
 use crate::journal::{Journal, JournalConfig};
 use crate::protocol::{self, JobKey, Request, PROTOCOL_VERSION};
-use crate::queue::{CoalescingQueue, Job, JobDone, QueueConfig, SubmitError};
+use crate::queue::{
+    CoalescingQueue, Job, JobDone, QueueConfig, StageBreakdown, StageStamps, SubmitError,
+};
 use crate::stats::ServerStats;
 use obs::trace::chrome_trace;
-use obs::{Json, Tracer};
+use obs::{Gauge, Histogram, Json, Ring, Tracer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, Once, Weak};
 use std::time::Duration;
 
 /// How the embedding binary executes one coalesced batch.
@@ -65,6 +67,81 @@ pub struct ServerConfig {
     pub trace_path: Option<PathBuf>,
     /// Write-ahead logging of accepted jobs; `None` disables durability.
     pub wal: Option<JournalConfig>,
+    /// Record stage events into the flight recorder (`false` is the
+    /// overhead-measurement baseline; stats counters stay on).
+    pub instrument: bool,
+    /// Where the flight recorder dumps its Chrome trace (a `.txt` text
+    /// tail lands next to it).  Flushed atomically every 200ms while the
+    /// server runs, plus on panic, drain, `dump` requests and shutdown —
+    /// so even `kill -9` leaves a readable recording.
+    pub recorder_path: Option<PathBuf>,
+}
+
+/// Flight-recorder events retained (oldest overwritten beyond this).
+const RING_CAPACITY: usize = 8192;
+/// Lines in the human-readable text-tail dump.
+const TAIL_LINES: usize = 64;
+
+/// The flight recorder: the event ring plus its dump target, shared by
+/// connection handlers, workers, the periodic flusher thread and the
+/// process-wide panic hook.
+struct Recorder {
+    ring: Ring,
+    path: Option<PathBuf>,
+    /// Serializes dumps (flusher vs. drain vs. `dump` requests) so two
+    /// writers never interleave on the same temp file.
+    dump_lock: Mutex<()>,
+}
+
+impl Recorder {
+    /// Write the Chrome trace and text tail via temp-file + rename, so a
+    /// concurrent reader — or a post-`kill -9` autopsy — never sees a
+    /// torn file.
+    fn dump_files(&self) -> Result<(), String> {
+        let Some(path) = &self.path else { return Ok(()) };
+        let _g = self.dump_lock.lock().expect("recorder dump lock poisoned");
+        let events = self.ring.snapshot();
+        write_atomic(path, &obs::ring::chrome_trace(&events).to_pretty())?;
+        write_atomic(&path.with_extension("txt"), &self.ring.text_tail(TAIL_LINES))
+    }
+}
+
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+}
+
+/// Live recorders, drained by the panic hook: a panicking server still
+/// leaves its flight recording on disk.  The hook is installed once per
+/// process and walks whatever recorders are alive at panic time.
+static RECORDERS: Mutex<Vec<Weak<Recorder>>> = Mutex::new(Vec::new());
+static PANIC_HOOK: Once = Once::new();
+
+fn register_recorder(rec: &Arc<Recorder>) {
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            if let Ok(list) = RECORDERS.lock() {
+                for weak in list.iter() {
+                    if let Some(rec) = weak.upgrade() {
+                        let _ = rec.dump_files();
+                    }
+                }
+            }
+        }));
+    });
+    let mut list = RECORDERS.lock().expect("recorder registry poisoned");
+    list.retain(|w| w.upgrade().is_some());
+    list.push(Arc::downgrade(rec));
 }
 
 struct Shared {
@@ -78,10 +155,33 @@ struct Shared {
     stop_accepting: AtomicBool,
     journal: Option<Journal>,
     next_job_id: AtomicU64,
+    recorder: Arc<Recorder>,
+    connections: Gauge,
+    instrument: bool,
 }
 
 fn wal_section(sh: &Shared) -> Option<Json> {
     sh.journal.as_ref().map(Journal::stats_json)
+}
+
+/// Record one stage event into the flight recorder (no-op when
+/// instrumentation is off).
+fn rec(sh: &Shared, ts_us: u64, track: u32, name: &'static str, job: u64, value: i64) {
+    if sh.instrument {
+        sh.recorder.ring.record(ts_us, track, name, job, value);
+    }
+}
+
+/// The full stats snapshot with live queue occupancy, per-key depths and
+/// the cache/WAL sections attached.
+fn stats_snapshot(sh: &Shared) -> Json {
+    sh.stats.snapshot(
+        sh.queue.depth(),
+        &sh.queue.per_key_depth(),
+        sh.clock.now_us(),
+        sh.executor.cache_stats(),
+        wal_section(sh),
+    )
 }
 
 /// Run the daemon until a client sends `drain`.  `on_ready` fires once
@@ -109,6 +209,14 @@ pub fn serve(
     };
     let next_job_id = recovery.as_ref().map_or(1, |r| r.next_job_id);
     let (clock, sched) = real_runtime();
+    let recorder = Arc::new(Recorder {
+        ring: Ring::with_capacity(RING_CAPACITY),
+        path: cfg.recorder_path.clone(),
+        dump_lock: Mutex::new(()),
+    });
+    if cfg.instrument && cfg.recorder_path.is_some() {
+        register_recorder(&recorder);
+    }
     let shared = Arc::new(Shared {
         queue: CoalescingQueue::with_runtime(
             QueueConfig {
@@ -127,7 +235,31 @@ pub fn serve(
         stop_accepting: AtomicBool::new(false),
         journal,
         next_job_id: AtomicU64::new(next_job_id),
+        recorder: Arc::clone(&recorder),
+        connections: Gauge::new(),
+        instrument: cfg.instrument,
     });
+    // Periodic atomic recorder flushes: at any instant — including the
+    // instant a `kill -9` lands — the last completed dump is on disk.
+    let flusher_stop = Arc::new(AtomicBool::new(false));
+    let flusher = if cfg.instrument && cfg.recorder_path.is_some() {
+        let rec = Arc::clone(&recorder);
+        let stop = Arc::clone(&flusher_stop);
+        Some(
+            std::thread::Builder::new()
+                .name("bulkd-recorder".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = rec.dump_files();
+                        std::thread::sleep(Duration::from_millis(200));
+                    }
+                    let _ = rec.dump_files();
+                })
+                .map_err(|e| format!("spawn recorder flusher: {e}"))?,
+        )
+    } else {
+        None
+    };
     {
         let mut t = shared.tracer.lock().expect("tracer poisoned");
         for w in 0..cfg.workers.max(1) {
@@ -157,16 +289,13 @@ pub fn serve(
             shared.stats.on_accept(n);
             let adm = shared.queue.reserve_unbounded(job.inputs.len());
             let (tx, _rx) = mpsc::channel();
-            shared.queue.enqueue(
-                adm,
-                job.key,
-                Job {
-                    id: job.id,
-                    inputs: job.inputs,
-                    enqueued_us: shared.clock.now_us(),
-                    reply: tx,
-                },
-            );
+            let now = shared.clock.now_us();
+            let mut j = Job::new(job.id, job.inputs, now, tx);
+            // The job's real admission/journal stamps died with the old
+            // process; its second-life trace starts here.
+            j.stages = StageStamps { accepted_us: now, journaled_us: now, assembled_us: 0 };
+            rec(&shared, now, 0, "requeued", j.id, n as i64);
+            shared.queue.enqueue(adm, job.key, j);
         }
     }
 
@@ -185,6 +314,10 @@ pub fn serve(
 
     for w in workers {
         let _ = w.join();
+    }
+    flusher_stop.store(true, Ordering::Relaxed);
+    if let Some(f) = flusher {
+        let _ = f.join();
     }
     if let Some(path) = &cfg.trace_path {
         let trace = {
@@ -207,21 +340,44 @@ pub fn serve(
         journal.checkpoint(shared.next_job_id.load(Ordering::SeqCst))?;
     }
     shared.stats.check_balanced()?;
-    Ok(shared.stats.snapshot(
-        shared.queue.depth(),
-        shared.executor.cache_stats(),
-        wal_section(&shared),
-    ))
+    Ok(stats_snapshot(&shared))
+}
+
+/// Assemble a job's stage breakdown from its trace-context stamps: the
+/// monotone timeline accepted → journaled → enqueued → assembled →
+/// executing (`t0_us`) → executed → completion-journaled (`done_us`).
+fn stage_breakdown(job: &Job, t0_us: u64, exec_us: u64, done_us: u64) -> StageBreakdown {
+    let st = &job.stages;
+    StageBreakdown {
+        journal_us: st.journaled_us.saturating_sub(st.accepted_us),
+        queue_us: st.assembled_us.saturating_sub(job.enqueued_us),
+        dispatch_us: t0_us.saturating_sub(st.assembled_us),
+        exec_us,
+        finalize_us: done_us.saturating_sub(t0_us.saturating_add(exec_us)),
+        total_us: done_us.saturating_sub(st.accepted_us),
+    }
 }
 
 fn worker_loop(tid: u64, sh: &Shared) {
+    // Ring track 0 is the submit/protocol path; workers get 1-based
+    // tracks, so per-shard "executed" events separate in the trace view.
+    let track = u32::try_from(tid).unwrap_or(u32::MAX - 1) + 1;
     while let Some(batch) = sh.queue.next_batch() {
         let t0_us = sh.clock.now_us();
+        for job in &batch.jobs {
+            rec(sh, job.stages.assembled_us, track, "assembled", job.id, job.inputs.len() as i64);
+        }
         let inputs: Vec<Vec<u64>> =
             batch.jobs.iter().flat_map(|j| j.inputs.iter().cloned()).collect();
         let p = inputs.len();
+        let (_, compiles_before) = sh.executor.cache_stats();
         let result = sh.executor.execute(&batch.key, &inputs);
-        let exec_us = sh.clock.now_us().saturating_sub(t0_us);
+        let exec_end_us = sh.clock.now_us();
+        let exec_us = exec_end_us.saturating_sub(t0_us);
+        let (_, compiles_after) = sh.executor.cache_stats();
+        let schedule = if compiles_after > compiles_before { "compiled" } else { "cache_hit" };
+        rec(sh, t0_us, track, schedule, 0, p as i64);
+        rec(sh, exec_end_us, track, "executed", 0, p as i64);
 
         {
             let mut args = Json::obj();
@@ -241,15 +397,20 @@ fn worker_loop(tid: u64, sh: &Shared) {
                 for job in batch.jobs {
                     let n = job.inputs.len();
                     let queue_us = t0_us.saturating_sub(job.enqueued_us);
+                    let job_outputs = outputs[off..off + n].to_vec();
+                    off += n;
+                    log_completion(sh, job.id, Ok(&job_outputs));
+                    let done_us = sh.clock.now_us();
+                    rec(sh, done_us, track, "completion_journaled", job.id, 0);
+                    let breakdown = stage_breakdown(&job, t0_us, exec_us, done_us);
+                    sh.stats.on_job_done(&batch.key, n as u64, queue_us, false, &breakdown);
                     let done = JobDone {
-                        outputs: outputs[off..off + n].to_vec(),
+                        outputs: job_outputs,
                         batch_p: p,
                         queue_us,
                         exec_us,
+                        breakdown: Some(breakdown),
                     };
-                    off += n;
-                    log_completion(sh, job.id, Ok(&done.outputs));
-                    sh.stats.on_job_done(n as u64, queue_us, false);
                     let _ = job.reply.send(Ok(done));
                 }
             }
@@ -258,7 +419,10 @@ fn worker_loop(tid: u64, sh: &Shared) {
                     let n = job.inputs.len() as u64;
                     let queue_us = t0_us.saturating_sub(job.enqueued_us);
                     log_completion(sh, job.id, Err(&e));
-                    sh.stats.on_job_done(n, queue_us, true);
+                    let done_us = sh.clock.now_us();
+                    rec(sh, done_us, track, "completion_journaled", job.id, -1);
+                    let breakdown = stage_breakdown(&job, t0_us, exec_us, done_us);
+                    sh.stats.on_job_done(&batch.key, n, queue_us, true, &breakdown);
                     let _ = job.reply.send(Err(e.clone()));
                 }
             }
@@ -281,6 +445,12 @@ fn log_completion(sh: &Shared, job_id: u64, result: Result<&[Vec<u64>], &String>
 }
 
 fn handle_conn(stream: TcpStream, sh: &Shared) {
+    sh.connections.add(1);
+    conn_loop(stream, sh);
+    sh.connections.add(-1);
+}
+
+fn conn_loop(stream: TcpStream, sh: &Shared) {
     let Ok(read_half) = stream.try_clone() else { return };
     let reader = BufReader::new(read_half);
     let mut writer = stream;
@@ -332,24 +502,61 @@ fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
             (o, false)
         }
         Request::Stats => {
-            let mut snap =
-                sh.stats.snapshot(sh.queue.depth(), sh.executor.cache_stats(), wal_section(sh));
+            let mut snap = stats_snapshot(sh);
             snap.set("ok", true);
             (snap, false)
         }
+        Request::Metrics => {
+            let (fsync, group_batch) = sh.journal.as_ref().map_or_else(
+                || (Histogram::new(), Histogram::new()),
+                |j| (j.fsync_latency(), j.group_batch_sizes()),
+            );
+            let text = sh.stats.render_prometheus(
+                sh.queue.depth(),
+                &sh.queue.per_key_depth(),
+                sh.clock.now_us(),
+                sh.executor.cache_stats(),
+                &fsync,
+                &group_batch,
+                sh.connections.get(),
+                (sh.recorder.ring.recorded(), sh.recorder.ring.overwritten()),
+            );
+            let mut o = Json::obj();
+            o.set("ok", true);
+            o.set("metrics", text);
+            (o, false)
+        }
+        Request::Dump => {
+            if sh.instrument {
+                if let Err(e) = sh.recorder.dump_files() {
+                    return (protocol::resp_error("dump", &e), false);
+                }
+            }
+            let mut o = Json::obj();
+            o.set("ok", true);
+            o.set("recorded", sh.recorder.ring.recorded());
+            o.set("overwritten", sh.recorder.ring.overwritten());
+            o.set("tail", sh.recorder.ring.text_tail(TAIL_LINES));
+            if let Some(p) = &sh.recorder.path {
+                o.set("path", p.display().to_string());
+            }
+            (o, false)
+        }
         Request::Drain => {
             sh.queue.drain();
-            let mut snap =
-                sh.stats.snapshot(sh.queue.depth(), sh.executor.cache_stats(), wal_section(sh));
+            if sh.instrument {
+                let _ = sh.recorder.dump_files();
+            }
+            let mut snap = stats_snapshot(sh);
             snap.set("ok", true);
             snap.set("drained", true);
             (snap, true)
         }
-        Request::Submit { key, inputs } => (handle_submit(key, inputs, sh), false),
+        Request::Submit { key, inputs, timing } => (handle_submit(key, inputs, timing, sh), false),
     }
 }
 
-fn handle_submit(key: JobKey, inputs: Vec<Vec<u64>>, sh: &Shared) -> Json {
+fn handle_submit(key: JobKey, inputs: Vec<Vec<u64>>, timing: bool, sh: &Shared) -> Json {
     let n = inputs.len() as u64;
     sh.stats.on_submit(n);
     if inputs.is_empty() {
@@ -386,6 +593,10 @@ fn handle_submit(key: JobKey, inputs: Vec<Vec<u64>>, sh: &Shared) -> Json {
         Ok(adm) => adm,
     };
     let id = sh.next_job_id.fetch_add(1, Ordering::SeqCst);
+    // Trace context opens here: the job id doubles as the trace id, and
+    // every stage below stamps the same monotone clock.
+    let accepted_us = sh.clock.now_us();
+    rec(sh, accepted_us, 0, "accepted", id, n as i64);
     if let Some(journal) = &sh.journal {
         if let Err(e) = journal.log_submit(id, &key, &inputs) {
             sh.queue.cancel(adm);
@@ -393,12 +604,35 @@ fn handle_submit(key: JobKey, inputs: Vec<Vec<u64>>, sh: &Shared) -> Json {
             return protocol::resp_error("wal", &format!("journal append failed: {e}"));
         }
     }
+    // `journaled` covers the append *and* its group-commit durability
+    // wait; without a WAL the stage is zero-width.
+    let journaled_us = if sh.journal.is_some() { sh.clock.now_us() } else { accepted_us };
+    if sh.journal.is_some() {
+        rec(
+            sh,
+            journaled_us,
+            0,
+            "journaled",
+            id,
+            (journaled_us.saturating_sub(accepted_us)) as i64,
+        );
+    }
     let (tx, rx) = mpsc::channel();
-    sh.queue.enqueue(adm, key, Job { id, inputs, enqueued_us: sh.clock.now_us(), reply: tx });
+    let enqueued_us = sh.clock.now_us();
+    let mut job = Job::new(id, inputs, enqueued_us, tx);
+    job.stages = StageStamps { accepted_us, journaled_us, assembled_us: 0 };
+    job.timing = timing;
+    sh.queue.enqueue(adm, key, job);
+    rec(sh, enqueued_us, 0, "enqueued", id, 0);
     sh.stats.on_accept(n);
     match rx.recv() {
         Ok(Ok(done)) => {
-            protocol::resp_outputs(&done.outputs, done.batch_p, done.queue_us, done.exec_us)
+            let reply_us = sh.clock.now_us();
+            let total = done.breakdown.as_ref().map_or(0, |b| b.total_us as i64);
+            rec(sh, reply_us, 0, "reply_written", id, total);
+            let echoed =
+                if timing { done.breakdown.as_ref().map(StageBreakdown::to_json) } else { None };
+            protocol::resp_outputs(&done.outputs, done.batch_p, done.queue_us, done.exec_us, echoed)
         }
         Ok(Err(e)) => protocol::resp_error("exec", &e),
         Err(_) => protocol::resp_error("exec", "worker dropped the job"),

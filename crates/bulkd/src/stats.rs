@@ -3,11 +3,57 @@
 //! One mutex guards the whole set — every touch is a few integer adds, so
 //! contention is negligible next to batch execution — and `snapshot`
 //! renders the versioned `RunReport`-style JSON document that the `stats`
-//! protocol command returns.
+//! protocol command returns.  The same live state also renders as
+//! Prometheus text exposition ([`ServerStats::render_prometheus`]) for
+//! the `metrics` protocol verb.
 
-use crate::queue::QueueDepth;
-use obs::{Histogram, Json, RunReport};
+use crate::queue::{KeyDepth, QueueDepth, StageBreakdown};
+use crate::JobKey;
+use obs::{Histogram, Json, PromText, RunReport};
+use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+/// Cumulative per-key service counters.
+#[derive(Debug, Default, Clone, Copy)]
+struct KeyServed {
+    served_jobs: u64,
+    served_instances: u64,
+}
+
+/// One histogram per pipeline stage.  Every *completed* job records
+/// exactly one sample into each, so each histogram's mass equals the
+/// completed-job count — the invariant the CI metrics scrape asserts.
+#[derive(Debug, Default)]
+struct StageHists {
+    journal_us: Histogram,
+    queue_us: Histogram,
+    dispatch_us: Histogram,
+    exec_us: Histogram,
+    finalize_us: Histogram,
+    total_us: Histogram,
+}
+
+impl StageHists {
+    fn record(&mut self, b: &StageBreakdown) {
+        self.journal_us.record(b.journal_us);
+        self.queue_us.record(b.queue_us);
+        self.dispatch_us.record(b.dispatch_us);
+        self.exec_us.record(b.exec_us);
+        self.finalize_us.record(b.finalize_us);
+        self.total_us.record(b.total_us);
+    }
+
+    fn named(&self) -> [(&'static str, &Histogram); 6] {
+        [
+            ("journal", &self.journal_us),
+            ("queue", &self.queue_us),
+            ("dispatch", &self.dispatch_us),
+            ("exec", &self.exec_us),
+            ("finalize", &self.finalize_us),
+            ("total", &self.total_us),
+        ]
+    }
+}
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -25,6 +71,9 @@ struct Inner {
     batch_p: Histogram,
     queue_wait_us: Histogram,
     exec_us: Histogram,
+    stages: StageHists,
+    /// Served totals per coalescing key, keyed by the key's display form.
+    per_key: BTreeMap<String, KeyServed>,
 }
 
 /// Thread-safe server statistics.
@@ -79,14 +128,28 @@ impl ServerStats {
     }
 
     /// One accepted job finished (`failed` when its batch's execution
-    /// errored); `queue_us` is its enqueue-to-execution wait.
-    pub fn on_job_done(&self, instances: u64, queue_us: u64, failed: bool) {
+    /// errored); `queue_us` is its enqueue-to-execution wait and
+    /// `breakdown` its full stage timing.  Completed (non-failed) jobs
+    /// record one sample into every stage histogram and count toward
+    /// their key's served totals.
+    pub fn on_job_done(
+        &self,
+        key: &JobKey,
+        instances: u64,
+        queue_us: u64,
+        failed: bool,
+        breakdown: &StageBreakdown,
+    ) {
         let mut s = self.lock();
         if failed {
             s.failed_jobs += 1;
         } else {
             s.completed_jobs += 1;
             s.completed_instances += instances;
+            s.stages.record(breakdown);
+            let k = s.per_key.entry(key.to_string()).or_default();
+            k.served_jobs += 1;
+            k.served_instances += instances;
         }
         s.queue_wait_us.record(queue_us);
     }
@@ -118,11 +181,20 @@ impl ServerStats {
 
     /// The versioned observability snapshot served by the `stats` command.
     ///
+    /// `per_key` is the queue's current per-key occupancy and `now_us`
+    /// the clock reading that turns its oldest-enqueue stamps into ages;
     /// `cache` is the shared schedule cache's `(hits, compiles)` pair;
     /// `wal` is the journal's section ([`crate::Journal::stats_json`]),
     /// `None` when the server runs without durability.
     #[must_use]
-    pub fn snapshot(&self, depth: QueueDepth, cache: (u64, u64), wal: Option<Json>) -> Json {
+    pub fn snapshot(
+        &self,
+        depth: QueueDepth,
+        per_key: &[KeyDepth],
+        now_us: u64,
+        cache: (u64, u64),
+        wal: Option<Json>,
+    ) -> Json {
         let s = self.lock();
         let mut report = RunReport::new("bulkd");
 
@@ -167,6 +239,38 @@ impl ServerStats {
         queue.set("queue_wait_us", s.queue_wait_us.summary_json());
         report.set("queue", queue);
 
+        // Per-key visibility: waiting work (from the queue) joined with
+        // cumulative served totals — the fairness view.  A key appears as
+        // soon as it has either.
+        let mut by_key: BTreeMap<String, (Option<&KeyDepth>, KeyServed)> = BTreeMap::new();
+        for d in per_key {
+            by_key.entry(d.key.to_string()).or_insert((None, KeyServed::default())).0 = Some(d);
+        }
+        for (k, v) in &s.per_key {
+            by_key.entry(k.clone()).or_insert((None, KeyServed::default())).1 = *v;
+        }
+        let mut pk = Json::obj();
+        for (k, (d, served)) in by_key {
+            let mut e = Json::obj();
+            e.set("queued_instances", d.map_or(0, |d| d.queued_instances));
+            e.set("waiting_jobs", d.map_or(0, |d| d.waiting_jobs));
+            e.set(
+                "oldest_wait_us",
+                d.and_then(|d| d.oldest_enqueued_us)
+                    .map_or(Json::Null, |t| Json::from(now_us.saturating_sub(t))),
+            );
+            e.set("served_jobs", served.served_jobs);
+            e.set("served_instances", served.served_instances);
+            pk.set(&k, e);
+        }
+        report.set("per_key", pk);
+
+        let mut stages = Json::obj();
+        for (name, h) in s.stages.named() {
+            stages.set(&format!("{name}_us"), h.summary_json());
+        }
+        report.set("stages", stages);
+
         let (hits, compiles) = cache;
         let mut sc = Json::obj();
         sc.set("hits", hits);
@@ -187,11 +291,163 @@ impl ServerStats {
 
         report.json().clone()
     }
+
+    /// Render the live state as Prometheus text exposition (the `metrics`
+    /// protocol verb).
+    ///
+    /// `fsync_us` / `group_batch` come from the journal (empty histograms
+    /// when the server runs without a WAL, so the families are always
+    /// present); `connections` is the live connection gauge and `recorder`
+    /// the flight recorder's `(recorded, overwritten)` event counts.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn render_prometheus(
+        &self,
+        depth: QueueDepth,
+        per_key: &[KeyDepth],
+        now_us: u64,
+        cache: (u64, u64),
+        fsync_us: &Histogram,
+        group_batch: &Histogram,
+        connections: i64,
+        recorder: (u64, u64),
+    ) -> String {
+        let s = self.lock();
+        let mut p = PromText::new();
+
+        p.counter("bulkd_jobs_submitted_total", "Well-formed submit requests.", s.submitted_jobs);
+        p.counter("bulkd_jobs_accepted_total", "Submits that passed admission.", s.accepted_jobs);
+        p.counter("bulkd_jobs_rejected_total", "Submits turned away.", s.rejected_jobs);
+        p.counter("bulkd_jobs_completed_total", "Jobs that finished OK.", s.completed_jobs);
+        p.counter("bulkd_jobs_failed_total", "Jobs whose batch errored.", s.failed_jobs);
+        p.counter(
+            "bulkd_instances_submitted_total",
+            "Problem instances across submits.",
+            s.submitted_instances,
+        );
+        p.counter(
+            "bulkd_instances_completed_total",
+            "Problem instances completed OK.",
+            s.completed_instances,
+        );
+        p.counter("bulkd_protocol_errors_total", "Unparseable request lines.", s.protocol_errors);
+        p.counter("bulkd_batches_total", "Coalesced batches executed.", s.batches);
+
+        p.gauge(
+            "bulkd_queue_depth_instances",
+            "Instances admitted but not yet executed.",
+            depth.queued_instances as f64,
+        );
+        p.gauge("bulkd_queue_open_groups", "Coalescing groups open.", depth.open_groups as f64);
+        p.gauge(
+            "bulkd_queue_ready_batches",
+            "Batches flushed and awaiting a worker.",
+            depth.ready_batches as f64,
+        );
+        p.gauge(
+            "bulkd_queue_in_flight_batches",
+            "Batches currently executing.",
+            depth.in_flight_batches as f64,
+        );
+        p.gauge(
+            "bulkd_queue_draining",
+            "1 while the server refuses new work.",
+            u64::from(depth.draining) as f64,
+        );
+        p.gauge("bulkd_connections_active", "Open client connections.", connections as f64);
+
+        let finished = s.completed_jobs + s.failed_jobs;
+        let factor = if s.batches == 0 { 0.0 } else { finished as f64 / s.batches as f64 };
+        p.gauge("bulkd_coalesce_factor", "Finished jobs per executed batch.", factor);
+
+        let (hits, compiles) = cache;
+        p.counter("bulkd_schedule_cache_hits_total", "Schedule cache hits.", hits);
+        p.counter("bulkd_schedule_cache_compiles_total", "Schedule cache misses.", compiles);
+        let rate = if hits + compiles == 0 { 0.0 } else { hits as f64 / (hits + compiles) as f64 };
+        p.gauge("bulkd_schedule_cache_hit_rate", "Hits over lookups.", rate);
+
+        // Per-key families share the series-building logic with `snapshot`:
+        // union of currently-waiting keys and ever-served keys.
+        let mut by_key: BTreeMap<String, (Option<&KeyDepth>, KeyServed)> = BTreeMap::new();
+        for d in per_key {
+            by_key.entry(d.key.to_string()).or_insert((None, KeyServed::default())).0 = Some(d);
+        }
+        for (k, v) in &s.per_key {
+            by_key.entry(k.clone()).or_insert((None, KeyServed::default())).1 = *v;
+        }
+        let mut queued = Vec::new();
+        let mut waiting = Vec::new();
+        let mut oldest = Vec::new();
+        let mut served_jobs = Vec::new();
+        let mut served_instances = Vec::new();
+        for (k, (d, sv)) in &by_key {
+            queued.push((k.clone(), d.map_or(0, |d| d.queued_instances) as f64));
+            waiting.push((k.clone(), d.map_or(0, |d| d.waiting_jobs) as f64));
+            let age = d.and_then(|d| d.oldest_enqueued_us).map_or(0, |t| now_us.saturating_sub(t));
+            oldest.push((k.clone(), age as f64));
+            served_jobs.push((k.clone(), sv.served_jobs));
+            served_instances.push((k.clone(), sv.served_instances));
+        }
+        p.gauge_vec(
+            "bulkd_key_queued_instances",
+            "Instances waiting, per coalescing key.",
+            "key",
+            &queued,
+        );
+        p.gauge_vec("bulkd_key_waiting_jobs", "Jobs waiting, per coalescing key.", "key", &waiting);
+        p.gauge_vec(
+            "bulkd_key_oldest_wait_us",
+            "Age of the oldest waiting job, per key (0 when idle).",
+            "key",
+            &oldest,
+        );
+        p.counter_vec(
+            "bulkd_key_served_jobs_total",
+            "Jobs completed, per key.",
+            "key",
+            &served_jobs,
+        );
+        p.counter_vec(
+            "bulkd_key_served_instances_total",
+            "Instances completed, per key.",
+            "key",
+            &served_instances,
+        );
+
+        let stage_series: Vec<(String, &Histogram)> =
+            s.stages.named().into_iter().map(|(n, h)| (n.to_string(), h)).collect();
+        p.histogram_vec(
+            "bulkd_stage_latency_us",
+            "Per-stage latency of completed jobs; each stage's mass equals completed jobs.",
+            "stage",
+            &stage_series,
+        );
+        p.histogram("bulkd_queue_wait_us", "Enqueue-to-execution wait per job.", &s.queue_wait_us);
+        p.histogram("bulkd_batch_exec_us", "Batch execution time.", &s.exec_us);
+        p.histogram("bulkd_batch_instances", "Coalesced instances per batch.", &s.batch_p);
+        p.histogram("bulkd_fsync_latency_us", "WAL fsync latency (group-commit leader).", fsync_us);
+        p.histogram(
+            "bulkd_group_commit_batch_size",
+            "Appends covered per group-commit fsync.",
+            group_batch,
+        );
+
+        let (recorded, overwritten) = recorder;
+        p.counter("bulkd_recorder_events_total", "Flight-recorder events written.", recorded);
+        p.counter(
+            "bulkd_recorder_overwritten_total",
+            "Flight-recorder events lost to wraparound.",
+            overwritten,
+        );
+
+        p.finish()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oblivious::Layout;
 
     const IDLE: QueueDepth = QueueDepth {
         queued_instances: 0,
@@ -201,6 +457,21 @@ mod tests {
         draining: false,
     };
 
+    fn key(algo: &str) -> JobKey {
+        JobKey { algo: algo.into(), size: 8, layout: Layout::ColumnWise }
+    }
+
+    fn bd(queue_us: u64) -> StageBreakdown {
+        StageBreakdown {
+            journal_us: 10,
+            queue_us,
+            dispatch_us: 5,
+            exec_us: 200,
+            finalize_us: 3,
+            total_us: 218 + queue_us,
+        }
+    }
+
     #[test]
     fn snapshot_reports_every_section_versioned() {
         let st = ServerStats::new();
@@ -209,9 +480,9 @@ mod tests {
         st.on_submit(1);
         st.on_reject(1);
         st.on_batch(4, 250);
-        st.on_job_done(4, 90, false);
+        st.on_job_done(&key("prefix-sums"), 4, 90, false, &bd(90));
         st.on_protocol_error();
-        let j = st.snapshot(IDLE, (7, 1), None);
+        let j = st.snapshot(IDLE, &[], 0, (7, 1), None);
         assert_eq!(j.path("tool").unwrap().as_str(), Some("bulkd"));
         assert_eq!(j.path("wal.enabled"), Some(&Json::Bool(false)));
         assert_eq!(j.path("schema_version").unwrap().as_i64(), Some(1));
@@ -223,6 +494,10 @@ mod tests {
         assert_eq!(j.path("coalescing.mean_batch_p").unwrap().as_f64(), Some(4.0));
         assert_eq!(j.path("schedule_cache.hit_rate").unwrap().as_f64(), Some(0.875));
         assert_eq!(j.path("queue.queued_instances").unwrap().as_i64(), Some(0));
+        // Per-key and stage sections are present.
+        assert_eq!(j.path("per_key.prefix-sums/8/col.served_jobs").unwrap().as_i64(), Some(1));
+        assert_eq!(j.path("stages.exec_us.total").unwrap().as_i64(), Some(1));
+        assert_eq!(j.path("stages.total_us.total").unwrap().as_i64(), Some(1));
         // The snapshot is a parseable RunReport.
         assert!(RunReport::parse(&j.to_pretty()).is_ok());
     }
@@ -234,18 +509,18 @@ mod tests {
         assert!(st.check_balanced().unwrap_err().contains("submitted_jobs"));
         st.on_accept(1);
         assert!(st.check_balanced().unwrap_err().contains("accepted_jobs"));
-        st.on_job_done(1, 5, false);
+        st.on_job_done(&key("fir"), 1, 5, false, &bd(5));
         st.check_balanced().unwrap();
         // Failed jobs balance too.
         st.on_submit(1);
         st.on_accept(1);
-        st.on_job_done(1, 5, true);
+        st.on_job_done(&key("fir"), 1, 5, true, &bd(5));
         st.check_balanced().unwrap();
     }
 
     #[test]
     fn empty_stats_snapshot_is_null_safe() {
-        let j = ServerStats::new().snapshot(IDLE, (0, 0), None);
+        let j = ServerStats::new().snapshot(IDLE, &[], 0, (0, 0), None);
         assert_eq!(j.path("coalescing.coalesce_factor"), Some(&Json::Null));
         assert_eq!(j.path("schedule_cache.hit_rate"), Some(&Json::Null));
     }
@@ -255,8 +530,79 @@ mod tests {
         let mut w = Json::obj();
         w.set("enabled", true);
         w.set("log_submits", 3u64);
-        let j = ServerStats::new().snapshot(IDLE, (0, 0), Some(w));
+        let j = ServerStats::new().snapshot(IDLE, &[], 0, (0, 0), Some(w));
         assert_eq!(j.path("wal.enabled"), Some(&Json::Bool(true)));
         assert_eq!(j.path("wal.log_submits").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn per_key_section_joins_waiting_and_served_views() {
+        let st = ServerStats::new();
+        // "fir" has only served history; "hot" has only waiting work.
+        st.on_job_done(&key("fir"), 3, 10, false, &bd(10));
+        st.on_job_done(&key("fir"), 2, 20, false, &bd(20));
+        let waiting = [KeyDepth {
+            key: key("hot"),
+            queued_instances: 6,
+            waiting_jobs: 2,
+            oldest_enqueued_us: Some(1_000),
+        }];
+        let j = st.snapshot(IDLE, &waiting, 5_000, (0, 0), None);
+        assert_eq!(j.path("per_key.fir/8/col.served_jobs").unwrap().as_i64(), Some(2));
+        assert_eq!(j.path("per_key.fir/8/col.served_instances").unwrap().as_i64(), Some(5));
+        assert_eq!(j.path("per_key.fir/8/col.queued_instances").unwrap().as_i64(), Some(0));
+        assert_eq!(j.path("per_key.fir/8/col.oldest_wait_us"), Some(&Json::Null));
+        assert_eq!(j.path("per_key.hot/8/col.queued_instances").unwrap().as_i64(), Some(6));
+        assert_eq!(j.path("per_key.hot/8/col.waiting_jobs").unwrap().as_i64(), Some(2));
+        assert_eq!(j.path("per_key.hot/8/col.oldest_wait_us").unwrap().as_i64(), Some(4_000));
+        assert_eq!(j.path("per_key.hot/8/col.served_jobs").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn failed_jobs_do_not_enter_stage_histograms_or_served_totals() {
+        let st = ServerStats::new();
+        st.on_job_done(&key("fir"), 1, 5, false, &bd(5));
+        st.on_job_done(&key("fir"), 1, 7, true, &bd(7));
+        let j = st.snapshot(IDLE, &[], 0, (0, 0), None);
+        // Stage mass equals completed (not finished) jobs — the invariant
+        // the CI metrics scrape asserts.
+        assert_eq!(j.path("stages.total_us.total").unwrap().as_i64(), Some(1));
+        assert_eq!(j.path("per_key.fir/8/col.served_jobs").unwrap().as_i64(), Some(1));
+        // Queue wait records both outcomes.
+        assert_eq!(j.path("queue.queue_wait_us.total").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn prometheus_rendering_exposes_all_families() {
+        let st = ServerStats::new();
+        st.on_submit(2);
+        st.on_accept(2);
+        st.on_batch(2, 300);
+        st.on_job_done(&key("prefix-sums"), 1, 40, false, &bd(40));
+        st.on_job_done(&key("prefix-sums"), 1, 60, false, &bd(60));
+        let fsync = Histogram::new();
+        let gc = Histogram::new();
+        let text = st.render_prometheus(IDLE, &[], 0, (3, 1), &fsync, &gc, 2, (10, 0));
+        assert!(text.contains("\nbulkd_jobs_completed_total 2\n"), "{text}");
+        assert!(text.contains("\nbulkd_connections_active 2\n"), "{text}");
+        assert!(text.contains("\nbulkd_schedule_cache_hit_rate 0.75\n"), "{text}");
+        assert!(
+            text.contains("bulkd_key_served_jobs_total{key=\"prefix-sums/8/col\"} 2"),
+            "{text}"
+        );
+        // Stage-latency mass equals completed jobs, for every stage.
+        for stage in ["journal", "queue", "dispatch", "exec", "finalize", "total"] {
+            let needle = format!("bulkd_stage_latency_us_count{{stage=\"{stage}\"}} 2");
+            assert!(text.contains(&needle), "missing {needle} in:\n{text}");
+        }
+        // WAL-off servers still expose the fsync families (empty).
+        assert!(text.contains("\nbulkd_fsync_latency_us_count 0\n"), "{text}");
+        assert!(text.contains("\nbulkd_group_commit_batch_size_count 0\n"), "{text}");
+        assert!(text.contains("\nbulkd_recorder_events_total 10\n"), "{text}");
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "bad line: {line}");
+        }
     }
 }

@@ -24,10 +24,12 @@ fn gen_word(rng: &mut Rng) -> u64 {
 }
 
 fn gen_request(rng: &mut Rng) -> Request {
-    match rng.range_u64(0, 6) {
+    match rng.range_u64(0, 8) {
         0 => Request::Status,
         1 => Request::Stats,
         2 => Request::Drain,
+        3 => Request::Metrics,
+        4 => Request::Dump,
         _ => {
             let algo_pool = ["prefix-sums", "sort", "x", "a-b-c", "transpose32"];
             let algo = algo_pool[rng.range_u64(0, algo_pool.len() as u64) as usize].to_string();
@@ -44,7 +46,8 @@ fn gen_request(rng: &mut Rng) -> Request {
                     (0..words).map(|_| gen_word(rng)).collect()
                 })
                 .collect();
-            Request::Submit { key: JobKey { algo, size, layout }, inputs }
+            let timing = rng.range_u64(0, 2) == 1;
+            Request::Submit { key: JobKey { algo, size, layout }, inputs, timing }
         }
     }
 }
@@ -85,7 +88,21 @@ fn responses_round_trip_through_the_json_layer() {
         let outputs: Vec<Vec<u64>> = (0..rng.range_u64(0, 4))
             .map(|_| (0..rng.range_u64(0, 4)).map(|_| gen_word(&mut rng)).collect())
             .collect();
-        let r = resp_outputs(&outputs, rng.range_u64(1, 256) as usize, rng.next_u64() >> 40, 17);
+        let timing = if rng.range_u64(0, 2) == 1 {
+            let mut t = Json::obj();
+            t.set("queue_us", rng.next_u64() >> 40);
+            t.set("exec_us", rng.next_u64() >> 40);
+            Some(t)
+        } else {
+            None
+        };
+        let r = resp_outputs(
+            &outputs,
+            rng.range_u64(1, 256) as usize,
+            rng.next_u64() >> 40,
+            17,
+            timing,
+        );
         let parsed = Json::parse(&r.to_compact()).expect("response must be valid JSON");
         assert_eq!(parsed, r, "response changed across a JSON round-trip");
         assert_eq!(parsed.path("ok"), Some(&Json::Bool(true)));

@@ -113,10 +113,26 @@ pub enum Command {
         fsync: FsyncPolicy,
         /// WAL segment rotation threshold in bytes.
         wal_segment_bytes: u64,
+        /// Flight-recorder dump path (Chrome trace + `.txt` tail).
+        recorder: Option<String>,
+        /// Record per-stage trace events (`--no-instrument` disables).
+        instrument: bool,
     },
     /// `bulkrun drain [--addr A]` — drain a server and print its final
     /// stats snapshot as pure JSON.
     Drain {
+        /// Server address.
+        addr: String,
+    },
+    /// `bulkrun metrics [--addr A]` — print the server's live counters,
+    /// gauges and histograms in Prometheus text exposition format.
+    Metrics {
+        /// Server address.
+        addr: String,
+    },
+    /// `bulkrun dump [--addr A]` — ask the server to dump its flight
+    /// recorder and print the event tail.
+    Dump {
         /// Server address.
         addr: String,
     },
@@ -135,6 +151,8 @@ pub enum Command {
         count: usize,
         /// Seed for deterministic input generation.
         seed: u64,
+        /// Ask the server to echo the per-stage timing breakdown.
+        timing: bool,
     },
     /// `bulkrun loadgen <algo> [--size N] [--layout row|col] [--addr A]
     /// [--clients C] [--duration-ms MS] [--instances N] [--seed S]
@@ -160,6 +178,13 @@ pub enum Command {
         report: Option<String>,
         /// Send `drain` when done (shuts the server down).
         drain_after: bool,
+        /// Request per-stage timing on every submit so the report can
+        /// split latency into queue-wait vs service time
+        /// (`--no-timing` disables, for overhead baselines).
+        timing: bool,
+        /// Skewed scenario: most clients hammer one key while a minority
+        /// submits a cold key, to exercise the per-key stats.
+        hot_key: bool,
     },
     /// `bulkrun sim [--seeds N] [--seed0 S] [--clients C] [--workers W]
     /// [--jobs J] [--replay SEED] [--crash-at K] [--report PATH]`
@@ -231,20 +256,31 @@ USAGE:
                        [--fsync POLICY]          survive kill -9 and re-run on
                        [--wal-segment-bytes B]   restart (policy: always,
                                                  every-n=N, every-ms=MS)
+                       [--recorder PATH]         flight-recorder dump target
+                                                 (Chrome trace + .txt tail,
+                                                 written on panic/drain/dump)
+                       [--no-instrument]         disable stage-event recording
   bulkrun drain        [--addr A]                drain a server; print its final
                                                  stats snapshot as JSON
+  bulkrun metrics      [--addr A]                scrape live counters/gauges/
+                                                 histograms as Prometheus text
+  bulkrun dump         [--addr A]                dump the flight recorder now;
+                                                 print the event tail
   bulkrun submit <algo> [--size N]               submit instances to a server
                        [--layout row|col]        and wait for the batch
                        [--addr A] [--count C]
                        [--seed S]
+                       [--timing]                echo the per-stage breakdown
   bulkrun loadgen <algo> [--size N]              closed-loop load generator:
                        [--layout row|col]        throughput + latency quantiles
                        [--addr A] [--clients C]  (report embeds the server's
-                       [--duration-ms MS]        stats snapshot)
-                       [--instances N]
-                       [--seed S]                reproducible per-client RNGs
+                       [--duration-ms MS]        stats snapshot and splits
+                       [--instances N]           latency into queue-wait vs
+                       [--seed S]                service time)
                        [--report PATH]
                        [--drain-after]           drain the server when done
+                       [--no-timing]             skip per-stage timing echoes
+                       [--hot-key]               skewed per-key scenario
   bulkrun sim          [--seeds N] [--seed0 S]   deterministic simulation: run
                        [--clients C]             the daemon single-threaded on
                        [--workers W] [--jobs J]  a virtual clock, exploring N
@@ -387,6 +423,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--wal-dir",
                     "--fsync",
                     "--wal-segment-bytes",
+                    "--recorder",
+                    "--no-instrument",
                 ],
             )?;
             let workers = parse_flag(rest, "--workers")?.unwrap_or(4);
@@ -425,12 +463,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 wal_dir,
                 fsync,
                 wal_segment_bytes,
+                recorder: parse_string_flag(rest, "--recorder")?,
+                instrument: !rest.iter().any(|a| a == "--no-instrument"),
             })
         }
         "drain" => {
             let rest = &args[1..];
             reject_unknown(rest, &["--addr"])?;
             Ok(Command::Drain {
+                addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+            })
+        }
+        "metrics" => {
+            let rest = &args[1..];
+            reject_unknown(rest, &["--addr"])?;
+            Ok(Command::Metrics {
+                addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+            })
+        }
+        "dump" => {
+            let rest = &args[1..];
+            reject_unknown(rest, &["--addr"])?;
+            Ok(Command::Dump {
                 addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
             })
         }
@@ -441,7 +495,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .ok_or("submit needs an algorithm name")?
                 .clone();
             let rest = &args[2..];
-            reject_unknown(rest, &["--size", "--layout", "--addr", "--count", "--seed"])?;
+            reject_unknown(
+                rest,
+                &["--size", "--layout", "--addr", "--count", "--seed", "--timing"],
+            )?;
             let count = parse_flag(rest, "--count")?.unwrap_or(1);
             if count == 0 {
                 return Err("--count must be positive".into());
@@ -453,6 +510,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
                 count,
                 seed: parse_flag(rest, "--seed")?.unwrap_or(crate::RUN_SEED as usize) as u64,
+                timing: rest.iter().any(|a| a == "--timing"),
             })
         }
         "loadgen" => {
@@ -474,6 +532,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--seed",
                     "--report",
                     "--drain-after",
+                    "--no-timing",
+                    "--hot-key",
                 ],
             )?;
             let clients = parse_flag(rest, "--clients")?.unwrap_or(32);
@@ -492,6 +552,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 seed: parse_flag(rest, "--seed")?.unwrap_or(crate::RUN_SEED as usize) as u64,
                 report: parse_string_flag(rest, "--report")?,
                 drain_after: rest.iter().any(|a| a == "--drain-after"),
+                timing: !rest.iter().any(|a| a == "--no-timing"),
+                hot_key: rest.iter().any(|a| a == "--hot-key"),
             })
         }
         "sim" => {
@@ -764,6 +826,8 @@ mod tests {
                 wal_dir: None,
                 fsync: FsyncPolicy::Always,
                 wal_segment_bytes: 4 << 20,
+                recorder: None,
+                instrument: true,
             }
         );
         let c = parse(&argv(
@@ -784,6 +848,8 @@ mod tests {
                 wal_dir: None,
                 fsync: FsyncPolicy::Always,
                 wal_segment_bytes: 4 << 20,
+                recorder: None,
+                instrument: true,
             }
         );
         assert!(parse(&argv("serve --workers 0")).unwrap_err().contains("positive"));
@@ -828,6 +894,37 @@ mod tests {
     }
 
     #[test]
+    fn metrics_and_dump_parse() {
+        assert_eq!(
+            parse(&argv("metrics")).unwrap(),
+            Command::Metrics { addr: DEFAULT_ADDR.into() }
+        );
+        assert_eq!(
+            parse(&argv("metrics --addr 127.0.0.1:9")).unwrap(),
+            Command::Metrics { addr: "127.0.0.1:9".into() }
+        );
+        assert_eq!(parse(&argv("dump")).unwrap(), Command::Dump { addr: DEFAULT_ADDR.into() });
+        assert_eq!(
+            parse(&argv("dump --addr 127.0.0.1:9")).unwrap(),
+            Command::Dump { addr: "127.0.0.1:9".into() }
+        );
+        assert!(parse(&argv("metrics --p 4")).unwrap_err().contains("--p"));
+        assert!(parse(&argv("dump --p 4")).unwrap_err().contains("--p"));
+    }
+
+    #[test]
+    fn serve_recorder_and_instrument_flags() {
+        match parse(&argv("serve --recorder /tmp/flight.json --no-instrument")).unwrap() {
+            Command::Serve { recorder, instrument, .. } => {
+                assert_eq!(recorder.as_deref(), Some("/tmp/flight.json"));
+                assert!(!instrument);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("serve --recorder")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
     fn submit_parses_with_defaults() {
         let c = parse(&argv("submit prefix-sums")).unwrap();
         assert_eq!(
@@ -839,12 +936,15 @@ mod tests {
                 addr: DEFAULT_ADDR.into(),
                 count: 1,
                 seed: crate::RUN_SEED,
+                timing: false,
             }
         );
-        let c = parse(&argv("submit fir --size 16 --layout row --count 8 --seed 7")).unwrap();
+        let c =
+            parse(&argv("submit fir --size 16 --layout row --count 8 --seed 7 --timing")).unwrap();
         match c {
-            Command::Submit { size, layout, count, seed, .. } => {
+            Command::Submit { size, layout, count, seed, timing, .. } => {
                 assert_eq!((size, layout, count, seed), (Some(16), Layout::RowWise, 8, 7));
+                assert!(timing);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -869,11 +969,13 @@ mod tests {
                 seed: crate::RUN_SEED,
                 report: None,
                 drain_after: false,
+                timing: true,
+                hot_key: false,
             }
         );
         let c = parse(&argv(
             "loadgen opt --size 8 --clients 4 --duration-ms 250 --instances 2 --seed 99 \
-             --report r.json --drain-after",
+             --report r.json --drain-after --no-timing --hot-key",
         ))
         .unwrap();
         match c {
@@ -884,11 +986,15 @@ mod tests {
                 seed,
                 report,
                 drain_after,
+                timing,
+                hot_key,
                 ..
             } => {
                 assert_eq!((clients, duration_ms, instances_per_submit, seed), (4, 250, 2, 99));
                 assert_eq!(report.as_deref(), Some("r.json"));
                 assert!(drain_after);
+                assert!(!timing, "--no-timing must turn the per-stage echo off");
+                assert!(hot_key);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -245,6 +245,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             wal_dir,
             fsync,
             wal_segment_bytes,
+            recorder,
+            instrument,
         } => {
             let executor = serve::CatalogExecutor::new(*shards);
             let cfg = bulkd::ServerConfig {
@@ -259,6 +261,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     fsync: *fsync,
                     segment_bytes: *wal_segment_bytes,
                 }),
+                instrument: *instrument,
+                recorder_path: recorder.as_ref().map(std::path::PathBuf::from),
             };
             let snapshot = bulkd::serve(&cfg, Box::new(executor), |bound| {
                 // The one line the harness (tests, CI scripts) scrapes for
@@ -272,6 +276,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             if let Some(path) = trace {
                 out.push_str(&format!("trace: wrote {path}\n"));
             }
+            if let Some(path) = recorder {
+                out.push_str(&format!("flight recorder: wrote {path}\n"));
+            }
         }
         Command::Drain { addr } => {
             let mut client =
@@ -282,13 +289,37 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             out.push_str(&snap.to_pretty());
             out.push('\n');
         }
-        Command::Submit { algo, size, layout, addr, count, seed } => {
+        Command::Metrics { addr } => {
+            let mut client =
+                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let text = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+            // Raw Prometheus text exposition on stdout: pipe it into
+            // promtool, a scraper, or the CI assertion script unchanged.
+            out.push_str(&text);
+        }
+        Command::Dump { addr } => {
+            let mut client =
+                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let j = client.dump().map_err(|e| format!("dump: {e}"))?;
+            let recorded = j.path("recorded").and_then(obs::Json::as_i64).unwrap_or(0);
+            let overwritten = j.path("overwritten").and_then(obs::Json::as_i64).unwrap_or(0);
+            out.push_str(&format!(
+                "flight recorder: {recorded} events recorded, {overwritten} overwritten\n"
+            ));
+            if let Some(path) = j.path("path").and_then(obs::Json::as_str) {
+                out.push_str(&format!("  dumped to {path} (+ .txt tail)\n"));
+            }
+            if let Some(tail) = j.path("tail").and_then(obs::Json::as_str) {
+                out.push_str(tail);
+            }
+        }
+        Command::Submit { algo, size, layout, addr, count, seed, timing } => {
             let a = Algo::parse(algo, *size)?;
             let key = bulkd::JobKey { algo: algo.clone(), size: a.size_param(), layout: *layout };
             let inputs = a.random_inputs_bits(*seed, *count);
             let mut client =
                 bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-            let ok = client.submit(&key, &inputs).map_err(|e| format!("submit: {e}"))?;
+            let ok = client.submit(&key, &inputs, *timing).map_err(|e| format!("submit: {e}"))?;
             out.push_str(&format!(
                 "{key}: {} instance(s) rode a batch of p = {} \
                  (queued {} us, executed in {} us)\n",
@@ -297,6 +328,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 ok.queue_us,
                 ok.exec_us
             ));
+            if let Some(t) = &ok.timing {
+                out.push_str(&format!("  stage breakdown: {}\n", t.to_compact()));
+            }
         }
         Command::Loadgen {
             algo,
@@ -309,6 +343,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             seed,
             report,
             drain_after,
+            timing,
+            hot_key,
         } => {
             let a = Algo::parse(algo, *size)?;
             let cfg = bulkd::LoadgenConfig {
@@ -318,6 +354,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 key: bulkd::JobKey { algo: algo.clone(), size: a.size_param(), layout: *layout },
                 instances_per_submit: *instances_per_submit,
                 seed: *seed,
+                timing: *timing,
+                hot_key: *hot_key,
             };
             let pool = a.random_inputs_bits(RUN_SEED, 64.max(*instances_per_submit));
             let rep = bulkd::run_loadgen(&cfg, &pool)?;
@@ -355,6 +393,15 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 rep.latency_us.quantile(0.99).unwrap_or(0),
                 rep.batch_p.mean()
             ));
+            if *timing {
+                out.push_str(&format!(
+                    "  queue-wait p50/p99: {} / {} us; service p50/p99: {} / {} us\n",
+                    rep.queue_wait_us.quantile(0.5).unwrap_or(0),
+                    rep.queue_wait_us.quantile(0.99).unwrap_or(0),
+                    rep.service_us.quantile(0.5).unwrap_or(0),
+                    rep.service_us.quantile(0.99).unwrap_or(0)
+                ));
+            }
             if let Some(path) = report {
                 let mut j = rep.to_json(&cfg);
                 j.set("server", server_stats);

@@ -31,6 +31,8 @@ fn start_server(
         flush_after_ms,
         trace_path: None,
         wal: None,
+        instrument: true,
+        recorder_path: None,
     };
     let (tx, rx) = mpsc::channel();
     let handle = std::thread::spawn(move || {
@@ -75,7 +77,7 @@ fn coalesces_single_instance_submits_compiles_once_and_matches_direct() {
                     for j in 0..PER_CLIENT {
                         let i = c * PER_CLIENT + j;
                         let one = std::slice::from_ref(&inputs[i]);
-                        let ok = client.submit(key, one).expect("submit");
+                        let ok = client.submit(key, one, false).expect("submit");
                         assert_eq!(ok.outputs.len(), 1);
                         batch_p_sum.fetch_add(ok.batch_p, Ordering::Relaxed);
                         outs.push(ok.outputs.into_iter().next().unwrap());
@@ -140,7 +142,7 @@ fn over_limit_submit_is_rejected_promptly_with_overloaded() {
 
     let mut client = bulkd::Client::connect(&addr).expect("connect");
     let t0 = Instant::now();
-    match client.submit(&key, &inputs) {
+    match client.submit(&key, &inputs, false) {
         Err(bulkd::ClientError::Overloaded { retry_after_ms }) => {
             assert!(retry_after_ms >= 1);
         }
@@ -155,7 +157,7 @@ fn over_limit_submit_is_rejected_promptly_with_overloaded() {
         let key = key.clone();
         std::thread::spawn(move || {
             let mut c = bulkd::Client::connect(&addr).expect("connect");
-            c.submit(&key, &small).expect("in-limit submit")
+            c.submit(&key, &small, false).expect("in-limit submit")
         })
     };
     // Give the submit time to enqueue, then drain: the pending group must
@@ -182,13 +184,21 @@ fn drain_completes_accepted_work_and_rejects_new_submits() {
 
     let mut client = bulkd::Client::connect(&addr).expect("connect");
     let inputs = algo.random_inputs_bits(9, 6);
-    let ok = client.submit(&key, &inputs).expect("pre-drain submit");
+    let ok = client.submit(&key, &inputs, true).expect("pre-drain submit");
     assert_eq!(ok.outputs, direct);
+    // `"timing": true` echoes the per-stage breakdown with the reply.
+    let timing = ok.timing.expect("timing echo was requested");
+    for stage in ["journal_us", "queue_us", "dispatch_us", "exec_us", "finalize_us", "total_us"] {
+        assert!(timing.path(stage).is_some(), "timing echo lacks {stage}: {timing:?}");
+    }
+    let total = timing.path("total_us").unwrap().as_i64().unwrap();
+    let exec = timing.path("exec_us").unwrap().as_i64().unwrap();
+    assert!(total >= exec, "total {total} < exec {exec}");
 
     let final_stats = drain_and_join(&addr, server);
 
     // The old connection outlives the accept loop; its submits now bounce.
-    match client.submit(&key, &inputs) {
+    match client.submit(&key, &inputs, false) {
         Err(bulkd::ClientError::Rejected { kind, .. }) => assert_eq!(kind, "draining"),
         other => panic!("expected a draining rejection, got {other:?}"),
     }
@@ -257,7 +267,7 @@ fn zero_instance_and_out_of_range_submits_bounce_structurally() {
         let key = key.clone();
         std::thread::spawn(move || {
             let mut c = bulkd::Client::connect(&addr).expect("connect");
-            c.submit(&key, &inputs).expect("valid submit")
+            c.submit(&key, &inputs, false).expect("valid submit")
         })
     };
     std::thread::sleep(Duration::from_millis(100));
@@ -296,4 +306,96 @@ fn protocol_errors_are_structured_and_nonfatal() {
 
     let final_stats = drain_and_join(&addr, server);
     assert_eq!(final_stats.path("admission.protocol_errors").unwrap().as_i64(), Some(1));
+}
+
+/// Observability verbs end-to-end: after serving real jobs, `metrics`
+/// renders Prometheus text whose stage-histogram mass equals the number of
+/// completed jobs, `dump` returns a readable event tail, the `stats`
+/// snapshot carries a per-key section, and the flight-recorder dump file
+/// is valid Chrome-trace JSON after drain.
+#[test]
+fn metrics_dump_and_per_key_sections_reflect_served_work() {
+    let dir = std::env::temp_dir().join(format!("bulkd-obs-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let recorder = dir.join("flight.json");
+
+    let executor = CatalogExecutor::new(1);
+    let cfg = bulkd::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_batch: 64,
+        max_queue: 1024,
+        flush_after_ms: 5,
+        trace_path: None,
+        wal: None,
+        instrument: true,
+        recorder_path: Some(recorder.clone()),
+    };
+    let (tx, rx) = mpsc::channel();
+    let server = std::thread::spawn(move || {
+        bulkd::serve(&cfg, Box::new(executor), move |addr| {
+            tx.send(addr).expect("addr channel");
+        })
+    });
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("server ready").to_string();
+
+    let algo = Algo::parse("prefix-sums", Some(64)).unwrap();
+    let hot = bulkd::JobKey {
+        algo: "prefix-sums".into(),
+        size: 64,
+        layout: oblivious::Layout::ColumnWise,
+    };
+    let cold = bulkd::cold_key(&hot);
+    const JOBS: usize = 8;
+    let mut client = bulkd::Client::connect(&addr).expect("connect");
+    for i in 0..JOBS {
+        let inputs = algo.random_inputs_bits(i as u64, 1);
+        let key = if i % 4 == 3 { &cold } else { &hot };
+        client.submit(key, &inputs, false).expect("submit");
+    }
+
+    // Per-key stats: both keys show up with their served totals.
+    let stats = client.stats().expect("stats");
+    let hot_jobs = stats.path(&format!("per_key.{hot}.served_jobs"));
+    let cold_jobs = stats.path(&format!("per_key.{cold}.served_jobs"));
+    assert_eq!(hot_jobs.and_then(Json::as_i64), Some(6), "{}", stats.to_pretty());
+    assert_eq!(cold_jobs.and_then(Json::as_i64), Some(2), "{}", stats.to_pretty());
+
+    // Prometheus text: stage-histogram mass == completed jobs, per-key
+    // families carry the key label.
+    let text = client.metrics().expect("metrics");
+    assert!(text.contains("# TYPE bulkd_stage_latency_us histogram"), "{text}");
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("bulkd_stage_latency_us_count{stage=\"total\"}") {
+            assert_eq!(rest.trim().parse::<u64>().unwrap(), JOBS as u64, "{line}");
+        }
+    }
+    assert!(
+        text.contains("bulkd_stage_latency_us_count{stage=\"total\"}"),
+        "no total-stage histogram in:\n{text}"
+    );
+    assert!(text.contains(&format!("key=\"{hot}\"")), "{text}");
+    assert!(
+        text.lines().any(
+            |l| l.starts_with("bulkd_jobs_completed_total") && l.ends_with(&format!(" {JOBS}"))
+        ),
+        "{text}"
+    );
+
+    // Dump verb: live flight-recorder tail mentions the stage events.
+    let dump = client.dump().expect("dump");
+    assert!(dump.path("recorded").unwrap().as_i64().unwrap() > 0, "{}", dump.to_pretty());
+    let tail = dump.path("tail").unwrap().as_str().unwrap();
+    for stage in ["accepted", "enqueued", "executed", "reply_written"] {
+        assert!(tail.contains(stage), "dump tail lacks {stage}:\n{tail}");
+    }
+
+    drain_and_join(&addr, server);
+
+    // Drain wrote the recorder files; the Chrome trace parses as JSON.
+    let trace_text = std::fs::read_to_string(&recorder).expect("recorder file exists");
+    let trace = Json::parse(&trace_text).expect("recorder dump is valid JSON");
+    assert!(!trace.path("traceEvents").unwrap().as_arr().unwrap().is_empty(), "empty chrome trace");
+    assert!(recorder.with_extension("txt").exists(), "text tail missing");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -180,7 +180,7 @@ fn killed_server_recovers_every_acked_job_exactly_once_bit_identically() {
                 size: 32,
                 layout: oblivious::Layout::ColumnWise,
             };
-            bulkd::Client::connect(&addr).expect("connect").submit(&key, &inputs)
+            bulkd::Client::connect(&addr).expect("connect").submit(&key, &inputs, false)
         })
     };
     poll_stats(&addr, Duration::from_secs(30), |s| {
@@ -199,7 +199,7 @@ fn killed_server_recovers_every_acked_job_exactly_once_bit_identically() {
                         return;
                     }
                     let one = std::slice::from_ref(&pool[i]);
-                    match client.submit(key16, one) {
+                    match client.submit(key16, one, false) {
                         Ok(ok) => {
                             let out = ok.outputs.into_iter().next().unwrap();
                             acked.lock().unwrap().insert(pool[i].clone(), out);
@@ -281,7 +281,10 @@ fn killed_server_recovers_every_acked_job_exactly_once_bit_identically() {
     }
     // New work lands above the old ids and completes.
     let fresh = algo.random_inputs_bits(99, 1);
-    let ok = bulkd::Client::connect(&addr).expect("connect").submit(&key16, &fresh).expect("fresh");
+    let ok = bulkd::Client::connect(&addr)
+        .expect("connect")
+        .submit(&key16, &fresh, false)
+        .expect("fresh");
     assert_eq!(ok.outputs, algo.run_cached_bits(&caches, oblivious::Layout::ColumnWise, &fresh, 1));
 
     // Drain: the checkpoint must shrink the log to one segment holding
@@ -364,6 +367,8 @@ fn bit_flipped_segment_truncates_reported_not_panics() {
             fsync: wal::FsyncPolicy::Always,
             segment_bytes: 4 << 20,
         }),
+        instrument: true,
+        recorder_path: None,
     };
     let (tx, rx) = std::sync::mpsc::channel();
     let server = std::thread::spawn(move || {

@@ -5,8 +5,13 @@
 //! binaries) reports what it did through this crate:
 //!
 //! * [`Counters`] — named monotone event counts;
+//! * [`Gauge`] — an atomic instantaneous level (queue depth, in-flight
+//!   batches) shared across threads;
 //! * [`Histogram`] — sparse integer-valued distributions (e.g. distinct
 //!   address groups per dispatched warp);
+//! * [`Ring`] — a bounded, lock-light flight-recorder ring of structured
+//!   stage events, dumped on panic/drain/demand;
+//! * [`prom`] — Prometheus text exposition rendering over the above;
 //! * [`Spans`] — named wall-clock span accumulation;
 //! * [`RunReport`] — an ordered, structured report serialized as JSON;
 //! * [`Json`] — a dependency-free JSON value with writer *and* parser, so
@@ -32,13 +37,17 @@
 pub mod diff;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod report;
+pub mod ring;
 pub mod rng;
 pub mod trace;
 
 pub use json::Json;
-pub use metrics::{Counters, Histogram, Spans};
+pub use metrics::{Counters, Gauge, Histogram, Spans};
+pub use prom::PromText;
 pub use report::RunReport;
+pub use ring::{Ring, RingEvent};
 pub use rng::Rng;
 pub use trace::Tracer;
 

@@ -1,7 +1,8 @@
-//! Counters, histograms, and wall-clock span accumulation.
+//! Counters, gauges, histograms, and wall-clock span accumulation.
 
 use crate::json::Json;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Named monotone event counters, in first-touch order.
@@ -55,6 +56,41 @@ impl Counters {
             obj.set(k, *v);
         }
         obj
+    }
+}
+
+/// An instantaneous level that can move both ways — queue depth, open
+/// groups, in-flight batches.  Unlike [`Counters`] it is atomic and
+/// shared: producers and consumers on different threads update it
+/// lock-free, and a metrics scrape reads it without stopping the world.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the level outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the level by `delta` (negative to decrease).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
     }
 }
 
@@ -329,6 +365,28 @@ mod tests {
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.to_json().get("max"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        g.add(1);
+                        g.add(-1);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), -7, "balanced concurrent updates must cancel");
     }
 
     #[test]

@@ -32,9 +32,12 @@ pub mod trace;
 
 use bulkd::clock::{Clock, Scheduler, SimScheduler, VirtualClock};
 use bulkd::journal::{complete_payload, submit_payload, REC_COMPLETE, REC_SUBMIT};
-use bulkd::queue::{CoalescingQueue, Job, JobDone, JobReply, QueueConfig, SubmitError, TryNext};
+use bulkd::queue::{
+    CoalescingQueue, Job, JobDone, JobReply, QueueConfig, StageBreakdown, StageStamps, SubmitError,
+    TryNext,
+};
 use bulkd::{JobKey, ServerStats};
-use obs::{Json, Rng};
+use obs::{Json, Ring, Rng};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
@@ -118,6 +121,11 @@ pub struct RunOutcome {
     pub append_sync_floor: Vec<u64>,
     /// Job ids acknowledged to clients, in ack order.
     pub acked: Vec<u64>,
+    /// The flight-recorder event stream (one [`obs::RingEvent`] text line
+    /// per stage event, in stamp order) — recorded on the virtual clock
+    /// with the daemon's stage names, so it is bit-identical across runs
+    /// and replays of the same seed.
+    pub events: String,
     /// Crash recovery report when a [`CrashPlan`] was active.
     pub crash: Option<CrashOutcome>,
     /// Scheduler decisions taken (a cost proxy).
@@ -244,6 +252,9 @@ const WORDS_PER_INSTANCE: usize = 2;
 /// Hard cap on scheduler decisions — a livelock backstop far above any
 /// legitimate run of the default world sizes.
 const STEP_LIMIT: u64 = 1_000_000;
+/// Flight-recorder capacity: ample for the default world sizes, so no
+/// run loses events to wraparound and the stream stays comparable.
+const SIM_RING_CAPACITY: usize = 65_536;
 
 struct World {
     cfg: SimConfig,
@@ -252,6 +263,10 @@ struct World {
     queue: CoalescingQueue,
     stats: ServerStats,
     wal: SimWal,
+    /// The same flight recorder the real server writes, fed from the
+    /// virtual clock — track 0 is the submit path, workers are 1-based,
+    /// mirroring `bulkd::server`.
+    ring: Ring,
     clients: Vec<ClientState>,
     workers: Vec<WorkerState>,
     owner: BTreeMap<u64, usize>,
@@ -299,6 +314,7 @@ impl World {
             queue,
             stats: ServerStats::new(),
             wal: SimWal::new(),
+            ring: Ring::with_capacity(SIM_RING_CAPACITY),
             clients,
             workers,
             owner: BTreeMap::new(),
@@ -437,6 +453,10 @@ impl World {
         };
         let id = self.next_job_id;
         self.next_job_id += 1;
+        // Trace context: the same stage events the real server records,
+        // stamped on the virtual clock (track 0 = the submit path).
+        let accepted_us = self.clock.now_us();
+        self.ring.record(accepted_us, 0, "accepted", id, n as i64);
         let payload = {
             let p = self.clients[idx].pending.as_ref().expect("pending drawn above");
             submit_payload(id, &p.key, &p.inputs)
@@ -446,13 +466,18 @@ impl World {
             return Ok(());
         }
         self.wal.sync();
+        let journaled_us = self.clock.now_us();
+        self.ring.record(journaled_us, 0, "journaled", id, 0);
         let (key, inputs) = {
             let p = self.clients[idx].pending.as_ref().expect("pending drawn above");
             (p.key.clone(), p.inputs.clone())
         };
         let (tx, rx) = mpsc::channel();
         let enqueued_us = self.clock.now_us();
-        self.queue.enqueue(adm, key, Job { id, inputs, enqueued_us, reply: tx });
+        let mut queued = Job::new(id, inputs, enqueued_us, tx);
+        queued.stages = StageStamps { accepted_us, journaled_us, assembled_us: 0 };
+        self.queue.enqueue(adm, key, queued);
+        self.ring.record(enqueued_us, 0, "enqueued", id, 0);
         self.stats.on_accept(n as u64);
         self.owner.insert(id, idx);
         let c = &mut self.clients[idx];
@@ -483,6 +508,8 @@ impl World {
                 return Err(format!("job {id}: outputs do not match the executor function"));
             }
         }
+        let total = done.breakdown.as_ref().map_or(0, |b| b.total_us as i64);
+        self.ring.record(self.clock.now_us(), 0, "reply_written", id, total);
         self.acked.push(id);
         let next = job + 1;
         let c = &mut self.clients[idx];
@@ -505,11 +532,22 @@ impl World {
         match self.queue.try_next_batch() {
             TryNext::Batch(batch) => {
                 self.workers[idx].blocked = None;
+                let track = idx as u32 + 1;
                 let t0 = self.clock.now_us();
                 let p = batch.instances();
+                for job in &batch.jobs {
+                    self.ring.record(
+                        job.stages.assembled_us,
+                        track,
+                        "assembled",
+                        job.id,
+                        job.inputs.len() as i64,
+                    );
+                }
                 // Deterministic virtual execution cost.
                 let exec_us = 20 + 5 * p as u64;
                 self.clock.advance(exec_us);
+                self.ring.record(self.clock.now_us(), track, "executed", 0, p as i64);
                 self.stats.on_batch(p as u64, exec_us);
                 // Group commit: append every completion unsynced, then one
                 // fsync covers the batch.  A crash between lands cuts
@@ -534,8 +572,24 @@ impl World {
                         .map(|i| i.iter().copied().map(exec_word).collect())
                         .collect();
                     *self.executed.entry(job.id).or_insert(0) += 1;
-                    self.stats.on_job_done(n, queue_us, false);
-                    let _ = job.reply.send(Ok(JobDone { outputs, batch_p: p, queue_us, exec_us }));
+                    let done_us = self.clock.now_us();
+                    self.ring.record(done_us, track, "completion_journaled", job.id, 0);
+                    let breakdown = StageBreakdown {
+                        journal_us: job.stages.journaled_us.saturating_sub(job.stages.accepted_us),
+                        queue_us: job.stages.assembled_us.saturating_sub(job.enqueued_us),
+                        dispatch_us: t0.saturating_sub(job.stages.assembled_us),
+                        exec_us,
+                        finalize_us: done_us.saturating_sub(t0.saturating_add(exec_us)),
+                        total_us: done_us.saturating_sub(job.stages.accepted_us),
+                    };
+                    self.stats.on_job_done(&batch.key, n, queue_us, false, &breakdown);
+                    let _ = job.reply.send(Ok(JobDone {
+                        outputs,
+                        batch_p: p,
+                        queue_us,
+                        exec_us,
+                        breakdown: Some(breakdown),
+                    }));
                     if let Some(&client) = self.owner.get(&job.id) {
                         self.clients[client].reply_ready = true;
                     }
@@ -555,7 +609,15 @@ impl World {
     }
 
     fn snapshot(&self) -> String {
-        self.stats.snapshot(self.queue.depth(), (0, 0), Some(self.wal.stats_json())).to_compact()
+        self.stats
+            .snapshot(
+                self.queue.depth(),
+                &self.queue.per_key_depth(),
+                self.clock.now_us(),
+                (0, 0),
+                Some(self.wal.stats_json()),
+            )
+            .to_compact()
     }
 
     /// Post-crash: recover via the daemon's real `replay`, check every
@@ -660,11 +722,7 @@ impl World {
         for job in requeue {
             let adm = queue.reserve_unbounded(job.inputs.len());
             let (tx, _rx) = mpsc::channel();
-            queue.enqueue(
-                adm,
-                job.key,
-                Job { id: job.id, inputs: job.inputs, enqueued_us: 0, reply: tx },
-            );
+            queue.enqueue(adm, job.key, Job::new(job.id, job.inputs, 0, tx));
         }
         queue.begin_drain();
         let mut executed = 0u64;
@@ -806,12 +864,14 @@ fn run_world(
     };
 
     let stats = w.snapshot();
+    let events = w.ring.text_tail(usize::MAX);
     Ok(RunOutcome {
         trace: Trace { decisions: w.decisions },
         stats,
         appends: w.wal.appends,
         append_sync_floor: w.wal.sync_floor.clone(),
         acked: w.acked,
+        events,
         crash: crash_report,
         steps,
     })
@@ -895,7 +955,10 @@ pub fn explore(base: &SimConfig, seed0: u64, seeds: u64) -> Result<ExploreReport
         let second = run(&cfg, None)?;
         report.schedules += 2;
         report.total_steps += first.steps + second.steps;
-        if first.trace != second.trace || first.stats != second.stats {
+        if first.trace != second.trace
+            || first.stats != second.stats
+            || first.events != second.events
+        {
             return Err(SimFailure {
                 seed,
                 crash: None,
@@ -930,6 +993,12 @@ mod tests {
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.acked, b.acked);
+        assert_eq!(a.events, b.events, "virtual-time event streams diverged");
+        assert!(!a.events.is_empty(), "a run that acked jobs must record stage events");
+        for stage in ["accepted", "journaled", "enqueued", "assembled", "executed", "reply_written"]
+        {
+            assert!(a.events.contains(stage), "event stream is missing stage {stage:?}");
+        }
         assert!(a.appends > 0);
     }
 
@@ -947,6 +1016,7 @@ mod tests {
         let replayed = replay_trace(&cfg, None, &out.trace).unwrap();
         assert_eq!(replayed.trace, out.trace);
         assert_eq!(replayed.stats, out.stats);
+        assert_eq!(replayed.events, out.events, "replay must reproduce the event stream");
         // And survives a round-trip through the textual grammar.
         let parsed = Trace::parse(&out.trace.to_string()).unwrap();
         assert_eq!(parsed, out.trace);
