@@ -169,6 +169,18 @@ pub fn complete_payload(id: u64, result: Result<&[Vec<u64>], &str>) -> Vec<u8> {
     o.to_compact().into_bytes()
 }
 
+/// Whether completions whose journal append failed may still be
+/// acknowledged.  `false` — the fail-stop contract: after a failed fsync
+/// the durability of the page cache is unknowable, so no result backed
+/// by an unconfirmed record is ever acked.  The CI-only
+/// `bug-ack-before-fsync` feature reintroduces the historical
+/// ack-before-durability bug so the simulation harness can prove it
+/// catches it — never enable it otherwise.
+#[must_use]
+pub fn ack_despite_fsync_error() -> bool {
+    cfg!(feature = "bug-ack-before-fsync")
+}
+
 fn payload_json(rec: &Record) -> Result<Json, String> {
     let text = std::str::from_utf8(&rec.payload)
         .map_err(|e| format!("record seq {} payload is not UTF-8: {e}", rec.seq))?;
@@ -309,11 +321,27 @@ impl Journal {
         }
         let seq = {
             let mut inner = self.inner.lock().expect("journal poisoned");
-            let seq = inner.wal.append_unsynced(rec_type, payload)?;
-            bookkeep(&mut inner);
-            seq
+            match inner.wal.append_unsynced(rec_type, payload) {
+                Ok(seq) => {
+                    bookkeep(&mut inner);
+                    seq
+                }
+                Err(e) => {
+                    drop(inner);
+                    return Err(self.fail_stop(e));
+                }
+            }
         };
         self.wait_durable(seq)
+    }
+
+    /// Record the first failure (later callers see the original error)
+    /// and phrase every caller-visible report the same way: the journal
+    /// has fail-stopped.
+    fn fail_stop(&self, e: String) -> String {
+        let mut g = self.group.lock().expect("journal poisoned");
+        let e = g.failed.get_or_insert(e).clone();
+        format!("journal fail-stopped: {e}")
     }
 
     /// Block until sequence number `seq` is durable, electing this thread
@@ -366,7 +394,9 @@ impl Journal {
 
     /// Route one logical append through group commit (`always`) or the
     /// log's own policy machinery (`every-n` / `every-ms`, where appends
-    /// are cheap and batching happens policy-side already).
+    /// are cheap and batching happens policy-side already).  Every
+    /// policy shares the fail-stop flag: the first append or fsync error
+    /// poisons all later appends.
     fn append_record(
         &self,
         rec_type: u8,
@@ -376,10 +406,32 @@ impl Journal {
         if self.fsync == FsyncPolicy::Always {
             return self.append_group(rec_type, payload, bookkeep);
         }
+        {
+            let g = self.group.lock().expect("journal poisoned");
+            if let Some(e) = &g.failed {
+                return Err(format!("journal fail-stopped: {e}"));
+            }
+        }
         let mut inner = self.inner.lock().expect("journal poisoned");
-        inner.wal.append(rec_type, payload)?;
+        if let Err(e) = inner.wal.append(rec_type, payload) {
+            drop(inner);
+            return Err(self.fail_stop(e));
+        }
         bookkeep(&mut inner);
         Ok(())
+    }
+
+    /// Arm the underlying log's fsync failpoint (test-only fault
+    /// injection): the `nth` fsync attempt and every later one fail, and
+    /// the journal fail-stops at the first observed failure.
+    pub fn inject_fsync_error(&self, nth: u64) {
+        self.inner.lock().expect("journal poisoned").wal.inject_fsync_error(nth);
+    }
+
+    /// The error the journal fail-stopped on, if it has.
+    #[must_use]
+    pub fn fail_stopped(&self) -> Option<String> {
+        self.group.lock().expect("journal poisoned").failed.clone()
     }
 
     /// Append (and per policy sync) a submit record.  Call *before* the
@@ -468,6 +520,7 @@ impl Journal {
         o.set("incomplete_jobs", inner.incomplete.len());
         drop(inner);
         let g = self.group.lock().expect("journal poisoned");
+        o.set("fail_stopped", g.failed.clone().map_or(Json::Null, Json::Str));
         let mut gc = Json::obj();
         gc.set("enabled", self.fsync == FsyncPolicy::Always);
         gc.set("syncs", g.group_syncs);
@@ -672,6 +725,56 @@ mod tests {
         assert_eq!(j.group_batch_sizes().sum(), 2);
         assert_eq!(s.path("group_commit.fsync_us.total").unwrap().as_i64(), Some(2));
         assert_eq!(s.path("group_commit.batch_size.total").unwrap().as_i64(), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_error_fail_stops_every_group_commit_waiter_and_later_submits() {
+        use std::sync::Arc;
+        let dir = temp_dir("failstop");
+        let (j, _) = Journal::open(&cfg(&dir)).unwrap();
+        j.log_submit(1, &key("a"), &[vec![1]]).unwrap(); // fsync 1 succeeds
+        j.inject_fsync_error(2);
+        let j = Arc::new(j);
+        // Concurrent appends race into the failing fsync; every waiter —
+        // parked or leader — must get an error, not a hang.
+        let errs: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let j = Arc::clone(&j);
+                    scope.spawn(move || j.log_submit(10 + t, &key("a"), &[vec![t]]).unwrap_err())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(errs.len(), 4);
+        for e in &errs {
+            assert!(e.contains("journal fail-stopped"), "{e}");
+        }
+        // Subsequent submits are refused up front.
+        let e = j.log_submit(99, &key("a"), &[vec![9]]).unwrap_err();
+        assert!(e.contains("fail-stopped"), "{e}");
+        // Stats expose the failure.
+        let s = j.stats_json();
+        assert_eq!(s.path("group_commit.fail_stopped").unwrap(), &Json::Bool(true));
+        assert!(s.path("fail_stopped").unwrap().as_str().unwrap().contains("injected"), "{s:?}");
+        assert!(j.fail_stopped().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_error_fail_stops_non_group_policies_too() {
+        let dir = temp_dir("failstop-everyn");
+        let mut c = cfg(&dir);
+        c.fsync = FsyncPolicy::EveryN(2);
+        let (j, _) = Journal::open(&c).unwrap();
+        j.inject_fsync_error(1);
+        j.log_submit(1, &key("a"), &[vec![1]]).unwrap(); // below the sync threshold
+        let e = j.log_submit(2, &key("a"), &[vec![2]]).unwrap_err();
+        assert!(e.contains("journal fail-stopped"), "{e}");
+        let e = j.log_submit(3, &key("a"), &[vec![3]]).unwrap_err();
+        assert!(e.contains("fail-stopped"), "refused without touching the device: {e}");
+        assert!(j.stats_json().path("fail_stopped").unwrap().as_str().is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

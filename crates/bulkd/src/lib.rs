@@ -47,7 +47,7 @@ pub use clock::{
 };
 pub use journal::{Journal, JournalConfig, RecoveredJob, Recovery};
 pub use loadgen::{cold_key, run_loadgen, LoadgenConfig, LoadgenReport};
-pub use protocol::{JobKey, Request, PROTOCOL_VERSION};
+pub use protocol::{JobKey, LineFramer, Request, PROTOCOL_VERSION};
 pub use queue::{CoalescingQueue, KeyDepth, QueueConfig, StageBreakdown, StageStamps, SubmitError};
 pub use server::{serve, BatchExecutor, ServerConfig};
 pub use stats::ServerStats;

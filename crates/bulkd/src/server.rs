@@ -16,7 +16,7 @@ use crate::queue::{
 use crate::stats::ServerStats;
 use obs::trace::chrome_trace;
 use obs::{Gauge, Histogram, Json, Ring, Tracer};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -399,10 +399,18 @@ fn worker_loop(tid: u64, sh: &Shared) {
                     let queue_us = t0_us.saturating_sub(job.enqueued_us);
                     let job_outputs = outputs[off..off + n].to_vec();
                     off += n;
-                    log_completion(sh, job.id, Ok(&job_outputs));
+                    let logged = log_completion(sh, job.id, Ok(&job_outputs));
                     let done_us = sh.clock.now_us();
-                    rec(sh, done_us, track, "completion_journaled", job.id, 0);
                     let breakdown = stage_breakdown(&job, t0_us, exec_us, done_us);
+                    if let Err(e) = logged {
+                        // Fail-stop: the completion record's durability is
+                        // unknown, so the result is never acknowledged.
+                        rec(sh, done_us, track, "completion_refused", job.id, -1);
+                        sh.stats.on_job_done(&batch.key, n as u64, queue_us, true, &breakdown);
+                        let _ = job.reply.send(Err(format!("journal fail-stopped: {e}")));
+                        continue;
+                    }
+                    rec(sh, done_us, track, "completion_journaled", job.id, 0);
                     sh.stats.on_job_done(&batch.key, n as u64, queue_us, false, &breakdown);
                     let done = JobDone {
                         outputs: job_outputs,
@@ -418,7 +426,9 @@ fn worker_loop(tid: u64, sh: &Shared) {
                 for job in batch.jobs {
                     let n = job.inputs.len() as u64;
                     let queue_us = t0_us.saturating_sub(job.enqueued_us);
-                    log_completion(sh, job.id, Err(&e));
+                    // The reply is already an error; a failed completion
+                    // append cannot make it ackable, so its result is moot.
+                    let _ = log_completion(sh, job.id, Err(&e));
                     let done_us = sh.clock.now_us();
                     rec(sh, done_us, track, "completion_journaled", job.id, -1);
                     let breakdown = stage_breakdown(&job, t0_us, exec_us, done_us);
@@ -432,14 +442,28 @@ fn worker_loop(tid: u64, sh: &Shared) {
 }
 
 /// Journal a job's completion *before* its reply goes out, so an
-/// acknowledged answer is never re-executed after a crash.  A journal
-/// append failure here is reported but does not withhold the reply: the
-/// job *did* execute, and execution is deterministic, so the worst case
-/// of the lost record is one redundant (bit-identical) re-execution.
-fn log_completion(sh: &Shared, job_id: u64, result: Result<&[Vec<u64>], &String>) {
-    if let Some(journal) = &sh.journal {
-        if let Err(e) = journal.log_complete(job_id, result.map_err(String::as_str)) {
+/// acknowledged answer is never re-executed after a crash.  The
+/// fail-stop contract lives here: when the append or its fsync fails,
+/// the result must NOT be acknowledged — the journal has fail-stopped
+/// and the caller turns the reply into an error instead.  The
+/// `bug-ack-before-fsync` test feature reintroduces the historical bug
+/// (log the failure, ack anyway) so the simulator's durability invariant
+/// can prove it catches it.
+fn log_completion(
+    sh: &Shared,
+    job_id: u64,
+    result: Result<&[Vec<u64>], &String>,
+) -> Result<(), String> {
+    let Some(journal) = &sh.journal else { return Ok(()) };
+    match journal.log_complete(job_id, result.map_err(String::as_str)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
             eprintln!("bulkd: journal completion append failed for job {job_id}: {e}");
+            if crate::journal::ack_despite_fsync_error() {
+                Ok(())
+            } else {
+                Err(e)
+            }
         }
     }
 }
@@ -450,29 +474,88 @@ fn handle_conn(stream: TcpStream, sh: &Shared) {
     sh.connections.add(-1);
 }
 
-fn conn_loop(stream: TcpStream, sh: &Shared) {
-    let Ok(read_half) = stream.try_clone() else { return };
-    let reader = BufReader::new(read_half);
-    let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
-            continue;
+/// Longest accepted protocol line, in bytes (a submit's inputs dominate;
+/// anything bigger is a protocol error, not an allocation bomb).
+const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Account and log an abnormal connection end.  `phase` is one of
+/// `"mid-line"` (EOF with a partial request buffered), `"mid-reply"`
+/// (the reply write failed under the peer), or `"read-error"`.  Clean
+/// EOFs — no buffered bytes, reads done — are not disconnects.
+fn note_disconnect(sh: &Shared, phase: &'static str, buffered: usize, detail: &str) {
+    sh.stats.on_disconnect(phase);
+    let now = sh.clock.now_us();
+    rec(sh, now, 0, "disconnect", 0, buffered as i64);
+    let mut o = Json::obj();
+    o.set("event", "disconnect");
+    o.set("phase", phase);
+    o.set("buffered_bytes", buffered);
+    o.set("ts_us", now);
+    if !detail.is_empty() {
+        o.set("detail", detail);
+    }
+    eprintln!("bulkd: {}", o.to_compact());
+}
+
+/// The per-connection loop: raw reads feed a [`protocol::LineFramer`],
+/// which yields complete requests regardless of how the transport chunks
+/// them — one-byte dribble, several requests coalesced into a segment,
+/// or a line split across reads all frame identically.  The simulator
+/// drives the same framer with scheduler-chosen chunkings.
+fn conn_loop(mut stream: TcpStream, sh: &Shared) {
+    let mut framer = protocol::LineFramer::new(MAX_LINE_BYTES);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every fully-framed line before reading more bytes, so a
+        // coalesced segment yields its replies in request order.
+        loop {
+            let line = match framer.next_line() {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                Err(e) => {
+                    // Unframeable input (over-long or non-UTF-8 line):
+                    // answer once, then hang up — resynchronizing on a
+                    // byte stream with no trustworthy framing is guesswork.
+                    sh.stats.on_protocol_error();
+                    let mut text = protocol::resp_error("protocol", &e).to_compact();
+                    text.push('\n');
+                    let _ = stream.write_all(text.as_bytes()).and_then(|()| stream.flush());
+                    return;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (resp, shutdown) = handle_line(&line, sh);
+            let mut text = resp.to_compact();
+            text.push('\n');
+            // The drain response must be on the wire *before* the accept
+            // loop is released: `serve` may return (and the process exit)
+            // the moment it pops, and this handler thread would die
+            // mid-write.
+            let wrote = stream.write_all(text.as_bytes()).and_then(|()| stream.flush());
+            if shutdown {
+                sh.stop_accepting.store(true, Ordering::SeqCst);
+                // Self-connect to pop the accept loop out of `incoming()`.
+                let _ = TcpStream::connect(sh.addr);
+            }
+            if let Err(e) = wrote {
+                note_disconnect(sh, "mid-reply", framer.buffered(), &e.to_string());
+                return;
+            }
         }
-        let (resp, shutdown) = handle_line(&line, sh);
-        let mut text = resp.to_compact();
-        text.push('\n');
-        // The drain response must be on the wire *before* the accept loop
-        // is released: `serve` may return (and the process exit) the
-        // moment it pops, and this handler thread would die mid-write.
-        let wrote = writer.write_all(text.as_bytes()).and_then(|()| writer.flush());
-        if shutdown {
-            sh.stop_accepting.store(true, Ordering::SeqCst);
-            // Self-connect to pop the accept loop out of `incoming()`.
-            let _ = TcpStream::connect(sh.addr);
-        }
-        if wrote.is_err() {
-            return;
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if framer.buffered() > 0 {
+                    note_disconnect(sh, "mid-line", framer.buffered(), "");
+                }
+                return;
+            }
+            Ok(n) => framer.push(&chunk[..n]),
+            Err(e) => {
+                note_disconnect(sh, "read-error", framer.buffered(), &e.to_string());
+                return;
+            }
         }
     }
 }

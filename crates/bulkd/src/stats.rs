@@ -67,6 +67,9 @@ struct Inner {
     rejected_instances: u64,
     completed_instances: u64,
     protocol_errors: u64,
+    disconnects: u64,
+    disconnects_mid_line: u64,
+    disconnects_mid_reply: u64,
     batches: u64,
     batch_p: Histogram,
     queue_wait_us: Histogram,
@@ -117,6 +120,19 @@ impl ServerStats {
     /// A line failed to parse as a protocol request.
     pub fn on_protocol_error(&self) {
         self.lock().protocol_errors += 1;
+    }
+
+    /// A connection ended abnormally.  `phase` is `"mid-line"` (EOF with
+    /// a partial request buffered), `"mid-reply"` (the reply write failed
+    /// under the peer), or `"read-error"`.  Clean EOFs are not counted.
+    pub fn on_disconnect(&self, phase: &str) {
+        let mut s = self.lock();
+        s.disconnects += 1;
+        match phase {
+            "mid-line" => s.disconnects_mid_line += 1,
+            "mid-reply" => s.disconnects_mid_reply += 1,
+            _ => {}
+        }
     }
 
     /// One coalesced batch executed with `instances` total lanes.
@@ -207,6 +223,12 @@ impl ServerStats {
         admission.set("rejected_instances", s.rejected_instances);
         admission.set("protocol_errors", s.protocol_errors);
         report.set("admission", admission);
+
+        let mut connections = Json::obj();
+        connections.set("disconnects", s.disconnects);
+        connections.set("disconnects_mid_line", s.disconnects_mid_line);
+        connections.set("disconnects_mid_reply", s.disconnects_mid_reply);
+        report.set("connections", connections);
 
         let mut execution = Json::obj();
         execution.set("batches", s.batches);
@@ -331,6 +353,17 @@ impl ServerStats {
             s.completed_instances,
         );
         p.counter("bulkd_protocol_errors_total", "Unparseable request lines.", s.protocol_errors);
+        p.counter("bulkd_disconnects_total", "Connections that ended abnormally.", s.disconnects);
+        p.counter(
+            "bulkd_disconnects_mid_line_total",
+            "Peers that vanished with a partial request buffered.",
+            s.disconnects_mid_line,
+        );
+        p.counter(
+            "bulkd_disconnects_mid_reply_total",
+            "Reply writes that failed under the peer.",
+            s.disconnects_mid_reply,
+        );
         p.counter("bulkd_batches_total", "Coalesced batches executed.", s.batches);
 
         p.gauge(
@@ -516,6 +549,31 @@ mod tests {
         st.on_accept(1);
         st.on_job_done(&key("fir"), 1, 5, true, &bd(5));
         st.check_balanced().unwrap();
+    }
+
+    #[test]
+    fn disconnects_count_by_phase_without_unbalancing() {
+        let st = ServerStats::new();
+        st.on_disconnect("mid-line");
+        st.on_disconnect("mid-reply");
+        st.on_disconnect("read-error");
+        st.check_balanced().unwrap();
+        let j = st.snapshot(IDLE, &[], 0, (0, 0), None);
+        assert_eq!(j.path("connections.disconnects").unwrap().as_i64(), Some(3));
+        assert_eq!(j.path("connections.disconnects_mid_line").unwrap().as_i64(), Some(1));
+        assert_eq!(j.path("connections.disconnects_mid_reply").unwrap().as_i64(), Some(1));
+        let text = st.render_prometheus(
+            IDLE,
+            &[],
+            0,
+            (0, 0),
+            &Histogram::new(),
+            &Histogram::new(),
+            0,
+            (0, 0),
+        );
+        assert!(text.contains("\nbulkd_disconnects_total 3\n"), "{text}");
+        assert!(text.contains("\nbulkd_disconnects_mid_line_total 1\n"), "{text}");
     }
 
     #[test]

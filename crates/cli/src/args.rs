@@ -206,6 +206,16 @@ pub enum Command {
         /// With `--replay`: crash the daemon after WAL append number K
         /// (1-based) and verify recovery for every legal surviving cut.
         crash_at: Option<u64>,
+        /// Inject connection faults: partial/coalesced delivery of
+        /// request bytes, status probes racing submits, disconnects
+        /// mid-submit and mid-reply.
+        conn_faults: bool,
+        /// When exploring: additionally sweep an injected fsync failure
+        /// over every sync attempt of each seed's clean run.
+        fsync_errors: bool,
+        /// With `--replay`: fail the Nth WAL fsync attempt (1-based) and
+        /// verify the journal fail-stops cleanly.
+        fsync_fail_at: Option<u64>,
         /// Write the exploration report (or replayed trace) here.
         report: Option<String>,
     },
@@ -286,8 +296,12 @@ USAGE:
                        [--workers W] [--jobs J]  a virtual clock, exploring N
                        [--replay SEED]           seeded schedules + a crash at
                        [--crash-at K]            every WAL cut point; --replay
-                       [--report PATH]           re-runs one seed and prints
-                                                 its decision trace
+                       [--conn-faults]           re-runs one seed and prints
+                       [--fsync-errors]          its decision trace;
+                       [--fsync-fail-at S]       --conn-faults chunks/dribbles/
+                       [--report PATH]           drops connections, --fsync-
+                                                 errors sweeps injected fsync
+                                                 failures over every sync
   bulkrun help
 
 Defaults: p = 4096, width = 32, latency = 100, layout = col.
@@ -568,6 +582,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--jobs",
                     "--replay",
                     "--crash-at",
+                    "--conn-faults",
+                    "--fsync-errors",
+                    "--fsync-fail-at",
                     "--report",
                 ],
             )?;
@@ -583,6 +600,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if crash_at.is_some() && replay.is_none() {
                 return Err("--crash-at requires --replay".into());
             }
+            let fsync_fail_at = parse_flag(rest, "--fsync-fail-at")?.map(|s| s as u64);
+            if fsync_fail_at.is_some() && replay.is_none() {
+                return Err("--fsync-fail-at requires --replay".into());
+            }
+            if fsync_fail_at == Some(0) {
+                return Err("--fsync-fail-at must be positive (sync attempts are 1-based)".into());
+            }
             Ok(Command::Sim {
                 seeds,
                 seed0: parse_flag(rest, "--seed0")?.unwrap_or(1) as u64,
@@ -591,6 +615,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 jobs,
                 replay,
                 crash_at,
+                conn_faults: rest.iter().any(|a| a == "--conn-faults"),
+                fsync_errors: rest.iter().any(|a| a == "--fsync-errors"),
+                fsync_fail_at,
                 report: parse_string_flag(rest, "--report")?,
             })
         }
@@ -1016,6 +1043,9 @@ mod tests {
                 jobs: 4,
                 replay: None,
                 crash_at: None,
+                conn_faults: false,
+                fsync_errors: false,
+                fsync_fail_at: None,
                 report: None,
             }
         );
@@ -1037,8 +1067,26 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        let c = parse(&argv("sim --conn-faults --fsync-errors")).unwrap();
+        match c {
+            Command::Sim { conn_faults, fsync_errors, fsync_fail_at, .. } => {
+                assert!(conn_faults && fsync_errors);
+                assert_eq!(fsync_fail_at, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let c = parse(&argv("sim --replay 5 --fsync-fail-at 2 --conn-faults")).unwrap();
+        match c {
+            Command::Sim { replay, fsync_fail_at, conn_faults, .. } => {
+                assert_eq!((replay, fsync_fail_at), (Some(5), Some(2)));
+                assert!(conn_faults);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
         assert!(parse(&argv("sim --seeds 0")).unwrap_err().contains("positive"));
         assert!(parse(&argv("sim --crash-at 2")).unwrap_err().contains("--replay"));
+        assert!(parse(&argv("sim --fsync-fail-at 2")).unwrap_err().contains("--replay"));
+        assert!(parse(&argv("sim --replay 1 --fsync-fail-at 0")).unwrap_err().contains("positive"));
         assert!(parse(&argv("sim --seedz 9")).unwrap_err().contains("unknown flag"));
     }
 

@@ -414,12 +414,25 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 (false, false) => {}
             }
         }
-        Command::Sim { seeds, seed0, clients, workers, jobs, replay, crash_at, report } => {
+        Command::Sim {
+            seeds,
+            seed0,
+            clients,
+            workers,
+            jobs,
+            replay,
+            crash_at,
+            conn_faults,
+            fsync_errors,
+            fsync_fail_at,
+            report,
+        } => {
             let mk_cfg = |seed: u64| {
                 let mut cfg = sim::SimConfig::new(seed);
                 cfg.clients = *clients;
                 cfg.workers = *workers;
                 cfg.jobs_per_client = *jobs;
+                cfg.conn_faults = *conn_faults;
                 cfg
             };
             if let Some(seed) = replay {
@@ -427,19 +440,24 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 // invocation, so it must re-run the same checks explore
                 // ran for that seed.
                 let cfg = mk_cfg(*seed);
-                let base = sim::run(&cfg, None).map_err(|f| f.to_string())?;
-                let again = sim::run(&cfg, None).map_err(|f| f.to_string())?;
+                let base = sim::run(&cfg, None, None).map_err(|f| f.to_string())?;
+                let again = sim::run(&cfg, None, None).map_err(|f| f.to_string())?;
                 if base.trace != again.trace || base.stats != again.stats {
                     return Err(format!(
                         "sim seed {seed}: two runs of the same seed diverged (nondeterminism)"
                     ));
                 }
-                sim::replay_trace(&cfg, None, &base.trace).map_err(|f| f.to_string())?;
+                sim::replay_trace(&cfg, None, None, &base.trace).map_err(|f| f.to_string())?;
                 out.push_str(&format!(
-                    "sim seed {seed}: {} decisions, {} WAL appends, {} jobs acked; \
+                    "sim seed {seed}: {} decisions, {} WAL appends, {} fsyncs, \
+                     {} deliveries ({} partial), {} disconnects, {} jobs acked; \
                      trace and stats bit-identical across two runs and one trace replay\n",
                     base.trace.decisions.len(),
                     base.appends,
+                    base.syncs,
+                    base.deliveries,
+                    base.partial_deliveries,
+                    base.disconnects,
                     base.acked.len()
                 ));
                 if let Some(k) = crash_at {
@@ -452,12 +470,30 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     }
                     let floor = base.append_sync_floor[(*k - 1) as usize];
                     for cut in floor..=*k {
-                        sim::run(&cfg, Some(sim::CrashPlan { after_append: *k, cut }))
+                        sim::run(&cfg, Some(sim::CrashPlan { after_append: *k, cut }), None)
                             .map_err(|f| f.to_string())?;
                     }
                     out.push_str(&format!(
                         "  crash after append {k}: cuts {floor}..={k} all recovered \
                          with exactly-once intact\n"
+                    ));
+                }
+                if let Some(s) = fsync_fail_at {
+                    if *s == 0 || *s > base.syncs {
+                        return Err(format!(
+                            "--fsync-fail-at {s}: seed {seed} performs {} fsyncs \
+                             (valid range 1..={})",
+                            base.syncs, base.syncs
+                        ));
+                    }
+                    let faulted = sim::run(&cfg, None, Some(*s)).map_err(|f| f.to_string())?;
+                    sim::replay_trace(&cfg, None, Some(*s), &faulted.trace)
+                        .map_err(|f| f.to_string())?;
+                    out.push_str(&format!(
+                        "  fsync error at sync {s}: journal fail-stopped cleanly \
+                         ({} of {} jobs acked before the failure)\n",
+                        faulted.acked.len(),
+                        cfg.clients * cfg.jobs_per_client
                     ));
                 }
                 out.push_str(&format!("  trace: {}\n", base.trace));
@@ -467,14 +503,21 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }
             } else {
                 let t0 = std::time::Instant::now();
-                let rep = sim::explore(&mk_cfg(0), *seed0, *seeds).map_err(|f| f.to_string())?;
+                let rep = sim::explore(&mk_cfg(0), *seed0, *seeds, *fsync_errors)
+                    .map_err(|f| f.to_string())?;
                 let secs = t0.elapsed().as_secs_f64().max(1e-9);
                 out.push_str(&format!(
                     "sim: {} schedules across {} seeds ({} crash scenarios, \
-                     {} scheduler decisions) in {:.2}s — {:.0} schedules/s, all invariants held\n",
+                     {} fsync-error scenarios, {} deliveries / {} partial, \
+                     {} disconnects, {} scheduler decisions) in {:.2}s — \
+                     {:.0} schedules/s, all invariants held\n",
                     rep.schedules,
                     rep.seeds,
                     rep.crash_scenarios,
+                    rep.fsync_error_scenarios,
+                    rep.deliveries,
+                    rep.partial_deliveries,
+                    rep.disconnects,
                     rep.total_steps,
                     secs,
                     rep.schedules as f64 / secs
@@ -482,6 +525,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 if let Some(path) = report {
                     let mut j = rep.to_json();
                     j.set("seed0", *seed0);
+                    j.set("conn_faults", *conn_faults);
                     j.set("elapsed_ms", (secs * 1_000.0) as u64);
                     write_text("sim report", path, &j.to_pretty())?;
                     out.push_str(&format!("  report: wrote {path}\n"));

@@ -279,6 +279,153 @@ fn zero_instance_and_out_of_range_submits_bounce_structurally() {
     assert_eq!(final_stats.path("execution.completed_jobs").unwrap().as_i64(), Some(1));
 }
 
+/// Framing under adversarial chunking on a real socket: a submit dribbled
+/// one byte at a time and two submits coalesced into a single TCP segment
+/// must both frame, parse, and execute correctly.
+#[test]
+fn dribbled_and_coalesced_submits_frame_correctly_on_a_real_socket() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, server, _caches) = start_server(1, 64, 1024, 5);
+    let algo = Algo::parse("prefix-sums", Some(64)).unwrap();
+    let layout = oblivious::Layout::ColumnWise;
+    let key = bulkd::JobKey { algo: "prefix-sums".into(), size: 64, layout };
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let read_outputs = |reader: &mut BufReader<std::net::TcpStream>| {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        let resp = Json::parse(reply.trim()).expect("reply parses");
+        assert_eq!(resp.path("ok"), Some(&Json::Bool(true)), "{}", resp.to_pretty());
+        resp.path("outputs")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|o| bulkd::protocol::words_from_json(o).expect("outputs decode"))
+            .collect::<Vec<Vec<u64>>>()
+    };
+
+    // One byte at a time: the server must reassemble the line from up to
+    // `len` separate reads.
+    let inputs = algo.random_inputs_bits(11, 1);
+    let direct = algo.outputs_bits(Engine::Compiled { shards: 1 }, 1, layout, 11);
+    let mut line = bulkd::Request::Submit { key: key.clone(), inputs, timing: false }
+        .to_json()
+        .to_compact()
+        .into_bytes();
+    line.push(b'\n');
+    for b in &line {
+        stream.write_all(std::slice::from_ref(b)).expect("write byte");
+        stream.flush().expect("flush");
+    }
+    assert_eq!(read_outputs(&mut reader), direct, "dribbled submit served wrong outputs");
+
+    // Two complete submits coalesced into one segment: both must be
+    // framed out of a single read and answered in order.
+    let pair_inputs = algo.random_inputs_bits(12, 2);
+    let pair_direct = algo.outputs_bits(Engine::Compiled { shards: 1 }, 2, layout, 12);
+    let mut seg = Vec::new();
+    for i in &pair_inputs {
+        let mut l =
+            bulkd::Request::Submit { key: key.clone(), inputs: vec![i.clone()], timing: false }
+                .to_json()
+                .to_compact()
+                .into_bytes();
+        l.push(b'\n');
+        seg.extend_from_slice(&l);
+    }
+    stream.write_all(&seg).expect("write coalesced segment");
+    stream.flush().expect("flush");
+    for want in &pair_direct {
+        assert_eq!(
+            read_outputs(&mut reader),
+            vec![want.clone()],
+            "coalesced submit served wrong outputs"
+        );
+    }
+    drop(reader);
+    drop(stream);
+
+    let final_stats = drain_and_join(&addr, server);
+    assert_eq!(final_stats.path("admission.accepted_jobs").unwrap().as_i64(), Some(3));
+    assert_eq!(final_stats.path("execution.completed_jobs").unwrap().as_i64(), Some(3));
+    // Clean EOFs between requests are not disconnect events.
+    assert_eq!(final_stats.path("connections.disconnects").unwrap().as_i64(), Some(0));
+}
+
+/// Client disconnects mid-submit (partial line, then EOF) and mid-reply
+/// (reply finished after the peer is gone) leave the server balanced —
+/// accepted == completed + failed, nothing queued, nothing leaked — with
+/// both drops counted by phase.  The server must survive to drain.
+#[test]
+fn disconnects_mid_submit_and_mid_reply_stay_balanced_and_counted() {
+    use std::io::Write;
+    // A wide flush window holds the second pipelined job long enough that
+    // its reply definitively lands after the peer has vanished.
+    let (addr, server, _caches) = start_server(1, 64, 1024, 700);
+    let algo = Algo::parse("prefix-sums", Some(64)).unwrap();
+    let layout = oblivious::Layout::ColumnWise;
+    let key = bulkd::JobKey { algo: "prefix-sums".into(), size: 64, layout };
+
+    // Mid-submit: half a request line, then the peer vanishes.  The
+    // server sees EOF with bytes still buffered in the framer.
+    {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.write_all(br#"{"cmd":"submit","algo":"prefix-"#).expect("write partial line");
+        s.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(100)); // let the bytes land first
+    }
+
+    // Mid-reply: pipeline two submits, never read a reply, and close
+    // while the first reply sits unread in our receive buffer — that
+    // close is an immediate RST, so the server's second reply write
+    // (due ~700ms later, at the next flush deadline) must fail.
+    let inputs = algo.random_inputs_bits(21, 2);
+    {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.set_nodelay(true).expect("nodelay");
+        let mut seg = Vec::new();
+        for i in &inputs {
+            let mut l =
+                bulkd::Request::Submit { key: key.clone(), inputs: vec![i.clone()], timing: false }
+                    .to_json()
+                    .to_compact()
+                    .into_bytes();
+            l.push(b'\n');
+            seg.extend_from_slice(&l);
+        }
+        s.write_all(&seg).expect("write pipelined submits");
+        s.flush().expect("flush");
+        // Job 1 flushes at ~700ms and its reply lands here unread; job 2
+        // is enqueued after it and completes at ~1400ms.
+        std::thread::sleep(Duration::from_millis(1100));
+    }
+    // Let job 2 complete and the server hit the broken pipe before the
+    // final snapshot.
+    std::thread::sleep(Duration::from_millis(1500));
+
+    let final_stats = drain_and_join(&addr, server);
+    let submitted = final_stats.path("admission.submitted_jobs").unwrap().as_i64().unwrap();
+    let accepted = final_stats.path("admission.accepted_jobs").unwrap().as_i64().unwrap();
+    let rejected = final_stats.path("admission.rejected_jobs").unwrap().as_i64().unwrap();
+    let completed = final_stats.path("execution.completed_jobs").unwrap().as_i64().unwrap();
+    let failed = final_stats.path("execution.failed_jobs").unwrap().as_i64().unwrap();
+    assert_eq!(submitted, accepted + rejected, "admission ledger unbalanced");
+    assert_eq!(accepted, completed + failed, "execution ledger unbalanced");
+    assert_eq!((accepted, completed, failed), (2, 2, 0));
+    assert_eq!(final_stats.path("queue.queued_instances").unwrap().as_i64(), Some(0));
+
+    let disconnects = final_stats.path("connections.disconnects").unwrap().as_i64().unwrap();
+    let mid_line = final_stats.path("connections.disconnects_mid_line").unwrap().as_i64().unwrap();
+    let mid_reply =
+        final_stats.path("connections.disconnects_mid_reply").unwrap().as_i64().unwrap();
+    assert_eq!(mid_line, 1, "partial-line EOF was not counted");
+    assert!(mid_reply >= 1, "undeliverable reply was not counted");
+    assert_eq!(disconnects, mid_line + mid_reply);
+}
+
 /// Malformed lines are answered with structured protocol errors (carrying
 /// the parser's byte offset) and counted — the connection stays usable.
 #[test]

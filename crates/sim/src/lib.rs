@@ -2,28 +2,37 @@
 //!
 //! FoundationDB-style schedule exploration for the batch-serving daemon:
 //! the *real* [`bulkd::CoalescingQueue`], the real crash-recovery
-//! [`bulkd::journal::replay`] logic, and the real [`bulkd::ServerStats`]
-//! accounting run single-threaded on a [`bulkd::VirtualClock`], with a
-//! seeded [`obs::Rng`] deciding which runnable actor (client or worker)
-//! steps next.  Every run is a pure function of its seed:
+//! [`bulkd::journal::replay`] logic, the real [`bulkd::ServerStats`]
+//! accounting, and the real [`bulkd::LineFramer`] protocol framing run
+//! single-threaded on a [`bulkd::VirtualClock`], with a seeded
+//! [`obs::Rng`] deciding which runnable actor (client or worker) steps
+//! next.  Every run is a pure function of its seed:
 //!
 //! - every nondeterminism decision is recorded to a compact
 //!   [`trace::Trace`] that replays bit-identically;
+//! - each client owns a byte-stream-modelled *connection*: its request
+//!   lines cross to the server in scheduler-chosen chunks (one-byte
+//!   dribble, partial lines, several lines coalesced), driving the
+//!   daemon's own `LineFramer` + `Request::parse_line` path, and the
+//!   connection can drop mid-submit or mid-reply (`--conn-faults`);
 //! - the WAL is modelled at record granularity with an explicit durable
 //!   prefix, so a crash can be injected after *every* append with *every*
 //!   legal surviving cut (synced prefix ≤ cut ≤ appended length) —
 //!   including between a group-commit append and its fsync;
+//! - the WAL's fsync can *fail* (`--fsync-errors`): the journal must
+//!   fail-stop — no job acked after a failed fsync, in-flight waiters
+//!   get errors not hangs, the durable prefix never regresses;
 //! - recovery runs the daemon's own `replay` over the survivors and a
 //!   "second life" re-executes what it requeues, checking the
 //!   exactly-once contract: an acknowledged job is never re-executed.
 //!
-//! A failure carries its reproducer — the seed (plus crash point) that
-//! deterministically replays it — in the error message.
+//! A failure carries its reproducer — the seed (plus crash point, fault
+//! flags) that deterministically replays it — in the error message.
 //!
-//! The workload streams (instance counts, input words, think times) are
-//! derived from `(seed, client)` independently of the schedule stream, so
-//! the *same* work is offered under every interleaving a seed range
-//! explores.
+//! The workload streams (instance counts, input words, probe choices,
+//! think times) are derived from `(seed, client)` independently of the
+//! schedule stream, so the *same* work is offered under every
+//! interleaving a seed range explores.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,13 +41,13 @@ pub mod trace;
 
 use bulkd::clock::{Clock, Scheduler, SimScheduler, VirtualClock};
 use bulkd::journal::{complete_payload, submit_payload, REC_COMPLETE, REC_SUBMIT};
+use bulkd::protocol::{self, resp_error, resp_outputs, resp_overloaded};
 use bulkd::queue::{
-    CoalescingQueue, Job, JobDone, JobReply, QueueConfig, StageBreakdown, StageStamps, SubmitError,
-    TryNext,
+    CoalescingQueue, Job, QueueConfig, StageBreakdown, StageStamps, SubmitError, TryNext,
 };
-use bulkd::{JobKey, ServerStats};
+use bulkd::{JobKey, LineFramer, Request, ServerStats, PROTOCOL_VERSION};
 use obs::{Json, Ring, Rng};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 use trace::{Actor, Decision, Trace};
@@ -62,6 +71,10 @@ pub struct SimConfig {
     pub max_queue: usize,
     /// Queue deadline-flush trigger, in virtual microseconds.
     pub flush_after_us: u64,
+    /// Inject connection faults: partial/coalesced/dribbled delivery of
+    /// request bytes, status probes racing submits, and disconnects
+    /// mid-submit or mid-reply.  Off, every send delivers in one piece.
+    pub conn_faults: bool,
 }
 
 impl SimConfig {
@@ -76,6 +89,7 @@ impl SimConfig {
             max_batch: 4,
             max_queue: 8,
             flush_after_us: 2_000,
+            conn_faults: false,
         }
     }
 }
@@ -116,10 +130,13 @@ pub struct RunOutcome {
     pub stats: String,
     /// Total WAL appends the run performed.
     pub appends: u64,
+    /// Successful WAL fsyncs — the upper bound for `--fsync-fail-at`.
+    pub syncs: u64,
     /// For each append `k` (index `k-1`): the durable prefix length just
     /// before it — the lower bound of crash cuts at that append.
     pub append_sync_floor: Vec<u64>,
-    /// Job ids acknowledged to clients, in ack order.
+    /// Job ids acknowledged to clients (reply pushed onto an open
+    /// connection), in ack order.
     pub acked: Vec<u64>,
     /// The flight-recorder event stream (one [`obs::RingEvent`] text line
     /// per stage event, in stamp order) — recorded on the virtual clock
@@ -130,6 +147,17 @@ pub struct RunOutcome {
     pub crash: Option<CrashOutcome>,
     /// Scheduler decisions taken (a cost proxy).
     pub steps: u64,
+    /// Connection delivery decisions taken.
+    pub deliveries: u64,
+    /// Deliveries that moved fewer bytes than were pending (partial
+    /// lines / dribble — the framing-torture cases).
+    pub partial_deliveries: u64,
+    /// Connections dropped by fault injection.
+    pub disconnects: u64,
+    /// Replies the server finished but could not deliver (peer gone).
+    pub replies_unsent: u64,
+    /// The journal fail-stopped after an injected fsync error.
+    pub fail_stopped: bool,
 }
 
 /// A failed run, carrying its deterministic reproducer.
@@ -139,6 +167,11 @@ pub struct SimFailure {
     pub seed: u64,
     /// The crash injection active when it failed, if any.
     pub crash: Option<CrashPlan>,
+    /// Connection faults were active.
+    pub conn_faults: bool,
+    /// The fsync-error injection active when it failed, if any (fail the
+    /// Nth sync attempt).
+    pub fsync_error_at: Option<u64>,
     /// What went wrong.
     pub message: String,
 }
@@ -149,10 +182,19 @@ impl std::fmt::Display for SimFailure {
         if let Some(c) = &self.crash {
             write!(f, " (crash after append {}, cut {})", c.after_append, c.cut)?;
         }
+        if let Some(s) = self.fsync_error_at {
+            write!(f, " (fsync error at sync {s})")?;
+        }
         write!(f, ": {}", self.message)?;
         write!(f, "\nreproduce: bulkrun sim --replay {}", self.seed)?;
         if let Some(c) = &self.crash {
             write!(f, " --crash-at {}", c.after_append)?;
+        }
+        if self.conn_faults {
+            write!(f, " --conn-faults")?;
+        }
+        if let Some(s) = self.fsync_error_at {
+            write!(f, " --fsync-fail-at {s}")?;
         }
         Ok(())
     }
@@ -170,6 +212,11 @@ pub fn exec_word(w: u64) -> u64 {
 /// durable prefix.  `append` leaves records unsynced (page cache);
 /// `sync` extends the durable prefix to the full length — exactly the
 /// group-commit shape, so a crash between the two is representable.
+///
+/// An injected fsync error (`fail_at_sync`) makes the Nth sync attempt
+/// fail and is *sticky*: the durable prefix freezes and every later sync
+/// reports the original error, mirroring how a real `fdatasync` failure
+/// must be treated (the page cache state is unknowable afterwards).
 #[derive(Debug, Default)]
 struct SimWal {
     records: Vec<Record>,
@@ -178,16 +225,25 @@ struct SimWal {
     appends: u64,
     syncs: u64,
     sync_floor: Vec<u64>,
+    sync_attempts: u64,
+    fail_at_sync: Option<u64>,
+    failed: Option<String>,
+    /// Appends issued after the fail-stop — the journal contract says
+    /// this must stay zero.
+    appends_after_fail: u64,
 }
 
 impl SimWal {
-    fn new() -> Self {
-        Self { next_seq: 1, ..Self::default() }
+    fn new(fail_at_sync: Option<u64>) -> Self {
+        Self { next_seq: 1, fail_at_sync, ..Self::default() }
     }
 
     /// Append unsynced; returns the total append count (for crash
     /// triggers).
     fn append(&mut self, rec_type: u8, payload: Vec<u8>) -> u64 {
+        if self.failed.is_some() {
+            self.appends_after_fail += 1;
+        }
         self.sync_floor.push(self.synced_len as u64);
         self.records.push(Record { seq: self.next_seq, rec_type, payload });
         self.next_seq += 1;
@@ -195,12 +251,24 @@ impl SimWal {
         self.appends
     }
 
-    /// One group fsync: everything appended so far becomes durable.
-    fn sync(&mut self) {
+    /// One group fsync: everything appended so far becomes durable —
+    /// unless the injection plan fails this attempt, after which the
+    /// durable prefix is frozen and every sync reports the error.
+    fn sync(&mut self) -> Result<(), String> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
         if self.synced_len < self.records.len() {
+            self.sync_attempts += 1;
+            if self.fail_at_sync.is_some_and(|n| self.sync_attempts >= n) {
+                let e = format!("injected fsync error at sync attempt {}", self.sync_attempts);
+                self.failed = Some(e.clone());
+                return Err(e);
+            }
             self.syncs += 1;
             self.synced_len = self.records.len();
         }
+        Ok(())
     }
 
     fn stats_json(&self) -> Json {
@@ -210,36 +278,95 @@ impl SimWal {
         o.set("records_appended", self.appends);
         o.set("fsyncs", self.syncs);
         o.set("synced_records", self.synced_len);
+        o.set("fail_stopped", self.failed.is_some());
         o
     }
 }
 
+/// The job id a journal record names (records are JSON payloads).
+fn record_job_id(rec: &Record) -> Result<u64, String> {
+    let text =
+        std::str::from_utf8(&rec.payload).map_err(|e| format!("record seq {}: {e}", rec.seq))?;
+    let j = Json::parse(text).map_err(|e| format!("record seq {}: {e}", rec.seq))?;
+    Ok(j.get("job")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| format!("record seq {} has no job id", rec.seq))? as u64)
+}
+
+/// One client's byte-stream-modelled connection.  Client request lines
+/// are *written* into `c2s` in full, then *delivered* to the server's
+/// real [`LineFramer`] in scheduler-chosen chunks — so partial lines,
+/// coalesced lines, and one-byte dribble all drive the daemon's own
+/// framing path.  Server replies queue in `s2c` as complete lines (the
+/// server writes with one `write_all` per reply).
 #[derive(Debug)]
+struct Connection {
+    /// Bytes the client has written but the scheduler has not yet
+    /// delivered to the server.
+    c2s: Vec<u8>,
+    /// The server end: the daemon's real incremental framer.
+    framer: LineFramer,
+    /// Server→client replies awaiting the client's read.
+    s2c: VecDeque<String>,
+    /// The peer dropped; later replies are undeliverable.
+    closed: bool,
+    /// A submit is in flight server-side: the real connection thread is
+    /// parked in `rx.recv()` and processes no further lines until the
+    /// reply — the slow-reader / head-of-line-blocking shape.
+    busy: bool,
+}
+
+impl Connection {
+    fn new() -> Self {
+        Self {
+            c2s: Vec::new(),
+            framer: LineFramer::new(1 << 20),
+            s2c: VecDeque::new(),
+            closed: false,
+            busy: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 enum Phase {
     /// Ready to submit job number `job` (0-based within the client).
     Submit { job: usize },
+    /// Request bytes for `job` written; deliveries still pending.
+    Sending { job: usize },
     /// Waiting for the reply to the in-flight job.
     Await { job: usize },
     /// Thinking (post-ack) or backing off (post-overload) until the
     /// virtual clock reaches `until_us`, then submitting `job`.
     Pause { job: usize, until_us: u64 },
-    /// All jobs acknowledged.
+    /// All jobs acknowledged or refused.
     Done,
+    /// The connection dropped; the client is gone for good.
+    Disconnected,
 }
 
 struct PendingJob {
     key: JobKey,
     inputs: Vec<Vec<u64>>,
     expected: Vec<Vec<u64>>,
+    /// Send a status probe ahead of the submit line (same connection),
+    /// so control traffic races data traffic through the framer.
+    probe: bool,
 }
 
 struct ClientState {
     phase: Phase,
     rng: Rng,
     pending: Option<PendingJob>,
-    rx: Option<mpsc::Receiver<JobReply>>,
+    conn: Connection,
+    /// Status probes sent but not yet answered.  Probes precede their
+    /// submit on the wire, so probe replies always drain first.
+    probes_outstanding: u32,
     in_flight_id: Option<u64>,
-    reply_ready: bool,
+    /// Jobs this client saw acknowledged.
+    acked_jobs: usize,
+    /// Jobs refused with a journal fail-stop error.
+    refused_jobs: usize,
 }
 
 struct WorkerState {
@@ -277,10 +404,14 @@ struct World {
     crashed: bool,
     decisions: Vec<Decision>,
     drain_started: bool,
+    deliveries: u64,
+    partial_deliveries: u64,
+    disconnects: u64,
+    replies_unsent: u64,
 }
 
 impl World {
-    fn new(cfg: &SimConfig, crash: Option<CrashPlan>) -> Self {
+    fn new(cfg: &SimConfig, crash: Option<CrashPlan>, fsync_error_at: Option<u64>) -> Self {
         let clock = Arc::new(VirtualClock::new());
         let sched = Arc::new(SimScheduler::new());
         let queue = CoalescingQueue::with_runtime(
@@ -300,9 +431,11 @@ impl World {
                 // work.
                 rng: Rng::new(cfg.seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 pending: None,
-                rx: None,
+                conn: Connection::new(),
+                probes_outstanding: 0,
                 in_flight_id: None,
-                reply_ready: false,
+                acked_jobs: 0,
+                refused_jobs: 0,
             })
             .collect();
         let workers =
@@ -313,7 +446,7 @@ impl World {
             sched,
             queue,
             stats: ServerStats::new(),
-            wal: SimWal::new(),
+            wal: SimWal::new(fsync_error_at.map(|n| n.max(1))),
             ring: Ring::with_capacity(SIM_RING_CAPACITY),
             clients,
             workers,
@@ -325,6 +458,10 @@ impl World {
             crashed: false,
             decisions: Vec::new(),
             drain_started: false,
+            deliveries: 0,
+            partial_deliveries: 0,
+            disconnects: 0,
+            replies_unsent: 0,
         }
     }
 
@@ -349,10 +486,10 @@ impl World {
         let mut r = Vec::new();
         for (i, c) in self.clients.iter().enumerate() {
             let ready = match &c.phase {
-                Phase::Submit { .. } => true,
+                Phase::Submit { .. } | Phase::Sending { .. } => true,
                 Phase::Pause { until_us, .. } => now >= *until_us,
-                Phase::Await { .. } => c.reply_ready,
-                Phase::Done => false,
+                Phase::Await { .. } => !c.conn.s2c.is_empty(),
+                Phase::Done | Phase::Disconnected => false,
             };
             if ready {
                 r.push(Actor::Client(i as u32));
@@ -392,38 +529,37 @@ impl World {
     }
 
     fn all_clients_done(&self) -> bool {
-        self.clients.iter().all(|c| matches!(c.phase, Phase::Done))
+        self.clients.iter().all(|c| matches!(c.phase, Phase::Done | Phase::Disconnected))
     }
 
-    fn step_client(&mut self, idx: usize) -> Result<(), String> {
-        let now = self.clock.now_us();
-        let phase = std::mem::replace(&mut self.clients[idx].phase, Phase::Done);
-        match phase {
+    fn step_client(&mut self, idx: usize, sched: &mut Schedule) -> Result<(), String> {
+        match self.clients[idx].phase {
             Phase::Pause { job, until_us } => {
-                debug_assert!(now >= until_us, "paused client stepped early");
+                debug_assert!(self.clock.now_us() >= until_us, "paused client stepped early");
                 self.clients[idx].phase = Phase::Submit { job };
-                self.submit(idx)
+                self.begin_send(idx)?;
+                self.send_step(idx, sched)
             }
-            Phase::Submit { job } => {
-                self.clients[idx].phase = Phase::Submit { job };
-                self.submit(idx)
+            Phase::Submit { .. } => {
+                self.begin_send(idx)?;
+                self.send_step(idx, sched)
             }
-            Phase::Await { job } => {
-                self.clients[idx].phase = Phase::Await { job };
-                self.receive(idx)
-            }
+            Phase::Sending { .. } => self.send_step(idx, sched),
+            Phase::Await { .. } => self.receive(idx, sched),
             Phase::Done => Err(format!("client {idx} stepped after Done")),
+            Phase::Disconnected => Err(format!("client {idx} stepped after disconnect")),
         }
     }
 
-    /// One submit attempt: reserve → journal (durable) → enqueue, the
-    /// daemon's two-phase admission, against the real queue.
-    fn submit(&mut self, idx: usize) -> Result<(), String> {
+    /// Draw the job (lazily — overload retries re-offer the identical
+    /// job) and write its request line(s) to the connection.  The wire
+    /// bytes are the daemon's real protocol: an optional status probe
+    /// line first, then the submit line.
+    fn begin_send(&mut self, idx: usize) -> Result<(), String> {
         let Phase::Submit { job } = self.clients[idx].phase else {
-            return Err("submit in wrong phase".into());
+            return Err("begin_send in wrong phase".into());
         };
-        // Draw the workload lazily, once per job — overload retries
-        // re-offer the identical job without consuming workload draws.
+        let conn_faults = self.cfg.conn_faults;
         if self.clients[idx].pending.is_none() {
             let c = &mut self.clients[idx];
             let instances = 1 + c.rng.range_u64(0, 3) as usize;
@@ -433,18 +569,166 @@ impl World {
                 .collect();
             let expected =
                 inputs.iter().map(|i| i.iter().copied().map(exec_word).collect()).collect();
+            // The probe draw is consumed unconditionally so the workload
+            // stream is identical whether or not faults are on.
+            let probe = c.rng.range_u64(0, 4) == 0 && conn_faults;
             let key = JobKey { algo: "sim".into(), size, layout: oblivious::Layout::ColumnWise };
-            c.pending = Some(PendingJob { key, inputs, expected });
+            c.pending = Some(PendingJob { key, inputs, expected, probe });
         }
-        let n = self.clients[idx].pending.as_ref().map_or(0, |p| p.inputs.len());
+        let (key, inputs, probe) = {
+            let p = self.clients[idx].pending.as_ref().expect("pending drawn above");
+            (p.key.clone(), p.inputs.clone(), p.probe)
+        };
+        let c = &mut self.clients[idx];
+        if probe {
+            // Control traffic races data traffic through the same framer.
+            let mut line = Request::Status.to_json().to_compact().into_bytes();
+            line.push(b'\n');
+            c.conn.c2s.extend_from_slice(&line);
+            c.probes_outstanding += 1;
+        }
+        let mut line =
+            Request::Submit { key, inputs, timing: false }.to_json().to_compact().into_bytes();
+        line.push(b'\n');
+        c.conn.c2s.extend_from_slice(&line);
+        c.phase = Phase::Sending { job };
+        Ok(())
+    }
+
+    /// One connection scheduling decision: deliver some pending bytes to
+    /// the server's framer, or drop the connection.
+    fn send_step(&mut self, idx: usize, sched: &mut Schedule) -> Result<(), String> {
+        let pending = self.clients[idx].conn.c2s.len() as u64;
+        debug_assert!(pending > 0, "send_step with nothing to deliver");
+        let d = sched.conn_send(pending, self.cfg.conn_faults)?;
+        self.decisions.push(d);
+        match d {
+            Decision::Disconnect => {
+                self.disconnect(idx);
+                Ok(())
+            }
+            Decision::Deliver(n) => {
+                self.deliveries += 1;
+                if n < pending {
+                    self.partial_deliveries += 1;
+                }
+                let chunk: Vec<u8> = self.clients[idx].conn.c2s.drain(..n as usize).collect();
+                self.clients[idx].conn.framer.push(&chunk);
+                self.pump_conn(idx)?;
+                if self.crashed {
+                    return Ok(());
+                }
+                if let Phase::Sending { job } = self.clients[idx].phase {
+                    if self.clients[idx].conn.c2s.is_empty() {
+                        self.clients[idx].phase = Phase::Await { job };
+                    }
+                }
+                Ok(())
+            }
+            other => Err(format!("conn_send returned non-connection decision {other:?}")),
+        }
+    }
+
+    /// Drop `idx`'s connection.  Counting rule (mirrors what the real
+    /// server can observe, exactly once per drop):
+    /// - a submit in flight server-side → discovered at reply-push time,
+    ///   counted there as `mid-reply`;
+    /// - bytes buffered in the framer → a `mid-line` EOF, counted now;
+    /// - otherwise a clean EOF between requests → nothing to count
+    ///   (bytes never delivered don't exist server-side).
+    fn disconnect(&mut self, idx: usize) {
+        self.disconnects += 1;
+        let buffered = self.clients[idx].conn.framer.buffered();
+        let busy = self.clients[idx].conn.busy;
+        self.clients[idx].conn.closed = true;
+        self.clients[idx].phase = Phase::Disconnected;
+        if !busy && buffered > 0 {
+            self.stats.on_disconnect("mid-line");
+            self.ring.record(self.clock.now_us(), 0, "disconnect", 0, buffered as i64);
+        }
+    }
+
+    /// The server end of `idx`'s connection: frame complete lines out of
+    /// the delivered bytes and dispatch them through the daemon's real
+    /// request parser — exactly what `conn_loop` does, minus the socket.
+    /// Stops while a submit is in flight (`busy`), as the real
+    /// connection thread blocks in `rx.recv()`.
+    fn pump_conn(&mut self, idx: usize) -> Result<(), String> {
+        loop {
+            if self.crashed {
+                return Ok(());
+            }
+            {
+                let conn = &self.clients[idx].conn;
+                if conn.closed || conn.busy {
+                    return Ok(());
+                }
+            }
+            let line = match self.clients[idx].conn.framer.next_line() {
+                Ok(Some(l)) => l,
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(format!("framer error for client {idx}: {e}")),
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = Request::parse_line(&line)
+                .map_err(|e| format!("client {idx} line failed to parse after framing: {e}"))?;
+            match req {
+                Request::Status => {
+                    let mut o = Json::obj();
+                    o.set("ok", true);
+                    o.set("protocol_version", PROTOCOL_VERSION);
+                    o.set("queued_instances", self.queue.depth().queued_instances);
+                    o.set("uptime_us", self.clock.now_us());
+                    let reply = o.to_compact();
+                    self.push_reply(idx, reply);
+                }
+                Request::Submit { key, inputs, .. } => {
+                    self.server_submit(idx, &key, &inputs)?;
+                }
+                other => return Err(format!("client {idx} sent unexpected request {other:?}")),
+            }
+        }
+    }
+
+    /// One submit attempt server-side: reserve → journal (durable) →
+    /// enqueue, the daemon's two-phase admission, against the real queue.
+    /// The parsed request must round-trip the client's pending job
+    /// bit-exactly — the framing-correctness check.
+    fn server_submit(
+        &mut self,
+        idx: usize,
+        key: &JobKey,
+        inputs: &[Vec<u64>],
+    ) -> Result<(), String> {
+        let n = inputs.len();
         self.stats.on_submit(n as u64);
+        {
+            let p = self.clients[idx]
+                .pending
+                .as_ref()
+                .ok_or_else(|| format!("client {idx}: submit line with no pending job"))?;
+            if p.key != *key || p.inputs != inputs {
+                return Err(format!(
+                    "framing corrupted client {idx}'s job: parsed submit differs from what was sent"
+                ));
+            }
+        }
+        // Fail-stop: after a failed fsync the journal refuses all new
+        // work up front — no reservation, no id, no append.
+        if let Some(e) = self.wal.failed.clone() {
+            self.stats.on_reject(n as u64);
+            let reply = resp_error("wal", &format!("journal fail-stopped: {e}")).to_compact();
+            self.push_reply(idx, reply);
+            return Ok(());
+        }
         let adm = match self.queue.reserve(n) {
             Ok(adm) => adm,
             Err(SubmitError::Overloaded { retry_after_ms }) => {
                 self.stats.on_reject(n as u64);
-                let now = self.clock.now_us();
-                self.clients[idx].phase =
-                    Phase::Pause { job, until_us: now + retry_after_ms * 1_000 };
+                let reply = resp_overloaded(retry_after_ms).to_compact();
+                self.push_reply(idx, reply);
                 return Ok(());
             }
             Err(SubmitError::Draining) => {
@@ -457,73 +741,145 @@ impl World {
         // stamped on the virtual clock (track 0 = the submit path).
         let accepted_us = self.clock.now_us();
         self.ring.record(accepted_us, 0, "accepted", id, n as i64);
-        let payload = {
-            let p = self.clients[idx].pending.as_ref().expect("pending drawn above");
-            submit_payload(id, &p.key, &p.inputs)
-        };
-        if self.wal_append(REC_SUBMIT, payload) {
+        if self.wal_append(REC_SUBMIT, submit_payload(id, key, inputs)) {
             // Crashed mid-submit: reservation and id die with the process.
             return Ok(());
         }
-        self.wal.sync();
+        if let Err(e) = self.wal.sync() {
+            // The submit's own fsync failed: undo the reservation and
+            // refuse — the job was never durably accepted.
+            self.queue.cancel(adm);
+            self.stats.on_reject(n as u64);
+            let reply = resp_error("wal", &format!("journal fail-stopped: {e}")).to_compact();
+            self.push_reply(idx, reply);
+            return Ok(());
+        }
         let journaled_us = self.clock.now_us();
         self.ring.record(journaled_us, 0, "journaled", id, 0);
-        let (key, inputs) = {
-            let p = self.clients[idx].pending.as_ref().expect("pending drawn above");
-            (p.key.clone(), p.inputs.clone())
-        };
-        let (tx, rx) = mpsc::channel();
+        let (tx, _rx) = mpsc::channel();
         let enqueued_us = self.clock.now_us();
-        let mut queued = Job::new(id, inputs, enqueued_us, tx);
+        let mut queued = Job::new(id, inputs.to_vec(), enqueued_us, tx);
         queued.stages = StageStamps { accepted_us, journaled_us, assembled_us: 0 };
-        self.queue.enqueue(adm, key, queued);
+        self.queue.enqueue(adm, key.clone(), queued);
         self.ring.record(enqueued_us, 0, "enqueued", id, 0);
         self.stats.on_accept(n as u64);
         self.owner.insert(id, idx);
         let c = &mut self.clients[idx];
-        c.rx = Some(rx);
         c.in_flight_id = Some(id);
-        c.phase = Phase::Await { job };
+        // The real connection thread now parks in rx.recv(): no further
+        // lines are processed until the reply (head-of-line blocking).
+        c.conn.busy = true;
         Ok(())
     }
 
-    fn receive(&mut self, idx: usize) -> Result<(), String> {
+    /// Deliver a finished reply line to `idx`'s connection.  Returns
+    /// `false` when the peer is gone — the mid-reply disconnect case,
+    /// counted here exactly once.
+    fn push_reply(&mut self, idx: usize, line: String) -> bool {
+        if self.clients[idx].conn.closed {
+            self.replies_unsent += 1;
+            self.stats.on_disconnect("mid-reply");
+            self.ring.record(self.clock.now_us(), 0, "disconnect", 0, 0);
+            false
+        } else {
+            self.clients[idx].conn.s2c.push_back(line);
+            true
+        }
+    }
+
+    /// The client reads (or refuses to read) the next queued reply line.
+    fn receive(&mut self, idx: usize, sched: &mut Schedule) -> Result<(), String> {
         let Phase::Await { job } = self.clients[idx].phase else {
             return Err("receive in wrong phase".into());
         };
-        let reply = match self.clients[idx].rx.as_ref().map(mpsc::Receiver::try_recv) {
-            Some(Ok(r)) => r,
-            Some(Err(_)) | None => {
-                // Spurious wake: keep waiting.
-                self.clients[idx].reply_ready = false;
-                return Ok(());
-            }
-        };
-        let id = self.clients[idx].in_flight_id.ok_or("reply with no in-flight job")?;
-        let done: JobDone = reply.map_err(|e| format!("job {id} failed in sim executor: {e}"))?;
-        {
-            let c = &self.clients[idx];
-            let expected = &c.pending.as_ref().ok_or("reply with no pending job")?.expected;
-            if &done.outputs != expected {
-                return Err(format!("job {id}: outputs do not match the executor function"));
-            }
+        // The client may drop instead of reading — the mid-reply
+        // disconnect decision (peeked, not drawn, on replay).
+        if sched.conn_recv_disconnects(self.cfg.conn_faults) {
+            self.decisions.push(Decision::Disconnect);
+            self.disconnect(idx);
+            return Ok(());
         }
-        let total = done.breakdown.as_ref().map_or(0, |b| b.total_us as i64);
-        self.ring.record(self.clock.now_us(), 0, "reply_written", id, total);
-        self.acked.push(id);
+        let line = self.clients[idx]
+            .conn
+            .s2c
+            .pop_front()
+            .ok_or_else(|| format!("client {idx} stepped in Await with no reply queued"))?;
+        let j = Json::parse(&line)
+            .map_err(|e| format!("client {idx} got an unparseable reply: {e}"))?;
+        if j.get("protocol_version").is_some() {
+            // A status-probe reply: consume it and keep waiting.
+            let c = &mut self.clients[idx];
+            if c.probes_outstanding == 0 {
+                return Err(format!("client {idx}: status reply with no probe outstanding"));
+            }
+            c.probes_outstanding -= 1;
+            return Ok(());
+        }
+        if j.get("ok") == Some(&Json::Bool(true)) {
+            let outputs: Vec<Vec<u64>> = j
+                .get("outputs")
+                .and_then(Json::as_arr)
+                .ok_or("ok reply has no outputs array")?
+                .iter()
+                .map(protocol::words_from_json)
+                .collect::<Result<_, _>>()?;
+            let id = self.clients[idx].in_flight_id.ok_or("reply with no in-flight job")?;
+            {
+                let c = &self.clients[idx];
+                let expected = &c.pending.as_ref().ok_or("reply with no pending job")?.expected;
+                if &outputs != expected {
+                    return Err(format!("job {id}: outputs do not match the executor function"));
+                }
+                // Probes precede submits on the wire, so their replies
+                // must have drained before the job reply.
+                if c.probes_outstanding != 0 {
+                    return Err(format!("job {id}'s reply overtook a status-probe reply"));
+                }
+            }
+            let exec = j.get("exec_us").and_then(Json::as_i64).unwrap_or(0);
+            self.ring.record(self.clock.now_us(), 0, "reply_written", id, exec);
+            let c = &mut self.clients[idx];
+            c.acked_jobs += 1;
+            c.pending = None;
+            c.in_flight_id = None;
+            self.advance_job(idx, job);
+            return Ok(());
+        }
+        match j.get("error").and_then(Json::as_str).unwrap_or("") {
+            "overloaded" => {
+                let retry_ms =
+                    j.get("retry_after_ms").and_then(Json::as_i64).unwrap_or(1).max(1) as u64;
+                let now = self.clock.now_us();
+                // Back off and re-offer the identical job.
+                self.clients[idx].phase = Phase::Pause { job, until_us: now + retry_ms * 1_000 };
+                Ok(())
+            }
+            "wal" => {
+                // The journal fail-stopped: the job is refused, not hung.
+                let c = &mut self.clients[idx];
+                c.refused_jobs += 1;
+                c.pending = None;
+                c.in_flight_id = None;
+                self.advance_job(idx, job);
+                Ok(())
+            }
+            other => Err(format!("client {idx} got unexpected error reply {other:?}: {line}")),
+        }
+    }
+
+    /// Move to the next job (or finish), consuming the think-time draw.
+    fn advance_job(&mut self, idx: usize, job: usize) {
         let next = job + 1;
+        let now = self.clock.now_us();
+        let flush = self.cfg.flush_after_us;
+        let jobs = self.cfg.jobs_per_client;
         let c = &mut self.clients[idx];
-        c.pending = None;
-        c.rx = None;
-        c.in_flight_id = None;
-        c.reply_ready = false;
-        if next >= self.cfg.jobs_per_client {
+        if next >= jobs {
             c.phase = Phase::Done;
         } else {
-            let think = c.rng.range_u64(0, self.cfg.flush_after_us * 2 + 1);
-            c.phase = Phase::Pause { job: next, until_us: self.clock.now_us() + think };
+            let think = c.rng.range_u64(0, flush * 2 + 1);
+            c.phase = Phase::Pause { job: next, until_us: now + think };
         }
-        Ok(())
     }
 
     fn step_worker(&mut self, idx: usize) -> Result<(), String> {
@@ -551,29 +907,32 @@ impl World {
                 self.stats.on_batch(p as u64, exec_us);
                 // Group commit: append every completion unsynced, then one
                 // fsync covers the batch.  A crash between lands cuts
-                // strictly inside the unsynced window.
-                for job in &batch.jobs {
-                    let outputs: Vec<Vec<u64>> = job
-                        .inputs
-                        .iter()
-                        .map(|i| i.iter().copied().map(exec_word).collect())
-                        .collect();
-                    if self.wal_append(REC_COMPLETE, complete_payload(job.id, Ok(&outputs))) {
-                        return Ok(());
+                // strictly inside the unsynced window.  After a fail-stop
+                // the journal takes no further appends at all.
+                let synced = if self.wal.failed.is_none() {
+                    for job in &batch.jobs {
+                        let outputs: Vec<Vec<u64>> = job
+                            .inputs
+                            .iter()
+                            .map(|i| i.iter().copied().map(exec_word).collect())
+                            .collect();
+                        if self.wal_append(REC_COMPLETE, complete_payload(job.id, Ok(&outputs))) {
+                            return Ok(());
+                        }
                     }
-                }
-                self.wal.sync();
+                    self.wal.sync().is_ok()
+                } else {
+                    false
+                };
+                // The deliberate CI bug: ack even though the completion
+                // never became durable.
+                let ack_anyway = bulkd::journal::ack_despite_fsync_error();
+                let mut involved: Vec<usize> = Vec::new();
                 for job in batch.jobs {
                     let n = job.inputs.len() as u64;
                     let queue_us = t0.saturating_sub(job.enqueued_us);
-                    let outputs: Vec<Vec<u64>> = job
-                        .inputs
-                        .iter()
-                        .map(|i| i.iter().copied().map(exec_word).collect())
-                        .collect();
                     *self.executed.entry(job.id).or_insert(0) += 1;
                     let done_us = self.clock.now_us();
-                    self.ring.record(done_us, track, "completion_journaled", job.id, 0);
                     let breakdown = StageBreakdown {
                         journal_us: job.stages.journaled_us.saturating_sub(job.stages.accepted_us),
                         queue_us: job.stages.assembled_us.saturating_sub(job.enqueued_us),
@@ -582,19 +941,46 @@ impl World {
                         finalize_us: done_us.saturating_sub(t0.saturating_add(exec_us)),
                         total_us: done_us.saturating_sub(job.stages.accepted_us),
                     };
-                    self.stats.on_job_done(&batch.key, n, queue_us, false, &breakdown);
-                    let _ = job.reply.send(Ok(JobDone {
-                        outputs,
-                        batch_p: p,
-                        queue_us,
-                        exec_us,
-                        breakdown: Some(breakdown),
-                    }));
-                    if let Some(&client) = self.owner.get(&job.id) {
-                        self.clients[client].reply_ready = true;
+                    let client = self.owner.get(&job.id).copied();
+                    if synced || ack_anyway {
+                        let outputs: Vec<Vec<u64>> = job
+                            .inputs
+                            .iter()
+                            .map(|i| i.iter().copied().map(exec_word).collect())
+                            .collect();
+                        self.ring.record(done_us, track, "completion_journaled", job.id, 0);
+                        self.stats.on_job_done(&batch.key, n, queue_us, false, &breakdown);
+                        let reply = resp_outputs(&outputs, p, queue_us, exec_us, None).to_compact();
+                        if let Some(ci) = client {
+                            // "Acked" = the reply reached an open
+                            // connection, the durability contract's
+                            // observable edge.
+                            if self.push_reply(ci, reply) {
+                                self.acked.push(job.id);
+                            }
+                        }
+                    } else {
+                        // Fail-stop: the waiter gets an error, not a hang.
+                        self.ring.record(done_us, track, "completion_refused", job.id, -1);
+                        self.stats.on_job_done(&batch.key, n, queue_us, true, &breakdown);
+                        let reply =
+                            resp_error("wal", "journal fail-stopped: completion not durable")
+                                .to_compact();
+                        if let Some(ci) = client {
+                            self.push_reply(ci, reply);
+                        }
+                    }
+                    if let Some(ci) = client {
+                        self.clients[ci].conn.busy = false;
+                        involved.push(ci);
                     }
                 }
                 self.queue.batch_done();
+                // The connection threads unpark: process any lines that
+                // were framed while the submit was in flight.
+                for ci in involved {
+                    self.pump_conn(ci)?;
+                }
                 Ok(())
             }
             TryNext::Empty { next_deadline_us } => {
@@ -639,14 +1025,7 @@ impl World {
         let mut durable_submits: BTreeSet<u64> = BTreeSet::new();
         let mut durable_completes: BTreeSet<u64> = BTreeSet::new();
         for rec in survivors {
-            let text = std::str::from_utf8(&rec.payload)
-                .map_err(|e| format!("survivor seq {}: {e}", rec.seq))?;
-            let j = Json::parse(text).map_err(|e| format!("survivor seq {}: {e}", rec.seq))?;
-            let id = j
-                .get("job")
-                .and_then(Json::as_i64)
-                .ok_or_else(|| format!("survivor seq {} has no job id", rec.seq))?
-                as u64;
+            let id = record_job_id(rec).map_err(|e| format!("survivor {e}"))?;
             match rec.rec_type {
                 REC_SUBMIT => {
                     durable_submits.insert(id);
@@ -758,7 +1137,8 @@ impl World {
     }
 }
 
-/// How the main loop picks among runnable actors.
+/// How the main loop picks among runnable actors and resolves connection
+/// decisions.
 enum Schedule {
     Seeded(Rng),
     Replay { decisions: Vec<Decision>, pos: usize },
@@ -770,19 +1150,86 @@ impl Schedule {
             Self::Seeded(rng) => Ok(runnable[rng.range_u64(0, runnable.len() as u64) as usize]),
             Self::Replay { decisions, pos } => {
                 // Advance/Crash entries are deterministic consequences —
-                // regenerated, not consumed.  Only Steps are decisions.
+                // regenerated, not consumed.  Steps are decisions; a
+                // connection event here means the replayed world fell out
+                // of sync with the recording.
                 while let Some(d) = decisions.get(*pos) {
                     *pos += 1;
-                    if let Decision::Step(a) = d {
-                        if !runnable.contains(a) {
+                    match d {
+                        Decision::Step(a) => {
+                            if !runnable.contains(a) {
+                                return Err(format!(
+                                    "trace divergence: {a:?} is not runnable at this point"
+                                ));
+                            }
+                            return Ok(*a);
+                        }
+                        Decision::Advance(_) | Decision::Crash(_) => {}
+                        Decision::Deliver(_) | Decision::Disconnect => {
                             return Err(format!(
-                                "trace divergence: {a:?} is not runnable at this point"
+                                "trace divergence: connection event {d:?} where a \
+                                 scheduler step was expected"
                             ));
                         }
-                        return Ok(*a);
                     }
                 }
                 Err("trace exhausted before the world finished".into())
+            }
+        }
+    }
+
+    /// Resolve one send-side connection decision: deliver 1..=pending
+    /// bytes, or drop.  Without faults every send delivers in one piece
+    /// (still recorded, so no-fault traces replay through the same path).
+    fn conn_send(&mut self, pending: u64, faults: bool) -> Result<Decision, String> {
+        match self {
+            Self::Seeded(rng) => {
+                if faults && rng.range_u64(0, 12) == 0 {
+                    return Ok(Decision::Disconnect);
+                }
+                let n = if faults {
+                    match rng.range_u64(0, 3) {
+                        0 => 1,                             // one-byte dribble
+                        1 => rng.range_u64(1, pending + 1), // arbitrary split
+                        _ => pending,                       // everything at once
+                    }
+                } else {
+                    pending
+                };
+                Ok(Decision::Deliver(n))
+            }
+            Self::Replay { decisions, pos } => match decisions.get(*pos).copied() {
+                Some(Decision::Deliver(n)) => {
+                    *pos += 1;
+                    if n == 0 || n > pending {
+                        return Err(format!("trace divergence: deliver {n} outside 1..={pending}"));
+                    }
+                    Ok(Decision::Deliver(n))
+                }
+                Some(Decision::Disconnect) => {
+                    *pos += 1;
+                    Ok(Decision::Disconnect)
+                }
+                other => {
+                    Err(format!("trace divergence: expected a connection event, found {other:?}"))
+                }
+            },
+        }
+    }
+
+    /// Resolve a receive-side disconnect decision.  A plain read records
+    /// nothing, so on replay this *peeks*: it consumes the next decision
+    /// only when it is the recorded `d`.
+    fn conn_recv_disconnects(&mut self, faults: bool) -> bool {
+        match self {
+            Self::Seeded(rng) => faults && rng.range_u64(0, 12) == 0,
+            Self::Replay { decisions, pos } => {
+                if decisions.get(*pos) == Some(&Decision::Disconnect) {
+                    *pos += 1;
+                    true
+                } else {
+                    false
+                }
             }
         }
     }
@@ -791,10 +1238,17 @@ impl Schedule {
 fn run_world(
     cfg: &SimConfig,
     crash: Option<CrashPlan>,
+    fsync_error_at: Option<u64>,
     mut schedule: Schedule,
 ) -> Result<RunOutcome, SimFailure> {
-    let fail = |message: String| SimFailure { seed: cfg.seed, crash, message };
-    let mut w = World::new(cfg, crash);
+    let fail = |message: String| SimFailure {
+        seed: cfg.seed,
+        crash,
+        conn_faults: cfg.conn_faults,
+        fsync_error_at,
+        message,
+    };
+    let mut w = World::new(cfg, crash, fsync_error_at);
     let mut steps = 0u64;
     loop {
         if steps > STEP_LIMIT {
@@ -832,7 +1286,7 @@ fn run_world(
         w.decisions.push(Decision::Step(actor));
         steps += 1;
         let res = match actor {
-            Actor::Client(c) => w.step_client(c as usize),
+            Actor::Client(c) => w.step_client(c as usize, &mut schedule),
             Actor::Worker(wk) => w.step_worker(wk as usize),
         };
         res.map_err(&fail)?;
@@ -848,16 +1302,56 @@ fn run_world(
         if !w.queue.drained() {
             return Err(fail("queue not drained at clean shutdown".into()));
         }
-        let total_jobs = (cfg.clients * cfg.jobs_per_client) as u64;
-        if w.acked.len() as u64 != total_jobs {
+        // Durable-ack invariant, under every fault plan: a job was acked
+        // only if its completion record sits inside the *synced* prefix.
+        // This is the check the feature-gated ack-before-fsync bug trips.
+        let mut durable_completes: BTreeSet<u64> = BTreeSet::new();
+        for rec in &w.wal.records[..w.wal.synced_len] {
+            if rec.rec_type == REC_COMPLETE {
+                durable_completes.insert(record_job_id(rec).map_err(&fail)?);
+            }
+        }
+        for id in &w.acked {
+            if !durable_completes.contains(id) {
+                return Err(fail(format!(
+                    "acked job {id} has no durable completion record in the synced prefix \
+                     (ack must not outrun the fsync)"
+                )));
+            }
+        }
+        if w.wal.appends_after_fail > 0 {
             return Err(fail(format!(
-                "{} of {total_jobs} jobs acknowledged at clean shutdown",
-                w.acked.len()
+                "{} WAL appends after the journal fail-stopped",
+                w.wal.appends_after_fail
             )));
         }
         for (id, count) in &w.executed {
             if *count != 1 {
                 return Err(fail(format!("job {id} executed {count} times (want exactly 1)")));
+            }
+        }
+        if cfg.conn_faults || fsync_error_at.is_some() {
+            // Faulty worlds may lose clients to disconnects and refuse
+            // jobs after a fail-stop, but every *surviving* client must
+            // have had each of its jobs either acked or refused — no
+            // hangs, no losses.
+            for (i, c) in w.clients.iter().enumerate() {
+                if matches!(c.phase, Phase::Done)
+                    && c.acked_jobs + c.refused_jobs != cfg.jobs_per_client
+                {
+                    return Err(fail(format!(
+                        "client {i} finished with {} acked + {} refused of {} jobs",
+                        c.acked_jobs, c.refused_jobs, cfg.jobs_per_client
+                    )));
+                }
+            }
+        } else {
+            let total_jobs = (cfg.clients * cfg.jobs_per_client) as u64;
+            if w.acked.len() as u64 != total_jobs {
+                return Err(fail(format!(
+                    "{} of {total_jobs} jobs acknowledged at clean shutdown",
+                    w.acked.len()
+                )));
             }
         }
         None
@@ -869,26 +1363,37 @@ fn run_world(
         trace: Trace { decisions: w.decisions },
         stats,
         appends: w.wal.appends,
+        syncs: w.wal.syncs,
         append_sync_floor: w.wal.sync_floor.clone(),
         acked: w.acked,
         events,
         crash: crash_report,
         steps,
+        deliveries: w.deliveries,
+        partial_deliveries: w.partial_deliveries,
+        disconnects: w.disconnects,
+        replies_unsent: w.replies_unsent,
+        fail_stopped: w.wal.failed.is_some(),
     })
 }
 
-/// Run one seeded schedule (optionally with an injected crash), checking
-/// every invariant.
+/// Run one seeded schedule (optionally with an injected crash and/or an
+/// injected fsync error at the `fsync_error_at`-th sync attempt),
+/// checking every invariant.
 ///
 /// # Errors
 ///
-/// A [`SimFailure`] carrying the reproducer seed (and crash point).
-pub fn run(cfg: &SimConfig, crash: Option<CrashPlan>) -> Result<RunOutcome, SimFailure> {
-    run_world(cfg, crash, Schedule::Seeded(Rng::new(cfg.seed)))
+/// A [`SimFailure`] carrying the reproducer seed (and fault plan).
+pub fn run(
+    cfg: &SimConfig,
+    crash: Option<CrashPlan>,
+    fsync_error_at: Option<u64>,
+) -> Result<RunOutcome, SimFailure> {
+    run_world(cfg, crash, fsync_error_at, Schedule::Seeded(Rng::new(cfg.seed)))
 }
 
-/// Replay a recorded trace: scheduler decisions come from the trace
-/// instead of the seed's RNG, and the regenerated trace must be
+/// Replay a recorded trace: scheduler and connection decisions come from
+/// the trace instead of the seed's RNG, and the regenerated trace must be
 /// bit-identical to the input.
 ///
 /// # Errors
@@ -897,14 +1402,21 @@ pub fn run(cfg: &SimConfig, crash: Option<CrashPlan>) -> Result<RunOutcome, SimF
 pub fn replay_trace(
     cfg: &SimConfig,
     crash: Option<CrashPlan>,
+    fsync_error_at: Option<u64>,
     trace: &Trace,
 ) -> Result<RunOutcome, SimFailure> {
-    let out =
-        run_world(cfg, crash, Schedule::Replay { decisions: trace.decisions.clone(), pos: 0 })?;
+    let out = run_world(
+        cfg,
+        crash,
+        fsync_error_at,
+        Schedule::Replay { decisions: trace.decisions.clone(), pos: 0 },
+    )?;
     if &out.trace != trace {
         return Err(SimFailure {
             seed: cfg.seed,
             crash,
+            conn_faults: cfg.conn_faults,
+            fsync_error_at,
             message: "replay diverged: regenerated trace differs from input".into(),
         });
     }
@@ -917,12 +1429,20 @@ pub struct ExploreReport {
     /// Seeds explored.
     pub seeds: u64,
     /// Distinct schedules executed (clean runs + determinism re-runs +
-    /// trace replays + crash scenarios).
+    /// trace replays + crash scenarios + fsync-error scenarios).
     pub schedules: u64,
     /// Crash scenarios among them (one per reachable WAL cut point).
     pub crash_scenarios: u64,
+    /// Fsync-error scenarios among them (one per reachable sync attempt).
+    pub fsync_error_scenarios: u64,
     /// Scheduler decisions taken across all schedules.
     pub total_steps: u64,
+    /// Connection delivery decisions across the base runs.
+    pub deliveries: u64,
+    /// Partial (framing-torture) deliveries across the base runs.
+    pub partial_deliveries: u64,
+    /// Injected disconnects across the base runs.
+    pub disconnects: u64,
 }
 
 impl ExploreReport {
@@ -933,28 +1453,44 @@ impl ExploreReport {
         o.set("seeds", self.seeds);
         o.set("schedules", self.schedules);
         o.set("crash_scenarios", self.crash_scenarios);
+        o.set("fsync_error_scenarios", self.fsync_error_scenarios);
         o.set("total_steps", self.total_steps);
+        o.set("deliveries", self.deliveries);
+        o.set("partial_deliveries", self.partial_deliveries);
+        o.set("disconnects", self.disconnects);
         o
     }
 }
 
 /// Explore `seeds` seeded schedules starting at `seed0`.  Per seed: run
-/// twice (bit-identical trace + stats required), replay the trace, then
-/// sweep a crash over every reachable WAL cut point — every append
-/// index, every legal surviving prefix.
+/// twice (bit-identical trace + stats required), replay the trace, sweep
+/// a crash over every reachable WAL cut point — every append index,
+/// every legal surviving prefix — and, when `fsync_errors` is set, sweep
+/// an injected fsync failure over every sync attempt the clean run made.
+///
+/// Connection faults are controlled by `base.conn_faults` and apply to
+/// every schedule explored.
 ///
 /// # Errors
 ///
 /// The first [`SimFailure`] found, reproducible from its message.
-pub fn explore(base: &SimConfig, seed0: u64, seeds: u64) -> Result<ExploreReport, SimFailure> {
+pub fn explore(
+    base: &SimConfig,
+    seed0: u64,
+    seeds: u64,
+    fsync_errors: bool,
+) -> Result<ExploreReport, SimFailure> {
     let mut report = ExploreReport { seeds, ..ExploreReport::default() };
     for seed in seed0..seed0.saturating_add(seeds) {
         let mut cfg = base.clone();
         cfg.seed = seed;
-        let first = run(&cfg, None)?;
-        let second = run(&cfg, None)?;
+        let first = run(&cfg, None, None)?;
+        let second = run(&cfg, None, None)?;
         report.schedules += 2;
         report.total_steps += first.steps + second.steps;
+        report.deliveries += first.deliveries;
+        report.partial_deliveries += first.partial_deliveries;
+        report.disconnects += first.disconnects;
         if first.trace != second.trace
             || first.stats != second.stats
             || first.events != second.events
@@ -962,19 +1498,43 @@ pub fn explore(base: &SimConfig, seed0: u64, seeds: u64) -> Result<ExploreReport
             return Err(SimFailure {
                 seed,
                 crash: None,
+                conn_faults: cfg.conn_faults,
+                fsync_error_at: None,
                 message: "nondeterminism: two runs of the same seed diverged".into(),
             });
         }
-        let replayed = replay_trace(&cfg, None, &first.trace)?;
+        let replayed = replay_trace(&cfg, None, None, &first.trace)?;
         report.schedules += 1;
         report.total_steps += replayed.steps;
         for k in 1..=first.appends {
             let floor = first.append_sync_floor[(k - 1) as usize];
             for cut in floor..=k {
-                let out = run(&cfg, Some(CrashPlan { after_append: k, cut }))?;
+                let out = run(&cfg, Some(CrashPlan { after_append: k, cut }), None)?;
                 report.schedules += 1;
                 report.crash_scenarios += 1;
                 report.total_steps += out.steps;
+            }
+        }
+        if fsync_errors {
+            // The faulted run shares the clean run's schedule prefix up
+            // to the failing sync, so every attempt 1..=syncs is
+            // reachable and must end in a clean fail-stop.
+            for s in 1..=first.syncs {
+                let out = run(&cfg, None, Some(s))?;
+                report.schedules += 1;
+                report.fsync_error_scenarios += 1;
+                report.total_steps += out.steps;
+                if !out.fail_stopped {
+                    return Err(SimFailure {
+                        seed,
+                        crash: None,
+                        conn_faults: cfg.conn_faults,
+                        fsync_error_at: Some(s),
+                        message: format!(
+                            "injected fsync error at sync {s} did not fail-stop the journal"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -988,8 +1548,8 @@ mod tests {
     #[test]
     fn same_seed_is_bit_identical() {
         let cfg = SimConfig::new(42);
-        let a = run(&cfg, None).unwrap();
-        let b = run(&cfg, None).unwrap();
+        let a = run(&cfg, None, None).unwrap();
+        let b = run(&cfg, None, None).unwrap();
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.acked, b.acked);
@@ -1000,20 +1560,26 @@ mod tests {
             assert!(a.events.contains(stage), "event stream is missing stage {stage:?}");
         }
         assert!(a.appends > 0);
+        assert!(a.syncs > 0);
+        // Even fault-free runs route every request through the simulated
+        // connection, so delivery decisions appear in the trace.
+        assert!(a.deliveries > 0, "no connection deliveries recorded");
+        assert!(a.trace.to_string().contains('f'), "no deliver tokens in the trace");
+        assert_eq!(a.disconnects, 0, "fault-free run must not disconnect");
     }
 
     #[test]
     fn different_seeds_take_different_schedules() {
-        let a = run(&SimConfig::new(1), None).unwrap();
-        let b = run(&SimConfig::new(2), None).unwrap();
+        let a = run(&SimConfig::new(1), None, None).unwrap();
+        let b = run(&SimConfig::new(2), None, None).unwrap();
         assert_ne!(a.trace, b.trace, "two seeds, one schedule: RNG not wired in");
     }
 
     #[test]
     fn trace_replays_bit_identically() {
         let cfg = SimConfig::new(7);
-        let out = run(&cfg, None).unwrap();
-        let replayed = replay_trace(&cfg, None, &out.trace).unwrap();
+        let out = run(&cfg, None, None).unwrap();
+        let replayed = replay_trace(&cfg, None, None, &out.trace).unwrap();
         assert_eq!(replayed.trace, out.trace);
         assert_eq!(replayed.stats, out.stats);
         assert_eq!(replayed.events, out.events, "replay must reproduce the event stream");
@@ -1025,24 +1591,25 @@ mod tests {
     #[test]
     fn clean_run_acks_every_job_exactly_once() {
         let cfg = SimConfig::new(1234);
-        let out = run(&cfg, None).unwrap();
+        let out = run(&cfg, None, None).unwrap();
         assert_eq!(out.acked.len(), cfg.clients * cfg.jobs_per_client);
         let mut sorted = out.acked.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), out.acked.len(), "no job acked twice");
         assert!(out.crash.is_none());
+        assert!(!out.fail_stopped);
     }
 
     #[test]
     fn crash_sweep_over_every_cut_point_holds_invariants() {
         let cfg = SimConfig::new(99);
-        let base = run(&cfg, None).unwrap();
+        let base = run(&cfg, None, None).unwrap();
         let mut scenarios = 0;
         for k in 1..=base.appends {
             let floor = base.append_sync_floor[(k - 1) as usize];
             for cut in floor..=k {
-                let out = run(&cfg, Some(CrashPlan { after_append: k, cut })).unwrap();
+                let out = run(&cfg, Some(CrashPlan { after_append: k, cut }), None).unwrap();
                 let c = out.crash.expect("crash plan must fire");
                 assert_eq!(c.cut, cut);
                 assert_eq!(c.second_life_executed, c.requeued);
@@ -1052,12 +1619,106 @@ mod tests {
         assert!(scenarios > base.appends, "sweep must include unsynced-window cuts");
     }
 
+    /// The tentpole's connection-fault path: partial deliveries, probes
+    /// racing submits, and disconnects all occur across a small seed
+    /// range; every faulted schedule is bit-identical on re-run and
+    /// replays from its trace.
+    #[test]
+    fn conn_fault_runs_are_deterministic_and_replayable() {
+        let mut partial = 0u64;
+        let mut drops = 0u64;
+        let mut unsent = 0u64;
+        for seed in 0..12u64 {
+            let mut cfg = SimConfig::new(seed);
+            cfg.conn_faults = true;
+            let a = run(&cfg, None, None).unwrap();
+            let b = run(&cfg, None, None).unwrap();
+            assert_eq!(a.trace, b.trace, "seed {seed}: conn-fault schedule not deterministic");
+            assert_eq!(a.stats, b.stats, "seed {seed}: stats diverged");
+            assert_eq!(a.events, b.events, "seed {seed}: events diverged");
+            let replayed = replay_trace(&cfg, None, None, &a.trace).unwrap();
+            assert_eq!(replayed.stats, a.stats, "seed {seed}: replay diverged");
+            partial += a.partial_deliveries;
+            drops += a.disconnects;
+            unsent += a.replies_unsent;
+        }
+        assert!(partial > 0, "fault exploration never split a delivery");
+        assert!(drops > 0, "fault exploration never dropped a connection");
+        assert!(unsent > 0, "fault exploration never orphaned a finished reply");
+    }
+
+    /// Mid-submit and mid-reply disconnects leave the server's ledger
+    /// balanced (check_balanced runs at clean end) and are visible in
+    /// the stats snapshot's connections section.
+    #[test]
+    fn disconnects_show_up_in_stats_and_stay_balanced() {
+        let mut saw_disconnect_stat = false;
+        for seed in 0..20u64 {
+            let mut cfg = SimConfig::new(seed);
+            cfg.conn_faults = true;
+            let out = run(&cfg, None, None).unwrap();
+            if out.disconnects > 0 && out.stats.contains("\"disconnects\"") {
+                saw_disconnect_stat = true;
+            }
+        }
+        assert!(saw_disconnect_stat, "no seed surfaced disconnect counters in stats");
+    }
+
+    /// The fsync-error sweep: fail every sync attempt the clean run made
+    /// and require a clean fail-stop — waiters errored (not hung, the
+    /// run terminates), no job acked without a durable completion, no
+    /// appends after the failure, durable prefix frozen.
+    #[test]
+    fn fsync_error_sweep_fail_stops_cleanly() {
+        let cfg = SimConfig::new(5);
+        let base = run(&cfg, None, None).unwrap();
+        assert!(base.syncs >= 2, "world too small to exercise fsync errors");
+        for s in 1..=base.syncs {
+            let out = run(&cfg, None, Some(s)).unwrap();
+            assert!(out.fail_stopped, "sync {s}: injected error did not fail-stop");
+            assert!(
+                out.acked.len() < cfg.clients * cfg.jobs_per_client,
+                "sync {s}: every job acked despite a failed fsync"
+            );
+            assert!(out.stats.contains("\"fail_stopped\":true"), "sync {s}: {}", out.stats);
+            // The faulted schedule replays bit-identically too.
+            let replayed = replay_trace(&cfg, None, Some(s), &out.trace).unwrap();
+            assert_eq!(replayed.stats, out.stats, "sync {s}: replay diverged");
+        }
+    }
+
+    /// Fsync errors and connection faults compose: the fail-stop
+    /// invariants hold even while deliveries are split and peers drop.
+    #[test]
+    fn fsync_errors_compose_with_conn_faults() {
+        for seed in 0..6u64 {
+            let mut cfg = SimConfig::new(seed);
+            cfg.conn_faults = true;
+            let base = run(&cfg, None, None).unwrap();
+            for s in 1..=base.syncs {
+                let out = run(&cfg, None, Some(s)).unwrap();
+                assert!(out.fail_stopped, "seed {seed} sync {s}: no fail-stop");
+            }
+        }
+    }
+
     #[test]
     fn explore_counts_schedules_and_stays_clean() {
-        let rep = explore(&SimConfig::new(0), 1, 3).unwrap();
+        let rep = explore(&SimConfig::new(0), 1, 3, false).unwrap();
         assert_eq!(rep.seeds, 3);
         assert!(rep.crash_scenarios > 0);
         assert!(rep.schedules > rep.crash_scenarios);
+        assert_eq!(rep.fsync_error_scenarios, 0);
+        assert!(rep.deliveries > 0);
+    }
+
+    #[test]
+    fn explore_with_faults_counts_fault_scenarios() {
+        let mut base = SimConfig::new(0);
+        base.conn_faults = true;
+        let rep = explore(&base, 1, 3, true).unwrap();
+        assert!(rep.fsync_error_scenarios > 0, "no fsync-error scenarios explored");
+        assert!(rep.partial_deliveries > 0, "no partial deliveries explored");
     }
 
     #[test]
@@ -1065,11 +1726,25 @@ mod tests {
         let f = SimFailure {
             seed: 77,
             crash: Some(CrashPlan { after_append: 5, cut: 4 }),
+            conn_faults: false,
+            fsync_error_at: None,
             message: "boom".into(),
         };
         let text = f.to_string();
         assert!(text.contains("seed 77"), "{text}");
         assert!(text.contains("--replay 77"), "{text}");
         assert!(text.contains("--crash-at 5"), "{text}");
+        assert!(!text.contains("--conn-faults"), "{text}");
+        let f = SimFailure {
+            seed: 9,
+            crash: None,
+            conn_faults: true,
+            fsync_error_at: Some(3),
+            message: "boom".into(),
+        };
+        let text = f.to_string();
+        assert!(text.contains("--replay 9"), "{text}");
+        assert!(text.contains("--conn-faults"), "{text}");
+        assert!(text.contains("--fsync-fail-at 3"), "{text}");
     }
 }

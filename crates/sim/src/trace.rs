@@ -7,12 +7,17 @@
 //!
 //! ```text
 //! trace    := token*
-//! token    := step | advance | crash
+//! token    := step | advance | crash | deliver | disconnect
 //! step     := "c" INDEX          client INDEX ran one step
 //!           | "w" INDEX          worker INDEX ran one step
 //! advance  := "a" MICROS         virtual clock jumped to MICROS
 //! crash    := "x" CUT            world crashed; the first CUT WAL
 //!                                records survived
+//! deliver  := "f" BYTES          the stepped client's connection
+//!                                delivered BYTES pending bytes (a
+//!                                framing decision; follows its step)
+//! disconnect := "d"              the stepped client's connection
+//!                                dropped (bare token, no number)
 //! ```
 //!
 //! Replaying a trace feeds these decisions back instead of drawing from
@@ -39,6 +44,12 @@ pub enum Decision {
     Advance(u64),
     /// The world crashed; the first `cut` WAL records survived.
     Crash(u64),
+    /// The stepped client's connection delivered this many pending
+    /// bytes toward the server's framer.
+    Deliver(u64),
+    /// The stepped client's connection dropped — mid-submit if bytes
+    /// were still pending or buffered, mid-reply if a reply was queued.
+    Disconnect,
 }
 
 /// A full run's decision sequence.
@@ -59,6 +70,8 @@ impl fmt::Display for Trace {
                 Decision::Step(Actor::Worker(w)) => write!(f, "w{w}")?,
                 Decision::Advance(t) => write!(f, "a{t}")?,
                 Decision::Crash(cut) => write!(f, "x{cut}")?,
+                Decision::Deliver(n) => write!(f, "f{n}")?,
+                Decision::Disconnect => f.write_str("d")?,
             }
         }
         Ok(())
@@ -74,6 +87,10 @@ impl Trace {
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut decisions = Vec::new();
         for tok in text.split_whitespace() {
+            if tok == "d" {
+                decisions.push(Decision::Disconnect);
+                continue;
+            }
             let (kind, num) = tok.split_at(1);
             let n: u64 =
                 num.parse().map_err(|_| format!("trace token {tok:?}: {num:?} is not a number"))?;
@@ -82,6 +99,8 @@ impl Trace {
                 "w" => Decision::Step(Actor::Worker(n as u32)),
                 "a" => Decision::Advance(n),
                 "x" => Decision::Crash(n),
+                "f" => Decision::Deliver(n),
+                // A numbered "d…" is malformed: disconnect is bare.
                 other => return Err(format!("trace token {tok:?}: unknown kind {other:?}")),
             };
             decisions.push(d);
@@ -112,9 +131,54 @@ mod tests {
     }
 
     #[test]
+    fn conn_events_round_trip_through_text() {
+        let t = Trace {
+            decisions: vec![
+                Decision::Step(Actor::Client(0)),
+                Decision::Deliver(3),
+                Decision::Step(Actor::Client(1)),
+                Decision::Disconnect,
+                Decision::Step(Actor::Worker(0)),
+                Decision::Deliver(1),
+            ],
+        };
+        let text = t.to_string();
+        assert_eq!(text, "c0 f3 c1 d w0 f1");
+        assert_eq!(Trace::parse(&text).unwrap(), t);
+    }
+
+    #[test]
     fn rejects_malformed_tokens() {
-        for bad in ["q1", "c", "cx", "a-5", "c1 w2 zz"] {
+        // "d5" is malformed on purpose: disconnect carries no number, so
+        // a numbered spelling is a grammar error, not a silent zero.
+        for bad in ["q1", "c", "cx", "a-5", "c1 w2 zz", "d5", "f", "fx", "f-1", "dd"] {
             assert!(Trace::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    /// Property test: seeded random traces over the full grammar —
+    /// including the connection events — survive Display → parse
+    /// bit-identically, for every seed.
+    #[test]
+    fn random_traces_round_trip_for_every_seed() {
+        for seed in 0..200u64 {
+            let mut rng = obs::Rng::new(seed ^ 0xDECADE);
+            let len = rng.range_u64(0, 40) as usize;
+            let decisions: Vec<Decision> = (0..len)
+                .map(|_| match rng.range_u64(0, 6) {
+                    0 => Decision::Step(Actor::Client(rng.range_u64(0, 64) as u32)),
+                    1 => Decision::Step(Actor::Worker(rng.range_u64(0, 64) as u32)),
+                    2 => Decision::Advance(rng.range_u64(0, 1 << 40)),
+                    3 => Decision::Crash(rng.range_u64(0, 1 << 20)),
+                    4 => Decision::Deliver(rng.range_u64(1, 1 << 16)),
+                    _ => Decision::Disconnect,
+                })
+                .collect();
+            let t = Trace { decisions };
+            let text = t.to_string();
+            let back = Trace::parse(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(back, t, "seed {seed} diverged through the text form");
+            assert_eq!(back.to_string(), text, "seed {seed}: re-display diverged");
         }
     }
 }

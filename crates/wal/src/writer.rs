@@ -115,6 +115,13 @@ pub struct Wal {
     pending_sync: u64,
     last_sync: Instant,
     metrics: WalMetrics,
+    /// Fsync attempts made (successful or not) — the failpoint's clock.
+    sync_attempts: u64,
+    /// Failpoint: every fsync attempt from the Nth on reports failure.
+    /// The failure is sticky by construction (`sync_attempts` only
+    /// grows), modelling a device that has gone bad — the fail-stop
+    /// regime journals must handle.
+    fail_sync_at: Option<u64>,
 }
 
 fn sync_dir(dir: &Path) -> Result<(), String> {
@@ -202,6 +209,8 @@ impl Wal {
             pending_sync: 0,
             last_sync: Instant::now(),
             metrics,
+            sync_attempts: 0,
+            fail_sync_at: None,
         };
         Ok((wal, found))
     }
@@ -268,6 +277,16 @@ impl Wal {
     /// The underlying `fsync` failing.
     pub fn sync(&mut self) -> Result<(), String> {
         if self.pending_sync > 0 {
+            self.sync_attempts += 1;
+            if self.fail_sync_at.is_some_and(|n| self.sync_attempts >= n) {
+                // `pending_sync` stays set: the unsynced records remain
+                // non-durable and every later attempt fails again.
+                return Err(format!(
+                    "fsync {}: injected failure (attempt {})",
+                    self.active_path.display(),
+                    self.sync_attempts
+                ));
+            }
             self.active
                 .sync_data()
                 .map_err(|e| format!("fsync {}: {e}", self.active_path.display()))?;
@@ -276,6 +295,14 @@ impl Wal {
         }
         self.last_sync = Instant::now();
         Ok(())
+    }
+
+    /// Arm the fsync failpoint: the `nth` fsync attempt (1-based, counted
+    /// across the log's lifetime) and every one after it fail with an
+    /// injected error, leaving unsynced records non-durable.  Test-only
+    /// fault injection for exercising journal fail-stop paths.
+    pub fn inject_fsync_error(&mut self, nth: u64) {
+        self.fail_sync_at = Some(nth.max(1));
     }
 
     /// Seal the active segment and start a fresh one.
@@ -543,6 +570,20 @@ mod tests {
         drop(wal);
         let (_, scan) = Wal::open(cfg(&dir)).unwrap();
         assert_eq!(scan.records.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_fsync_errors_are_sticky_and_leave_records_pending() {
+        let dir = temp_dir("failpoint");
+        let (mut wal, _) = Wal::open(cfg(&dir)).unwrap();
+        wal.inject_fsync_error(2);
+        wal.append(1, b"survives").unwrap(); // attempt 1 succeeds
+        let e = wal.append(1, b"doomed").unwrap_err(); // attempt 2 fails
+        assert!(e.contains("injected failure"), "{e}");
+        // Sticky: explicit syncs keep failing, fsync count stays at 1.
+        assert!(wal.sync().unwrap_err().contains("injected failure"));
+        assert_eq!(wal.metrics().fsyncs, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
