@@ -4,6 +4,24 @@ use crate::protocol::{words_from_json, JobKey, Request};
 use obs::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Transport tuning for [`Client::connect_with`].
+///
+/// The defaults (both `None`) reproduce the historical behavior: block
+/// until the OS gives up on the dial, and forever on a read.  Anything
+/// probing servers that may be dead or wedged — the router's health
+/// checker above all — must set both, or a single hung backend stalls the
+/// caller indefinitely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientConfig {
+    /// Give up dialing after this long (`None` = the OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Fail any reply read that stalls longer than this (`None` = block
+    /// forever).  Submits block for a full queue-wait + execution, so
+    /// leave headroom well above the server's flush window.
+    pub read_timeout: Option<Duration>,
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -69,13 +87,53 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to `addr`.
+    /// Connect to `addr` with no timeouts (see [`ClientConfig`]).
     ///
     /// # Errors
     ///
     /// Propagates connect failures.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connect to `addr` under `cfg`'s connect/read timeouts.
+    ///
+    /// With a connect timeout, every resolved address is tried in turn
+    /// (mirroring [`TcpStream::connect`]); the last dial error wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures, resolution failures, and rejected
+    /// socket options (a zero timeout is invalid).
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: &ClientConfig) -> std::io::Result<Client> {
+        let writer = match cfg.connect_timeout {
+            None => TcpStream::connect(&addr)?,
+            Some(timeout) => {
+                let mut last: Option<std::io::Error> = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no candidates",
+                            )
+                        }))
+                    }
+                }
+            }
+        };
+        writer.set_read_timeout(cfg.read_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
     }

@@ -41,13 +41,13 @@ pub mod queue;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, ClientError, SubmitOk};
+pub use client::{Client, ClientConfig, ClientError, SubmitOk};
 pub use clock::{
     real_runtime, Clock, RealClock, Scheduler, SimScheduler, ThreadScheduler, VirtualClock,
 };
 pub use journal::{Journal, JournalConfig, RecoveredJob, Recovery};
-pub use loadgen::{cold_key, run_loadgen, LoadgenConfig, LoadgenReport};
-pub use protocol::{JobKey, LineFramer, Request, PROTOCOL_VERSION};
+pub use loadgen::{cold_key, jittered_backoff_ms, run_loadgen, LoadgenConfig, LoadgenReport};
+pub use protocol::{JobKey, LineFramer, Request, RouteClass, PROTOCOL_VERSION};
 pub use queue::{CoalescingQueue, KeyDepth, QueueConfig, StageBreakdown, StageStamps, SubmitError};
 pub use server::{serve, BatchExecutor, ServerConfig};
 pub use stats::ServerStats;

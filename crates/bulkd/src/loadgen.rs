@@ -7,8 +7,8 @@
 //! batch.  Per-thread latency/batch-p histograms merge losslessly into
 //! one report.
 
-use crate::client::{Client, ClientError};
-use crate::protocol::JobKey;
+use crate::client::{Client, ClientConfig, ClientError};
+use crate::protocol::{JobKey, PROTOCOL_VERSION};
 use oblivious::Layout;
 use obs::{Histogram, Json, Rng, RunReport};
 use std::time::{Duration, Instant};
@@ -38,6 +38,9 @@ pub struct LoadgenConfig {
     /// cold sibling key ([`cold_key`]) — makes the server's per-key
     /// depth/served/age sections show real asymmetry.
     pub hot_key: bool,
+    /// Connect/read timeouts for every client connection (both `None`
+    /// reproduces the historical block-forever behavior).
+    pub client: ClientConfig,
 }
 
 /// The cold sibling of a coalescing key: same algorithm and size (so one
@@ -112,6 +115,9 @@ impl LoadgenReport {
         c.set("timing", cfg.timing);
         c.set("hot_key", cfg.hot_key);
         report.set("config", c);
+        // The wire protocol this run spoke, so archived reports from
+        // mixed-version clusters stay comparable.
+        report.set("protocol_version", PROTOCOL_VERSION);
 
         let secs = self.elapsed.as_secs_f64().max(1e-9);
         let mut t = Json::obj();
@@ -180,8 +186,11 @@ pub fn run_loadgen(cfg: &LoadgenConfig, pool: &[Vec<u64>]) -> Result<LoadgenRepo
 /// Every overloaded client gets the same hint; sleeping it verbatim
 /// synchronizes their retries into a thundering herd that re-overloads
 /// the queue on arrival.  Jitter spreads the herd across half a hint
-/// window while keeping the mean backoff equal to the hint.
-fn jittered_backoff_ms(retry_after_ms: u64, rng: &mut Rng) -> u64 {
+/// window while keeping the mean backoff equal to the hint.  Public
+/// because the router applies the same desynchronization before
+/// re-dispatching an overloaded submit to the key's successor node.
+#[must_use]
+pub fn jittered_backoff_ms(retry_after_ms: u64, rng: &mut Rng) -> u64 {
     let base = retry_after_ms.max(1);
     let lo = base - base / 4;
     let hi = base + base / 4;
@@ -195,8 +204,8 @@ fn client_loop(
     deadline: Instant,
 ) -> Result<LoadgenReport, String> {
     let t0 = Instant::now();
-    let mut client =
-        Client::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    let mut client = Client::connect_with(&cfg.addr, &cfg.client)
+        .map_err(|e| format!("connect {}: {e}", cfg.addr))?;
     let mut rep = LoadgenReport::default();
     let mut rng = client_rng(cfg.seed, client_idx);
     // Hot-key scenario: the last quarter of the clients (at least one,
@@ -259,6 +268,7 @@ mod tests {
             seed: 42,
             timing: true,
             hot_key: false,
+            client: ClientConfig::default(),
         };
         let mut rep = LoadgenReport {
             submitted: 10,
@@ -280,6 +290,7 @@ mod tests {
         assert_eq!(j.path("latency.queue_wait_us.mean").unwrap().as_f64(), Some(300.0));
         assert_eq!(j.path("latency.service_us.mean").unwrap().as_f64(), Some(200.0));
         assert_eq!(j.path("config.seed").unwrap().as_i64(), Some(42));
+        assert_eq!(j.path("protocol_version").unwrap().as_i64(), Some(i64::from(PROTOCOL_VERSION)));
         assert_eq!(j.path("config.timing"), Some(&Json::Bool(true)));
         assert_eq!(j.path("config.hot_key"), Some(&Json::Bool(false)));
         assert!(RunReport::parse(&j.to_pretty()).is_ok());
@@ -346,6 +357,7 @@ mod tests {
             seed: 0,
             timing: false,
             hot_key: false,
+            client: ClientConfig::default(),
         };
         assert!(run_loadgen(&cfg, &[vec![0]]).is_err());
         assert!(run_loadgen(&cfg, &[]).is_err());

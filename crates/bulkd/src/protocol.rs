@@ -127,6 +127,36 @@ pub enum Request {
     Drain,
 }
 
+/// How a routing tier in front of bulkd nodes must treat each verb.
+///
+/// The split is what keeps the protocol cluster-transparent: a client
+/// speaking to a router sees the same verbs with the same shapes, but
+/// each verb has exactly one sane cluster semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteClass {
+    /// Forwarded to the single backend that owns the request's coalescing
+    /// key — the affinity that preserves one compile and large batches
+    /// per key cluster-wide.
+    Keyed,
+    /// Fanned out to every backend and merged into one cluster response.
+    FanOut,
+    /// Answered by the routing tier itself (node-local state that has no
+    /// meaningful cluster merge).
+    Local,
+}
+
+impl Request {
+    /// This verb's [`RouteClass`] when served through a routing tier.
+    #[must_use]
+    pub fn route_class(&self) -> RouteClass {
+        match self {
+            Request::Submit { .. } => RouteClass::Keyed,
+            Request::Stats | Request::Metrics | Request::Drain => RouteClass::FanOut,
+            Request::Status | Request::Dump => RouteClass::Local,
+        }
+    }
+}
+
 impl Request {
     /// Parse one protocol line.
     ///
@@ -352,6 +382,22 @@ mod tests {
             [Request::Status, Request::Stats, Request::Metrics, Request::Dump, Request::Drain]
         {
             assert_eq!(Request::parse_line(&cmd.to_json().to_compact()).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn every_verb_has_exactly_one_route_class() {
+        let submit = Request::Submit {
+            key: JobKey { algo: "fft".into(), size: 8, layout: Layout::RowWise },
+            inputs: vec![vec![1]],
+            timing: false,
+        };
+        assert_eq!(submit.route_class(), RouteClass::Keyed);
+        for fan in [Request::Stats, Request::Metrics, Request::Drain] {
+            assert_eq!(fan.route_class(), RouteClass::FanOut, "{fan:?}");
+        }
+        for local in [Request::Status, Request::Dump] {
+            assert_eq!(local.route_class(), RouteClass::Local, "{local:?}");
         }
     }
 

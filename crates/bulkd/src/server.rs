@@ -55,6 +55,11 @@ pub trait BatchExecutor: Send + Sync + 'static {
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
+    /// Stable identity this node reports in `status` probes and stats
+    /// snapshots, so cluster-merged views stay attributable.  `None`
+    /// falls back to the bound address (which is ephemeral under
+    /// `127.0.0.1:0` — name nodes explicitly when routing over them).
+    pub node_id: Option<String>,
     /// Worker threads executing batches.
     pub workers: usize,
     /// Target batch `p` (size-based flush trigger).
@@ -152,6 +157,7 @@ struct Shared {
     // Anchored at serve() entry, so now_us() doubles as uptime.
     clock: Arc<dyn Clock>,
     addr: SocketAddr,
+    node_id: String,
     stop_accepting: AtomicBool,
     journal: Option<Journal>,
     next_job_id: AtomicU64,
@@ -173,15 +179,20 @@ fn rec(sh: &Shared, ts_us: u64, track: u32, name: &'static str, job: u64, value:
 }
 
 /// The full stats snapshot with live queue occupancy, per-key depths and
-/// the cache/WAL sections attached.
+/// the cache/WAL sections attached, stamped with this node's identity and
+/// protocol version so cluster-merged snapshots stay attributable and
+/// version skew is detectable.
 fn stats_snapshot(sh: &Shared) -> Json {
-    sh.stats.snapshot(
+    let mut snap = sh.stats.snapshot(
         sh.queue.depth(),
         &sh.queue.per_key_depth(),
         sh.clock.now_us(),
         sh.executor.cache_stats(),
         wal_section(sh),
-    )
+    );
+    snap.set("node_id", sh.node_id.as_str());
+    snap.set("protocol_version", PROTOCOL_VERSION);
+    snap
 }
 
 /// Run the daemon until a client sends `drain`.  `on_ready` fires once
@@ -232,6 +243,7 @@ pub fn serve(
         tracer: Mutex::new(Tracer::new()),
         clock,
         addr,
+        node_id: cfg.node_id.clone().unwrap_or_else(|| addr.to_string()),
         stop_accepting: AtomicBool::new(false),
         journal,
         next_job_id: AtomicU64::new(next_job_id),
@@ -576,6 +588,7 @@ fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
             let mut o = Json::obj();
             o.set("ok", true);
             o.set("protocol_version", PROTOCOL_VERSION);
+            o.set("node_id", sh.node_id.as_str());
             o.set("queued_instances", d.queued_instances);
             o.set("open_groups", d.open_groups);
             o.set("ready_batches", d.ready_batches);

@@ -89,12 +89,16 @@ pub enum Command {
         /// Number of DMMs (streaming multiprocessors).
         dmms: usize,
     },
-    /// `bulkrun serve [--addr A] [--workers N] [--max-batch P]
-    /// [--max-queue Q] [--flush-after-ms MS] [--shards N] [--trace PATH]
-    /// [--wal-dir DIR] [--fsync POLICY] [--wal-segment-bytes B]`
+    /// `bulkrun serve [--addr A] [--node-id ID] [--workers N]
+    /// [--max-batch P] [--max-queue Q] [--flush-after-ms MS] [--shards N]
+    /// [--trace PATH] [--wal-dir DIR] [--fsync POLICY]
+    /// [--wal-segment-bytes B]`
     Serve {
         /// Bind address (`127.0.0.1:0` picks an ephemeral port).
         addr: String,
+        /// Stable node identity reported in status/stats (defaults to
+        /// the bound address; name nodes explicitly when routing).
+        node_id: Option<String>,
         /// Worker threads executing batches.
         workers: usize,
         /// Target batch `p` (size-based flush trigger).
@@ -118,23 +122,58 @@ pub enum Command {
         /// Record per-stage trace events (`--no-instrument` disables).
         instrument: bool,
     },
+    /// `bulkrun route --backends id=addr,… [--addr A] [--vnodes V]
+    /// [--probe-interval-ms MS] [--probe-timeout-ms MS] [--down-after K]
+    /// [--up-after J] [--connect-timeout-ms MS] [--read-timeout-ms MS]`
+    Route {
+        /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+        addr: String,
+        /// Backend bulkd nodes (`id=addr` entries; the ring hashes ids).
+        backends: Vec<router::Backend>,
+        /// Virtual nodes per backend on the hash ring.
+        vnodes: usize,
+        /// Milliseconds between health-probe rounds.
+        probe_interval_ms: u64,
+        /// Connect/read timeout of one health probe, in milliseconds.
+        probe_timeout_ms: u64,
+        /// Consecutive probe failures before a node is marked down.
+        down_after: u32,
+        /// Consecutive probe successes before a down node is marked up.
+        up_after: u32,
+        /// Backend dial timeout when forwarding, in milliseconds.
+        connect_timeout_ms: u64,
+        /// Backend reply-read timeout when forwarding, in milliseconds.
+        read_timeout_ms: u64,
+    },
     /// `bulkrun drain [--addr A]` — drain a server and print its final
     /// stats snapshot as pure JSON.
     Drain {
         /// Server address.
         addr: String,
+        /// Dial timeout in milliseconds (`None` = OS default).
+        connect_timeout_ms: Option<u64>,
+        /// Reply-read timeout in milliseconds (`None` = block forever).
+        read_timeout_ms: Option<u64>,
     },
     /// `bulkrun metrics [--addr A]` — print the server's live counters,
     /// gauges and histograms in Prometheus text exposition format.
     Metrics {
         /// Server address.
         addr: String,
+        /// Dial timeout in milliseconds (`None` = OS default).
+        connect_timeout_ms: Option<u64>,
+        /// Reply-read timeout in milliseconds (`None` = block forever).
+        read_timeout_ms: Option<u64>,
     },
     /// `bulkrun dump [--addr A]` — ask the server to dump its flight
     /// recorder and print the event tail.
     Dump {
         /// Server address.
         addr: String,
+        /// Dial timeout in milliseconds (`None` = OS default).
+        connect_timeout_ms: Option<u64>,
+        /// Reply-read timeout in milliseconds (`None` = block forever).
+        read_timeout_ms: Option<u64>,
     },
     /// `bulkrun submit <algo> [--size N] [--layout row|col] [--addr A]
     /// [--count C] [--seed S]`
@@ -153,6 +192,10 @@ pub enum Command {
         seed: u64,
         /// Ask the server to echo the per-stage timing breakdown.
         timing: bool,
+        /// Dial timeout in milliseconds (`None` = OS default).
+        connect_timeout_ms: Option<u64>,
+        /// Reply-read timeout in milliseconds (`None` = block forever).
+        read_timeout_ms: Option<u64>,
     },
     /// `bulkrun loadgen <algo> [--size N] [--layout row|col] [--addr A]
     /// [--clients C] [--duration-ms MS] [--instances N] [--seed S]
@@ -185,6 +228,10 @@ pub enum Command {
         /// Skewed scenario: most clients hammer one key while a minority
         /// submits a cold key, to exercise the per-key stats.
         hot_key: bool,
+        /// Dial timeout in milliseconds (`None` = OS default).
+        connect_timeout_ms: Option<u64>,
+        /// Reply-read timeout in milliseconds (`None` = block forever).
+        read_timeout_ms: Option<u64>,
     },
     /// `bulkrun sim [--seeds N] [--seed0 S] [--clients C] [--workers W]
     /// [--jobs J] [--replay SEED] [--crash-at K] [--report PATH]`
@@ -225,6 +272,10 @@ pub enum Command {
 
 /// Default bind/connect address for the serving commands.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7070";
+
+/// Default bind address for the routing tier (distinct from bulkd's so
+/// a router and a node co-exist on one host out of the box).
+pub const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:7171";
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -270,17 +321,32 @@ USAGE:
                                                  (Chrome trace + .txt tail,
                                                  written on panic/drain/dump)
                        [--no-instrument]         disable stage-event recording
+                       [--node-id ID]            stable identity in status/stats
+                                                 (default: the bound address)
+  bulkrun route        --backends id=addr,...    consistent-hash routing tier:
+                       [--addr A] [--vnodes V]   each coalescing key (algo, n,
+                       [--probe-interval-ms MS]  layout) maps to one backend, so
+                       [--probe-timeout-ms MS]   compiles and batches stay
+                       [--down-after K]          whole; health-checks backends,
+                       [--up-after J]            reroutes around down/overloaded
+                       [--connect-timeout-ms MS] nodes, merges cluster stats/
+                       [--read-timeout-ms MS]    metrics/drain
   bulkrun drain        [--addr A]                drain a server; print its final
-                                                 stats snapshot as JSON
+                       [--connect-timeout-ms MS] stats snapshot as JSON
+                       [--read-timeout-ms MS]
   bulkrun metrics      [--addr A]                scrape live counters/gauges/
-                                                 histograms as Prometheus text
+                       [--connect-timeout-ms MS] histograms as Prometheus text
+                       [--read-timeout-ms MS]
   bulkrun dump         [--addr A]                dump the flight recorder now;
-                                                 print the event tail
+                       [--connect-timeout-ms MS] print the event tail
+                       [--read-timeout-ms MS]
   bulkrun submit <algo> [--size N]               submit instances to a server
                        [--layout row|col]        and wait for the batch
                        [--addr A] [--count C]
                        [--seed S]
                        [--timing]                echo the per-stage breakdown
+                       [--connect-timeout-ms MS]
+                       [--read-timeout-ms MS]
   bulkrun loadgen <algo> [--size N]              closed-loop load generator:
                        [--layout row|col]        throughput + latency quantiles
                        [--addr A] [--clients C]  (report embeds the server's
@@ -291,6 +357,8 @@ USAGE:
                        [--drain-after]           drain the server when done
                        [--no-timing]             skip per-stage timing echoes
                        [--hot-key]               skewed per-key scenario
+                       [--connect-timeout-ms MS]
+                       [--read-timeout-ms MS]
   bulkrun sim          [--seeds N] [--seed0 S]   deterministic simulation: run
                        [--clients C]             the daemon single-threaded on
                        [--workers W] [--jobs J]  a virtual clock, exploring N
@@ -309,6 +377,9 @@ Timeline defaults: p = 128, latency = 8, cols = 72 (small enough to read).
 Serve defaults: addr = 127.0.0.1:7070, workers = 4, max-batch = 256,
   max-queue = 4096, flush-after-ms = 5, shards = 1, no WAL;
   with --wal-dir: fsync = always, wal-segment-bytes = 4194304.
+Route defaults: addr = 127.0.0.1:7171, vnodes = 64, probe-interval-ms = 500,
+  probe-timeout-ms = 250, down-after = 3, up-after = 2,
+  connect-timeout-ms = 1000, read-timeout-ms = 30000.
 Loadgen defaults: clients = 32, duration-ms = 5000, instances = 1.
 Sim defaults: seeds = 100, seed0 = 1, clients = 3, workers = 2, jobs = 4.
 ";
@@ -362,6 +433,19 @@ fn reject_unknown(args: &[String], allowed: &[&str]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Parse the optional `--connect-timeout-ms` / `--read-timeout-ms` pair
+/// shared by every client-side subcommand.
+fn parse_timeouts(args: &[String]) -> Result<(Option<u64>, Option<u64>), String> {
+    let ct = parse_flag(args, "--connect-timeout-ms")?;
+    let rt = parse_flag(args, "--read-timeout-ms")?;
+    for (flag, v) in [("--connect-timeout-ms", ct), ("--read-timeout-ms", rt)] {
+        if v == Some(0) {
+            return Err(format!("{flag} must be positive"));
+        }
+    }
+    Ok((ct.map(|v| v as u64), rt.map(|v| v as u64)))
 }
 
 fn parse_layout(args: &[String]) -> Result<Layout, String> {
@@ -439,6 +523,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--wal-segment-bytes",
                     "--recorder",
                     "--no-instrument",
+                    "--node-id",
                 ],
             )?;
             let workers = parse_flag(rest, "--workers")?.unwrap_or(4);
@@ -468,6 +553,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Serve {
                 addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                node_id: parse_string_flag(rest, "--node-id")?,
                 workers,
                 max_batch,
                 max_queue,
@@ -481,25 +567,87 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 instrument: !rest.iter().any(|a| a == "--no-instrument"),
             })
         }
+        "route" => {
+            let rest = &args[1..];
+            reject_unknown(
+                rest,
+                &[
+                    "--addr",
+                    "--backends",
+                    "--vnodes",
+                    "--probe-interval-ms",
+                    "--probe-timeout-ms",
+                    "--down-after",
+                    "--up-after",
+                    "--connect-timeout-ms",
+                    "--read-timeout-ms",
+                ],
+            )?;
+            let spec = parse_string_flag(rest, "--backends")?
+                .ok_or("route needs --backends id=addr,… (the bulkd nodes to route over)")?;
+            let backends = router::parse_backends(&spec).map_err(|e| format!("--backends: {e}"))?;
+            let vnodes = parse_flag(rest, "--vnodes")?.unwrap_or(64);
+            let probe_interval_ms = parse_flag(rest, "--probe-interval-ms")?.unwrap_or(500) as u64;
+            let probe_timeout_ms = parse_flag(rest, "--probe-timeout-ms")?.unwrap_or(250) as u64;
+            let down_after = parse_flag(rest, "--down-after")?.unwrap_or(3);
+            let up_after = parse_flag(rest, "--up-after")?.unwrap_or(2);
+            let connect_timeout_ms =
+                parse_flag(rest, "--connect-timeout-ms")?.unwrap_or(1000) as u64;
+            let read_timeout_ms = parse_flag(rest, "--read-timeout-ms")?.unwrap_or(30_000) as u64;
+            for (flag, v) in [
+                ("--vnodes", vnodes as u64),
+                ("--probe-interval-ms", probe_interval_ms),
+                ("--probe-timeout-ms", probe_timeout_ms),
+                ("--down-after", down_after as u64),
+                ("--up-after", up_after as u64),
+                ("--connect-timeout-ms", connect_timeout_ms),
+                ("--read-timeout-ms", read_timeout_ms),
+            ] {
+                if v == 0 {
+                    return Err(format!("{flag} must be positive"));
+                }
+            }
+            Ok(Command::Route {
+                addr: parse_string_flag(rest, "--addr")?
+                    .unwrap_or_else(|| DEFAULT_ROUTER_ADDR.into()),
+                backends,
+                vnodes,
+                probe_interval_ms,
+                probe_timeout_ms,
+                down_after: down_after as u32,
+                up_after: up_after as u32,
+                connect_timeout_ms,
+                read_timeout_ms,
+            })
+        }
         "drain" => {
             let rest = &args[1..];
-            reject_unknown(rest, &["--addr"])?;
+            reject_unknown(rest, &["--addr", "--connect-timeout-ms", "--read-timeout-ms"])?;
+            let (connect_timeout_ms, read_timeout_ms) = parse_timeouts(rest)?;
             Ok(Command::Drain {
                 addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                connect_timeout_ms,
+                read_timeout_ms,
             })
         }
         "metrics" => {
             let rest = &args[1..];
-            reject_unknown(rest, &["--addr"])?;
+            reject_unknown(rest, &["--addr", "--connect-timeout-ms", "--read-timeout-ms"])?;
+            let (connect_timeout_ms, read_timeout_ms) = parse_timeouts(rest)?;
             Ok(Command::Metrics {
                 addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                connect_timeout_ms,
+                read_timeout_ms,
             })
         }
         "dump" => {
             let rest = &args[1..];
-            reject_unknown(rest, &["--addr"])?;
+            reject_unknown(rest, &["--addr", "--connect-timeout-ms", "--read-timeout-ms"])?;
+            let (connect_timeout_ms, read_timeout_ms) = parse_timeouts(rest)?;
             Ok(Command::Dump {
                 addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                connect_timeout_ms,
+                read_timeout_ms,
             })
         }
         "submit" => {
@@ -511,12 +659,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let rest = &args[2..];
             reject_unknown(
                 rest,
-                &["--size", "--layout", "--addr", "--count", "--seed", "--timing"],
+                &[
+                    "--size",
+                    "--layout",
+                    "--addr",
+                    "--count",
+                    "--seed",
+                    "--timing",
+                    "--connect-timeout-ms",
+                    "--read-timeout-ms",
+                ],
             )?;
             let count = parse_flag(rest, "--count")?.unwrap_or(1);
             if count == 0 {
                 return Err("--count must be positive".into());
             }
+            let (connect_timeout_ms, read_timeout_ms) = parse_timeouts(rest)?;
             Ok(Command::Submit {
                 algo,
                 size: parse_flag(rest, "--size")?,
@@ -525,6 +683,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 count,
                 seed: parse_flag(rest, "--seed")?.unwrap_or(crate::RUN_SEED as usize) as u64,
                 timing: rest.iter().any(|a| a == "--timing"),
+                connect_timeout_ms,
+                read_timeout_ms,
             })
         }
         "loadgen" => {
@@ -548,6 +708,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--drain-after",
                     "--no-timing",
                     "--hot-key",
+                    "--connect-timeout-ms",
+                    "--read-timeout-ms",
                 ],
             )?;
             let clients = parse_flag(rest, "--clients")?.unwrap_or(32);
@@ -555,6 +717,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if clients == 0 || instances == 0 {
                 return Err("--clients and --instances must be positive".into());
             }
+            let (connect_timeout_ms, read_timeout_ms) = parse_timeouts(rest)?;
             Ok(Command::Loadgen {
                 algo,
                 size: parse_flag(rest, "--size")?,
@@ -568,6 +731,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 drain_after: rest.iter().any(|a| a == "--drain-after"),
                 timing: !rest.iter().any(|a| a == "--no-timing"),
                 hot_key: rest.iter().any(|a| a == "--hot-key"),
+                connect_timeout_ms,
+                read_timeout_ms,
             })
         }
         "sim" => {
@@ -844,6 +1009,7 @@ mod tests {
             c,
             Command::Serve {
                 addr: DEFAULT_ADDR.into(),
+                node_id: None,
                 workers: 4,
                 max_batch: 256,
                 max_queue: 4096,
@@ -866,6 +1032,7 @@ mod tests {
             c,
             Command::Serve {
                 addr: "127.0.0.1:0".into(),
+                node_id: None,
                 workers: 2,
                 max_batch: 64,
                 max_queue: 128,
@@ -912,31 +1079,113 @@ mod tests {
 
     #[test]
     fn drain_parses() {
-        assert_eq!(parse(&argv("drain")).unwrap(), Command::Drain { addr: DEFAULT_ADDR.into() });
         assert_eq!(
-            parse(&argv("drain --addr 127.0.0.1:9")).unwrap(),
-            Command::Drain { addr: "127.0.0.1:9".into() }
+            parse(&argv("drain")).unwrap(),
+            Command::Drain {
+                addr: DEFAULT_ADDR.into(),
+                connect_timeout_ms: None,
+                read_timeout_ms: None
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "drain --addr 127.0.0.1:9 --connect-timeout-ms 500 --read-timeout-ms 9000"
+            ))
+            .unwrap(),
+            Command::Drain {
+                addr: "127.0.0.1:9".into(),
+                connect_timeout_ms: Some(500),
+                read_timeout_ms: Some(9000)
+            }
         );
         assert!(parse(&argv("drain --p 4")).unwrap_err().contains("--p"));
+        assert!(parse(&argv("drain --connect-timeout-ms 0")).unwrap_err().contains("positive"));
     }
 
     #[test]
     fn metrics_and_dump_parse() {
         assert_eq!(
             parse(&argv("metrics")).unwrap(),
-            Command::Metrics { addr: DEFAULT_ADDR.into() }
+            Command::Metrics {
+                addr: DEFAULT_ADDR.into(),
+                connect_timeout_ms: None,
+                read_timeout_ms: None
+            }
         );
         assert_eq!(
-            parse(&argv("metrics --addr 127.0.0.1:9")).unwrap(),
-            Command::Metrics { addr: "127.0.0.1:9".into() }
+            parse(&argv("metrics --addr 127.0.0.1:9 --read-timeout-ms 2000")).unwrap(),
+            Command::Metrics {
+                addr: "127.0.0.1:9".into(),
+                connect_timeout_ms: None,
+                read_timeout_ms: Some(2000)
+            }
         );
-        assert_eq!(parse(&argv("dump")).unwrap(), Command::Dump { addr: DEFAULT_ADDR.into() });
         assert_eq!(
-            parse(&argv("dump --addr 127.0.0.1:9")).unwrap(),
-            Command::Dump { addr: "127.0.0.1:9".into() }
+            parse(&argv("dump")).unwrap(),
+            Command::Dump {
+                addr: DEFAULT_ADDR.into(),
+                connect_timeout_ms: None,
+                read_timeout_ms: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("dump --addr 127.0.0.1:9 --connect-timeout-ms 250")).unwrap(),
+            Command::Dump {
+                addr: "127.0.0.1:9".into(),
+                connect_timeout_ms: Some(250),
+                read_timeout_ms: None
+            }
         );
         assert!(parse(&argv("metrics --p 4")).unwrap_err().contains("--p"));
         assert!(parse(&argv("dump --p 4")).unwrap_err().contains("--p"));
+        assert!(parse(&argv("metrics --read-timeout-ms 0")).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn route_parses_with_defaults() {
+        let c = parse(&argv("route --backends n1=127.0.0.1:7070,n2=127.0.0.1:7071")).unwrap();
+        assert_eq!(
+            c,
+            Command::Route {
+                addr: DEFAULT_ROUTER_ADDR.into(),
+                backends: vec![
+                    router::Backend { id: "n1".into(), addr: "127.0.0.1:7070".into() },
+                    router::Backend { id: "n2".into(), addr: "127.0.0.1:7071".into() },
+                ],
+                vnodes: 64,
+                probe_interval_ms: 500,
+                probe_timeout_ms: 250,
+                down_after: 3,
+                up_after: 2,
+                connect_timeout_ms: 1000,
+                read_timeout_ms: 30_000,
+            }
+        );
+        let c = parse(&argv(
+            "route --backends a=h:1 --addr 127.0.0.1:0 --vnodes 16 --probe-interval-ms 100 \
+             --probe-timeout-ms 50 --down-after 2 --up-after 1 --connect-timeout-ms 200 \
+             --read-timeout-ms 5000",
+        ))
+        .unwrap();
+        match c {
+            Command::Route { addr, vnodes, probe_interval_ms, down_after, up_after, .. } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!((vnodes, probe_interval_ms), (16, 100));
+                assert_eq!((down_after, up_after), (2, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_rejects_degenerate_flags() {
+        assert!(parse(&argv("route")).unwrap_err().contains("--backends"));
+        assert!(parse(&argv("route --backends n1=a,n1=b")).unwrap_err().contains("duplicate"));
+        assert!(parse(&argv("route --backends n1=a --vnodes 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("route --backends n1=a --down-after 0"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&argv("route --backends n1=a --p 4")).unwrap_err().contains("--p"));
     }
 
     #[test]
@@ -964,6 +1213,8 @@ mod tests {
                 count: 1,
                 seed: crate::RUN_SEED,
                 timing: false,
+                connect_timeout_ms: None,
+                read_timeout_ms: None,
             }
         );
         let c =
@@ -998,6 +1249,8 @@ mod tests {
                 drain_after: false,
                 timing: true,
                 hot_key: false,
+                connect_timeout_ms: None,
+                read_timeout_ms: None,
             }
         );
         let c = parse(&argv(

@@ -35,6 +35,18 @@ fn write_text(kind: &str, path: &str, text: &str) -> Result<(), String> {
     std::fs::write(p, text).map_err(|e| format!("cannot write {kind} to {path}: {e}"))
 }
 
+/// Build a [`bulkd::ClientConfig`] from the optional per-command timeout
+/// flags (`None` keeps the blocking defaults).
+fn client_cfg(
+    connect_timeout_ms: Option<u64>,
+    read_timeout_ms: Option<u64>,
+) -> bulkd::ClientConfig {
+    bulkd::ClientConfig {
+        connect_timeout: connect_timeout_ms.map(std::time::Duration::from_millis),
+        read_timeout: read_timeout_ms.map(std::time::Duration::from_millis),
+    }
+}
+
 /// Read and parse a JSON report for `bulkrun compare`.
 fn read_report(path: &str) -> Result<obs::Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -236,6 +248,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         }
         Command::Serve {
             addr,
+            node_id,
             workers,
             max_batch,
             max_queue,
@@ -251,6 +264,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let executor = serve::CatalogExecutor::new(*shards);
             let cfg = bulkd::ServerConfig {
                 addr: addr.clone(),
+                node_id: node_id.clone(),
                 workers: *workers,
                 max_batch: *max_batch,
                 max_queue: *max_queue,
@@ -280,26 +294,61 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 out.push_str(&format!("flight recorder: wrote {path}\n"));
             }
         }
-        Command::Drain { addr } => {
-            let mut client =
-                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        Command::Route {
+            addr,
+            backends,
+            vnodes,
+            probe_interval_ms,
+            probe_timeout_ms,
+            down_after,
+            up_after,
+            connect_timeout_ms,
+            read_timeout_ms,
+        } => {
+            let cfg = router::RouterConfig {
+                addr: addr.clone(),
+                backends: backends.clone(),
+                vnodes: *vnodes,
+                probe_interval_ms: *probe_interval_ms,
+                probe_timeout_ms: *probe_timeout_ms,
+                health: router::HealthPolicy { down_after: *down_after, up_after: *up_after },
+                connect_timeout_ms: *connect_timeout_ms,
+                read_timeout_ms: *read_timeout_ms,
+                ..Default::default()
+            };
+            let snapshot = router::run_router(&cfg, |bound| {
+                // Same scrape contract as `serve`: one line, flushed, so
+                // scripts can pick up the ephemeral port immediately.
+                println!("router listening on {bound}");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            })?;
+            out.push_str("router drained; final cluster snapshot:\n");
+            out.push_str(&snapshot.to_pretty());
+            out.push('\n');
+        }
+        Command::Drain { addr, connect_timeout_ms, read_timeout_ms } => {
+            let cfg = client_cfg(*connect_timeout_ms, *read_timeout_ms);
+            let mut client = bulkd::Client::connect_with(addr, &cfg)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
             let snap = client.drain().map_err(|e| format!("drain: {e}"))?;
             // Pure JSON on stdout so scripts can pipe it straight into a
             // parser (the CI crash-recovery gate does exactly that).
             out.push_str(&snap.to_pretty());
             out.push('\n');
         }
-        Command::Metrics { addr } => {
-            let mut client =
-                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        Command::Metrics { addr, connect_timeout_ms, read_timeout_ms } => {
+            let cfg = client_cfg(*connect_timeout_ms, *read_timeout_ms);
+            let mut client = bulkd::Client::connect_with(addr, &cfg)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
             let text = client.metrics().map_err(|e| format!("metrics: {e}"))?;
             // Raw Prometheus text exposition on stdout: pipe it into
             // promtool, a scraper, or the CI assertion script unchanged.
             out.push_str(&text);
         }
-        Command::Dump { addr } => {
-            let mut client =
-                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        Command::Dump { addr, connect_timeout_ms, read_timeout_ms } => {
+            let cfg = client_cfg(*connect_timeout_ms, *read_timeout_ms);
+            let mut client = bulkd::Client::connect_with(addr, &cfg)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
             let j = client.dump().map_err(|e| format!("dump: {e}"))?;
             let recorded = j.path("recorded").and_then(obs::Json::as_i64).unwrap_or(0);
             let overwritten = j.path("overwritten").and_then(obs::Json::as_i64).unwrap_or(0);
@@ -313,12 +362,23 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 out.push_str(tail);
             }
         }
-        Command::Submit { algo, size, layout, addr, count, seed, timing } => {
+        Command::Submit {
+            algo,
+            size,
+            layout,
+            addr,
+            count,
+            seed,
+            timing,
+            connect_timeout_ms,
+            read_timeout_ms,
+        } => {
             let a = Algo::parse(algo, *size)?;
             let key = bulkd::JobKey { algo: algo.clone(), size: a.size_param(), layout: *layout };
             let inputs = a.random_inputs_bits(*seed, *count);
-            let mut client =
-                bulkd::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let ccfg = client_cfg(*connect_timeout_ms, *read_timeout_ms);
+            let mut client = bulkd::Client::connect_with(addr, &ccfg)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
             let ok = client.submit(&key, &inputs, *timing).map_err(|e| format!("submit: {e}"))?;
             out.push_str(&format!(
                 "{key}: {} instance(s) rode a batch of p = {} \
@@ -345,6 +405,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             drain_after,
             timing,
             hot_key,
+            connect_timeout_ms,
+            read_timeout_ms,
         } => {
             let a = Algo::parse(algo, *size)?;
             let cfg = bulkd::LoadgenConfig {
@@ -356,13 +418,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 seed: *seed,
                 timing: *timing,
                 hot_key: *hot_key,
+                client: client_cfg(*connect_timeout_ms, *read_timeout_ms),
             };
             let pool = a.random_inputs_bits(RUN_SEED, 64.max(*instances_per_submit));
             let rep = bulkd::run_loadgen(&cfg, &pool)?;
             // Fetching the server's stats is best-effort: in crash drills
             // the server is killed mid-run, and the client-side report
             // (what was acknowledged) is exactly the evidence needed.
-            let server_stats = bulkd::Client::connect(addr)
+            let server_stats = bulkd::Client::connect_with(addr, &cfg.client)
                 .map_err(|e| format!("connect {addr}: {e}"))
                 .and_then(|mut client| {
                     if *drain_after { client.drain() } else { client.stats() }
@@ -404,6 +467,11 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             }
             if let Some(path) = report {
                 let mut j = rep.to_json(&cfg);
+                // Surface which node served the run next to the client-side
+                // numbers (the full server snapshot keeps its own copy).
+                if let Some(nid) = server_stats.path("node_id").and_then(obs::Json::as_str) {
+                    j.set("node_id", nid);
+                }
                 j.set("server", server_stats);
                 write_text("loadgen report", path, &j.to_pretty())?;
                 out.push_str(&format!("  report: wrote {path}\n"));

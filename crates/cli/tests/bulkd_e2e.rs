@@ -25,6 +25,7 @@ fn start_server(
     let caches = Arc::clone(executor.caches());
     let cfg = bulkd::ServerConfig {
         addr: "127.0.0.1:0".into(),
+        node_id: None,
         workers,
         max_batch,
         max_queue,
@@ -469,6 +470,7 @@ fn metrics_dump_and_per_key_sections_reflect_served_work() {
     let executor = CatalogExecutor::new(1);
     let cfg = bulkd::ServerConfig {
         addr: "127.0.0.1:0".into(),
+        node_id: None,
         workers: 2,
         max_batch: 64,
         max_queue: 1024,

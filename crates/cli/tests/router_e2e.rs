@@ -1,0 +1,493 @@
+//! End-to-end battery for the consistent-hash routing tier: real TCP
+//! backends, a real router, real schedule caches.
+//!
+//! The headline acceptance test drives 64 concurrent clients through the
+//! router over a 2-node cluster and proves the tier preserves the paper's
+//! economics: every submit is acked exactly once with outputs
+//! bit-identical to a direct `Engine::Compiled` run, each coalescing key
+//! compiles exactly once *cluster-wide* (key affinity keeps a key's whole
+//! stream on one node), and each node still builds large batches (mean
+//! executed `p ≥ 16`).  A second battery kills one backend mid-load and
+//! proves the router reroutes to the survivor with the accounting intact
+//! and no client ever hanging.
+
+use cli::registry::{Algo, Engine, ScheduleCaches, CATALOG};
+use cli::serve::CatalogExecutor;
+use cli::RUN_SEED;
+use obs::Json;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Satellite: hash-ring properties over the real catalog.
+// ---------------------------------------------------------------------------
+
+/// Every `(algo, n, layout)` coalescing key the catalog can actually
+/// serve, across the default size and a few alternates.
+fn catalog_keys() -> Vec<String> {
+    let mut keys = BTreeSet::new();
+    for (name, _, _) in CATALOG {
+        for size in [None, Some(8), Some(16), Some(32)] {
+            let Ok(a) = Algo::parse(name, size) else { continue };
+            for layout in [oblivious::Layout::ColumnWise, oblivious::Layout::RowWise] {
+                let key = bulkd::JobKey { algo: (*name).to_string(), size: a.size_param(), layout };
+                keys.insert(key.to_string());
+            }
+        }
+    }
+    let keys: Vec<String> = keys.into_iter().collect();
+    assert!(keys.len() >= 40, "catalog key population too small: {}", keys.len());
+    keys
+}
+
+/// Ring placement over the real catalog is deterministic, spreads load,
+/// and a node join moves at most ~2/N of the keys — never shuffling a
+/// key between two surviving nodes.
+#[test]
+fn ring_places_the_catalog_deterministically_with_bounded_movement() {
+    let keys = catalog_keys();
+    for n in [2usize, 3, 4, 8] {
+        let base: Vec<String> = (0..n).map(|i| format!("node-{i}")).collect();
+        let ring_a = router::HashRing::new(&base, 64).unwrap();
+        let ring_b = router::HashRing::new(&base, 64).unwrap();
+        let mut counts = vec![0usize; n];
+        for k in &keys {
+            assert_eq!(ring_a.node_of(k), ring_b.node_of(k), "{k}: placement not deterministic");
+            counts[ring_a.node_of(k)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c * 10 >= keys.len() / n, "node {i} of {n} owns only {c} keys: {counts:?}");
+        }
+
+        // Join: only keys falling to the newcomer move.
+        let mut grown = base.clone();
+        grown.push("node-new".into());
+        let after = router::HashRing::new(&grown, 64).unwrap();
+        let moved = keys
+            .iter()
+            .filter(|k| ring_a.names()[ring_a.node_of(k)] != after.names()[after.node_of(k)])
+            .count();
+        let bound = (2.0 / n as f64 * keys.len() as f64).ceil() as usize;
+        assert!(moved <= bound, "join at {n} nodes moved {moved}/{} keys (> {bound})", keys.len());
+        assert!(moved > 0, "join at {n} nodes moved nothing");
+        for k in &keys {
+            let now = &after.names()[after.node_of(k)];
+            if now != "node-new" {
+                assert_eq!(&ring_a.names()[ring_a.node_of(k)], now, "{k} moved between survivors");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process cluster: 2 bulkd nodes + router, 64 clients.
+// ---------------------------------------------------------------------------
+
+type ServeHandle = std::thread::JoinHandle<Result<Json, String>>;
+
+fn start_node(node_id: &str, flush_after_ms: u64) -> (String, ServeHandle, Arc<ScheduleCaches>) {
+    let executor = CatalogExecutor::new(1);
+    let caches = Arc::clone(executor.caches());
+    let cfg = bulkd::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        node_id: Some(node_id.to_string()),
+        workers: 2,
+        max_batch: 512,
+        max_queue: 8192,
+        flush_after_ms,
+        trace_path: None,
+        wal: None,
+        instrument: true,
+        recorder_path: None,
+    };
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        bulkd::serve(&cfg, Box::new(executor), move |addr| {
+            tx.send(addr).expect("addr channel");
+        })
+    });
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("node never became ready");
+    (addr.to_string(), handle, caches)
+}
+
+/// ISSUE acceptance: 64 clients over 4 keys through the router over 2
+/// nodes — zero lost or duplicated acks, outputs bit-identical to
+/// `Engine::Compiled`, exactly one compile per key cluster-wide, and
+/// per-node mean executed batch p ≥ 16.
+#[test]
+fn cluster_serves_bit_identically_with_one_compile_per_key_and_large_batches() {
+    const CLIENTS_PER_KEY: usize = 16;
+    const SUBMITS_PER_CLIENT: usize = 2;
+    const INSTANCES: usize = 4;
+    const PER_KEY: usize = CLIENTS_PER_KEY * SUBMITS_PER_CLIENT * INSTANCES; // 128
+
+    // Four catalog keys whose ring placement (over ids n1/n2, 64 vnodes)
+    // splits 2/2 — verified below against the ring itself, so a hash
+    // change fails loudly here instead of starving one node silently.
+    let specs: Vec<(&str, usize)> =
+        vec![("prefix-sums", 64), ("bitonic", 4), ("fft", 8), ("fir", 16)];
+    let ids = vec!["n1".to_string(), "n2".to_string()];
+    let ring = router::HashRing::new(&ids, 64).unwrap();
+    let keys: Vec<bulkd::JobKey> = specs
+        .iter()
+        .map(|(name, size)| bulkd::JobKey {
+            algo: (*name).to_string(),
+            size: *size,
+            layout: oblivious::Layout::ColumnWise,
+        })
+        .collect();
+    let owners: Vec<usize> = keys.iter().map(|k| ring.node_of(&k.to_string())).collect();
+    assert_eq!(owners.iter().filter(|&&o| o == 0).count(), 2, "keys must split 2/2: {owners:?}");
+
+    let (addr1, node1, caches1) = start_node("n1", 30);
+    let (addr2, node2, caches2) = start_node("n2", 30);
+    let rcfg = router::RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        backends: vec![
+            router::Backend { id: "n1".into(), addr: addr1 },
+            router::Backend { id: "n2".into(), addr: addr2 },
+        ],
+        vnodes: 64,
+        probe_interval_ms: 100,
+        probe_timeout_ms: 200,
+        ..Default::default()
+    };
+    let (tx, rx) = mpsc::channel();
+    let router_thread = std::thread::spawn(move || {
+        router::run_router(&rcfg, move |addr| {
+            tx.send(addr).expect("router addr channel");
+        })
+    });
+    let router_addr =
+        rx.recv_timeout(Duration::from_secs(10)).expect("router never became ready").to_string();
+
+    // Per key: the deterministic input stream and the direct compiled run
+    // every served output must match bit-for-bit.
+    let algos: Vec<Algo> =
+        specs.iter().map(|(name, size)| Algo::parse(name, Some(*size)).unwrap()).collect();
+    let inputs: Vec<Vec<Vec<u64>>> =
+        algos.iter().map(|a| a.random_inputs_bits(RUN_SEED, PER_KEY)).collect();
+    let direct: Vec<Vec<Vec<u64>>> = algos
+        .iter()
+        .map(|a| {
+            a.outputs_bits(
+                Engine::Compiled { shards: 1 },
+                PER_KEY,
+                oblivious::Layout::ColumnWise,
+                RUN_SEED,
+            )
+        })
+        .collect();
+
+    // 64 clients (16 per key), each submitting its instance slices
+    // through the router.  `served[key][instance]` is set exactly once —
+    // a duplicate or missing ack fails the unwrap/assert below.
+    let served: Vec<Mutex<Vec<Option<Vec<u64>>>>> =
+        (0..keys.len()).map(|_| Mutex::new(vec![None; PER_KEY])).collect();
+    std::thread::scope(|scope| {
+        for (ki, key) in keys.iter().enumerate() {
+            for c in 0..CLIENTS_PER_KEY {
+                let (router_addr, inputs, served) = (&router_addr, &inputs[ki], &served[ki]);
+                scope.spawn(move || {
+                    let mut client = bulkd::Client::connect(router_addr).expect("connect router");
+                    for s in 0..SUBMITS_PER_CLIENT {
+                        let lo = (c * SUBMITS_PER_CLIENT + s) * INSTANCES;
+                        let ok = client
+                            .submit(key, &inputs[lo..lo + INSTANCES], false)
+                            .expect("submit through router");
+                        assert_eq!(ok.outputs.len(), INSTANCES, "{key}: wrong ack arity");
+                        let mut g = served.lock().unwrap();
+                        for (off, out) in ok.outputs.into_iter().enumerate() {
+                            let slot = &mut g[lo + off];
+                            assert!(slot.is_none(), "{key}: instance {} acked twice", lo + off);
+                            *slot = Some(out);
+                        }
+                    }
+                });
+            }
+        }
+    });
+
+    // Zero lost, zero duplicated, bit-identical to the compiled engine.
+    for (ki, key) in keys.iter().enumerate() {
+        let got: Vec<Vec<u64>> = served[ki]
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(i, o)| o.clone().unwrap_or_else(|| panic!("{key}: instance {i} never acked")))
+            .collect();
+        assert_eq!(got, direct[ki], "{key}: served outputs diverge from Engine::Compiled");
+    }
+
+    // One compile per key *cluster-wide*, each on the key's ring owner.
+    let per_node_keys = |node: usize| owners.iter().filter(|&&o| o == node).count() as u64;
+    assert_eq!(caches1.totals().compiles, per_node_keys(0), "n1 compiled off-owner keys");
+    assert_eq!(caches2.totals().compiles, per_node_keys(1), "n2 compiled off-owner keys");
+
+    // The merged live views through the router.
+    let mut client = bulkd::Client::connect(&router_addr).expect("connect router");
+    let status = client.status().expect("status");
+    assert_eq!(status.path("role").and_then(Json::as_str), Some("router"));
+    assert_eq!(status.path("nodes_up").and_then(Json::as_i64), Some(2));
+    assert_eq!(status.path("protocol_version").and_then(Json::as_i64), Some(1));
+
+    let stats = client.stats().expect("stats");
+    let total_jobs = (keys.len() * CLIENTS_PER_KEY * SUBMITS_PER_CLIENT) as i64;
+    assert_eq!(stats.path("tool").and_then(Json::as_str), Some("bulk-router"));
+    assert_eq!(stats.path("router.submits").and_then(Json::as_i64), Some(total_jobs));
+    assert_eq!(stats.path("router.acked").and_then(Json::as_i64), Some(total_jobs));
+    assert_eq!(stats.path("router.relayed_errors").and_then(Json::as_i64), Some(0));
+    assert_eq!(stats.path("router.unavailable").and_then(Json::as_i64), Some(0));
+    assert_eq!(stats.path("router.rerouted").and_then(Json::as_i64), Some(0));
+    // Satellite: node identity and protocol version ride the snapshots.
+    assert_eq!(stats.path("backends.n1.node_id").and_then(Json::as_str), Some("n1"));
+    assert_eq!(stats.path("backends.n2.node_id").and_then(Json::as_str), Some("n2"));
+    assert_eq!(stats.path("backends.n1.protocol_version").and_then(Json::as_i64), Some(1));
+    assert_eq!(stats.path("cluster.distinct_keys").and_then(Json::as_i64), Some(4));
+    assert_eq!(
+        stats.path("cluster.schedule_cache.compiles").and_then(Json::as_i64),
+        Some(keys.len() as i64),
+        "{}",
+        stats.to_pretty()
+    );
+
+    let text = client.metrics().expect("metrics");
+    assert!(text.contains(&format!("router_submits_total {total_jobs}\n")), "{text}");
+    assert!(text.contains("router_backend_up{node=\"n1\"} 1\n"), "{text}");
+    assert!(text.contains("bulkd_node_schedule_compiles_total{node=\"n1\"} 2\n"), "{text}");
+    assert!(text.contains("bulkd_cluster_schedule_compiles_total 4\n"), "{text}");
+    assert!(text.contains("bulkd_cluster_distinct_keys 4\n"), "{text}");
+
+    // Drain fans out to every node and merges the final snapshots.
+    let drained = client.drain().expect("drain through router");
+    assert_eq!(drained.path("drained"), Some(&Json::Bool(true)));
+    assert_eq!(drained.path("cluster.completed_jobs").and_then(Json::as_i64), Some(total_jobs));
+    assert_eq!(drained.path("cluster.rejected_jobs").and_then(Json::as_i64), Some(0));
+    let factor = drained.path("cluster.coalesce_factor").and_then(Json::as_f64).unwrap();
+    assert!(factor > 1.5, "cluster coalesce factor {factor} ≤ 1.5 — batching broke");
+    for node in ["n1", "n2"] {
+        let mean_p = drained
+            .path(&format!("backends.{node}.coalescing.mean_batch_p"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{node}: no mean_batch_p in {}", drained.to_pretty()));
+        assert!(mean_p >= 16.0, "{node}: mean executed batch p {mean_p:.1} < 16");
+    }
+
+    // The router's return value is the same drained document; everything
+    // joins cleanly (the drain fan-out shut the backends down).
+    let final_snap = router_thread.join().expect("router panicked").expect("run_router failed");
+    assert_eq!(final_snap.path("drained"), Some(&Json::Bool(true)));
+    assert_eq!(final_snap.path("router.acked").and_then(Json::as_i64), Some(total_jobs));
+    node1.join().expect("n1 panicked").expect("n1 serve failed");
+    node2.join().expect("n2 panicked").expect("n2 serve failed");
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess cluster: kill one backend mid-load.
+// ---------------------------------------------------------------------------
+
+/// Spawn a `bulkrun` child and scrape the bound address off its stdout
+/// line starting with `prefix`.  Stdout then drains on a reaper thread.
+fn spawn_scraped(args: &[&str], prefix: &str) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bulkrun"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bulkrun");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).expect("read child stdout") > 0 {
+        if let Some(rest) = line.trim().strip_prefix(prefix) {
+            addr = Some(rest.to_string());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.unwrap_or_else(|| panic!("child never printed \"{prefix}\""));
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    (child, addr)
+}
+
+fn poll_router_stats(addr: &str, deadline: Duration, mut pred: impl FnMut(&Json) -> bool) -> Json {
+    let cfg = bulkd::ClientConfig {
+        connect_timeout: Some(Duration::from_millis(500)),
+        read_timeout: Some(Duration::from_secs(10)),
+    };
+    let t0 = Instant::now();
+    loop {
+        if let Ok(mut c) = bulkd::Client::connect_with(addr, &cfg) {
+            if let Ok(s) = c.stats() {
+                if pred(&s) {
+                    return s;
+                }
+                assert!(t0.elapsed() < deadline, "stats never converged: {}", s.to_pretty());
+            }
+        }
+        assert!(t0.elapsed() < deadline, "router at {addr} unreachable");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// ISSUE acceptance (failure arm): kill one backend mid-load.  The router
+/// must mark it down, reroute its keys to the survivor with outputs still
+/// bit-identical, never hang a client, and keep the ledger balanced
+/// through the final merged drain.
+#[test]
+fn killing_a_backend_mid_load_reroutes_and_stays_balanced() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 30;
+    const TOTAL: usize = CLIENTS * PER_CLIENT;
+    const ACKS_BEFORE_KILL: usize = 60;
+
+    // The victim key's ring owner over ids {n1, n2} is n1 — assert it, so
+    // the kill provably severs the owner mid-stream.
+    let key = bulkd::JobKey {
+        algo: "prefix-sums".into(),
+        size: 64,
+        layout: oblivious::Layout::ColumnWise,
+    };
+    let ids = vec!["n1".to_string(), "n2".to_string()];
+    let ring = router::HashRing::new(&ids, 64).unwrap();
+    assert_eq!(ring.names()[ring.node_of(&key.to_string())], "n1", "victim must own the key");
+
+    let (mut victim, addr1) = spawn_scraped(
+        &["serve", "--addr", "127.0.0.1:0", "--node-id", "n1", "--flush-after-ms", "5"],
+        "bulkd listening on ",
+    );
+    let (mut survivor, addr2) = spawn_scraped(
+        &["serve", "--addr", "127.0.0.1:0", "--node-id", "n2", "--flush-after-ms", "5"],
+        "bulkd listening on ",
+    );
+    let backends = format!("n1={addr1},n2={addr2}");
+    let (mut router_child, router_addr) = spawn_scraped(
+        &[
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--backends",
+            &backends,
+            "--probe-interval-ms",
+            "50",
+            "--probe-timeout-ms",
+            "150",
+            "--down-after",
+            "2",
+            "--up-after",
+            "2",
+            "--connect-timeout-ms",
+            "500",
+            "--read-timeout-ms",
+            "10000",
+        ],
+        "router listening on ",
+    );
+
+    poll_router_stats(&router_addr, Duration::from_secs(15), |s| {
+        s.path("nodes_up").and_then(Json::as_i64) == Some(2)
+    });
+
+    let algo = Algo::parse("prefix-sums", Some(64)).unwrap();
+    let pool = algo.random_inputs_bits(RUN_SEED, TOTAL);
+    let direct = algo.outputs_bits(
+        Engine::Compiled { shards: 1 },
+        TOTAL,
+        oblivious::Layout::ColumnWise,
+        RUN_SEED,
+    );
+
+    // Closed-loop clients through the router; a generous read timeout is
+    // the no-hang guarantee — any stall fails the test instead of
+    // wedging it.  All TOTAL submits must ack despite the kill.
+    let client_cfg = bulkd::ClientConfig {
+        connect_timeout: Some(Duration::from_secs(2)),
+        read_timeout: Some(Duration::from_secs(20)),
+    };
+    let acked = Mutex::new(vec![None::<Vec<u64>>; TOTAL]);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (router_addr, key, pool, acked, client_cfg) =
+                (&router_addr, &key, &pool, &acked, &client_cfg);
+            scope.spawn(move || {
+                let mut client =
+                    bulkd::Client::connect_with(router_addr, client_cfg).expect("connect router");
+                for j in 0..PER_CLIENT {
+                    let i = c * PER_CLIENT + j;
+                    let one = std::slice::from_ref(&pool[i]);
+                    let ok = client.submit(key, one, false).expect("submit must survive the kill");
+                    let out = ok.outputs.into_iter().next().expect("one output");
+                    let prev = acked.lock().unwrap()[i].replace(out);
+                    assert!(prev.is_none(), "instance {i} acked twice");
+                }
+            });
+        }
+        // Kill the owner the moment enough acks are banked.
+        let t0 = Instant::now();
+        loop {
+            let banked = acked.lock().unwrap().iter().filter(|o| o.is_some()).count();
+            if banked >= ACKS_BEFORE_KILL {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(60), "load never reached the kill point");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        victim.kill().expect("kill victim");
+    });
+    victim.wait().expect("reap victim");
+
+    // Every instance acked exactly once, bit-identical to the compiled
+    // engine — re-executions on the survivor included.
+    let acked = acked.into_inner().unwrap();
+    for (i, out) in acked.iter().enumerate() {
+        assert_eq!(
+            out.as_ref().expect("instance never acked"),
+            &direct[i],
+            "instance {i}: rerouted output diverges from Engine::Compiled"
+        );
+    }
+
+    // The router noticed: victim down, submits rerouted, IO redispatches
+    // counted.  (The probe cadence is 50 ms; this converges fast.)
+    let stats = poll_router_stats(&router_addr, Duration::from_secs(15), |s| {
+        s.path("health.n1.state").and_then(Json::as_str) == Some("down")
+            && s.path("router.rerouted").and_then(Json::as_i64).unwrap_or(0) > 0
+    });
+    assert_eq!(stats.path("nodes_down").and_then(Json::as_i64), Some(1));
+    assert!(stats.path("router.io_redispatch").and_then(Json::as_i64).unwrap_or(0) >= 1);
+    assert_eq!(stats.path("backends.n1.unreachable"), Some(&Json::Bool(true)));
+
+    // The merged drain balances: every submit is accounted, the acks
+    // split across the two backends sum to the total, nothing vanished.
+    let mut client =
+        bulkd::Client::connect_with(&router_addr, &client_cfg).expect("connect for drain");
+    let drained = client.drain().expect("drain through router");
+    assert_eq!(drained.path("drained"), Some(&Json::Bool(true)));
+    let r = |p: &str| drained.path(p).and_then(Json::as_i64).unwrap_or(-1);
+    assert_eq!(r("router.submits"), TOTAL as i64, "{}", drained.to_pretty());
+    assert_eq!(r("router.acked"), TOTAL as i64);
+    assert_eq!(r("router.relayed_errors"), 0);
+    assert_eq!(r("router.unavailable"), 0);
+    assert!(r("router.rerouted") >= 1);
+    assert_eq!(
+        r("router.per_backend.n1.acked") + r("router.per_backend.n2.acked"),
+        TOTAL as i64,
+        "per-backend acks do not sum: {}",
+        drained.to_pretty()
+    );
+    assert_eq!(drained.path("backends.n1.unreachable"), Some(&Json::Bool(true)));
+    assert_eq!(drained.path("cluster.unreachable_backends").and_then(Json::as_i64), Some(1));
+
+    // Clean exits: the drain fan-out shut the survivor down, and the
+    // router exits after its own drain.
+    assert!(router_child.wait().expect("reap router").success(), "router exited non-zero");
+    assert!(survivor.wait().expect("reap survivor").success(), "survivor exited non-zero");
+}

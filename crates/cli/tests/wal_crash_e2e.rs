@@ -357,6 +357,7 @@ fn bit_flipped_segment_truncates_reported_not_panics() {
     // so jobs 2 and 3 re-run; the repair is visible in stats.
     let cfg = bulkd::ServerConfig {
         addr: "127.0.0.1:0".into(),
+        node_id: None,
         workers: 1,
         max_batch: 64,
         max_queue: 1024,

@@ -1,0 +1,643 @@
+//! # router — a consistent-hash routing tier for bulkd
+//!
+//! One bulkd node amortizes a compiled oblivious schedule over the `p`
+//! coalesced instances of a key; this crate scales that story to a
+//! cluster without giving it up.  The router speaks the exact bulkd
+//! newline-JSON protocol on the front and places every submit by its
+//! coalescing key `(algo, n, layout)` on a consistent-hash ring over the
+//! backend nodes ([`ring`]), so each key's whole stream lands on one
+//! node: one compile per key cluster-wide, batches as large as a single
+//! node would build.
+//!
+//! Around that placement sit the operational pieces:
+//!
+//! * [`health`] — periodic `status` probes under short connect/read
+//!   timeouts mark nodes down after K consecutive failures and up again
+//!   after J successes; down nodes are skipped at dispatch time.
+//! * redispatch — a backend `overloaded{retry_after_ms}` answer or a
+//!   connect/IO failure moves the submit to the key's successor node
+//!   after a bounded, jittered wait ([`bulkd::jittered_backoff_ms`]).
+//!   Nothing is silently dropped: the client always gets the backend's
+//!   verbatim reply or the router's own `unavailable` error.
+//! * [`stats`] — a conservation-law ledger (`submits == acked +
+//!   relayed_errors + unavailable`), a merged cluster snapshot for
+//!   `stats`/`drain`, and a Prometheus view with a `node` label.
+//!
+//! Submit forwarding relays the backend's reply bytes verbatim, so a
+//! client sees bit-identical outputs whether it talks to a node directly
+//! or through the router.  Re-execution after a mid-reply connection
+//! loss is safe for the same reason the reroute is: the catalog's
+//! algorithms are oblivious and deterministic, so any node computes the
+//! same output words for the same inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod ring;
+pub mod stats;
+
+pub use health::{HealthBoard, HealthPolicy, HealthState, NodeHealth};
+pub use ring::{stable_hash, HashRing};
+pub use stats::{
+    merged_snapshot, render_prometheus, router_section, BackendCounters, ClusterTotals, LedgerView,
+    RouterStats,
+};
+
+use bulkd::protocol::resp_error;
+use bulkd::{
+    jittered_backoff_ms, Client, ClientConfig, JobKey, LineFramer, Request, RouteClass,
+    PROTOCOL_VERSION,
+};
+use obs::{Json, Rng};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Same line-length bound as the bulkd server.
+const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// One routable bulkd node: a stable identity plus a dial address.
+///
+/// The ring hashes the *id*, never the address.  Addresses are
+/// deployment details (ephemeral ports in tests, moving IPs in real
+/// clusters); ids are the coordinates placement is computed in, so the
+/// same ids always produce the same key→node map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backend {
+    /// Stable node name (what `--backends id=addr` binds).
+    pub id: String,
+    /// TCP dial address.
+    pub addr: String,
+}
+
+/// Parse a `--backends` spec: comma-separated `id=addr` entries, with a
+/// bare `addr` shorthand meaning `addr=addr`.
+///
+/// # Errors
+///
+/// Empty specs, empty ids/addresses, and duplicate ids are rejected.
+pub fn parse_backends(spec: &str) -> Result<Vec<Backend>, String> {
+    let mut out: Vec<Backend> = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (id, addr) = match part.split_once('=') {
+            Some((id, addr)) => (id.trim(), addr.trim()),
+            None => (part, part),
+        };
+        if id.is_empty() || addr.is_empty() {
+            return Err(format!("backend \"{part}\" needs non-empty id and address"));
+        }
+        if out.iter().any(|b| b.id == id) {
+            return Err(format!("duplicate backend id \"{id}\""));
+        }
+        out.push(Backend { id: id.to_string(), addr: addr.to_string() });
+    }
+    if out.is_empty() {
+        return Err("at least one backend is required (e.g. --backends n1=127.0.0.1:7070)".into());
+    }
+    Ok(out)
+}
+
+/// Tunables of one [`run_router`] invocation.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// The backend bulkd nodes, in ring order-independent id space.
+    pub backends: Vec<Backend>,
+    /// Virtual nodes per backend on the hash ring.
+    pub vnodes: usize,
+    /// Milliseconds between health-probe rounds.
+    pub probe_interval_ms: u64,
+    /// Connect *and* read timeout of one health probe, in milliseconds.
+    pub probe_timeout_ms: u64,
+    /// Down-after-K / up-after-J debouncing.
+    pub health: HealthPolicy,
+    /// Backend dial timeout when forwarding, in milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Backend reply-read timeout when forwarding, in milliseconds.
+    /// Submits block for queue wait + execution, so leave headroom well
+    /// above the backends' flush window.
+    pub read_timeout_ms: u64,
+    /// Cap on the jittered wait before an overload redispatch, in
+    /// milliseconds (the backend's `retry_after_ms` hint is honored up
+    /// to this bound).
+    pub max_redispatch_wait_ms: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:7171".into(),
+            backends: Vec::new(),
+            vnodes: 64,
+            probe_interval_ms: 500,
+            probe_timeout_ms: 250,
+            health: HealthPolicy::default(),
+            connect_timeout_ms: 1000,
+            read_timeout_ms: 30_000,
+            max_redispatch_wait_ms: 100,
+        }
+    }
+}
+
+struct Shared {
+    cfg: RouterConfig,
+    ids: Vec<String>,
+    ring: HashRing,
+    board: HealthBoard,
+    stats: RouterStats,
+    stop_accepting: AtomicBool,
+    addr: SocketAddr,
+    /// The drain fan-out's collected backend snapshots, stashed for
+    /// [`run_router`]'s return value.
+    drain_snaps: Mutex<Option<Vec<Option<Json>>>>,
+    conn_seq: AtomicU64,
+}
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// Run the routing tier until a client sends `drain`.  `on_ready` fires
+/// once with the bound address.  Returns the merged cluster snapshot
+/// (the same document the draining client received).
+///
+/// # Errors
+///
+/// Bind/IO failures, a degenerate ring, and a post-drain accounting
+/// imbalance.
+pub fn run_router(cfg: &RouterConfig, on_ready: impl FnOnce(SocketAddr)) -> Result<Json, String> {
+    let ids: Vec<String> = cfg.backends.iter().map(|b| b.id.clone()).collect();
+    let ring = HashRing::new(&ids, cfg.vnodes)?;
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    let n = ids.len();
+    let shared = Arc::new(Shared {
+        cfg: cfg.clone(),
+        ids,
+        ring,
+        board: HealthBoard::new(n, cfg.health),
+        stats: RouterStats::new(n),
+        stop_accepting: AtomicBool::new(false),
+        addr,
+        drain_snaps: Mutex::new(None),
+        conn_seq: AtomicU64::new(0),
+    });
+
+    let prober = {
+        let sh = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("router-probe".into())
+            .spawn(move || probe_loop(&sh))
+            .map_err(|e| format!("spawn prober: {e}"))?
+    };
+
+    on_ready(addr);
+
+    for conn in listener.incoming() {
+        if shared.stop_accepting.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let sh = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("router-conn".into())
+            .spawn(move || conn_loop(stream, &sh));
+    }
+    let _ = prober.join();
+
+    // Give racing connection threads a moment to finish answering their
+    // in-flight submits, then enforce the conservation law.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let view = loop {
+        let view = shared.stats.view();
+        if view.check_balanced().is_ok() || Instant::now() >= deadline {
+            break view;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    view.check_balanced()?;
+
+    let snaps = shared
+        .drain_snaps
+        .lock()
+        .expect("drain snapshot slot poisoned")
+        .take()
+        .unwrap_or_else(|| vec![None; shared.ids.len()]);
+    Ok(merged_snapshot(&view, &shared.ids, &shared.board.view(), &snaps, true))
+}
+
+/// Probe every backend's `status` endpoint forever (until drain), under
+/// short timeouts, feeding the health board.
+fn probe_loop(sh: &Shared) {
+    let probe_cfg = ClientConfig {
+        connect_timeout: Some(ms(sh.cfg.probe_timeout_ms.max(1))),
+        read_timeout: Some(ms(sh.cfg.probe_timeout_ms.max(1))),
+    };
+    loop {
+        for (i, b) in sh.cfg.backends.iter().enumerate() {
+            if sh.stop_accepting.load(Ordering::SeqCst) {
+                return;
+            }
+            let outcome = Client::connect_with(&b.addr, &probe_cfg)
+                .map_err(|e| format!("probe connect: {e}"))
+                .and_then(|mut c| c.status().map_err(|e| format!("probe: {e}")));
+            match outcome {
+                Ok(_) => sh.board.on_success(i),
+                Err(e) => sh.board.on_failure(i, &e),
+            }
+        }
+        // Sleep in small steps so drain doesn't wait out a long interval.
+        let mut waited = 0u64;
+        while waited < sh.cfg.probe_interval_ms {
+            if sh.stop_accepting.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = (sh.cfg.probe_interval_ms - waited).min(50);
+            std::thread::sleep(ms(step));
+            waited += step;
+        }
+    }
+}
+
+/// A cached raw-line connection to one backend.
+struct Link {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Link {
+    fn dial(addr: &str, connect_ms: u64, read_ms: u64) -> std::io::Result<Link> {
+        let mut last: Option<std::io::Error> = None;
+        let mut stream = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, ms(connect_ms.max(1))) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let Some(s) = stream else {
+            return Err(last.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to no candidates",
+                )
+            }));
+        };
+        s.set_read_timeout(Some(ms(read_ms.max(1))))?;
+        Ok(Link { reader: BufReader::new(s.try_clone()?), writer: s })
+    }
+
+    /// Send one raw protocol line, read one raw reply line.
+    fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "backend closed the connection",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}
+
+/// Forward `line` to backend `idx`, reusing this connection's cached
+/// link.  A failure on a *cached* link gets one fresh-dial retry — idle
+/// links go stale when backends close them, and that is not evidence
+/// the node is down.
+fn forward(
+    sh: &Shared,
+    links: &mut [Option<Link>],
+    idx: usize,
+    line: &str,
+) -> std::io::Result<String> {
+    let dial = || {
+        Link::dial(&sh.cfg.backends[idx].addr, sh.cfg.connect_timeout_ms, sh.cfg.read_timeout_ms)
+    };
+    let had_cache = links[idx].is_some();
+    if links[idx].is_none() {
+        links[idx] = Some(dial()?);
+    }
+    match links[idx].as_mut().expect("link just ensured").roundtrip(line) {
+        Ok(r) => Ok(r),
+        Err(first) => {
+            links[idx] = None;
+            if !had_cache {
+                return Err(first);
+            }
+            let mut fresh = dial()?;
+            let r = fresh.roundtrip(line)?;
+            links[idx] = Some(fresh);
+            Ok(r)
+        }
+    }
+}
+
+enum ReplyKind {
+    Ok,
+    Overloaded(u64),
+    Error,
+}
+
+fn classify(raw: &str) -> ReplyKind {
+    let Ok(j) = Json::parse(raw) else { return ReplyKind::Error };
+    match j.get("ok") {
+        Some(&Json::Bool(true)) => ReplyKind::Ok,
+        _ => {
+            if j.get("error").and_then(Json::as_str) == Some("overloaded") {
+                let retry =
+                    j.get("retry_after_ms").and_then(Json::as_i64).unwrap_or(1).max(1) as u64;
+                ReplyKind::Overloaded(retry)
+            } else {
+                ReplyKind::Error
+            }
+        }
+    }
+}
+
+/// Dispatch one submit line: try the key's ring owner, then each distinct
+/// successor, skipping nodes the health board says are down (unless all
+/// are — then the board might be stale, so everything is tried).  The
+/// backend's reply bytes are relayed verbatim.
+fn dispatch_submit(
+    sh: &Shared,
+    raw_line: &str,
+    key: &JobKey,
+    links: &mut [Option<Link>],
+    rng: &mut Rng,
+) -> String {
+    sh.stats.on_submit();
+    let key_str = key.to_string();
+    let order = sh.ring.route_order(&key_str);
+    let owner = order[0];
+    let up: Vec<usize> = order.iter().copied().filter(|&i| sh.board.is_up(i)).collect();
+    let candidates = if up.is_empty() { order } else { up };
+    let mut last_overloaded: Option<(usize, String, u64)> = None;
+    for &idx in &candidates {
+        if let Some((_, _, retry_after)) = last_overloaded {
+            let wait =
+                jittered_backoff_ms(retry_after, rng).min(sh.cfg.max_redispatch_wait_ms.max(1));
+            std::thread::sleep(ms(wait));
+        }
+        sh.stats.on_dispatch(idx);
+        match forward(sh, links, idx, raw_line) {
+            Err(e) => {
+                sh.stats.on_io_redispatch(idx);
+                sh.board.on_failure(idx, &format!("forward: {e}"));
+            }
+            Ok(raw) => {
+                sh.board.on_success(idx);
+                match classify(&raw) {
+                    ReplyKind::Ok => {
+                        sh.stats.on_ack(idx, idx != owner);
+                        return raw;
+                    }
+                    ReplyKind::Overloaded(retry_ms) => {
+                        sh.stats.on_overload_redispatch(idx);
+                        last_overloaded = Some((idx, raw, retry_ms));
+                    }
+                    ReplyKind::Error => {
+                        sh.stats.on_relayed_error(idx, idx != owner);
+                        return raw;
+                    }
+                }
+            }
+        }
+    }
+    // Every candidate failed.  A terminal overloaded is relayed verbatim
+    // (the client's own backoff takes over); otherwise the router answers
+    // for itself.  Either way the submit is accounted, never dropped.
+    if let Some((idx, raw, _)) = last_overloaded {
+        sh.stats.on_relayed_error(idx, idx != owner);
+        return raw;
+    }
+    sh.stats.on_unavailable();
+    resp_error(
+        "unavailable",
+        &format!("no backend reachable for key {key_str} ({} tried)", sh.ids.len()),
+    )
+    .to_compact()
+}
+
+enum FanVerb {
+    Stats,
+    Drain,
+}
+
+/// Ask every backend concurrently; `None` per node that could not answer.
+fn collect_fanout(sh: &Shared, verb: &FanVerb) -> Vec<Option<Json>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sh
+            .cfg
+            .backends
+            .iter()
+            .map(|b| {
+                scope.spawn(move || {
+                    let cfg = ClientConfig {
+                        connect_timeout: Some(ms(sh.cfg.connect_timeout_ms.max(1))),
+                        // Drains block until every accepted job executes.
+                        read_timeout: Some(ms(match verb {
+                            FanVerb::Stats => sh.cfg.read_timeout_ms.max(1),
+                            FanVerb::Drain => sh.cfg.read_timeout_ms.saturating_mul(10).max(1),
+                        })),
+                    };
+                    let mut c = Client::connect_with(&b.addr, &cfg).ok()?;
+                    match verb {
+                        FanVerb::Stats => c.stats().ok(),
+                        FanVerb::Drain => c.drain().ok(),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(None)).collect()
+    })
+}
+
+fn status_reply(sh: &Shared) -> Json {
+    let mut o = Json::obj();
+    o.set("ok", true);
+    o.set("role", "router");
+    o.set("protocol_version", PROTOCOL_VERSION);
+    o.set("backends", sh.ids.len() as u64);
+    o.set("nodes_up", sh.board.up_count() as u64);
+    o.set("draining", sh.stop_accepting.load(Ordering::SeqCst));
+    let mut nodes = Json::obj();
+    for (i, h) in sh.board.view().iter().enumerate() {
+        nodes.set(&sh.ids[i], if h.state == HealthState::Up { "up" } else { "down" });
+    }
+    o.set("nodes", nodes);
+    o
+}
+
+fn dump_reply(sh: &Shared) -> Json {
+    let mut o = Json::obj();
+    o.set("ok", true);
+    o.set("role", "router");
+    o.set("router", router_section(&sh.stats.view(), &sh.ids));
+    o
+}
+
+enum After {
+    Continue,
+    Close,
+}
+
+fn handle_line(
+    line: &str,
+    sh: &Shared,
+    links: &mut [Option<Link>],
+    rng: &mut Rng,
+) -> (String, After) {
+    let req = match Request::parse_line(line) {
+        Ok(req) => req,
+        Err(e) => {
+            sh.stats.on_protocol_error();
+            return (resp_error("protocol", &e).to_compact(), After::Continue);
+        }
+    };
+    match req.route_class() {
+        RouteClass::Keyed => {
+            let Request::Submit { key, .. } = &req else { unreachable!("Keyed is submit-only") };
+            (dispatch_submit(sh, line, key, links, rng), After::Continue)
+        }
+        RouteClass::Local => {
+            sh.stats.on_local();
+            let j = match req {
+                Request::Status => status_reply(sh),
+                _ => dump_reply(sh),
+            };
+            (j.to_compact(), After::Continue)
+        }
+        RouteClass::FanOut => {
+            sh.stats.on_fanout();
+            match req {
+                Request::Stats => {
+                    let snaps = collect_fanout(sh, &FanVerb::Stats);
+                    let mut j =
+                        merged_snapshot(&sh.stats.view(), &sh.ids, &sh.board.view(), &snaps, false);
+                    j.set("ok", true);
+                    (j.to_compact(), After::Continue)
+                }
+                Request::Metrics => {
+                    let snaps = collect_fanout(sh, &FanVerb::Stats);
+                    let text =
+                        render_prometheus(&sh.stats.view(), &sh.ids, &sh.board.view(), &snaps);
+                    let mut o = Json::obj();
+                    o.set("ok", true);
+                    o.set("metrics", text);
+                    (o.to_compact(), After::Continue)
+                }
+                _ => {
+                    // Drain: stop probing/accepting *after* the merged
+                    // snapshot is assembled and on the wire.
+                    let snaps = collect_fanout(sh, &FanVerb::Drain);
+                    let mut j =
+                        merged_snapshot(&sh.stats.view(), &sh.ids, &sh.board.view(), &snaps, true);
+                    j.set("ok", true);
+                    *sh.drain_snaps.lock().expect("drain snapshot slot poisoned") = Some(snaps);
+                    (j.to_compact(), After::Close)
+                }
+            }
+        }
+    }
+}
+
+fn conn_loop(stream: TcpStream, sh: &Shared) {
+    sh.stats.on_connection();
+    let seq = sh.conn_seq.fetch_add(1, Ordering::SeqCst);
+    // Deterministic per-connection jitter stream (the workspace has no
+    // OS randomness source by design).
+    let mut rng = Rng::new(0x0520_7EA4 ^ (seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let mut links: Vec<Option<Link>> = (0..sh.ids.len()).map(|_| None).collect();
+    let mut framer = LineFramer::new(MAX_LINE_BYTES);
+    let mut stream = stream;
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        loop {
+            let line = match framer.next_line() {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                Err(e) => {
+                    sh.stats.on_protocol_error();
+                    let mut reply = resp_error("protocol", &e).to_compact();
+                    reply.push('\n');
+                    let _ = stream.write_all(reply.as_bytes());
+                    return;
+                }
+            };
+            let (mut reply, after) = handle_line(&line, sh, &mut links, &mut rng);
+            reply.push('\n');
+            // The drain reply must be on the wire *before* the accept
+            // loop is released: `run_router` may return (and the process
+            // exit) the moment it pops.
+            let wrote = stream.write_all(reply.as_bytes()).and_then(|()| stream.flush());
+            if matches!(after, After::Close) {
+                sh.stop_accepting.store(true, Ordering::SeqCst);
+                // Self-connect to pop the accept loop out of `incoming()`.
+                let _ = TcpStream::connect(sh.addr);
+                return;
+            }
+            if wrote.is_err() {
+                return;
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => framer.push(&buf[..n]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_specs_parse_with_ids_and_shorthand() {
+        let bs = parse_backends("n1=127.0.0.1:7070, n2=127.0.0.1:7071").unwrap();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0], Backend { id: "n1".into(), addr: "127.0.0.1:7070".into() });
+        assert_eq!(bs[1].id, "n2");
+        // Bare address shorthand: the address doubles as the id.
+        let bs = parse_backends("127.0.0.1:7070").unwrap();
+        assert_eq!(bs[0].id, "127.0.0.1:7070");
+        assert_eq!(bs[0].addr, "127.0.0.1:7070");
+    }
+
+    #[test]
+    fn backend_specs_reject_degenerate_forms() {
+        assert!(parse_backends("").is_err());
+        assert!(parse_backends(",,").is_err());
+        assert!(parse_backends("n1=").is_err());
+        assert!(parse_backends("=addr").is_err());
+        let e = parse_backends("n1=a,n1=b").unwrap_err();
+        assert!(e.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn reply_classification_matches_the_protocol_shapes() {
+        assert!(matches!(classify(r#"{"ok":true,"outputs":[]}"#), ReplyKind::Ok));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":"overloaded","retry_after_ms":7}"#),
+            ReplyKind::Overloaded(7)
+        ));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":"draining","detail":"no new work"}"#),
+            ReplyKind::Error
+        ));
+        assert!(matches!(classify("not json"), ReplyKind::Error));
+    }
+}

@@ -1,0 +1,257 @@
+//! The consistent-hash ring: which backend owns which coalescing key.
+//!
+//! Every submit is placed by its coalescing key `(algo, n, layout)` — the
+//! same string the server groups batches by — so *all* traffic for a key
+//! lands on one node.  That affinity is the whole point of the tier: the
+//! paper's speedup comes from one compiled schedule amortized over `p`
+//! coalesced instances, and spraying a key across nodes would fragment
+//! its batches and recompile its schedule everywhere.
+//!
+//! Each node is planted on the ring at `vnodes` pseudo-random points
+//! (virtual nodes); a key belongs to the first node point at or after its
+//! own hash, wrapping around.  Virtual nodes smooth the load split and
+//! bound disruption: when a node joins or leaves, only the keys falling
+//! into its arcs move — an expected `1/N` (at most ~`2/N` with the vnode
+//! counts used here) of the key space, instead of the near-total reshuffle
+//! a modulo placement would cause.
+//!
+//! Hashing is FNV-1a finished with the SplitMix64 avalanche, chosen for
+//! being dependency-free, byte-stable across platforms, and well mixed on
+//! the short, similar strings job keys are made of.  Determinism matters:
+//! a router restart, a test, and a CI script must all compute the same
+//! placement from the same node names.
+
+/// FNV-1a over `bytes`, finished with the SplitMix64 avalanche rounds.
+///
+/// Plain FNV-1a clusters badly on short strings differing in one byte
+/// (exactly what `fft/64/col` vs `fft/64/row` are); the finisher spreads
+/// those over the full 64-bit ring.
+#[must_use]
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // SplitMix64 finisher.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring over named nodes with virtual nodes.
+///
+/// Placement depends only on the node *names* and `vnodes` — never on
+/// addresses, construction order, or anything ephemeral — so two rings
+/// built from the same names agree everywhere.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    names: Vec<String>,
+    /// `(ring point, index into names)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Plant each of `names` at `vnodes` points.  Duplicate names are
+    /// rejected — they would silently double one node's share.
+    ///
+    /// # Errors
+    ///
+    /// Empty node list, zero `vnodes`, or duplicate names.
+    pub fn new(names: &[String], vnodes: usize) -> Result<HashRing, String> {
+        if names.is_empty() {
+            return Err("hash ring needs at least one node".into());
+        }
+        if vnodes == 0 {
+            return Err("hash ring needs at least one virtual node per node".into());
+        }
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].contains(n) {
+                return Err(format!("duplicate node name '{n}' on the ring"));
+            }
+        }
+        let mut points = Vec::with_capacity(names.len() * vnodes);
+        for (idx, name) in names.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((stable_hash(format!("{name}#{v}").as_bytes()), idx));
+            }
+        }
+        // Ties (vanishingly rare) break by node index, deterministically.
+        points.sort_unstable();
+        Ok(HashRing { names: names.to_vec(), points, vnodes })
+    }
+
+    /// The node names, in construction order (`node_of` indexes into this).
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of nodes on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false: construction rejects empty rings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Virtual nodes per node.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Index of the first ring point at or after `point`, wrapping.
+    fn successor_point(&self, point: u64) -> usize {
+        self.points.partition_point(|&(p, _)| p < point) % self.points.len()
+    }
+
+    /// The node that owns `key`: the first node point clockwise from the
+    /// key's hash.
+    #[must_use]
+    pub fn node_of(&self, key: &str) -> usize {
+        self.points[self.successor_point(stable_hash(key.as_bytes()))].1
+    }
+
+    /// All nodes in the order a dispatcher should try them for `key`:
+    /// the owner first, then each *distinct* successor clockwise.  Every
+    /// node appears exactly once, so a bounded retry loop over this order
+    /// visits the cluster at most once.
+    #[must_use]
+    pub fn route_order(&self, key: &str) -> Vec<usize> {
+        let start = self.successor_point(stable_hash(key.as_bytes()));
+        let mut order = Vec::with_capacity(self.names.len());
+        for i in 0..self.points.len() {
+            let idx = self.points[(start + i) % self.points.len()].1;
+            if !order.contains(&idx) {
+                order.push(idx);
+                if order.len() == self.names.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    /// A key population shaped like real coalescing keys.
+    fn keys() -> Vec<String> {
+        let mut out = Vec::new();
+        for algo in ["prefix-sums", "fft", "bitonic", "fir", "xtea", "horner", "opt"] {
+            for size in [16, 32, 64, 128, 256] {
+                for layout in ["col", "row"] {
+                    out.push(format!("{algo}/{size}/{layout}"));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_rings() {
+        assert!(HashRing::new(&[], 64).is_err());
+        assert!(HashRing::new(&names(&["a"]), 0).is_err());
+        let err = HashRing::new(&names(&["a", "b", "a"]), 64).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(HashRing::new(&names(&["a"]), 1).is_ok());
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_name_based() {
+        let a = HashRing::new(&names(&["n1", "n2", "n3"]), 64).unwrap();
+        let b = HashRing::new(&names(&["n1", "n2", "n3"]), 64).unwrap();
+        for k in keys() {
+            assert_eq!(a.node_of(&k), b.node_of(&k), "{k}");
+            assert_eq!(a.route_order(&k), b.route_order(&k), "{k}");
+        }
+    }
+
+    #[test]
+    fn every_node_gets_a_nontrivial_share() {
+        let ring = HashRing::new(&names(&["n1", "n2", "n3"]), 64).unwrap();
+        let mut counts = [0usize; 3];
+        let ks = keys();
+        for k in &ks {
+            counts[ring.node_of(k)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                *c * 10 >= ks.len(),
+                "node {i} owns {c} of {} keys — virtual nodes failed to spread load: {counts:?}",
+                ks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn route_order_starts_at_the_owner_and_covers_every_node_once() {
+        let ring = HashRing::new(&names(&["n1", "n2", "n3", "n4"]), 64).unwrap();
+        for k in keys() {
+            let order = ring.route_order(&k);
+            assert_eq!(order[0], ring.node_of(&k), "{k}");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "{k}: {order:?}");
+        }
+    }
+
+    #[test]
+    fn node_join_and_leave_move_a_bounded_key_fraction() {
+        let ks = keys();
+        for n in [2usize, 3, 4, 8] {
+            let base: Vec<String> = (0..n).map(|i| format!("node-{i}")).collect();
+            let mut grown = base.clone();
+            grown.push("node-new".into());
+            let before = HashRing::new(&base, 64).unwrap();
+            let after = HashRing::new(&grown, 64).unwrap();
+            let moved = ks
+                .iter()
+                .filter(|k| before.names()[before.node_of(k)] != after.names()[after.node_of(k)])
+                .count();
+            let bound = (2.0 / n as f64 * ks.len() as f64).ceil() as usize;
+            assert!(
+                moved <= bound,
+                "adding a node to {n} moved {moved}/{} keys (bound 2/N = {bound})",
+                ks.len()
+            );
+            assert!(moved > 0, "adding a node to {n} moved nothing — the ring is inert");
+            // Leave = the exact inverse: only keys the newcomer took move
+            // back, everything else stays put.
+            for k in &ks {
+                let kept = before.names()[before.node_of(k)].clone();
+                let now = after.names()[after.node_of(k)].clone();
+                if now != "node-new" {
+                    assert_eq!(kept, now, "{k} moved between survivors");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_hash_spreads_near_identical_keys() {
+        // Sibling keys (one flipped byte) must not cluster: check the top
+        // bits differ across the sibling set often enough to be useful.
+        let hs: Vec<u64> = keys().iter().map(|k| stable_hash(k.as_bytes())).collect();
+        let mut sorted = hs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hs.len(), "collision among {} keys", hs.len());
+        let top_bytes: std::collections::HashSet<u8> = hs.iter().map(|h| (h >> 56) as u8).collect();
+        assert!(top_bytes.len() > 16, "top bytes barely vary: {}", top_bytes.len());
+    }
+}
