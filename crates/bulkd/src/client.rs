@@ -35,6 +35,13 @@ pub enum ClientError {
         /// Suggested backoff before retrying.
         retry_after_ms: u64,
     },
+    /// The node is a standby and refuses primary-only work (submit,
+    /// drain).  Redial the hinted leader.
+    NotPrimary {
+        /// The primary's serving address, as the standby learned it over
+        /// the replication handshake (empty when unknown).
+        leader_hint: String,
+    },
     /// The server rejected the request for a stated reason.
     Rejected {
         /// Error kind (`"draining"`, `"bad-request"`, `"exec"`, …).
@@ -51,6 +58,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
             ClientError::Overloaded { retry_after_ms } => {
                 write!(f, "overloaded (retry after {retry_after_ms} ms)")
+            }
+            ClientError::NotPrimary { leader_hint } => {
+                write!(f, "not primary (leader hint: {leader_hint})")
             }
             ClientError::Rejected { kind, detail } => write!(f, "{kind}: {detail}"),
         }
@@ -164,6 +174,10 @@ impl Client {
                         resp.get("retry_after_ms").and_then(Json::as_i64).unwrap_or(1).max(1)
                             as u64;
                     Err(ClientError::Overloaded { retry_after_ms })
+                } else if kind == "not_primary" {
+                    let leader_hint =
+                        resp.get("leader_hint").and_then(Json::as_str).unwrap_or("").to_owned();
+                    Err(ClientError::NotPrimary { leader_hint })
                 } else {
                     let detail = resp.get("detail").and_then(Json::as_str).unwrap_or("").to_owned();
                     Err(ClientError::Rejected { kind: kind.to_owned(), detail })
@@ -257,8 +271,20 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport or protocol failures.
+    /// Transport or protocol failures, or [`ClientError::NotPrimary`]
+    /// when the target is a warm standby.
     pub fn drain(&mut self) -> Result<Json, ClientError> {
         Self::expect_ok(self.roundtrip(&Request::Drain.to_json())?)
+    }
+
+    /// Ask a warm standby to take over as the serving primary; returns
+    /// its acknowledgement (role, replicated high-water mark).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures, or a `not_standby` rejection when
+    /// the target is not a standby.
+    pub fn promote(&mut self) -> Result<Json, ClientError> {
+        Self::expect_ok(self.roundtrip(&Request::Promote.to_json())?)
     }
 }

@@ -304,13 +304,13 @@ impl Journal {
 
     /// Group-commit append: write the record unsynced under the log lock,
     /// run the bookkeeping, then wait until a leader-elected fsync covers
-    /// its sequence number.
+    /// its sequence number.  Returns the record's WAL sequence number.
     fn append_group(
         &self,
         rec_type: u8,
         payload: &[u8],
         bookkeep: impl FnOnce(&mut Inner),
-    ) -> Result<(), String> {
+    ) -> Result<u64, String> {
         // Refuse early once the journal has fail-stopped: appending after
         // a failed fsync would acknowledge records of unknowable fate.
         {
@@ -332,7 +332,7 @@ impl Journal {
                 }
             }
         };
-        self.wait_durable(seq)
+        self.wait_durable(seq).map(|()| seq)
     }
 
     /// Record the first failure (later callers see the original error)
@@ -402,7 +402,7 @@ impl Journal {
         rec_type: u8,
         payload: &[u8],
         bookkeep: impl FnOnce(&mut Inner),
-    ) -> Result<(), String> {
+    ) -> Result<u64, String> {
         if self.fsync == FsyncPolicy::Always {
             return self.append_group(rec_type, payload, bookkeep);
         }
@@ -413,12 +413,16 @@ impl Journal {
             }
         }
         let mut inner = self.inner.lock().expect("journal poisoned");
-        if let Err(e) = inner.wal.append(rec_type, payload) {
-            drop(inner);
-            return Err(self.fail_stop(e));
+        match inner.wal.append(rec_type, payload) {
+            Ok(seq) => {
+                bookkeep(&mut inner);
+                Ok(seq)
+            }
+            Err(e) => {
+                drop(inner);
+                Err(self.fail_stop(e))
+            }
         }
-        bookkeep(&mut inner);
-        Ok(())
     }
 
     /// Arm the underlying log's fsync failpoint (test-only fault
@@ -446,20 +450,38 @@ impl Journal {
             inner.incomplete.insert(id);
             inner.log_submits += 1;
         })
+        .map(|_seq| ())
     }
 
     /// Append (and per policy sync) a completion record.  Call *before*
-    /// the reply goes to the client.
+    /// the reply goes to the client.  Returns the record's WAL sequence
+    /// number — the mark a replication sink must reach before the reply
+    /// may be acknowledged under semi-synchronous replication.
     ///
     /// # Errors
     ///
     /// Log I/O failures.
-    pub fn log_complete(&self, id: u64, result: Result<&[Vec<u64>], &str>) -> Result<(), String> {
+    pub fn log_complete(&self, id: u64, result: Result<&[Vec<u64>], &str>) -> Result<u64, String> {
         let payload = complete_payload(id, result);
         self.append_record(REC_COMPLETE, &payload, |inner| {
             inner.incomplete.remove(&id);
             inner.log_completions += 1;
         })
+    }
+
+    /// The durable WAL high-water mark: the highest sequence number known
+    /// to have survived an fsync (under `always`), or the highest appended
+    /// sequence number under the batching policies (where durability of
+    /// the very tail is by contract a bounded loss window).  This is the
+    /// mark a standby's `replicated_seq` is compared against when deciding
+    /// whether promotion is safe.
+    #[must_use]
+    pub fn durable_seq(&self) -> u64 {
+        if self.fsync == FsyncPolicy::Always {
+            self.group.lock().expect("journal poisoned").synced_seq
+        } else {
+            self.inner.lock().expect("journal poisoned").wal.next_seq().saturating_sub(1)
+        }
     }
 
     /// Drain-time checkpoint: once every logged submit has completed,
@@ -518,8 +540,13 @@ impl Journal {
         o.set("log_submits", inner.log_submits);
         o.set("log_completions", inner.log_completions);
         o.set("incomplete_jobs", inner.incomplete.len());
+        let appended_seq = inner.wal.next_seq().saturating_sub(1);
         drop(inner);
         let g = self.group.lock().expect("journal poisoned");
+        o.set(
+            "durable_seq",
+            if self.fsync == FsyncPolicy::Always { g.synced_seq } else { appended_seq },
+        );
         o.set("fail_stopped", g.failed.clone().map_or(Json::Null, Json::Str));
         let mut gc = Json::obj();
         gc.set("enabled", self.fsync == FsyncPolicy::Always);
@@ -715,8 +742,11 @@ mod tests {
         // No concurrency: each append elects itself leader and fsyncs —
         // the `always` contract (durable before return) is unchanged.
         j.log_submit(1, &key("a"), &[vec![1]]).unwrap();
-        j.log_complete(1, Ok(&[vec![2]])).unwrap();
+        let seq = j.log_complete(1, Ok(&[vec![2]])).unwrap();
+        assert_eq!(seq, 2, "the completion is the second appended record");
+        assert_eq!(j.durable_seq(), 2, "under always, every returned append is durable");
         let s = j.stats_json();
+        assert_eq!(s.path("durable_seq").unwrap().as_i64(), Some(2));
         assert_eq!(s.path("fsyncs").unwrap().as_i64(), Some(2));
         assert_eq!(s.path("group_commit.enabled").unwrap(), &Json::Bool(true));
         assert_eq!(s.path("group_commit.fail_stopped").unwrap(), &Json::Bool(false));

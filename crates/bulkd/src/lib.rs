@@ -24,6 +24,8 @@
 //!   completions over the `wal` crate, with crash recovery replay;
 //! - [`stats`] — live counters/histograms behind one lock, snapshotted as
 //!   a versioned `RunReport`-style JSON document;
+//! - [`repl`] — the replication-sink seam a primary's ack path gates on
+//!   (implemented by the `repl` crate's WAL shipper);
 //! - [`server`] — TCP accept loop, worker pool, and the [`BatchExecutor`]
 //!   trait the embedding binary implements to actually run batches;
 //! - [`client`] — a small blocking client;
@@ -38,6 +40,7 @@ pub mod journal;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
+pub mod repl;
 pub mod server;
 pub mod stats;
 
@@ -49,5 +52,6 @@ pub use journal::{Journal, JournalConfig, RecoveredJob, Recovery};
 pub use loadgen::{cold_key, jittered_backoff_ms, run_loadgen, LoadgenConfig, LoadgenReport};
 pub use protocol::{JobKey, LineFramer, Request, RouteClass, PROTOCOL_VERSION};
 pub use queue::{CoalescingQueue, KeyDepth, QueueConfig, StageBreakdown, StageStamps, SubmitError};
-pub use server::{serve, BatchExecutor, ServerConfig};
+pub use repl::ReplSink;
+pub use server::{serve, serve_with_listener, BatchExecutor, ServerConfig};
 pub use stats::ServerStats;

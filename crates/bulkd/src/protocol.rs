@@ -3,7 +3,7 @@
 //! Grammar (one JSON document per line, LF-terminated):
 //!
 //! ```text
-//! request  := submit | status | stats | metrics | dump | drain
+//! request  := submit | status | stats | metrics | dump | drain | promote
 //! submit   := {"cmd":"submit","algo":NAME,"size":N,"layout":"row"|"col",
 //!              "inputs":[[WORD,…],…]           // one inner array per instance
 //!              [,"timing":true]}               // opt into the stage breakdown
@@ -12,12 +12,14 @@
 //! metrics  := {"cmd":"metrics"}                // Prometheus text exposition
 //! dump     := {"cmd":"dump"}                   // flight-recorder snapshot
 //! drain    := {"cmd":"drain"}
+//! promote  := {"cmd":"promote"}                // standby → serving primary
 //! WORD     := "0x" 16 hex digits               // bit pattern, zero-extended
 //!
 //! response := {"ok":true, …}                   // submit: outputs/batch_p/…
 //!                                              // (+"timing":{…} when requested)
 //!           | {"ok":false,"error":KIND,"detail":TEXT}
 //!           | {"ok":false,"error":"overloaded","retry_after_ms":M}
+//!           | {"ok":false,"error":"not_primary","leader_hint":ADDR,"detail":TEXT}
 //! ```
 //!
 //! Words travel as `"0x{:016x}"` bit-pattern strings (`f32::to_bits`
@@ -125,6 +127,9 @@ pub enum Request {
     Dump,
     /// Stop admitting, finish all accepted jobs, then shut the server down.
     Drain,
+    /// Ask a warm standby to take over as the serving primary.  A node
+    /// that is not a standby answers a `not_standby` error.
+    Promote,
 }
 
 /// How a routing tier in front of bulkd nodes must treat each verb.
@@ -152,7 +157,10 @@ impl Request {
         match self {
             Request::Submit { .. } => RouteClass::Keyed,
             Request::Stats | Request::Metrics | Request::Drain => RouteClass::FanOut,
-            Request::Status | Request::Dump => RouteClass::Local,
+            // Promote is Local: it targets exactly the node it is sent to
+            // (a standby's control port); fanning it out would promote a
+            // whole cluster at once.
+            Request::Status | Request::Dump | Request::Promote => RouteClass::Local,
         }
     }
 }
@@ -176,6 +184,7 @@ impl Request {
             "metrics" => Ok(Request::Metrics),
             "dump" => Ok(Request::Dump),
             "drain" => Ok(Request::Drain),
+            "promote" => Ok(Request::Promote),
             "submit" => {
                 let algo = j
                     .get("algo")
@@ -230,6 +239,9 @@ impl Request {
             }
             Request::Drain => {
                 o.set("cmd", "drain");
+            }
+            Request::Promote => {
+                o.set("cmd", "promote");
             }
             Request::Submit { key, inputs, timing } => {
                 o.set("cmd", "submit");
@@ -354,6 +366,19 @@ pub fn resp_overloaded(retry_after_ms: u64) -> Json {
     o
 }
 
+/// Role refusal: a standby was asked to do primary work (submit, drain).
+/// `leader_hint` is the primary's serving address as learned over the
+/// replication handshake — clients should redial there.
+#[must_use]
+pub fn resp_not_primary(leader_hint: &str, detail: &str) -> Json {
+    let mut o = Json::obj();
+    o.set("ok", false);
+    o.set("error", "not_primary");
+    o.set("leader_hint", leader_hint);
+    o.set("detail", detail);
+    o
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,9 +403,14 @@ mod tests {
         let line = req.to_json().to_compact();
         assert!(!line.contains("timing"), "default submits carry no timing field: {line}");
         assert_eq!(Request::parse_line(&line).unwrap(), req);
-        for cmd in
-            [Request::Status, Request::Stats, Request::Metrics, Request::Dump, Request::Drain]
-        {
+        for cmd in [
+            Request::Status,
+            Request::Stats,
+            Request::Metrics,
+            Request::Dump,
+            Request::Drain,
+            Request::Promote,
+        ] {
             assert_eq!(Request::parse_line(&cmd.to_json().to_compact()).unwrap(), cmd);
         }
     }
@@ -396,7 +426,7 @@ mod tests {
         for fan in [Request::Stats, Request::Metrics, Request::Drain] {
             assert_eq!(fan.route_class(), RouteClass::FanOut, "{fan:?}");
         }
-        for local in [Request::Status, Request::Dump] {
+        for local in [Request::Status, Request::Dump, Request::Promote] {
             assert_eq!(local.route_class(), RouteClass::Local, "{local:?}");
         }
     }
@@ -483,5 +513,8 @@ mod tests {
         let r = resp_error("draining", "no new work");
         assert_eq!(r.path("ok"), Some(&Json::Bool(false)));
         assert_eq!(r.path("error").unwrap().as_str(), Some("draining"));
+        let r = resp_not_primary("10.0.0.7:7070", "standby refuses drains");
+        assert_eq!(r.path("error").unwrap().as_str(), Some("not_primary"));
+        assert_eq!(r.path("leader_hint").unwrap().as_str(), Some("10.0.0.7:7070"));
     }
 }

@@ -13,9 +13,10 @@ use crate::protocol::{self, JobKey, Request, PROTOCOL_VERSION};
 use crate::queue::{
     CoalescingQueue, Job, JobDone, QueueConfig, StageBreakdown, StageStamps, SubmitError,
 };
+use crate::repl::ReplSink;
 use crate::stats::ServerStats;
 use obs::trace::chrome_trace;
-use obs::{Gauge, Histogram, Json, Ring, Tracer};
+use obs::{Gauge, Histogram, Json, PromText, Ring, Tracer};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -80,6 +81,13 @@ pub struct ServerConfig {
     /// server runs, plus on panic, drain, `dump` requests and shutdown —
     /// so even `kill -9` leaves a readable recording.
     pub recorder_path: Option<PathBuf>,
+    /// Replication sink: when set, the node reports `role: "primary"`,
+    /// completion acks gate on [`ReplSink::wait_replicated`], and stats /
+    /// metrics grow a `repl` section with the follower's lag.
+    pub repl: Option<Arc<dyn ReplSink>>,
+    /// Marks a server that took over via standby promotion; reported in
+    /// stats so failover postmortems can tell the second life apart.
+    pub promoted: bool,
 }
 
 /// Flight-recorder events retained (oldest overwritten beyond this).
@@ -164,6 +172,52 @@ struct Shared {
     recorder: Arc<Recorder>,
     connections: Gauge,
     instrument: bool,
+    repl: Option<Arc<dyn ReplSink>>,
+    role: &'static str,
+    promoted: bool,
+}
+
+/// The `repl` section for stats/metrics: the sink's own lag view, fed
+/// the journal's durable high-water mark and the server clock.
+fn repl_section(sh: &Shared) -> Option<Json> {
+    let repl = sh.repl.as_ref()?;
+    let durable = sh.journal.as_ref().map_or(0, Journal::durable_seq);
+    Some(repl.stats_json(durable, sh.clock.now_us()))
+}
+
+/// Replication metric families, appended to the Prometheus exposition.
+/// Present only on a primary — their absence is how dashboards tell a
+/// solo node from a replicated one.
+fn repl_prometheus(sh: &Shared) -> String {
+    let Some(j) = repl_section(sh) else { return String::new() };
+    let num = |path: &str| j.path(path).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut p = PromText::new();
+    p.gauge(
+        "bulkd_repl_lag_records",
+        "WAL records durable locally but not yet on the follower.",
+        num("lag_records"),
+    );
+    p.gauge(
+        "bulkd_repl_lag_us",
+        "Microseconds since the follower was last fully caught up (0 when current).",
+        num("lag_us"),
+    );
+    p.gauge(
+        "bulkd_repl_follower_connected",
+        "1 while a follower holds the replication stream.",
+        num("follower_connected"),
+    );
+    p.gauge(
+        "bulkd_repl_replicated_seq",
+        "Follower's acknowledged durable WAL sequence number.",
+        num("replicated_seq"),
+    );
+    p.counter(
+        "bulkd_repl_degraded_acks_total",
+        "Acks released after the replication wait timed out.",
+        num("degraded_acks") as u64,
+    );
+    p.finish()
 }
 
 fn wal_section(sh: &Shared) -> Option<Json> {
@@ -192,6 +246,11 @@ fn stats_snapshot(sh: &Shared) -> Json {
     );
     snap.set("node_id", sh.node_id.as_str());
     snap.set("protocol_version", PROTOCOL_VERSION);
+    snap.set("role", sh.role);
+    snap.set("promoted", sh.promoted);
+    if let Some(repl) = repl_section(sh) {
+        snap.set("repl", repl);
+    }
     snap
 }
 
@@ -208,6 +267,24 @@ pub fn serve(
     on_ready: impl FnOnce(SocketAddr),
 ) -> Result<Json, String> {
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    serve_with_listener(listener, cfg, executor, on_ready)
+}
+
+/// [`serve`] over an already-bound listener.  This is the promotion
+/// path's seam: a standby hands its control listener straight to the
+/// serving loop, so takeover involves no rebind (and no `EADDRINUSE` /
+/// `TIME_WAIT` race) — clients that dialed the standby's address keep
+/// working across the role change.
+///
+/// # Errors
+///
+/// IO failures and a post-drain accounting imbalance.
+pub fn serve_with_listener(
+    listener: TcpListener,
+    cfg: &ServerConfig,
+    executor: Box<dyn BatchExecutor>,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<Json, String> {
     let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
     // Open the journal (repairing a torn tail, replaying survivors)
     // before anything is visible to clients.
@@ -250,6 +327,9 @@ pub fn serve(
         recorder: Arc::clone(&recorder),
         connections: Gauge::new(),
         instrument: cfg.instrument,
+        repl: cfg.repl.clone(),
+        role: if cfg.repl.is_some() || cfg.promoted { "primary" } else { "solo" },
+        promoted: cfg.promoted,
     });
     // Periodic atomic recorder flushes: at any instant — including the
     // instant a `kill -9` lands — the last completed dump is on disk.
@@ -411,17 +491,31 @@ fn worker_loop(tid: u64, sh: &Shared) {
                     let queue_us = t0_us.saturating_sub(job.enqueued_us);
                     let job_outputs = outputs[off..off + n].to_vec();
                     off += n;
-                    let logged = log_completion(sh, job.id, Ok(&job_outputs));
+                    let seq = match log_completion(sh, job.id, Ok(&job_outputs)) {
+                        Ok(seq) => seq,
+                        Err(e) => {
+                            // Fail-stop: the completion record's durability
+                            // is unknown, so the result is never acked.
+                            let done_us = sh.clock.now_us();
+                            rec(sh, done_us, track, "completion_refused", job.id, -1);
+                            let breakdown = stage_breakdown(&job, t0_us, exec_us, done_us);
+                            sh.stats.on_job_done(&batch.key, n as u64, queue_us, true, &breakdown);
+                            let _ = job.reply.send(Err(format!("journal fail-stopped: {e}")));
+                            continue;
+                        }
+                    };
+                    // Semi-synchronous replication: the reply leaves only
+                    // once the follower's durable mark covers this
+                    // completion record (or the sink degrades after its
+                    // timeout) — what makes acked jobs survive the death
+                    // of the node that acked them.
+                    if seq > 0 {
+                        if let Some(repl) = &sh.repl {
+                            repl.wait_replicated(seq);
+                        }
+                    }
                     let done_us = sh.clock.now_us();
                     let breakdown = stage_breakdown(&job, t0_us, exec_us, done_us);
-                    if let Err(e) = logged {
-                        // Fail-stop: the completion record's durability is
-                        // unknown, so the result is never acknowledged.
-                        rec(sh, done_us, track, "completion_refused", job.id, -1);
-                        sh.stats.on_job_done(&batch.key, n as u64, queue_us, true, &breakdown);
-                        let _ = job.reply.send(Err(format!("journal fail-stopped: {e}")));
-                        continue;
-                    }
                     rec(sh, done_us, track, "completion_journaled", job.id, 0);
                     sh.stats.on_job_done(&batch.key, n as u64, queue_us, false, &breakdown);
                     let done = JobDone {
@@ -440,7 +534,16 @@ fn worker_loop(tid: u64, sh: &Shared) {
                     let queue_us = t0_us.saturating_sub(job.enqueued_us);
                     // The reply is already an error; a failed completion
                     // append cannot make it ackable, so its result is moot.
-                    let _ = log_completion(sh, job.id, Err(&e));
+                    // A successful append still gates on replication: an
+                    // error reply is an answer too, and the standby must
+                    // know the job is settled before it can take over.
+                    if let Ok(seq) = log_completion(sh, job.id, Err(&e)) {
+                        if seq > 0 {
+                            if let Some(repl) = &sh.repl {
+                                repl.wait_replicated(seq);
+                            }
+                        }
+                    }
                     let done_us = sh.clock.now_us();
                     rec(sh, done_us, track, "completion_journaled", job.id, -1);
                     let breakdown = stage_breakdown(&job, t0_us, exec_us, done_us);
@@ -465,14 +568,14 @@ fn log_completion(
     sh: &Shared,
     job_id: u64,
     result: Result<&[Vec<u64>], &String>,
-) -> Result<(), String> {
-    let Some(journal) = &sh.journal else { return Ok(()) };
+) -> Result<u64, String> {
+    let Some(journal) = &sh.journal else { return Ok(0) };
     match journal.log_complete(job_id, result.map_err(String::as_str)) {
-        Ok(()) => Ok(()),
+        Ok(seq) => Ok(seq),
         Err(e) => {
             eprintln!("bulkd: journal completion append failed for job {job_id}: {e}");
             if crate::journal::ack_despite_fsync_error() {
-                Ok(())
+                Ok(0)
             } else {
                 Err(e)
             }
@@ -595,6 +698,10 @@ fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
             o.set("in_flight_batches", d.in_flight_batches);
             o.set("draining", d.draining);
             o.set("uptime_us", sh.clock.now_us());
+            o.set("role", sh.role);
+            if let Some(repl) = repl_section(sh) {
+                o.set("repl", repl);
+            }
             (o, false)
         }
         Request::Stats => {
@@ -607,7 +714,7 @@ fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
                 || (Histogram::new(), Histogram::new()),
                 |j| (j.fsync_latency(), j.group_batch_sizes()),
             );
-            let text = sh.stats.render_prometheus(
+            let mut text = sh.stats.render_prometheus(
                 sh.queue.depth(),
                 &sh.queue.per_key_depth(),
                 sh.clock.now_us(),
@@ -617,6 +724,7 @@ fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
                 sh.connections.get(),
                 (sh.recorder.ring.recorded(), sh.recorder.ring.overwritten()),
             );
+            text.push_str(&repl_prometheus(sh));
             let mut o = Json::obj();
             o.set("ok", true);
             o.set("metrics", text);
@@ -648,6 +756,13 @@ fn handle_line(line: &str, sh: &Shared) -> (Json, bool) {
             snap.set("drained", true);
             (snap, true)
         }
+        Request::Promote => (
+            protocol::resp_error(
+                "not_standby",
+                "this node is not a warm standby; promote targets a standby's control port",
+            ),
+            false,
+        ),
         Request::Submit { key, inputs, timing } => (handle_submit(key, inputs, timing, sh), false),
     }
 }

@@ -121,6 +121,50 @@ pub enum Command {
         recorder: Option<String>,
         /// Record per-stage trace events (`--no-instrument` disables).
         instrument: bool,
+        /// Replication listener bind address: ship the WAL to a warm
+        /// standby and gate completion acks on its durable mark.
+        /// Requires `--wal-dir`.
+        replicate_to: Option<String>,
+    },
+    /// `bulkrun standby --follow ADDR --wal-dir DIR [--addr A]
+    /// [--node-id ID] [--reconnect-ms MS] [--wal-segment-bytes B]
+    /// [--workers N] [--max-batch P] [--max-queue Q]
+    /// [--flush-after-ms MS] [--shards N]` — follow a primary's
+    /// replication stream; on `promote`, recover from the replicated WAL
+    /// and serve on the same address.
+    Standby {
+        /// Control bind address (the address a promoted node serves on).
+        addr: String,
+        /// Stable node identity (HELLO handshake + status).
+        node_id: Option<String>,
+        /// The primary's replication listener (`serve --replicate-to`).
+        follow: String,
+        /// Local WAL directory receiving the shipped records.
+        wal_dir: String,
+        /// Local WAL segment rotation threshold in bytes.
+        wal_segment_bytes: u64,
+        /// Redial backoff while the primary is unreachable, in ms.
+        reconnect_ms: u64,
+        /// Worker threads of the promoted server.
+        workers: usize,
+        /// Target batch `p` of the promoted server.
+        max_batch: usize,
+        /// Admission bound of the promoted server.
+        max_queue: usize,
+        /// Flush deadline of the promoted server, in milliseconds.
+        flush_after_ms: u64,
+        /// Shards each batch replay splits over after promotion.
+        shards: usize,
+    },
+    /// `bulkrun promote [--addr A]` — ask a warm standby to take over as
+    /// the serving primary.
+    Promote {
+        /// Standby control address.
+        addr: String,
+        /// Dial timeout in milliseconds (`None` = OS default).
+        connect_timeout_ms: Option<u64>,
+        /// Reply-read timeout in milliseconds (`None` = block forever).
+        read_timeout_ms: Option<u64>,
     },
     /// `bulkrun route --backends id=addr,… [--addr A] [--vnodes V]
     /// [--probe-interval-ms MS] [--probe-timeout-ms MS] [--down-after K]
@@ -130,6 +174,9 @@ pub enum Command {
         addr: String,
         /// Backend bulkd nodes (`id=addr` entries; the ring hashes ids).
         backends: Vec<router::Backend>,
+        /// Warm standbys shadowing backends (`id=addr`, id naming the
+        /// backend; the prober auto-promotes on a debounced Down).
+        standbys: Vec<router::Backend>,
         /// Virtual nodes per backend on the hash ring.
         vnodes: usize,
         /// Milliseconds between health-probe rounds.
@@ -323,6 +370,23 @@ USAGE:
                        [--no-instrument]         disable stage-event recording
                        [--node-id ID]            stable identity in status/stats
                                                  (default: the bound address)
+                       [--replicate-to A]        ship the WAL to a warm standby
+                                                 dialing A; completion acks wait
+                                                 for its durable mark (requires
+                                                 --wal-dir)
+  bulkrun standby      --follow ADDR             warm standby: append the
+                       --wal-dir DIR             primary's shipped WAL records
+                       [--addr A] [--node-id ID] durably, answer not_primary
+                       [--reconnect-ms MS]       with a leader hint, and on
+                       [--wal-segment-bytes B]   promote recover + serve on the
+                       [--workers N]             same address (serve tunables
+                       [--max-batch P]           apply to the promoted server)
+                       [--max-queue Q]
+                       [--flush-after-ms MS]
+                       [--shards N]
+  bulkrun promote      [--addr A]                promote a warm standby to the
+                       [--connect-timeout-ms MS] serving primary (refused if it
+                       [--read-timeout-ms MS]    would lose acked jobs)
   bulkrun route        --backends id=addr,...    consistent-hash routing tier:
                        [--addr A] [--vnodes V]   each coalescing key (algo, n,
                        [--probe-interval-ms MS]  layout) maps to one backend, so
@@ -331,6 +395,10 @@ USAGE:
                        [--up-after J]            reroutes around down/overloaded
                        [--connect-timeout-ms MS] nodes, merges cluster stats/
                        [--read-timeout-ms MS]    metrics/drain
+                       [--standbys id=addr,...]  warm standbys by backend id;
+                                                 a debounced-Down backend's
+                                                 standby is auto-promoted and
+                                                 its id repointed (keys stay)
   bulkrun drain        [--addr A]                drain a server; print its final
                        [--connect-timeout-ms MS] stats snapshot as JSON
                        [--read-timeout-ms MS]
@@ -377,9 +445,11 @@ Timeline defaults: p = 128, latency = 8, cols = 72 (small enough to read).
 Serve defaults: addr = 127.0.0.1:7070, workers = 4, max-batch = 256,
   max-queue = 4096, flush-after-ms = 5, shards = 1, no WAL;
   with --wal-dir: fsync = always, wal-segment-bytes = 4194304.
+Standby defaults: addr = 127.0.0.1:7070, reconnect-ms = 100,
+  wal-segment-bytes = 4194304, plus the serve worker/batch defaults.
 Route defaults: addr = 127.0.0.1:7171, vnodes = 64, probe-interval-ms = 500,
   probe-timeout-ms = 250, down-after = 3, up-after = 2,
-  connect-timeout-ms = 1000, read-timeout-ms = 30000.
+  connect-timeout-ms = 1000, read-timeout-ms = 30000, no standbys.
 Loadgen defaults: clients = 32, duration-ms = 5000, instances = 1.
 Sim defaults: seeds = 100, seed0 = 1, clients = 3, workers = 2, jobs = 4.
 ";
@@ -524,6 +594,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--recorder",
                     "--no-instrument",
                     "--node-id",
+                    "--replicate-to",
                 ],
             )?;
             let workers = parse_flag(rest, "--workers")?.unwrap_or(4);
@@ -551,6 +622,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if wal_segment_bytes == 0 {
                 return Err("--wal-segment-bytes must be positive".into());
             }
+            let replicate_to = parse_string_flag(rest, "--replicate-to")?;
+            if replicate_to.is_some() && wal_dir.is_none() {
+                return Err("--replicate-to ships the WAL, so it requires --wal-dir".into());
+            }
             Ok(Command::Serve {
                 addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
                 node_id: parse_string_flag(rest, "--node-id")?,
@@ -565,6 +640,69 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 wal_segment_bytes,
                 recorder: parse_string_flag(rest, "--recorder")?,
                 instrument: !rest.iter().any(|a| a == "--no-instrument"),
+                replicate_to,
+            })
+        }
+        "standby" => {
+            let rest = &args[1..];
+            reject_unknown(
+                rest,
+                &[
+                    "--addr",
+                    "--node-id",
+                    "--follow",
+                    "--wal-dir",
+                    "--wal-segment-bytes",
+                    "--reconnect-ms",
+                    "--workers",
+                    "--max-batch",
+                    "--max-queue",
+                    "--flush-after-ms",
+                    "--shards",
+                ],
+            )?;
+            let follow = parse_string_flag(rest, "--follow")?
+                .ok_or("standby needs --follow ADDR (the primary's --replicate-to address)")?;
+            let wal_dir = parse_string_flag(rest, "--wal-dir")?
+                .ok_or("standby needs --wal-dir DIR (where the shipped records land)")?;
+            let wal_segment_bytes = parse_flag(rest, "--wal-segment-bytes")?.unwrap_or(4 << 20);
+            let reconnect_ms = parse_flag(rest, "--reconnect-ms")?.unwrap_or(100);
+            let workers = parse_flag(rest, "--workers")?.unwrap_or(4);
+            let max_batch = parse_flag(rest, "--max-batch")?.unwrap_or(256);
+            let shards = parse_flag(rest, "--shards")?.unwrap_or(1);
+            for (flag, v) in [
+                ("--wal-segment-bytes", wal_segment_bytes),
+                ("--reconnect-ms", reconnect_ms),
+                ("--workers", workers),
+                ("--max-batch", max_batch),
+                ("--shards", shards),
+            ] {
+                if v == 0 {
+                    return Err(format!("{flag} must be positive"));
+                }
+            }
+            Ok(Command::Standby {
+                addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                node_id: parse_string_flag(rest, "--node-id")?,
+                follow,
+                wal_dir,
+                wal_segment_bytes: wal_segment_bytes as u64,
+                reconnect_ms: reconnect_ms as u64,
+                workers,
+                max_batch,
+                max_queue: parse_flag(rest, "--max-queue")?.unwrap_or(4096),
+                flush_after_ms: parse_flag(rest, "--flush-after-ms")?.unwrap_or(5) as u64,
+                shards,
+            })
+        }
+        "promote" => {
+            let rest = &args[1..];
+            reject_unknown(rest, &["--addr", "--connect-timeout-ms", "--read-timeout-ms"])?;
+            let (connect_timeout_ms, read_timeout_ms) = parse_timeouts(rest)?;
+            Ok(Command::Promote {
+                addr: parse_string_flag(rest, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.into()),
+                connect_timeout_ms,
+                read_timeout_ms,
             })
         }
         "route" => {
@@ -574,6 +712,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 &[
                     "--addr",
                     "--backends",
+                    "--standbys",
                     "--vnodes",
                     "--probe-interval-ms",
                     "--probe-timeout-ms",
@@ -586,6 +725,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let spec = parse_string_flag(rest, "--backends")?
                 .ok_or("route needs --backends id=addr,… (the bulkd nodes to route over)")?;
             let backends = router::parse_backends(&spec).map_err(|e| format!("--backends: {e}"))?;
+            let standbys = match parse_string_flag(rest, "--standbys")? {
+                Some(spec) => {
+                    let standbys =
+                        router::parse_backends(&spec).map_err(|e| format!("--standbys: {e}"))?;
+                    for s in &standbys {
+                        if !backends.iter().any(|b| b.id == s.id) {
+                            return Err(format!(
+                                "--standbys: \"{}\" names no backend id (standbys shadow \
+                                 backends by id)",
+                                s.id
+                            ));
+                        }
+                    }
+                    standbys
+                }
+                None => Vec::new(),
+            };
             let vnodes = parse_flag(rest, "--vnodes")?.unwrap_or(64);
             let probe_interval_ms = parse_flag(rest, "--probe-interval-ms")?.unwrap_or(500) as u64;
             let probe_timeout_ms = parse_flag(rest, "--probe-timeout-ms")?.unwrap_or(250) as u64;
@@ -611,6 +767,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 addr: parse_string_flag(rest, "--addr")?
                     .unwrap_or_else(|| DEFAULT_ROUTER_ADDR.into()),
                 backends,
+                standbys,
                 vnodes,
                 probe_interval_ms,
                 probe_timeout_ms,
@@ -1021,6 +1178,7 @@ mod tests {
                 wal_segment_bytes: 4 << 20,
                 recorder: None,
                 instrument: true,
+                replicate_to: None,
             }
         );
         let c = parse(&argv(
@@ -1044,6 +1202,7 @@ mod tests {
                 wal_segment_bytes: 4 << 20,
                 recorder: None,
                 instrument: true,
+                replicate_to: None,
             }
         );
         assert!(parse(&argv("serve --workers 0")).unwrap_err().contains("positive"));
@@ -1152,6 +1311,7 @@ mod tests {
                     router::Backend { id: "n1".into(), addr: "127.0.0.1:7070".into() },
                     router::Backend { id: "n2".into(), addr: "127.0.0.1:7071".into() },
                 ],
+                standbys: vec![],
                 vnodes: 64,
                 probe_interval_ms: 500,
                 probe_timeout_ms: 250,
@@ -1186,6 +1346,90 @@ mod tests {
             .unwrap_err()
             .contains("positive"));
         assert!(parse(&argv("route --backends n1=a --p 4")).unwrap_err().contains("--p"));
+    }
+
+    #[test]
+    fn route_standbys_must_shadow_backend_ids() {
+        match parse(&argv("route --backends n1=h:1,n2=h:2 --standbys n2=h:9")).unwrap() {
+            Command::Route { standbys, .. } => {
+                assert_eq!(standbys, vec![router::Backend { id: "n2".into(), addr: "h:9".into() }]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv("route --backends n1=h:1 --standbys n9=h:9")).unwrap_err();
+        assert!(err.contains("n9") && err.contains("names no backend id"), "{err}");
+    }
+
+    #[test]
+    fn serve_replicate_to_requires_wal_dir() {
+        match parse(&argv("serve --wal-dir /tmp/w --replicate-to 127.0.0.1:0")).unwrap() {
+            Command::Serve { replicate_to, wal_dir, .. } => {
+                assert_eq!(replicate_to.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(wal_dir.as_deref(), Some("/tmp/w"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv("serve --replicate-to 127.0.0.1:0")).unwrap_err();
+        assert!(err.contains("--wal-dir"), "{err}");
+    }
+
+    #[test]
+    fn standby_parses_with_defaults_and_requires_follow_and_wal_dir() {
+        let c = parse(&argv("standby --follow 127.0.0.1:9001 --wal-dir /tmp/s")).unwrap();
+        assert_eq!(
+            c,
+            Command::Standby {
+                addr: DEFAULT_ADDR.into(),
+                node_id: None,
+                follow: "127.0.0.1:9001".into(),
+                wal_dir: "/tmp/s".into(),
+                wal_segment_bytes: 4 << 20,
+                reconnect_ms: 100,
+                workers: 4,
+                max_batch: 256,
+                max_queue: 4096,
+                flush_after_ms: 5,
+                shards: 1,
+            }
+        );
+        match parse(&argv(
+            "standby --follow h:1 --wal-dir /tmp/s --addr 127.0.0.1:0 --node-id s1 \
+             --reconnect-ms 20 --workers 2 --shards 2",
+        ))
+        .unwrap()
+        {
+            Command::Standby { addr, node_id, reconnect_ms, workers, shards, .. } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(node_id.as_deref(), Some("s1"));
+                assert_eq!((reconnect_ms, workers, shards), (20, 2, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("standby --wal-dir /tmp/s")).unwrap_err().contains("--follow"));
+        assert!(parse(&argv("standby --follow h:1")).unwrap_err().contains("--wal-dir"));
+        assert!(parse(&argv("standby --follow h:1 --wal-dir /tmp/s --workers 0"))
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn promote_parses() {
+        let c = parse(&argv("promote")).unwrap();
+        assert_eq!(
+            c,
+            Command::Promote {
+                addr: DEFAULT_ADDR.into(),
+                connect_timeout_ms: None,
+                read_timeout_ms: None,
+            }
+        );
+        match parse(&argv("promote --addr h:2 --connect-timeout-ms 100")).unwrap() {
+            Command::Promote { addr, connect_timeout_ms, .. } => {
+                assert_eq!(addr, "h:2");
+                assert_eq!(connect_timeout_ms, Some(100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -260,9 +260,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             wal_segment_bytes,
             recorder,
             instrument,
+            replicate_to,
         } => {
             let executor = serve::CatalogExecutor::new(*shards);
-            let cfg = bulkd::ServerConfig {
+            let mut cfg = bulkd::ServerConfig {
                 addr: addr.clone(),
                 node_id: node_id.clone(),
                 workers: *workers,
@@ -277,13 +278,42 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }),
                 instrument: *instrument,
                 recorder_path: recorder.as_ref().map(std::path::PathBuf::from),
+                repl: None,
+                promoted: false,
             };
-            let snapshot = bulkd::serve(&cfg, Box::new(executor), |bound| {
-                // The one line the harness (tests, CI scripts) scrapes for
-                // the ephemeral port — flush so it lands before any wait.
-                println!("bulkd listening on {bound}");
-                let _ = std::io::Write::flush(&mut std::io::stdout());
-            })?;
+            let snapshot = if let Some(repl_listen) = replicate_to {
+                // Replication needs the serving address *before* the
+                // server starts (WELCOME advertises it as the standby's
+                // `leader_hint`), so bind the listener here and hand it
+                // to the server rather than letting `serve` bind.
+                let listener =
+                    std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+                let bound = listener.local_addr().map_err(|e| format!("serve local_addr: {e}"))?;
+                let wal_dir = wal_dir.as_ref().ok_or("--replicate-to requires --wal-dir")?;
+                let (prim, repl_addr) = repl::ReplPrimary::start(repl::PrimaryConfig {
+                    listen_addr: repl_listen.clone(),
+                    wal_dir: std::path::PathBuf::from(wal_dir),
+                    node_id: node_id.clone().unwrap_or_else(|| bound.to_string()),
+                    serving_addr: bound.to_string(),
+                    ..repl::PrimaryConfig::default()
+                })?;
+                cfg.repl = Some(prim);
+                bulkd::serve_with_listener(listener, &cfg, Box::new(executor), |bound| {
+                    // Two scrape lines: the replication endpoint for the
+                    // standby's `--follow`, then the usual serving port.
+                    println!("repl listening on {repl_addr}");
+                    println!("bulkd listening on {bound}");
+                    let _ = std::io::Write::flush(&mut std::io::stdout());
+                })?
+            } else {
+                bulkd::serve(&cfg, Box::new(executor), |bound| {
+                    // The one line the harness (tests, CI scripts) scrapes
+                    // for the ephemeral port — flush so it lands before
+                    // any wait.
+                    println!("bulkd listening on {bound}");
+                    let _ = std::io::Write::flush(&mut std::io::stdout());
+                })?
+            };
             out.push_str("bulkd drained; final stats:\n");
             out.push_str(&snapshot.to_pretty());
             out.push('\n');
@@ -294,9 +324,87 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 out.push_str(&format!("flight recorder: wrote {path}\n"));
             }
         }
+        Command::Standby {
+            addr,
+            node_id,
+            follow,
+            wal_dir,
+            wal_segment_bytes,
+            reconnect_ms,
+            workers,
+            max_batch,
+            max_queue,
+            flush_after_ms,
+            shards,
+        } => {
+            let nid = node_id.clone().unwrap_or_else(|| addr.clone());
+            let outcome = repl::run_standby(
+                repl::StandbyConfig {
+                    addr: addr.clone(),
+                    follow_addr: follow.clone(),
+                    wal_dir: std::path::PathBuf::from(wal_dir),
+                    node_id: nid.clone(),
+                    segment_bytes: *wal_segment_bytes,
+                    reconnect_ms: *reconnect_ms,
+                },
+                |bound| {
+                    // Scrape line for scripts wiring up a pair on
+                    // ephemeral ports.
+                    println!("standby listening on {bound}");
+                    let _ = std::io::Write::flush(&mut std::io::stdout());
+                },
+            )?;
+            println!(
+                "promoted at seq {} ({} job(s) to re-queue); recovering and serving",
+                outcome.replicated_seq, outcome.incomplete_jobs
+            );
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            // Serve on the standby's own listener: recovery replays the
+            // replicated WAL (re-queueing the incomplete jobs) before any
+            // client is admitted, and durability stays fsync-always so a
+            // promoted node offers the guarantees the primary advertised.
+            let executor = serve::CatalogExecutor::new(*shards);
+            let cfg = bulkd::ServerConfig {
+                addr: addr.clone(),
+                node_id: Some(nid),
+                workers: *workers,
+                max_batch: *max_batch,
+                max_queue: *max_queue,
+                flush_after_ms: *flush_after_ms,
+                trace_path: None,
+                wal: Some(bulkd::JournalConfig {
+                    dir: std::path::PathBuf::from(wal_dir),
+                    fsync: wal::FsyncPolicy::Always,
+                    segment_bytes: *wal_segment_bytes,
+                }),
+                instrument: true,
+                recorder_path: None,
+                repl: None,
+                promoted: true,
+            };
+            let snapshot =
+                bulkd::serve_with_listener(outcome.listener, &cfg, Box::new(executor), |bound| {
+                    println!("bulkd listening on {bound}");
+                    let _ = std::io::Write::flush(&mut std::io::stdout());
+                })?;
+            out.push_str("bulkd drained; final stats:\n");
+            out.push_str(&snapshot.to_pretty());
+            out.push('\n');
+        }
+        Command::Promote { addr, connect_timeout_ms, read_timeout_ms } => {
+            let cfg = client_cfg(*connect_timeout_ms, *read_timeout_ms);
+            let mut client = bulkd::Client::connect_with(addr, &cfg)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            let reply = client.promote().map_err(|e| format!("promote: {e}"))?;
+            // Pure JSON on stdout, like `drain`: failover scripts parse
+            // `replicated_seq` / `incomplete_jobs` straight out of it.
+            out.push_str(&reply.to_pretty());
+            out.push('\n');
+        }
         Command::Route {
             addr,
             backends,
+            standbys,
             vnodes,
             probe_interval_ms,
             probe_timeout_ms,
@@ -308,6 +416,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let cfg = router::RouterConfig {
                 addr: addr.clone(),
                 backends: backends.clone(),
+                standbys: standbys.clone(),
                 vnodes: *vnodes,
                 probe_interval_ms: *probe_interval_ms,
                 probe_timeout_ms: *probe_timeout_ms,

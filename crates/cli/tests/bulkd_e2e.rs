@@ -34,6 +34,8 @@ fn start_server(
         wal: None,
         instrument: true,
         recorder_path: None,
+        repl: None,
+        promoted: false,
     };
     let (tx, rx) = mpsc::channel();
     let handle = std::thread::spawn(move || {
@@ -479,6 +481,8 @@ fn metrics_dump_and_per_key_sections_reflect_served_work() {
         wal: None,
         instrument: true,
         recorder_path: Some(recorder.clone()),
+        repl: None,
+        promoted: false,
     };
     let (tx, rx) = mpsc::channel();
     let server = std::thread::spawn(move || {

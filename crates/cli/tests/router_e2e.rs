@@ -102,6 +102,8 @@ fn start_node(node_id: &str, flush_after_ms: u64) -> (String, ServeHandle, Arc<S
         wal: None,
         instrument: true,
         recorder_path: None,
+        repl: None,
+        promoted: false,
     };
     let (tx, rx) = mpsc::channel();
     let handle = std::thread::spawn(move || {
@@ -290,9 +292,9 @@ fn cluster_serves_bit_identically_with_one_compile_per_key_and_large_batches() {
 // Subprocess cluster: kill one backend mid-load.
 // ---------------------------------------------------------------------------
 
-/// Spawn a `bulkrun` child and scrape the bound address off its stdout
-/// line starting with `prefix`.  Stdout then drains on a reaper thread.
-fn spawn_scraped(args: &[&str], prefix: &str) -> (Child, String) {
+/// Spawn a `bulkrun` child and scrape one stdout value per prefix in
+/// `prefixes`, in order.  Stdout then drains on a reaper thread.
+fn spawn_scraped_many(args: &[&str], prefixes: &[&str]) -> (Child, Vec<String>) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_bulkrun"))
         .args(args)
         .stdout(Stdio::piped())
@@ -301,21 +303,29 @@ fn spawn_scraped(args: &[&str], prefix: &str) -> (Child, String) {
         .expect("spawn bulkrun");
     let stdout = child.stdout.take().expect("child stdout");
     let mut reader = BufReader::new(stdout);
-    let mut addr = None;
+    let mut values = Vec::new();
     let mut line = String::new();
-    while reader.read_line(&mut line).expect("read child stdout") > 0 {
-        if let Some(rest) = line.trim().strip_prefix(prefix) {
-            addr = Some(rest.to_string());
-            break;
+    while values.len() < prefixes.len()
+        && reader.read_line(&mut line).expect("read child stdout") > 0
+    {
+        if let Some(rest) = line.trim().strip_prefix(prefixes[values.len()]) {
+            values.push(rest.to_string());
         }
         line.clear();
     }
-    let addr = addr.unwrap_or_else(|| panic!("child never printed \"{prefix}\""));
+    assert_eq!(values.len(), prefixes.len(), "child never printed {prefixes:?}");
     std::thread::spawn(move || {
         let mut sink = String::new();
         let _ = reader.read_to_string(&mut sink);
     });
-    (child, addr)
+    (child, values)
+}
+
+/// Spawn a `bulkrun` child and scrape the bound address off its stdout
+/// line starting with `prefix`.  Stdout then drains on a reaper thread.
+fn spawn_scraped(args: &[&str], prefix: &str) -> (Child, String) {
+    let (child, mut values) = spawn_scraped_many(args, &[prefix]);
+    (child, values.pop().expect("one scraped value"))
 }
 
 fn poll_router_stats(addr: &str, deadline: Duration, mut pred: impl FnMut(&Json) -> bool) -> Json {
@@ -490,4 +500,254 @@ fn killing_a_backend_mid_load_reroutes_and_stays_balanced() {
     // router exits after its own drain.
     assert!(router_child.wait().expect("reap router").success(), "router exited non-zero");
     assert!(survivor.wait().expect("reap survivor").success(), "survivor exited non-zero");
+}
+
+// ---------------------------------------------------------------------------
+// Replicated pair behind the router: kill the primary, auto-failover.
+// ---------------------------------------------------------------------------
+
+/// PR 10 acceptance: a primary ships its WAL to a warm standby
+/// (`serve --replicate-to` + `bulkrun standby`); the router knows the
+/// standby (`--standbys n1=B`) and, when the primary is `kill -9`ed
+/// mid-load, promotes it and repoints the backend id — no key moves,
+/// no acked job is lost, and every output stays bit-identical to the
+/// compiled engine.  Replication lag is asserted observable through the
+/// router's merged metrics while the pair is alive.
+#[test]
+fn killing_the_primary_fails_over_to_the_promoted_standby() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 30;
+    const TOTAL: usize = CLIENTS * PER_CLIENT;
+    const ACKS_BEFORE_KILL: usize = 24;
+
+    let tmp = std::env::temp_dir().join(format!("router-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let primary_wal = tmp.join("primary");
+    let standby_wal = tmp.join("standby");
+    std::fs::create_dir_all(&primary_wal).unwrap();
+    std::fs::create_dir_all(&standby_wal).unwrap();
+
+    let (mut primary, addrs) = spawn_scraped_many(
+        &[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--node-id",
+            "n1",
+            "--flush-after-ms",
+            "5",
+            "--wal-dir",
+            primary_wal.to_str().unwrap(),
+            "--fsync",
+            "always",
+            "--replicate-to",
+            "127.0.0.1:0",
+        ],
+        &["repl listening on ", "bulkd listening on "],
+    );
+    let (repl_addr, serve_addr) = (addrs[0].clone(), addrs[1].clone());
+
+    let (mut standby, standby_addr) = spawn_scraped(
+        &[
+            "standby",
+            "--addr",
+            "127.0.0.1:0",
+            "--node-id",
+            "n1b",
+            "--follow",
+            &repl_addr,
+            "--wal-dir",
+            standby_wal.to_str().unwrap(),
+            "--reconnect-ms",
+            "20",
+            "--flush-after-ms",
+            "5",
+        ],
+        "standby listening on ",
+    );
+
+    let backends = format!("n1={serve_addr}");
+    let standbys = format!("n1={standby_addr}");
+    let (mut router_child, router_addr) = spawn_scraped(
+        &[
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--backends",
+            &backends,
+            "--standbys",
+            &standbys,
+            "--probe-interval-ms",
+            "50",
+            "--probe-timeout-ms",
+            "250",
+            "--down-after",
+            "2",
+            "--up-after",
+            "2",
+            "--connect-timeout-ms",
+            "500",
+            "--read-timeout-ms",
+            "15000",
+        ],
+        "router listening on ",
+    );
+
+    poll_router_stats(&router_addr, Duration::from_secs(15), |s| {
+        s.path("nodes_up").and_then(Json::as_i64) == Some(1)
+    });
+
+    let algo = Algo::parse("prefix-sums", Some(64)).unwrap();
+    let key = bulkd::JobKey {
+        algo: "prefix-sums".into(),
+        size: 64,
+        layout: oblivious::Layout::ColumnWise,
+    };
+    let pool = algo.random_inputs_bits(RUN_SEED, TOTAL);
+    let direct = algo.outputs_bits(
+        Engine::Compiled { shards: 1 },
+        TOTAL,
+        oblivious::Layout::ColumnWise,
+        RUN_SEED,
+    );
+
+    // During the failover window (primary dead, standby not yet
+    // promoted) the single-backend cluster has no ring successor, so a
+    // submit may fail — clients reconnect and retry until the promoted
+    // standby answers.  A deadline per instance is the no-hang bound.
+    let client_cfg = bulkd::ClientConfig {
+        connect_timeout: Some(Duration::from_secs(2)),
+        read_timeout: Some(Duration::from_secs(20)),
+    };
+    let acked = Mutex::new(vec![None::<Vec<u64>>; TOTAL]);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (router_addr, key, pool, acked, client_cfg) =
+                (&router_addr, &key, &pool, &acked, &client_cfg);
+            scope.spawn(move || {
+                let mut client: Option<bulkd::Client> = None;
+                for j in 0..PER_CLIENT {
+                    let i = c * PER_CLIENT + j;
+                    let one = std::slice::from_ref(&pool[i]);
+                    let deadline = Instant::now() + Duration::from_secs(60);
+                    let out = loop {
+                        if client.is_none() {
+                            client = bulkd::Client::connect_with(router_addr, client_cfg).ok();
+                        }
+                        match client.as_mut().map(|cl| cl.submit(key, one, false)) {
+                            Some(Ok(ok)) => {
+                                break ok.outputs.into_iter().next().expect("one output")
+                            }
+                            Some(Err(_)) | None => {
+                                client = None; // reconnect and retry
+                                assert!(
+                                    Instant::now() < deadline,
+                                    "instance {i} never acked across the failover"
+                                );
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
+                        }
+                    };
+                    let prev = acked.lock().unwrap()[i].replace(out);
+                    assert!(prev.is_none(), "instance {i} acked twice");
+                }
+            });
+        }
+
+        // While the pair is alive: replication lag is visible end-to-end
+        // through the router's merged Prometheus exposition.
+        let mcfg = bulkd::ClientConfig {
+            connect_timeout: Some(Duration::from_millis(500)),
+            read_timeout: Some(Duration::from_secs(10)),
+        };
+        let t0 = Instant::now();
+        loop {
+            let text = bulkd::Client::connect_with(&router_addr, &mcfg)
+                .ok()
+                .and_then(|mut c| c.metrics().ok())
+                .unwrap_or_default();
+            if text.contains("bulkd_node_repl_lag_records{node=\"n1\"}") {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(15),
+                "repl lag never appeared in router metrics:\n{text}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        // Kill -9 the primary the moment enough acks are banked.
+        let t0 = Instant::now();
+        loop {
+            let banked = acked.lock().unwrap().iter().filter(|o| o.is_some()).count();
+            if banked >= ACKS_BEFORE_KILL {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(60), "load never reached the kill point");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        primary.kill().expect("kill primary");
+    });
+    primary.wait().expect("reap primary");
+
+    // Exactly once, bit-identical — the acks banked before the kill and
+    // the ones served by the promoted standby are indistinguishable.
+    let acked = acked.into_inner().unwrap();
+    for (i, out) in acked.iter().enumerate() {
+        assert_eq!(
+            out.as_ref().expect("instance never acked"),
+            &direct[i],
+            "instance {i}: output diverges across the failover"
+        );
+    }
+
+    // The router promoted the standby and repointed n1: one failover,
+    // the id back up, and the answering node identifying as the standby.
+    let stats = poll_router_stats(&router_addr, Duration::from_secs(15), |s| {
+        s.path("router.failovers").and_then(Json::as_i64) == Some(1)
+            && s.path("health.n1.state").and_then(Json::as_str) == Some("up")
+            && s.path("backends.n1.node_id").and_then(Json::as_str) == Some("n1b")
+    });
+    assert_eq!(stats.path("nodes_up").and_then(Json::as_i64), Some(1), "{}", stats.to_pretty());
+
+    // The drained ledger still balances; retried submits are accounted
+    // as their own lines (acked + relayed_errors + unavailable).
+    let mut client =
+        bulkd::Client::connect_with(&router_addr, &client_cfg).expect("connect for drain");
+    let drained = client.drain().expect("drain through router");
+    assert_eq!(drained.path("drained"), Some(&Json::Bool(true)));
+    let r = |p: &str| drained.path(p).and_then(Json::as_i64).unwrap_or(-1);
+    assert!(r("router.acked") >= TOTAL as i64, "{}", drained.to_pretty());
+    assert_eq!(
+        r("router.submits"),
+        r("router.acked") + r("router.relayed_errors") + r("router.unavailable"),
+        "ledger does not balance: {}",
+        drained.to_pretty()
+    );
+    assert_eq!(r("router.failovers"), 1);
+
+    assert!(router_child.wait().expect("reap router").success(), "router exited non-zero");
+    assert!(standby.wait().expect("reap standby").success(), "standby exited non-zero");
+
+    // Replication is the journal: every shipped record the promoted
+    // node still retains (checkpointing may have truncated old segments
+    // at its drain) is byte-identical to the primary's copy, and the
+    // promoted node's log continued past the primary's death.
+    let primary_log = wal::scan(&primary_wal).unwrap();
+    let standby_log = wal::scan(&standby_wal).unwrap();
+    let by_seq: std::collections::HashMap<u64, &wal::Record> =
+        primary_log.records.iter().map(|r| (r.seq, r)).collect();
+    for rec in &standby_log.records {
+        if let Some(orig) = by_seq.get(&rec.seq) {
+            assert_eq!(&rec, orig, "replicated record {} diverged", rec.seq);
+        }
+    }
+    let primary_max = primary_log.records.last().map_or(0, |r| r.seq);
+    let standby_max = standby_log.records.last().map_or(0, |r| r.seq);
+    assert!(
+        standby_max > primary_max,
+        "promoted node's log ({standby_max}) never advanced past the primary's ({primary_max})"
+    );
+
+    let _ = std::fs::remove_dir_all(&tmp);
 }

@@ -370,6 +370,8 @@ fn bit_flipped_segment_truncates_reported_not_panics() {
         }),
         instrument: true,
         recorder_path: None,
+        repl: None,
+        promoted: false,
     };
     let (tx, rx) = std::sync::mpsc::channel();
     let server = std::thread::spawn(move || {

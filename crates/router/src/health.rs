@@ -15,6 +15,7 @@
 //! is demoted within `down_after` strikes anyway.
 
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// When a node transitions between up and down.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +58,10 @@ pub struct NodeHealth {
     pub consecutive_failures: u32,
     /// Last failure detail, for the status view ("" = never failed).
     pub last_error: String,
+    /// Microseconds since the board was created when this node was last
+    /// probed or dispatched to, either way (0 = never touched).  The
+    /// observability answer to "is the prober actually looking?".
+    pub last_probe_us: u64,
 }
 
 impl NodeHealth {
@@ -69,6 +74,7 @@ impl NodeHealth {
             marked_up: 0,
             consecutive_failures: 0,
             last_error: String::new(),
+            last_probe_us: 0,
         }
     }
 }
@@ -82,6 +88,8 @@ struct Inner {
 /// Shared health state for all backends, indexed like the ring's nodes.
 pub struct HealthBoard {
     policy: HealthPolicy,
+    /// Zero point of every `last_probe_us` stamp.
+    start: Instant,
     inner: Mutex<Inner>,
 }
 
@@ -91,11 +99,17 @@ impl HealthBoard {
     pub fn new(n: usize, policy: HealthPolicy) -> HealthBoard {
         HealthBoard {
             policy,
+            start: Instant::now(),
             inner: Mutex::new(Inner {
                 nodes: (0..n).map(|_| NodeHealth::new()).collect(),
                 streaks_up: vec![0; n],
             }),
         }
+    }
+
+    fn now_us(&self) -> u64 {
+        // Saturate the stamp away from 0, which is reserved for "never".
+        (self.start.elapsed().as_micros() as u64).max(1)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -104,10 +118,12 @@ impl HealthBoard {
 
     /// Record a successful probe or dispatch against node `idx`.
     pub fn on_success(&self, idx: usize) {
+        let stamp = self.now_us();
         let mut g = self.lock();
         let node = &mut g.nodes[idx];
         node.successes += 1;
         node.consecutive_failures = 0;
+        node.last_probe_us = stamp;
         match node.state {
             HealthState::Up => g.streaks_up[idx] = 0,
             HealthState::Down => {
@@ -124,16 +140,35 @@ impl HealthBoard {
 
     /// Record a failed probe or dispatch against node `idx`.
     pub fn on_failure(&self, idx: usize, detail: &str) {
+        let stamp = self.now_us();
         let mut g = self.lock();
         g.streaks_up[idx] = 0;
         let node = &mut g.nodes[idx];
         node.failures += 1;
         node.consecutive_failures += 1;
         node.last_error = detail.to_string();
+        node.last_probe_us = stamp;
         if node.state == HealthState::Up && node.consecutive_failures >= self.policy.down_after {
             node.state = HealthState::Down;
             node.marked_down += 1;
         }
+    }
+
+    /// Put node `idx` straight back to *up* with clean streaks.  For
+    /// failover: the id just got repointed at a promoted standby, so the
+    /// dead address's strike history is about a node that no longer
+    /// exists.
+    pub fn reset(&self, idx: usize) {
+        let stamp = self.now_us();
+        let mut g = self.lock();
+        g.streaks_up[idx] = 0;
+        let node = &mut g.nodes[idx];
+        if node.state == HealthState::Down {
+            node.marked_up += 1;
+        }
+        node.state = HealthState::Up;
+        node.consecutive_failures = 0;
+        node.last_probe_us = stamp;
     }
 
     /// Is node `idx` currently routable?
@@ -200,6 +235,30 @@ mod tests {
         assert_eq!(v[1].marked_up, 1);
         assert_eq!(v[1].last_error, "connect: refused");
         assert_eq!(v[0].failures, 0);
+    }
+
+    #[test]
+    fn probe_stamps_advance_and_reset_marks_up_immediately() {
+        let b = board();
+        assert_eq!(b.view()[0].last_probe_us, 0, "never probed yet");
+        b.on_failure(0, "connect: refused");
+        let first = b.view()[0].last_probe_us;
+        assert!(first > 0, "a probe must stamp the node");
+        b.on_success(1);
+        assert!(b.view()[1].last_probe_us >= first);
+        // Failover repoint: a down node comes straight back up.
+        for _ in 0..3 {
+            b.on_failure(0, "connect: refused");
+        }
+        assert!(!b.is_up(0));
+        b.reset(0);
+        assert!(b.is_up(0));
+        let v = b.view();
+        assert_eq!(v[0].marked_up, 1);
+        assert_eq!(v[0].consecutive_failures, 0);
+        // A reset on an already-up node is a no-op transition-wise.
+        b.reset(1);
+        assert_eq!(b.view()[1].marked_up, 0);
     }
 
     #[test]

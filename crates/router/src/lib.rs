@@ -46,8 +46,8 @@ pub use stats::{
 
 use bulkd::protocol::resp_error;
 use bulkd::{
-    jittered_backoff_ms, Client, ClientConfig, JobKey, LineFramer, Request, RouteClass,
-    PROTOCOL_VERSION,
+    jittered_backoff_ms, Client, ClientConfig, ClientError, JobKey, LineFramer, Request,
+    RouteClass, PROTOCOL_VERSION,
 };
 use obs::{Json, Rng};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -111,6 +111,12 @@ pub struct RouterConfig {
     pub addr: String,
     /// The backend bulkd nodes, in ring order-independent id space.
     pub backends: Vec<Backend>,
+    /// Warm standbys, keyed by the backend id they shadow (`--standbys
+    /// n1=addr`): each entry's `id` names a backend, its `addr` is that
+    /// backend's standby control port.  When the backend goes down, the
+    /// prober promotes the standby and repoints the *id* at the
+    /// standby's address — the ring hashes ids, so no key moves.
+    pub standbys: Vec<Backend>,
     /// Virtual nodes per backend on the hash ring.
     pub vnodes: usize,
     /// Milliseconds between health-probe rounds.
@@ -136,6 +142,7 @@ impl Default for RouterConfig {
         RouterConfig {
             addr: "127.0.0.1:7171".into(),
             backends: Vec::new(),
+            standbys: Vec::new(),
             vnodes: 64,
             probe_interval_ms: 500,
             probe_timeout_ms: 250,
@@ -150,6 +157,14 @@ impl Default for RouterConfig {
 struct Shared {
     cfg: RouterConfig,
     ids: Vec<String>,
+    /// Live dial address per backend id.  Mutable because failover
+    /// repoints an id at its promoted standby; the ring never changes.
+    addrs: Vec<Mutex<String>>,
+    /// Standby control address per backend index, when one is shadowing.
+    standby_for: Vec<Option<String>>,
+    /// One-shot latch per backend: a standby is promoted at most once.
+    promoted: Vec<AtomicBool>,
+    /// Completed standby promotions.
     ring: HashRing,
     board: HealthBoard,
     stats: RouterStats,
@@ -159,6 +174,13 @@ struct Shared {
     /// [`run_router`]'s return value.
     drain_snaps: Mutex<Option<Vec<Option<Json>>>>,
     conn_seq: AtomicU64,
+}
+
+impl Shared {
+    /// The backend's current dial address (post-failover aware).
+    fn addr_of(&self, idx: usize) -> String {
+        self.addrs[idx].lock().expect("backend addr poisoned").clone()
+    }
 }
 
 fn ms(v: u64) -> Duration {
@@ -176,12 +198,26 @@ fn ms(v: u64) -> Duration {
 pub fn run_router(cfg: &RouterConfig, on_ready: impl FnOnce(SocketAddr)) -> Result<Json, String> {
     let ids: Vec<String> = cfg.backends.iter().map(|b| b.id.clone()).collect();
     let ring = HashRing::new(&ids, cfg.vnodes)?;
+    let mut standby_for: Vec<Option<String>> = vec![None; ids.len()];
+    for s in &cfg.standbys {
+        let idx = ids
+            .iter()
+            .position(|id| *id == s.id)
+            .ok_or_else(|| format!("standby \"{}\" shadows no configured backend id", s.id))?;
+        if standby_for[idx].is_some() {
+            return Err(format!("backend \"{}\" has two standbys configured", s.id));
+        }
+        standby_for[idx] = Some(s.addr.clone());
+    }
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
     let n = ids.len();
     let shared = Arc::new(Shared {
         cfg: cfg.clone(),
         ids,
+        addrs: cfg.backends.iter().map(|b| Mutex::new(b.addr.clone())).collect(),
+        standby_for,
+        promoted: (0..n).map(|_| AtomicBool::new(false)).collect(),
         ring,
         board: HealthBoard::new(n, cfg.health),
         stats: RouterStats::new(n),
@@ -242,16 +278,19 @@ fn probe_loop(sh: &Shared) {
         read_timeout: Some(ms(sh.cfg.probe_timeout_ms.max(1))),
     };
     loop {
-        for (i, b) in sh.cfg.backends.iter().enumerate() {
+        for i in 0..sh.ids.len() {
             if sh.stop_accepting.load(Ordering::SeqCst) {
                 return;
             }
-            let outcome = Client::connect_with(&b.addr, &probe_cfg)
+            let outcome = Client::connect_with(sh.addr_of(i), &probe_cfg)
                 .map_err(|e| format!("probe connect: {e}"))
                 .and_then(|mut c| c.status().map_err(|e| format!("probe: {e}")));
             match outcome {
                 Ok(_) => sh.board.on_success(i),
-                Err(e) => sh.board.on_failure(i, &e),
+                Err(e) => {
+                    sh.board.on_failure(i, &e);
+                    maybe_failover(sh, i, &probe_cfg);
+                }
             }
         }
         // Sleep in small steps so drain doesn't wait out a long interval.
@@ -264,6 +303,64 @@ fn probe_loop(sh: &Shared) {
             std::thread::sleep(ms(step));
             waited += step;
         }
+    }
+}
+
+/// Promote backend `i`'s standby if the backend has just been debounced
+/// down and a standby is shadowing it.
+///
+/// Probe-confirmed and one-shot: the standby's own `status` must report
+/// the standby role with `safe_to_promote` (its durable mark covers
+/// everything the dead primary ever acked) before `promote` is sent.  On
+/// success the backend *id* is repointed at the standby's address — the
+/// ring hashes ids, so the keyspace map is untouched and the promoted
+/// node inherits exactly the dead node's keys.
+fn maybe_failover(sh: &Shared, i: usize, probe_cfg: &ClientConfig) {
+    if sh.board.is_up(i) || sh.promoted[i].load(Ordering::SeqCst) {
+        return;
+    }
+    let Some(standby_addr) = sh.standby_for[i].clone() else { return };
+    let confirmed = Client::connect_with(&standby_addr, probe_cfg)
+        .map_err(|e| format!("standby connect: {e}"))
+        .and_then(|mut c| c.status().map_err(|e| format!("standby status: {e}")))
+        .and_then(|s| {
+            if s.get("role").and_then(Json::as_str) != Some("standby") {
+                return Err("shadow node is not in the standby role".into());
+            }
+            if s.get("safe_to_promote") != Some(&Json::Bool(true)) {
+                return Err(format!(
+                    "standby is not safe to promote (replicated_seq {} < leader_acked_seq {})",
+                    s.get("replicated_seq").and_then(Json::as_i64).unwrap_or(-1),
+                    s.get("leader_acked_seq").and_then(Json::as_i64).unwrap_or(-1),
+                ));
+            }
+            Ok(())
+        });
+    if let Err(e) = confirmed {
+        eprintln!("router: backend {} is down but failover is held: {e}", sh.ids[i]);
+        return;
+    }
+    // Promotion hands the standby's listener to a recovering server;
+    // give the reply a forwarding-grade timeout, not a probe-grade one.
+    let promote_cfg = ClientConfig {
+        connect_timeout: Some(ms(sh.cfg.connect_timeout_ms.max(1))),
+        read_timeout: Some(ms(sh.cfg.read_timeout_ms.max(1))),
+    };
+    match Client::connect_with(&standby_addr, &promote_cfg)
+        .map_err(ClientError::Io)
+        .and_then(|mut c| c.promote())
+    {
+        Ok(_) => {
+            *sh.addrs[i].lock().expect("backend addr poisoned") = standby_addr.clone();
+            sh.promoted[i].store(true, Ordering::SeqCst);
+            sh.stats.on_failover();
+            sh.board.reset(i);
+            eprintln!(
+                "router: promoted standby at {standby_addr} for backend {} — id repointed",
+                sh.ids[i]
+            );
+        }
+        Err(e) => eprintln!("router: promote of {}'s standby failed: {e}", sh.ids[i]),
     }
 }
 
@@ -324,9 +421,7 @@ fn forward(
     idx: usize,
     line: &str,
 ) -> std::io::Result<String> {
-    let dial = || {
-        Link::dial(&sh.cfg.backends[idx].addr, sh.cfg.connect_timeout_ms, sh.cfg.read_timeout_ms)
-    };
+    let dial = || Link::dial(&sh.addr_of(idx), sh.cfg.connect_timeout_ms, sh.cfg.read_timeout_ms);
     let had_cache = links[idx].is_some();
     if links[idx].is_none() {
         links[idx] = Some(dial()?);
@@ -439,12 +534,11 @@ enum FanVerb {
 
 /// Ask every backend concurrently; `None` per node that could not answer.
 fn collect_fanout(sh: &Shared, verb: &FanVerb) -> Vec<Option<Json>> {
+    let addrs: Vec<String> = (0..sh.ids.len()).map(|i| sh.addr_of(i)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = sh
-            .cfg
-            .backends
+        let handles: Vec<_> = addrs
             .iter()
-            .map(|b| {
+            .map(|addr| {
                 scope.spawn(move || {
                     let cfg = ClientConfig {
                         connect_timeout: Some(ms(sh.cfg.connect_timeout_ms.max(1))),
@@ -454,7 +548,7 @@ fn collect_fanout(sh: &Shared, verb: &FanVerb) -> Vec<Option<Json>> {
                             FanVerb::Drain => sh.cfg.read_timeout_ms.saturating_mul(10).max(1),
                         })),
                     };
-                    let mut c = Client::connect_with(&b.addr, &cfg).ok()?;
+                    let mut c = Client::connect_with(addr.as_str(), &cfg).ok()?;
                     match verb {
                         FanVerb::Stats => c.stats().ok(),
                         FanVerb::Drain => c.drain().ok(),
@@ -474,9 +568,15 @@ fn status_reply(sh: &Shared) -> Json {
     o.set("backends", sh.ids.len() as u64);
     o.set("nodes_up", sh.board.up_count() as u64);
     o.set("draining", sh.stop_accepting.load(Ordering::SeqCst));
+    o.set("failovers", sh.stats.view().failovers);
     let mut nodes = Json::obj();
     for (i, h) in sh.board.view().iter().enumerate() {
-        nodes.set(&sh.ids[i], if h.state == HealthState::Up { "up" } else { "down" });
+        let mut node = Json::obj();
+        node.set("state", if h.state == HealthState::Up { "up" } else { "down" });
+        node.set("addr", sh.addr_of(i));
+        node.set("last_probe_us", h.last_probe_us);
+        node.set("promoted_standby", sh.promoted[i].load(Ordering::SeqCst));
+        nodes.set(&sh.ids[i], node);
     }
     o.set("nodes", nodes);
     o
@@ -517,6 +617,13 @@ fn handle_line(
             sh.stats.on_local();
             let j = match req {
                 Request::Status => status_reply(sh),
+                // Promotion is the prober's decision, made against a
+                // standby's control port directly — a client promoting
+                // "the cluster" has no single sane target.
+                Request::Promote => resp_error(
+                    "not_standby",
+                    "the router is not a standby; send promote to a standby's control port",
+                ),
                 _ => dump_reply(sh),
             };
             (j.to_compact(), After::Continue)

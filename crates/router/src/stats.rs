@@ -61,6 +61,8 @@ pub struct LedgerView {
     pub protocol_errors: u64,
     /// Client connections accepted.
     pub connections: u64,
+    /// Standby promotions driven by the prober (backend id repointed).
+    pub failovers: u64,
     /// Per-backend counters, indexed like the ring.
     pub backends: Vec<BackendCounters>,
 }
@@ -108,6 +110,11 @@ impl RouterStats {
     /// A client connection was accepted.
     pub fn on_connection(&self) {
         self.lock().connections += 1;
+    }
+
+    /// The prober promoted a standby and repointed its backend id.
+    pub fn on_failover(&self) {
+        self.lock().failovers += 1;
     }
 
     /// A submit line arrived from a client.
@@ -310,6 +317,7 @@ pub fn router_section(view: &LedgerView, ids: &[String]) -> Json {
     r.set("local", view.local);
     r.set("protocol_errors", view.protocol_errors);
     r.set("connections", view.connections);
+    r.set("failovers", view.failovers);
     let mut per = Json::obj();
     for (i, b) in view.backends.iter().enumerate() {
         let mut e = Json::obj();
@@ -415,6 +423,7 @@ pub fn render_prometheus(
         view.protocol_errors,
     );
     p.counter("router_connections_total", "Client connections accepted.", view.connections);
+    p.counter("router_failovers_total", "Standby promotions driven by the prober.", view.failovers);
 
     let series = |f: &dyn Fn(&BackendCounters) -> u64| -> Vec<(String, u64)> {
         view.backends.iter().enumerate().map(|(i, b)| (ids[i].clone(), f(b))).collect()
@@ -453,6 +462,16 @@ pub fn render_prometheus(
         "node",
         &series(&|b| b.overloaded),
     );
+    p.gauge_vec(
+        "router_backend_last_probe_us",
+        "Prober-clock stamp of each backend's last probe or dispatch (0 = never).",
+        "node",
+        &health
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (ids[i].clone(), h.last_probe_us as f64))
+            .collect::<Vec<_>>(),
+    );
 
     // Per-node families pulled from each reachable backend's snapshot.
     let pull = |path: &str| -> Vec<(String, u64)> {
@@ -485,6 +504,20 @@ pub fn render_prometheus(
         "Schedules compiled per node.",
         "node",
         &pull("schedule_cache.compiles"),
+    );
+    // Replication lag, merged per node: a primary with a live standby
+    // reports its follower's shortfall; solo nodes report 0.
+    p.gauge_vec(
+        "bulkd_node_repl_lag_records",
+        "Durable records the node's replication follower still trails by.",
+        "node",
+        &pull("repl.lag_records").into_iter().map(|(id, v)| (id, v as f64)).collect::<Vec<_>>(),
+    );
+    p.gauge_vec(
+        "bulkd_node_repl_lag_us",
+        "Microseconds since the node's follower was last fully caught up.",
+        "node",
+        &pull("repl.lag_us").into_iter().map(|(id, v)| (id, v as f64)).collect::<Vec<_>>(),
     );
     p.gauge_vec(
         "bulkd_node_coalesce_factor",

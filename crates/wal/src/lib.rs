@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod crc32;
+pub mod cursor;
 pub mod failpoint;
 pub mod reader;
 pub mod record;
 pub mod segment;
 pub mod writer;
 
+pub use cursor::Cursor;
 pub use failpoint::FailpointWriter;
 pub use reader::{scan, Scan, SegmentInfo, Truncation};
 pub use record::{Record, MAX_PAYLOAD_BYTES, RECORD_HEADER_BYTES};

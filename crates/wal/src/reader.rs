@@ -54,6 +54,18 @@ impl Scan {
     pub fn next_seq(&self) -> u64 {
         self.records.last().map_or(1, |r| r.seq + 1)
     }
+
+    /// Where a tailing reader resumes: `(segment name_seq, byte offset)`
+    /// of the first byte the scan could not vouch for.  With a
+    /// truncation that is the exact offset of the first invalid record
+    /// (magic included); on a clean log it is the end of the last
+    /// segment's valid prefix.  `None` when the directory held no
+    /// segments at all.
+    #[must_use]
+    pub fn resume_point(&self) -> Option<(u64, u64)> {
+        let last = self.segments.last()?;
+        Some((last.name_seq, last.valid_bytes))
+    }
 }
 
 /// Scan `dir` for segments and decode them front to back.
@@ -293,6 +305,36 @@ mod tests {
         let s = scan(&dir).unwrap();
         assert_eq!(s.records.len(), 2);
         assert!(s.truncation.unwrap().reason.contains("sequence gap"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_point_names_the_first_invalid_byte() {
+        // Empty directory: nowhere to resume.
+        let dir = temp_dir("resume-empty");
+        assert_eq!(scan(&dir).unwrap().resume_point(), None);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Clean log: resume at the end of the last segment's prefix.
+        let dir = temp_dir("resume-clean");
+        let (_, b1) = records(2, 1);
+        let (_, b2) = records(3, 3);
+        write_segment(&dir, 1, &b1);
+        write_segment(&dir, 3, &b2);
+        let s = scan(&dir).unwrap();
+        assert_eq!(s.resume_point(), Some((3, (SEGMENT_MAGIC.len() + b2.len()) as u64)));
+
+        // Torn tail: resume exactly at the first invalid record, in the
+        // segment that holds it.
+        let (_, b3) = records(2, 6);
+        write_segment(&dir, 6, &b3[..b3.len() - 4]);
+        let s = scan(&dir).unwrap();
+        let t = s.truncation.as_ref().unwrap();
+        let (seg, off) = s.resume_point().unwrap();
+        assert_eq!(seg, 6);
+        assert_eq!(off, t.valid_bytes, "resume offset == clean prefix of the bad segment");
+        let one_record = 17 + b"payload-6".len();
+        assert_eq!(off, (SEGMENT_MAGIC.len() + one_record) as u64);
         std::fs::remove_dir_all(&dir).ok();
     }
 
